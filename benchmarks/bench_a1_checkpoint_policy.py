@@ -1,0 +1,94 @@
+"""Ablation A1 — §3.1: checkpoint-versus-replay rollback.
+
+"A process may take a state checkpoint at each point prior to acquiring a
+new commit guard predicate [Time Warp style] ... or restore the state by
+resuming from the checkpoint and replaying messages [Optimistic Recovery
+style].  The particular technique is a performance tuning decision and
+does not affect the correctness of the transformation."
+
+The sweep varies the failure rate (more aborts ⇒ more rollbacks) and the
+per-request service time (more compute to re-pay under REPLAY).
+"""
+
+from repro.bench import Table, emit
+from repro.core.config import CheckpointPolicy, OptimisticConfig
+from repro.trace import traces_equivalent
+from repro.workloads.generators import (
+    ChainSpec,
+    run_chain_optimistic,
+    run_chain_sequential,
+)
+
+
+def run_point(p_fail: float, service: float, policy, restore_cost=0.5):
+    spec = ChainSpec(n_calls=8, n_servers=2, latency=4.0,
+                     service_time=service, p_fail=p_fail, seed=11)
+    config = OptimisticConfig(checkpoint_policy=policy,
+                              restore_cost=restore_cost)
+    return spec, run_chain_optimistic(spec, config)
+
+
+def test_a1_checkpoint_policy(benchmark):
+    table = Table(
+        "A1: rollback policy — REPLAY vs EAGER_COPY (restore_cost=0.5)",
+        ["p_fail", "service", "REPLAY makespan", "EAGER makespan",
+         "rollbacks", "traces equal"],
+    )
+    for p_fail in [0.0, 0.3, 0.6]:
+        for service in [0.5, 3.0]:
+            spec, replay = run_point(p_fail, service, CheckpointPolicy.REPLAY)
+            _, eager = run_point(p_fail, service, CheckpointPolicy.EAGER_COPY)
+            seq = run_chain_sequential(spec)
+            same = (traces_equivalent(replay.trace, seq.trace)
+                    and traces_equivalent(eager.trace, seq.trace))
+            assert same
+            table.add(p_fail, service, replay.makespan, eager.makespan,
+                      replay.stats.get("opt.rollbacks"), "yes")
+    # with heavy compute and many aborts, replay re-pays service time
+    _, replay = run_point(0.6, 3.0, CheckpointPolicy.REPLAY)
+    _, eager = run_point(0.6, 3.0, CheckpointPolicy.EAGER_COPY)
+    assert replay.makespan >= eager.makespan
+    table.note("identical committed traces under both policies — only the "
+               "virtual cost of rollback differs")
+    emit(table, "a1_checkpoint_policy.txt")
+
+    # §3.1's middle ground: interval checkpoints under REPLAY.  Scenario:
+    # a non-stopping chain whose call 5 returns an unexpected value, so
+    # the continuation re-issues calls 6..9 — but the server must first
+    # finish replaying the six requests it had already served (2.0 compute
+    # each), putting the replay debt squarely on the critical path.
+    from repro.core import OptimisticSystem, make_call_chain, stream_plan
+    from repro.csp.process import server_program
+    from repro.sim.network import FixedLatency
+
+    def run_interval(interval):
+        calls = [("srv", "op", (f"q{i}",)) for i in range(10)]
+        client = make_call_chain("client", calls, stop_on_failure=False)
+        config = OptimisticConfig(
+            checkpoint_policy=CheckpointPolicy.REPLAY,
+            checkpoint_interval=interval, restore_cost=0.2)
+        system = OptimisticSystem(FixedLatency(4.0), config=config)
+        system.add_program(client, stream_plan(client))
+        system.add_program(server_program(
+            "srv", lambda s, r: (False if r.args[0] == "q5" else True),
+            service_time=2.0))
+        return system.run()
+
+    table2 = Table(
+        "A1b: REPLAY with interval checkpoints (server replays 6 served "
+        "requests before re-serving the tail)",
+        ["checkpoint interval", "optimistic makespan"],
+    )
+    spans = {}
+    for interval in [None, 6, 3, 1]:
+        res = run_interval(interval)
+        spans[interval] = res.makespan
+        table2.add("birth only" if interval is None else interval,
+                   res.makespan)
+    assert spans[1] < spans[None]
+    assert spans[3] <= spans[6] <= spans[None]
+    table2.note("denser checkpoints re-pay less compute on rollback, at "
+                "restore_cost per restore — the §3.1 tuning knob, swept")
+    emit(table2, "a1b_checkpoint_interval.txt")
+
+    benchmark(lambda: run_point(0.3, 0.5, CheckpointPolicy.REPLAY))

@@ -1,0 +1,69 @@
+"""Experiment C10 — §1: "when bandwidth is high but round-trip delays are
+long".
+
+The paper scopes call streaming to the high-bandwidth regime.  With link
+bandwidth modelled, the sweep shows why: at low bandwidth the streamed
+burst of tagged messages serializes on the wire and the advantage
+collapses, while blocking RPC (one small message in flight at a time)
+barely notices.  Guard-tag compression (§4.1.2) claws part of the cost
+back by shrinking the per-message tags.
+"""
+
+from repro.bench import Table, emit
+from repro.core import OptimisticSystem, make_call_chain, stream_plan
+from repro.core.config import OptimisticConfig
+from repro.csp.process import server_program
+from repro.csp.sequential import SequentialSystem
+from repro.sim.network import FixedLatency
+from repro.trace import assert_equivalent
+
+N_CALLS = 12
+LATENCY = 10.0
+
+
+def build(cls, optimistic, bandwidth, config=None):
+    calls = [("srv", "op", (f"r{i}",)) for i in range(N_CALLS)]
+    client = make_call_chain("client", calls)
+    kwargs = {"bandwidth": bandwidth}
+    if optimistic:
+        system = cls(FixedLatency(LATENCY), config=config, **kwargs)
+        system.add_program(client, stream_plan(client))
+    else:
+        system = cls(FixedLatency(LATENCY), **kwargs)
+        system.add_program(client)
+    system.add_program(server_program("srv", lambda s, r: True,
+                                      service_time=0.2))
+    return system
+
+
+def test_c10_bandwidth(benchmark):
+    table = Table(
+        "C10: streaming vs blocking across link bandwidth (12 calls, lat 10)",
+        ["bandwidth", "blocking", "streamed", "streamed+compress",
+         "speedup", "speedup+compress"],
+    )
+    speedups = []
+    for bandwidth in [0.1, 0.25, 0.5, 1.0, 4.0, None]:
+        seq = build(SequentialSystem, False, bandwidth).run()
+        opt = build(OptimisticSystem, True, bandwidth).run()
+        comp = build(OptimisticSystem, True, bandwidth,
+                     OptimisticConfig(compress_guards=True)).run()
+        assert_equivalent(opt.trace, seq.trace)
+        assert_equivalent(comp.trace, seq.trace)
+        s = seq.makespan / opt.makespan
+        sc = seq.makespan / comp.makespan
+        speedups.append((bandwidth, s, sc))
+        table.add("inf" if bandwidth is None else bandwidth,
+                  seq.makespan, opt.makespan, comp.makespan, s, sc)
+    # high bandwidth: full win; low bandwidth: advantage collapses
+    assert speedups[-1][1] > 5.0
+    assert speedups[0][1] < speedups[-1][1] / 2
+    # compression never hurts and helps when the wire is tight
+    for bandwidth, s, sc in speedups:
+        assert sc >= s - 1e-9
+    table.note("the streamed burst serializes on a slow wire (tags "
+               "included); compression shrinks the tags and recovers part "
+               "of the win — the paper's high-bandwidth proviso, measured")
+    emit(table, "c10_bandwidth.txt")
+
+    benchmark(lambda: build(OptimisticSystem, True, 1.0).run())

@@ -1,0 +1,52 @@
+"""Experiment C11 — the anatomy of speculation under increasing fault rates.
+
+Uses the protocol-log analysis tools to expose the quantities the paper
+reasons about informally: how deep speculation runs, how long guesses stay
+in doubt, and how large the abort cascades get as guesses degrade.
+"""
+
+import numpy as np
+
+from repro.bench import Table, emit
+from repro.core.analysis import summarize
+from repro.workloads.generators import ChainSpec, run_chain_optimistic
+
+
+def run_point(p_fail: float, seeds=range(5)):
+    summaries = []
+    for seed in seeds:
+        spec = ChainSpec(n_calls=10, n_servers=2, latency=5.0,
+                         service_time=0.5, p_fail=p_fail, seed=seed)
+        res = run_chain_optimistic(spec)
+        summaries.append(summarize(res.protocol_log))
+    return summaries
+
+
+def test_c11_speculation_anatomy(benchmark):
+    table = Table(
+        "C11: speculation anatomy vs fault rate (10-call chain, 5 seeds)",
+        ["p_fail", "forks/run", "aborts/run", "max depth",
+         "mean doubt time", "largest cascade"],
+    )
+    depths = {}
+    for p_fail in [0.0, 0.2, 0.5, 0.8]:
+        summaries = run_point(p_fail)
+        table.add(
+            p_fail,
+            float(np.mean([s.forks for s in summaries])),
+            float(np.mean([s.aborts for s in summaries])),
+            max(s.max_depth for s in summaries),
+            float(np.mean([s.mean_doubt_time for s in summaries])),
+            max(s.largest_cascade for s in summaries),
+        )
+        depths[p_fail] = max(s.max_depth for s in summaries)
+    # fault-free runs speculate to the full chain depth
+    assert depths[0.0] == 9
+    # a failure truncates speculation, so cascades appear
+    high = run_point(0.8)
+    assert max(s.largest_cascade for s in high) >= 2
+    table.note("max depth = outstanding guesses at once; a cascade is one "
+               "abort event taking its nested speculative tail with it")
+    emit(table, "c11_anatomy.txt")
+
+    benchmark(lambda: run_point(0.5, seeds=[0]))

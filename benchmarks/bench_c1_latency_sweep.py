@@ -1,0 +1,55 @@
+"""Experiment C1 — §1 claim: streaming wins when RTT ≫ compute.
+
+Sweeps chain length × latency under a fixed fork overhead.  The paper's
+claim has two halves: (a) at high latency the speedup approaches the call
+count N; (b) at latency comparable to the per-fork overhead streaming can
+even lose — the crossover the table makes visible.
+"""
+
+from repro.bench import Table, emit
+from repro.core.config import OptimisticConfig
+from repro.workloads.generators import (
+    ChainSpec,
+    run_chain_optimistic,
+    run_chain_sequential,
+)
+
+FORK_COST = 1.0
+
+
+def run_point(n_calls: int, latency: float):
+    spec = ChainSpec(n_calls=n_calls, n_servers=2, latency=latency,
+                     service_time=0.5)
+    seq = run_chain_sequential(spec)
+    opt = run_chain_optimistic(spec, OptimisticConfig(fork_cost=FORK_COST))
+    return seq.makespan, opt.makespan
+
+
+def test_c1_latency_sweep(benchmark):
+    table = Table(
+        "C1: streaming speedup vs latency (fork_cost=1)",
+        ["N calls", "latency", "sequential", "optimistic", "speedup",
+         "streaming wins"],
+    )
+    crossover_seen = False
+    high_latency_speedups = []
+    for n_calls in [2, 5, 10, 20]:
+        for latency in [0.1, 0.5, 1.0, 5.0, 20.0, 100.0]:
+            seq_t, opt_t = run_point(n_calls, latency)
+            speedup = seq_t / opt_t
+            wins = speedup > 1.0
+            if not wins:
+                crossover_seen = True
+            if latency == 100.0:
+                high_latency_speedups.append((n_calls, speedup))
+            table.add(n_calls, latency, seq_t, opt_t, speedup,
+                      "yes" if wins else "NO")
+    # shape checks: big win at high latency, approaching N
+    for n_calls, speedup in high_latency_speedups:
+        assert speedup > 0.8 * n_calls
+    assert crossover_seen, "expected streaming to lose at very low latency"
+    table.note("speedup -> N as latency grows; streaming loses below the "
+               "fork-overhead crossover")
+    emit(table, "c1_latency_sweep.txt")
+
+    benchmark(lambda: run_point(10, 5.0))

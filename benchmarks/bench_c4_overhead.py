@@ -1,0 +1,45 @@
+"""Experiment C4 — §4.2.2: protocol overhead accounting.
+
+Guard tags piggyback on every data message and COMMIT/ABORT/PRECEDENCE
+are broadcast.  The sweep varies chain depth (= fork density) and reports
+tag units per data message and control messages per data message.
+"""
+
+from repro.bench import Table, emit
+from repro.core.config import OptimisticConfig
+from repro.workloads.generators import ChainSpec, run_chain_optimistic
+
+
+def run_point(n_calls: int, p_fail: float = 0.0, seed: int = 0):
+    spec = ChainSpec(n_calls=n_calls, n_servers=2, latency=5.0,
+                     service_time=0.5, p_fail=p_fail, seed=seed)
+    return run_chain_optimistic(spec)
+
+
+def test_c4_overhead(benchmark):
+    table = Table(
+        "C4: guard-tag and control-message overhead vs fork density",
+        ["N calls", "p_fail", "data msgs", "ctrl msgs", "ctrl/data",
+         "tag units", "tags/data msg"],
+    )
+    for n_calls in [2, 5, 10, 20]:
+        for p_fail in [0.0, 0.5]:
+            res = run_point(n_calls, p_fail, seed=4)
+            data = res.stats.get("net.msgs.data")
+            ctrl = res.stats.get("net.msgs.control")
+            tags = res.stats.get("opt.guard_tag_units")
+            table.add(n_calls, p_fail, data, ctrl, ctrl / data,
+                      tags, tags / data)
+    res_small = run_point(2)
+    res_big = run_point(20)
+    # deeper chains carry more outstanding guesses per message
+    small_rate = (res_small.stats.get("opt.guard_tag_units")
+                  / res_small.stats.get("net.msgs.data"))
+    big_rate = (res_big.stats.get("opt.guard_tag_units")
+                / res_big.stats.get("net.msgs.data"))
+    assert big_rate > small_rate
+    table.note("control traffic is broadcast per guess resolution; tag "
+               "bytes grow with outstanding speculation depth")
+    emit(table, "c4_overhead.txt")
+
+    benchmark(lambda: run_point(10))

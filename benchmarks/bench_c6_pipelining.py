@@ -1,0 +1,42 @@
+"""Experiment C6 — §1: the X-windows pipelining contrast.
+
+Asynchronous sends with async error notification are as fast as physics
+allows, but after a failure they have already shown the world outputs a
+correct execution would never produce.  The optimistic protocol matches
+the pipelined *throughput shape* when guesses hold while never leaking a
+speculative output (Theorem 1 + output commit).
+"""
+
+from repro.baselines.pipelining import run_pipelined_chain
+from repro.bench import Table, emit
+from repro.workloads.generators import (
+    ChainSpec,
+    run_chain_optimistic,
+    run_chain_sequential,
+)
+
+
+def test_c6_pipelining(benchmark):
+    table = Table(
+        "C6: unsafe pipelining vs optimistic streaming vs blocking",
+        ["p_fail", "seed", "blocking", "optimistic", "pipelined (settled)",
+         "unsafe outputs"],
+    )
+    leaks = 0
+    for p_fail, seed in [(0.0, 0), (0.3, 6), (0.3, 12), (0.6, 2)]:
+        spec = ChainSpec(n_calls=8, n_servers=1, latency=5.0,
+                         service_time=0.5, p_fail=p_fail, seed=seed)
+        seq = run_chain_sequential(spec)
+        opt = run_chain_optimistic(spec)
+        pipe = run_pipelined_chain(spec)
+        leaks += pipe.unsafe_outputs
+        table.add(p_fail, seed, seq.makespan, opt.makespan,
+                  pipe.settled_time, pipe.unsafe_outputs)
+        assert opt.unresolved == []
+    assert leaks > 0, "expected at least one unsafe pipelined output"
+    table.note("the optimistic run buffers external output until commit, "
+               "so its unsafe-output count is zero by construction")
+    emit(table, "c6_pipelining.txt")
+
+    spec = ChainSpec(n_calls=8, n_servers=1, latency=5.0, service_time=0.5)
+    benchmark(lambda: run_pipelined_chain(spec))

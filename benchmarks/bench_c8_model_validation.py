@@ -1,0 +1,73 @@
+"""Experiment C8 — analytic model vs simulation.
+
+Validates the closed-form streaming model (repro.core.model) against the
+simulator across a (N, M, L, s, c) grid — fault-free runs must match
+*exactly* — and against seeded failure sweeps in expectation.
+"""
+
+import numpy as np
+
+from repro.bench import Table, emit
+from repro.core.model import (
+    expected_sequential,
+    expected_streamed,
+    t_sequential,
+    t_streamed,
+)
+from repro.workloads.generators import (
+    ChainSpec,
+    run_chain_optimistic,
+    run_chain_sequential,
+)
+
+
+def test_c8_model_validation(benchmark):
+    table = Table(
+        "C8: analytic model vs simulation (fault-free: exact)",
+        ["N", "M", "L", "s", "c", "sim seq", "model seq", "sim opt",
+         "model opt"],
+    )
+    grid = [
+        (2, 2, 5.0, 1.0, 0.0),     # the Fig. 2/3 point
+        (8, 2, 5.0, 0.5, 0.0),
+        (10, 1, 3.0, 1.0, 0.5),
+        (20, 4, 25.0, 0.25, 1.0),
+        (5, 5, 0.5, 2.0, 0.0),
+    ]
+    for n, m, lat, svc, think in grid:
+        spec = ChainSpec(n_calls=n, n_servers=m, latency=lat,
+                         service_time=svc, compute_between=think)
+        seq = run_chain_sequential(spec).makespan
+        opt = run_chain_optimistic(spec).makespan
+        mseq = t_sequential(n, lat, svc, think)
+        mopt = t_streamed(n, lat, svc, think, n_servers=m)
+        assert abs(seq - mseq) < 1e-9
+        assert abs(opt - mopt) < 1e-9
+        table.add(n, m, lat, svc, think, seq, mseq, opt, mopt)
+    table.note("fault-free simulation matches the closed forms exactly")
+    emit(table, "c8_model_validation.txt")
+
+    table2 = Table(
+        "C8b: expected completion under failures (mean of 40 seeds)",
+        ["p_fail", "sim seq mean", "model E[seq]", "sim opt mean",
+         "model E[opt]"],
+    )
+    n, m, lat, svc = 6, 2, 5.0, 0.5
+    for p in [0.25, 0.5, 0.75]:
+        seqs, opts = [], []
+        for seed in range(40):
+            spec = ChainSpec(n_calls=n, n_servers=m, latency=lat,
+                             service_time=svc, p_fail=p, seed=seed)
+            seqs.append(run_chain_sequential(spec).makespan)
+            opts.append(run_chain_optimistic(spec).makespan)
+        sim_seq, sim_opt = float(np.mean(seqs)), float(np.mean(opts))
+        m_seq = expected_sequential(n, lat, svc, p)
+        m_opt = expected_streamed(n, lat, svc, p, n_servers=m)
+        assert abs(sim_seq - m_seq) / m_seq < 0.3
+        assert abs(sim_opt - m_opt) / m_opt < 0.3
+        table2.add(p, sim_seq, m_seq, sim_opt, m_opt)
+    table2.note("seeded failure draws track the stop-length expectation")
+    emit(table2, "c8b_model_expectation.txt")
+
+    spec = ChainSpec(n_calls=8, n_servers=2, latency=5.0, service_time=0.5)
+    benchmark(lambda: run_chain_optimistic(spec))

@@ -1,0 +1,62 @@
+"""Experiment C9 — speculation across service tiers.
+
+Generalizes Fig. 4's nested topology to depth D and measures how the
+transformation composes across processes:
+
+* nested-call tiers (each tier blocks on the next) serialize whole round
+  trips through the single-threaded bottleneck — streaming helps only
+  modestly (an honest negative result);
+* relay tiers (reply-then-forward) let speculative work cascade down
+  every tier, with a mid-stream failure rolled back across the full
+  depth.
+"""
+
+from repro.bench import Table, emit
+from repro.core.invariants import validate_run
+from repro.trace import assert_equivalent
+from repro.workloads.pipelines import (
+    PipelineSpec,
+    run_pipeline_optimistic,
+    run_pipeline_sequential,
+)
+
+
+def test_c9_pipeline_depth(benchmark):
+    table = Table(
+        "C9: nested-call vs relay tiers across pipeline depth (6 requests)",
+        ["depth", "tier style", "sequential", "optimistic", "speedup",
+         "rollbacks", "orphans"],
+    )
+    for depth in [1, 2, 4, 6]:
+        for relay in (False, True):
+            spec = PipelineSpec(n_requests=6, depth=depth,
+                                service_time=0.5, relay=relay)
+            seq = run_pipeline_sequential(spec)
+            system, opt = run_pipeline_optimistic(spec)
+            assert_equivalent(opt.trace, seq.trace)
+            validate_run(system)
+            table.add(
+                depth,
+                "relay" if relay else "nested",
+                seq.makespan,
+                opt.makespan,
+                seq.makespan / opt.makespan,
+                opt.stats.get("opt.rollbacks"),
+                opt.stats.get("opt.orphans_discarded"),
+            )
+    # relay tiers keep the full streaming win regardless of depth; nested
+    # tiers serialize and the win shrinks as depth grows
+    spec_r = PipelineSpec(n_requests=6, depth=6, service_time=0.5, relay=True)
+    spec_n = PipelineSpec(n_requests=6, depth=6, service_time=0.5, relay=False)
+    seq_r = run_pipeline_sequential(spec_r)
+    _, opt_r = run_pipeline_optimistic(spec_r)
+    seq_n = run_pipeline_sequential(spec_n)
+    _, opt_n = run_pipeline_optimistic(spec_n)
+    assert (seq_r.makespan / opt_r.makespan) > (seq_n.makespan / opt_n.makespan)
+    table.note("single-threaded nested tiers are a serialization bottleneck "
+               "speculation cannot remove; reply-then-forward tiers let the "
+               "speculative stream cascade the full depth")
+    emit(table, "c9_pipeline_depth.txt")
+
+    spec = PipelineSpec(n_requests=6, depth=4, relay=True)
+    benchmark(lambda: run_pipeline_optimistic(spec))

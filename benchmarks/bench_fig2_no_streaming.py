@@ -1,0 +1,25 @@
+"""Experiment F2 — Figure 2: the blocking execution.
+
+Reports the sequential completion time across a latency sweep; the shape is
+``makespan = 2 × (latency + service + latency)`` — each call pays a full
+round trip.
+"""
+
+from repro.bench import Table, emit
+from repro.workloads.scenarios import run_fig2_no_streaming
+
+
+def test_fig2_no_streaming(benchmark):
+    table = Table(
+        "F2: Figure 2 — no call streaming (blocking RPC)",
+        ["latency", "service", "makespan", "predicted 2*(2L+S)"],
+    )
+    for latency in [1.0, 2.0, 5.0, 10.0, 25.0, 50.0]:
+        res = run_fig2_no_streaming(latency=latency, service_time=1.0)
+        predicted = 2 * (2 * latency + 1.0)
+        assert res.makespan == predicted
+        table.add(latency, 1.0, res.makespan, predicted)
+    table.note("each of the two calls waits out its full round trip")
+    emit(table, "f2_no_streaming.txt")
+
+    benchmark(lambda: run_fig2_no_streaming(latency=5.0))

@@ -1,0 +1,33 @@
+"""Experiment F3 — Figure 3: successful optimistic call streaming.
+
+The two calls overlap: completion collapses from two round trips to one,
+the guess commits with no rollback anywhere, and the committed trace is
+identical to Figure 2's.
+"""
+
+from repro.bench import Table, emit
+from repro.trace import assert_equivalent
+from repro.workloads.scenarios import run_fig3_streaming
+
+
+def test_fig3_streaming(benchmark):
+    table = Table(
+        "F3: Figure 3 — successful call streaming",
+        ["latency", "sequential", "optimistic", "speedup", "aborts",
+         "rollbacks"],
+    )
+    for latency in [1.0, 2.0, 5.0, 10.0, 25.0, 50.0]:
+        res = run_fig3_streaming(latency=latency, service_time=1.0)
+        assert_equivalent(res.optimistic.trace, res.sequential.trace)
+        table.add(
+            latency,
+            res.sequential.makespan,
+            res.optimistic.makespan,
+            res.speedup,
+            res.optimistic.stats.get("opt.aborts"),
+            res.optimistic.stats.get("opt.rollbacks"),
+        )
+    table.note("guess correct: both round trips fully overlap (speedup = 2)")
+    emit(table, "f3_streaming.txt")
+
+    benchmark(lambda: run_fig3_streaming(latency=5.0))

@@ -1,0 +1,39 @@
+"""Experiment F4 — Figure 4: time fault detection and repair.
+
+X's speculative call to Z races Y's causally-earlier nested call.  The
+sweep varies how *late* the nested path is; in every case the protocol
+aborts the guess, rolls back Y and Z, and converges to the sequential
+trace — at a measurable cost over the pessimistic run (the paper's
+"average performance will be worse because of excessive rollbacks" when
+guesses are bad).
+"""
+
+from repro.bench import Table, emit
+from repro.trace import assert_equivalent
+from repro.workloads.scenarios import run_fig4_time_fault
+
+
+def test_fig4_time_fault(benchmark):
+    table = Table(
+        "F4: Figure 4 — time fault (speculative call wins the race)",
+        ["Y->Z latency", "sequential", "optimistic", "slowdown",
+         "time faults", "rollbacks", "orphans"],
+    )
+    for slow in [4.0, 10.0, 20.0, 40.0]:
+        res = run_fig4_time_fault(fast=2.0, slow=slow)
+        assert_equivalent(res.optimistic.trace, res.sequential.trace)
+        opt = res.optimistic
+        table.add(
+            slow,
+            res.sequential.makespan,
+            opt.makespan,
+            opt.makespan / res.sequential.makespan,
+            opt.stats.get("opt.aborts.time_fault"),
+            opt.stats.get("opt.rollbacks"),
+            opt.stats.get("opt.orphans_discarded"),
+        )
+    table.note("wrong guess: detection + distributed rollback costs time, "
+               "but the committed trace always equals the sequential one")
+    emit(table, "f4_time_fault.txt")
+
+    benchmark(lambda: run_fig4_time_fault(fast=2.0, slow=10.0))

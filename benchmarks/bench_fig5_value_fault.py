@@ -1,0 +1,36 @@
+"""Experiment F5 — Figure 5: value fault, abort and re-execution.
+
+The Update fails so the guessed OK=True aborts; Z rolls back and re-reads
+nothing (the speculative Write is an orphan); the continuation skips the
+Write exactly like the sequential run.
+"""
+
+from repro.bench import Table, emit
+from repro.trace import assert_equivalent
+from repro.workloads.scenarios import run_fig5_value_fault
+
+
+def test_fig5_value_fault(benchmark):
+    table = Table(
+        "F5: Figure 5 — value fault (guessed OK=True, actual False)",
+        ["latency", "sequential", "optimistic", "value faults",
+         "continuations", "Z rollbacks", "emissions dropped"],
+    )
+    for latency in [2.0, 5.0, 10.0, 25.0]:
+        res = run_fig5_value_fault(latency=latency)
+        assert_equivalent(res.optimistic.trace, res.sequential.trace)
+        opt = res.optimistic
+        table.add(
+            latency,
+            res.sequential.makespan,
+            opt.makespan,
+            opt.stats.get("opt.aborts.value_fault"),
+            opt.stats.get("opt.continuations"),
+            opt.count("rollback", "Z"),
+            opt.stats.get("opt.emissions_dropped"),
+        )
+    table.note("the fault is discovered when the reply lands, so this shape "
+               "costs nothing extra over sequential")
+    emit(table, "f5_value_fault.txt")
+
+    benchmark(lambda: run_fig5_value_fault(latency=5.0))

@@ -1,0 +1,33 @@
+"""Experiment F6 — Figure 6: two optimistic processes, commit cascade.
+
+Z's guess z1 depends on X's x1; the PRECEDENCE protocol resolves the wait
+and COMMIT(x1) cascades into COMMIT(z1) one broadcast latency later.
+"""
+
+from repro.bench import Table, emit
+from repro.workloads.scenarios import run_fig6_two_threads
+
+
+def test_fig6_two_threads(benchmark):
+    table = Table(
+        "F6: Figure 6 — two optimistic threads, PRECEDENCE then cascade",
+        ["latency", "x1 commit t", "z1 commit t", "cascade delay",
+         "precedence msgs", "aborts"],
+    )
+    for latency in [1.0, 3.0, 6.0, 12.0]:
+        res = run_fig6_two_threads(latency=latency)
+        x_commit = [e for e in res.events("commit", "X")][0]["time"]
+        z_commit = [e for e in res.events("commit", "Z")][0]["time"]
+        table.add(
+            latency,
+            x_commit,
+            z_commit,
+            z_commit - x_commit,
+            res.stats.get("opt.precedence_sent"),
+            res.stats.get("opt.aborts"),
+        )
+        assert z_commit - x_commit == latency  # one broadcast hop
+    table.note("z1 commits exactly one control-broadcast latency after x1")
+    emit(table, "f6_two_threads.txt")
+
+    benchmark(lambda: run_fig6_two_threads(latency=3.0))

@@ -1,0 +1,35 @@
+"""Experiment F7 — Figure 7: mutual speculation forms a causal cycle.
+
+Both left threads consume the other side's speculative send; the
+PRECEDENCE exchange reveals x1 → z1 → x1 and both abort, rolling W and Y
+back.  The underlying program deadlocks sequentially, so nothing commits.
+"""
+
+from repro.bench import Table, emit
+from repro.workloads.scenarios import run_fig7_cycle
+
+
+def test_fig7_cycle_abort(benchmark):
+    table = Table(
+        "F7: Figure 7 — cycle x1 -> z1 -> x1 detected via PRECEDENCE",
+        ["latency", "detect time", "cycle aborts", "rollbacks(W+Y)",
+         "commits", "committed sends"],
+    )
+    for latency in [1.0, 3.0, 6.0, 12.0]:
+        res = run_fig7_cycle(latency=latency)
+        detects = [e["time"] for e in res.events("cycle_abort")]
+        table.add(
+            latency,
+            min(detects) if detects else float("nan"),
+            res.stats.get("opt.aborts.cycle"),
+            res.count("rollback", "W") + res.count("rollback", "Y"),
+            res.stats.get("opt.commits"),
+            len([e for e in res.trace if e.kind == "send"]),
+        )
+        assert res.stats.get("opt.aborts.cycle") == 2
+        assert res.stats.get("opt.commits") == 0
+    table.note("no committed external behaviour: the optimistic run must "
+               "not outrun the (deadlocking) sequential semantics")
+    emit(table, "f7_cycle_abort.txt")
+
+    benchmark(lambda: run_fig7_cycle(latency=3.0))

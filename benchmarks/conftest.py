@@ -1,0 +1,9 @@
+"""Shared fixtures for the experiment benches."""
+
+import pytest
+
+
+@pytest.fixture(autouse=True)
+def _show_tables(capsys):
+    """Let table output through after each bench for visibility with -s."""
+    yield

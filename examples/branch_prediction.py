@@ -1,0 +1,94 @@
+#!/usr/bin/env python
+"""§1's second application: run the likely branch in parallel with the test.
+
+A client asks a remote fraud-check oracle whether an order is suspicious.
+Almost all orders are clean, so the fulfilment branch is started
+optimistically while the check is still in flight.  When the oracle does
+flag an order, the speculative fulfilment (including its external shipping
+label!) is rolled back before the outside world sees anything.
+
+Run:  python examples/branch_prediction.py
+"""
+
+from repro.core import OptimisticSystem
+from repro.csp.effects import Call, Compute, Emit
+from repro.csp.plan import ForkSpec, ParallelizationPlan
+from repro.csp.process import Program, Segment, server_program
+from repro.csp.sequential import SequentialSystem
+from repro.sim.network import FixedLatency
+from repro.trace import assert_equivalent
+
+LATENCY = 10.0
+SUSPICIOUS_ORDERS = {7}
+
+
+def order_program(order_id: int) -> Program:
+    def check(state):
+        state["clean"] = yield Call("fraud", "check", (order_id,))
+
+    def fulfil(state):
+        if state["clean"]:
+            yield Compute(2.0)  # pack the box
+            yield Emit("printer", f"label:{order_id}")
+            state["tracking"] = yield Call("warehouse", "ship", (order_id,))
+        else:
+            state["tracking"] = None
+            yield Emit("printer", f"review:{order_id}")
+
+    return Program(f"client{order_id}", [
+        Segment("check", check, exports=("clean",)),
+        Segment("fulfil", fulfil),
+    ])
+
+
+def servers():
+    fraud = server_program(
+        "fraud",
+        lambda s, r: r.args[0] not in SUSPICIOUS_ORDERS,
+        service_time=3.0,
+    )
+    warehouse = server_program(
+        "warehouse", lambda s, r: f"TRK{r.args[0]:04d}", service_time=1.0)
+    return fraud, warehouse
+
+
+def run(order_id: int, optimistic: bool):
+    prog = order_program(order_id)
+    if optimistic:
+        plan = ParallelizationPlan().add(
+            "check", ForkSpec(predictor={"clean": True}))
+        system = OptimisticSystem(FixedLatency(LATENCY))
+        system.add_program(prog, plan)
+    else:
+        system = SequentialSystem(FixedLatency(LATENCY))
+        system.add_program(prog)
+    for srv in servers():
+        system.add_program(srv)
+    system.add_sink("printer")
+    return system.run()
+
+
+def main() -> None:
+    print("Branch prediction: fulfil the order while the fraud check runs\n")
+    for order_id in (1, 7):
+        seq = run(order_id, optimistic=False)
+        opt = run(order_id, optimistic=True)
+        assert_equivalent(opt.trace, seq.trace)
+        flagged = order_id in SUSPICIOUS_ORDERS
+        name = f"client{order_id}"
+        print(f"order {order_id} ({'suspicious' if flagged else 'clean'}):")
+        print(f"  blocking  : done t={seq.makespan:6.1f}  "
+              f"printer={seq.sink_output('printer')}")
+        print(f"  optimistic: done t={opt.makespan:6.1f}  "
+              f"printer={opt.sink_output('printer')}  "
+              f"aborts={opt.stats.get('opt.aborts')}")
+        print(f"  tracking={opt.final_states[name]['tracking']}")
+        if flagged:
+            dropped = opt.stats.get("opt.emissions_dropped")
+            print(f"  speculative shipping label dropped before printing: "
+                  f"{dropped} emission(s)")
+        print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,59 @@
+#!/usr/bin/env python
+"""Regenerate the paper's execution figures as ASCII time-line diagrams.
+
+Each diagram is produced from an actual run of the reproduction: the
+message rows carry the same commit-guard annotations the paper prints
+next to its arrows (e.g. C3 {x1} in Figure 3).
+
+Run:  python examples/paper_figures.py
+"""
+
+from repro.trace.diagram import render_timeline
+from repro.workloads.scenarios import (
+    run_fig2_no_streaming,
+    run_fig3_streaming,
+    run_fig4_time_fault,
+    run_fig5_value_fault,
+    run_fig6_two_threads,
+    run_fig7_cycle,
+)
+
+KINDS = ("fork", "commit", "abort", "value_fault", "join_time_fault",
+         "early_reply_time_fault", "cycle_abort", "precedence_sent",
+         "rollback", "continuation", "committed_complete")
+
+
+def show(title: str, trace, protocol_log=(), processes=None) -> None:
+    print()
+    print(render_timeline(trace, protocol_log, processes=processes,
+                          protocol_kinds=KINDS, title=title))
+
+
+def main() -> None:
+    seq = run_fig2_no_streaming()
+    show("Figure 2 — no call streaming (blocking round trips):",
+         seq.trace, processes=["X", "Y", "Z"])
+
+    fig3 = run_fig3_streaming().optimistic
+    show("Figure 3 — successful optimistic call streaming:",
+         fig3.trace, fig3.protocol_log, processes=["X", "Y", "Z"])
+
+    fig4 = run_fig4_time_fault().optimistic
+    show("Figure 4 — aborted call streaming (time fault):",
+         fig4.trace, fig4.protocol_log, processes=["X", "Y", "Z"])
+
+    fig5 = run_fig5_value_fault().optimistic
+    show("Figure 5 — abort and re-execution (value fault):",
+         fig5.trace, fig5.protocol_log, processes=["X", "Y", "Z"])
+
+    fig6 = run_fig6_two_threads()
+    show("Figure 6 — successful parallelization of two threads:",
+         fig6.trace, fig6.protocol_log, processes=["W", "X", "Z", "Y"])
+
+    fig7 = run_fig7_cycle()
+    show("Figure 7 — aborted parallelization of two threads (cycle):",
+         fig7.trace, fig7.protocol_log, processes=["W", "X", "Z", "Y"])
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,64 @@
+#!/usr/bin/env python
+"""The §5 related-work baseline: a Time Warp run, up close.
+
+A four-process ring passes two tokens whose timestamped hops race over a
+jittery physical network.  Time Warp's imposed total order turns every
+timestamp race into a straggler rollback with anti-messages; lazy
+cancellation reuses re-derived outputs instead.  Contrast with the
+paper's protocol, which orders events only by actual communication and
+never aborts on pure timing (experiment C5 measures this head to head).
+
+Run:  python examples/timewarp_demo.py
+"""
+
+from repro.baselines.timewarp import TimeWarpKernel, sequential_reference
+
+TARGETS = ["north", "east", "south", "west"]
+
+
+def ring_handler(state, payload, recv_time):
+    state["seen"] = state.get("seen", 0) + 1
+    hops, nxt = payload
+    if hops <= 0:
+        return []
+    return [(TARGETS[nxt % len(TARGETS)], 1.0, (hops - 1, nxt + 1))]
+
+
+def run(jitter: float, cancellation: str):
+    kernel = TimeWarpKernel(physical_latency=1.0, physical_jitter=jitter,
+                            processing_time=0.2, seed=7,
+                            cancellation=cancellation)
+    for name in TARGETS:
+        kernel.add_lp(name, ring_handler)
+    kernel.schedule_initial("north", 1.0, (20, 1))
+    kernel.schedule_initial("south", 1.5, (20, 3))
+    return kernel.run()
+
+
+def main() -> None:
+    reference = sequential_reference(
+        {name: (ring_handler, {}) for name in TARGETS},
+        [("north", 1.0, (20, 1)), ("south", 1.5, (20, 3))],
+    )
+    print("two tokens, 20 hops each, around a 4-process ring\n")
+    header = (f"{'jitter':>7} {'policy':>11} {'rollbacks':>10} "
+              f"{'anti-msgs':>10} {'reused':>7} {'events':>7}")
+    print(header)
+    print("-" * len(header))
+    for jitter in (0.0, 4.0, 12.0):
+        for policy in ("aggressive", "lazy"):
+            res = run(jitter, policy)
+            assert res.final_states == reference["states"], \
+                "Time Warp must converge to the timestamp-order reference"
+            print(f"{jitter:7.1f} {policy:>11} "
+                  f"{res.stats.get('tw.rollbacks'):10d} "
+                  f"{res.stats.get('tw.msgs.anti'):10d} "
+                  f"{res.stats.get('tw.lazy_reused'):7d} "
+                  f"{res.stats.get('tw.events_processed'):7d}")
+    print("\nevery run converged to the same final states — Time Warp is "
+          "correct, it just pays for timestamp races the CSP protocol "
+          "never sees")
+
+
+if __name__ == "__main__":
+    main()

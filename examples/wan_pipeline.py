@@ -1,0 +1,91 @@
+#!/usr/bin/env python
+"""A WAN client driving a co-located service pipeline, built with the DSL.
+
+An order-processing saga — validate, reserve, charge, ship, confirm —
+where every step is a round trip from a laptop to a far-away data centre.
+Optimistic call streaming collapses the five WAN round trips into one,
+and when the charge step declines, the speculative ship/confirm work rolls
+back before anything external observes it.
+
+Run:  python examples/wan_pipeline.py
+"""
+
+from repro.core import OptimisticSystem
+from repro.csp.dsl import program
+from repro.csp.process import server_program
+from repro.csp.sequential import SequentialSystem
+from repro.sim.topology import clusters
+from repro.trace import assert_equivalent
+
+TOPOLOGY = clusters({"laptop": ["client"], "dc": ["orders", "inventory",
+                                                  "billing", "shipping"]},
+                    local=0.5, remote=40.0)
+
+
+def order_client():
+    return (
+        program("client")
+        .call("orders", "validate", ("order-17",), export="valid",
+              guess=True, name="validate")
+        .when("valid")
+        .call("inventory", "reserve", ("order-17",), export="reserved",
+              guess=True, name="reserve")
+        .when("reserved")
+        .call("billing", "charge", ("order-17", 99), export="charged",
+              guess=True, name="charge")
+        .when("charged")
+        .call("shipping", "ship", ("order-17",), export="shipped",
+              guess=True, name="ship")
+        .when("shipped")
+        .emit("receipt-printer", "order-17 confirmed", name="confirm")
+        .build()
+    )
+
+
+def services(charge_ok: bool):
+    def billing(state, req):
+        state.setdefault("charges", []).append(req.args)
+        return charge_ok
+
+    yield server_program("orders", lambda s, r: True, service_time=1.0)
+    yield server_program("inventory", lambda s, r: True, service_time=1.0)
+    yield server_program("billing", billing, service_time=1.0)
+    yield server_program("shipping", lambda s, r: True, service_time=1.0)
+
+
+def run(optimistic: bool, charge_ok: bool):
+    built = order_client()
+    system = (OptimisticSystem if optimistic else SequentialSystem)(TOPOLOGY)
+    built.add_to(system)
+    for srv in services(charge_ok):
+        system.add_program(srv)
+    system.add_sink("receipt-printer")
+    return system.run()
+
+
+def main() -> None:
+    print("Order saga: laptop -> data centre, 40 time-units each way\n")
+
+    for charge_ok, label in [(True, "charge approved"),
+                             (False, "charge DECLINED")]:
+        seq = run(False, charge_ok)
+        opt = run(True, charge_ok)
+        assert_equivalent(opt.trace, seq.trace)
+        print(f"{label}:")
+        print(f"  blocking  : t={seq.makespan:7.1f}  "
+              f"receipt={seq.sink_output('receipt-printer')}")
+        print(f"  optimistic: t={opt.makespan:7.1f}  "
+              f"receipt={opt.sink_output('receipt-printer')}  "
+              f"({seq.makespan / opt.makespan:.1f}x)")
+        print(f"  protocol: forks={opt.stats.get('opt.forks')} "
+              f"commits={opt.stats.get('opt.commits')} "
+              f"aborts={opt.stats.get('opt.aborts')} "
+              f"emissions dropped={opt.stats.get('opt.emissions_dropped')}")
+        print()
+
+    print("the declined charge aborted the speculative ship/confirm chain; "
+          "the receipt printer saw nothing that did not really happen")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,83 @@
+"""repro — Optimistic Parallelization of Communicating Sequential Processes.
+
+A complete reproduction of Bacon & Strom (PPOPP 1991).  The public API
+re-exported here is the stable surface a downstream user needs:
+
+* build programs (:class:`Program`, :class:`Segment`, effects,
+  :func:`server_program`, :func:`make_call_chain`),
+* choose what to parallelize (:class:`ParallelizationPlan`,
+  :class:`ForkSpec`, :func:`stream_plan`),
+* run them (:class:`OptimisticSystem` vs :class:`SequentialSystem`) over a
+  latency model, and
+* check Theorem 1 (:func:`assert_equivalent`) or draw the execution
+  (:func:`render_timeline`).
+"""
+
+from repro.core import (
+    OptimisticConfig,
+    OptimisticResult,
+    OptimisticSystem,
+    make_call_chain,
+    stream_plan,
+)
+from repro.core.config import (
+    CheckpointPolicy,
+    ControlPlane,
+    DeliveryHeuristic,
+)
+from repro.csp import (
+    Call,
+    Compute,
+    Emit,
+    ForkSpec,
+    GetTime,
+    ParallelizationPlan,
+    Program,
+    Receive,
+    Reply,
+    Segment,
+    Send,
+    SequentialSystem,
+    server_program,
+)
+from repro.sim import (
+    FixedLatency,
+    JitteredLatency,
+    PerLinkLatency,
+    SkewedLatency,
+)
+from repro.trace import assert_equivalent, render_timeline, traces_equivalent
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "OptimisticSystem",
+    "OptimisticResult",
+    "OptimisticConfig",
+    "CheckpointPolicy",
+    "DeliveryHeuristic",
+    "ControlPlane",
+    "SequentialSystem",
+    "Program",
+    "Segment",
+    "server_program",
+    "make_call_chain",
+    "stream_plan",
+    "ParallelizationPlan",
+    "ForkSpec",
+    "Call",
+    "Send",
+    "Receive",
+    "Reply",
+    "Compute",
+    "Emit",
+    "GetTime",
+    "FixedLatency",
+    "PerLinkLatency",
+    "JitteredLatency",
+    "SkewedLatency",
+    "assert_equivalent",
+    "traces_equivalent",
+    "render_timeline",
+    "__version__",
+]

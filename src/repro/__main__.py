@@ -1,0 +1,123 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``figures``            regenerate all seven paper figures as ASCII diagrams
+``scenario <id>``      run one scenario (fig2..fig7) and print its diagram
+``sweep``              print the C1-style latency sweep table
+``list``               list scenarios and experiments
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.trace.diagram import render_timeline
+from repro.workloads import scenarios
+
+PROTOCOL_KINDS = (
+    "fork", "commit", "abort", "value_fault", "join_time_fault",
+    "early_reply_time_fault", "cycle_abort", "precedence_sent",
+    "rollback", "continuation", "committed_complete",
+)
+
+SCENARIOS = {
+    "fig2": ("Figure 2 — no call streaming",
+             lambda: (scenarios.run_fig2_no_streaming(), ["X", "Y", "Z"])),
+    "fig3": ("Figure 3 — successful call streaming",
+             lambda: (scenarios.run_fig3_streaming().optimistic,
+                      ["X", "Y", "Z"])),
+    "fig4": ("Figure 4 — time fault",
+             lambda: (scenarios.run_fig4_time_fault().optimistic,
+                      ["X", "Y", "Z"])),
+    "fig5": ("Figure 5 — value fault",
+             lambda: (scenarios.run_fig5_value_fault().optimistic,
+                      ["X", "Y", "Z"])),
+    "fig6": ("Figure 6 — two optimistic threads, commit cascade",
+             lambda: (scenarios.run_fig6_two_threads(),
+                      ["W", "X", "Z", "Y"])),
+    "fig7": ("Figure 7 — mutual speculation cycle",
+             lambda: (scenarios.run_fig7_cycle(), ["W", "X", "Z", "Y"])),
+}
+
+
+def _show(sid: str) -> None:
+    title, build = SCENARIOS[sid]
+    result, processes = build()
+    protocol_log = getattr(result, "protocol_log", ())
+    print(render_timeline(result.trace, protocol_log, processes=processes,
+                          protocol_kinds=PROTOCOL_KINDS,
+                          title=f"{title}:"))
+    print()
+
+
+def cmd_figures(args: argparse.Namespace) -> int:
+    for sid in SCENARIOS:
+        _show(sid)
+    return 0
+
+
+def cmd_scenario(args: argparse.Namespace) -> int:
+    if args.id not in SCENARIOS:
+        print(f"unknown scenario {args.id!r}; try: {', '.join(SCENARIOS)}",
+              file=sys.stderr)
+        return 2
+    _show(args.id)
+    return 0
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.bench.harness import Table
+    from repro.core.config import OptimisticConfig
+    from repro.workloads.generators import (
+        ChainSpec, run_chain_optimistic, run_chain_sequential,
+    )
+
+    table = Table(
+        f"streaming speedup, N={args.calls} calls (fork_cost={args.fork_cost})",
+        ["latency", "sequential", "optimistic", "speedup"],
+    )
+    for latency in (0.1, 0.5, 1.0, 5.0, 20.0, 100.0):
+        spec = ChainSpec(n_calls=args.calls, n_servers=2, latency=latency,
+                         service_time=0.5)
+        seq = run_chain_sequential(spec)
+        opt = run_chain_optimistic(
+            spec, OptimisticConfig(fork_cost=args.fork_cost))
+        table.add(latency, seq.makespan, opt.makespan,
+                  seq.makespan / opt.makespan)
+    print(table.render())
+    return 0
+
+
+def cmd_list(args: argparse.Namespace) -> int:
+    print("scenarios (python -m repro scenario <id>):")
+    for sid, (title, _) in SCENARIOS.items():
+        print(f"  {sid:6s} {title}")
+    print("\nexperiments: pytest benchmarks/ --benchmark-only "
+          "(tables land in benchmarks/results/)")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Optimistic parallelization of CSP (Bacon & Strom 1991)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("figures", help="render all paper figures").set_defaults(
+        fn=cmd_figures)
+    p_scn = sub.add_parser("scenario", help="run one figure scenario")
+    p_scn.add_argument("id", help="fig2..fig7")
+    p_scn.set_defaults(fn=cmd_scenario)
+    p_sweep = sub.add_parser("sweep", help="latency sweep table")
+    p_sweep.add_argument("--calls", type=int, default=10)
+    p_sweep.add_argument("--fork-cost", type=float, default=0.0)
+    p_sweep.set_defaults(fn=cmd_sweep)
+    sub.add_parser("list", help="list scenarios").set_defaults(fn=cmd_list)
+    args = parser.parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

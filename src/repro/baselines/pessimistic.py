@@ -1,0 +1,30 @@
+"""The pessimistic baseline: plain blocking execution.
+
+This is just the reference interpreter given a benchmark-friendly entry
+point, so harnesses can treat "pessimistic" as one more system alongside
+"optimistic", "pipelining" and "timewarp".
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from repro.csp.process import Program
+from repro.csp.sequential import SequentialResult, SequentialSystem
+from repro.sim.network import LatencyModel
+
+
+def run_pessimistic(
+    programs: Iterable[Program],
+    latency_model: Optional[LatencyModel] = None,
+    *,
+    sinks: Iterable[str] = (),
+    until: Optional[float] = None,
+) -> SequentialResult:
+    """Run ``programs`` (plus external ``sinks``) with blocking semantics."""
+    system = SequentialSystem(latency_model)
+    for program in programs:
+        system.add_program(program)
+    for sink in sinks:
+        system.add_sink(sink)
+    return system.run(until=until)

@@ -1,0 +1,5 @@
+"""Benchmark harness: sweeps, tables, and result emission."""
+
+from repro.bench.harness import Table, emit, geometric_mean
+
+__all__ = ["Table", "emit", "geometric_mean"]

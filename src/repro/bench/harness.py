@@ -1,0 +1,91 @@
+"""Table formatting and result emission for the experiment benches.
+
+Each benchmark regenerates one of the paper's figures (or one of its
+analytical claims) as a printed table and a text file under
+``benchmarks/results/``, so ``EXPERIMENTS.md`` can point at stable
+artifacts regardless of pytest's output capturing.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional, Sequence
+
+RESULTS_DIR = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.dirname(os.path.dirname(
+        os.path.abspath(__file__))))),
+    "benchmarks",
+    "results",
+)
+
+
+def _format_cell(value: Any) -> str:
+    if isinstance(value, float):
+        if value == float("inf"):
+            return "inf"
+        if abs(value) >= 1000 or (value != 0 and abs(value) < 0.01):
+            return f"{value:.3g}"
+        return f"{value:.2f}"
+    return str(value)
+
+
+@dataclass
+class Table:
+    """A printable experiment table."""
+
+    title: str
+    columns: Sequence[str]
+    rows: List[Sequence[Any]] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+
+    def add(self, *values: Any) -> None:
+        if len(values) != len(self.columns):
+            raise ValueError(
+                f"row has {len(values)} cells, table has {len(self.columns)} "
+                "columns"
+            )
+        self.rows.append(values)
+
+    def note(self, text: str) -> None:
+        self.notes.append(text)
+
+    def render(self) -> str:
+        cells = [[_format_cell(v) for v in row] for row in self.rows]
+        widths = [
+            max([len(str(c))] + [len(row[i]) for row in cells])
+            for i, c in enumerate(self.columns)
+        ]
+        lines = [f"== {self.title} =="]
+        header = "  ".join(str(c).ljust(w) for c, w in zip(self.columns, widths))
+        lines.append(header)
+        lines.append("-" * len(header))
+        for row in cells:
+            lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+        for note in self.notes:
+            lines.append(f"note: {note}")
+        return "\n".join(lines)
+
+
+def emit(table: Table, filename: Optional[str] = None) -> str:
+    """Print the table and persist it under ``benchmarks/results/``."""
+    text = table.render()
+    print("\n" + text + "\n")
+    if filename is None:
+        slug = "".join(
+            ch if ch.isalnum() else "_" for ch in table.title.lower()
+        ).strip("_")
+        filename = f"{slug}.txt"
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, filename)
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(text + "\n")
+    return path
+
+
+def geometric_mean(values: Iterable[float]) -> float:
+    vals = [v for v in values if v > 0]
+    if not vals:
+        return 0.0
+    return math.exp(sum(math.log(v) for v in vals) / len(vals))

@@ -1,0 +1,148 @@
+"""Post-run analysis of protocol behaviour.
+
+Turns a run's protocol log and stats into the quantities the paper
+reasons about informally: how deep speculation ran, how long guesses
+stayed in doubt, how much work each abort destroyed, and where the
+completion time actually went.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+
+@dataclass
+class GuessLifetime:
+    """One guess's journey from fork to resolution."""
+
+    guess: str
+    process: str
+    site: str
+    forked_at: float
+    resolved_at: Optional[float] = None
+    outcome: Optional[str] = None        # committed | aborted
+    abort_reason: Optional[str] = None
+
+    @property
+    def in_doubt_for(self) -> Optional[float]:
+        if self.resolved_at is None:
+            return None
+        return self.resolved_at - self.forked_at
+
+
+def guess_lifetimes(protocol_log: List[dict]) -> List[GuessLifetime]:
+    """Extract every guess's fork→resolution interval from a run."""
+    lifetimes: Dict[str, GuessLifetime] = {}
+    for entry in protocol_log:
+        kind = entry["kind"]
+        if kind == "fork":
+            lifetimes[entry["guess"]] = GuessLifetime(
+                guess=entry["guess"], process=entry["process"],
+                site=entry.get("site", "?"), forked_at=entry["time"],
+            )
+        elif kind in ("commit", "abort"):
+            lt = lifetimes.get(entry["guess"])
+            if lt is not None and lt.resolved_at is None:
+                lt.resolved_at = entry["time"]
+                lt.outcome = ("committed" if kind == "commit" else "aborted")
+                if kind == "abort":
+                    lt.abort_reason = entry.get("reason")
+    return list(lifetimes.values())
+
+
+def speculation_depth_series(protocol_log: List[dict]) -> List[Tuple[float, int]]:
+    """(time, #guesses in doubt) step series over the run."""
+    deltas: List[Tuple[float, int]] = []
+    for entry in protocol_log:
+        if entry["kind"] == "fork":
+            deltas.append((entry["time"], +1))
+        elif entry["kind"] in ("commit", "abort"):
+            deltas.append((entry["time"], -1))
+    deltas.sort()
+    series: List[Tuple[float, int]] = []
+    depth = 0
+    for t, d in deltas:
+        depth += d
+        series.append((t, depth))
+    return series
+
+
+def max_speculation_depth(protocol_log: List[dict]) -> int:
+    series = speculation_depth_series(protocol_log)
+    return max((d for _, d in series), default=0)
+
+
+def abort_cascades(protocol_log: List[dict]) -> List[List[str]]:
+    """Group aborts that happened at the same instant in one process.
+
+    Each group is one §3.2 abort event: the named guess plus the nested
+    guesses its right-subtree destruction took down with it.
+    """
+    groups: Dict[Tuple[str, float], List[str]] = defaultdict(list)
+    for entry in protocol_log:
+        if entry["kind"] == "abort":
+            groups[(entry["process"], entry["time"])].append(entry["guess"])
+    return [v for _, v in sorted(groups.items())]
+
+
+def rollback_counts(protocol_log: List[dict]) -> Dict[str, int]:
+    """Rollbacks per process."""
+    counts: Dict[str, int] = defaultdict(int)
+    for entry in protocol_log:
+        if entry["kind"] == "rollback":
+            counts[entry["process"]] += 1
+    return dict(counts)
+
+
+@dataclass
+class RunSummary:
+    """One-glance analysis of an optimistic run."""
+
+    forks: int
+    commits: int
+    aborts: int
+    abort_reasons: Dict[str, int]
+    max_depth: int
+    mean_doubt_time: float
+    cascades: int
+    largest_cascade: int
+    rollbacks: Dict[str, int]
+
+    def lines(self) -> List[str]:
+        reasons = ", ".join(f"{k}={v}" for k, v in
+                            sorted(self.abort_reasons.items())) or "none"
+        return [
+            f"forks={self.forks} commits={self.commits} aborts={self.aborts}"
+            f" (reasons: {reasons})",
+            f"max speculation depth={self.max_depth}, mean time in doubt="
+            f"{self.mean_doubt_time:.2f}",
+            f"abort cascades={self.cascades} (largest {self.largest_cascade})",
+            f"rollbacks per process: {self.rollbacks or 'none'}",
+        ]
+
+
+def summarize(protocol_log: List[dict]) -> RunSummary:
+    """Build a :class:`RunSummary` from a run's protocol log."""
+    lifetimes = guess_lifetimes(protocol_log)
+    commits = sum(1 for lt in lifetimes if lt.outcome == "committed")
+    aborts = sum(1 for lt in lifetimes if lt.outcome == "aborted")
+    reasons: Dict[str, int] = defaultdict(int)
+    for lt in lifetimes:
+        if lt.abort_reason:
+            reasons[lt.abort_reason] += 1
+    doubts = [lt.in_doubt_for for lt in lifetimes
+              if lt.in_doubt_for is not None]
+    cascades = abort_cascades(protocol_log)
+    return RunSummary(
+        forks=len(lifetimes),
+        commits=commits,
+        aborts=aborts,
+        abort_reasons=dict(reasons),
+        max_depth=max_speculation_depth(protocol_log),
+        mean_doubt_time=(sum(doubts) / len(doubts)) if doubts else 0.0,
+        cascades=len(cascades),
+        largest_cascade=max((len(c) for c in cascades), default=0),
+        rollbacks=rollback_counts(protocol_log),
+    )

@@ -1,0 +1,122 @@
+"""Automatic plan synthesis from profiling runs (§2's mechanism, end to end).
+
+The paper assumes "some mechanism by which the compiler is told that it is
+desirable to parallelize S1 and S2 ... programmer supplied pragmas,
+run-time profiling, static analysis, or a combination".  This module is
+the run-time-profiling mechanism made concrete:
+
+1. :func:`instrument` wraps a program so each segment records the actual
+   values of its exports when it completes.
+2. The caller runs the instrumented program (typically under the
+   pessimistic interpreter) as many times as it likes.
+3. :func:`propose_plan` turns the recorded profile into a
+   :class:`~repro.csp.plan.ParallelizationPlan`: segments whose exports
+   were predictable above a confidence threshold get a fork with the
+   majority value as predictor; unpredictable segments stay sequential.
+"""
+
+from __future__ import annotations
+
+import copy
+from collections import Counter, defaultdict
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.csp.plan import ForkSpec, ParallelizationPlan
+from repro.csp.process import Program, Segment
+
+
+@dataclass
+class SegmentProfile:
+    """Observed export values of one segment across profiling runs."""
+
+    name: str
+    observations: List[Dict[str, Any]] = field(default_factory=list)
+
+    def runs(self) -> int:
+        return len(self.observations)
+
+    def majority_guess(self) -> Dict[str, Any]:
+        """Most frequent value per export key."""
+        counters: Dict[str, Counter] = defaultdict(Counter)
+        for obs in self.observations:
+            for key, value in obs.items():
+                counters[key][value] += 1
+        return {key: counts.most_common(1)[0][0]
+                for key, counts in counters.items()}
+
+    def confidence(self) -> float:
+        """P[the majority guess would have been exactly right], empirically."""
+        if not self.observations:
+            return 0.0
+        guess = self.majority_guess()
+        hits = sum(1 for obs in self.observations if obs == guess)
+        return hits / len(self.observations)
+
+
+@dataclass
+class Profile:
+    """All segment profiles of one program."""
+
+    program_name: str
+    segments: Dict[str, SegmentProfile] = field(default_factory=dict)
+
+    def segment(self, name: str) -> SegmentProfile:
+        prof = self.segments.get(name)
+        if prof is None:
+            prof = SegmentProfile(name)
+            self.segments[name] = prof
+        return prof
+
+
+def instrument(program: Program, profile: Profile) -> Program:
+    """A copy of ``program`` that records export values into ``profile``.
+
+    The wrapped segments behave identically; after each completes, the
+    current values of its exports are appended to the profile.
+    """
+    segments = []
+    for seg in program.segments:
+        def wrapped(state, _fn=seg.fn, _name=seg.name,
+                    _exports=tuple(seg.exports)):
+            yield from _fn(state)
+            profile.segment(_name).observations.append(
+                {k: copy.deepcopy(state.get(k)) for k in _exports}
+            )
+
+        segments.append(Segment(name=seg.name, fn=wrapped,
+                                exports=seg.exports, compute=seg.compute))
+    return Program(program.name, segments,
+                   initial_state=copy.deepcopy(program.initial_state))
+
+
+def propose_plan(
+    profile: Profile,
+    program: Program,
+    *,
+    min_confidence: float = 0.8,
+    min_runs: int = 1,
+    timeout: Optional[float] = None,
+) -> Tuple[ParallelizationPlan, Dict[str, float]]:
+    """Build a plan from a profile; returns (plan, per-segment confidence).
+
+    Only segments observed at least ``min_runs`` times whose majority
+    guess was exactly right in at least ``min_confidence`` of the runs are
+    forked; the final segment never is (nothing follows its join point).
+    """
+    plan = ParallelizationPlan()
+    confidences: Dict[str, float] = {}
+    last_segment = program.segments[-1].name
+    for seg in program.segments:
+        prof = profile.segments.get(seg.name)
+        if prof is None or prof.runs() < min_runs:
+            continue
+        conf = prof.confidence()
+        confidences[seg.name] = conf
+        if seg.name == last_segment or not seg.exports:
+            continue
+        if conf >= min_confidence:
+            plan.add(seg.name, ForkSpec(predictor=prof.majority_guess(),
+                                        timeout=timeout))
+    plan.validate(program)
+    return plan, confidences

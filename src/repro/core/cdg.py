@@ -1,0 +1,137 @@
+"""Commit dependency graph (§4.1.4, §4.2.6).
+
+A directed graph over guesses: an edge ``g -> h`` means "g's guess event
+precedes h's join" — i.e. ``h`` can only commit after ``g`` resolves.  Edges
+come from two sources: a local join whose left thread terminated with a
+non-empty guard, and received ``PRECEDENCE(h, Guard)`` control messages.
+
+A *cycle* is a violation of causality — a time fault (§2).  Every guess on
+the cycle must abort.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Set
+
+from repro.core.guess import GuessId
+
+
+class CommitDependencyGraph:
+    """Adjacency-set DAG over :class:`GuessId` with cycle extraction."""
+
+    def __init__(self) -> None:
+        self._succ: Dict[GuessId, Set[GuessId]] = {}
+        self._pred: Dict[GuessId, Set[GuessId]] = {}
+
+    # ------------------------------------------------------------- building
+
+    def _ensure(self, node: GuessId) -> None:
+        self._succ.setdefault(node, set())
+        self._pred.setdefault(node, set())
+
+    def add_node(self, node: GuessId) -> None:
+        """Ensure the guess is a node of the graph."""
+        self._ensure(node)
+
+    def has_node(self, node: GuessId) -> bool:
+        """True iff the guess is a node of the graph."""
+        return node in self._succ
+
+    def add_edge(self, src: GuessId, dst: GuessId) -> None:
+        """Record ``src`` precedes ``dst``."""
+        self._ensure(src)
+        self._ensure(dst)
+        self._succ[src].add(dst)
+        self._pred[dst].add(src)
+
+    def add_precedence(self, guess: GuessId, guard: Iterable[GuessId]) -> None:
+        """Apply ``PRECEDENCE(guess, guard)``: each guard member precedes it."""
+        for g in guard:
+            if g != guess:
+                self.add_edge(g, guess)
+
+    def remove_node(self, node: GuessId) -> None:
+        """Drop a resolved guess and its edges (§4.2.7)."""
+        if node not in self._succ:
+            return
+        for succ in self._succ.pop(node):
+            self._pred[succ].discard(node)
+        for pred in self._pred.pop(node):
+            self._succ[pred].discard(node)
+
+    # -------------------------------------------------------------- queries
+
+    def nodes(self) -> List[GuessId]:
+        """All nodes, sorted."""
+        return sorted(self._succ)
+
+    def successors(self, node: GuessId) -> Set[GuessId]:
+        """Guesses this node directly precedes."""
+        return set(self._succ.get(node, ()))
+
+    def predecessors(self, node: GuessId) -> Set[GuessId]:
+        """Guesses directly preceding this node."""
+        return set(self._pred.get(node, ()))
+
+    def descendants(self, node: GuessId) -> Set[GuessId]:
+        """All guesses reachable from ``node`` (excluding itself unless cyclic)."""
+        seen: Set[GuessId] = set()
+        stack = list(self._succ.get(node, ()))
+        while stack:
+            cur = stack.pop()
+            if cur in seen:
+                continue
+            seen.add(cur)
+            stack.extend(self._succ.get(cur, ()))
+        return seen
+
+    def cycle_through(self, node: GuessId) -> Optional[List[GuessId]]:
+        """A cycle containing ``node``, or ``None``.
+
+        Returns the node list of one such cycle (a path node → … → node).
+        """
+        if node not in self._succ:
+            return None
+        # DFS from node back to node.
+        stack: List[tuple] = [(node, iter(sorted(self._succ.get(node, ()))))]
+        path: List[GuessId] = [node]
+        on_path: Set[GuessId] = {node}
+        visited: Set[GuessId] = set()
+        while stack:
+            cur, it = stack[-1]
+            advanced = False
+            for nxt in it:
+                if nxt == node:
+                    return list(path)
+                if nxt in on_path or nxt in visited:
+                    continue
+                stack.append((nxt, iter(sorted(self._succ.get(nxt, ())))))
+                path.append(nxt)
+                on_path.add(nxt)
+                advanced = True
+                break
+            if not advanced:
+                stack.pop()
+                on_path.discard(path.pop())
+                visited.add(cur)
+        return None
+
+    def find_any_cycle(self) -> Optional[List[GuessId]]:
+        """Some cycle in the graph, or ``None`` (used by invariant tests)."""
+        for node in self.nodes():
+            cyc = self.cycle_through(node)
+            if cyc is not None:
+                return cyc
+        return None
+
+    def edge_count(self) -> int:
+        """Number of edges in the graph."""
+        return sum(len(s) for s in self._succ.values())
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        edges = [
+            f"{s.key()}->{d.key()}"
+            for s in sorted(self._succ)
+            for d in sorted(self._succ[s])
+        ]
+        return f"CDG({edges})"

@@ -1,0 +1,120 @@
+"""Commit guard sets (§4.1.2).
+
+A guard set is the set of uncommitted guesses a computation currently
+depends on.  The commit guard *predicate* is the conjunction of its members;
+an empty set is vacuously true — the computation is committed.
+
+Guard sets ride on every data message.  Their size is what experiment C4
+measures, so :meth:`GuardSet.tag_size` models the per-message overhead
+explicitly (one abstract unit per member).
+"""
+
+from __future__ import annotations
+
+from typing import AbstractSet, FrozenSet, Iterable, Iterator, Optional
+
+from repro.core.guess import GuessId
+
+
+class GuardSet:
+    """A mutable set of :class:`GuessId` with protocol-flavoured helpers."""
+
+    __slots__ = ("_guesses",)
+
+    def __init__(self, guesses: Iterable[GuessId] = ()) -> None:
+        self._guesses: set[GuessId] = set(guesses)
+
+    # ------------------------------------------------------------- set ops
+
+    def __contains__(self, g: GuessId) -> bool:
+        return g in self._guesses
+
+    def __iter__(self) -> Iterator[GuessId]:
+        return iter(sorted(self._guesses))
+
+    def __len__(self) -> int:
+        return len(self._guesses)
+
+    def __bool__(self) -> bool:
+        return bool(self._guesses)
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, GuardSet):
+            return self._guesses == other._guesses
+        if isinstance(other, (set, frozenset)):
+            return self._guesses == other
+        return NotImplemented
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        inner = ", ".join(g.key() for g in sorted(self._guesses))
+        return "{" + inner + "}"
+
+    def add(self, g: GuessId) -> None:
+        """Add a guess to the set."""
+        self._guesses.add(g)
+
+    def discard(self, g: GuessId) -> None:
+        """Remove a guess if present."""
+        self._guesses.discard(g)
+
+    def copy(self) -> "GuardSet":
+        """An independent copy of this guard set."""
+        return GuardSet(self._guesses)
+
+    def union(self, other: Iterable[GuessId]) -> "GuardSet":
+        """A new set with the given guesses added."""
+        return GuardSet(self._guesses | set(other))
+
+    def difference(self, other: Iterable[GuessId]) -> "GuardSet":
+        """A new set with the given guesses removed."""
+        return GuardSet(self._guesses - set(other))
+
+    def frozen(self) -> FrozenSet[GuessId]:
+        """An immutable snapshot of the members."""
+        return frozenset(self._guesses)
+
+    def members(self) -> set[GuessId]:
+        """A mutable copy of the member set."""
+        return set(self._guesses)
+
+    # ------------------------------------------------------ protocol helpers
+
+    def new_guards(self, incoming: AbstractSet[GuessId]) -> set[GuessId]:
+        """The paper's ``Newguards = Guard_m - Guard_x`` (§4.2.3)."""
+        return set(incoming) - self._guesses
+
+    def keys(self) -> FrozenSet[str]:
+        """String tags for trace recording."""
+        return frozenset(g.key() for g in self._guesses)
+
+    def tag_size(self) -> int:
+        """Abstract wire size of this guard tag (C4 overhead accounting)."""
+        return len(self._guesses)
+
+    def guesses_of(self, process: str) -> set[GuessId]:
+        """The members owned by one process."""
+        return {g for g in self._guesses if g.process == process}
+
+    def compressed(self) -> FrozenSet[GuessId]:
+        """One representative guess per (process, incarnation) — §4.1.2.
+
+        Within one incarnation, a dependence on ``x_{i,n}`` subsumes every
+        earlier index: if any of them aborts, incarnation truncation
+        implicitly aborts ``x_{i,n}`` too, so holders of the representative
+        roll back exactly when holders of the full set would.
+
+        The subsumption does NOT extend across incarnations: a guard can
+        transiently hold guesses from two incarnations of one process
+        (the abort separating them not yet known here), and the newer
+        incarnation's guess says nothing about the older one's fate —
+        collapsing them to a single representative loses a real
+        dependency (found by randomized search).  Hence one entry per
+        incarnation, not one per process.
+        """
+        latest: dict[tuple, GuessId] = {}
+        for g in self._guesses:
+            key = (g.process, g.incarnation)
+            cur = latest.get(key)
+            if cur is None or g.index > cur.index:
+                latest[key] = g
+        return frozenset(latest.values())

@@ -1,0 +1,74 @@
+"""Guess identifiers and incarnation bookkeeping (§4.1.2, §4.1.5).
+
+A guess ``x_{i,n}`` is identified by the owning process, an *incarnation
+number* ``i`` and a *thread index* ``n``.  The incarnation number is
+incremented every time the process aborts one of its own threads, and the
+thread index is reset to the index of the aborted thread — so identifier
+pairs never collide even though indices are reused across incarnations.
+
+The :class:`IncarnationTable` records where each incarnation starts, which
+lets any process infer *implicit aborts*: guess ``(i, n)`` is dead as soon
+as some later incarnation ``i' > i`` is known to start at an index
+``<= n`` (the paper's example: if incarnation 2 begins at index 3, receipt
+of ``C_{2,3}`` is an implicit abort of ``x_{1,3}``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+
+@dataclass(frozen=True, order=True)
+class GuessId:
+    """Identifier of one optimistic guess ``x_{incarnation, index}``."""
+
+    process: str
+    incarnation: int
+    index: int
+
+    def key(self) -> str:
+        """Stable string form used in trace tags and debug output."""
+        return f"{self.process}:i{self.incarnation}.n{self.index}"
+
+    def __str__(self) -> str:  # pragma: no cover - debug aid
+        return self.key()
+
+
+class IncarnationTable:
+    """Incarnation start indices for one remote (or local) process.
+
+    ``starts[i]`` is the thread index at which incarnation ``i`` began.
+    Incarnation 0 implicitly starts at index 0.
+    """
+
+    def __init__(self) -> None:
+        self.starts: Dict[int, int] = {0: 0}
+
+    def learn_start(self, incarnation: int, index: int) -> None:
+        """Record that ``incarnation`` starts at ``index``.
+
+        Conflicting information keeps the smaller start (the earliest point
+        at which the incarnation is known to have begun is the truth; a
+        larger reported start can only come from stale inference).
+        """
+        cur = self.starts.get(incarnation)
+        if cur is None or index < cur:
+            self.starts[incarnation] = index
+
+    def learn_abort(self, guess: GuessId) -> None:
+        """An abort of ``x_{i,n}`` starts incarnation ``i+1`` at index ``n``."""
+        self.learn_start(guess.incarnation + 1, guess.index)
+
+    def implicitly_aborted(self, guess: GuessId) -> bool:
+        """True if a known later incarnation truncates this guess's index."""
+        for inc, start in self.starts.items():
+            if inc > guess.incarnation and start <= guess.index:
+                return True
+        return False
+
+    def max_known_incarnation(self) -> int:
+        return max(self.starts)
+
+    def start_of(self, incarnation: int) -> Optional[int]:
+        return self.starts.get(incarnation)

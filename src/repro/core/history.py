@@ -1,0 +1,143 @@
+"""Commit histories (§4.1.5) and the per-process view of the system.
+
+Each process maintains, for every peer it has heard about, the resolution
+status of that peer's guesses plus the peer's incarnation start table.
+``SystemView`` is that collection; every status question the runtime asks
+("is this message an orphan?", "is this guard set fully committed?") goes
+through it so the implicit-abort and implicit-commit inference rules live in
+exactly one place:
+
+* ``COMMIT(x_{i,n})`` implies commit of every earlier index of the same
+  incarnation (left threads join in order), and — via the incarnation start
+  table — implicit *abort* of truncated guesses of earlier incarnations.
+* ``ABORT(x_{i,n})`` starts incarnation ``i+1`` at index ``n``, implicitly
+  aborting every ``x_{i,m}`` with ``m >= n``.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, Iterable, Optional
+
+from repro.core.guess import GuessId, IncarnationTable
+
+
+class GuessStatus(enum.Enum):
+    """Resolution state of a guess, from this process's point of view."""
+
+    PENDING = "pending"      # in doubt, no news
+    UNKNOWN = "unknown"      # a PRECEDENCE arrived: resolution in progress
+    COMMITTED = "committed"
+    ABORTED = "aborted"
+
+    @property
+    def resolved(self) -> bool:
+        return self in (GuessStatus.COMMITTED, GuessStatus.ABORTED)
+
+
+class PeerView:
+    """History + incarnation table for one peer process."""
+
+    def __init__(self, process: str) -> None:
+        self.process = process
+        self.incarnations = IncarnationTable()
+        #: explicit resolutions: (incarnation, index) -> status
+        self._explicit: Dict[tuple, GuessStatus] = {}
+        #: highest committed index per incarnation (commit implication)
+        self._committed_upto: Dict[int, int] = {}
+
+    # ------------------------------------------------------------- updates
+
+    def note_commit(self, guess: GuessId) -> None:
+        """Record an explicit COMMIT of the guess."""
+        self._explicit[(guess.incarnation, guess.index)] = GuessStatus.COMMITTED
+        cur = self._committed_upto.get(guess.incarnation)
+        if cur is None or guess.index > cur:
+            self._committed_upto[guess.incarnation] = guess.index
+        # A commit of incarnation i proves incarnation i is live; anything
+        # this peer told us about later incarnations still stands (commits
+        # of dead guesses are impossible, so no conflict can arise).
+
+    def note_abort(self, guess: GuessId) -> None:
+        """Record an explicit ABORT (starts the next incarnation)."""
+        self._explicit[(guess.incarnation, guess.index)] = GuessStatus.ABORTED
+        self.incarnations.learn_abort(guess)
+
+    def note_unknown(self, guess: GuessId) -> None:
+        """Record that a PRECEDENCE put the guess in doubt."""
+        key = (guess.incarnation, guess.index)
+        if self._explicit.get(key) not in (
+            GuessStatus.COMMITTED,
+            GuessStatus.ABORTED,
+        ):
+            self._explicit[key] = GuessStatus.UNKNOWN
+
+    # -------------------------------------------------------------- queries
+
+    def status(self, guess: GuessId) -> GuessStatus:
+        """Resolution status, including implicit inference (§4.1.5)."""
+        if self.incarnations.implicitly_aborted(guess):
+            return GuessStatus.ABORTED
+        explicit = self._explicit.get((guess.incarnation, guess.index))
+        if explicit in (GuessStatus.COMMITTED, GuessStatus.ABORTED):
+            return explicit
+        upto = self._committed_upto.get(guess.incarnation)
+        start = self.incarnations.start_of(guess.incarnation)
+        if (
+            upto is not None
+            and guess.index <= upto
+            and (start is None or guess.index >= start)
+        ):
+            return GuessStatus.COMMITTED
+        return explicit if explicit is not None else GuessStatus.PENDING
+
+
+class SystemView:
+    """All peer views held by one process."""
+
+    def __init__(self) -> None:
+        self._peers: Dict[str, PeerView] = {}
+
+    def peer(self, process: str) -> PeerView:
+        """The (lazily created) view of one peer process."""
+        view = self._peers.get(process)
+        if view is None:
+            view = PeerView(process)
+            self._peers[process] = view
+        return view
+
+    def status(self, guess: GuessId) -> GuessStatus:
+        """Resolution status via the owning peer's view."""
+        return self.peer(guess.process).status(guess)
+        """Resolution status via the owning peer's view."""
+
+    def is_committed(self, guess: GuessId) -> bool:
+        """True iff the guess is known committed."""
+        return self.status(guess) is GuessStatus.COMMITTED
+
+    def is_aborted(self, guess: GuessId) -> bool:
+        """True iff the guess is known aborted (explicitly or implicitly)."""
+        return self.status(guess) is GuessStatus.ABORTED
+
+    def any_aborted(self, guesses: Iterable[GuessId]) -> Optional[GuessId]:
+        """First aborted guess among ``guesses`` (the orphan test, §4.2.3)."""
+        for g in sorted(guesses):
+            if self.is_aborted(g):
+                return g
+        return None
+
+    def all_committed(self, guesses: Iterable[GuessId]) -> bool:
+        """True iff every listed guess is known committed."""
+        return all(self.is_committed(g) for g in guesses)
+
+    def note_commit(self, guess: GuessId) -> None:
+        """Record an explicit COMMIT with the owning peer's view."""
+        self.peer(guess.process).note_commit(guess)
+
+    def note_abort(self, guess: GuessId) -> None:
+        """Record an explicit ABORT with the owning peer's view."""
+        self.peer(guess.process).note_abort(guess)
+
+    def note_unknown(self, guess: GuessId) -> None:
+        """Record an in-doubt (PRECEDENCE) marker with the peer's view."""
+        self.peer(guess.process).note_unknown(guess)

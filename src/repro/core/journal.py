@@ -1,0 +1,114 @@
+"""Thread journals: the log that makes rollback possible (§3.1).
+
+Every effect a thread performs appends one *slot* to its journal.  Rollback
+to position ``p`` truncates the journal to its first ``p`` slots and
+re-executes the thread from its initial state, *replaying* the retained
+slots: logged results are served back to the generator, already-performed
+sends are suppressed, and compute time is either re-charged (REPLAY policy)
+or skipped in favour of a fixed restore cost (EAGER_COPY policy).
+
+The replay contract is checked slot-by-slot: each re-yielded effect must
+match the logged signature, otherwise the user program is nondeterministic
+and :class:`~repro.errors.DeterminismError` is raised.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, List, Optional, Tuple
+
+from repro.errors import DeterminismError
+
+# Slot kinds.
+SEND = "send"        # a performed message send (request, reply, or one-way)
+RESULT = "result"    # a nondeterministic result (reply value, request, time)
+COMPUTE = "compute"  # consumed virtual CPU time
+FORK = "fork"        # a fork performed at a segment boundary
+EMIT = "emit"        # an external emission (buffered or released)
+JOIN = "join"        # join outcome that spawned a continuation thread
+
+
+@dataclass
+class Slot:
+    """One journal entry.
+
+    ``signature`` identifies the effect for determinism checking; the other
+    fields depend on the kind (see module docstring).
+    """
+
+    kind: str
+    signature: Tuple
+    result: Any = None
+    envelope: Any = None            # consumed DataEnvelope (RESULT of a message)
+    duration: float = 0.0           # COMPUTE
+    porder: Tuple[int, int] = (0, 0)
+    data: Any = None                # kind-specific extras (call_id, child id...)
+
+
+class Journal:
+    """Ordered slots plus the replay cursor."""
+
+    def __init__(self) -> None:
+        self.slots: List[Slot] = []
+        self.cursor = 0  # == len(slots) when live; < len(slots) when replaying
+
+    # ------------------------------------------------------------ recording
+
+    @property
+    def live(self) -> bool:
+        return self.cursor >= len(self.slots)
+
+    @property
+    def position(self) -> int:
+        """Current logical position (slots completed so far)."""
+        return self.cursor
+
+    def append(self, slot: Slot) -> Slot:
+        """Record a new slot (live mode only)."""
+        assert self.live, "cannot append while replaying"
+        self.slots.append(slot)
+        self.cursor = len(self.slots)
+        return slot
+
+    # -------------------------------------------------------------- replay
+
+    def begin_replay(self, position: int) -> List[Slot]:
+        """Truncate to ``position`` and rewind the cursor.
+
+        Returns the discarded suffix so the caller can requeue consumed
+        messages, destroy forked children, and drop buffered emissions.
+        """
+        if position < 0:
+            position = 0
+        discarded = self.slots[position:]
+        del self.slots[position:]
+        self.cursor = 0
+        return discarded
+
+    def next_replay_slot(self) -> Optional[Slot]:
+        """The slot the next replayed effect must match, or None if live."""
+        if self.cursor < len(self.slots):
+            return self.slots[self.cursor]
+        return None
+
+    def consume_replay_slot(self, expected_kind: str, signature: Tuple) -> Slot:
+        """Advance the cursor over one replayed slot, checking determinism."""
+        slot = self.next_replay_slot()
+        if slot is None:
+            raise DeterminismError("replay cursor ran past the journal")
+        if slot.kind != expected_kind or slot.signature != signature:
+            raise DeterminismError(
+                f"replay diverged: journal has {slot.kind}{slot.signature!r}, "
+                f"program produced {expected_kind}{signature!r}"
+            )
+        self.cursor += 1
+        return slot
+
+    # -------------------------------------------------------------- queries
+
+    def slots_after(self, position: int) -> List[Slot]:
+        """The slots at or after ``position`` (no truncation)."""
+        return self.slots[position:]
+
+    def __len__(self) -> int:
+        return len(self.slots)

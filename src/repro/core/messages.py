@@ -1,0 +1,74 @@
+"""Wire messages of the optimistic protocol (§4.2).
+
+Data messages are the CSP payloads wrapped in an envelope carrying the
+sender's commit guard set.  Control messages — COMMIT, ABORT, PRECEDENCE —
+are broadcast (the paper's simplifying assumption, §4.2.5) and drive the
+history/CDG machinery on every process.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, FrozenSet, Tuple
+
+from repro.core.guess import GuessId
+
+_envelope_ids = itertools.count(1)
+
+
+@dataclass
+class DataEnvelope:
+    """A CSP payload tagged with the sending computation's guard set.
+
+    ``porder`` is the sender-side program-order stamp of the send event, and
+    ``trace_data`` the trace-visible data values — both carried so the
+    receiver side can reproduce trace bookkeeping without peeking into
+    payload internals.
+    """
+
+    src: str
+    dst: str
+    payload: Any
+    guard: FrozenSet[GuessId]
+    size: int = 1
+    msg_id: int = field(default_factory=lambda: next(_envelope_ids))
+
+    def guard_keys(self) -> FrozenSet[str]:
+        return frozenset(g.key() for g in self.guard)
+
+    def wire_size(self) -> int:
+        """Payload size plus one unit per guard tag (C4 accounting)."""
+        return self.size + len(self.guard)
+
+
+@dataclass(frozen=True)
+class CommitMsg:
+    """``COMMIT(x_n)``: the guess resolved true (§4.2.7)."""
+
+    guess: GuessId
+
+
+@dataclass(frozen=True)
+class AbortMsg:
+    """``ABORT(x_n)``: the guess resolved false (§4.2.8)."""
+
+    guess: GuessId
+
+
+@dataclass(frozen=True)
+class PrecedenceMsg:
+    """``PRECEDENCE(x_n, Guard)``: every guard member precedes ``x_n`` (§4.2.6)."""
+
+    guess: GuessId
+    guard: FrozenSet[GuessId]
+
+
+ControlMsg = (CommitMsg, AbortMsg, PrecedenceMsg)
+
+
+def control_size(msg: Any) -> int:
+    """Abstract wire size of a control message."""
+    if isinstance(msg, PrecedenceMsg):
+        return 1 + len(msg.guard)
+    return 1

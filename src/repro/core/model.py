@@ -1,0 +1,109 @@
+"""Analytic performance model of call streaming.
+
+The paper argues qualitatively when the transformation pays; this module
+makes the argument quantitative so the simulator can be validated against
+closed forms (experiment C8).
+
+Setting: one client issues ``N`` calls round-robin over ``M`` servers with
+one-way latency ``L``, per-request service time ``s``, per-segment think
+time ``c`` (spent *before* each call), and per-fork overhead ``f``.
+
+* Blocking: calls serialize, nothing queues:
+  ``T_seq = N * (c + 2L + s)``.
+* Streaming, all guesses commit: every call is dispatched by its own
+  thread (thread k starts after k fork overheads, thinks in parallel);
+  all requests land on the servers together (f = 0), so server queueing
+  is what staggers the replies.  Call k (1-indexed) sits at position
+  ``ceil(k / M)`` on its server:
+  ``T_k = (k-1)·f + c + 2L + s·ceil(k/M)`` and ``T_stream = T_N``.
+* Stop-on-failure with independent per-call failure probability ``p``:
+  the chain's committed completion is the reply time of the *last
+  executed* call (the failing one included — its reply proves the
+  failure), giving the expectations below.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List
+
+
+def reply_time(k: int, latency: float, service: float,
+               think: float = 0.0, fork_cost: float = 0.0,
+               n_servers: int = 1) -> float:
+    """Arrival time of call ``k``'s reply (1-indexed) under streaming."""
+    if k <= 0:
+        return 0.0
+    queue_position = math.ceil(k / max(n_servers, 1))
+    return ((k - 1) * fork_cost + think + 2 * latency
+            + service * queue_position)
+
+
+def t_sequential(n_calls: int, latency: float, service: float,
+                 think: float = 0.0) -> float:
+    """Blocking completion time for an all-success chain."""
+    return n_calls * (think + 2 * latency + service)
+
+
+def t_streamed(n_calls: int, latency: float, service: float,
+               think: float = 0.0, fork_cost: float = 0.0,
+               n_servers: int = 1) -> float:
+    """Streamed completion time when every guess commits."""
+    return reply_time(n_calls, latency, service, think, fork_cost, n_servers)
+
+
+def speedup(n_calls: int, latency: float, service: float,
+            think: float = 0.0, fork_cost: float = 0.0,
+            n_servers: int = 1) -> float:
+    seq = t_sequential(n_calls, latency, service, think)
+    opt = t_streamed(n_calls, latency, service, think, fork_cost, n_servers)
+    return seq / opt if opt > 0 else float("inf")
+
+
+def crossover_latency(n_calls: int, service: float, think: float,
+                      fork_cost: float, n_servers: int = 1) -> float:
+    """Latency above which streaming beats blocking (all-success).
+
+    Solves ``t_streamed(L) = t_sequential(L)`` for L; below it the fork
+    overhead and queueing outweigh the overlap (the C1 "NO" region).
+    """
+    if n_calls <= 1:
+        return float("inf")
+    queue = math.ceil(n_calls / max(n_servers, 1))
+    num = ((n_calls - 1) * fork_cost + service * queue
+           - n_calls * (think + service) + think)
+    return max(0.0, num / (2 * (n_calls - 1)))
+
+
+def stop_length_distribution(n_calls: int, p_fail: float) -> List[float]:
+    """P[chain executes exactly k calls], k = 1..N (stop-on-failure)."""
+    probs = []
+    q = 1.0 - p_fail
+    for k in range(1, n_calls + 1):
+        if k < n_calls:
+            probs.append((q ** (k - 1)) * p_fail)
+        else:
+            probs.append(q ** (n_calls - 1))
+    return probs
+
+
+def expected_sequential(n_calls: int, latency: float, service: float,
+                        p_fail: float, think: float = 0.0) -> float:
+    """Expected blocking completion under stop-on-failure."""
+    per_call = think + 2 * latency + service
+    return sum(
+        prob * k * per_call
+        for k, prob in enumerate(stop_length_distribution(n_calls, p_fail),
+                                 start=1)
+    )
+
+
+def expected_streamed(n_calls: int, latency: float, service: float,
+                      p_fail: float, think: float = 0.0,
+                      fork_cost: float = 0.0, n_servers: int = 1) -> float:
+    """Expected streamed (committed) completion under stop-on-failure."""
+    return sum(
+        prob * reply_time(k, latency, service, think, fork_cost, n_servers)
+        for k, prob in enumerate(stop_length_distribution(n_calls, p_fail),
+                                 start=1)
+    )

@@ -1,0 +1,1050 @@
+"""Per-process optimistic runtime: the protocol of §3.2 and §4.2.
+
+One :class:`ProcessRuntime` owns all threads of one process, its message
+pool, its view of every peer's commit history, its commit dependency graph,
+and its buffered external output.  It implements:
+
+* fork (§4.2.1) with predictor, timeout, and the right-branching structure;
+* guard tagging on sends (§4.2.2) and guard acquisition + orphan testing on
+  arrival (§4.2.3), with the fewest-new-dependencies delivery heuristic;
+* join evaluation (§4.2.5): value fault, self-cycle time fault, immediate
+  commit, or the PRECEDENCE protocol (§4.2.6);
+* COMMIT/ABORT processing (§4.2.7/§4.2.8) including rollback of dependent
+  threads to their ``Rollbacks[g]`` positions;
+* incarnation numbering on local aborts (§4.1.2) and output commit for
+  external messages (§3.2).
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Set, Tuple
+
+from repro.errors import ProgramError, ProtocolError
+from repro.core.cdg import CommitDependencyGraph
+from repro.core.config import ControlPlane, DeliveryHeuristic, OptimisticConfig
+from repro.core.guards import GuardSet
+from repro.core.guess import GuessId
+from repro.core.history import GuessStatus, SystemView
+from repro.core.journal import FORK, JOIN, RESULT, SEND, Slot
+from repro.core.messages import (
+    AbortMsg,
+    CommitMsg,
+    DataEnvelope,
+    PrecedenceMsg,
+    control_size,
+)
+from repro.core.thread import OptimisticThread, ThreadStatus
+from repro.csp.effects import Call, Emit, Reply, Send
+from repro.csp.payloads import CallRequest, CallResponse, OneWay, Request
+from repro.csp.plan import ForkSpec, ParallelizationPlan
+from repro.csp.process import Program
+
+
+@dataclass
+class GuessRecord:
+    """Local bookkeeping for one of our own guesses."""
+
+    guess: GuessId
+    site: str                       # guessed segment name (S1)
+    site_seg: int                   # its index
+    range_end: int                  # right thread's segment range end
+    spec: ForkSpec
+    guessed: Dict[str, Any]
+    left_tid: int
+    right_tid: int
+    status: str = "pending"         # pending | committed | aborted
+    continuation_tid: Optional[int] = None
+    timer: Any = None
+    fork_state: Optional[Dict[str, Any]] = None  # for strict_exports
+    last_precedence: Optional[frozenset] = None
+    #: True when a rollback of the forking thread discarded the FORK slot:
+    #: the (former) left thread re-executes the whole range itself, so no
+    #: continuation must ever be spawned for this record.
+    fork_undone: bool = False
+
+
+@dataclass
+class Emission:
+    """One buffered external output awaiting commit (§3.2)."""
+
+    emission_id: int
+    tid: int
+    sink: str
+    payload: Any
+    size: int
+    porder: Tuple[int, int]
+    pending: Set[GuessId]
+    released: bool = False
+    dropped: bool = False
+
+
+class ProcessRuntime:
+    """All optimistic-protocol state of one process."""
+
+    def __init__(
+        self,
+        system,  # OptimisticSystem
+        program: Program,
+        plan: Optional[ParallelizationPlan],
+        config: OptimisticConfig,
+    ) -> None:
+        self.system = system
+        self.name = program.name
+        self.program = program
+        self.plan = plan or ParallelizationPlan()
+        self.plan.validate(program)
+        self.config = config
+        self.scheduler = system.scheduler
+        self.stats = system.stats
+        self.recorder = system.recorder
+
+        self.view = SystemView()
+        self.cdg = CommitDependencyGraph()
+        self.threads: Dict[int, OptimisticThread] = {}
+        self.children: Dict[int, List[int]] = {}
+        self._next_tid = 0
+        self.incarnation = 0
+        self.next_fork_index = 0
+        self.records: Dict[GuessId, GuessRecord] = {}
+        self.pool: List[DataEnvelope] = []
+        self.emissions: List[Emission] = []
+        self._next_emission_id = 0
+        self.site_attempts: Dict[str, int] = {}
+        #: §4.2.5 targeted mode: who we made dependent on each guess by
+        #: sending them a message tagged with it.
+        self.dependents: Dict[GuessId, Set[str]] = {}
+        self._control_relayed: Set[Tuple[str, GuessId]] = set()
+        self.tentative_completion: Optional[float] = None
+        self.committed_completion: Optional[float] = None
+        self._in_sweep = False
+        self._sweep_again = False
+        self._in_dispatch = False
+        self._dispatch_again = False
+
+    # ------------------------------------------------------------ lifecycle
+
+    def start(self) -> None:
+        """Create and launch the process's main thread."""
+        main = self._create_thread(
+            seg_start=0,
+            seg_end=len(self.program.segments),
+            state=copy.deepcopy(self.program.initial_state),
+            guard=GuardSet(),
+        )
+        self.scheduler.at(0.0, main.start, label=f"start {self.name}")
+
+    def _create_thread(
+        self,
+        seg_start: int,
+        seg_end: int,
+        state: Dict[str, Any],
+        guard: GuardSet,
+        inherited_rollbacks: Optional[Dict[GuessId, int]] = None,
+    ) -> OptimisticThread:
+        tid = self._next_tid
+        self._next_tid += 1
+        thread = OptimisticThread(
+            runtime=self,
+            tid=tid,
+            seg_start=seg_start,
+            seg_end=seg_end,
+            state=state,
+            guard=guard,
+            inherited_rollbacks=inherited_rollbacks,
+        )
+        self.threads[tid] = thread
+        self.children[tid] = []
+        return thread
+
+    def log_event(self, kind: str, **detail: Any) -> None:
+        """Record one protocol event for this process."""
+        self.system.log_protocol_event(self.name, kind, detail)
+
+    # ----------------------------------------------------------------- fork
+
+    def maybe_fork(self, thread: OptimisticThread, seg_idx: int) -> bool:
+        """Fork at the boundary where ``thread`` is about to run ``seg_idx``.
+
+        On success ``thread`` becomes the left thread (caller shrinks its
+        range) and a right thread takes the continuation under a new guess.
+        """
+        seg = self.program.segments[seg_idx]
+        spec = self.plan.fork_for(seg.name)
+        if spec is None:
+            return False
+        if self.site_attempts.get(seg.name, 0) >= self.config.max_optimistic_retries:
+            self.stats.incr("opt.fork_fallback_pessimistic")
+            self.log_event("fork_fallback", site=seg.name)
+            return False
+        if thread.own_guess is not None:
+            raise ProtocolError(
+                f"{self.name}.t{thread.tid} already guards {thread.own_guess}"
+            )
+
+        guess = GuessId(self.name, self.incarnation, self.next_fork_index)
+        self.next_fork_index += 1
+        guessed = spec.predict(thread.state)
+        missing = [k for k in guessed if k not in seg.exports]
+        if missing:
+            raise ProgramError(
+                f"predictor for segment {seg.name!r} guesses non-exported "
+                f"keys {missing}; exports are {seg.exports}"
+            )
+        right_state = copy.deepcopy(thread.state)
+        right_state.update(copy.deepcopy(guessed))
+        right_guard = thread.guard.copy()
+        right_guard.add(guess)
+        inherited = {g: 0 for g in right_guard}
+
+        prev_end = thread.seg_end
+        right = self._create_thread(
+            seg_start=seg_idx + 1,
+            seg_end=prev_end,
+            state=right_state,
+            guard=right_guard,
+            inherited_rollbacks=inherited,
+        )
+        record = GuessRecord(
+            guess=guess,
+            site=seg.name,
+            site_seg=seg_idx,
+            range_end=prev_end,
+            spec=spec,
+            guessed=guessed,
+            left_tid=thread.tid,
+            right_tid=right.tid,
+            fork_state=(
+                copy.deepcopy(thread.state) if self.config.strict_exports else None
+            ),
+        )
+        self.records[guess] = record
+        thread.own_guess = guess
+        thread.journal.append(
+            Slot(kind=FORK, signature=("fork", seg_idx),
+                 data=(right.tid, guess, prev_end))
+        )
+        self.children[thread.tid].append(right.tid)
+
+        timeout = spec.timeout if spec.timeout is not None else (
+            self.config.default_fork_timeout
+        )
+        record.timer = self.scheduler.timer(
+            timeout,
+            lambda: self._on_fork_timeout(guess),
+            label=f"{self.name}.{guess.key()}.timeout",
+        )
+        overhead = self.config.fork_overhead(spec.copy_state)
+        # Track the start event so destroying the thread before it launches
+        # cancels the launch (no zombie threads).
+        right._pending_event = self.scheduler.after(
+            overhead, right.start, label=f"start {self.name}.t{right.tid}"
+        )
+        self.stats.incr("opt.forks")
+        self.log_event("fork", guess=guess.key(), site=seg.name,
+                       left=thread.tid, right=right.tid)
+        return True
+
+    def _on_fork_timeout(self, guess: GuessId) -> None:
+        record = self.records[guess]
+        if record.status != "pending":
+            return
+        self.stats.incr("opt.aborts.timeout")
+        self.log_event("timeout_abort", guess=guess.key())
+        self.abort_own([record], reason="timeout")
+
+    # ------------------------------------------------------------- sending
+
+    def _guard_tag(self, thread: OptimisticThread) -> frozenset:
+        if self.config.compress_guards:
+            return thread.guard.compressed()
+        return thread.guard.frozen()
+
+    def send_call(self, thread: OptimisticThread, effect: Call, call_id) -> None:
+        """Send a call request tagged with the thread's guard."""
+        payload = CallRequest(
+            op=effect.op, args=tuple(effect.args), call_id=call_id,
+            reply_to=self.name, size=effect.size,
+        )
+        self._send_data(thread, effect.dst, payload,
+                        ("call", effect.op, tuple(effect.args)), effect.size)
+
+    def send_oneway(self, thread: OptimisticThread, effect: Send) -> None:
+        """Send a one-way message tagged with the thread's guard."""
+        payload = OneWay(op=effect.op, args=tuple(effect.args), size=effect.size)
+        self._send_data(thread, effect.dst, payload,
+                        ("send", effect.op, tuple(effect.args)), effect.size)
+
+    def send_reply(self, thread: OptimisticThread, req: Request,
+                   effect: Reply) -> None:
+        """Send a call reply tagged with the thread's guard."""
+        payload = CallResponse(call_id=req.call_id, value=effect.value,
+                               op=req.op, size=effect.size)
+        self._send_data(thread, req.reply_to, payload,
+                        ("reply", req.op, effect.value), effect.size)
+
+    def _send_data(self, thread: OptimisticThread, dst: str, payload: Any,
+                   trace_data: Tuple, size: int) -> None:
+        envelope = DataEnvelope(
+            src=self.name, dst=dst, payload=payload,
+            guard=self._guard_tag(thread), size=size,
+        )
+        for g in envelope.guard:
+            self.dependents.setdefault(g, set()).add(dst)
+        self.recorder.record_send(
+            self.name, dst, trace_data, self.scheduler.now,
+            guards=envelope.guard_keys(), porder=thread.porder(),
+        )
+        self.stats.incr("opt.guard_tag_units", len(envelope.guard))
+        self.system.send_data(envelope)
+
+    def record_recv(self, thread: OptimisticThread, src: str,
+                    trace_data: Tuple, porder: Tuple[int, int]) -> None:
+        """Record a consumption in the trace, tagged with the guard."""
+        self.recorder.record_recv(
+            src, self.name, trace_data, self.scheduler.now,
+            guards=thread.guard.keys(), porder=porder,
+        )
+
+    # ------------------------------------------------------------ emissions
+
+    def emit(self, thread: OptimisticThread, effect: Emit,
+             porder: Tuple[int, int]) -> int:
+        """External output: release now or buffer until commit (§3.2)."""
+        if effect.sink not in self.system.sinks:
+            raise ProgramError(f"{self.name}: Emit to unknown sink {effect.sink!r}")
+        self._next_emission_id += 1
+        emission = Emission(
+            emission_id=self._next_emission_id,
+            tid=thread.tid,
+            sink=effect.sink,
+            payload=effect.payload,
+            size=effect.size,
+            porder=porder,
+            pending={
+                g for g in thread.guard
+                if not self.view.is_committed(g)
+            },
+        )
+        self.recorder.record_external(
+            self.name, effect.sink, effect.payload, self.scheduler.now,
+            guards=thread.guard.keys(), porder=porder,
+        )
+        if emission.pending:
+            self.emissions.append(emission)
+            self.stats.incr("opt.emissions_buffered")
+        else:
+            self._release_emission(emission)
+        return emission.emission_id
+
+    def _release_emission(self, emission: Emission) -> None:
+        emission.released = True
+        self.system.network.send(
+            self.name, emission.sink, emission.payload, size=emission.size
+        )
+        self.stats.incr("opt.emissions_released")
+
+    def _drop_emission_by_id(self, emission_id: int) -> None:
+        for em in self.emissions:
+            if em.emission_id == emission_id:
+                if em.released:
+                    raise ProtocolError(
+                        f"{self.name}: rollback reached a released external "
+                        f"emission {emission_id} — output commit violated"
+                    )
+                em.dropped = True
+        self.emissions = [em for em in self.emissions if not em.dropped]
+
+    # -------------------------------------------------------- guard handling
+
+    def acquire_guards(self, thread: OptimisticThread, envelope: DataEnvelope,
+                       before_position: int) -> None:
+        """§4.2.3: extend the thread's guard with the message's new guards."""
+        new = []
+        for g in sorted(envelope.guard):
+            status = self.view.status(g)
+            if status is GuessStatus.COMMITTED:
+                continue
+            if status is GuessStatus.ABORTED:
+                raise ProtocolError(
+                    f"{self.name}: consuming orphan envelope {envelope.msg_id} "
+                    f"(guard member {g.key()} aborted)"
+                )
+            if g not in thread.guard:
+                new.append(g)
+        if new:
+            thread.interval += 1
+            for g in new:
+                thread.guard.add(g)
+                thread.rollbacks[g] = before_position
+            self.stats.incr("opt.guards_acquired", len(new))
+
+    def _is_orphan(self, envelope: DataEnvelope) -> bool:
+        return self.view.any_aborted(envelope.guard) is not None
+
+    def _pending_guards_of(self, envelope: DataEnvelope) -> Set[GuessId]:
+        return {
+            g for g in envelope.guard if not self.view.is_committed(g)
+        }
+
+    # ------------------------------------------------------ message arrival
+
+    def on_network(self, src: str, payload: Any) -> None:
+        """Network delivery entry point: control handling + orphan test (§4.2.3)."""
+        if isinstance(payload, CommitMsg):
+            self._handle_commit(payload, src)
+        elif isinstance(payload, AbortMsg):
+            self._handle_abort(payload, src)
+        elif isinstance(payload, PrecedenceMsg):
+            self._handle_precedence(payload)
+        elif isinstance(payload, DataEnvelope):
+            if self._is_orphan(payload):
+                self.stats.incr("opt.orphans_discarded")
+                self.log_event("orphan_discard", msg_id=payload.msg_id,
+                               src=payload.src)
+                return
+            self.pool.append(payload)
+            self.dispatch()
+        else:
+            raise ProtocolError(f"{self.name}: bad payload {payload!r}")
+
+    def on_thread_blocked(self, thread: OptimisticThread) -> None:
+        """A thread entered a blocked state: try to feed it from the pool."""
+        self.dispatch()
+
+    # ------------------------------------------------------------- dispatch
+
+    def dispatch(self) -> None:
+        """Deliver pool messages to eligible threads until a fixpoint."""
+        if self._in_dispatch:
+            self._dispatch_again = True
+            return
+        self._in_dispatch = True
+        try:
+            progress = True
+            while progress or self._dispatch_again:
+                self._dispatch_again = False
+                progress = self._dispatch_once()
+        finally:
+            self._in_dispatch = False
+
+    def _dispatch_once(self) -> bool:
+        for envelope in list(self.pool):
+            if envelope not in self.pool:
+                continue
+            if self._is_orphan(envelope):
+                self.pool.remove(envelope)
+                self.stats.incr("opt.orphans_discarded")
+                self.log_event("orphan_discard", msg_id=envelope.msg_id,
+                               src=envelope.src)
+                continue
+            if isinstance(envelope.payload, CallResponse):
+                if self._dispatch_reply(envelope):
+                    return True
+            else:
+                if self._dispatch_request(envelope):
+                    return True
+        return False
+
+    def _dispatch_reply(self, envelope: DataEnvelope) -> bool:
+        payload: CallResponse = envelope.payload
+        target = None
+        for t in self._threads_in_order():
+            if (
+                t.status is ThreadStatus.BLOCKED_CALL
+                and t.waiting_call_id == payload.call_id
+            ):
+                target = t
+                break
+        if target is None:
+            return False
+        # §4.2.3 early-abort: a reply that depends on the waiting thread's
+        # own (future) guess proves a causal cycle — abort it right away.
+        if self.config.early_reply_abort and target.own_guess is not None:
+            record = self.records.get(target.own_guess)
+            if (
+                record is not None
+                and record.status == "pending"
+                and target.own_guess in envelope.guard
+            ):
+                self.stats.incr("opt.aborts.time_fault")
+                self.log_event("early_reply_time_fault",
+                               guess=target.own_guess.key())
+                self.abort_own([record], reason="time_fault")
+                return True  # envelope is now an orphan; next pass drops it
+        # NOTE: the §3.3 pessimistic filter deliberately does NOT apply to
+        # call replies.  A reply is a forced move — the thread must consume
+        # exactly this message — so withholding it until its guards commit
+        # can deadlock: the reply may be guarded by this very process's
+        # downstream guesses, whose commits transitively wait on this
+        # thread's progress (found by randomized search).
+        self.pool.remove(envelope)
+        target.deliver_reply(envelope, payload.value, payload.op)
+        return True
+
+    def _dispatch_request(self, envelope: DataEnvelope) -> bool:
+        payload = envelope.payload
+        if isinstance(payload, CallRequest):
+            req = Request(src=envelope.src, op=payload.op, args=payload.args,
+                          call_id=payload.call_id, reply_to=payload.reply_to)
+        elif isinstance(payload, OneWay):
+            req = Request(src=envelope.src, op=payload.op, args=payload.args)
+        else:
+            raise ProtocolError(f"{self.name}: bad request payload {payload!r}")
+        eligible = [
+            t for t in self._threads_in_order()
+            if t.status is ThreadStatus.BLOCKED_RECV
+            and t.waiting_receive is not None
+            and (t.waiting_receive.ops is None or req.op in t.waiting_receive.ops)
+            and not (t.pessimistic and self._pending_guards_of(envelope))
+        ]
+        if not eligible:
+            return False
+        if self.config.delivery_heuristic is DeliveryHeuristic.MIN_NEW_DEPS:
+            target = min(
+                eligible,
+                key=lambda t: (len(t.guard.new_guards(envelope.guard)), t.tid),
+            )
+        else:
+            target = max(eligible, key=lambda t: t.tid)
+        self.pool.remove(envelope)
+        target.deliver_request(envelope, req)
+        return True
+
+    def _threads_in_order(self) -> List[OptimisticThread]:
+        return [self.threads[tid] for tid in sorted(self.threads)]
+
+    # ------------------------------------------------------------ join logic
+
+    def on_thread_finished(self, thread: OptimisticThread) -> None:
+        """A thread completed its segment range: join or completion handling."""
+        if thread.own_guess is not None:
+            self.evaluate_join(self.records[thread.own_guess])
+        else:
+            if thread.seg_end >= len(self.program.segments):
+                self.tentative_completion = self.scheduler.now
+                self.log_event("tentative_complete", tid=thread.tid)
+            self._check_completion()
+
+    def evaluate_join(self, record: GuessRecord) -> None:
+        """§4.2.5: the left thread of ``record`` has (re)terminated."""
+        left = self.threads[record.left_tid]
+        if not left.finished or left.status is not ThreadStatus.TERMINATED:
+            return
+        if record.timer is not None:
+            record.timer.cancel()
+        if record.status == "aborted":
+            self._spawn_continuation(record)
+            return
+        if record.status == "committed":
+            return
+
+        seg = self.program.segments[record.site_seg]
+        actual = {k: left.state.get(k) for k in seg.exports}
+        self._strict_exports_check(record, left, seg)
+
+        if not record.spec.verifier(record.guessed, actual):
+            self.stats.incr("opt.aborts.value_fault")
+            self.log_event("value_fault", guess=record.guess.key(),
+                           guessed=record.guessed, actual=actual)
+            self.abort_own([record], reason="value_fault")
+            return
+        if record.guess in left.guard:
+            # The left thread causally depends on its own fork: time fault.
+            self.stats.incr("opt.aborts.time_fault")
+            self.log_event("join_time_fault", guess=record.guess.key())
+            self.abort_own([record], reason="time_fault")
+            return
+        # Prune resolved guards before deciding.
+        self._prune_thread_guards(left)
+        if not left.guard:
+            self.commit_own(record)
+            return
+        # Unresolved foreign guesses: the PRECEDENCE protocol (§4.2.6).
+        snapshot = left.guard.frozen()
+        if record.last_precedence != snapshot:
+            record.last_precedence = snapshot
+            self.cdg.add_precedence(record.guess, snapshot)
+            self._emit_control(
+                PrecedenceMsg(guess=record.guess, guard=snapshot)
+            )
+            self.stats.incr("opt.precedence_sent")
+            self.log_event("precedence_sent", guess=record.guess.key(),
+                           guard=sorted(g.key() for g in snapshot))
+            self._check_own_cycles()
+
+    def _strict_exports_check(self, record: GuessRecord,
+                              left: OptimisticThread, seg) -> None:
+        if not self.config.strict_exports or record.fork_state is None:
+            return
+        for key, value in left.state.items():
+            if key in seg.exports:
+                continue
+            before = record.fork_state.get(key, _MISSING)
+            if before is _MISSING or before != value:
+                raise ProgramError(
+                    f"segment {seg.name!r} of {self.name!r} changed "
+                    f"non-exported state key {key!r}; add it to exports= "
+                    "or the continuation will run against a stale value"
+                )
+
+    def commit_own(self, record: GuessRecord) -> None:
+        """Commit one of our guesses and notify dependents (§4.2.7)."""
+        record.status = "committed"
+        if record.timer is not None:
+            record.timer.cancel()
+        self.view.note_commit(record.guess)
+        self.cdg.remove_node(record.guess)
+        self._emit_control(CommitMsg(guess=record.guess))
+        self.stats.incr("opt.commits")
+        self.log_event("commit", guess=record.guess.key())
+        self.resolve_sweep()
+
+    # ------------------------------------------------------------ own aborts
+
+    def abort_own(self, records: List[GuessRecord], reason: str) -> None:
+        """Abort our own guesses: destroy right subtrees, renumber, notify."""
+        to_abort: List[GuessRecord] = []
+        stack = list(records)
+        while stack:
+            record = stack.pop()
+            if record.status != "pending":
+                continue
+            record.status = "aborted"
+            if record.timer is not None:
+                record.timer.cancel()
+            to_abort.append(record)
+            for t in self._destroy_subtree(record.right_tid):
+                if t.own_guess is not None:
+                    nested = self.records.get(t.own_guess)
+                    if nested is not None and nested.status == "pending":
+                        stack.append(nested)
+        if not to_abort:
+            return
+
+        # §4.1.2: bump the incarnation, reset the index to the abort point.
+        self.incarnation += 1
+        reset_index = min(r.guess.index for r in to_abort)
+        self.next_fork_index = reset_index
+        self.view.peer(self.name).incarnations.learn_start(
+            self.incarnation, reset_index
+        )
+        for record in to_abort:
+            self.view.note_abort(record.guess)
+            self.recorder.mark_aborted(record.guess.key())
+            self.site_attempts[record.site] = (
+                self.site_attempts.get(record.site, 0) + 1
+            )
+            self._emit_control(AbortMsg(guess=record.guess))
+            self.stats.incr("opt.aborts")
+            self.log_event("abort", guess=record.guess.key(), reason=reason)
+        for record in to_abort:
+            self._rollback_for_abort(record.guess)
+            self.cdg.remove_node(record.guess)
+        self.resolve_sweep()
+        for record in to_abort:
+            left = self.threads.get(record.left_tid)
+            if (
+                left is not None
+                and left.status is ThreadStatus.TERMINATED
+                and left.finished
+            ):
+                self._spawn_continuation(record)
+
+    def _destroy_subtree(self, tid: int) -> List[OptimisticThread]:
+        """Destroy a thread and its descendants; requeue their clean inputs."""
+        thread = self.threads.get(tid)
+        if thread is None or thread.status is ThreadStatus.DESTROYED:
+            return []
+        destroyed = [thread]
+        thread.destroy()
+        # Requeue messages the dead thread had consumed so the re-execution
+        # can receive them again (orphans are filtered at dispatch).
+        self._requeue_consumed(thread.journal.slots)
+        kept = []
+        for em in self.emissions:
+            if em.tid == tid and not em.released:
+                em.dropped = True
+                self.stats.incr("opt.emissions_dropped")
+            else:
+                kept.append(em)
+        self.emissions = kept
+        for child in self.children.get(tid, []):
+            destroyed.extend(self._destroy_subtree(child))
+        self.stats.incr("opt.threads_destroyed")
+        return destroyed
+
+    def _abort_orphaned_records(self, destroyed: List[OptimisticThread],
+                                reason: str = "parent_rollback") -> None:
+        """Abort pending guesses whose left threads were just destroyed.
+
+        A destroyed left thread can never reach its join, so leaving its
+        guess pending would stall every dependent forever.
+        """
+        pending = []
+        for t in destroyed:
+            if t.own_guess is not None:
+                record = self.records.get(t.own_guess)
+                if record is not None and record.status == "pending":
+                    pending.append(record)
+        if pending:
+            self.abort_own(pending, reason=reason)
+
+    def _requeue_consumed(self, slots: List[Slot]) -> None:
+        requeued = [
+            s.envelope for s in slots
+            if s.kind == RESULT and s.envelope is not None
+        ]
+        if requeued:
+            requeued.sort(key=lambda e: e.msg_id)
+            self.pool[:0] = requeued
+
+    def _spawn_continuation(self, record: GuessRecord) -> None:
+        if record.fork_undone:
+            return  # the former left thread re-executes the range itself
+        existing = (
+            self.threads.get(record.continuation_tid)
+            if record.continuation_tid is not None
+            else None
+        )
+        if existing is not None and existing.alive:
+            return
+        left = self.threads[record.left_tid]
+        cont = self._create_thread(
+            seg_start=record.site_seg + 1,
+            seg_end=record.range_end,
+            state=copy.deepcopy(left.state),
+            guard=left.guard.copy(),
+            inherited_rollbacks={g: 0 for g in left.guard},
+        )
+        record.continuation_tid = cont.tid
+        left.journal.append(
+            Slot(kind=JOIN, signature=("join", record.guess.key()),
+                 data=cont.tid)
+        )
+        self.children[left.tid].append(cont.tid)
+        self.stats.incr("opt.continuations")
+        self.log_event("continuation", guess=record.guess.key(), tid=cont.tid)
+        cont._pending_event = self.scheduler.after(
+            0.0, cont.start, label=f"start {self.name}.t{cont.tid} (cont)"
+        )
+
+    # --------------------------------------------------- control processing
+
+    def _emit_control(self, msg: Any) -> None:
+        """Originate a control message (owner side)."""
+        if isinstance(msg, PrecedenceMsg):
+            # PRECEDENCE must reach guess owners the sender may not have
+            # messaged, so it is broadcast in both modes.
+            self.system.broadcast_control(self.name, msg)
+            return
+        self._control_relayed.add((type(msg).__name__, msg.guess))
+        if self.config.control_plane is ControlPlane.BROADCAST:
+            self.system.broadcast_control(self.name, msg)
+            return
+        targets = self.dependents.get(msg.guess, set()) - {self.name}
+        for dst in sorted(targets):
+            self.system.send_control(self.name, dst, msg)
+
+    def _relay_control(self, src: str, msg: Any) -> None:
+        """§4.2.5 targeted mode: forward resolutions to *our* dependents.
+
+        A process that forwarded a guarded message created dependence the
+        guess's owner cannot know about; relaying along the recorded edges
+        makes the notification reach every transitive dependent.
+        """
+        if self.config.control_plane is not ControlPlane.TARGETED:
+            return
+        key = (type(msg).__name__, msg.guess)
+        if key in self._control_relayed:
+            return
+        self._control_relayed.add(key)
+        targets = self.dependents.get(msg.guess, set()) - {self.name, src}
+        for dst in sorted(targets):
+            self.system.send_control(self.name, dst, msg)
+
+    def _handle_commit(self, msg: CommitMsg, src: str = "") -> None:
+        self._relay_control(src, msg)
+        self.view.note_commit(msg.guess)
+        self.cdg.remove_node(msg.guess)
+        self.log_event("commit_received", guess=msg.guess.key())
+        self.resolve_sweep()
+
+    def _handle_abort(self, msg: AbortMsg, src: str = "") -> None:
+        self._relay_control(src, msg)
+        self.view.note_abort(msg.guess)
+        self.log_event("abort_received", guess=msg.guess.key())
+        self._rollback_for_abort(msg.guess)
+        self.cdg.remove_node(msg.guess)
+        self.resolve_sweep()
+
+    def _rollback_for_abort(self, guess: GuessId) -> None:
+        """One-shot §4.2.8 processing for ``ABORT(guess)``.
+
+        Rolls back every thread whose guard holds the aborted guess or —
+        with ``eager_cdg_rollback`` — any guard member that *follows* it in
+        the local CDG (the paper's Abortset).  Applied once per abort:
+        re-acquiring a follower afterwards is legitimate, since the
+        follower's own fate is still open.
+        """
+        followers: Set[GuessId] = set()
+        if self.config.eager_cdg_rollback:
+            followers = self.cdg.descendants(guess)
+        dead = {guess} | followers
+        for thread in self._threads_in_order():
+            if not thread.alive:
+                continue
+            affected = thread.guard.members() & dead
+            if affected:
+                position = min(thread.rollbacks[g] for g in affected)
+                self._perform_rollback(thread, position)
+
+    def _handle_precedence(self, msg: PrecedenceMsg) -> None:
+        self.log_event("precedence_received", guess=msg.guess.key(),
+                       guard=sorted(g.key() for g in msg.guard))
+        if self.view.status(msg.guess).resolved:
+            return  # stale: the guess already committed or aborted
+        self.view.note_unknown(msg.guess)
+        # Edges from already-resolved guard members carry no information:
+        # committed ones are satisfied, aborted ones resolve via the abort
+        # path — and re-adding them would leak nodes the resolution already
+        # removed from the graph.
+        live_guard = {
+            g for g in msg.guard if not self.view.status(g).resolved
+        }
+        self.cdg.add_precedence(msg.guess, live_guard)
+        self._check_own_cycles()
+        self.resolve_sweep()
+
+    def _check_own_cycles(self) -> None:
+        """Abort any of our pending guesses caught in a CDG cycle (§4.2.6)."""
+        for record in list(self.records.values()):
+            if record.status != "pending":
+                continue
+            cycle = self.cdg.cycle_through(record.guess)
+            if cycle is not None:
+                self.stats.incr("opt.aborts.cycle")
+                self.log_event(
+                    "cycle_abort", guess=record.guess.key(),
+                    cycle=[g.key() for g in cycle],
+                )
+                self.abort_own([record], reason="cycle")
+
+    # -------------------------------------------------------- resolve sweep
+
+    def resolve_sweep(self) -> None:
+        """Propagate every known resolution through local state.
+
+        Prunes committed guesses from guards, rolls back threads holding
+        aborted guesses (§4.2.8), re-evaluates waiting joins, releases or
+        drops buffered emissions, purges orphans, and re-checks completion.
+        Idempotent; safe to call after any history change.
+        """
+        if self._in_sweep:
+            self._sweep_again = True
+            return
+        self._in_sweep = True
+        try:
+            again = True
+            while again or self._sweep_again:
+                self._sweep_again = False
+                again = self._sweep_once()
+        finally:
+            self._in_sweep = False
+        self.dispatch()
+        self._check_completion()
+
+    def _sweep_once(self) -> bool:
+        changed = False
+        # 0. prune CDG nodes resolved by *implication* (commit of a later
+        # index implies earlier ones; incarnation truncation implies
+        # aborts) — explicit notifications for them may never arrive,
+        # especially under the targeted control plane.
+        for node in self.cdg.nodes():
+            if self.view.status(node).resolved:
+                self.cdg.remove_node(node)
+        # 1. prune committed guesses; collect rollback targets.
+        for thread in self._threads_in_order():
+            if not thread.alive:
+                continue
+            self._prune_thread_guards(thread)
+            affected = self._aborted_dependencies(thread)
+            if affected:
+                position = min(thread.rollbacks[g] for g in affected)
+                self._perform_rollback(thread, position)
+                changed = True
+        # 2. re-evaluate joins of pending guesses whose left thread is done.
+        for record in list(self.records.values()):
+            if record.status == "pending":
+                left = self.threads.get(record.left_tid)
+                if (
+                    left is not None
+                    and left.finished
+                    and left.status is ThreadStatus.TERMINATED
+                ):
+                    before = record.status
+                    self.evaluate_join(record)
+                    if record.status != before:
+                        changed = True
+            elif record.status == "aborted":
+                left = self.threads.get(record.left_tid)
+                if (
+                    left is not None
+                    and left.finished
+                    and left.status is ThreadStatus.TERMINATED
+                ):
+                    existing = (
+                        self.threads.get(record.continuation_tid)
+                        if record.continuation_tid is not None else None
+                    )
+                    if existing is None or not existing.alive:
+                        self._spawn_continuation(record)
+                        changed = True
+        # 3. emissions.
+        changed |= self._sweep_emissions()
+        return changed
+
+    def _prune_thread_guards(self, thread: OptimisticThread) -> None:
+        for g in list(thread.guard):
+            if self.view.is_committed(g):
+                thread.guard.discard(g)
+                thread.rollbacks.pop(g, None)
+
+    def _aborted_dependencies(self, thread: OptimisticThread) -> Set[GuessId]:
+        """Guard members directly known aborted.
+
+        The CDG-follower part of §4.2.8's Abortset is applied one-shot in
+        :meth:`_rollback_for_abort`; the sweep only needs the direct rule.
+        """
+        return {g for g in thread.guard if self.view.is_aborted(g)}
+
+    def _perform_rollback(self, thread: OptimisticThread, position: int) -> None:
+        self.stats.incr("opt.rollbacks")
+        self.log_event("rollback", tid=thread.tid, position=position)
+        discarded = thread.rollback_to(position)
+        self._requeue_consumed(discarded)
+        for slot in discarded:
+            if slot.kind == FORK:
+                child_tid, guess, prev_end = slot.data
+                thread.seg_end = prev_end
+                thread.own_guess = None
+                if child_tid in self.children.get(thread.tid, []):
+                    self.children[thread.tid].remove(child_tid)
+                record = self.records.get(guess)
+                if record is not None:
+                    # The fork itself is undone: the thread re-executes the
+                    # whole range, so this record may never spawn a
+                    # continuation (it would duplicate the range's effects).
+                    record.fork_undone = True
+                if record is not None and record.status == "pending":
+                    self.abort_own([record], reason="parent_rollback")
+                elif record is not None and record.status == "aborted":
+                    # Already aborted; just make sure the subtree is gone
+                    # (and no pending nested guess leaks with it).
+                    self._abort_orphaned_records(
+                        self._destroy_subtree(record.right_tid))
+            elif slot.kind == JOIN:
+                cont_tid = slot.data
+                self._abort_orphaned_records(self._destroy_subtree(cont_tid))
+                if cont_tid in self.children.get(thread.tid, []):
+                    self.children[thread.tid].remove(cont_tid)
+            elif slot.kind == SEND and slot.signature[0] == "emit":
+                self._drop_emission_by_id(slot.data)
+        if thread.seg_end >= len(self.program.segments) and thread.own_guess is None:
+            # The main line is running again: completion is no longer final.
+            self.tentative_completion = None
+        # A left thread rolled back past its join is re-executing S1: the
+        # §3.2 divergence timeout must cover the re-execution too (the
+        # original timer was cancelled when S1 first terminated).
+        if thread.own_guess is not None:
+            record = self.records.get(thread.own_guess)
+            if (
+                record is not None
+                and record.status == "pending"
+                and (record.timer is None or record.timer.cancelled
+                     or record.timer.fired)
+            ):
+                timeout = record.spec.timeout if record.spec.timeout is not None \
+                    else self.config.default_fork_timeout
+                record.timer = self.scheduler.timer(
+                    timeout,
+                    lambda g=record.guess: self._on_fork_timeout(g),
+                    label=f"{self.name}.{record.guess.key()}.retimeout",
+                )
+        thread.replay()
+
+    def _sweep_emissions(self) -> bool:
+        changed = False
+        still: List[Emission] = []
+        for em in self.emissions:
+            if em.released or em.dropped:
+                continue
+            aborted = {g for g in em.pending if self.view.is_aborted(g)}
+            if aborted:
+                em.dropped = True
+                self.stats.incr("opt.emissions_dropped")
+                changed = True
+                continue
+            em.pending = {
+                g for g in em.pending if not self.view.is_committed(g)
+            }
+            if not em.pending:
+                changed = True
+                still.append(em)  # release below, in porder
+            else:
+                still.append(em)
+        ready = sorted(
+            (em for em in still if not em.pending),
+            key=lambda em: em.porder,
+        )
+        for em in ready:
+            self._release_emission(em)
+        self.emissions = [em for em in still if em.pending]
+        return changed
+
+    # ------------------------------------------------------------ completion
+
+    def _check_completion(self) -> None:
+        if self.committed_completion is not None:
+            return
+        if self.tentative_completion is None:
+            return
+        main_done = any(
+            t.finished
+            and t.status is ThreadStatus.TERMINATED
+            and t.own_guess is None
+            and t.seg_end >= len(self.program.segments)
+            and not t.guard
+            for t in self.threads.values()
+        )
+        if not main_done:
+            return
+        if any(r.status == "pending" for r in self.records.values()):
+            return
+        if any(not em.released and not em.dropped for em in self.emissions):
+            return
+        self.committed_completion = self.scheduler.now
+        self.log_event("committed_complete")
+
+    # ---------------------------------------------------------------- state
+
+    def final_state(self) -> Optional[Dict[str, Any]]:
+        """State of the completed main-line thread, if any."""
+        for t in self._threads_in_order():
+            if (
+                t.finished
+                and t.status is ThreadStatus.TERMINATED
+                and t.own_guess is None
+                and t.seg_end >= len(self.program.segments)
+            ):
+                return t.state
+        return None
+
+
+class _Missing:
+    def __repr__(self) -> str:  # pragma: no cover
+        return "<missing>"
+
+
+_MISSING = _Missing()

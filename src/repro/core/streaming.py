@@ -1,0 +1,105 @@
+"""Call streaming (§1, §2): the paper's flagship transformation.
+
+A sequence of blocking calls becomes a stream of one-way sends: each call
+segment is forked, the continuation runs on the guessed return value, and
+the repeated forks form the right-branching structure of §3.2.  These
+helpers build call-chain programs and the plans that stream them.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.csp.effects import Call, Compute
+from repro.csp.plan import ForkSpec, ParallelizationPlan
+from repro.csp.process import Program, Segment
+
+
+def make_call_chain(
+    name: str,
+    calls: Sequence[Tuple[str, str, Tuple[Any, ...]]],
+    *,
+    result_key: str = "last_result",
+    compute_between: float = 0.0,
+    stop_on_failure: bool = False,
+    failure_value: Any = None,
+) -> Program:
+    """Build a client that issues ``calls`` in order.
+
+    Each entry is ``(dst, op, args)``; every call's return value is stored
+    under ``{result_key}`` and also under ``r{i}``.  With
+    ``stop_on_failure`` the chain skips remaining calls once a call returns
+    ``failure_value`` — the data dependency that makes static
+    parallelization impossible and optimistic streaming interesting.
+    """
+    segments: List[Segment] = []
+    for i, (dst, op, args) in enumerate(calls):
+        def seg_fn(state, _i=i, _dst=dst, _op=op, _args=tuple(args)):
+            if state.get("stopped", False):
+                state[f"r{_i}"] = None
+                state[result_key] = None
+                return
+                yield  # pragma: no cover - makes this a generator function
+            if compute_between > 0:
+                yield Compute(compute_between)
+            value = yield Call(_dst, _op, _args)
+            state[f"r{_i}"] = value
+            state[result_key] = value
+            if stop_on_failure and value == failure_value:
+                state["stopped"] = True
+
+        exports = (f"r{i}", result_key)
+        if stop_on_failure:
+            exports = exports + ("stopped",)
+        segments.append(Segment(name=f"call{i}", fn=seg_fn, exports=exports))
+    return Program(name=name, segments=segments,
+                   initial_state={"stopped": False} if stop_on_failure else {})
+
+
+def stream_plan(
+    program: Program,
+    *,
+    guess: Any = True,
+    guesses: Optional[Dict[str, Dict[str, Any]]] = None,
+    timeout: Optional[float] = None,
+    last: bool = False,
+) -> ParallelizationPlan:
+    """Build the call-streaming plan for a call-chain program.
+
+    Every segment except (by default) the last is forked with a constant
+    predictor guessing its exports.  The default guess for ``r{i}`` and the
+    chained result key is ``guess``; per-segment overrides come from
+    ``guesses`` (segment name -> export values).  Streaming forks carry no
+    anti-dependency, so ``copy_state=False`` skips the copy cost, matching
+    the §4.2.1 note.
+    """
+    plan = ParallelizationPlan()
+    seg_names = [s.name for s in program.segments]
+    streamable = seg_names if last else seg_names[:-1]
+    for seg in program.segments:
+        if seg.name not in streamable:
+            continue
+        if guesses and seg.name in guesses:
+            values = dict(guesses[seg.name])
+            predictor: Any = values
+        else:
+            exports = tuple(seg.exports)
+
+            def predictor(state, _exports=exports, _guess=guess):
+                # Once the chain has stopped, later segments make no calls
+                # and their exports stay put — guess accordingly, so the
+                # continuation after a failure re-streams cleanly instead
+                # of faulting on every remaining segment.
+                if state.get("stopped", False):
+                    return {
+                        k: (True if k == "stopped" else None)
+                        for k in _exports
+                    }
+                return {
+                    k: (False if k == "stopped" else _guess)
+                    for k in _exports
+                }
+
+        plan.add(seg.name, ForkSpec(predictor=predictor, timeout=timeout,
+                                    copy_state=False))
+    return plan

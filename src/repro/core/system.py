@@ -1,0 +1,209 @@
+"""Whole-system assembly for optimistic runs.
+
+Mirrors :class:`~repro.csp.sequential.SequentialSystem` so benchmarks can
+run the same programs under both interpreters and compare completion times
+and traces.  Control messages are broadcast to every *participating*
+process (never to external sinks), per §4.2.5.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional
+
+from repro.errors import ProgramError
+from repro.core.config import OptimisticConfig
+from repro.core.messages import DataEnvelope, control_size
+from repro.core.runtime import ProcessRuntime
+from repro.csp.external import ExternalSink
+from repro.csp.plan import ParallelizationPlan
+from repro.csp.process import ProcessDef, Program
+from repro.sim.network import FixedLatency, LatencyModel, Network
+from repro.sim.scheduler import Scheduler
+from repro.sim.stats import Stats
+from repro.trace.recorder import TraceRecorder
+
+
+@dataclass
+class OptimisticResult:
+    """Outcome of an optimistic run."""
+
+    makespan: float                      # committed completion of the slowest client
+    tentative_makespan: float            # when results existed but were unguarded yet
+    completion_times: Dict[str, float]   # committed completion per finished process
+    final_states: Dict[str, Dict[str, Any]]
+    trace: list
+    stats: Stats
+    sinks: Dict[str, ExternalSink]
+    protocol_log: List[dict]
+    unresolved: List[str]                # processes that never fully committed
+
+    def sink_output(self, name: str) -> List[Any]:
+        """What physically reached the named external sink, in order."""
+        return list(self.sinks[name].delivered)
+
+    def events(self, kind: Optional[str] = None,
+               process: Optional[str] = None) -> List[dict]:
+        """Filter the protocol log (used by the figure tests)."""
+        out = self.protocol_log
+        if kind is not None:
+            out = [e for e in out if e["kind"] == kind]
+        if process is not None:
+            out = [e for e in out if e["process"] == process]
+        return list(out)
+
+    def count(self, kind: str, process: Optional[str] = None) -> int:
+        """How many protocol events of this kind (for this process)."""
+        return len(self.events(kind, process))
+
+    def summary(self):
+        """Speculation anatomy of this run (see repro.core.analysis)."""
+        from repro.core.analysis import summarize
+
+        return summarize(self.protocol_log)
+
+    def timeline(self, processes=None, protocol_kinds=None,
+                 title: str = "") -> str:
+        """Render this run as a paper-style time-line diagram."""
+        from repro.trace.diagram import render_timeline
+
+        return render_timeline(self.trace, self.protocol_log,
+                               processes=processes,
+                               protocol_kinds=protocol_kinds, title=title)
+
+
+class OptimisticSystem:
+    """Assembles optimistic process runtimes over the shared substrate."""
+
+    def __init__(
+        self,
+        latency_model: Optional[LatencyModel] = None,
+        *,
+        config: Optional[OptimisticConfig] = None,
+        fifo_links: bool = True,
+        bandwidth: Optional[float] = None,
+    ) -> None:
+        self.config = config or OptimisticConfig()
+        self.scheduler = Scheduler(max_steps=self.config.max_steps)
+        self.stats = Stats()
+        self.network = Network(
+            self.scheduler,
+            latency_model or FixedLatency(1.0),
+            stats=self.stats,
+            fifo_links=fifo_links,
+            bandwidth=bandwidth,
+        )
+        self.recorder = TraceRecorder()
+        self.runtimes: Dict[str, ProcessRuntime] = {}
+        self.sinks: Dict[str, ExternalSink] = {}
+        self.protocol_log: List[dict] = []
+        self._started = False
+
+    # ------------------------------------------------------------- assembly
+
+    def add_program(
+        self,
+        program: Program,
+        plan: Optional[ParallelizationPlan] = None,
+    ) -> ProcessRuntime:
+        """Register a program (optionally with a parallelization plan)."""
+        if program.name in self.runtimes or program.name in self.sinks:
+            raise ProgramError(f"duplicate process name {program.name!r}")
+        runtime = ProcessRuntime(self, program, plan, self.config)
+        self.runtimes[program.name] = runtime
+        self.network.register(program.name, runtime.on_network)
+        return runtime
+
+    def add_process(self, pdef: ProcessDef,
+                    plan: Optional[ParallelizationPlan] = None) -> None:
+        """Register a ProcessDef (program or external sink)."""
+        if pdef.external:
+            self.add_sink(pdef.name)
+        else:
+            self.add_program(pdef.program, plan)  # type: ignore[arg-type]
+
+    def add_sink(self, name: str) -> ExternalSink:
+        """Register an external, unrecoverable sink endpoint."""
+        if name in self.runtimes or name in self.sinks:
+            raise ProgramError(f"duplicate process name {name!r}")
+        sink = ExternalSink(name)
+        self.sinks[name] = sink
+        self.network.register(name, sink.handler(self.scheduler))
+        return sink
+
+    # ----------------------------------------------------------- transport
+
+    def send_data(self, envelope: DataEnvelope) -> None:
+        """Put a guard-tagged data envelope on the wire."""
+        self.network.send(
+            envelope.src, envelope.dst, envelope, size=envelope.wire_size()
+        )
+
+    def broadcast_control(self, src: str, msg: Any) -> None:
+        """Broadcast a control message to every other participating process."""
+        for name in sorted(self.runtimes):
+            if name == src:
+                continue
+            self.network.send(src, name, msg, control=True,
+                              size=control_size(msg))
+
+    def send_control(self, src: str, dst: str, msg: Any) -> None:
+        """Targeted control delivery (§4.2.5's explicit-send alternative)."""
+        if dst not in self.runtimes:
+            return  # sinks and departed endpoints don't take control traffic
+        self.network.send(src, dst, msg, control=True, size=control_size(msg))
+
+    def log_protocol_event(self, process: str, kind: str,
+                           detail: Dict[str, Any]) -> None:
+        """Append one entry to the run's protocol log."""
+        entry = {"time": self.scheduler.now, "process": process, "kind": kind}
+        entry.update(detail)
+        self.protocol_log.append(entry)
+
+    # ------------------------------------------------------------------ run
+
+    def start(self) -> None:
+        """Launch every process (idempotent; ``run`` calls it for you)."""
+        if self._started:
+            return
+        self._started = True
+        for runtime in self.runtimes.values():
+            runtime.start()
+
+    def run(self, until: Optional[float] = None) -> OptimisticResult:
+        """Run to quiescence (or ``until``) and collect the results."""
+        self.start()
+        self.scheduler.run(until=until)
+
+        completion: Dict[str, float] = {}
+        tentative: Dict[str, float] = {}
+        unresolved: List[str] = []
+        final_states: Dict[str, Dict[str, Any]] = {}
+        for name, rt in self.runtimes.items():
+            if rt.committed_completion is not None:
+                completion[name] = rt.committed_completion
+            if rt.tentative_completion is not None:
+                tentative[name] = rt.tentative_completion
+            if (
+                rt.tentative_completion is not None
+                and rt.committed_completion is None
+            ):
+                unresolved.append(name)
+            state = rt.final_state()
+            if state is not None:
+                final_states[name] = state
+        makespan = max(completion.values()) if completion else self.scheduler.now
+        tentative_makespan = (
+            max(tentative.values()) if tentative else self.scheduler.now
+        )
+        return OptimisticResult(
+            makespan=makespan,
+            tentative_makespan=tentative_makespan,
+            completion_times=completion,
+            final_states=final_states,
+            trace=self.recorder.committed(),
+            stats=self.stats,
+            sinks=self.sinks,
+            protocol_log=self.protocol_log,
+            unresolved=unresolved,
+        )

@@ -1,0 +1,549 @@
+"""Optimistic threads (§4.1, §4.2).
+
+A thread executes a contiguous range of program segments over its own copy
+of the process state.  It owns a commit guard set, the ``Rollbacks[g]``
+positions of every guard member, and a :class:`~repro.core.journal.Journal`
+that makes it recoverable: rollback truncates the journal and re-executes
+the thread from its initial state, replaying logged results and suppressing
+already-performed side effects.
+
+Threads never touch the network or the trace directly — every externally
+visible action goes through the owning
+:class:`~repro.core.runtime.ProcessRuntime`, which is where the protocol
+(guard propagation, orphan tests, commit/abort handling) lives.
+"""
+
+from __future__ import annotations
+
+import copy
+import enum
+from typing import Any, Dict, Generator, Optional, Tuple
+
+from repro.errors import DeterminismError, EffectError, ProtocolError
+from repro.core.config import CheckpointPolicy
+from repro.core.guards import GuardSet
+from repro.core.guess import GuessId
+from repro.core.journal import (
+    COMPUTE,
+    EMIT,
+    FORK,
+    JOIN,
+    RESULT,
+    SEND,
+    Journal,
+    Slot,
+)
+from repro.csp.effects import (
+    Call,
+    Compute,
+    Emit,
+    GetTime,
+    Receive,
+    Reply,
+    Send,
+)
+from repro.csp.payloads import Request
+
+
+class ThreadStatus(enum.Enum):
+    RUNNING = "running"          # executing (transiently, inside advance())
+    BLOCKED_CALL = "blocked_call"   # waiting for a call reply
+    BLOCKED_RECV = "blocked_recv"   # waiting in Receive
+    COMPUTING = "computing"      # waiting for a Compute timer
+    REPLAYING = "replaying"      # rollback replay in progress / paying debt
+    TERMINATED = "terminated"    # finished its segment range
+    DESTROYED = "destroyed"      # aborted and discarded
+
+
+#: sentinel: the effect blocked; advance() must stop.
+_BLOCKED = object()
+
+
+class OptimisticThread:
+    """One guarded thread of an optimistically parallelized process."""
+
+    def __init__(
+        self,
+        runtime,  # ProcessRuntime; untyped to avoid a circular import
+        tid: int,
+        seg_start: int,
+        seg_end: int,
+        state: Dict[str, Any],
+        guard: GuardSet,
+        inherited_rollbacks: Optional[Dict[GuessId, int]] = None,
+        own_guess: Optional[GuessId] = None,
+    ) -> None:
+        self.runtime = runtime
+        self.tid = tid
+        self.seg_start = seg_start
+        self.seg_end = seg_end  # exclusive; shrinks when this thread forks
+        self.initial_state: Dict[str, Any] = copy.deepcopy(state)
+        self.state: Dict[str, Any] = state
+        self.guard = guard
+        #: Rollbacks[g]: journal position to roll back to when g aborts.
+        #: Guards inherited at creation map to 0 (full re-execution).
+        self.rollbacks: Dict[GuessId, int] = dict(inherited_rollbacks or {})
+        for g in self.guard:
+            self.rollbacks.setdefault(g, 0)
+        #: Birth guards are conditions of this thread's existence: no
+        #: rollback may shed them (a position-0 rollback re-executes the
+        #: thread, still under the same inherited guesses).
+        self._inherited = self.guard.frozen()
+        #: The guess whose S1 this thread runs (left threads only).
+        self.own_guess = own_guess
+
+        self.journal = Journal()
+        self.status = ThreadStatus.RUNNING
+        self.seg_idx = seg_start - 1
+        self.step = 0
+        self.gen: Optional[Generator] = None
+        self.waiting_call_id: Optional[Tuple[int, int]] = None
+        self.waiting_receive: Optional[Receive] = None
+        self.interval = 0
+        self.rollback_count = 0
+        self.pessimistic = False
+        self._call_counter = 0
+        self._pending_event = None      # cancellable Compute/resume event
+        self._replay_debt = 0.0
+        self._in_rollback_walk = False
+        self.finished = False           # reached seg_end at least once
+        # journal-compaction bases (set by rebase): replay restarts the
+        # porder step and call-id counters here instead of at zero
+        self._step_base = 0
+        self._call_counter_base = 0
+        # interval checkpoints (§3.1): replay re-charges compute only from
+        # this slot index on; the restore itself may cost extra
+        self._replay_charge_from = 0
+        self._replay_restore_extra = 0.0
+
+    # ----------------------------------------------------------- properties
+
+    @property
+    def alive(self) -> bool:
+        return self.status not in (ThreadStatus.DESTROYED,)
+
+    @property
+    def active(self) -> bool:
+        """Still executing (not terminated/destroyed)."""
+        return self.status not in (
+            ThreadStatus.TERMINATED,
+            ThreadStatus.DESTROYED,
+        )
+
+    def porder(self) -> Tuple[int, int]:
+        """Program-order stamp for the next recorded event."""
+        p = (self.seg_idx, self.step)
+        self.step += 1
+        return p
+
+    def _position(self) -> int:
+        return self.journal.position
+
+    # ------------------------------------------------------------ lifecycle
+
+    def start(self) -> None:
+        """Begin executing this thread's segment range."""
+        if self.status is ThreadStatus.DESTROYED:  # aborted before starting
+            return
+        self._pending_event = None
+        self._advance_loop(None)
+
+    def destroy(self) -> None:
+        """Abort-discard this thread; it never runs again."""
+        self._cancel_pending()
+        self.status = ThreadStatus.DESTROYED
+
+    def _cancel_pending(self) -> None:
+        if self._pending_event is not None:
+            self._pending_event.cancel()
+            self._pending_event = None
+
+    # -------------------------------------------------------- the main loop
+
+    def _advance_loop(self, value: Any) -> None:
+        """Drive the generator until it blocks or the thread finishes."""
+        self.status = ThreadStatus.RUNNING
+        while True:
+            if self.gen is None:
+                if not self._enter_next_segment():
+                    return  # blocked on fork-cost compute or finished
+                continue
+            try:
+                effect = self.gen.send(value)
+            except StopIteration:
+                self.gen = None
+                value = None
+                continue
+            # Pay accumulated replay debt before the first live effect.
+            if self.journal.live and self._replay_debt > 0:
+                self._defer_effect(effect, self._replay_debt)
+                self._replay_debt = 0.0
+                return
+            value = self._execute(effect)
+            if value is _BLOCKED:
+                return
+
+    def resume(self, value: Any) -> None:
+        """Unblock with ``value`` (a reply, a request, or a timer firing)."""
+        self._pending_event = None
+        self._advance_loop(value)
+
+    def _defer_effect(self, effect: Any, delay: float) -> None:
+        """Hold ``effect`` while virtual time catches up (replay debt)."""
+        self.status = ThreadStatus.REPLAYING
+
+        def fire() -> None:
+            self._pending_event = None
+            self.status = ThreadStatus.RUNNING
+            value = self._execute(effect)
+            if value is not _BLOCKED:
+                self._advance_loop(value)
+
+        self._pending_event = self.runtime.scheduler.after(
+            delay, fire, label=f"{self.runtime.name}.t{self.tid}.replay-debt"
+        )
+
+    # ----------------------------------------------------- segment handling
+
+    def _enter_next_segment(self) -> bool:
+        """Advance to the next segment; returns False when control stopped.
+
+        Handles the fork protocol: if the segment about to start is marked
+        in the plan (and retries remain), the runtime forks — this thread
+        becomes the left thread of the new guess and its range shrinks to
+        end at the join point.
+        """
+        self.seg_idx += 1
+        self.step = self._step_base if self.seg_idx == self.seg_start else 0
+        if self.seg_idx >= self.seg_end:
+            self._finish()
+            return False
+        # Fork decision at this boundary.  A thread entering a plan-marked
+        # segment becomes the left thread of a new guess (range shrinks to
+        # end at the join point) and a right thread takes the continuation —
+        # including at a right thread's very first segment, which is what
+        # produces the paper's right-branching fork structure for streaming.
+        replay_slot = self.journal.next_replay_slot()
+        if replay_slot is not None and replay_slot.kind == FORK:
+            # Replaying past a fork that still stands: restore the shrunken
+            # range, do not create a second child.
+            self.journal.consume_replay_slot(FORK, replay_slot.signature)
+            self.seg_end = self.seg_idx + 1
+        elif self.journal.live:
+            forked = self.runtime.maybe_fork(self, self.seg_idx)
+            if forked:
+                self.seg_end = self.seg_idx + 1
+        seg = self.runtime.program.segments[self.seg_idx]
+        self.gen = seg.instantiate(self.state)
+        if seg.compute > 0:
+            blocked = self._do_compute(seg.compute, ("segcompute", self.seg_idx))
+            if blocked:
+                return False
+        return True
+
+    def _finish(self) -> None:
+        self.status = ThreadStatus.TERMINATED
+        self.finished = True
+        self.gen = None
+        self.runtime.on_thread_finished(self)
+
+    def _block(self, status: ThreadStatus) -> Any:
+        """Enter a blocked state, first paying any outstanding replay debt.
+
+        Masking the status as REPLAYING until the debt elapses prevents the
+        dispatcher from delivering a message to a thread whose (modelled)
+        state restoration has not finished yet.
+        """
+        if self._replay_debt > 0:
+            debt, self._replay_debt = self._replay_debt, 0.0
+            self.status = ThreadStatus.REPLAYING
+
+            def unblock() -> None:
+                self._pending_event = None
+                self.status = status
+                self.runtime.on_thread_blocked(self)
+
+            self._pending_event = self.runtime.scheduler.after(
+                debt, unblock, label=f"{self.runtime.name}.t{self.tid}.debt"
+            )
+        else:
+            self.status = status
+            self.runtime.on_thread_blocked(self)
+        return _BLOCKED
+
+    # ------------------------------------------------------ effect handling
+
+    def _execute(self, effect: Any) -> Any:
+        """Perform (or replay) one effect; returns its value or _BLOCKED."""
+        if isinstance(effect, Compute):
+            sig = ("compute", self.seg_idx)
+            return _BLOCKED if self._do_compute(effect.duration, sig) else None
+        if isinstance(effect, Call):
+            return self._do_call(effect)
+        if isinstance(effect, Send):
+            return self._do_send(effect)
+        if isinstance(effect, Reply):
+            return self._do_reply(effect)
+        if isinstance(effect, Receive):
+            return self._do_receive(effect)
+        if isinstance(effect, Emit):
+            return self._do_emit(effect)
+        if isinstance(effect, GetTime):
+            return self._do_gettime()
+        raise EffectError(
+            f"{self.runtime.name}.t{self.tid}: unknown effect {effect!r}"
+        )
+
+    # -- compute ------------------------------------------------------------
+
+    def _do_compute(self, duration: float, sig: Tuple) -> bool:
+        """Returns True when blocked on a timer."""
+        if not self.journal.live:
+            slot_index = self.journal.cursor
+            slot = self.journal.consume_replay_slot(COMPUTE, sig)
+            if (
+                self.runtime.config.checkpoint_policy is CheckpointPolicy.REPLAY
+                and slot_index >= self._replay_charge_from
+            ):
+                self._replay_debt += slot.duration
+            return False
+        self.journal.append(Slot(kind=COMPUTE, signature=sig, duration=duration))
+        # Outstanding replay debt is paid together with the first live
+        # compute (it is CPU time either way).
+        wall = duration + self._replay_debt
+        self._replay_debt = 0.0
+        if wall <= 0:
+            return False
+        self.status = ThreadStatus.COMPUTING
+        self._pending_event = self.runtime.scheduler.after(
+            wall,
+            lambda: self.resume(None),
+            label=f"{self.runtime.name}.t{self.tid}.compute",
+        )
+        return True
+
+    # -- call ---------------------------------------------------------------
+
+    def _do_call(self, effect: Call) -> Any:
+        self._call_counter += 1
+        call_id = (self.tid, self._call_counter)
+        sig = ("call", effect.dst, effect.op, self.seg_idx)
+        if not self.journal.live:
+            send_slot = self.journal.consume_replay_slot(SEND, sig)
+            call_id = send_slot.data  # reuse the original id
+            result_slot = self.journal.next_replay_slot()
+            if (
+                result_slot is not None
+                and result_slot.kind == RESULT
+                and result_slot.signature == sig
+            ):
+                self.journal.consume_replay_slot(RESULT, sig)
+                self.step += 1  # the original receive recorded a trace event
+                return result_slot.result
+            # Reply consumption was rolled back: wait for redelivery.
+            self.waiting_call_id = call_id
+            return self._block(ThreadStatus.BLOCKED_CALL)
+        self.journal.append(Slot(kind=SEND, signature=sig, data=call_id))
+        self.runtime.send_call(self, effect, call_id)
+        self.waiting_call_id = call_id
+        return self._block(ThreadStatus.BLOCKED_CALL)
+
+    def deliver_reply(self, envelope, value: Any, op: str) -> None:
+        """Runtime hands over the reply this thread is blocked on."""
+        if self.status is not ThreadStatus.BLOCKED_CALL:
+            raise ProtocolError(
+                f"{self.runtime.name}.t{self.tid}: reply delivered while "
+                f"{self.status}"
+            )
+        sig = ("call", envelope.src, op, self.seg_idx)
+        self.waiting_call_id = None
+        self.runtime.acquire_guards(self, envelope, before_position=self._position())
+        self.journal.append(
+            Slot(kind=RESULT, signature=sig, result=value, envelope=envelope,
+                 porder=(self.seg_idx, self.step))
+        )
+        self.runtime.record_recv(
+            self, envelope.src, ("reply", op, value), self.porder()
+        )
+        self._advance_loop(value)
+
+    # -- one-way send / reply ------------------------------------------------
+
+    def _do_send(self, effect: Send) -> Any:
+        sig = ("send", effect.dst, effect.op, self.seg_idx)
+        if not self.journal.live:
+            self.journal.consume_replay_slot(SEND, sig)
+            self.step += 1  # the original send recorded a trace event
+            return None
+        self.journal.append(Slot(kind=SEND, signature=sig))
+        self.runtime.send_oneway(self, effect)
+        return None
+
+    def _do_reply(self, effect: Reply) -> Any:
+        req = effect.request
+        if not isinstance(req, Request) or not req.is_call:
+            raise EffectError(
+                f"{self.runtime.name}.t{self.tid}: Reply to non-call {req!r}"
+            )
+        sig = ("reply", req.reply_to, req.op, self.seg_idx)
+        if not self.journal.live:
+            self.journal.consume_replay_slot(SEND, sig)
+            self.step += 1
+            return None
+        self.journal.append(Slot(kind=SEND, signature=sig))
+        self.runtime.send_reply(self, req, effect)
+        return None
+
+    # -- receive --------------------------------------------------------------
+
+    def _do_receive(self, effect: Receive) -> Any:
+        sig = ("receive", self.seg_idx)
+        if not self.journal.live:
+            slot = self.journal.consume_replay_slot(RESULT, sig)
+            self.step += 1
+            return slot.result
+        self.waiting_receive = effect
+        return self._block(ThreadStatus.BLOCKED_RECV)
+
+    def deliver_request(self, envelope, request: Request) -> None:
+        """Runtime hands over a matching request while in BLOCKED_RECV."""
+        if self.status is not ThreadStatus.BLOCKED_RECV:
+            raise ProtocolError(
+                f"{self.runtime.name}.t{self.tid}: request delivered while "
+                f"{self.status}"
+            )
+        sig = ("receive", self.seg_idx)
+        self.waiting_receive = None
+        self.runtime.acquire_guards(self, envelope, before_position=self._position())
+        self.journal.append(
+            Slot(kind=RESULT, signature=sig, result=request, envelope=envelope,
+                 porder=(self.seg_idx, self.step))
+        )
+        self.runtime.record_recv(
+            self, envelope.src, ("req", request.op, request.args), self.porder()
+        )
+        self._advance_loop(request)
+
+    # -- emit / gettime --------------------------------------------------------
+
+    def _do_emit(self, effect: Emit) -> Any:
+        sig = ("emit", effect.sink, self.seg_idx)
+        if not self.journal.live:
+            self.journal.consume_replay_slot(SEND, sig)
+            self.step += 1
+            return None
+        emission_id = self.runtime.emit(self, effect, porder=(self.seg_idx, self.step))
+        self.step += 1
+        self.journal.append(Slot(kind=SEND, signature=sig, data=emission_id))
+        return None
+
+    def _do_gettime(self) -> Any:
+        sig = ("gettime", self.seg_idx)
+        if not self.journal.live:
+            return self.journal.consume_replay_slot(RESULT, sig).result
+        now = self.runtime.scheduler.now
+        self.journal.append(Slot(kind=RESULT, signature=sig, result=now))
+        return now
+
+    # -------------------------------------------------------------- rollback
+
+    def rollback_to(self, position: int) -> list:
+        """Roll back to journal ``position``; returns the discarded slots.
+
+        The caller (runtime) requeues consumed envelopes, destroys forked
+        children and drops emissions found in the discarded suffix, then
+        calls :meth:`replay`.
+        """
+        self._cancel_pending()
+        self.rollback_count += 1
+        config = self.runtime.config
+        if self.rollback_count >= config.max_optimistic_retries:
+            self.pessimistic = True
+        # §3.1 interval checkpoints: restore the nearest checkpoint at or
+        # below the rollback point; compute before it is not re-paid.
+        if (
+            config.checkpoint_policy is CheckpointPolicy.REPLAY
+            and config.checkpoint_interval
+        ):
+            self._replay_charge_from = (
+                position // config.checkpoint_interval
+            ) * config.checkpoint_interval
+            self._replay_restore_extra = (
+                config.restore_cost if self._replay_charge_from > 0 else 0.0
+            )
+        else:
+            self._replay_charge_from = 0
+            self._replay_restore_extra = 0.0
+        discarded = self.journal.begin_replay(position)
+        # Guards acquired at or after the rollback point are gone — except
+        # birth guards, which condition the thread's very existence.
+        for g, pos in list(self.rollbacks.items()):
+            if pos >= position and g not in self._inherited:
+                self.guard.discard(g)
+                del self.rollbacks[g]
+        self.status = ThreadStatus.REPLAYING
+        self.finished = False
+        return discarded
+
+    def replay(self) -> None:
+        """Re-execute from the initial state, replaying the retained journal.
+
+        Runs synchronously in zero virtual time; compute charges become
+        *replay debt* paid before the first live effect (REPLAY policy) or a
+        fixed restore cost (EAGER_COPY policy).
+        """
+        self.state.clear()
+        self.state.update(copy.deepcopy(self.initial_state))
+        self.gen = None
+        self.seg_idx = self.seg_start - 1
+        self.step = 0
+        self._call_counter = self._call_counter_base
+        self.waiting_call_id = None
+        self.waiting_receive = None
+        self._replay_debt = (
+            self.runtime.config.restore_cost
+            if self.runtime.config.checkpoint_policy is CheckpointPolicy.EAGER_COPY
+            else self._replay_restore_extra
+        )
+        self._advance_loop(None)
+
+    def rebase(self) -> int:
+        """Journal compaction: make the current state the replay base.
+
+        Only legal while blocked at a receive of a ``rebase_safe``
+        single-segment range with an empty guard: a future replay then
+        re-instantiates the (re-entrant) segment generator over the
+        rebased state and the first replayed effect is again the receive.
+        Returns the number of journal slots reclaimed.
+        """
+        if self.status is not ThreadStatus.BLOCKED_RECV:
+            raise ProtocolError("rebase requires a thread blocked in Receive")
+        if self.guard or not self.journal.live:
+            raise ProtocolError("rebase requires an empty, live guard state")
+        if self.seg_end - self.seg_start != 1:
+            raise ProtocolError("rebase supports single-segment ranges only")
+        segment = self.runtime.program.segments[self.seg_idx]
+        if not segment.rebase_safe:
+            raise ProtocolError(
+                f"segment {segment.name!r} is not declared rebase_safe"
+            )
+        if segment.compute > 0:
+            raise ProtocolError(
+                "rebase cannot compact a segment with entry compute time"
+            )
+        reclaimed = len(self.journal.slots)
+        self.initial_state = copy.deepcopy(self.state)
+        self.journal.slots.clear()
+        self.journal.cursor = 0
+        self._step_base = self.step
+        self._call_counter_base = self._call_counter
+        self.rollbacks.clear()
+        return reclaimed
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        own = f" own={self.own_guess.key()}" if self.own_guess else ""
+        return (
+            f"<Thread {self.runtime.name}.t{self.tid} "
+            f"segs[{self.seg_start}:{self.seg_end}) {self.status.value}"
+            f" guard={self.guard!r}{own}>"
+        )

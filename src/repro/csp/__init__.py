@@ -1,0 +1,49 @@
+"""CSP-style process model.
+
+Processes are written as *programs*: ordered lists of :class:`Segment`
+generators that communicate exclusively through yielded effects (calls,
+sends, receives, replies, computation, external output).  A
+:class:`~repro.csp.plan.ParallelizationPlan` marks which segment boundaries
+the "compiler" has been told to parallelize (the paper's pragma mechanism).
+
+The package also contains the **pessimistic reference interpreter**
+(:mod:`repro.csp.sequential`), which executes programs with fully blocking
+semantics and defines the ground-truth trace the optimistic runtime must
+reproduce.
+"""
+
+from repro.csp.effects import (
+    Call,
+    Compute,
+    Emit,
+    GetTime,
+    Receive,
+    Reply,
+    Send,
+)
+from repro.csp.payloads import CallRequest, CallResponse, OneWay, Request
+from repro.csp.process import ProcessDef, Program, Segment, server_program
+from repro.csp.plan import ForkSpec, ParallelizationPlan
+from repro.csp.sequential import SequentialResult, SequentialSystem
+
+__all__ = [
+    "Call",
+    "Send",
+    "Receive",
+    "Reply",
+    "Compute",
+    "Emit",
+    "GetTime",
+    "CallRequest",
+    "CallResponse",
+    "OneWay",
+    "Request",
+    "Segment",
+    "Program",
+    "ProcessDef",
+    "server_program",
+    "ForkSpec",
+    "ParallelizationPlan",
+    "SequentialSystem",
+    "SequentialResult",
+]

@@ -1,0 +1,200 @@
+"""A small combinator DSL for building programs.
+
+Hand-writing generator segments is flexible but verbose for the common
+shapes.  The DSL covers them:
+
+    prog = (program("client")
+            .call("db", "Update", ("item", 1), export="ok", guess=True)
+            .when("ok")
+            .call("fs", "Write", ("file", "x"), export="r", guess=True)
+            .emit("display", "done")
+            .build())
+
+``.call(..., guess=...)`` both adds the segment and marks it for
+optimistic forking, so ``prog.plan`` is ready to pass to
+:meth:`~repro.core.system.OptimisticSystem.add_program`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.errors import ProgramError
+from repro.csp.effects import Call, Compute, Emit, Send
+from repro.csp.plan import ForkSpec, ParallelizationPlan
+from repro.csp.process import Program, Segment
+
+_MISSING = object()
+
+
+@dataclass
+class BuiltProgram:
+    """A program plus the plan its builder accumulated."""
+
+    program: Program
+    plan: ParallelizationPlan
+
+    def add_to(self, system) -> None:
+        """Register on an Optimistic- or SequentialSystem."""
+        try:
+            system.add_program(self.program, self.plan)
+        except TypeError:
+            system.add_program(self.program)
+
+
+class ProgramBuilder:
+    """Fluent builder; each step becomes one segment."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._segments: List[Segment] = []
+        self._plan = ParallelizationPlan()
+        self._condition_key: Optional[str] = None
+        self._initial_state: Dict[str, Any] = {}
+        self._counter = 0
+
+    # ------------------------------------------------------------- plumbing
+
+    def _next_name(self, prefix: str) -> str:
+        self._counter += 1
+        return f"{prefix}{self._counter}"
+
+    def _guarded(self, fn):
+        """Wrap a segment body so `.when(key)` conditions apply."""
+        key = self._condition_key
+
+        def wrapper(state):
+            if key is not None and not state.get(key):
+                return
+                yield  # pragma: no cover - generator marker
+            yield from fn(state)
+
+        return wrapper
+
+    # ----------------------------------------------------------------- steps
+
+    def initial(self, **state: Any) -> "ProgramBuilder":
+        """Seed the program's initial state."""
+        self._initial_state.update(state)
+        return self
+
+    def when(self, key: str) -> "ProgramBuilder":
+        """Subsequent steps only run while ``state[key]`` is truthy."""
+        self._condition_key = key
+        return self
+
+    def always(self) -> "ProgramBuilder":
+        """Cancel a prior :meth:`when`."""
+        self._condition_key = None
+        return self
+
+    def call(self, dst: str, op: str, args: Tuple[Any, ...] = (),
+             *, export: str, guess: Any = _MISSING,
+             compute: float = 0.0, name: Optional[str] = None,
+             timeout: Optional[float] = None) -> "ProgramBuilder":
+        """Blocking call whose result is stored under ``export``.
+
+        Passing ``guess`` marks the segment for optimistic forking with a
+        constant predictor (conditioned steps guess ``export=None`` when
+        the condition is off — matching the skip path).
+        """
+        seg_name = name or self._next_name("call")
+        cond = self._condition_key
+
+        def body(state):
+            if compute > 0:
+                yield Compute(compute)
+            state[export] = yield Call(dst, op, tuple(args))
+
+        seg_fn = self._guarded_with_export(body, export)
+        self._segments.append(
+            Segment(name=seg_name, fn=seg_fn, exports=(export,)))
+        if guess is not _MISSING:
+            guessed_value = guess
+
+            def predictor(state, _cond=cond, _g=guessed_value):
+                if _cond is not None and not state.get(_cond):
+                    return {export: None}
+                return {export: _g}
+
+            self._plan.add(seg_name, ForkSpec(predictor=predictor,
+                                              timeout=timeout,
+                                              copy_state=False))
+        return self
+
+    def _guarded_with_export(self, fn, export: str):
+        key = self._condition_key
+
+        def wrapper(state):
+            if key is not None and not state.get(key):
+                state[export] = None
+                return
+                yield  # pragma: no cover - generator marker
+            yield from fn(state)
+
+        return wrapper
+
+    def send(self, dst: str, op: str, args: Tuple[Any, ...] = (),
+             *, name: Optional[str] = None) -> "ProgramBuilder":
+        """One-way send (merged into the preceding/its own segment)."""
+        seg_name = name or self._next_name("send")
+
+        def body(state):
+            yield Send(dst, op, tuple(args))
+
+        self._segments.append(
+            Segment(name=seg_name, fn=self._guarded(body)))
+        return self
+
+    def emit(self, sink: str, payload: Any = None,
+             *, from_state: Optional[str] = None,
+             name: Optional[str] = None) -> "ProgramBuilder":
+        """External output; ``from_state`` emits a state value instead."""
+        seg_name = name or self._next_name("emit")
+
+        def body(state):
+            value = state[from_state] if from_state is not None else payload
+            yield Emit(sink, value)
+
+        self._segments.append(
+            Segment(name=seg_name, fn=self._guarded(body)))
+        return self
+
+    def compute(self, duration: float,
+                *, name: Optional[str] = None) -> "ProgramBuilder":
+        seg_name = name or self._next_name("compute")
+
+        def body(state):
+            yield Compute(duration)
+
+        self._segments.append(
+            Segment(name=seg_name, fn=self._guarded(body)))
+        return self
+
+    def step(self, fn: Callable, *, exports: Tuple[str, ...] = (),
+             name: Optional[str] = None) -> "ProgramBuilder":
+        """Escape hatch: a raw generator segment."""
+        seg_name = name or self._next_name("step")
+        self._segments.append(
+            Segment(name=seg_name, fn=self._guarded(fn), exports=exports))
+        return self
+
+    # ----------------------------------------------------------------- build
+
+    def build(self) -> BuiltProgram:
+        if not self._segments:
+            raise ProgramError(f"program {self.name!r} has no steps")
+        program = Program(self.name, self._segments,
+                          initial_state=dict(self._initial_state))
+        # A fork on the final segment has no continuation to overlap with;
+        # drop it rather than bother the caller.
+        last = self._segments[-1].name
+        self._plan.forks.pop(last, None)
+        self._plan.validate(program)
+        return BuiltProgram(program=program, plan=self._plan)
+
+
+def program(name: str) -> ProgramBuilder:
+    """Start building a program named ``name``."""
+    return ProgramBuilder(name)

@@ -1,0 +1,113 @@
+"""Effects: the only way segment code interacts with the world.
+
+A segment is a Python generator that *yields* effect objects and receives
+their results back through ``send``.  Keeping all interaction in effects is
+what makes threads replayable: to roll a thread back, the runtime re-runs the
+generator and serves the logged results of every non-deterministic effect
+(:class:`Call` returns, :class:`Receive`, :class:`GetTime`), while
+suppressing the re-execution of already-performed side effects
+(:class:`Send`, :class:`Reply`, :class:`Emit`).
+
+Determinism contract: given the same initial state and the same effect
+results, a segment must yield the same effect sequence.  Violations are
+detected during replay and raised as
+:class:`~repro.errors.DeterminismError`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional, Tuple
+
+
+class Effect:
+    """Base class for all yieldable effects."""
+
+    #: True when the effect's result depends on the environment and must be
+    #: logged for replay.
+    nondeterministic = False
+    #: True when the effect mutates the outside world and must be suppressed
+    #: during replay (it already happened).
+    side_effect = False
+
+
+@dataclass
+class Call(Effect):
+    """Blocking remote procedure call; resumes with the reply value.
+
+    Under the optimistic runtime with call streaming enabled, the blocking
+    wait is what gets forked away (§2 of the paper).
+    """
+
+    dst: str
+    op: str
+    args: Tuple[Any, ...] = ()
+    size: int = 1
+
+    nondeterministic = True
+    side_effect = True  # the request message is a side effect
+
+
+@dataclass
+class Send(Effect):
+    """One-way asynchronous message; resumes immediately with ``None``."""
+
+    dst: str
+    op: str
+    args: Tuple[Any, ...] = ()
+    size: int = 1
+
+    side_effect = True
+
+
+@dataclass
+class Receive(Effect):
+    """Receive the next incoming request; resumes with a
+    :class:`~repro.csp.payloads.Request`.
+
+    ``ops`` optionally restricts which operation names may be delivered.
+    """
+
+    ops: Optional[Tuple[str, ...]] = None
+
+    nondeterministic = True
+
+
+@dataclass
+class Reply(Effect):
+    """Reply to a previously received call request."""
+
+    request: Any  # a payloads.Request produced by Receive
+    value: Any = None
+    size: int = 1
+
+    side_effect = True
+
+
+@dataclass
+class Compute(Effect):
+    """Consume ``duration`` units of virtual CPU time."""
+
+    duration: float = 0.0
+
+
+@dataclass
+class Emit(Effect):
+    """Deliver ``payload`` to an external, unrecoverable sink.
+
+    External output is the paper's output-commit boundary: the optimistic
+    runtime buffers emissions until their guard set empties (§3.2).
+    """
+
+    sink: str
+    payload: Any = None
+    size: int = 1
+
+    side_effect = True
+
+
+@dataclass
+class GetTime(Effect):
+    """Read the current virtual time.  Logged for replay determinism."""
+
+    nondeterministic = True

@@ -1,0 +1,29 @@
+"""External sinks: endpoints that cannot roll back.
+
+Workstation displays, printers, and "systems not participating in our
+protocol" (§3.2).  A sink simply logs what physically reaches it, in
+delivery order.  Tests use this log to assert the output-commit rule: no
+value produced under a guess that later aborted may ever appear here.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Tuple
+
+
+class ExternalSink:
+    """Absorbs messages; keeps them in delivery order."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.delivered: List[Any] = []
+        self.delivery_log: List[Tuple[float, str, Any]] = []
+
+    def handler(self, scheduler) -> Any:
+        """Build the network endpoint handler bound to ``scheduler``."""
+
+        def on_message(src: str, payload: Any) -> None:
+            self.delivered.append(payload)
+            self.delivery_log.append((scheduler.now, src, payload))
+
+        return on_message

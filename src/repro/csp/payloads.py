@@ -1,0 +1,74 @@
+"""CSP-level message payloads.
+
+These are the application-visible messages between processes.  The
+optimistic runtime wraps them in a guard-tagged envelope
+(:mod:`repro.core.messages`); the pessimistic interpreter sends them bare.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class CallRequest:
+    """The request half of a blocking call."""
+
+    op: str
+    args: Tuple[Any, ...]
+    call_id: int
+    reply_to: str
+    size: int = 1
+
+    def data(self) -> Tuple[str, Tuple[Any, ...]]:
+        """The trace-visible data values of this message."""
+        return (self.op, self.args)
+
+
+@dataclass(frozen=True)
+class CallResponse:
+    """The reply half of a blocking call."""
+
+    call_id: int
+    value: Any
+    op: str = ""
+    size: int = 1
+
+    def data(self) -> Tuple[str, Any]:
+        return (self.op, self.value)
+
+
+@dataclass(frozen=True)
+class OneWay:
+    """A one-way send (no reply expected)."""
+
+    op: str
+    args: Tuple[Any, ...]
+    size: int = 1
+
+    def data(self) -> Tuple[str, Tuple[Any, ...]]:
+        return (self.op, self.args)
+
+
+@dataclass(frozen=True)
+class Request:
+    """What a server's :class:`~repro.csp.effects.Receive` resumes with.
+
+    ``call_id``/``reply_to`` are set for two-way calls and ``None`` for
+    one-way sends; :class:`~repro.csp.effects.Reply` is only legal on the
+    former.
+    """
+
+    src: str
+    op: str
+    args: Tuple[Any, ...]
+    call_id: Optional[int] = None
+    reply_to: Optional[str] = None
+
+    @property
+    def is_call(self) -> bool:
+        return self.call_id is not None
+
+    def data(self) -> Tuple[str, Tuple[Any, ...]]:
+        return (self.op, self.args)

@@ -1,0 +1,108 @@
+"""Parallelization plans: which segment boundaries to fork, and how.
+
+The paper assumes "some mechanism by which the compiler is told that it is
+desirable to parallelize S1 and S2 — programmer supplied pragmas, run-time
+profiling, static analysis, or a combination" (§2).  A
+:class:`ParallelizationPlan` is that mechanism made explicit: per guessed
+segment, a :class:`ForkSpec` with the predictor for the values the segment
+exports, an optional custom verifier, and the fork timeout.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterable, Mapping, Optional
+
+from repro.errors import ProgramError
+from repro.csp.process import Program
+
+#: Guesses the exported values of a segment from the state at the fork point.
+Predictor = Callable[[Dict[str, Any]], Dict[str, Any]]
+#: Decides whether actual exports satisfy the guess (default: equality).
+Verifier = Callable[[Dict[str, Any], Dict[str, Any]], bool]
+
+
+def constant_predictor(values: Mapping[str, Any]) -> Predictor:
+    """Predictor that always guesses the same values (e.g. ``{"ok": True}``)."""
+    frozen = dict(values)
+
+    def predict(state: Dict[str, Any]) -> Dict[str, Any]:
+        return dict(frozen)
+
+    return predict
+
+
+def equality_verifier(guessed: Dict[str, Any], actual: Dict[str, Any]) -> bool:
+    """Default verifier: every guessed value must equal the actual value."""
+    return all(actual.get(k, None) == v for k, v in guessed.items())
+
+
+@dataclass
+class ForkSpec:
+    """How to optimistically run one segment in parallel with its suffix.
+
+    Attributes
+    ----------
+    predictor:
+        Guesses the segment's exports from the fork-point state.  A plain
+        dict is accepted and wrapped in :func:`constant_predictor`.
+    verifier:
+        ``verifier(guessed, actual) -> bool``; defaults to equality on all
+        guessed keys (the paper's value-fault check).
+    timeout:
+        Virtual-time bound on the left thread (guess includes termination of
+        S1, §3.2).  ``None`` uses the system default.
+    copy_state:
+        Whether the right thread needs its own copy of the state.  The paper
+        notes the copy is unnecessary when there is no anti-dependency
+        (S1 reads nothing S2 overwrites) — call streaming's case.  We always
+        copy for safety unless told otherwise; this flag only affects the
+        modelled fork cost, not correctness.
+    """
+
+    predictor: Any
+    verifier: Verifier = equality_verifier
+    timeout: Optional[float] = None
+    copy_state: bool = True
+
+    def __post_init__(self) -> None:
+        if isinstance(self.predictor, Mapping):
+            self.predictor = constant_predictor(self.predictor)
+        if not callable(self.predictor):
+            raise ProgramError("ForkSpec.predictor must be a mapping or callable")
+
+    def predict(self, state: Dict[str, Any]) -> Dict[str, Any]:
+        return dict(self.predictor(state))
+
+
+@dataclass
+class ParallelizationPlan:
+    """Maps guessed-segment name -> :class:`ForkSpec` for one program."""
+
+    forks: Dict[str, ForkSpec] = field(default_factory=dict)
+
+    def fork_for(self, segment_name: str) -> Optional[ForkSpec]:
+        return self.forks.get(segment_name)
+
+    def add(self, segment_name: str, spec: ForkSpec) -> "ParallelizationPlan":
+        self.forks[segment_name] = spec
+        return self
+
+    def validate(self, program: Program) -> None:
+        """Check every fork refers to a real, non-final segment with exports
+        covered by its predictor (at least structurally resolvable)."""
+        names = [s.name for s in program.segments]
+        for seg_name in self.forks:
+            if seg_name not in names:
+                raise ProgramError(
+                    f"plan forks unknown segment {seg_name!r} "
+                    f"(program {program.name!r} has {names})"
+                )
+            if seg_name == names[-1]:
+                raise ProgramError(
+                    f"plan forks final segment {seg_name!r}: nothing follows "
+                    "the join point, so there is no S2 to run optimistically"
+                )
+
+    def fork_count(self) -> int:
+        return len(self.forks)

@@ -1,0 +1,311 @@
+"""Pessimistic reference interpreter.
+
+Executes a system of CSP programs with fully blocking semantics: every
+:class:`~repro.csp.effects.Call` waits for its reply before the program
+continues (the Fig. 2 execution).  This interpreter both *defines* the
+ground-truth trace for Theorem-1 equivalence checks and *is* the sequential
+baseline every benchmark compares against.
+"""
+
+from __future__ import annotations
+
+import copy
+import itertools
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Dict, Generator, List, Optional, Tuple
+
+from repro.errors import EffectError, ProgramError, SimulationError
+from repro.csp.effects import (
+    Call,
+    Compute,
+    Emit,
+    GetTime,
+    Receive,
+    Reply,
+    Send,
+)
+from repro.csp.external import ExternalSink
+from repro.csp.payloads import CallRequest, CallResponse, OneWay, Request
+from repro.csp.process import ProcessDef, Program
+from repro.sim.network import FixedLatency, LatencyModel, Network
+from repro.sim.scheduler import Scheduler
+from repro.sim.stats import Stats
+from repro.trace.recorder import TraceRecorder
+
+
+@dataclass
+class SequentialResult:
+    """Outcome of a pessimistic run."""
+
+    makespan: float
+    completion_times: Dict[str, float]
+    final_states: Dict[str, Dict[str, Any]]
+    trace: list
+    stats: Stats
+    sinks: Dict[str, ExternalSink]
+
+    def sink_output(self, name: str) -> List[Any]:
+        """What reached the named external sink, in order."""
+        return list(self.sinks[name].delivered)
+
+
+class _SeqProcess:
+    """Interpreter state for one process in the pessimistic system."""
+
+    def __init__(self, system: "SequentialSystem", pdef: ProcessDef) -> None:
+        self.system = system
+        self.name = pdef.name
+        self.program: Program = pdef.program  # type: ignore[assignment]
+        self.state: Dict[str, Any] = copy.deepcopy(self.program.initial_state)
+        self.seg_idx = -1
+        self.step = 0  # events recorded within the current segment
+        self.gen: Optional[Generator] = None
+        self.pending: deque = deque()  # (src, Request) not yet consumed
+        self.waiting_receive: Optional[Receive] = None
+        self.waiting_call_id: Optional[int] = None
+        self.done = False
+        self.completion_time: Optional[float] = None
+        self._call_ids = itertools.count(1)
+
+    # ------------------------------------------------------------ lifecycle
+
+    def start(self) -> None:
+        self._next_segment(first=True)
+
+    def _next_segment(self, first: bool = False) -> None:
+        self.seg_idx += 1
+        self.step = 0
+        if self.seg_idx >= len(self.program.segments):
+            self.done = True
+            self.completion_time = self.system.scheduler.now
+            return
+        seg = self.program.segments[self.seg_idx]
+        self.gen = seg.instantiate(self.state)
+        if seg.compute > 0:
+            self.system.scheduler.after(
+                seg.compute, lambda: self._advance(None),
+                label=f"{self.name}.{seg.name}.compute",
+            )
+        else:
+            self._advance(None)
+
+    def porder(self) -> Tuple[int, int]:
+        p = (self.seg_idx, self.step)
+        self.step += 1
+        return p
+
+    # -------------------------------------------------------------- driving
+
+    def _advance(self, value: Any) -> None:
+        """Resume the generator with ``value`` and run until it blocks."""
+        assert self.gen is not None
+        try:
+            effect = self.gen.send(value)
+        except StopIteration:
+            self._next_segment()
+            return
+        self._handle(effect)
+
+    def _handle(self, effect: Any) -> None:
+        sched = self.system.scheduler
+        if isinstance(effect, Compute):
+            sched.after(
+                effect.duration, lambda: self._advance(None),
+                label=f"{self.name}.compute",
+            )
+        elif isinstance(effect, Call):
+            call_id = next(self._call_ids)
+            payload = CallRequest(
+                op=effect.op, args=tuple(effect.args), call_id=call_id,
+                reply_to=self.name, size=effect.size,
+            )
+            self.system.recorder.record_send(
+                self.name, effect.dst, ("call", effect.op, tuple(effect.args)),
+                sched.now, porder=self.porder(),
+            )
+            self.system.network.send(self.name, effect.dst, payload,
+                                     size=effect.size)
+            self.waiting_call_id = call_id
+            # blocked until the CallResponse arrives
+        elif isinstance(effect, Send):
+            payload = OneWay(op=effect.op, args=tuple(effect.args),
+                             size=effect.size)
+            self.system.recorder.record_send(
+                self.name, effect.dst, ("send", effect.op, tuple(effect.args)),
+                sched.now, porder=self.porder(),
+            )
+            self.system.network.send(self.name, effect.dst, payload,
+                                     size=effect.size)
+            self._advance(None)
+        elif isinstance(effect, Receive):
+            delivered = self._try_deliver(effect)
+            if not delivered:
+                self.waiting_receive = effect
+        elif isinstance(effect, Reply):
+            req: Request = effect.request
+            if not isinstance(req, Request) or not req.is_call:
+                raise EffectError(
+                    f"{self.name}: Reply to a non-call request {req!r}"
+                )
+            payload = CallResponse(call_id=req.call_id, value=effect.value,
+                                   op=req.op, size=effect.size)
+            self.system.recorder.record_send(
+                self.name, req.reply_to, ("reply", req.op, effect.value),
+                sched.now, porder=self.porder(),
+            )
+            self.system.network.send(self.name, req.reply_to, payload,
+                                     size=effect.size)
+            self._advance(None)
+        elif isinstance(effect, Emit):
+            if effect.sink not in self.system.sinks:
+                raise EffectError(
+                    f"{self.name}: Emit to unknown sink {effect.sink!r}"
+                )
+            self.system.recorder.record_external(
+                self.name, effect.sink, effect.payload, sched.now,
+                porder=self.porder(),
+            )
+            self.system.network.send(self.name, effect.sink, effect.payload,
+                                     size=effect.size)
+            self._advance(None)
+        elif isinstance(effect, GetTime):
+            self._advance(sched.now)
+        else:
+            raise EffectError(
+                f"{self.name}: unknown effect {effect!r} "
+                f"in segment {self.program.segments[self.seg_idx].name!r}"
+            )
+
+    # ------------------------------------------------------------ messaging
+
+    def _matches(self, recv: Receive, req: Request) -> bool:
+        return recv.ops is None or req.op in recv.ops
+
+    def _try_deliver(self, recv: Receive) -> bool:
+        """Consume the first pending request matching ``recv``, if any."""
+        for i, (src, req) in enumerate(self.pending):
+            if self._matches(recv, req):
+                del self.pending[i]
+                self.system.recorder.record_recv(
+                    src, self.name, ("req", req.op, req.args),
+                    self.system.scheduler.now, porder=self.porder(),
+                )
+                self._advance(req)
+                return True
+        return False
+
+    def on_message(self, src: str, payload: Any) -> None:
+        """Network delivery handler."""
+        sched = self.system.scheduler
+        if isinstance(payload, CallResponse):
+            if self.waiting_call_id != payload.call_id:
+                raise SimulationError(
+                    f"{self.name}: unexpected reply {payload!r} "
+                    f"(waiting for call_id={self.waiting_call_id})"
+                )
+            self.waiting_call_id = None
+            self.system.recorder.record_recv(
+                src, self.name, ("reply", payload.op, payload.value),
+                sched.now, porder=self.porder(),
+            )
+            self._advance(payload.value)
+            return
+        if isinstance(payload, CallRequest):
+            req = Request(src=src, op=payload.op, args=payload.args,
+                          call_id=payload.call_id, reply_to=payload.reply_to)
+        elif isinstance(payload, OneWay):
+            req = Request(src=src, op=payload.op, args=payload.args)
+        else:
+            raise SimulationError(
+                f"{self.name}: cannot interpret payload {payload!r}"
+            )
+        self.pending.append((src, req))
+        if self.waiting_receive is not None:
+            recv = self.waiting_receive
+            # clear before delivery: _advance may immediately Receive again
+            self.waiting_receive = None
+            if not self._try_deliver(recv):
+                self.waiting_receive = recv
+
+
+class SequentialSystem:
+    """Assembles processes, sinks and a network; runs them pessimistically."""
+
+    def __init__(
+        self,
+        latency_model: Optional[LatencyModel] = None,
+        *,
+        max_steps: int = 1_000_000,
+        fifo_links: bool = True,
+        bandwidth: Optional[float] = None,
+    ) -> None:
+        self.scheduler = Scheduler(max_steps=max_steps)
+        self.stats = Stats()
+        self.network = Network(
+            self.scheduler,
+            latency_model or FixedLatency(1.0),
+            stats=self.stats,
+            fifo_links=fifo_links,
+            bandwidth=bandwidth,
+        )
+        self.recorder = TraceRecorder()
+        self.processes: Dict[str, _SeqProcess] = {}
+        self.sinks: Dict[str, ExternalSink] = {}
+        self._started = False
+
+    # ------------------------------------------------------------- assembly
+
+    def add_program(self, program: Program) -> None:
+        """Register a program as a process of this system."""
+        self.add_process(ProcessDef(name=program.name, program=program))
+
+    def add_process(self, pdef: ProcessDef) -> None:
+        """Register a ProcessDef (program or external sink)."""
+        if pdef.external:
+            self.add_sink(pdef.name)
+            return
+        if pdef.name in self.processes or pdef.name in self.sinks:
+            raise ProgramError(f"duplicate process name {pdef.name!r}")
+        proc = _SeqProcess(self, pdef)
+        self.processes[pdef.name] = proc
+        self.network.register(pdef.name, proc.on_message)
+
+    def add_sink(self, name: str) -> ExternalSink:
+        """Register an external sink endpoint."""
+        if name in self.processes or name in self.sinks:
+            raise ProgramError(f"duplicate process name {name!r}")
+        sink = ExternalSink(name)
+        self.sinks[name] = sink
+        self.network.register(name, sink.handler(self.scheduler))
+        return sink
+
+    # ------------------------------------------------------------------ run
+
+    def start(self) -> None:
+        """Launch every process (idempotent; ``run`` calls it for you)."""
+        if self._started:
+            return
+        self._started = True
+        for proc in self.processes.values():
+            self.scheduler.at(0.0, proc.start, label=f"start {proc.name}")
+
+    def run(self, until: Optional[float] = None) -> SequentialResult:
+        """Run to quiescence (or ``until``) and collect the results."""
+        self.start()
+        self.scheduler.run(until=until)
+        completion = {
+            name: p.completion_time
+            for name, p in self.processes.items()
+            if p.completion_time is not None
+        }
+        finished = list(completion.values())
+        makespan = max(finished) if finished else self.scheduler.now
+        return SequentialResult(
+            makespan=makespan,
+            completion_times=completion,
+            final_states={n: p.state for n, p in self.processes.items()},
+            trace=self.recorder.committed(),
+            stats=self.stats,
+            sinks=self.sinks,
+        )

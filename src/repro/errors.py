@@ -1,0 +1,57 @@
+"""Exception hierarchy for the repro library.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch everything from this package with a single ``except`` clause.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class SimulationError(ReproError):
+    """An internal invariant of the discrete-event simulator was violated."""
+
+
+class ClockError(SimulationError):
+    """Virtual time moved backwards or was otherwise misused."""
+
+
+class NetworkError(SimulationError):
+    """A message was routed to an unknown destination or a bad link."""
+
+
+class ProgramError(ReproError):
+    """A user program is malformed (bad effect, bad segment structure...)."""
+
+
+class EffectError(ProgramError):
+    """A segment yielded an effect that is invalid in its current context."""
+
+
+class DeterminismError(ReproError):
+    """Replay diverged from the original execution.
+
+    Raised when re-executing a rolled-back thread produces a different
+    sequence of effects than the logged original, which means the user
+    program violated the determinism contract (its behaviour must be a pure
+    function of its initial state and received values).
+    """
+
+
+class ProtocolError(ReproError):
+    """The optimistic runtime reached a state forbidden by the protocol."""
+
+
+class RollbackError(ProtocolError):
+    """Rollback was requested to an unknown or already-committed point."""
+
+
+class LivenessError(ProtocolError):
+    """The run exceeded its configured bounds (e.g. scheduler step limit)."""
+
+
+class TraceMismatchError(ReproError):
+    """Observable traces of two executions were expected to match but did not."""

@@ -1,0 +1,39 @@
+"""Deterministic discrete-event simulation substrate.
+
+This package stands in for the paper's execution environment (Mach processes
+on a real network): it provides virtual time, an event queue with
+deterministic tie-breaking, latency-modelled message delivery, named seeded
+random streams, and run statistics.  All performance results in the
+reproduction are *virtual-time* measurements taken from this substrate, so
+they are exactly reproducible and unaffected by the Python GIL.
+"""
+
+from repro.sim.clock import VirtualClock
+from repro.sim.events import Event, EventQueue
+from repro.sim.scheduler import Scheduler, Timer
+from repro.sim.network import (
+    FixedLatency,
+    JitteredLatency,
+    LatencyModel,
+    Network,
+    PerLinkLatency,
+    SkewedLatency,
+)
+from repro.sim.rng import RngRegistry
+from repro.sim.stats import Stats
+
+__all__ = [
+    "VirtualClock",
+    "Event",
+    "EventQueue",
+    "Scheduler",
+    "Timer",
+    "LatencyModel",
+    "FixedLatency",
+    "PerLinkLatency",
+    "JitteredLatency",
+    "SkewedLatency",
+    "Network",
+    "RngRegistry",
+    "Stats",
+]

@@ -1,0 +1,46 @@
+"""Virtual time for the discrete-event simulator.
+
+Time is a non-negative float that only moves forward.  The clock is owned by
+the :class:`~repro.sim.scheduler.Scheduler`; everything else reads it through
+``scheduler.now``.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ClockError
+
+
+class VirtualClock:
+    """Monotonically non-decreasing virtual clock.
+
+    The scheduler advances the clock to each event's timestamp.  Attempting
+    to move it backwards raises :class:`~repro.errors.ClockError`, which
+    would indicate a corrupted event queue.
+    """
+
+    __slots__ = ("_now",)
+
+    def __init__(self, start: float = 0.0) -> None:
+        if start < 0:
+            raise ClockError(f"clock cannot start at negative time {start!r}")
+        self._now = float(start)
+
+    @property
+    def now(self) -> float:
+        """Current virtual time."""
+        return self._now
+
+    def advance_to(self, t: float) -> None:
+        """Move the clock forward to ``t``.
+
+        ``t`` may equal the current time (simultaneous events) but may not
+        precede it.
+        """
+        if t < self._now:
+            raise ClockError(
+                f"clock moving backwards: now={self._now!r}, requested={t!r}"
+            )
+        self._now = float(t)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"VirtualClock(now={self._now!r})"

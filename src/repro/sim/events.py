@@ -1,0 +1,113 @@
+"""Event queue for the discrete-event simulator.
+
+Events are ordered by ``(time, priority, seq)``.  ``seq`` is a global
+insertion counter, so two events scheduled for the same instant at the same
+priority fire in insertion order — this is what makes whole simulations
+deterministic and therefore replayable in tests.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+from repro.errors import SimulationError
+
+#: Default priority for ordinary events.
+PRIORITY_NORMAL = 0
+#: Control-plane events (commit/abort propagation) fire before data events
+#: scheduled at the same instant, mirroring an implementation that treats
+#: control traffic as higher priority.
+PRIORITY_CONTROL = -1
+
+
+@dataclass(order=True)
+class Event:
+    """A scheduled callback.
+
+    Attributes
+    ----------
+    time:
+        Virtual time at which the event fires.
+    priority:
+        Lower fires first among simultaneous events.
+    seq:
+        Insertion sequence number (deterministic tie-break).
+    action:
+        Zero-argument callable run when the event fires.
+    label:
+        Human-readable tag used in debugging and statistics.
+    """
+
+    time: float
+    priority: int
+    seq: int
+    action: Callable[[], None] = field(compare=False)
+    label: str = field(compare=False, default="")
+    cancelled: bool = field(compare=False, default=False)
+
+    def cancel(self) -> None:
+        """Mark the event so the scheduler skips it when popped."""
+        self.cancelled = True
+
+
+class EventQueue:
+    """Binary-heap event queue with deterministic ordering.
+
+    Cancellation is lazy: cancelled events stay in the heap and are skipped
+    on pop, which keeps ``cancel`` O(1).
+    """
+
+    def __init__(self) -> None:
+        self._heap: list[Event] = []
+        self._counter = itertools.count()
+
+    def __len__(self) -> int:
+        return sum(1 for e in self._heap if not e.cancelled)
+
+    def push(
+        self,
+        time: float,
+        action: Callable[[], None],
+        *,
+        priority: int = PRIORITY_NORMAL,
+        label: str = "",
+    ) -> Event:
+        """Schedule ``action`` at virtual time ``time`` and return the event."""
+        if time < 0:
+            raise SimulationError(f"cannot schedule event at negative time {time!r}")
+        ev = Event(
+            time=float(time),
+            priority=priority,
+            seq=next(self._counter),
+            action=action,
+            label=label,
+        )
+        heapq.heappush(self._heap, ev)
+        return ev
+
+    def pop(self) -> Optional[Event]:
+        """Remove and return the earliest live event, or ``None`` if empty."""
+        while self._heap:
+            ev = heapq.heappop(self._heap)
+            if not ev.cancelled:
+                return ev
+        return None
+
+    def peek_time(self) -> Optional[float]:
+        """Time of the earliest live event without removing it."""
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        return self._heap[0].time if self._heap else None
+
+    def clear(self) -> None:
+        self._heap.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"EventQueue(pending={len(self)})"
+
+
+def _never() -> None:  # pragma: no cover - placeholder action
+    raise SimulationError("placeholder event should never fire")

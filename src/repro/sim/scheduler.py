@@ -1,0 +1,126 @@
+"""Discrete-event scheduler: the main loop of the simulation substrate.
+
+The scheduler owns the virtual clock and the event queue, and offers timers
+(used by the optimistic runtime for fork timeouts, §3.2 of the paper).  A
+step limit guards against protocol bugs that would otherwise loop forever.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.errors import LivenessError
+from repro.sim.clock import VirtualClock
+from repro.sim.events import Event, EventQueue, PRIORITY_NORMAL
+
+
+class Timer:
+    """Handle for a scheduled timeout that can be cancelled.
+
+    Wraps the underlying :class:`Event`; cancelling an already-fired or
+    already-cancelled timer is a no-op, so callers never need to track
+    whether the race was won.
+    """
+
+    __slots__ = ("_event", "fired")
+
+    def __init__(self, event: Event) -> None:
+        self._event = event
+        self.fired = False
+
+    def cancel(self) -> None:
+        self._event.cancel()
+
+    @property
+    def cancelled(self) -> bool:
+        return self._event.cancelled
+
+
+class Scheduler:
+    """Deterministic discrete-event scheduler.
+
+    Parameters
+    ----------
+    max_steps:
+        Upper bound on processed events; exceeding it raises
+        :class:`~repro.errors.LivenessError`.  This converts runtime
+        non-termination bugs into test failures.
+    """
+
+    def __init__(self, max_steps: int = 1_000_000) -> None:
+        self.clock = VirtualClock()
+        self.queue = EventQueue()
+        self.max_steps = max_steps
+        self.steps_executed = 0
+
+    @property
+    def now(self) -> float:
+        return self.clock.now
+
+    def at(
+        self,
+        time: float,
+        action: Callable[[], None],
+        *,
+        priority: int = PRIORITY_NORMAL,
+        label: str = "",
+    ) -> Event:
+        """Schedule ``action`` at absolute virtual time ``time``."""
+        if time < self.now:
+            time = self.now
+        return self.queue.push(time, action, priority=priority, label=label)
+
+    def after(
+        self,
+        delay: float,
+        action: Callable[[], None],
+        *,
+        priority: int = PRIORITY_NORMAL,
+        label: str = "",
+    ) -> Event:
+        """Schedule ``action`` ``delay`` time units from now."""
+        if delay < 0:
+            delay = 0.0
+        return self.queue.push(
+            self.now + delay, action, priority=priority, label=label
+        )
+
+    def timer(self, delay: float, action: Callable[[], None], *, label: str = "timer") -> Timer:
+        """Arm a cancellable timeout firing ``delay`` units from now."""
+        holder: list[Timer] = []
+
+        def fire() -> None:
+            holder[0].fired = True
+            action()
+
+        ev = self.after(delay, fire, label=label)
+        t = Timer(ev)
+        holder.append(t)
+        return t
+
+    def step(self) -> bool:
+        """Process one event.  Returns ``False`` when the queue is empty."""
+        ev = self.queue.pop()
+        if ev is None:
+            return False
+        self.steps_executed += 1
+        if self.steps_executed > self.max_steps:
+            raise LivenessError(
+                f"scheduler exceeded max_steps={self.max_steps}; "
+                f"likely livelock (last event label={ev.label!r})"
+            )
+        self.clock.advance_to(ev.time)
+        ev.action()
+        return True
+
+    def run(self, until: Optional[float] = None) -> float:
+        """Run until the queue drains (or past ``until``).  Returns final time."""
+        while True:
+            nxt = self.queue.peek_time()
+            if nxt is None:
+                break
+            if until is not None and nxt > until:
+                self.clock.advance_to(until)
+                break
+            self.step()
+        return self.now

@@ -1,0 +1,69 @@
+"""Network topology builders.
+
+The paper's motivation is distribution: "communication delays are long
+relative to the speed of computation".  These helpers build
+:class:`~repro.sim.network.PerLinkLatency` models for common deployment
+shapes so scenarios can say "client on a WAN, servers co-located" in one
+line.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Mapping, Sequence, Tuple
+
+from repro.errors import NetworkError
+from repro.sim.network import PerLinkLatency
+
+
+def uniform(names: Iterable[str], latency: float) -> PerLinkLatency:
+    """Everyone the same distance apart (a LAN)."""
+    return PerLinkLatency(default=latency)
+
+
+def star(hub: str, leaves: Sequence[str], *, spoke: float,
+         hub_local: float = 0.0) -> PerLinkLatency:
+    """Leaves talk to the hub over ``spoke``; leaf↔leaf pays two spokes."""
+    model = PerLinkLatency(default=2 * spoke)
+    for leaf in leaves:
+        model.set(hub, leaf, spoke)
+        model.set(leaf, hub, spoke)
+    model.set(hub, hub, hub_local)
+    return model
+
+
+def clusters(groups: Mapping[str, Sequence[str]], *, local: float,
+             remote: float) -> PerLinkLatency:
+    """Named clusters: cheap within a group, expensive across groups.
+
+    The classic paper setting: ``clusters({"site-a": ["X"], "site-b":
+    ["Y", "Z"]}, local=0.5, remote=20)`` puts the client a WAN away from
+    co-located servers.
+    """
+    if local > remote:
+        raise NetworkError("local latency exceeds remote latency")
+    member_of: Dict[str, str] = {}
+    for group, members in groups.items():
+        for m in members:
+            if m in member_of:
+                raise NetworkError(f"process {m!r} in two clusters")
+            member_of[m] = group
+    model = PerLinkLatency(default=remote)
+    names = list(member_of)
+    for a in names:
+        for b in names:
+            if member_of[a] == member_of[b]:
+                model.set(a, b, local)
+    return model
+
+
+def ring(names: Sequence[str], *, hop: float) -> PerLinkLatency:
+    """Latency proportional to ring distance (min of both directions)."""
+    n = len(names)
+    if n < 2:
+        raise NetworkError("ring needs at least two processes")
+    model = PerLinkLatency(default=hop * (n // 2))
+    for i, a in enumerate(names):
+        for j, b in enumerate(names):
+            dist = min((i - j) % n, (j - i) % n)
+            model.set(a, b, hop * max(dist, 0))
+    return model

@@ -1,0 +1,36 @@
+"""Trace framework: observable events, happens-before, equivalence.
+
+The paper's correctness criterion (Theorem 1) is that an optimistic
+parallelization yields the *same partial traces* as the pessimistic
+computation: the data values of each committed input/output event are
+preserved, as is Lamport's happens-before relation between them.  This
+package records traces from either interpreter and checks equivalence.
+"""
+
+from repro.trace.events import TraceEvent
+from repro.trace.lamport import LamportClock, VectorClock
+from repro.trace.recorder import TraceRecorder
+from repro.trace.equivalence import (
+    assert_equivalent,
+    link_sequences,
+    receiver_sequences,
+    sender_sequences,
+    traces_equivalent,
+)
+from repro.trace.diagram import render_timeline
+from repro.trace.hb import assert_hb_preserved, vector_clocks
+
+__all__ = [
+    "TraceEvent",
+    "LamportClock",
+    "VectorClock",
+    "TraceRecorder",
+    "assert_equivalent",
+    "traces_equivalent",
+    "link_sequences",
+    "sender_sequences",
+    "receiver_sequences",
+    "render_timeline",
+    "assert_hb_preserved",
+    "vector_clocks",
+]

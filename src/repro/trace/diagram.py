@@ -1,0 +1,128 @@
+"""ASCII time-line diagrams — the paper's figures, regenerated from runs.
+
+The paper illustrates every execution with a process-per-column time-line
+(Figures 2–7).  :func:`render_timeline` produces the same view from a
+recorded run: one column per process, virtual time flowing downward, one
+row per message or protocol event, guard sets shown in braces exactly like
+the figure labels.
+
+Works for both interpreters: pass ``result.trace`` (and, for optimistic
+runs, ``result.protocol_log``).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, List, Optional, Sequence, Tuple
+
+from repro.trace.events import EXTERNAL, RECV, SEND, TraceEvent
+
+#: (time, process-column, text, sort-key-extra)
+Row = Tuple[float, str, str]
+
+_PROTOCOL_LABELS = {
+    "fork": lambda e: f"fork {e['guess']} @{e.get('site', '?')}",
+    "commit": lambda e: f"COMMIT({e['guess']})",
+    "abort": lambda e: f"ABORT({e['guess']}) [{e.get('reason', '?')}]",
+    "value_fault": lambda e: f"value fault {e['guess']}",
+    "join_time_fault": lambda e: f"time fault {e['guess']}",
+    "early_reply_time_fault": lambda e: f"time fault (early) {e['guess']}",
+    "cycle_abort": lambda e: "cycle " + " -> ".join(e.get("cycle", [])),
+    "timeout_abort": lambda e: f"timeout {e['guess']}",
+    "precedence_sent": lambda e: (
+        f"PRECEDENCE({e['guess']}, {{{', '.join(e.get('guard', []))}}})"
+    ),
+    "rollback": lambda e: f"rollback t{e.get('tid')} to {e.get('position')}",
+    "continuation": lambda e: f"re-execute as t{e.get('tid')}",
+    "orphan_discard": lambda e: f"discard orphan #{e.get('msg_id')}",
+    "committed_complete": lambda e: "** committed **",
+}
+
+
+def _guards_text(guards: Iterable[str]) -> str:
+    g = sorted(guards)
+    return "{" + ",".join(g) + "}"
+
+
+def _payload_text(payload: Any) -> str:
+    if isinstance(payload, tuple) and payload and isinstance(payload[0], str):
+        kind = payload[0]
+        rest = payload[1:]
+        if kind == "call":
+            return f"call {rest[0]}{rest[1]!r}"
+        if kind == "reply":
+            return f"reply {rest[0]}={rest[1]!r}"
+        if kind == "send":
+            return f"send {rest[0]}{rest[1]!r}"
+        if kind == "req":
+            return f"recv {rest[0]}{rest[1]!r}"
+    return repr(payload)
+
+
+def trace_rows(events: Iterable[TraceEvent]) -> List[Row]:
+    """One row per trace event, placed in its owning process's column."""
+    rows: List[Row] = []
+    for ev in sorted(events, key=lambda e: (e.time, e.seq)):
+        tag = _guards_text(ev.guards)
+        if ev.kind == SEND:
+            rows.append((ev.time, ev.src,
+                         f"{_payload_text(ev.payload)} -> {ev.dst} {tag}"))
+        elif ev.kind == RECV:
+            rows.append((ev.time, ev.dst,
+                         f"{_payload_text(ev.payload)} <- {ev.src} {tag}"))
+        elif ev.kind == EXTERNAL:
+            rows.append((ev.time, ev.src,
+                         f"emit {ev.payload!r} -> [{ev.dst}] {tag}"))
+    return rows
+
+
+def protocol_rows(protocol_log: Iterable[dict],
+                  include: Optional[Sequence[str]] = None) -> List[Row]:
+    """One row per protocol event (fork/commit/abort/rollback/...)."""
+    rows: List[Row] = []
+    for entry in protocol_log:
+        kind = entry["kind"]
+        if include is not None and kind not in include:
+            continue
+        label = _PROTOCOL_LABELS.get(kind)
+        if label is None:
+            continue
+        rows.append((entry["time"], entry["process"], label(entry)))
+    return rows
+
+
+def render_timeline(
+    trace: Iterable[TraceEvent] = (),
+    protocol_log: Iterable[dict] = (),
+    *,
+    processes: Optional[Sequence[str]] = None,
+    protocol_kinds: Optional[Sequence[str]] = None,
+    title: str = "",
+) -> str:
+    """Render a process-per-column diagram of a run.
+
+    ``processes`` fixes column order (default: alphabetical discovery).
+    ``protocol_kinds`` filters which protocol events appear (default all
+    known kinds).
+    """
+    rows = trace_rows(trace) + protocol_rows(protocol_log, protocol_kinds)
+    rows.sort(key=lambda r: r[0])
+    if processes is None:
+        processes = sorted({p for _, p, _ in rows})
+    columns = list(processes)
+    widths = {p: max([len(p)] + [len(text) for t, q, text in rows if q == p])
+              for p in columns}
+
+    out: List[str] = []
+    if title:
+        out.append(title)
+    header = "time     | " + " | ".join(p.center(widths[p]) for p in columns)
+    out.append(header)
+    out.append("-" * len(header))
+    for t, p, text in rows:
+        if p not in widths:
+            continue
+        cells = [
+            (text if q == p else "").ljust(widths[q]) for q in columns
+        ]
+        out.append(f"{t:8.2f} | " + " | ".join(cells))
+    return "\n".join(out)

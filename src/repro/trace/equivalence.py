@@ -1,0 +1,145 @@
+"""Partial-trace equivalence (the paper's Theorem 1 check).
+
+Two executions are equivalent when, restricted to committed events:
+
+1. **Per-link data sequences match.**  For every directed link (src, dst),
+   the sequence of payloads sent matches, and likewise for receives and
+   external deliveries.  Because links are FIFO, per-link sequences fully
+   determine the data values and the per-link order of the partial trace.
+2. **Per-process send order matches.**  Restricted to one sender, the
+   interleaving of its sends across links is the same — this is the
+   program-order component of happens-before that the transformation must
+   preserve for committed events.
+3. **Per-process receive order matches.**  Restricted to one receiver, the
+   interleaving of consumed messages across senders is the same.  This is
+   precisely what a *time fault* violates (Fig. 4: Z consumes X's call
+   before Y's), so it must be part of the check.
+
+Virtual times are deliberately *not* compared: the whole point of the
+transformation is to change timing without changing the trace.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Any, Dict, Iterable, List, Tuple
+
+from repro.errors import TraceMismatchError
+from repro.trace.events import EXTERNAL, RECV, SEND, TraceEvent
+
+
+def _in_program_order(events: Iterable[TraceEvent]) -> List[TraceEvent]:
+    """Sort events by each owning process's program order.
+
+    The optimistic runtime may physically perform (and therefore record)
+    events out of their logical order — e.g. external output is buffered
+    until commit.  Sorting by ``(owner, porder, seq)`` recovers the logical
+    per-process order that the trace semantics are defined over.
+    """
+    return sorted(events, key=lambda ev: (ev.owner, ev.porder, ev.seq))
+
+
+def link_sequences(
+    events: Iterable[TraceEvent],
+    kinds: Tuple[str, ...] = (SEND, EXTERNAL, RECV),
+) -> Dict[Tuple[str, str, str], List[Any]]:
+    """Group payloads by (kind, src, dst), in the owner's program order."""
+    seqs: Dict[Tuple[str, str, str], List[Any]] = defaultdict(list)
+    for ev in _in_program_order(events):
+        if ev.kind in kinds:
+            seqs[(ev.kind, ev.src, ev.dst)].append(ev.payload)
+    return dict(seqs)
+
+
+def sender_sequences(
+    events: Iterable[TraceEvent], kinds: Tuple[str, ...] = (SEND, EXTERNAL)
+) -> Dict[str, List[Tuple[str, Any]]]:
+    """Per-sender interleaving of (dst, payload), in program order."""
+    seqs: Dict[str, List[Tuple[str, Any]]] = defaultdict(list)
+    for ev in _in_program_order(events):
+        if ev.kind in kinds:
+            seqs[ev.src].append((ev.dst, ev.payload))
+    return dict(seqs)
+
+
+def receiver_sequences(
+    events: Iterable[TraceEvent],
+) -> Dict[str, List[Tuple[str, Any]]]:
+    """Per-receiver interleaving of (src, payload), in program order."""
+    seqs: Dict[str, List[Tuple[str, Any]]] = defaultdict(list)
+    for ev in _in_program_order(events):
+        if ev.kind == RECV:
+            seqs[ev.dst].append((ev.src, ev.payload))
+    return dict(seqs)
+
+
+def traces_equivalent(
+    a: Iterable[TraceEvent], b: Iterable[TraceEvent]
+) -> bool:
+    """True iff the two committed traces are partial-trace equivalent."""
+    a = list(a)
+    b = list(b)
+    return (
+        link_sequences(a) == link_sequences(b)
+        and sender_sequences(a) == sender_sequences(b)
+        and receiver_sequences(a) == receiver_sequences(b)
+    )
+
+
+def assert_equivalent(
+    a: Iterable[TraceEvent],
+    b: Iterable[TraceEvent],
+    *,
+    label_a: str = "optimistic",
+    label_b: str = "pessimistic",
+    free_interleaving: Tuple[str, ...] = (),
+) -> None:
+    """Raise :class:`TraceMismatchError` with a readable diff if not equivalent.
+
+    ``free_interleaving`` names processes (typically servers shared by
+    *independent* clients) whose cross-sender consumption order — and the
+    resulting cross-destination reply order — is nondeterministic choice
+    in the CSP semantics: the canonical sequential run fixes one legal
+    interleaving, the optimistic run may commit another.  Per-link
+    sequences are still compared exactly for every process.
+    """
+    a = list(a)
+    b = list(b)
+    seq_a, seq_b = link_sequences(a), link_sequences(b)
+    if seq_a != seq_b:
+        lines = [f"per-link sequences differ between {label_a} and {label_b}:"]
+        for key in sorted(set(seq_a) | set(seq_b)):
+            va, vb = seq_a.get(key, []), seq_b.get(key, [])
+            if va != vb:
+                lines.append(f"  link {key}:")
+                lines.append(f"    {label_a}: {va!r}")
+                lines.append(f"    {label_b}: {vb!r}")
+        raise TraceMismatchError("\n".join(lines))
+    ord_a, ord_b = sender_sequences(a), sender_sequences(b)
+    if ord_a != ord_b:
+        lines = [f"per-sender orders differ between {label_a} and {label_b}:"]
+        for key in sorted(set(ord_a) | set(ord_b)):
+            if key in free_interleaving:
+                continue
+            va, vb = ord_a.get(key, []), ord_b.get(key, [])
+            if va != vb:
+                lines.append(f"  sender {key}:")
+                lines.append(f"    {label_a}: {va!r}")
+                lines.append(f"    {label_b}: {vb!r}")
+        if len(lines) > 1:
+            raise TraceMismatchError("\n".join(lines))
+    rcv_a, rcv_b = receiver_sequences(a), receiver_sequences(b)
+    if rcv_a != rcv_b:
+        lines = [
+            f"per-receiver orders differ between {label_a} and {label_b}:"
+        ]
+        for key in sorted(set(rcv_a) | set(rcv_b)):
+            if key in free_interleaving:
+                continue
+            va, vb = rcv_a.get(key, []), rcv_b.get(key, [])
+            if va != vb:
+                lines.append(f"  receiver {key}:")
+                lines.append(f"    {label_a}: {va!r}")
+                lines.append(f"    {label_b}: {vb!r}")
+        if len(lines) > 1:
+            raise TraceMismatchError("\n".join(lines))

@@ -1,0 +1,150 @@
+"""Happens-before reconstruction and preservation checking.
+
+The paper preserves "the 'happens before' relationship [Lamport 78]"
+between committed events.  The per-link/per-owner sequence checks in
+:mod:`repro.trace.equivalence` imply this under FIFO links; this module
+*proves* it for a given pair of traces by reconstructing vector clocks
+from each trace and comparing the induced partial orders on matched
+events.
+
+Reconstruction rules (standard):
+
+* events of one process are totally ordered by program order (``porder``);
+* the k-th send on a link happens-before the k-th receive on that link
+  (FIFO matching);
+* happens-before is the transitive closure, computed with vector clocks.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, Iterable, List, Tuple
+
+from repro.errors import TraceMismatchError
+from repro.trace.events import EXTERNAL, RECV, SEND, TraceEvent
+from repro.trace.lamport import VectorClock
+
+#: A stable, cross-trace identity for an event: its link, direction and
+#: per-link ordinal.  Two equivalent traces match events 1:1 on this key.
+EventKey = Tuple[str, str, str, int]
+
+
+def event_keys(events: Iterable[TraceEvent]) -> Dict[EventKey, TraceEvent]:
+    """Key every event by (kind, src, dst, ordinal-on-that-link)."""
+    counters: Dict[Tuple[str, str, str], int] = defaultdict(int)
+    keyed: Dict[EventKey, TraceEvent] = {}
+    for ev in sorted(events, key=lambda e: (e.owner, e.porder, e.seq)):
+        link = (ev.kind, ev.src, ev.dst)
+        keyed[(ev.kind, ev.src, ev.dst, counters[link])] = ev
+        counters[link] += 1
+    return keyed
+
+
+def vector_clocks(events: Iterable[TraceEvent]) -> Dict[EventKey, Dict[str, int]]:
+    """Reconstruct a vector clock for every event of a committed trace."""
+    events = list(events)
+    # process each owner's events in program order, but globally we must
+    # process a receive after its matching send: iterate in a topological
+    # style using per-process cursors.
+    per_proc: Dict[str, List[TraceEvent]] = defaultdict(list)
+    for ev in sorted(events, key=lambda e: (e.porder, e.seq)):
+        per_proc[ev.owner].append(ev)
+    cursors = {p: 0 for p in per_proc}
+    clocks: Dict[str, VectorClock] = {p: VectorClock(p) for p in per_proc}
+    send_snaps: Dict[Tuple[str, str, int], Dict[str, int]] = {}
+    recv_counts: Dict[Tuple[str, str], int] = defaultdict(int)
+    send_counts: Dict[Tuple[str, str], int] = defaultdict(int)
+    out: Dict[EventKey, Dict[str, int]] = {}
+    keyed = event_keys(events)
+    key_of = {id(ev): key for key, ev in keyed.items()}
+
+    remaining = sum(len(v) for v in per_proc.values())
+    progress = True
+    while remaining and progress:
+        progress = False
+        for proc in sorted(per_proc):
+            while cursors[proc] < len(per_proc[proc]):
+                ev = per_proc[proc][cursors[proc]]
+                if ev.kind in (SEND, EXTERNAL):
+                    snap = clocks[proc].tick()
+                    idx = send_counts[(ev.src, ev.dst)]
+                    send_counts[(ev.src, ev.dst)] += 1
+                    send_snaps[(ev.src, ev.dst, idx)] = snap
+                    out[key_of[id(ev)]] = snap
+                elif ev.kind == RECV:
+                    idx = recv_counts[(ev.src, ev.dst)]
+                    snap_key = (ev.src, ev.dst, idx)
+                    if snap_key not in send_snaps:
+                        break  # matching send not processed yet: stall
+                    recv_counts[(ev.src, ev.dst)] += 1
+                    snap = clocks[proc].observe(send_snaps[snap_key])
+                    out[key_of[id(ev)]] = snap
+                else:  # pragma: no cover - unknown kinds ignored
+                    cursors[proc] += 1
+                    continue
+                cursors[proc] += 1
+                remaining -= 1
+                progress = True
+    if remaining:
+        # receives without matching sends (e.g. truncated traces): stamp
+        # whatever is left with local-only clocks so callers still get
+        # a total function.
+        for proc in sorted(per_proc):
+            while cursors[proc] < len(per_proc[proc]):
+                ev = per_proc[proc][cursors[proc]]
+                out[key_of[id(ev)]] = clocks[proc].tick()
+                cursors[proc] += 1
+    return out
+
+
+def assert_hb_preserved(
+    a: Iterable[TraceEvent],
+    b: Iterable[TraceEvent],
+    *,
+    label_a: str = "optimistic",
+    label_b: str = "pessimistic",
+) -> int:
+    """Verify both traces induce the same happens-before partial order.
+
+    Events are matched across traces by their per-link ordinal key; every
+    matched pair must agree on payloads, and every *pair of events* must
+    be ordered identically (before / after / concurrent) in both traces.
+    Returns the number of event pairs compared.
+    """
+    ka, kb = event_keys(a), event_keys(b)
+    if set(ka) != set(kb):
+        only_a = sorted(set(ka) - set(kb))[:5]
+        only_b = sorted(set(kb) - set(ka))[:5]
+        raise TraceMismatchError(
+            f"event sets differ: only in {label_a}: {only_a}; "
+            f"only in {label_b}: {only_b}"
+        )
+    for key in ka:
+        if ka[key].payload != kb[key].payload:
+            raise TraceMismatchError(
+                f"payload mismatch at {key}: {label_a}={ka[key].payload!r} "
+                f"{label_b}={kb[key].payload!r}"
+            )
+    vca = vector_clocks(ka.values())
+    vcb = vector_clocks(kb.values())
+    keys = sorted(ka)
+    compared = 0
+    for i, k1 in enumerate(keys):
+        for k2 in keys[i + 1:]:
+            rel_a = _relation(vca[k1], vca[k2])
+            rel_b = _relation(vcb[k1], vcb[k2])
+            if rel_a != rel_b:
+                raise TraceMismatchError(
+                    f"happens-before differs for {k1} vs {k2}: "
+                    f"{label_a}={rel_a} {label_b}={rel_b}"
+                )
+            compared += 1
+    return compared
+
+
+def _relation(a: Dict[str, int], b: Dict[str, int]) -> str:
+    if VectorClock.happens_before(a, b):
+        return "before"
+    if VectorClock.happens_before(b, a):
+        return "after"
+    return "concurrent"

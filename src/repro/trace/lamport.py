@@ -1,0 +1,74 @@
+"""Logical clocks: Lamport scalar clocks and vector clocks.
+
+Used to stamp trace events so tests can check that the optimistic execution
+preserves the happens-before relation [Lamport 1978] of the sequential one.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Mapping
+
+
+class LamportClock:
+    """Classic scalar logical clock.
+
+    ``tick()`` before a local or send event; ``observe(remote)`` on receive.
+    """
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0
+
+    def tick(self) -> int:
+        self.value += 1
+        return self.value
+
+    def observe(self, remote: int) -> int:
+        """Merge a received timestamp, then tick for the receive event."""
+        self.value = max(self.value, remote)
+        return self.tick()
+
+
+class VectorClock:
+    """Vector clock keyed by process name.
+
+    Immutable-by-convention snapshots are produced with :meth:`snapshot`;
+    comparison helpers implement the standard partial order.
+    """
+
+    __slots__ = ("owner", "clock")
+
+    def __init__(self, owner: str, clock: Mapping[str, int] | None = None) -> None:
+        self.owner = owner
+        self.clock: Dict[str, int] = dict(clock or {})
+        self.clock.setdefault(owner, 0)
+
+    def tick(self) -> Dict[str, int]:
+        self.clock[self.owner] = self.clock.get(self.owner, 0) + 1
+        return self.snapshot()
+
+    def observe(self, remote: Mapping[str, int]) -> Dict[str, int]:
+        """Pointwise max with a received snapshot, then tick."""
+        for k, v in remote.items():
+            if v > self.clock.get(k, 0):
+                self.clock[k] = v
+        return self.tick()
+
+    def snapshot(self) -> Dict[str, int]:
+        return dict(self.clock)
+
+    @staticmethod
+    def happens_before(a: Mapping[str, int], b: Mapping[str, int]) -> bool:
+        """True iff snapshot ``a`` strictly precedes ``b`` (a -> b)."""
+        keys = set(a) | set(b)
+        le = all(a.get(k, 0) <= b.get(k, 0) for k in keys)
+        lt = any(a.get(k, 0) < b.get(k, 0) for k in keys)
+        return le and lt
+
+    @staticmethod
+    def concurrent(a: Mapping[str, int], b: Mapping[str, int]) -> bool:
+        """True iff neither snapshot precedes the other."""
+        return not VectorClock.happens_before(a, b) and not VectorClock.happens_before(
+            b, a
+        )

@@ -1,0 +1,93 @@
+"""Trace recorder.
+
+The recorder collects tentative events during a run.  Optimistic runtimes tag
+each event with the commit-guard set in force when it happened; when a guess
+aborts, every event depending on it is discarded (those computations are not
+observable, §2).  ``committed()`` returns the surviving trace.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Iterable, List, Set
+
+from repro.trace.events import EXTERNAL, RECV, SEND, TraceEvent
+
+
+class TraceRecorder:
+    """Collects :class:`TraceEvent` records and filters aborted ones."""
+
+    def __init__(self) -> None:
+        self._events: List[TraceEvent] = []
+        self._aborted: Set[str] = set()
+        self._seq = itertools.count()
+
+    # ------------------------------------------------------------- recording
+
+    def record(
+        self,
+        kind: str,
+        src: str,
+        dst: str,
+        payload: Any,
+        time: float,
+        guards: Iterable[str] = (),
+        porder: tuple = (0, 0),
+    ) -> TraceEvent:
+        ev = TraceEvent(
+            kind=kind,
+            src=src,
+            dst=dst,
+            payload=payload,
+            time=time,
+            seq=next(self._seq),
+            guards=frozenset(guards),
+            porder=porder,
+        )
+        self._events.append(ev)
+        return ev
+
+    def record_send(self, src: str, dst: str, payload: Any, time: float,
+                    guards: Iterable[str] = (), porder: tuple = (0, 0)) -> TraceEvent:
+        return self.record(SEND, src, dst, payload, time, guards, porder)
+
+    def record_recv(self, src: str, dst: str, payload: Any, time: float,
+                    guards: Iterable[str] = (), porder: tuple = (0, 0)) -> TraceEvent:
+        return self.record(RECV, src, dst, payload, time, guards, porder)
+
+    def record_external(self, src: str, dst: str, payload: Any, time: float,
+                        guards: Iterable[str] = (), porder: tuple = (0, 0)) -> TraceEvent:
+        return self.record(EXTERNAL, src, dst, payload, time, guards, porder)
+
+    # ------------------------------------------------------------- filtering
+
+    def mark_aborted(self, guess_key: str) -> None:
+        """Declare guess ``guess_key`` aborted; dependent events are dropped."""
+        self._aborted.add(guess_key)
+
+    @property
+    def aborted_guesses(self) -> Set[str]:
+        return set(self._aborted)
+
+    def committed(self) -> List[TraceEvent]:
+        """Events not depending on any aborted guess, in record order."""
+        return [
+            ev
+            for ev in self._events
+            if not (ev.guards & self._aborted)
+        ]
+
+    def all_events(self) -> List[TraceEvent]:
+        """Every recorded event, including those later invalidated."""
+        return list(self._events)
+
+    def externals(self, dst: str | None = None) -> List[TraceEvent]:
+        """Committed external events, optionally filtered by sink name."""
+        out = [ev for ev in self.committed() if ev.kind == EXTERNAL]
+        if dst is not None:
+            out = [ev for ev in out if ev.dst == dst]
+        return out
+
+    def clear(self) -> None:
+        self._events.clear()
+        self._aborted.clear()

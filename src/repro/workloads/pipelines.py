@@ -1,0 +1,110 @@
+"""Nested-service pipeline workloads.
+
+A client calls the first tier; each tier services a request by calling
+the next tier before replying (the Fig. 4 topology generalized to depth
+D).  Speculative guards propagate down the whole chain — request k's
+guard rides through every tier — making these the hardest workloads for
+guard bookkeeping, rollback cascades and commit propagation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.core import OptimisticSystem, make_call_chain, stream_plan
+from repro.core.config import OptimisticConfig
+from repro.csp.effects import Call, Send
+from repro.csp.process import Program, server_program
+from repro.csp.sequential import SequentialSystem
+from repro.sim.network import FixedLatency, LatencyModel
+
+
+@dataclass
+class PipelineSpec:
+    """Parameters of one nested-pipeline workload.
+
+    Two tier styles:
+
+    * ``relay=False`` (nested calls): each tier *calls* the next and only
+      replies when the deep chain returns.  Single-threaded tiers then
+      serialize whole round trips — speculation helps only modestly, an
+      honest negative result the C9 table shows.
+    * ``relay=True``: each tier replies immediately and forwards the work
+      one-way to the next tier.  Speculative requests (and their guards)
+      cascade down every tier, and a failure rolls the whole depth back.
+    """
+
+    n_requests: int = 4       # calls the client streams at tier 0
+    depth: int = 3            # number of service tiers
+    latency: float = 3.0     # tier-to-tier (and default) latency
+    client_latency: Optional[float] = None  # client<->T0 links (default same)
+    service_time: float = 0.5
+    fail_request: Optional[int] = None   # index whose tier-0 reply is False
+    relay: bool = False
+
+    def tier_names(self) -> List[str]:
+        return [f"T{i}" for i in range(self.depth)]
+
+    def latency_model(self) -> LatencyModel:
+        if self.client_latency is None:
+            return FixedLatency(self.latency)
+        from repro.sim.network import PerLinkLatency
+
+        model = PerLinkLatency(default=self.latency)
+        for name in self.tier_names() + ["client"]:
+            model.set("client", name, self.client_latency)
+            model.set(name, "client", self.client_latency)
+        return model
+
+    def _fails(self, args: Tuple) -> bool:
+        return (self.fail_request is not None
+                and args[0] == f"req{self.fail_request}")
+
+
+def build_pipeline(spec: PipelineSpec) -> Tuple[Program, List[Program]]:
+    """Client program + one server program per tier."""
+    calls = [("T0", "op", (f"req{i}",)) for i in range(spec.n_requests)]
+    client = make_call_chain("client", calls, stop_on_failure=True,
+                             failure_value=False)
+    tiers: List[Program] = []
+    names = spec.tier_names()
+    for level, name in enumerate(names):
+        nxt = names[level + 1] if level + 1 < len(names) else None
+        if nxt is not None and not spec.relay:
+            def handler(state, req, _nxt=nxt, _level=level, _spec=spec):
+                deeper = yield Call(_nxt, "op", req.args)
+                ok = deeper and not (_level == 0 and _spec._fails(req.args))
+                state.setdefault("served", []).append(req.args[0])
+                return ok
+        elif nxt is not None:
+            def handler(state, req, _nxt=nxt, _level=level, _spec=spec):
+                yield Send(_nxt, "op", req.args)
+                state.setdefault("served", []).append(req.args[0])
+                return not (_level == 0 and _spec._fails(req.args))
+        else:
+            def handler(state, req, _level=level, _spec=spec):
+                state.setdefault("served", []).append(req.args[0])
+                return not (_level == 0 and _spec._fails(req.args))
+        tiers.append(server_program(name, handler,
+                                    service_time=spec.service_time))
+    return client, tiers
+
+
+def run_pipeline_sequential(spec: PipelineSpec):
+    client, tiers = build_pipeline(spec)
+    system = SequentialSystem(spec.latency_model())
+    system.add_program(client)
+    for t in tiers:
+        system.add_program(t)
+    return system.run()
+
+
+def run_pipeline_optimistic(spec: PipelineSpec,
+                            config: Optional[OptimisticConfig] = None):
+    client, tiers = build_pipeline(spec)
+    system = OptimisticSystem(spec.latency_model(), config=config)
+    system.add_program(client, stream_plan(client))
+    for t in tiers:
+        system.add_program(t)
+    return system, system.run()

@@ -1,0 +1,157 @@
+"""Duplex random workloads: two mutually speculative processes.
+
+The chain and random-program generators fork only one client; these
+workloads fork *both* sides of a producer/consumer pair, generalizing
+Figures 6–7:
+
+* process A streams calls to shared servers and, at seeded points, sends
+  one-way *signals* to B;
+* process B streams its own calls and, at matching points, *receives*
+  those signals — with the receive segments themselves forked, guessing
+  the signal's payload.
+
+A's sends travel tagged with A's pending guesses, so B's guesses come to
+depend on A's: the PRECEDENCE protocol, cross-process commit cascades,
+guarded receives and (with wrong guesses on either side) distributed
+rollback chains all get exercised over a random space.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.core import OptimisticSystem
+from repro.core.config import OptimisticConfig
+from repro.csp.effects import Call, Receive, Send
+from repro.csp.plan import ForkSpec, ParallelizationPlan
+from repro.csp.process import Program, Segment, server_program
+from repro.csp.sequential import SequentialSystem
+from repro.sim.network import FixedLatency
+
+VALUE_DOMAIN = 4
+
+
+def _det(seed: int, *parts: Any) -> int:
+    text = ":".join(str(p) for p in (seed,) + parts)
+    return int.from_bytes(hashlib.sha256(text.encode()).digest()[:8],
+                          "little")
+
+
+@dataclass
+class DuplexSpec:
+    """Parameters of one duplex workload."""
+
+    n_steps: int = 5             # segments per side
+    n_signals: int = 2           # A->B signal/receive pairs (<= n_steps)
+    n_servers: int = 2
+    latency: float = 4.0
+    service_time: float = 0.5
+    seed: int = 0
+    wrong_guess_bias: int = 3    # hash % bias == 0 -> predictor lies
+
+    def __post_init__(self) -> None:
+        self.n_signals = min(self.n_signals, self.n_steps)
+
+    def signal_steps(self) -> List[int]:
+        """Which step indices carry the signal exchange (deterministic)."""
+        order = sorted(range(self.n_steps),
+                       key=lambda i: _det(self.seed, "sigorder", i))
+        return sorted(order[: self.n_signals])
+
+    def signal_value(self, idx: int) -> int:
+        return _det(self.seed, "sigval", idx) % VALUE_DOMAIN
+
+    def server_reply(self, server: str, args: Tuple) -> int:
+        return _det(self.seed, "reply", server, args) % VALUE_DOMAIN
+
+    def guess_wrong(self, side: str, idx: int) -> bool:
+        return _det(self.seed, "wrong", side, idx) % self.wrong_guess_bias == 0
+
+    def server_names(self) -> List[str]:
+        return [f"S{i}" for i in range(self.n_servers)]
+
+
+def _build_side(spec: DuplexSpec, side: str) -> Tuple[Program,
+                                                      ParallelizationPlan]:
+    """One side's program: calls everywhere, signals at the marked steps."""
+    signal_steps = set(spec.signal_steps())
+    segments: List[Segment] = []
+    plan = ParallelizationPlan()
+    sig_counter = 0
+    for i in range(spec.n_steps):
+        export = f"r{i}"
+        server = spec.server_names()[_det(spec.seed, side, "srv", i)
+                                     % spec.n_servers]
+        is_signal = i in signal_steps
+        sig_idx = sig_counter if is_signal else None
+        if is_signal:
+            sig_counter += 1
+
+        # NOTE: each signal uses a unique op ("sig0", "sig1", ...) so its
+        # receive is unambiguous.  With a shared op, a rollback on A's side
+        # can re-send signals in a different relative order than the
+        # original speculative sends, and B's receives may consume them
+        # swapped — legal under pure happens-before (the paper's criterion)
+        # but not under the canonical FIFO sequential run this test
+        # compares against.  See docs/PROTOCOL.md, "ordering of one-way
+        # sends across speculative threads".
+        if side == "A":
+            def body(state, _i=i, _server=server, _sig=is_signal,
+                     _sigidx=sig_idx, _export=export):
+                if _sig:
+                    yield Send("B", f"sig{_sigidx}",
+                               (_sigidx, spec.signal_value(_sigidx)))
+                value = yield Call(_server, "op", (f"{side}q{_i}",))
+                state[_export] = value
+
+            expected = spec.server_reply(server, (f"{side}q{i}",))
+        else:
+            def body(state, _i=i, _server=server, _sig=is_signal,
+                     _sigidx=sig_idx, _export=export):
+                if _sig:
+                    req = yield Receive(ops=(f"sig{_sigidx}",))
+                    value = req.args[1]
+                else:
+                    value = yield Call(_server, "op", (f"{side}q{_i}",))
+                state[_export] = value
+
+            expected = (spec.signal_value(sig_idx) if is_signal
+                        else spec.server_reply(server, (f"{side}q{i}",)))
+
+        segments.append(Segment(name=f"{side}{i}", fn=body,
+                                exports=(export,)))
+        if i < spec.n_steps - 1:
+            wrong = spec.guess_wrong(side, i)
+            guess = ((expected + 1) % VALUE_DOMAIN) if wrong else expected
+            plan.add(f"{side}{i}", ForkSpec(predictor={export: guess}))
+    program = Program(side, segments)
+    plan.validate(program)
+    return program, plan
+
+
+def build_duplex_system(spec: DuplexSpec, optimistic: bool,
+                        config: Optional[OptimisticConfig] = None):
+    """Assemble both sides plus the shared servers."""
+    prog_a, plan_a = _build_side(spec, "A")
+    prog_b, plan_b = _build_side(spec, "B")
+
+    def make_handler(name: str):
+        def handler(state, req):
+            return spec.server_reply(name, tuple(req.args))
+
+        return handler
+
+    if optimistic:
+        system = OptimisticSystem(FixedLatency(spec.latency), config=config)
+        system.add_program(prog_a, plan_a)
+        system.add_program(prog_b, plan_b)
+    else:
+        system = SequentialSystem(FixedLatency(spec.latency))
+        system.add_program(prog_a)
+        system.add_program(prog_b)
+    for name in spec.server_names():
+        system.add_program(server_program(name, make_handler(name),
+                                          service_time=spec.service_time))
+    return system

@@ -1,0 +1,152 @@
+"""Randomized program generation for property testing.
+
+Chains exercise the streaming path; these programs exercise everything
+else: data-dependent *branches* (segments skipped based on earlier
+results), external emissions interleaved with speculation, one-way sends,
+think time, and predictors that are only sometimes right.  Every generated
+program satisfies the determinism and exports contracts by construction,
+so the optimistic run must reproduce the sequential trace exactly — over
+the whole random space.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.core import OptimisticSystem
+from repro.core.config import OptimisticConfig
+from repro.csp.effects import Call, Compute, Emit, Send
+from repro.csp.plan import ForkSpec, ParallelizationPlan
+from repro.csp.process import Program, Segment, server_program
+from repro.csp.sequential import SequentialSystem
+from repro.sim.network import FixedLatency
+
+VALUE_DOMAIN = 5  # server replies are ints in [0, VALUE_DOMAIN)
+
+
+def _det(seed: int, *parts: Any) -> int:
+    """Deterministic pseudo-random int from (seed, parts)."""
+    text = ":".join(str(p) for p in (seed,) + parts)
+    digest = hashlib.sha256(text.encode()).digest()
+    return int.from_bytes(digest[:8], "little")
+
+
+@dataclass
+class RandomProgramSpec:
+    """Shape of one random client program."""
+
+    n_segments: int = 5
+    n_servers: int = 2
+    latency: float = 4.0
+    service_time: float = 0.5
+    seed: int = 0
+    branch_probability: float = 0.4   # segment conditioned on an earlier r
+    emit_probability: float = 0.3
+    send_probability: float = 0.2
+    think_probability: float = 0.3
+    guess_accuracy_bias: int = 2      # predictor guesses hash(...) % bias==0
+                                      # branches right more often when small
+
+    def server_names(self) -> List[str]:
+        return [f"S{i}" for i in range(self.n_servers)]
+
+    # ---------------------------------------------------------- randomness
+
+    def _pick(self, *parts: Any) -> int:
+        return _det(self.seed, *parts)
+
+    def _prob(self, p: float, *parts: Any) -> bool:
+        return (self._pick(*parts) % 1000) / 1000.0 < p
+
+    def server_reply(self, server: str, op: str, args: Tuple) -> int:
+        return _det(self.seed, "reply", server, op, args) % VALUE_DOMAIN
+
+
+def build_random_client(spec: RandomProgramSpec) -> Tuple[Program,
+                                                          ParallelizationPlan]:
+    """Generate the client program and its (imperfect) streaming plan."""
+    segments: List[Segment] = []
+    plan = ParallelizationPlan()
+    for i in range(spec.n_segments):
+        export = f"r{i}"
+        server = spec.server_names()[spec._pick("server", i)
+                                     % spec.n_servers]
+        has_branch = i > 0 and spec._prob(spec.branch_probability,
+                                          "branch", i)
+        branch_on = f"r{spec._pick('branchkey', i) % i}" if has_branch else None
+        has_emit = spec._prob(spec.emit_probability, "emit", i)
+        has_send = spec._prob(spec.send_probability, "send", i)
+        think = (spec._pick("think", i) % 3) * 0.5 if spec._prob(
+            spec.think_probability, "hasthink", i) else 0.0
+
+        def body(state, _i=i, _export=export, _server=server,
+                 _branch_on=branch_on, _emit=has_emit, _send=has_send,
+                 _think=think):
+            if _think:
+                yield Compute(_think)
+            taken = True
+            if _branch_on is not None:
+                taken = ((state.get(_branch_on) or 0) % 2 == 0)
+            if taken:
+                if _send:
+                    yield Send(_server, "note", (f"n{_i}",))
+                value = yield Call(_server, "op", (f"q{_i}",))
+                state[_export] = value
+                if _emit:
+                    yield Emit("display", f"out{_i}:{value}")
+            else:
+                state[_export] = None
+
+        segments.append(Segment(name=f"seg{i}", fn=body, exports=(export,)))
+
+        if i < spec.n_segments - 1:
+            # the guess: predict the branch from the (possibly guessed)
+            # fork-point state and the server's deterministic reply —
+            # except a seeded fraction of sites guess a wrong constant.
+            guess_wrong = spec._pick("wrong", i) % spec.guess_accuracy_bias == 0
+            expected = spec.server_reply(server, "op", (f"q{i}",))
+
+            def predictor(state, _branch_on=branch_on, _expected=expected,
+                          _wrong=guess_wrong, _export=export):
+                taken = True
+                if _branch_on is not None:
+                    taken = ((state.get(_branch_on) or 0) % 2 == 0)
+                if not taken:
+                    return {_export: None}
+                if _wrong:
+                    return {_export: (_expected + 1) % VALUE_DOMAIN}
+                return {_export: _expected}
+
+            plan.add(f"seg{i}", ForkSpec(predictor=predictor))
+    program = Program("client", segments)
+    plan.validate(program)
+    return program, plan
+
+
+def build_random_system(spec: RandomProgramSpec, optimistic: bool,
+                        config: Optional[OptimisticConfig] = None):
+    """Assemble the full system (client, servers, display sink)."""
+    program, plan = build_random_client(spec)
+
+    def make_handler(name: str):
+        def handler(state, req):
+            if not req.is_call:
+                state.setdefault("notes", []).append(req.args)
+                return None
+            return spec.server_reply(name, req.op, tuple(req.args))
+
+        return handler
+
+    if optimistic:
+        system = OptimisticSystem(FixedLatency(spec.latency), config=config)
+        system.add_program(program, plan)
+    else:
+        system = SequentialSystem(FixedLatency(spec.latency))
+        system.add_program(program)
+    for name in spec.server_names():
+        system.add_program(server_program(name, make_handler(name),
+                                          service_time=spec.service_time))
+    system.add_sink("display")
+    return system

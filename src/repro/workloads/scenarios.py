@@ -1,0 +1,261 @@
+"""The paper's figure scenarios as reusable builders.
+
+Figure 1's program (`OK = Update(Item, Value); if OK: Write(File, line)`)
+is the running example of the whole paper; Figures 2–5 are executions of it
+under different interpreters and fault conditions, and Figures 6–7 are the
+two-mutually-optimistic-processes executions of the PRECEDENCE protocol.
+
+Every ``run_*`` helper returns a :class:`ScenarioResult` bundling the
+sequential reference run and (where applicable) the optimistic run, so
+callers can assert both the timings and Theorem-1 trace equivalence.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Optional, Tuple
+
+from repro.core import OptimisticSystem, make_call_chain, stream_plan
+from repro.core.config import OptimisticConfig
+from repro.core.system import OptimisticResult
+from repro.csp.plan import ForkSpec, ParallelizationPlan
+from repro.csp.process import Program, Segment, server_program
+from repro.csp.sequential import SequentialResult, SequentialSystem
+from repro.csp.effects import Call, Receive, Send
+from repro.sim.network import FixedLatency, LatencyModel, PerLinkLatency
+
+
+@dataclass
+class ScenarioResult:
+    """A paired sequential/optimistic execution of one scenario."""
+
+    sequential: Optional[SequentialResult]
+    optimistic: Optional[OptimisticResult]
+
+    @property
+    def speedup(self) -> float:
+        """Sequential makespan over optimistic committed makespan."""
+        assert self.sequential is not None and self.optimistic is not None
+        if self.optimistic.makespan == 0:
+            return float("inf")
+        return self.sequential.makespan / self.optimistic.makespan
+
+
+# --------------------------------------------------------------------------
+# Figure 1: the Update/Write program and its servers.
+# --------------------------------------------------------------------------
+
+UPDATE_WRITE_CALLS = [
+    ("Y", "Update", ("item", 1)),
+    ("Z", "Write", ("file", "did it")),
+]
+
+
+def fig1_programs(
+    *,
+    update_ok: bool = True,
+    service_time: float = 1.0,
+    nested_log: bool = False,
+) -> Tuple[Program, Program, Program]:
+    """Build (client X, database server Y, filesystem server Z).
+
+    ``update_ok=False`` makes the Update call fail (the Fig. 5 value
+    fault).  ``nested_log=True`` makes Y itself call Z while servicing the
+    Update (the Fig. 4 topology, where a latency skew can produce a time
+    fault).
+    """
+    client = make_call_chain(
+        "X", UPDATE_WRITE_CALLS, stop_on_failure=True, failure_value=False
+    )
+
+    if nested_log:
+        def db_handler(state, req):
+            yield Call("Z", "WriteLog", (req.args[0],))
+            if update_ok:
+                state.setdefault("db", {})[req.args[0]] = req.args[1]
+            return update_ok
+    else:
+        def db_handler(state, req):
+            if update_ok:
+                state.setdefault("db", {})[req.args[0]] = req.args[1]
+            return update_ok
+
+    def fs_handler(state, req):
+        state.setdefault("log", []).append((req.op,) + tuple(req.args))
+        return True
+
+    db = server_program("Y", db_handler, service_time=service_time)
+    fs = server_program("Z", fs_handler, service_time=service_time)
+    return client, db, fs
+
+
+def run_update_write(
+    *,
+    optimistic: bool,
+    latency: Optional[LatencyModel] = None,
+    update_ok: bool = True,
+    nested_log: bool = False,
+    service_time: float = 1.0,
+    config: Optional[OptimisticConfig] = None,
+):
+    """One execution of the Fig. 1 program under either interpreter."""
+    latency = latency or FixedLatency(5.0)
+    client, db, fs = fig1_programs(
+        update_ok=update_ok, service_time=service_time, nested_log=nested_log
+    )
+    if optimistic:
+        system = OptimisticSystem(latency, config=config)
+        system.add_program(client, stream_plan(client))
+    else:
+        system = SequentialSystem(latency)
+        system.add_program(client)
+    system.add_program(db)
+    system.add_program(fs)
+    return system.run()
+
+
+# --------------------------------------------------------------------------
+# Figures 2–5.
+# --------------------------------------------------------------------------
+
+def run_fig2_no_streaming(latency: float = 5.0,
+                          service_time: float = 1.0) -> SequentialResult:
+    """Fig. 2: the blocking execution — each call waits out a round trip."""
+    return run_update_write(
+        optimistic=False, latency=FixedLatency(latency),
+        service_time=service_time,
+    )
+
+
+def run_fig3_streaming(latency: float = 5.0, service_time: float = 1.0,
+                       config: Optional[OptimisticConfig] = None) -> ScenarioResult:
+    """Fig. 3: successful call streaming; both calls overlap."""
+    seq = run_update_write(
+        optimistic=False, latency=FixedLatency(latency),
+        service_time=service_time,
+    )
+    opt = run_update_write(
+        optimistic=True, latency=FixedLatency(latency),
+        service_time=service_time, config=config,
+    )
+    return ScenarioResult(sequential=seq, optimistic=opt)
+
+
+def run_fig4_time_fault(
+    *,
+    fast: float = 2.0,
+    slow: float = 10.0,
+    service_time: float = 1.0,
+    config: Optional[OptimisticConfig] = None,
+) -> ScenarioResult:
+    """Fig. 4: X's speculative call to Z beats Y's causally-earlier one.
+
+    Y services Update by calling Z; the X→Z link is ``fast`` while Y→Z is
+    ``slow``, so Z consumes the speculative Write first — a happens-before
+    cycle the protocol must detect and repair.
+    """
+    latency = PerLinkLatency(default=fast, links={("Y", "Z"): slow})
+    seq = run_update_write(optimistic=False, latency=latency, nested_log=True,
+                           service_time=service_time)
+    opt = run_update_write(optimistic=True, latency=latency, nested_log=True,
+                           service_time=service_time, config=config)
+    return ScenarioResult(sequential=seq, optimistic=opt)
+
+
+def run_fig5_value_fault(latency: float = 5.0, service_time: float = 1.0,
+                         config: Optional[OptimisticConfig] = None) -> ScenarioResult:
+    """Fig. 5: the Update fails, so the guessed ``OK = True`` is wrong."""
+    seq = run_update_write(optimistic=False, latency=FixedLatency(latency),
+                           update_ok=False, service_time=service_time)
+    opt = run_update_write(optimistic=True, latency=FixedLatency(latency),
+                           update_ok=False, service_time=service_time,
+                           config=config)
+    return ScenarioResult(sequential=seq, optimistic=opt)
+
+
+# --------------------------------------------------------------------------
+# Figures 6–7: two mutually optimistic processes.
+# --------------------------------------------------------------------------
+
+def _recv_one(state):
+    req = yield Receive()
+    state["v"] = req.args[0]
+
+
+def run_fig6_two_threads(latency: float = 3.0,
+                         config: Optional[OptimisticConfig] = None) -> OptimisticResult:
+    """Fig. 6: X and Z are both forked; z1's fate hangs on x1 via PRECEDENCE.
+
+    X's S1 calls W; X's S2 sends M1 to Z.  Z's S1 receives M1 (acquiring
+    {x1}); Z's S2 sends M2 to Y.  x1 commits cleanly; the commit cascades
+    through the PRECEDENCE wait and commits z1 too.
+    """
+    def x_s1(state):
+        state["r"] = yield Call("W", "work", ())
+
+    def x_s2(state):
+        yield Send("Z", "M1", (state["r"],))
+
+    prog_x = Program("X", [Segment("s1", x_s1, exports=("r",)),
+                           Segment("s2", x_s2)])
+    plan_x = ParallelizationPlan().add("s1", ForkSpec(predictor={"r": 42}))
+
+    def z_s2(state):
+        yield Send("Y", "M2", (state["v"],))
+
+    prog_z = Program("Z", [Segment("s1", _recv_one, exports=("v",)),
+                           Segment("s2", z_s2)])
+    plan_z = ParallelizationPlan().add("s1", ForkSpec(predictor={"v": 42}))
+
+    def worker(state, req):
+        return 42
+
+    def sink_server(state, req):
+        state.setdefault("got", []).append(tuple(req.args))
+        return None
+
+    system = OptimisticSystem(FixedLatency(latency), config=config)
+    system.add_program(prog_x, plan_x)
+    system.add_program(prog_z, plan_z)
+    system.add_program(server_program("W", worker, service_time=1.0))
+    system.add_program(server_program("Y", sink_server))
+    return system.run()
+
+
+def run_fig7_cycle(latency: float = 3.0,
+                   config: Optional[OptimisticConfig] = None,
+                   until: float = 500.0) -> OptimisticResult:
+    """Fig. 7: the symmetric version — x1 → z1 → x1 is a causal cycle.
+
+    Each left thread receives the *other* process's speculative send, so
+    the PRECEDENCE exchange discovers the cycle and both guesses abort.
+    The underlying sequential program deadlocks (each S1 waits on the other
+    side's S2), so after the aborts the system correctly quiesces without
+    committing — the optimistic execution must not "succeed" where the
+    sequential semantics cannot.
+    """
+    def x_s2(state):
+        yield Call("W", "log", (state["v"],))
+        yield Send("Z", "M2", (state["v"],))
+
+    def z_s2(state):
+        yield Call("Y", "log", (state["v"],))
+        yield Send("X", "M1", (state["v"],))
+
+    prog_x = Program("X", [Segment("s1", _recv_one, exports=("v",)),
+                           Segment("s2", x_s2)])
+    prog_z = Program("Z", [Segment("s1", _recv_one, exports=("v",)),
+                           Segment("s2", z_s2)])
+
+    def logger(state, req):
+        state.setdefault("got", []).append(tuple(req.args))
+        return True
+
+    system = OptimisticSystem(FixedLatency(latency), config=config)
+    system.add_program(prog_x, ParallelizationPlan().add(
+        "s1", ForkSpec(predictor={"v": 7})))
+    system.add_program(prog_z, ParallelizationPlan().add(
+        "s1", ForkSpec(predictor={"v": 7})))
+    system.add_program(server_program("W", logger, service_time=1.0))
+    system.add_program(server_program("Y", logger, service_time=1.0))
+    return system.run(until=until)

@@ -1,0 +1,113 @@
+"""Profiling-driven plan synthesis."""
+
+import pytest
+
+from repro.core import OptimisticSystem
+from repro.core.autoplan import Profile, instrument, propose_plan
+from repro.csp.effects import Call
+from repro.csp.process import Program, Segment, server_program
+from repro.csp.sequential import SequentialSystem
+from repro.sim.network import FixedLatency
+from repro.trace import assert_equivalent
+
+
+def two_step_program():
+    def s1(state):
+        state["ok"] = yield Call("srv", "check", ())
+
+    def s2(state):
+        state["r"] = yield Call("srv", "work", (state["ok"],))
+
+    return Program("X", [Segment("s1", s1, exports=("ok",)),
+                         Segment("s2", s2, exports=("r",))])
+
+
+def run_sequential(program, reply):
+    system = SequentialSystem(FixedLatency(3.0))
+    system.add_program(program)
+    system.add_program(server_program(
+        "srv", lambda s, r: reply if r.op == "check" else "done",
+        service_time=0.5))
+    return system.run()
+
+
+class TestInstrumentation:
+    def test_records_export_values(self):
+        profile = Profile("X")
+        instrumented = instrument(two_step_program(), profile)
+        run_sequential(instrumented, reply=True)
+        assert profile.segment("s1").observations == [{"ok": True}]
+        assert profile.segment("s2").observations == [{"r": "done"}]
+
+    def test_instrumented_behaviour_unchanged(self):
+        profile = Profile("X")
+        plain = run_sequential(two_step_program(), reply=True)
+        instrumented = run_sequential(instrument(two_step_program(), profile),
+                                      reply=True)
+        assert plain.final_states["X"] == instrumented.final_states["X"]
+        assert plain.makespan == instrumented.makespan
+
+
+class TestConfidence:
+    def test_uniform_observations_full_confidence(self):
+        prof = Profile("X").segment("s1")
+        for _ in range(5):
+            prof.observations.append({"ok": True})
+        assert prof.confidence() == 1.0
+        assert prof.majority_guess() == {"ok": True}
+
+    def test_mixed_observations(self):
+        prof = Profile("X").segment("s1")
+        for v in (True, True, True, False):
+            prof.observations.append({"ok": v})
+        assert prof.majority_guess() == {"ok": True}
+        assert prof.confidence() == 0.75
+
+    def test_no_observations(self):
+        assert Profile("X").segment("s").confidence() == 0.0
+
+
+class TestProposePlan:
+    def profile_runs(self, replies):
+        profile = Profile("X")
+        for reply in replies:
+            instrumented = instrument(two_step_program(), profile)
+            run_sequential(instrumented, reply=reply)
+        return profile
+
+    def test_confident_segment_gets_forked(self):
+        profile = self.profile_runs([True] * 5)
+        plan, conf = propose_plan(profile, two_step_program())
+        assert plan.fork_for("s1") is not None
+        assert conf["s1"] == 1.0
+
+    def test_final_segment_never_forked(self):
+        profile = self.profile_runs([True] * 5)
+        plan, _ = propose_plan(profile, two_step_program())
+        assert plan.fork_for("s2") is None
+
+    def test_unpredictable_segment_stays_sequential(self):
+        profile = self.profile_runs([True, False, True, False])
+        plan, conf = propose_plan(profile, two_step_program(),
+                                  min_confidence=0.8)
+        assert plan.fork_for("s1") is None
+        assert conf["s1"] == 0.5
+
+    def test_min_runs_threshold(self):
+        profile = self.profile_runs([True])
+        plan, _ = propose_plan(profile, two_step_program(), min_runs=3)
+        assert plan.fork_count() == 0
+
+    def test_proposed_plan_runs_correctly(self):
+        profile = self.profile_runs([True] * 4)
+        plan, _ = propose_plan(profile, two_step_program())
+        seq = run_sequential(two_step_program(), reply=True)
+        system = OptimisticSystem(FixedLatency(3.0))
+        system.add_program(two_step_program(), plan)
+        system.add_program(server_program(
+            "srv", lambda s, r: True if r.op == "check" else "done",
+            service_time=0.5))
+        opt = system.run()
+        assert opt.stats.get("opt.commits") == 1
+        assert opt.makespan < seq.makespan
+        assert_equivalent(opt.trace, seq.trace)

@@ -1,0 +1,91 @@
+"""Link bandwidth modeling: transmission time and serialization."""
+
+import pytest
+
+from repro.errors import NetworkError
+from repro.core import OptimisticSystem, make_call_chain, stream_plan
+from repro.csp.process import server_program
+from repro.csp.sequential import SequentialSystem
+from repro.sim.network import FixedLatency, Network
+from repro.sim.scheduler import Scheduler
+from repro.trace import assert_equivalent
+
+
+def make_net(bandwidth, latency=2.0):
+    sched = Scheduler()
+    net = Network(sched, FixedLatency(latency), bandwidth=bandwidth)
+    inbox = []
+    net.register("dst", lambda src, p: inbox.append((sched.now, p)))
+    return sched, net, inbox
+
+
+def test_transmission_time_added():
+    sched, net, inbox = make_net(bandwidth=2.0, latency=3.0)
+    net.send("src", "dst", "m", size=4)   # tx = 4/2 = 2
+    sched.run()
+    assert inbox == [(5.0, "m")]          # 2 tx + 3 latency
+
+
+def test_messages_serialize_on_the_link():
+    sched, net, inbox = make_net(bandwidth=1.0, latency=1.0)
+    net.send("src", "dst", "a", size=2)   # departs at 2
+    net.send("src", "dst", "b", size=2)   # departs at 4
+    sched.run()
+    assert inbox == [(3.0, "a"), (5.0, "b")]
+
+
+def test_infinite_bandwidth_is_default():
+    sched, net, inbox = make_net(bandwidth=None, latency=1.0)
+    net.send("src", "dst", "a", size=1000)
+    sched.run()
+    assert inbox == [(1.0, "a")]
+
+
+def test_invalid_bandwidth_rejected():
+    sched = Scheduler()
+    with pytest.raises(NetworkError):
+        Network(sched, FixedLatency(1.0), bandwidth=0.0)
+
+
+def test_separate_links_do_not_contend():
+    sched = Scheduler()
+    net = Network(sched, FixedLatency(1.0), bandwidth=1.0)
+    inbox = []
+    net.register("d1", lambda s, p: inbox.append(("d1", sched.now)))
+    net.register("d2", lambda s, p: inbox.append(("d2", sched.now)))
+    net.send("src", "d1", "x", size=5)
+    net.send("src", "d2", "y", size=5)
+    sched.run()
+    assert sorted(inbox) == [("d1", 6.0), ("d2", 6.0)]
+
+
+class TestEndToEnd:
+    def build(self, cls, optimistic, bandwidth):
+        calls = [("srv", "op", (f"r{i}",)) for i in range(6)]
+        client = make_call_chain("client", calls)
+        system = cls(FixedLatency(5.0), bandwidth=bandwidth)
+        if optimistic:
+            system.add_program(client, stream_plan(client))
+        else:
+            system.add_program(client)
+        system.add_program(server_program("srv", lambda s, r: True,
+                                          service_time=0.2))
+        return system
+
+    def test_limited_bandwidth_still_equivalent(self):
+        seq = self.build(SequentialSystem, False, bandwidth=0.5).run()
+        opt = self.build(OptimisticSystem, True, bandwidth=0.5).run()
+        assert opt.unresolved == []
+        assert_equivalent(opt.trace, seq.trace)
+
+    def test_guard_tags_cost_wire_time_under_streaming(self):
+        # Streamed messages carry guard tags, so at low bandwidth the
+        # optimistic run pays wire time blocking never pays.
+        tight = self.build(OptimisticSystem, True, bandwidth=0.25).run()
+        loose = self.build(OptimisticSystem, True, bandwidth=None).run()
+        assert tight.makespan > loose.makespan
+
+    def test_streaming_still_wins_at_moderate_bandwidth(self):
+        seq = self.build(SequentialSystem, False, bandwidth=1.0).run()
+        opt = self.build(OptimisticSystem, True, bandwidth=1.0).run()
+        assert opt.makespan < seq.makespan

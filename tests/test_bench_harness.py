@@ -1,0 +1,80 @@
+"""The benchmark table harness."""
+
+import os
+
+import pytest
+
+from repro.bench.harness import RESULTS_DIR, Table, emit, geometric_mean
+
+
+class TestTable:
+    def test_render_alignment_and_title(self):
+        t = Table("demo", ["name", "value"])
+        t.add("alpha", 1.0)
+        t.add("b", 123456.0)
+        text = t.render()
+        lines = text.splitlines()
+        assert lines[0] == "== demo =="
+        assert "name" in lines[1] and "value" in lines[1]
+        assert len(lines) == 5
+
+    def test_cell_formatting(self):
+        t = Table("fmt", ["v"])
+        t.add(1.0)
+        t.add(0.001234)
+        t.add(float("inf"))
+        t.add("text")
+        t.add(12345.678)
+        text = t.render()
+        assert "1.00" in text
+        assert "0.00123" in text
+        assert "inf" in text
+        assert "text" in text
+        assert "1.23e+04" in text
+
+    def test_wrong_arity_rejected(self):
+        t = Table("x", ["a", "b"])
+        with pytest.raises(ValueError):
+            t.add(1)
+
+    def test_notes_appended(self):
+        t = Table("x", ["a"])
+        t.add(1)
+        t.note("something important")
+        assert "note: something important" in t.render()
+
+
+class TestEmit:
+    def test_writes_file_and_prints(self, capsys):
+        t = Table("emit test table", ["a"])
+        t.add(42)
+        path = emit(t, "_test_emit.txt")
+        try:
+            out = capsys.readouterr().out
+            assert "emit test table" in out
+            with open(path) as fh:
+                assert "42" in fh.read()
+            assert os.path.dirname(path) == RESULTS_DIR
+        finally:
+            os.unlink(path)
+
+    def test_default_filename_from_title(self, capsys):
+        t = Table("My Fancy Title!", ["a"])
+        t.add(1)
+        path = emit(t)
+        try:
+            assert os.path.basename(path) == "my_fancy_title.txt"
+        finally:
+            os.unlink(path)
+
+
+class TestGeometricMean:
+    def test_basic(self):
+        assert geometric_mean([1, 4]) == pytest.approx(2.0)
+        assert geometric_mean([2, 2, 2]) == pytest.approx(2.0)
+
+    def test_ignores_nonpositive(self):
+        assert geometric_mean([0.0, 4.0, -1.0]) == pytest.approx(4.0)
+
+    def test_empty(self):
+        assert geometric_mean([]) == 0.0

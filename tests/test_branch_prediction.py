@@ -1,0 +1,71 @@
+"""§1's other application: "executing the likely outcome of a test in
+parallel with making the test"."""
+
+from repro.core import OptimisticSystem
+from repro.csp.effects import Call, Compute, Emit
+from repro.csp.plan import ForkSpec, ParallelizationPlan
+from repro.csp.process import Program, Segment, server_program
+from repro.csp.sequential import SequentialSystem
+from repro.sim.network import FixedLatency
+from repro.trace import assert_equivalent
+
+
+def build(optimistic: bool, test_result: bool, latency: float = 8.0):
+    """S1 asks a remote oracle which branch to take; S2 runs the branch."""
+    def s1(state):
+        state["take_fast_path"] = yield Call("oracle", "decide", ())
+
+    def s2(state):
+        if state["take_fast_path"]:
+            yield Compute(1.0)
+            state["out"] = yield Call("worker", "fast", ())
+        else:
+            yield Compute(10.0)
+            state["out"] = yield Call("worker", "slow", ())
+
+    prog = Program("client", [
+        Segment("test", s1, exports=("take_fast_path",)),
+        Segment("branch", s2),
+    ])
+    oracle = server_program("oracle", lambda s, r: test_result,
+                            service_time=1.0)
+    worker = server_program("worker", lambda s, r: f"did {r.op}",
+                            service_time=1.0)
+    if optimistic:
+        plan = ParallelizationPlan().add(
+            "test", ForkSpec(predictor={"take_fast_path": True}))
+        system = OptimisticSystem(FixedLatency(latency))
+        system.add_program(prog, plan)
+    else:
+        system = SequentialSystem(FixedLatency(latency))
+        system.add_program(prog)
+    system.add_program(oracle)
+    system.add_program(worker)
+    return system.run()
+
+
+def test_correct_prediction_overlaps_test_with_branch():
+    seq = build(optimistic=False, test_result=True)
+    opt = build(optimistic=True, test_result=True)
+    # branch work (1 + RTT) runs concurrently with the oracle round trip
+    assert opt.makespan < seq.makespan
+    assert opt.final_states["client"]["out"] == "did fast"
+    assert_equivalent(opt.trace, seq.trace)
+
+
+def test_misprediction_reexecutes_other_branch():
+    seq = build(optimistic=False, test_result=False)
+    opt = build(optimistic=True, test_result=False)
+    assert opt.stats.get("opt.aborts.value_fault") == 1
+    assert opt.final_states["client"]["out"] == "did slow"
+    assert_equivalent(opt.trace, seq.trace)
+    # the speculative fast-path call never reaches the committed trace
+    fast_calls = [e for e in opt.trace
+                  if e.kind == "send" and e.payload[1] == "fast"]
+    assert fast_calls == []
+
+
+def test_misprediction_costs_more_than_sequential():
+    seq = build(optimistic=False, test_result=False)
+    opt = build(optimistic=True, test_result=False)
+    assert opt.makespan >= seq.makespan

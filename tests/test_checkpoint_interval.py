@@ -1,0 +1,63 @@
+"""§3.1's interval checkpoints: bounding replay cost."""
+
+import pytest
+
+from repro.core.config import CheckpointPolicy, OptimisticConfig
+from repro.trace import assert_equivalent
+from repro.workloads.scenarios import run_fig4_time_fault
+from repro.workloads.generators import (
+    ChainSpec,
+    run_chain_optimistic,
+    run_chain_sequential,
+)
+
+
+def config(interval, restore=0.0):
+    return OptimisticConfig(checkpoint_policy=CheckpointPolicy.REPLAY,
+                            checkpoint_interval=interval,
+                            restore_cost=restore)
+
+
+def test_interval_checkpoints_preserve_traces():
+    spec = ChainSpec(n_calls=8, n_servers=2, latency=4.0, service_time=1.0,
+                     p_fail=0.5, seed=11)
+    seq = run_chain_sequential(spec)
+    for interval in (None, 1, 3, 10):
+        opt = run_chain_optimistic(spec, config(interval))
+        assert opt.unresolved == []
+        assert_equivalent(opt.trace, seq.trace)
+
+
+def test_frequent_checkpoints_cut_replay_debt():
+    # Fig. 4 rolls the servers back over served requests; with an interval
+    # checkpoint right before the rollback point, the service compute is
+    # not re-paid.
+    slow = run_fig4_time_fault(service_time=4.0, config=config(None))
+    fast = run_fig4_time_fault(service_time=4.0, config=config(1))
+    assert fast.optimistic.makespan <= slow.optimistic.makespan
+    assert_equivalent(fast.optimistic.trace, slow.optimistic.trace)
+
+
+def test_restore_cost_charged_per_interval_restore():
+    cheap = run_fig4_time_fault(service_time=4.0,
+                                config=config(1, restore=0.0))
+    costly = run_fig4_time_fault(service_time=4.0,
+                                 config=config(1, restore=2.0))
+    assert costly.optimistic.makespan >= cheap.optimistic.makespan
+
+
+def test_interval_one_approaches_eager_copy_timing():
+    # Checkpointing before every slot is Time Warp's discipline: replay
+    # re-pays no compute.  It can only beat EAGER_COPY by the birth-restore
+    # difference (rolling back to slot 0 restores the birth state, which is
+    # free under interval checkpoints but costs restore_cost under EAGER).
+    eager = run_fig4_time_fault(
+        service_time=4.0,
+        config=OptimisticConfig(checkpoint_policy=CheckpointPolicy.EAGER_COPY,
+                                restore_cost=0.5))
+    interval = run_fig4_time_fault(service_time=4.0,
+                                   config=config(1, restore=0.5))
+    assert interval.optimistic.makespan <= eager.optimistic.makespan
+    # and far below the re-pay-everything pure replay
+    pure = run_fig4_time_fault(service_time=4.0, config=config(None))
+    assert interval.optimistic.makespan <= pure.optimistic.makespan

@@ -1,0 +1,38 @@
+"""The `python -m repro` command-line interface."""
+
+import pytest
+
+from repro.__main__ import main
+
+
+def test_list(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    for sid in ("fig2", "fig3", "fig4", "fig5", "fig6", "fig7"):
+        assert sid in out
+
+
+def test_scenario_renders_diagram(capsys):
+    assert main(["scenario", "fig3"]) == 0
+    out = capsys.readouterr().out
+    assert "Figure 3" in out
+    assert "COMMIT(X:i0.n0)" in out
+
+
+def test_unknown_scenario(capsys):
+    assert main(["scenario", "fig99"]) == 2
+    assert "unknown scenario" in capsys.readouterr().err
+
+
+def test_figures_renders_all(capsys):
+    assert main(["figures"]) == 0
+    out = capsys.readouterr().out
+    for n in range(2, 8):
+        assert f"Figure {n}" in out
+
+
+def test_sweep_table(capsys):
+    assert main(["sweep", "--calls", "3"]) == 0
+    out = capsys.readouterr().out
+    assert "speedup" in out
+    assert "N=3" in out

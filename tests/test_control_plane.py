@@ -1,0 +1,104 @@
+"""§4.2.5: broadcast vs targeted-with-relay control messages."""
+
+from repro.core.config import ControlPlane, OptimisticConfig
+from repro.core import OptimisticSystem, make_call_chain, stream_plan
+from repro.csp.process import server_program
+from repro.sim.network import FixedLatency
+from repro.trace import assert_equivalent
+from repro.workloads.generators import (
+    ChainSpec,
+    run_chain_optimistic,
+    run_chain_sequential,
+)
+
+
+def run_with_bystanders(control_plane, n_bystanders=6, p_fail=0.0, seed=0):
+    """A 4-call chain plus servers that never see guarded traffic."""
+    spec = ChainSpec(n_calls=4, n_servers=1, latency=3.0, service_time=0.5,
+                     p_fail=p_fail, seed=seed)
+    from repro.workloads.generators import chain_workload
+
+    client, servers = chain_workload(spec)
+    system = OptimisticSystem(
+        FixedLatency(spec.latency),
+        config=OptimisticConfig(control_plane=control_plane),
+    )
+    system.add_program(client, stream_plan(client))
+    for s in servers:
+        system.add_program(s)
+    for i in range(n_bystanders):
+        system.add_program(server_program(f"idle{i}", lambda s, r: None))
+    return system.run()
+
+
+def test_targeted_mode_correct_fault_free():
+    res = run_with_bystanders(ControlPlane.TARGETED)
+    assert res.unresolved == []
+    assert res.stats.get("opt.commits") == 3
+
+
+def test_targeted_mode_correct_with_faults():
+    for seed in (1, 5, 9):
+        spec = ChainSpec(n_calls=6, n_servers=2, latency=4.0,
+                         service_time=0.5, p_fail=0.5, seed=seed)
+        seq = run_chain_sequential(spec)
+        opt = run_chain_optimistic(
+            spec, OptimisticConfig(control_plane=ControlPlane.TARGETED))
+        assert opt.unresolved == []
+        assert_equivalent(opt.trace, seq.trace)
+
+
+def test_targeted_sends_fewer_control_messages_with_bystanders():
+    broadcast = run_with_bystanders(ControlPlane.BROADCAST)
+    targeted = run_with_bystanders(ControlPlane.TARGETED)
+    assert (targeted.stats.get("net.msgs.control")
+            < broadcast.stats.get("net.msgs.control"))
+
+
+def test_bystanders_not_notified_in_targeted_mode():
+    targeted = run_with_bystanders(ControlPlane.TARGETED)
+    # idle servers never received guarded traffic, so no commit reaches them
+    assert targeted.count("commit_received", "idle0") == 0
+    broadcast = run_with_bystanders(ControlPlane.BROADCAST)
+    assert broadcast.count("commit_received", "idle0") > 0
+
+
+def test_relay_reaches_transitive_dependents():
+    """Y forwards X's guarded dependence to Z; X doesn't know about Z.
+
+    Under targeted control, Y must relay COMMIT(x1) onward or Z would
+    hold the guard forever.
+    """
+    from repro.csp.effects import Call
+    from repro.csp.plan import ForkSpec, ParallelizationPlan
+    from repro.csp.process import Program, Segment
+
+    def s1(state):
+        state["ok"] = yield Call("Y", "work", ())
+
+    def s2(state):
+        state["r"] = yield Call("Y", "finish", ())
+
+    prog = Program("X", [Segment("s1", s1, exports=("ok",)),
+                         Segment("s2", s2)])
+    plan = ParallelizationPlan().add("s1", ForkSpec(predictor={"ok": True}))
+
+    def y_handler(state, req):
+        if req.op == "finish":
+            # while guarded by x1, Y calls Z: Z now depends on x1 through Y
+            yield Call("Z", "log", ())
+            return "done"
+        return True
+
+    system = OptimisticSystem(
+        FixedLatency(2.0),
+        config=OptimisticConfig(control_plane=ControlPlane.TARGETED),
+    )
+    system.add_program(prog, plan)
+    system.add_program(server_program("Y", y_handler, service_time=0.5))
+    system.add_program(server_program("Z", lambda s, r: True,
+                                      service_time=0.5))
+    res = system.run()
+    assert res.unresolved == []
+    # Z learned of the commit via Y's relay, not via any broadcast
+    assert res.count("commit_received", "Z") >= 1

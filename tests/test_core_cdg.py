@@ -1,0 +1,123 @@
+"""Commit dependency graph and cycle detection (§4.1.4)."""
+
+from repro.core.cdg import CommitDependencyGraph
+from repro.core.guess import GuessId
+
+A = GuessId("A", 0, 0)
+B = GuessId("B", 0, 0)
+C = GuessId("C", 0, 0)
+D = GuessId("D", 0, 0)
+
+
+def test_add_edge_and_queries():
+    g = CommitDependencyGraph()
+    g.add_edge(A, B)
+    assert g.has_node(A) and g.has_node(B)
+    assert g.successors(A) == {B}
+    assert g.predecessors(B) == {A}
+    assert g.edge_count() == 1
+
+
+def test_add_precedence_adds_edges_from_guard():
+    g = CommitDependencyGraph()
+    g.add_precedence(C, [A, B])
+    assert g.successors(A) == {C}
+    assert g.successors(B) == {C}
+
+
+def test_precedence_skips_self_edge():
+    g = CommitDependencyGraph()
+    g.add_precedence(A, [A, B])
+    assert g.successors(A) == set()
+    assert g.successors(B) == {A}
+
+
+def test_no_cycle_in_dag():
+    g = CommitDependencyGraph()
+    g.add_edge(A, B)
+    g.add_edge(B, C)
+    g.add_edge(A, C)
+    assert g.cycle_through(A) is None
+    assert g.find_any_cycle() is None
+
+
+def test_two_node_cycle_detected():
+    g = CommitDependencyGraph()
+    g.add_edge(A, B)
+    g.add_edge(B, A)
+    cycle = g.cycle_through(A)
+    assert cycle is not None
+    assert set(cycle) == {A, B}
+
+
+def test_longer_cycle_detected_through_each_member():
+    g = CommitDependencyGraph()
+    g.add_edge(A, B)
+    g.add_edge(B, C)
+    g.add_edge(C, A)
+    for node in (A, B, C):
+        cycle = g.cycle_through(node)
+        assert cycle is not None
+        assert set(cycle) == {A, B, C}
+
+
+def test_cycle_not_through_unrelated_node():
+    g = CommitDependencyGraph()
+    g.add_edge(A, B)
+    g.add_edge(B, A)
+    g.add_edge(C, D)
+    assert g.cycle_through(C) is None
+    assert g.cycle_through(D) is None
+
+
+def test_self_loop_not_possible_via_precedence_but_detectable():
+    g = CommitDependencyGraph()
+    g.add_edge(A, A)
+    assert g.cycle_through(A) == [A]
+
+
+def test_remove_node_breaks_cycle():
+    g = CommitDependencyGraph()
+    g.add_edge(A, B)
+    g.add_edge(B, A)
+    g.remove_node(B)
+    assert g.cycle_through(A) is None
+    assert not g.has_node(B)
+    assert g.successors(A) == set()
+
+
+def test_remove_missing_node_is_noop():
+    g = CommitDependencyGraph()
+    g.remove_node(A)
+
+
+def test_descendants():
+    g = CommitDependencyGraph()
+    g.add_edge(A, B)
+    g.add_edge(B, C)
+    g.add_edge(C, D)
+    assert g.descendants(A) == {B, C, D}
+    assert g.descendants(C) == {D}
+    assert g.descendants(D) == set()
+
+
+def test_descendants_with_cycle_terminate():
+    g = CommitDependencyGraph()
+    g.add_edge(A, B)
+    g.add_edge(B, A)
+    assert g.descendants(A) == {A, B}
+
+
+def test_nodes_sorted():
+    g = CommitDependencyGraph()
+    g.add_node(C)
+    g.add_node(A)
+    g.add_node(B)
+    assert g.nodes() == sorted([A, B, C])
+
+
+def test_duplicate_edges_idempotent():
+    g = CommitDependencyGraph()
+    g.add_edge(A, B)
+    g.add_edge(A, B)
+    assert g.edge_count() == 1

@@ -1,0 +1,93 @@
+"""Commit histories and implicit resolution inference (§4.1.5)."""
+
+from repro.core.guess import GuessId
+from repro.core.history import GuessStatus, PeerView, SystemView
+
+
+def g(inc, idx, proc="X"):
+    return GuessId(proc, inc, idx)
+
+
+class TestPeerView:
+    def test_default_pending(self):
+        assert PeerView("X").status(g(0, 0)) is GuessStatus.PENDING
+
+    def test_explicit_commit_and_abort(self):
+        v = PeerView("X")
+        v.note_commit(g(0, 1))
+        v.note_abort(g(0, 5))
+        assert v.status(g(0, 1)) is GuessStatus.COMMITTED
+        assert v.status(g(0, 5)) is GuessStatus.ABORTED
+
+    def test_unknown_does_not_override_resolution(self):
+        v = PeerView("X")
+        v.note_commit(g(0, 1))
+        v.note_unknown(g(0, 1))
+        assert v.status(g(0, 1)) is GuessStatus.COMMITTED
+
+    def test_unknown_marks_pending_guess(self):
+        v = PeerView("X")
+        v.note_unknown(g(0, 1))
+        assert v.status(g(0, 1)) is GuessStatus.UNKNOWN
+
+    def test_commit_implies_earlier_indices_same_incarnation(self):
+        # Left threads join in order, so COMMIT(x_{0,3}) implies x_{0,1}.
+        v = PeerView("X")
+        v.note_commit(g(0, 3))
+        assert v.status(g(0, 1)) is GuessStatus.COMMITTED
+        assert v.status(g(0, 4)) is GuessStatus.PENDING
+
+    def test_commit_implication_respects_incarnation_start(self):
+        # Incarnation 1 starts at 5: C(1,7) implies (1,5),(1,6) committed
+        # but says nothing about (1,2), which belongs to no valid range.
+        v = PeerView("X")
+        v.incarnations.learn_start(1, 5)
+        v.note_commit(g(1, 7))
+        assert v.status(g(1, 5)) is GuessStatus.COMMITTED
+        assert v.status(g(1, 2)) is not GuessStatus.COMMITTED
+
+    def test_abort_implicitly_aborts_later_same_incarnation(self):
+        # ABORT(x_{0,5}) starts incarnation 1 at 5: x_{0,7} is dead too.
+        v = PeerView("X")
+        v.note_abort(g(0, 5))
+        assert v.status(g(0, 7)) is GuessStatus.ABORTED
+        assert v.status(g(0, 4)) is GuessStatus.PENDING
+
+    def test_paper_implicit_abort_via_commit_of_new_incarnation(self):
+        # Receipt of C_{2,3} with incarnation 2 starting at 3 is an
+        # implicit abort of x_{1,3} (§4.1.5).
+        v = PeerView("X")
+        v.incarnations.learn_start(2, 3)
+        v.note_commit(g(2, 3))
+        assert v.status(g(1, 3)) is GuessStatus.ABORTED
+        assert v.status(g(1, 2)) is GuessStatus.PENDING
+
+
+class TestSystemView:
+    def test_peer_views_are_per_process(self):
+        sv = SystemView()
+        sv.note_commit(g(0, 0, "X"))
+        assert sv.is_committed(g(0, 0, "X"))
+        assert not sv.is_committed(g(0, 0, "Y"))
+
+    def test_any_aborted_returns_first_sorted(self):
+        sv = SystemView()
+        sv.note_abort(g(0, 2, "B"))
+        sv.note_abort(g(0, 1, "A"))
+        found = sv.any_aborted([g(0, 1, "A"), g(0, 2, "B")])
+        assert found == g(0, 1, "A")
+        assert sv.any_aborted([g(0, 9, "C")]) is None
+
+    def test_all_committed(self):
+        sv = SystemView()
+        sv.note_commit(g(0, 0, "X"))
+        sv.note_commit(g(0, 0, "Y"))
+        assert sv.all_committed([g(0, 0, "X"), g(0, 0, "Y")])
+        assert not sv.all_committed([g(0, 0, "X"), g(0, 1, "Y")])
+        assert sv.all_committed([])
+
+    def test_status_resolved_property(self):
+        assert GuessStatus.COMMITTED.resolved
+        assert GuessStatus.ABORTED.resolved
+        assert not GuessStatus.PENDING.resolved
+        assert not GuessStatus.UNKNOWN.resolved

@@ -1,0 +1,96 @@
+"""Journal slots, truncation, and replay-cursor determinism checks."""
+
+import pytest
+
+from repro.errors import DeterminismError
+from repro.core.journal import COMPUTE, RESULT, SEND, Journal, Slot
+
+
+def test_append_advances_cursor_live():
+    j = Journal()
+    assert j.live
+    j.append(Slot(kind=SEND, signature=("s",)))
+    assert j.live
+    assert j.position == 1
+
+
+def test_begin_replay_truncates_and_returns_suffix():
+    j = Journal()
+    j.append(Slot(kind=SEND, signature=("a",)))
+    j.append(Slot(kind=RESULT, signature=("b",), result=1))
+    j.append(Slot(kind=RESULT, signature=("c",), result=2))
+    discarded = j.begin_replay(1)
+    assert [s.signature for s in discarded] == [("b",), ("c",)]
+    assert len(j) == 1
+    assert not j.live
+    assert j.position == 0
+
+
+def test_begin_replay_negative_clamped_to_zero():
+    j = Journal()
+    j.append(Slot(kind=SEND, signature=("a",)))
+    discarded = j.begin_replay(-5)
+    assert len(discarded) == 1
+    assert len(j) == 0
+    assert j.live  # nothing to replay
+
+
+def test_replay_serves_slots_in_order():
+    j = Journal()
+    j.append(Slot(kind=SEND, signature=("a",)))
+    j.append(Slot(kind=RESULT, signature=("b",), result=42))
+    j.begin_replay(2)
+    s1 = j.consume_replay_slot(SEND, ("a",))
+    assert s1.signature == ("a",)
+    s2 = j.consume_replay_slot(RESULT, ("b",))
+    assert s2.result == 42
+    assert j.live
+
+
+def test_replay_mismatch_kind_raises():
+    j = Journal()
+    j.append(Slot(kind=SEND, signature=("a",)))
+    j.begin_replay(1)
+    with pytest.raises(DeterminismError):
+        j.consume_replay_slot(RESULT, ("a",))
+
+
+def test_replay_mismatch_signature_raises():
+    j = Journal()
+    j.append(Slot(kind=SEND, signature=("a",)))
+    j.begin_replay(1)
+    with pytest.raises(DeterminismError):
+        j.consume_replay_slot(SEND, ("different",))
+
+
+def test_consume_past_end_raises():
+    j = Journal()
+    with pytest.raises(DeterminismError):
+        j.consume_replay_slot(SEND, ("a",))
+
+
+def test_next_replay_slot_peeks_without_advance():
+    j = Journal()
+    j.append(Slot(kind=COMPUTE, signature=("c",), duration=3.0))
+    j.begin_replay(1)
+    slot = j.next_replay_slot()
+    assert slot is not None and slot.duration == 3.0
+    assert j.position == 0
+    assert j.next_replay_slot() is slot
+
+
+def test_append_after_replay_completes():
+    j = Journal()
+    j.append(Slot(kind=SEND, signature=("a",)))
+    j.begin_replay(1)
+    j.consume_replay_slot(SEND, ("a",))
+    j.append(Slot(kind=SEND, signature=("b",)))
+    assert len(j) == 2
+    assert j.live
+
+
+def test_slots_after():
+    j = Journal()
+    for name in ("a", "b", "c"):
+        j.append(Slot(kind=SEND, signature=(name,)))
+    assert [s.signature for s in j.slots_after(1)] == [("b",), ("c",)]

@@ -1,0 +1,42 @@
+"""Protocol wire messages and overhead accounting."""
+
+from repro.core.guess import GuessId
+from repro.core.messages import (
+    AbortMsg,
+    CommitMsg,
+    DataEnvelope,
+    PrecedenceMsg,
+    control_size,
+)
+
+X0 = GuessId("X", 0, 0)
+Y0 = GuessId("Y", 0, 0)
+
+
+def test_envelope_guard_keys():
+    env = DataEnvelope(src="a", dst="b", payload=1, guard=frozenset({X0, Y0}))
+    assert env.guard_keys() == frozenset({"X:i0.n0", "Y:i0.n0"})
+
+
+def test_wire_size_includes_guard_tags():
+    env = DataEnvelope(src="a", dst="b", payload=1,
+                       guard=frozenset({X0, Y0}), size=5)
+    assert env.wire_size() == 7
+
+
+def test_msg_ids_unique_and_increasing():
+    a = DataEnvelope(src="a", dst="b", payload=1, guard=frozenset())
+    b = DataEnvelope(src="a", dst="b", payload=1, guard=frozenset())
+    assert b.msg_id > a.msg_id
+
+
+def test_control_sizes():
+    assert control_size(CommitMsg(X0)) == 1
+    assert control_size(AbortMsg(X0)) == 1
+    assert control_size(PrecedenceMsg(X0, frozenset({Y0}))) == 2
+    assert control_size(PrecedenceMsg(X0, frozenset({Y0, GuessId("Z", 0, 0)}))) == 3
+
+
+def test_control_messages_equality():
+    assert CommitMsg(X0) == CommitMsg(GuessId("X", 0, 0))
+    assert AbortMsg(X0) != AbortMsg(Y0)

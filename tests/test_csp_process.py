@@ -1,0 +1,140 @@
+"""Program / Segment / ProcessDef / plan validation."""
+
+import pytest
+
+from repro.errors import ProgramError
+from repro.csp.effects import Receive, Reply
+from repro.csp.plan import (
+    ForkSpec,
+    ParallelizationPlan,
+    constant_predictor,
+    equality_verifier,
+)
+from repro.csp.process import ProcessDef, Program, Segment, server_program
+
+
+def seg_fn(state):
+    yield
+
+
+class TestSegment:
+    def test_requires_generator_function(self):
+        with pytest.raises(ProgramError):
+            Segment("s", lambda state: None)
+
+    def test_requires_callable(self):
+        with pytest.raises(ProgramError):
+            Segment("s", "not callable")
+
+    def test_instantiate_returns_generator(self):
+        seg = Segment("s", seg_fn)
+        gen = seg.instantiate({})
+        assert hasattr(gen, "send")
+
+
+class TestProgram:
+    def test_empty_program_rejected(self):
+        with pytest.raises(ProgramError):
+            Program("p", [])
+
+    def test_duplicate_segment_names_rejected(self):
+        with pytest.raises(ProgramError):
+            Program("p", [Segment("s", seg_fn), Segment("s", seg_fn)])
+
+    def test_segment_index(self):
+        p = Program("p", [Segment("a", seg_fn), Segment("b", seg_fn)])
+        assert p.segment_index("b") == 1
+        with pytest.raises(ProgramError):
+            p.segment_index("zzz")
+
+    def test_len(self):
+        p = Program("p", [Segment("a", seg_fn)])
+        assert len(p) == 1
+
+
+class TestProcessDef:
+    def test_external_cannot_have_program(self):
+        p = Program("p", [Segment("a", seg_fn)])
+        with pytest.raises(ProgramError):
+            ProcessDef("x", program=p, external=True)
+
+    def test_internal_needs_program(self):
+        with pytest.raises(ProgramError):
+            ProcessDef("x")
+
+    def test_valid_defs(self):
+        p = Program("p", [Segment("a", seg_fn)])
+        ProcessDef("x", program=p)
+        ProcessDef("sink", external=True)
+
+
+class TestServerProgram:
+    def test_builds_single_segment_loop(self):
+        prog = server_program("srv", lambda state, req: 42)
+        assert len(prog.segments) == 1
+        gen = prog.segments[0].instantiate({})
+        effect = gen.send(None)
+        assert isinstance(effect, Receive)
+
+    def test_generator_handler_effects_pass_through(self):
+        from repro.csp.effects import Call
+
+        def handler(state, req):
+            yield Call("other", "op", ())
+            return "done"
+
+        prog = server_program("srv", handler)
+        gen = prog.segments[0].instantiate({})
+        assert isinstance(gen.send(None), Receive)
+
+    def test_ops_filter_passed(self):
+        prog = server_program("srv", lambda s, r: None, ops=("a", "b"))
+        gen = prog.segments[0].instantiate({})
+        recv = gen.send(None)
+        assert recv.ops == ("a", "b")
+
+
+class TestPlan:
+    def make_prog(self):
+        return Program("p", [Segment("a", seg_fn, exports=("x",)),
+                             Segment("b", seg_fn)])
+
+    def test_dict_predictor_wrapped(self):
+        spec = ForkSpec(predictor={"x": 1})
+        assert spec.predict({}) == {"x": 1}
+
+    def test_callable_predictor(self):
+        spec = ForkSpec(predictor=lambda st: {"x": st["y"] + 1})
+        assert spec.predict({"y": 4}) == {"x": 5}
+
+    def test_bad_predictor_rejected(self):
+        with pytest.raises(ProgramError):
+            ForkSpec(predictor=7)
+
+    def test_equality_verifier(self):
+        assert equality_verifier({"x": 1}, {"x": 1, "y": 9})
+        assert not equality_verifier({"x": 1}, {"x": 2})
+        assert not equality_verifier({"x": 1}, {})
+
+    def test_constant_predictor_copies(self):
+        pred = constant_predictor({"x": 1})
+        out = pred({})
+        out["x"] = 99
+        assert pred({}) == {"x": 1}
+
+    def test_validate_unknown_segment(self):
+        plan = ParallelizationPlan().add("zzz", ForkSpec(predictor={}))
+        with pytest.raises(ProgramError):
+            plan.validate(self.make_prog())
+
+    def test_validate_final_segment_rejected(self):
+        plan = ParallelizationPlan().add("b", ForkSpec(predictor={}))
+        with pytest.raises(ProgramError):
+            plan.validate(self.make_prog())
+
+    def test_validate_ok_and_counts(self):
+        plan = ParallelizationPlan().add("a", ForkSpec(predictor={"x": 0}))
+        plan.validate(self.make_prog())
+        assert plan.fork_count() == 1
+        assert plan.fork_for("a") is not None
+        assert plan.fork_for("b") is None

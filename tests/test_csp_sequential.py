@@ -1,0 +1,218 @@
+"""The pessimistic reference interpreter."""
+
+import pytest
+
+from repro.errors import EffectError, ProgramError
+from repro.csp.effects import Call, Compute, Emit, GetTime, Receive, Reply, Send
+from repro.csp.process import Program, Segment, server_program
+from repro.csp.sequential import SequentialSystem
+from repro.sim.network import FixedLatency, PerLinkLatency
+
+
+def single(name, fn, **kw):
+    return Program(name, [Segment("main", fn, **kw)])
+
+
+def test_call_round_trip_timing():
+    def client(state):
+        state["r"] = yield Call("srv", "echo", (7,))
+
+    system = SequentialSystem(FixedLatency(3.0))
+    system.add_program(single("c", client))
+    system.add_program(server_program("srv", lambda s, r: r.args[0] * 2,
+                                      service_time=1.0))
+    res = system.run()
+    assert res.final_states["c"]["r"] == 14
+    assert res.makespan == 7.0  # 3 out + 1 service + 3 back
+
+
+def test_two_calls_serialize():
+    def client(state):
+        state["a"] = yield Call("srv", "op", (1,))
+        state["b"] = yield Call("srv", "op", (2,))
+
+    system = SequentialSystem(FixedLatency(3.0))
+    system.add_program(single("c", client))
+    system.add_program(server_program("srv", lambda s, r: r.args[0],
+                                      service_time=1.0))
+    res = system.run()
+    assert res.makespan == 14.0
+
+
+def test_compute_consumes_time():
+    def client(state):
+        yield Compute(5.0)
+        state["t"] = yield GetTime()
+
+    system = SequentialSystem()
+    system.add_program(single("c", client))
+    res = system.run()
+    assert res.final_states["c"]["t"] == 5.0
+    assert res.makespan == 5.0
+
+
+def test_segment_compute_charged_at_start():
+    def body(state):
+        state["t"] = yield GetTime()
+
+    prog = Program("c", [Segment("main", body, compute=2.5)])
+    system = SequentialSystem()
+    system.add_program(prog)
+    res = system.run()
+    assert res.final_states["c"]["t"] == 2.5
+
+
+def test_one_way_send_does_not_block():
+    def client(state):
+        yield Send("srv", "fire", (1,))
+        state["t"] = yield GetTime()
+
+    system = SequentialSystem(FixedLatency(10.0))
+    system.add_program(single("c", client))
+    system.add_program(server_program("srv", lambda s, r: None))
+    res = system.run()
+    assert res.final_states["c"]["t"] == 0.0
+
+
+def test_server_receives_in_arrival_order():
+    def client(state):
+        yield Send("srv", "m", ("a",))
+        yield Send("srv", "m", ("b",))
+
+    got = []
+    system = SequentialSystem(FixedLatency(1.0))
+    system.add_program(single("c", client))
+    system.add_program(server_program(
+        "srv", lambda s, r: got.append(r.args[0])))
+    system.run()
+    assert got == ["a", "b"]
+
+
+def test_receive_ops_filter_queues_nonmatching():
+    def client(state):
+        yield Send("srv", "low", ("skip",))
+        yield Send("srv", "high", ("pick",))
+
+    order = []
+
+    def srv(state):
+        req = yield Receive(ops=("high",))
+        order.append(req.op)
+        req = yield Receive()
+        order.append(req.op)
+
+    system = SequentialSystem(FixedLatency(1.0))
+    system.add_program(single("c", client))
+    system.add_program(single("srv", srv))
+    system.run()
+    assert order == ["high", "low"]
+
+
+def test_emit_reaches_sink():
+    def client(state):
+        yield Emit("display", "hello")
+        yield Emit("display", "world")
+
+    system = SequentialSystem(FixedLatency(1.0))
+    system.add_program(single("c", client))
+    system.add_sink("display")
+    res = system.run()
+    assert res.sink_output("display") == ["hello", "world"]
+    ext = [e for e in res.trace if e.kind == "external"]
+    assert [e.payload for e in ext] == ["hello", "world"]
+
+
+def test_emit_to_unknown_sink_raises():
+    def client(state):
+        yield Emit("nowhere", "x")
+
+    system = SequentialSystem()
+    system.add_program(single("c", client))
+    with pytest.raises(EffectError):
+        system.run()
+
+
+def test_reply_to_oneway_rejected():
+    def client(state):
+        yield Send("srv", "m", ())
+
+    def srv(state):
+        req = yield Receive()
+        yield Reply(req, 1)
+
+    system = SequentialSystem()
+    system.add_program(single("c", client))
+    system.add_program(single("srv", srv))
+    with pytest.raises(EffectError):
+        system.run()
+
+
+def test_unknown_effect_rejected():
+    def client(state):
+        yield object()
+
+    system = SequentialSystem()
+    system.add_program(single("c", client))
+    with pytest.raises(EffectError):
+        system.run()
+
+
+def test_duplicate_process_rejected():
+    system = SequentialSystem()
+    system.add_program(single("c", lambda state: (yield Compute(0))))
+    with pytest.raises(ProgramError):
+        system.add_program(single("c", lambda state: (yield Compute(0))))
+
+
+def test_completion_times_only_for_finished():
+    def client(state):
+        yield Compute(2.0)
+
+    system = SequentialSystem()
+    system.add_program(single("c", client))
+    system.add_program(server_program("srv", lambda s, r: None))
+    res = system.run()
+    assert res.completion_times == {"c": 2.0}
+
+
+def test_trace_records_calls_and_replies():
+    def client(state):
+        state["r"] = yield Call("srv", "op", (1,))
+
+    system = SequentialSystem(FixedLatency(1.0))
+    system.add_program(single("c", client))
+    system.add_program(server_program("srv", lambda s, r: "ok"))
+    res = system.run()
+    kinds = [(e.kind, e.payload[0]) for e in res.trace]
+    assert kinds == [
+        ("send", "call"), ("recv", "req"), ("send", "reply"), ("recv", "reply"),
+    ]
+
+
+def test_multi_segment_state_flows():
+    def s1(state):
+        state["x"] = yield Call("srv", "op", (1,))
+
+    def s2(state):
+        state["y"] = state["x"] + 1
+        yield Compute(0)
+
+    prog = Program("c", [Segment("s1", s1, exports=("x",)),
+                         Segment("s2", s2)])
+    system = SequentialSystem()
+    system.add_program(prog)
+    system.add_program(server_program("srv", lambda s, r: 10))
+    res = system.run()
+    assert res.final_states["c"] == {"x": 10, "y": 11}
+
+
+def test_per_link_latency_affects_makespan():
+    def client(state):
+        state["r"] = yield Call("far", "op", ())
+
+    system = SequentialSystem(PerLinkLatency(default=1.0,
+                                             links={("c", "far"): 10.0}))
+    system.add_program(single("c", client))
+    system.add_program(server_program("far", lambda s, r: 1))
+    res = system.run()
+    assert res.makespan == 11.0  # 10 out, 1 back

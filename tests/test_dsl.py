@@ -1,0 +1,124 @@
+"""The program-builder DSL."""
+
+import pytest
+
+from repro.errors import ProgramError
+from repro.csp.dsl import program
+from repro.csp.process import server_program
+from repro.csp.sequential import SequentialSystem
+from repro.core import OptimisticSystem
+from repro.sim.network import FixedLatency
+from repro.trace import assert_equivalent
+
+
+def build_figure1(guess=True):
+    return (
+        program("X")
+        .call("Y", "Update", ("item", 1), export="ok", guess=guess,
+              name="update")
+        .when("ok")
+        .call("Z", "Write", ("file", "x"), export="r", guess=guess,
+              name="write")
+        .build()
+    )
+
+
+def servers(update_ok=True):
+    return [
+        server_program("Y", lambda s, r: update_ok, service_time=1.0),
+        server_program("Z", lambda s, r: True, service_time=1.0),
+    ]
+
+
+def run_seq(update_ok=True):
+    system = SequentialSystem(FixedLatency(5.0))
+    build_figure1().add_to(system)
+    for s in servers(update_ok):
+        system.add_program(s)
+    return system.run()
+
+
+def run_opt(update_ok=True):
+    system = OptimisticSystem(FixedLatency(5.0))
+    build_figure1().add_to(system)
+    for s in servers(update_ok):
+        system.add_program(s)
+    return system.run()
+
+
+def test_dsl_builds_runnable_program():
+    seq = run_seq()
+    assert seq.final_states["X"]["ok"] is True
+    assert seq.final_states["X"]["r"] is True
+    assert seq.makespan == 22.0
+
+
+def test_dsl_plan_streams_under_optimistic_runtime():
+    seq = run_seq()
+    opt = run_opt()
+    assert opt.makespan == 11.0
+    assert_equivalent(opt.trace, seq.trace)
+
+
+def test_when_condition_skips_and_guesses_consistently():
+    seq = run_seq(update_ok=False)
+    opt = run_opt(update_ok=False)
+    # conditioned segment skipped in both; value fault repaired in opt
+    assert seq.final_states["X"]["r"] is None
+    assert opt.final_states["X"]["r"] is None
+    assert_equivalent(opt.trace, seq.trace)
+    assert opt.stats.get("opt.aborts.value_fault") == 1
+
+
+def test_emit_and_compute_steps():
+    built = (
+        program("P")
+        .initial(x=1)
+        .compute(2.0)
+        .call("srv", "op", (), export="v", name="thecall")
+        .emit("display", from_state="v")
+        .build()
+    )
+    system = SequentialSystem(FixedLatency(1.0))
+    built.add_to(system)
+    system.add_program(server_program("srv", lambda s, r: "VALUE"))
+    system.add_sink("display")
+    res = system.run()
+    assert res.sink_output("display") == ["VALUE"]
+    assert res.makespan == 4.0  # 2 compute + 1 + 1 round trip
+
+
+def test_raw_step_escape_hatch():
+    from repro.csp.effects import Compute
+
+    def custom(state):
+        state["y"] = state["x"] * 10
+        yield Compute(0)
+
+    built = (program("P").initial(x=3)
+             .step(custom, exports=("y",)).build())
+    system = SequentialSystem()
+    built.add_to(system)
+    res = system.run()
+    assert res.final_states["P"]["y"] == 30
+
+
+def test_empty_program_rejected():
+    with pytest.raises(ProgramError):
+        program("P").build()
+
+
+def test_always_cancels_when():
+    built = (
+        program("P")
+        .initial(flag=False)
+        .when("flag")
+        .compute(1.0)          # skipped
+        .always()
+        .compute(2.0)          # runs
+        .build()
+    )
+    system = SequentialSystem()
+    built.add_to(system)
+    res = system.run()
+    assert res.makespan == 2.0

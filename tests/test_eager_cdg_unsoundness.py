@@ -1,0 +1,63 @@
+"""Regression: the literal §4.2.8 Abortset rule can duplicate messages.
+
+The paper says that on ABORT(x) a process should also roll back guard
+members that merely *follow* x in its CDG.  But such a follower guess can
+later COMMIT: the messages the rolled-back thread sent under it are then
+never orphaned, while the re-execution sends them again — two committed
+copies of one logical message.  Cancelling the originals would need
+anti-messages, which this protocol deliberately does not have.
+
+This reproduction therefore defaults to the *direct* rule (roll back only
+holders of the aborted guess itself), which is sound: every send a direct
+rollback discards is tagged with the aborted guess and orphaned
+everywhere.  The fuzz-discovered counterexample below pins both facts.
+"""
+
+from repro.core.config import OptimisticConfig
+from repro.core.invariants import validate_run
+from repro.trace import assert_equivalent, traces_equivalent
+from repro.trace.equivalence import link_sequences
+from repro.workloads.random_programs import (
+    RandomProgramSpec,
+    build_random_system,
+)
+
+# Found by randomized search: timeouts + a PRECEDENCE edge + guard
+# compression + L=1 pessimism line up so the eager rule rolls a left
+# thread back past its own (never-orphaned) call.
+COUNTEREXAMPLE = RandomProgramSpec(
+    n_segments=8, n_servers=1, latency=9.429187148603555,
+    service_time=1.104273626819129, seed=110973381,
+    branch_probability=0.0, emit_probability=0.0, send_probability=0.4,
+    think_probability=0.3, guess_accuracy_bias=4,
+)
+
+
+def run_pair(eager: bool):
+    config = OptimisticConfig(max_optimistic_retries=1,
+                              compress_guards=True,
+                              eager_cdg_rollback=eager)
+    seq = build_random_system(COUNTEREXAMPLE, optimistic=False).run()
+    system = build_random_system(COUNTEREXAMPLE, optimistic=True,
+                                 config=config)
+    opt = system.run()
+    return seq, opt, system
+
+
+def test_direct_rule_is_sound_on_the_counterexample():
+    seq, opt, system = run_pair(eager=False)
+    assert opt.unresolved == []
+    assert_equivalent(opt.trace, seq.trace)
+    validate_run(system)
+
+
+def test_eager_rule_duplicates_a_committed_call():
+    seq, opt, _ = run_pair(eager=True)
+    assert not traces_equivalent(opt.trace, seq.trace)
+    sends = link_sequences(opt.trace)[("send", "client", "S0")]
+    q3_calls = [p for p in sends if p == ("call", "op", ("q3",))]
+    assert len(q3_calls) == 2  # the original survived AND was re-sent
+
+
+def test_default_config_uses_the_sound_rule():
+    assert OptimisticConfig().eager_cdg_rollback is False

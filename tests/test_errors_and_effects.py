@@ -1,0 +1,77 @@
+"""Exception hierarchy and effect metadata contracts."""
+
+import pytest
+
+from repro import errors
+from repro.csp.effects import (
+    Call,
+    Compute,
+    Emit,
+    GetTime,
+    Receive,
+    Reply,
+    Send,
+)
+from repro.csp.external import ExternalSink
+from repro.sim.scheduler import Scheduler
+
+
+class TestErrorHierarchy:
+    def test_everything_derives_from_repro_error(self):
+        for name in dir(errors):
+            obj = getattr(errors, name)
+            if isinstance(obj, type) and issubclass(obj, Exception):
+                assert issubclass(obj, errors.ReproError) or \
+                    obj is errors.ReproError
+
+    def test_specific_parentage(self):
+        assert issubclass(errors.ClockError, errors.SimulationError)
+        assert issubclass(errors.NetworkError, errors.SimulationError)
+        assert issubclass(errors.EffectError, errors.ProgramError)
+        assert issubclass(errors.RollbackError, errors.ProtocolError)
+        assert issubclass(errors.LivenessError, errors.ProtocolError)
+
+    def test_single_catch_covers_all(self):
+        with pytest.raises(errors.ReproError):
+            raise errors.DeterminismError("x")
+
+
+class TestEffectMetadata:
+    """The flags drive journaling: results of nondeterministic effects are
+    logged for replay; side effects are suppressed during replay."""
+
+    def test_nondeterministic_flags(self):
+        assert Call("d", "op").nondeterministic      # reply value logged
+        assert Receive().nondeterministic            # request logged
+        assert GetTime().nondeterministic            # time logged
+        assert not Send("d", "op").nondeterministic
+        assert not Compute(1.0).nondeterministic
+        assert not Emit("s").nondeterministic
+
+    def test_side_effect_flags(self):
+        assert Call("d", "op").side_effect           # the request message
+        assert Send("d", "op").side_effect
+        assert Reply(None).side_effect
+        assert Emit("s").side_effect
+        assert not Receive().side_effect
+        assert not Compute(1.0).side_effect
+        assert not GetTime().side_effect
+
+    def test_effect_defaults(self):
+        c = Call("dst", "op")
+        assert c.args == () and c.size == 1
+        assert Receive().ops is None
+        assert Compute().duration == 0.0
+
+
+class TestExternalSink:
+    def test_logs_deliveries_with_time_and_source(self):
+        sched = Scheduler()
+        sink = ExternalSink("display")
+        handler = sink.handler(sched)
+        sched.at(2.0, lambda: handler("X", "hello"))
+        sched.at(5.0, lambda: handler("Y", "world"))
+        sched.run()
+        assert sink.delivered == ["hello", "world"]
+        assert sink.delivery_log == [(2.0, "X", "hello"),
+                                     (5.0, "Y", "world")]

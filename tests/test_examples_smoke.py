@@ -1,0 +1,36 @@
+"""Every example must run cleanly end to end (they are documentation)."""
+
+import importlib.util
+import os
+import sys
+
+import pytest
+
+EXAMPLES_DIR = os.path.join(os.path.dirname(os.path.dirname(
+    os.path.abspath(__file__))), "examples")
+
+EXAMPLES = sorted(
+    f for f in os.listdir(EXAMPLES_DIR) if f.endswith(".py")
+)
+
+
+@pytest.mark.parametrize("filename", EXAMPLES)
+def test_example_runs(filename, capsys):
+    path = os.path.join(EXAMPLES_DIR, filename)
+    spec = importlib.util.spec_from_file_location(
+        f"example_{filename[:-3]}", path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    assert hasattr(module, "main"), f"{filename} must define main()"
+    module.main()
+    out = capsys.readouterr().out
+    assert out.strip(), f"{filename} printed nothing"
+
+
+def test_expected_examples_present():
+    names = set(EXAMPLES)
+    for required in ("quickstart.py", "db_filesystem.py",
+                     "branch_prediction.py", "two_optimistic_services.py",
+                     "paper_figures.py", "wan_pipeline.py",
+                     "speculation_anatomy.py"):
+        assert required in names

@@ -1,0 +1,165 @@
+"""Failure injection: adversarial timing, deep nesting, racing resolutions."""
+
+import pytest
+
+from repro.core import OptimisticSystem, make_call_chain, stream_plan
+from repro.core.config import OptimisticConfig
+from repro.core.invariants import validate_run
+from repro.csp.effects import Call, Compute, Receive, Reply, Send
+from repro.csp.plan import ForkSpec, ParallelizationPlan
+from repro.csp.process import Program, Segment, server_program
+from repro.csp.sequential import SequentialSystem
+from repro.sim.network import FixedLatency, JitteredLatency, PerLinkLatency
+from repro.sim.rng import RngRegistry
+from repro.trace import assert_equivalent
+from repro.workloads.generators import ChainSpec, chain_workload
+
+
+def paired_run(spec: ChainSpec, latency_model, config=None):
+    client, servers = chain_workload(spec)
+    seq_system = SequentialSystem(latency_model)
+    seq_system.add_program(client)
+    client2, servers2 = chain_workload(spec)
+    opt_system = OptimisticSystem(latency_model, config=config)
+    opt_system.add_program(client2, stream_plan(client2))
+    for s, s2 in zip(servers, servers2):
+        seq_system.add_program(s)
+        opt_system.add_program(s2)
+    seq = seq_system.run()
+    opt = opt_system.run()
+    return seq, opt, opt_system
+
+
+class TestLatencyJitter:
+    def test_jittered_network_stays_equivalent(self):
+        # jitter shuffles cross-link arrival orders every seed
+        for seed in range(6):
+            rng = RngRegistry(seed)
+            latency = JitteredLatency(2.0, 8.0, rng)
+            spec = ChainSpec(n_calls=6, n_servers=2, latency=0.0,
+                             service_time=0.5, p_fail=0.3, seed=seed)
+            seq, opt, system = paired_run(spec, latency)
+            # NOTE: jittered latency draws differ between the two runs, so
+            # the *timings* differ, but the committed traces cannot.
+            assert opt.unresolved == []
+            assert_equivalent(opt.trace, seq.trace)
+            validate_run(system)
+
+
+class TestExtremeSkew:
+    def test_reply_overtakes_everything(self):
+        # replies from S1 are near-instant while S0 is glacial
+        latency = PerLinkLatency(default=1.0, links={
+            ("client", "S0"): 30.0, ("S0", "client"): 30.0,
+        })
+        spec = ChainSpec(n_calls=6, n_servers=2, latency=0.0,
+                         service_time=0.5)
+        seq, opt, system = paired_run(spec, latency)
+        assert_equivalent(opt.trace, seq.trace)
+        validate_run(system)
+
+
+class TestDeepNesting:
+    def test_hundred_deep_fork_chain(self):
+        spec = ChainSpec(n_calls=100, n_servers=4, latency=5.0,
+                         service_time=0.1)
+        seq, opt, system = paired_run(spec, FixedLatency(5.0))
+        assert opt.stats.get("opt.forks") == 99
+        assert opt.stats.get("opt.commits") == 99
+        assert_equivalent(opt.trace, seq.trace)
+        validate_run(system)
+        assert opt.makespan < seq.makespan / 20
+
+    def test_fault_in_the_middle_of_a_deep_chain(self):
+        def fail_at_13(state, req):
+            return req.args[0] != "req13"
+
+        calls = [("srv", "op", (f"req{i}",)) for i in range(40)]
+
+        def build(cls, optimistic):
+            client = make_call_chain("client", calls, stop_on_failure=True,
+                                     failure_value=False)
+            system = cls(FixedLatency(5.0))
+            if optimistic:
+                system.add_program(client, stream_plan(client))
+            else:
+                system.add_program(client)
+            system.add_program(server_program("srv", fail_at_13,
+                                              service_time=0.1))
+            return system
+
+        seq = build(SequentialSystem, False).run()
+        opt_system = build(OptimisticSystem, True)
+        opt = opt_system.run()
+        assert_equivalent(opt.trace, seq.trace)
+        validate_run(opt_system)
+        # the nested abort cascade killed the whole speculative tail
+        assert opt.stats.get("opt.aborts") >= 26
+
+
+class TestTimeoutRaces:
+    def build(self, timeout, s1_time):
+        def s1(state):
+            yield Compute(s1_time)
+            state["v"] = 1
+
+        def s2(state):
+            state["r"] = yield Call("srv", "op", (state["v"],))
+
+        prog = Program("X", [Segment("s1", s1, exports=("v",)),
+                             Segment("s2", s2)])
+        plan = ParallelizationPlan().add(
+            "s1", ForkSpec(predictor={"v": 1}, timeout=timeout))
+        system = OptimisticSystem(FixedLatency(2.0))
+        system.add_program(prog, plan)
+        system.add_program(server_program("srv", lambda s, r: r.args[0]))
+        return system
+
+    def test_timeout_exactly_at_completion_boundary(self):
+        # S1 completes at the same instant the timer fires: whichever the
+        # scheduler orders first, the run must resolve consistently.
+        system = self.build(timeout=10.0, s1_time=10.0)
+        res = system.run()
+        assert res.unresolved == []
+        assert res.final_states["X"]["r"] == 1
+        validate_run(system)
+
+    def test_timeout_sweep_never_breaks_correctness(self):
+        for timeout in (0.5, 1.0, 5.0, 9.999, 10.001, 50.0):
+            system = self.build(timeout=timeout, s1_time=10.0)
+            res = system.run()
+            assert res.unresolved == [], f"timeout={timeout}"
+            assert res.final_states["X"]["r"] == 1
+            validate_run(system)
+
+
+class TestServerSideSpeculationChains:
+    def test_guarded_request_relayed_through_two_servers(self):
+        """A speculative value rides client -> A -> B and is rolled back."""
+        def relay(state, req):
+            fwd = yield Call("B", "log", (req.args[0],))
+            return f"relayed:{req.args[0]}"
+
+        def sink(state, req):
+            state.setdefault("logged", []).append(req.args[0])
+            return True
+
+        def build(cls, optimistic):
+            calls = [("A", "first", ("v1",)), ("A", "second", ("v2",))]
+            client = make_call_chain("client", calls, stop_on_failure=True,
+                                     failure_value=False)
+            system = cls(FixedLatency(3.0))
+            if optimistic:
+                plan = stream_plan(client)
+                system.add_program(client, plan)
+            else:
+                system.add_program(client)
+            system.add_program(server_program("A", relay, service_time=0.5))
+            system.add_program(server_program("B", sink, service_time=0.5))
+            return system
+
+        seq = build(SequentialSystem, False).run()
+        opt_system = build(OptimisticSystem, True)
+        opt = opt_system.run()
+        assert_equivalent(opt.trace, seq.trace)
+        validate_run(opt_system)

@@ -1,0 +1,80 @@
+"""Figures 2 & 3: call streaming overlaps the two round trips.
+
+Fig. 2 (pessimistic): completion = 2 × (latency + service + latency).
+Fig. 3 (optimistic, guess correct): both calls in flight together, so
+completion ≈ one round trip; the guess commits with no rollback anywhere.
+"""
+
+from repro.trace import assert_equivalent
+from repro.workloads.scenarios import run_fig2_no_streaming, run_fig3_streaming
+
+
+def test_fig2_sequential_timing():
+    res = run_fig2_no_streaming(latency=5.0, service_time=1.0)
+    assert res.makespan == 22.0  # 2 * (5 + 1 + 5)
+    assert res.final_states["X"]["r0"] is True
+    assert res.final_states["X"]["r1"] is True
+
+
+def test_fig3_overlaps_to_one_round_trip():
+    result = run_fig3_streaming(latency=5.0, service_time=1.0)
+    assert result.sequential.makespan == 22.0
+    assert result.optimistic.makespan == 11.0  # 5 + 1 + 5
+    assert result.speedup == 2.0
+
+
+def test_fig3_no_aborts_or_rollbacks():
+    result = run_fig3_streaming()
+    stats = result.optimistic.stats
+    assert stats.get("opt.forks") == 1
+    assert stats.get("opt.commits") == 1
+    assert stats.get("opt.aborts") == 0
+    assert stats.get("opt.rollbacks") == 0
+
+
+def test_fig3_trace_equivalence():
+    result = run_fig3_streaming()
+    assert_equivalent(result.optimistic.trace, result.sequential.trace)
+
+
+def test_fig3_guard_annotations_match_figure():
+    # The right thread's call to Z must carry {x1}; the left thread's call
+    # to Y must carry the empty guard — exactly the figure's labels.
+    result = run_fig3_streaming()
+    trace = result.optimistic.trace
+    call_y = [e for e in trace if e.kind == "send" and e.dst == "Y"][0]
+    call_z = [e for e in trace if e.kind == "send" and e.dst == "Z"][0]
+    assert call_y.guards == frozenset()
+    assert call_z.guards == frozenset({"X:i0.n0"})
+
+
+def test_fig3_commit_cascades_to_servers():
+    result = run_fig3_streaming()
+    opt = result.optimistic
+    assert opt.count("commit", "X") == 1
+    assert opt.count("commit_received", "Y") == 1
+    assert opt.count("commit_received", "Z") == 1
+
+
+def test_fig3_everything_resolved():
+    result = run_fig3_streaming()
+    assert result.optimistic.unresolved == []
+
+
+def test_pure_streaming_speedup_is_call_count():
+    # With zero fork overhead both round trips fully overlap, so the
+    # speedup equals the number of overlapped calls regardless of latency.
+    assert run_fig3_streaming(latency=1.0).speedup == 2.0
+    assert run_fig3_streaming(latency=50.0).speedup == 2.0
+
+
+def test_speedup_grows_with_latency_under_fork_overhead():
+    # The paper's "valuable when round-trip delays are long relative to the
+    # speed of computation": with a real fork cost, streaming wins big at
+    # high latency and barely at low latency.
+    from repro.core.config import OptimisticConfig
+
+    config = OptimisticConfig(fork_cost=2.0)
+    slow = run_fig3_streaming(latency=50.0, config=config)
+    fast = run_fig3_streaming(latency=1.0, config=config)
+    assert slow.speedup > fast.speedup

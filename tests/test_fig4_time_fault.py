@@ -1,0 +1,76 @@
+"""Figure 4: a time fault — X's direct call to Z beats Y's nested call.
+
+Y services Update by calling Z.  With the X→Z link faster than Y→Z, Z
+consumes the speculative Write before the causally-earlier WriteLog: a
+happens-before cycle the protocol must detect, abort, and repair so that
+the committed trace matches the sequential one.
+"""
+
+from repro.trace import assert_equivalent
+from repro.trace.equivalence import receiver_sequences
+from repro.workloads.scenarios import run_fig4_time_fault
+from repro.core.config import OptimisticConfig
+
+
+def test_time_fault_detected_and_aborted():
+    res = run_fig4_time_fault()
+    stats = res.optimistic.stats
+    assert stats.get("opt.aborts.time_fault") == 1
+    assert stats.get("opt.aborts") >= 1
+
+
+def test_time_fault_repaired_trace_equivalent():
+    res = run_fig4_time_fault()
+    assert res.optimistic.unresolved == []
+    assert_equivalent(res.optimistic.trace, res.sequential.trace)
+
+
+def test_z_consumes_in_sequential_order_after_repair():
+    res = run_fig4_time_fault()
+    seq_order = receiver_sequences(res.sequential.trace)["Z"]
+    opt_order = receiver_sequences(res.optimistic.trace)["Z"]
+    assert opt_order == seq_order
+    # and the WriteLog really does precede the Write
+    ops = [payload[1] for _, payload in opt_order]
+    assert ops == ["WriteLog", "Write"]
+
+
+def test_servers_roll_back():
+    res = run_fig4_time_fault()
+    # Z consumed the speculative Write, so it must roll back; Y acquired x1
+    # from Z's tainted reply, so it rolls back too.
+    assert res.optimistic.count("rollback", "Z") >= 1
+    assert res.optimistic.count("rollback", "Y") >= 1
+
+
+def test_wrong_guess_costs_time():
+    # The paper: "whenever the guess is incorrect ... the transformed
+    # computation completes later".
+    res = run_fig4_time_fault()
+    assert res.optimistic.makespan > res.sequential.makespan
+
+
+def test_early_reply_abort_detects_at_arrival():
+    res = run_fig4_time_fault()
+    assert res.optimistic.count("early_reply_time_fault", "X") == 1
+
+
+def test_without_early_check_join_detects_it():
+    config = OptimisticConfig(early_reply_abort=False)
+    res = run_fig4_time_fault(config=config)
+    # Detection shifts to the join (x1 in the left thread's guard), but the
+    # outcome is the same.
+    assert res.optimistic.count("join_time_fault", "X") == 1
+    assert res.optimistic.unresolved == []
+    assert_equivalent(res.optimistic.trace, res.sequential.trace)
+
+
+def test_no_fault_when_speculative_call_loses_the_race():
+    # In this topology X's direct send always beats the X→Y→Z path unless
+    # the fork is delayed.  With a fork cost larger than the nested path's
+    # latency, the Write arrives after the WriteLog and everything commits
+    # cleanly — the same program, no fault.
+    config = OptimisticConfig(fork_cost=30.0)
+    res = run_fig4_time_fault(fast=2.0, slow=2.0, config=config)
+    assert res.optimistic.stats.get("opt.aborts") == 0
+    assert_equivalent(res.optimistic.trace, res.sequential.trace)

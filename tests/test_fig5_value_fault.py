@@ -1,0 +1,65 @@
+"""Figure 5: a value fault — the guessed OK=True turns out False.
+
+The right thread speculatively issued the Write; when Update fails the
+guess aborts, Z rolls back (re-reading nothing, since the Write becomes an
+orphan), and S2 re-executes with the actual value, skipping the Write.
+"""
+
+from repro.trace import assert_equivalent
+from repro.workloads.scenarios import run_fig5_value_fault
+
+
+def test_value_fault_detected():
+    res = run_fig5_value_fault()
+    stats = res.optimistic.stats
+    assert stats.get("opt.aborts.value_fault") == 1
+    assert stats.get("opt.continuations") == 1
+
+
+def test_trace_matches_sequential_skip():
+    res = run_fig5_value_fault()
+    assert res.optimistic.unresolved == []
+    assert_equivalent(res.optimistic.trace, res.sequential.trace)
+    # the committed trace contains NO Write call at all
+    writes = [e for e in res.optimistic.trace
+              if e.kind == "send" and e.dst == "Z"]
+    assert writes == []
+
+
+def test_speculative_write_rolled_back_at_z():
+    res = run_fig5_value_fault()
+    assert res.optimistic.count("rollback", "Z") == 1
+    # the requeued speculative Write is discarded as an orphan
+    assert res.optimistic.count("orphan_discard", "Z") >= 1
+
+
+def test_final_state_reflects_failure():
+    res = run_fig5_value_fault()
+    state = res.optimistic.final_states["X"]
+    assert state["r0"] is False
+    assert state["stopped"] is True
+    assert res.sequential.final_states["X"]["r0"] is False
+
+
+def test_z_server_state_clean_after_rollback():
+    res = run_fig5_value_fault()
+    # Z's committed history contains no Write: its log stays empty/absent.
+    z_state = res.optimistic.final_states.get("Z")
+    # Z never completes (server loop) so final_states lacks it; check the
+    # trace instead: no req to Z survived.
+    z_reqs = [e for e in res.optimistic.trace
+              if e.kind == "recv" and e.dst == "Z"]
+    assert z_reqs == []
+
+
+def test_wrong_value_guess_does_not_slow_this_shape():
+    # Here the fault is discovered exactly when the reply lands, and the
+    # continuation has nothing left to do, so completion equals sequential.
+    res = run_fig5_value_fault()
+    assert res.optimistic.makespan == res.sequential.makespan
+
+
+def test_incarnation_bumped_after_abort():
+    res = run_fig5_value_fault()
+    aborts = res.optimistic.events("abort", "X")
+    assert [a["guess"] for a in aborts] == ["X:i0.n0"]

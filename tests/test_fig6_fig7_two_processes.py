@@ -1,0 +1,77 @@
+"""Figures 6 & 7: two mutually optimistic processes and PRECEDENCE.
+
+Fig. 6: z1's left thread terminates holding {x1}; PRECEDENCE(z1, {x1}) is
+broadcast; when COMMIT(x1) arrives the commit cascades to z1.
+
+Fig. 7: symmetric speculation creates the causal cycle x1 → z1 → x1; both
+processes discover it through the PRECEDENCE exchange and abort; Y and W
+roll back.  The underlying sequential program deadlocks, so the system
+must quiesce without committing.
+"""
+
+from repro.workloads.scenarios import run_fig6_two_threads, run_fig7_cycle
+
+
+class TestFig6:
+    def test_both_guesses_commit(self):
+        res = run_fig6_two_threads()
+        commits = [e["guess"] for e in res.events("commit")]
+        assert "X:i0.n0" in commits
+        assert "Z:i0.n0" in commits
+        assert res.stats.get("opt.aborts") == 0
+
+    def test_precedence_sent_by_z(self):
+        res = run_fig6_two_threads()
+        pres = res.events("precedence_sent", "Z")
+        assert len(pres) == 1
+        assert pres[0]["guard"] == ["X:i0.n0"]
+
+    def test_commit_order_x_before_z(self):
+        res = run_fig6_two_threads()
+        commits = [(e["time"], e["guess"]) for e in res.events("commit")]
+        x_time = [t for t, g in commits if g == "X:i0.n0"][0]
+        z_time = [t for t, g in commits if g == "Z:i0.n0"][0]
+        assert x_time < z_time
+
+    def test_z_commit_waits_for_x_commit_broadcast(self):
+        res = run_fig6_two_threads(latency=3.0)
+        x_commit = [e for e in res.events("commit", "X")][0]["time"]
+        z_received = [e for e in res.events("commit_received", "Z")
+                      if e["guess"] == "X:i0.n0"][0]["time"]
+        z_commit = [e for e in res.events("commit", "Z")][0]["time"]
+        assert z_received == x_commit + 3.0
+        assert z_commit >= z_received
+
+    def test_all_processes_resolve(self):
+        res = run_fig6_two_threads()
+        assert res.unresolved == []
+
+
+class TestFig7:
+    def test_cycle_detected_and_both_abort(self):
+        res = run_fig7_cycle()
+        cycle_events = res.events("cycle_abort")
+        assert {e["process"] for e in cycle_events} == {"X", "Z"}
+        for e in cycle_events:
+            assert set(e["cycle"]) == {"X:i0.n0", "Z:i0.n0"}
+
+    def test_helpers_roll_back(self):
+        res = run_fig7_cycle()
+        assert res.count("rollback", "W") >= 1
+        assert res.count("rollback", "Y") >= 1
+
+    def test_no_commits_happen(self):
+        res = run_fig7_cycle()
+        assert res.stats.get("opt.commits") == 0
+
+    def test_system_quiesces_unresolved(self):
+        # The sequential semantics deadlock, so the optimistic execution
+        # must not commit a completion either.
+        res = run_fig7_cycle()
+        assert set(res.unresolved) == {"X", "Z"}
+        assert res.completion_times == {}
+
+    def test_speculative_work_leaves_no_committed_trace(self):
+        res = run_fig7_cycle()
+        sends = [e for e in res.trace if e.kind == "send"]
+        assert sends == []

@@ -1,0 +1,92 @@
+"""Fossil collection of resolved speculation state."""
+
+from repro.core import OptimisticSystem, make_call_chain, stream_plan
+from repro.core.gc import collect, collect_all, retained_footprint
+from repro.core.invariants import validate_run
+from repro.csp.process import server_program
+from repro.csp.sequential import SequentialSystem
+from repro.sim.network import FixedLatency
+from repro.trace import assert_equivalent
+from repro.workloads.generators import ChainSpec, chain_workload
+
+
+def run_system(spec: ChainSpec):
+    client, servers = chain_workload(spec)
+    system = OptimisticSystem(FixedLatency(spec.latency))
+    system.add_program(client, stream_plan(client))
+    for s in servers:
+        system.add_program(s)
+    result = system.run()
+    return system, result
+
+
+def test_collect_reclaims_after_quiescence():
+    system, _ = run_system(ChainSpec(n_calls=10, n_servers=2, latency=5.0,
+                                     service_time=0.5))
+    before = retained_footprint(system)
+    reclaimed = collect_all(system)
+    after = retained_footprint(system)
+    assert reclaimed["journal_slots"] > 0
+    assert after["journal_slots"] < before["journal_slots"]
+    assert after["records"] < before["records"]
+
+
+def test_collect_drops_destroyed_threads():
+    system, result = run_system(ChainSpec(n_calls=8, n_servers=2,
+                                          latency=5.0, service_time=0.5,
+                                          p_fail=0.5, seed=7))
+    assert result.stats.get("opt.threads_destroyed") > 0
+    reclaimed = collect_all(system)
+    assert reclaimed["threads"] > 0
+    from repro.core.thread import ThreadStatus
+
+    for rt in system.runtimes.values():
+        assert all(t.status is not ThreadStatus.DESTROYED
+                   for t in rt.threads.values())
+
+
+def test_collect_preserves_final_states():
+    spec = ChainSpec(n_calls=8, n_servers=2, latency=5.0, service_time=0.5,
+                     p_fail=0.4, seed=3)
+    system, result = run_system(spec)
+    state_before = dict(result.final_states["client"])
+    collect_all(system)
+    rt = system.runtimes["client"]
+    assert rt.final_state() == state_before
+
+
+def test_midrun_collection_does_not_change_behaviour():
+    """Collecting at quiescent points mid-run leaves the outcome identical."""
+    spec = ChainSpec(n_calls=10, n_servers=2, latency=5.0, service_time=0.5,
+                     p_fail=0.4, seed=7)
+
+    def run(collect_every=None):
+        client, servers = chain_workload(spec)
+        system = OptimisticSystem(FixedLatency(spec.latency))
+        system.add_program(client, stream_plan(client))
+        for s in servers:
+            system.add_program(s)
+        if collect_every is not None:
+            system.start()
+            t = 0.0
+            while system.scheduler.queue.peek_time() is not None:
+                t += collect_every
+                system.scheduler.run(until=t)
+                collect_all(system)
+        result = system.run()
+        return system, result
+
+    _, plain = run()
+    system, collected = run(collect_every=3.0)
+    assert collected.makespan == plain.makespan
+    assert_equivalent(collected.trace, plain.trace)
+    validate_run(system)
+
+
+def test_collect_is_idempotent():
+    system, _ = run_system(ChainSpec(n_calls=6, n_servers=1, latency=3.0,
+                                     service_time=0.5))
+    collect_all(system)
+    second = collect_all(system)
+    assert second == {"journal_slots": 0, "threads": 0, "records": 0,
+                      "dependents": 0}

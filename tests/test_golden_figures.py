@@ -1,0 +1,102 @@
+"""Golden regression tests: exact protocol event sequences per figure.
+
+These pin down the *order and identity* of every protocol action in the
+canonical figure runs, so any behavioural drift in the runtime shows up as
+a readable diff rather than a subtle timing change.
+"""
+
+from repro.workloads.scenarios import (
+    run_fig3_streaming,
+    run_fig4_time_fault,
+    run_fig5_value_fault,
+    run_fig6_two_threads,
+    run_fig7_cycle,
+)
+
+
+def protocol_summary(result, kinds=None):
+    out = []
+    for e in result.protocol_log:
+        if kinds is not None and e["kind"] not in kinds:
+            continue
+        out.append((e["time"], e["process"], e["kind"],
+                    e.get("guess", e.get("tid", ""))))
+    return out
+
+
+def test_fig3_golden():
+    res = run_fig3_streaming().optimistic
+    assert protocol_summary(res) == [
+        (0.0, "X", "fork", "X:i0.n0"),
+        (11.0, "X", "commit", "X:i0.n0"),
+        (11.0, "X", "tentative_complete", 1),
+        (11.0, "X", "committed_complete", ""),
+        (16.0, "Y", "commit_received", "X:i0.n0"),
+        (16.0, "Z", "commit_received", "X:i0.n0"),
+    ]
+
+
+def test_fig5_golden():
+    res = run_fig5_value_fault().optimistic
+    assert protocol_summary(res, kinds=(
+        "fork", "value_fault", "abort", "continuation", "rollback",
+        "commit", "committed_complete")) == [
+        (0.0, "X", "fork", "X:i0.n0"),
+        (11.0, "X", "value_fault", "X:i0.n0"),
+        (11.0, "X", "abort", "X:i0.n0"),
+        (11.0, "X", "continuation", "X:i0.n0"),
+        (11.0, "X", "committed_complete", ""),
+        (16.0, "Z", "rollback", 0),
+    ]
+
+
+def test_fig4_golden():
+    res = run_fig4_time_fault().optimistic
+    assert protocol_summary(res, kinds=(
+        "fork", "early_reply_time_fault", "abort", "rollback",
+        "continuation", "committed_complete")) == [
+        (0.0, "X", "fork", "X:i0.n0"),
+        (18.0, "X", "early_reply_time_fault", "X:i0.n0"),
+        (18.0, "X", "abort", "X:i0.n0"),
+        (20.0, "Y", "rollback", 0),
+        (20.0, "Z", "rollback", 0),
+        (25.0, "X", "continuation", "X:i0.n0"),
+        (30.0, "X", "committed_complete", ""),
+    ]
+
+
+def test_fig6_golden():
+    res = run_fig6_two_threads()
+    assert protocol_summary(res, kinds=(
+        "fork", "precedence_sent", "commit")) == [
+        (0.0, "X", "fork", "X:i0.n0"),
+        (0.0, "Z", "fork", "Z:i0.n0"),
+        (3.0, "Z", "precedence_sent", "Z:i0.n0"),
+        (7.0, "X", "commit", "X:i0.n0"),
+        (10.0, "Z", "commit", "Z:i0.n0"),
+    ]
+
+
+def test_fig7_golden():
+    res = run_fig7_cycle()
+    assert protocol_summary(res, kinds=(
+        "fork", "precedence_sent", "cycle_abort", "abort")) == [
+        (0.0, "X", "fork", "X:i0.n0"),
+        (0.0, "Z", "fork", "Z:i0.n0"),
+        (10.0, "Z", "precedence_sent", "Z:i0.n0"),
+        (10.0, "X", "precedence_sent", "X:i0.n0"),
+        (13.0, "X", "cycle_abort", "X:i0.n0"),
+        (13.0, "X", "abort", "X:i0.n0"),
+        (13.0, "Z", "cycle_abort", "Z:i0.n0"),
+        (13.0, "Z", "abort", "Z:i0.n0"),
+    ]
+
+
+def test_runs_are_deterministic():
+    """Identical configurations produce byte-identical protocol logs."""
+    a = run_fig4_time_fault().optimistic
+    b = run_fig4_time_fault().optimistic
+    assert protocol_summary(a) == protocol_summary(b)
+    a_trace = [(e.kind, e.src, e.dst, e.payload, e.time) for e in a.trace]
+    b_trace = [(e.kind, e.src, e.dst, e.payload, e.time) for e in b.trace]
+    assert a_trace == b_trace

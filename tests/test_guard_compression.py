@@ -1,0 +1,70 @@
+"""§4.1.2 guard compression: one guess per process on the wire."""
+
+from repro.core.config import OptimisticConfig
+from repro.core.guards import GuardSet
+from repro.core.guess import GuessId
+from repro.trace import assert_equivalent
+from repro.workloads.generators import (
+    ChainSpec,
+    run_chain_optimistic,
+    run_chain_sequential,
+)
+
+
+class TestCompressedRepresentation:
+    def test_keeps_latest_per_process(self):
+        g = GuardSet([
+            GuessId("X", 0, 1), GuessId("X", 0, 4), GuessId("Y", 0, 2),
+        ])
+        assert g.compressed() == {GuessId("X", 0, 4), GuessId("Y", 0, 2)}
+
+    def test_incarnations_kept_separately(self):
+        # Cross-incarnation subsumption does not hold: a guess from a newer
+        # incarnation says nothing about an older incarnation's fate, so
+        # compression keeps one representative per incarnation.
+        g = GuardSet([GuessId("X", 2, 1), GuessId("X", 1, 9)])
+        assert g.compressed() == {GuessId("X", 2, 1), GuessId("X", 1, 9)}
+
+    def test_within_incarnation_latest_index_wins(self):
+        g = GuardSet([GuessId("X", 1, 2), GuessId("X", 1, 9)])
+        assert g.compressed() == {GuessId("X", 1, 9)}
+
+    def test_empty(self):
+        assert GuardSet().compressed() == frozenset()
+
+    def test_size_reduction(self):
+        members = [GuessId("X", 0, i) for i in range(10)]
+        g = GuardSet(members)
+        assert len(g.compressed()) == 1
+        assert g.tag_size() == 10
+
+
+class TestCompressedProtocol:
+    def run_pair(self, p_fail, seed):
+        spec = ChainSpec(n_calls=8, n_servers=2, latency=4.0,
+                         service_time=0.5, p_fail=p_fail, seed=seed)
+        seq = run_chain_sequential(spec)
+        full = run_chain_optimistic(spec, OptimisticConfig())
+        comp = run_chain_optimistic(
+            spec, OptimisticConfig(compress_guards=True))
+        return seq, full, comp
+
+    def test_traces_equivalent_fault_free(self):
+        seq, full, comp = self.run_pair(0.0, 0)
+        assert comp.unresolved == []
+        assert_equivalent(comp.trace, seq.trace)
+
+    def test_traces_equivalent_with_faults(self):
+        for seed in (3, 7, 11):
+            seq, full, comp = self.run_pair(0.5, seed)
+            assert comp.unresolved == []
+            assert_equivalent(comp.trace, seq.trace)
+
+    def test_tag_volume_reduced(self):
+        seq, full, comp = self.run_pair(0.0, 0)
+        assert (comp.stats.get("opt.guard_tag_units")
+                < full.stats.get("opt.guard_tag_units"))
+
+    def test_same_completion_fault_free(self):
+        seq, full, comp = self.run_pair(0.0, 0)
+        assert comp.makespan == full.makespan

@@ -1,0 +1,106 @@
+"""Happens-before reconstruction and preservation."""
+
+import pytest
+
+from repro.errors import TraceMismatchError
+from repro.trace.hb import assert_hb_preserved, event_keys, vector_clocks
+from repro.trace.lamport import VectorClock
+from repro.trace.recorder import TraceRecorder
+from repro.workloads.scenarios import (
+    run_fig3_streaming,
+    run_fig4_time_fault,
+    run_fig5_value_fault,
+)
+from repro.workloads.generators import (
+    ChainSpec,
+    run_chain_optimistic,
+    run_chain_sequential,
+)
+
+
+def simple_trace(order=("s", "r")):
+    r = TraceRecorder()
+    if order == ("s", "r"):
+        r.record_send("a", "b", "m", 0.0, porder=(0, 0))
+        r.record_recv("a", "b", "m", 1.0, porder=(0, 0))
+    return r.committed()
+
+
+class TestReconstruction:
+    def test_send_happens_before_receive(self):
+        trace = simple_trace()
+        vcs = vector_clocks(trace)
+        keys = event_keys(trace)
+        send_key = ("send", "a", "b", 0)
+        recv_key = ("recv", "a", "b", 0)
+        assert VectorClock.happens_before(vcs[send_key], vcs[recv_key])
+
+    def test_program_order_within_process(self):
+        r = TraceRecorder()
+        r.record_send("a", "b", 1, 0.0, porder=(0, 0))
+        r.record_send("a", "c", 2, 1.0, porder=(0, 1))
+        vcs = vector_clocks(r.committed())
+        assert VectorClock.happens_before(
+            vcs[("send", "a", "b", 0)], vcs[("send", "a", "c", 0)])
+
+    def test_independent_sends_concurrent(self):
+        r = TraceRecorder()
+        r.record_send("p", "x", 1, 0.0, porder=(0, 0))
+        r.record_send("q", "x", 2, 0.0, porder=(0, 0))
+        vcs = vector_clocks(r.committed())
+        a = vcs[("send", "p", "x", 0)]
+        b = vcs[("send", "q", "x", 0)]
+        assert VectorClock.concurrent(a, b)
+
+    def test_transitive_chain_through_processes(self):
+        r = TraceRecorder()
+        r.record_send("a", "b", 1, 0.0, porder=(0, 0))
+        r.record_recv("a", "b", 1, 1.0, porder=(0, 0))
+        r.record_send("b", "c", 2, 2.0, porder=(0, 1))
+        r.record_recv("b", "c", 2, 3.0, porder=(0, 0))
+        vcs = vector_clocks(r.committed())
+        first = vcs[("send", "a", "b", 0)]
+        last = vcs[("recv", "b", "c", 0)]
+        assert VectorClock.happens_before(first, last)
+
+
+class TestPreservation:
+    def test_figure_runs_preserve_hb(self):
+        for scenario in (run_fig3_streaming, run_fig5_value_fault,
+                         run_fig4_time_fault):
+            res = scenario()
+            pairs = assert_hb_preserved(res.optimistic.trace,
+                                        res.sequential.trace)
+            assert pairs > 0
+
+    def test_chain_with_faults_preserves_hb(self):
+        spec = ChainSpec(n_calls=5, n_servers=2, latency=4.0,
+                         service_time=0.5, p_fail=0.5, seed=9)
+        seq = run_chain_sequential(spec)
+        opt = run_chain_optimistic(spec)
+        assert_hb_preserved(opt.trace, seq.trace)
+
+    def test_detects_reordered_receive(self):
+        # same events but z consumes from y before x in trace B
+        ra, rb = TraceRecorder(), TraceRecorder()
+        for r, first in ((ra, "x"), (rb, "y")):
+            second = "y" if first == "x" else "x"
+            r.record_send("x", "z", "mx", 0.0, porder=(0, 0))
+            r.record_send("y", "z", "my", 0.0, porder=(0, 0))
+            r.record_recv(first, "z", f"m{first}", 1.0, porder=(0, 0))
+            r.record_recv(second, "z", f"m{second}", 2.0, porder=(0, 1))
+        with pytest.raises(TraceMismatchError):
+            assert_hb_preserved(ra.committed(), rb.committed())
+
+    def test_detects_missing_event(self):
+        ra, rb = TraceRecorder(), TraceRecorder()
+        ra.record_send("a", "b", 1, 0.0, porder=(0, 0))
+        with pytest.raises(TraceMismatchError):
+            assert_hb_preserved(ra.committed(), rb.committed())
+
+    def test_detects_payload_mismatch(self):
+        ra, rb = TraceRecorder(), TraceRecorder()
+        ra.record_send("a", "b", 1, 0.0, porder=(0, 0))
+        rb.record_send("a", "b", 2, 0.0, porder=(0, 0))
+        with pytest.raises(TraceMismatchError):
+            assert_hb_preserved(ra.committed(), rb.committed())

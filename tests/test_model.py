@@ -1,0 +1,102 @@
+"""The analytic streaming model vs the simulator."""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.model import (
+    crossover_latency,
+    expected_sequential,
+    expected_streamed,
+    reply_time,
+    speedup,
+    stop_length_distribution,
+    t_sequential,
+    t_streamed,
+)
+from repro.workloads.generators import (
+    ChainSpec,
+    run_chain_optimistic,
+    run_chain_sequential,
+)
+
+
+class TestClosedForms:
+    def test_sequential_formula(self):
+        assert t_sequential(2, 5.0, 1.0) == 22.0  # the Fig. 2 number
+
+    def test_streamed_formula(self):
+        # Fig. 3: one overlapped round trip (servers distinct => M>=2)
+        assert t_streamed(2, 5.0, 1.0, n_servers=2) == 11.0
+
+    def test_reply_times_monotone_in_k(self):
+        times = [reply_time(k, 3.0, 1.0, n_servers=2) for k in range(1, 9)]
+        assert times == sorted(times)
+
+    def test_speedup_approaches_n(self):
+        assert speedup(20, 1000.0, 0.1, n_servers=20) == pytest.approx(
+            20.0, rel=0.01)
+
+    def test_crossover_positive_with_fork_cost(self):
+        lat = crossover_latency(10, service=0.5, think=0.0, fork_cost=1.0,
+                                n_servers=2)
+        assert lat > 0
+        # streaming should lose below and win above
+        assert (t_streamed(10, lat * 0.5, 0.5, 0.0, 1.0, 2)
+                > t_sequential(10, lat * 0.5, 0.5))
+        assert (t_streamed(10, lat * 2 + 1, 0.5, 0.0, 1.0, 2)
+                < t_sequential(10, lat * 2 + 1, 0.5))
+
+
+class TestStopDistribution:
+    def test_sums_to_one(self):
+        for p in (0.0, 0.3, 1.0):
+            assert sum(stop_length_distribution(6, p)) == pytest.approx(1.0)
+
+    def test_no_failures_always_full_length(self):
+        assert stop_length_distribution(4, 0.0) == [0, 0, 0, 1.0]
+
+    def test_certain_failure_stops_at_one(self):
+        dist = stop_length_distribution(4, 1.0)
+        assert dist[0] == 1.0
+        assert sum(dist[1:]) == 0.0
+
+
+class TestAgainstSimulator:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        n_calls=st.integers(1, 10),
+        n_servers=st.integers(1, 4),
+        latency=st.floats(0.5, 20.0),
+        service=st.floats(0.0, 2.0),
+        think=st.floats(0.0, 1.5),
+    )
+    def test_fault_free_exact(self, n_calls, n_servers, latency, service,
+                              think):
+        spec = ChainSpec(n_calls=n_calls, n_servers=n_servers,
+                         latency=latency, service_time=service,
+                         compute_between=think)
+        seq = run_chain_sequential(spec)
+        opt = run_chain_optimistic(spec)
+        assert seq.makespan == pytest.approx(
+            t_sequential(n_calls, latency, service, think))
+        assert opt.makespan == pytest.approx(
+            t_streamed(n_calls, latency, service, think,
+                       n_servers=n_servers))
+
+    def test_expected_values_bound_means(self):
+        # expectation over the seeded failure draws approaches the model
+        import numpy as np
+
+        n, m, lat, svc, p = 6, 2, 5.0, 0.5, 0.5
+        seqs, opts = [], []
+        for seed in range(40):
+            spec = ChainSpec(n_calls=n, n_servers=m, latency=lat,
+                             service_time=svc, p_fail=p, seed=seed)
+            seqs.append(run_chain_sequential(spec).makespan)
+            opts.append(run_chain_optimistic(spec).makespan)
+        assert np.mean(seqs) == pytest.approx(
+            expected_sequential(n, lat, svc, p), rel=0.25)
+        assert np.mean(opts) == pytest.approx(
+            expected_streamed(n, lat, svc, p, n_servers=m), rel=0.25)

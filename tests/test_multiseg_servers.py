@@ -1,0 +1,79 @@
+"""Servers with multi-segment programs (setup phase + serve loop) under
+speculation and rollback."""
+
+from repro.core import OptimisticSystem, make_call_chain, stream_plan
+from repro.core.invariants import validate_run
+from repro.csp.effects import Call, Compute, Receive, Reply
+from repro.csp.process import Program, Segment
+from repro.csp.sequential import SequentialSystem
+from repro.sim.network import FixedLatency
+from repro.trace import assert_equivalent
+
+
+def staged_server(fail_request=None):
+    """A server that first loads its config from a backing store, then
+    serves — two segments, so rollbacks may span the boundary."""
+    def setup(state):
+        state["config"] = yield Call("store", "load", ("cfg",))
+
+    def serve(state):
+        while True:
+            req = yield Receive()
+            yield Compute(0.5)
+            ok = (state["config"] == "v1"
+                  and req.args[0] != fail_request)
+            state.setdefault("served", []).append(req.args[0])
+            yield Reply(req, ok)
+
+    return Program("srv", [Segment("setup", setup, exports=("config",)),
+                           Segment("serve", serve)])
+
+
+def build(cls, optimistic, fail_request=None):
+    calls = [("srv", "op", (f"q{i}",)) for i in range(6)]
+    client = make_call_chain("client", calls, stop_on_failure=True,
+                             failure_value=False)
+    system = cls(FixedLatency(3.0))
+    if optimistic:
+        system.add_program(client, stream_plan(client))
+    else:
+        system.add_program(client)
+    system.add_program(staged_server(fail_request))
+    from repro.csp.process import server_program
+
+    system.add_program(server_program("store", lambda s, r: "v1",
+                                      service_time=1.0))
+    return system
+
+
+def test_staged_server_fault_free():
+    seq = build(SequentialSystem, False).run()
+    opt_system = build(OptimisticSystem, True)
+    opt = opt_system.run()
+    assert opt.unresolved == []
+    assert_equivalent(opt.trace, seq.trace)
+    validate_run(opt_system)
+    assert opt.makespan < seq.makespan
+
+
+def test_staged_server_with_mid_chain_fault():
+    seq = build(SequentialSystem, False, fail_request="q3").run()
+    opt_system = build(OptimisticSystem, True, fail_request="q3")
+    opt = opt_system.run()
+    assert opt.unresolved == []
+    assert_equivalent(opt.trace, seq.trace)
+    validate_run(opt_system)
+    # the server rolled back over speculative serves spanning its loop
+    assert opt.count("rollback", "srv") >= 1
+
+
+def test_speculative_requests_queue_behind_setup():
+    """Streamed calls arrive while the server is still in its setup
+    segment; they must wait in the pool until the serve loop starts."""
+    opt_system = build(OptimisticSystem, True)
+    opt = opt_system.run()
+    # the setup call to the store happens strictly before any serve reply
+    setup_recv = [e for e in opt.trace
+                  if e.kind == "recv" and e.dst == "srv"
+                  and e.payload[0] == "req"][0]
+    assert setup_recv.porder[0] == 1  # consumed in segment 1 (the loop)

@@ -1,0 +1,110 @@
+"""Output commit (§3.2): external messages buffer until their guard empties.
+
+"External messages sent by a guarded computation must be buffered, since we
+do not allow external observers to see possibly incorrect outputs."
+"""
+
+from repro.core import OptimisticSystem
+from repro.core.config import OptimisticConfig
+from repro.csp.effects import Call, Emit
+from repro.csp.plan import ForkSpec, ParallelizationPlan
+from repro.csp.process import Program, Segment, server_program
+from repro.csp.sequential import SequentialSystem
+from repro.sim.network import FixedLatency
+
+
+def build(ok: bool, optimistic: bool, latency: float = 5.0):
+    """X calls the server, then emits a line that depends on the result."""
+    def s1(state):
+        state["ok"] = yield Call("srv", "work", ())
+
+    def s2(state):
+        if state["ok"]:
+            yield Emit("display", "success")
+        else:
+            yield Emit("display", "failure")
+
+    prog = Program("X", [Segment("s1", s1, exports=("ok",)),
+                         Segment("s2", s2)])
+    srv = server_program("srv", lambda s, r: ok, service_time=1.0)
+    if optimistic:
+        plan = ParallelizationPlan().add("s1", ForkSpec(predictor={"ok": True}))
+        system = OptimisticSystem(FixedLatency(latency))
+        system.add_program(prog, plan)
+    else:
+        system = SequentialSystem(FixedLatency(latency))
+        system.add_program(prog)
+    system.add_program(srv)
+    system.add_sink("display")
+    return system
+
+
+def test_guessed_right_output_released_after_commit():
+    res = build(ok=True, optimistic=True).run()
+    assert res.sink_output("display") == ["success"]
+
+
+def test_output_not_released_before_commit():
+    system = build(ok=True, optimistic=True, latency=5.0)
+    for rt in system.runtimes.values():
+        rt.start()
+    # Run only until just before the reply lands (t=11): the emission is
+    # speculative and must not have reached the display.
+    system.scheduler.run(until=10.0)
+    assert system.sinks["display"].delivered == []
+    # After the commit the line appears.
+    system.scheduler.run()
+    assert system.sinks["display"].delivered == ["success"]
+
+
+def test_wrong_guess_never_reaches_display():
+    res = build(ok=False, optimistic=True).run()
+    # the speculative "success" was buffered, dropped on abort; the
+    # re-execution emits "failure" only.
+    assert res.sink_output("display") == ["failure"]
+    assert res.stats.get("opt.emissions_dropped") == 1
+
+
+def test_matches_sequential_output_both_ways():
+    for ok in (True, False):
+        seq = build(ok=ok, optimistic=False).run()
+        opt = build(ok=ok, optimistic=True).run()
+        assert opt.sink_output("display") == seq.sink_output("display")
+
+
+def test_external_trace_events_filtered_on_abort():
+    res = build(ok=False, optimistic=True).run()
+    ext = [e for e in res.trace if e.kind == "external"]
+    assert [e.payload for e in ext] == ["failure"]
+
+
+def test_unguarded_emission_released_immediately():
+    def solo(state):
+        yield Emit("display", "hello")
+
+    system = OptimisticSystem(FixedLatency(1.0))
+    system.add_program(Program("X", [Segment("s", solo)]))
+    system.add_sink("display")
+    res = system.run()
+    assert res.sink_output("display") == ["hello"]
+    assert res.stats.get("opt.emissions_buffered") == 0
+
+
+def test_multiple_buffered_emissions_release_in_program_order():
+    def s1(state):
+        state["ok"] = yield Call("srv", "work", ())
+
+    def s2(state):
+        yield Emit("display", "line1")
+        yield Emit("display", "line2")
+        yield Emit("display", "line3")
+
+    prog = Program("X", [Segment("s1", s1, exports=("ok",)),
+                         Segment("s2", s2)])
+    plan = ParallelizationPlan().add("s1", ForkSpec(predictor={"ok": True}))
+    system = OptimisticSystem(FixedLatency(5.0))
+    system.add_program(prog, plan)
+    system.add_program(server_program("srv", lambda s, r: True, service_time=1.0))
+    system.add_sink("display")
+    res = system.run()
+    assert res.sink_output("display") == ["line1", "line2", "line3"]

@@ -1,0 +1,80 @@
+"""Nested-service pipelines: guards riding through whole tiers."""
+
+import pytest
+
+from repro.core.invariants import validate_run
+from repro.trace import assert_equivalent
+from repro.workloads.pipelines import (
+    PipelineSpec,
+    run_pipeline_optimistic,
+    run_pipeline_sequential,
+)
+
+
+def test_fault_free_pipeline_equivalent_and_faster():
+    spec = PipelineSpec(n_requests=4, depth=3)
+    seq = run_pipeline_sequential(spec)
+    system, opt = run_pipeline_optimistic(spec)
+    assert opt.unresolved == []
+    assert_equivalent(opt.trace, seq.trace)
+    validate_run(system)
+    assert opt.makespan < seq.makespan
+
+
+def test_guards_reach_the_deepest_tier_in_relay_mode():
+    # A slow client link keeps the guesses unresolved while the fast tier
+    # links cascade the speculative forwards all the way down.
+    spec = PipelineSpec(n_requests=3, depth=4, relay=True,
+                        latency=1.0, client_latency=20.0)
+    system, opt = run_pipeline_optimistic(spec)
+    guarded = [e for e in opt.trace
+               if e.kind == "recv" and e.dst == "T3" and e.guards]
+    assert guarded, "speculative guards should ride down all four tiers"
+    validate_run(system)
+
+
+def test_nested_mode_serializes_so_guards_resolve_before_depth():
+    # honest negative: single-threaded nested-call tiers serialize whole
+    # round trips, so by the time a deep tier sees request k its guard has
+    # already committed.
+    spec = PipelineSpec(n_requests=3, depth=4, relay=False)
+    system, opt = run_pipeline_optimistic(spec)
+    deepest_guarded = [e for e in opt.trace
+                       if e.kind == "recv" and e.dst == "T3" and e.guards]
+    assert deepest_guarded == []
+
+
+def test_mid_chain_failure_rolls_back_every_tier():
+    spec = PipelineSpec(n_requests=5, depth=3, fail_request=2, relay=True)
+    seq = run_pipeline_sequential(spec)
+    system, opt = run_pipeline_optimistic(spec)
+    assert opt.unresolved == []
+    assert_equivalent(opt.trace, seq.trace)
+    validate_run(system)
+    # every tier saw speculative forwards past the failure: each must have
+    # either rolled back (consumed before the abort landed) or discarded
+    # the forward as an orphan (abort landed first)
+    for tier in spec.tier_names():
+        cleaned = (opt.count("rollback", tier)
+                   + opt.count("orphan_discard", tier))
+        assert cleaned >= 1, tier
+
+
+def test_depth_sweep_equivalence_both_modes():
+    for relay in (False, True):
+        for depth in (1, 2, 4):
+            spec = PipelineSpec(n_requests=3, depth=depth, relay=relay)
+            seq = run_pipeline_sequential(spec)
+            system, opt = run_pipeline_optimistic(spec)
+            assert_equivalent(opt.trace, seq.trace)
+            validate_run(system)
+
+
+def test_relay_mode_speedup_scales():
+    shallow = run_pipeline_sequential(PipelineSpec(n_requests=2, depth=1))
+    deep = run_pipeline_sequential(PipelineSpec(n_requests=2, depth=4))
+    assert deep.makespan > shallow.makespan
+    spec = PipelineSpec(n_requests=6, depth=4, relay=True)
+    _, opt_deep = run_pipeline_optimistic(spec)
+    seq_deep = run_pipeline_sequential(spec)
+    assert opt_deep.makespan < seq_deep.makespan / 2

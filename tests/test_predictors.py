@@ -1,0 +1,84 @@
+"""Predictor library and cross-run learning."""
+
+from repro.core import OptimisticSystem
+from repro.core.predictors import LastValue, Majority, StateFunction, learn_from
+from repro.csp.effects import Call
+from repro.csp.plan import ForkSpec, ParallelizationPlan
+from repro.csp.process import Program, Segment, server_program
+from repro.sim.network import FixedLatency
+
+
+class TestLastValue:
+    def test_default_before_observation(self):
+        p = LastValue({"x": 0})
+        assert p({}) == {"x": 0}
+
+    def test_tracks_most_recent(self):
+        p = LastValue({"x": 0})
+        p.observe({"x": 5})
+        p.observe({"x": 9})
+        assert p({}) == {"x": 9}
+        assert p.observations == 2
+
+    def test_returns_copy(self):
+        p = LastValue({"x": 0})
+        p.observe({"x": 5})
+        out = p({})
+        out["x"] = 99
+        assert p({}) == {"x": 5}
+
+
+class TestMajority:
+    def test_most_common_per_key(self):
+        p = Majority({"ok": True})
+        for v in (True, False, True, True, False):
+            p.observe({"ok": v})
+        assert p({}) == {"ok": True}
+
+    def test_key_not_observed_uses_default(self):
+        p = Majority({"ok": True, "other": 1})
+        p.observe({"ok": False})
+        assert p({}) == {"ok": False, "other": 1}
+
+
+class TestStateFunction:
+    def test_computes_from_state(self):
+        p = StateFunction(lambda st: {"doubled": st["x"] * 2})
+        assert p({"x": 4}) == {"doubled": 8}
+
+
+def flaky_program_and_servers(reply_value):
+    def s1(state):
+        state["v"] = yield Call("srv", "op", ())
+
+    def s2(state):
+        state["r"] = yield Call("srv", "op2", (state["v"],))
+
+    prog = Program("X", [Segment("s1", s1, exports=("v",)),
+                         Segment("s2", s2)])
+    srv = server_program("srv", lambda s, r: reply_value, service_time=0.5)
+    return prog, srv
+
+
+def run_session(predictor, reply_value):
+    prog, srv = flaky_program_and_servers(reply_value)
+    plan = ParallelizationPlan().add("s1", ForkSpec(predictor=predictor))
+    system = OptimisticSystem(FixedLatency(3.0))
+    system.add_program(prog, plan)
+    system.add_program(srv)
+    res = system.run()
+    return system, res
+
+
+class TestCrossRunLearning:
+    def test_learned_predictor_stops_aborting(self):
+        predictor = LastValue({"v": "initial-wrong-guess"})
+        # session 1: the guess is wrong, one value fault
+        system, res1 = run_session(predictor, reply_value="actual")
+        assert res1.stats.get("opt.aborts.value_fault") == 1
+        learn_from(system, "X", "s1", predictor)
+        assert predictor.observations == 1
+        # session 2: the predictor learned the server's behaviour
+        system, res2 = run_session(predictor, reply_value="actual")
+        assert res2.stats.get("opt.aborts.value_fault") == 0
+        assert res2.makespan < res1.makespan

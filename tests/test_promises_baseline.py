@@ -1,0 +1,81 @@
+"""Promise pipelining baseline: data-flow streaming, control-flow stalls."""
+
+from repro.baselines.promises import PCall, PromiseSystem, PWait
+from repro.sim.network import FixedLatency
+
+LAT = 5.0
+SVC = 0.0
+
+
+def echo(state, op, args):
+    return ("r",) + args
+
+
+def build(client):
+    system = PromiseSystem(FixedLatency(LAT), service_time=SVC)
+    system.add_server("srv", echo)
+    system.set_client(client)
+    return system
+
+
+def test_single_call_wait_costs_round_trip():
+    def client(state):
+        p = yield PCall("srv", "op", (1,))
+        state["v"] = yield PWait(p)
+
+    res = build(client).run()
+    assert res.state["v"] == ("r", 1)
+    assert res.makespan == 2 * LAT
+    assert res.waits == 1
+
+
+def test_data_dependent_chain_pipelines_in_one_extra_hop():
+    # b uses a's promise as an argument: both requests leave immediately;
+    # the dependent one is held server-side until the promise resolves.
+    def client(state):
+        a = yield PCall("srv", "op", (1,))
+        b = yield PCall("srv", "op", (a,))
+        state["v"] = yield PWait(b)
+
+    res = build(client).run()
+    assert res.state["v"] == ("r", ("r", 1))  # promise arg was substituted
+    # far cheaper than two sequential round trips (4*LAT)
+    assert res.makespan < 4 * LAT
+    assert res.waits == 1
+
+
+def test_control_dependency_forces_full_wait():
+    # Branching on a result requires PWait: promise pipelining cannot
+    # speculate through `if ok:` — the paper's transformation can.
+    def client(state):
+        ok = yield PCall("srv", "op", ("check",))
+        value = yield PWait(ok)          # stall: one full RTT
+        if value:
+            p2 = yield PCall("srv", "op", ("write",))
+            state["v"] = yield PWait(p2)
+
+    res = build(client).run()
+    assert res.waits == 2
+    assert res.makespan == 4 * LAT  # two full round trips, like blocking
+
+
+def test_resolved_promise_wait_is_free():
+    def client(state):
+        p = yield PCall("srv", "op", (1,))
+        yield PWait(p)
+        state["v"] = yield PWait(p)  # second wait on same promise
+
+    res = build(client).run()
+    assert res.waits == 1  # the second wait found it resolved
+    assert res.makespan == 2 * LAT
+
+
+def test_unwaited_promises_settle_after_client_finishes():
+    def client(state):
+        yield PCall("srv", "op", (1,))
+        yield PCall("srv", "op", (2,))
+
+    res = build(client).run()
+    assert res.makespan == 0.0       # fire-and-forget
+    assert res.settled_time >= 2 * LAT
+    assert res.stats.get("pp.resolutions") == 2

@@ -1,0 +1,49 @@
+"""Property tests over the nested-service pipeline space."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.invariants import validate_run
+from repro.trace import assert_equivalent
+from repro.workloads.pipelines import (
+    PipelineSpec,
+    run_pipeline_optimistic,
+    run_pipeline_sequential,
+)
+
+specs = st.builds(
+    PipelineSpec,
+    n_requests=st.integers(1, 6),
+    depth=st.integers(1, 5),
+    latency=st.floats(0.5, 8.0),
+    service_time=st.floats(0.0, 2.0),
+    fail_request=st.one_of(st.none(), st.integers(0, 5)),
+    relay=st.booleans(),
+)
+
+
+@settings(max_examples=40, deadline=None)
+@given(spec=specs)
+def test_pipelines_trace_equivalent(spec):
+    seq = run_pipeline_sequential(spec)
+    system, opt = run_pipeline_optimistic(spec)
+    assert opt.unresolved == []
+    assert_equivalent(opt.trace, seq.trace)
+    validate_run(system)
+
+
+@settings(max_examples=25, deadline=None)
+@given(spec=specs)
+def test_pipelines_never_slower_without_faults(spec):
+    if spec.fail_request is not None:
+        return
+    seq = run_pipeline_sequential(spec)
+    _, opt = run_pipeline_optimistic(spec)
+    assert opt.makespan <= seq.makespan + 1e-9
+
+
+@settings(max_examples=25, deadline=None)
+@given(spec=specs)
+def test_pipelines_client_state_matches(spec):
+    seq = run_pipeline_sequential(spec)
+    _, opt = run_pipeline_optimistic(spec)
+    assert opt.final_states["client"] == seq.final_states["client"]

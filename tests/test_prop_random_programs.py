@@ -1,0 +1,84 @@
+"""Theorem 1 over randomly generated branching programs.
+
+The strongest correctness sweep in the suite: programs with data-dependent
+branches, external output, one-way sends and deliberately-imperfect
+predictors, compared event-for-event against the blocking reference.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.config import (
+    CheckpointPolicy,
+    ControlPlane,
+    DeliveryHeuristic,
+    OptimisticConfig,
+)
+from repro.core.invariants import validate_run
+from repro.trace import assert_equivalent
+from repro.workloads.random_programs import (
+    RandomProgramSpec,
+    build_random_system,
+)
+
+specs = st.builds(
+    RandomProgramSpec,
+    n_segments=st.integers(1, 7),
+    n_servers=st.integers(1, 3),
+    latency=st.floats(0.5, 10.0),
+    service_time=st.floats(0.0, 2.0),
+    seed=st.integers(0, 100_000),
+    branch_probability=st.sampled_from([0.0, 0.4, 0.8]),
+    emit_probability=st.sampled_from([0.0, 0.5]),
+    send_probability=st.sampled_from([0.0, 0.4]),
+    guess_accuracy_bias=st.sampled_from([1, 2, 4]),  # 1 = always wrong
+)
+
+
+def run_pair(spec, config=None):
+    seq = build_random_system(spec, optimistic=False).run()
+    opt_system = build_random_system(spec, optimistic=True, config=config)
+    opt = opt_system.run()
+    return seq, opt, opt_system
+
+
+@settings(max_examples=60, deadline=None)
+@given(spec=specs)
+def test_random_programs_trace_equivalent(spec):
+    seq, opt, system = run_pair(spec)
+    assert opt.unresolved == []
+    assert_equivalent(opt.trace, seq.trace)
+    validate_run(system)
+
+
+@settings(max_examples=40, deadline=None)
+@given(spec=specs)
+def test_random_programs_external_output_identical(spec):
+    seq, opt, _ = run_pair(spec)
+    assert opt.sink_output("display") == seq.sink_output("display")
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    spec=specs,
+    config=st.builds(
+        OptimisticConfig,
+        checkpoint_policy=st.sampled_from(list(CheckpointPolicy)),
+        delivery_heuristic=st.sampled_from(list(DeliveryHeuristic)),
+        control_plane=st.sampled_from(list(ControlPlane)),
+        compress_guards=st.booleans(),
+        early_reply_abort=st.booleans(),
+        max_optimistic_retries=st.integers(1, 4),
+    ),
+)
+def test_random_programs_across_configs(spec, config):
+    seq, opt, system = run_pair(spec, config)
+    assert opt.unresolved == []
+    assert_equivalent(opt.trace, seq.trace)
+    validate_run(system)
+
+
+@settings(max_examples=25, deadline=None)
+@given(spec=specs)
+def test_random_programs_final_state_matches(spec):
+    seq, opt, _ = run_pair(spec)
+    assert opt.final_states["client"] == seq.final_states["client"]

@@ -1,0 +1,100 @@
+"""Property-based validation of Theorem 1.
+
+"Subject to the above conditions, an optimistic parallelization of a
+distributed system will yield the same partial traces as the pessimistic
+computation."  We sample the workload space — chain length, fan-out,
+latency, service and think time, failure probability, seeds, and runtime
+policies — and require trace equivalence plus full resolution every time.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.config import CheckpointPolicy, DeliveryHeuristic, OptimisticConfig
+from repro.trace import assert_equivalent
+from repro.workloads.generators import (
+    ChainSpec,
+    run_chain_optimistic,
+    run_chain_sequential,
+)
+
+specs = st.builds(
+    ChainSpec,
+    n_calls=st.integers(1, 7),
+    n_servers=st.integers(1, 3),
+    latency=st.floats(0.5, 12.0, allow_nan=False),
+    service_time=st.floats(0.0, 3.0, allow_nan=False),
+    compute_between=st.floats(0.0, 2.0, allow_nan=False),
+    p_fail=st.sampled_from([0.0, 0.25, 0.5, 0.75, 1.0]),
+    seed=st.integers(0, 10_000),
+)
+
+configs = st.builds(
+    OptimisticConfig,
+    fork_cost=st.sampled_from([0.0, 0.5]),
+    restore_cost=st.sampled_from([0.0, 1.0]),
+    checkpoint_policy=st.sampled_from(list(CheckpointPolicy)),
+    delivery_heuristic=st.sampled_from(list(DeliveryHeuristic)),
+    max_optimistic_retries=st.integers(1, 4),
+    early_reply_abort=st.booleans(),
+    # eager_cdg_rollback stays at its (sound) default: the literal §4.2.8
+    # rule can duplicate messages — see test_eager_cdg_unsoundness.py.
+    compress_guards=st.booleans(),
+)
+
+
+@settings(max_examples=60, deadline=None)
+@given(spec=specs)
+def test_chain_traces_equivalent(spec):
+    seq = run_chain_sequential(spec)
+    opt = run_chain_optimistic(spec)
+    assert opt.unresolved == []
+    assert_equivalent(opt.trace, seq.trace)
+
+
+@settings(max_examples=40, deadline=None)
+@given(spec=specs, config=configs)
+def test_chain_traces_equivalent_across_policies(spec, config):
+    seq = run_chain_sequential(spec)
+    opt = run_chain_optimistic(spec, config)
+    assert opt.unresolved == []
+    assert_equivalent(opt.trace, seq.trace)
+
+
+@settings(max_examples=30, deadline=None)
+@given(spec=specs)
+def test_no_committed_computation_rolls_back(spec):
+    """A committed guess never aborts afterwards (protocol invariant)."""
+    opt = run_chain_optimistic(spec)
+    committed = {e["guess"] for e in opt.events("commit")}
+    aborted = {e["guess"] for e in opt.events("abort")}
+    assert committed & aborted == set()
+
+
+@settings(max_examples=30, deadline=None)
+@given(spec=specs)
+def test_final_states_match_sequential(spec):
+    seq = run_chain_sequential(spec)
+    opt = run_chain_optimistic(spec)
+    assert opt.final_states.get("client") == seq.final_states.get("client")
+
+
+@settings(max_examples=20, deadline=None)
+@given(spec=specs.filter(lambda s: s.n_calls <= 4))
+def test_happens_before_preserved(spec):
+    """The strong form of Theorem 1: the full happens-before partial
+    order over committed events is identical (O(n²), so small chains)."""
+    from repro.trace.hb import assert_hb_preserved
+
+    seq = run_chain_sequential(spec)
+    opt = run_chain_optimistic(spec)
+    assert_hb_preserved(opt.trace, seq.trace)
+
+
+@settings(max_examples=30, deadline=None)
+@given(spec=specs)
+def test_correct_guesses_never_slower_wrong_guesses_bounded(spec):
+    seq = run_chain_sequential(spec)
+    opt = run_chain_optimistic(spec)
+    if spec.p_fail == 0.0:
+        # all guesses right: optimistic completes no later than sequential
+        assert opt.makespan <= seq.makespan + 1e-9

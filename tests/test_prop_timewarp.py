@@ -1,0 +1,79 @@
+"""Property tests: Time Warp always converges to the sequential reference."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.baselines.timewarp import TimeWarpKernel, sequential_reference
+
+
+def make_ring_handler(targets, fanout_seed):
+    """Token passing with occasional forks (two outputs) to stress antis."""
+    def handler(state, payload, recv_time):
+        state["seen"] = state.get("seen", 0) + 1
+        hops, nxt = payload
+        if hops <= 0:
+            return []
+        outs = [(targets[nxt % len(targets)], 1.0, (hops - 1, nxt + 1))]
+        if (hops + fanout_seed) % 7 == 0 and hops > 2:
+            outs.append((targets[(nxt + 1) % len(targets)], 2.0,
+                         (hops // 2, nxt + 2)))
+        return outs
+
+    return handler
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    n_lps=st.integers(2, 5),
+    hops=st.integers(1, 25),
+    jitter=st.floats(0.0, 15.0),
+    processing=st.floats(0.05, 1.0),
+    seed=st.integers(0, 10_000),
+    fanout_seed=st.integers(0, 6),
+    cancellation=st.sampled_from(["aggressive", "lazy"]),
+    two_tokens=st.booleans(),
+)
+def test_timewarp_matches_reference(n_lps, hops, jitter, processing, seed,
+                                    fanout_seed, cancellation, two_tokens):
+    targets = [f"lp{i}" for i in range(n_lps)]
+    handler = make_ring_handler(targets, fanout_seed)
+    kernel = TimeWarpKernel(physical_latency=1.0, physical_jitter=jitter,
+                            processing_time=processing, seed=seed,
+                            cancellation=cancellation)
+    for name in targets:
+        kernel.add_lp(name, handler)
+    initial = [(targets[0], 1.0, (hops, 1))]
+    if two_tokens:
+        initial.append((targets[-1], 1.25, (hops, n_lps - 1)))
+    for dst, t, payload in initial:
+        kernel.schedule_initial(dst, t, payload)
+    result = kernel.run()
+    reference = sequential_reference(
+        {name: (handler, {}) for name in targets}, initial)
+    assert result.final_states == reference["states"]
+    assert result.gvt == float("inf")  # fully drained => all committed
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    jitter=st.floats(0.0, 15.0),
+    seed=st.integers(0, 1000),
+)
+def test_lazy_never_more_antis_than_aggressive(jitter, seed):
+    targets = ["a", "b", "c"]
+    handler = make_ring_handler(targets, 0)
+
+    def run(mode):
+        kernel = TimeWarpKernel(physical_latency=1.0, physical_jitter=jitter,
+                                processing_time=0.2, seed=seed,
+                                cancellation=mode)
+        for name in targets:
+            kernel.add_lp(name, handler)
+        kernel.schedule_initial("a", 1.0, (15, 1))
+        kernel.schedule_initial("c", 1.5, (15, 2))
+        return kernel.run()
+
+    lazy = run("lazy")
+    aggressive = run("aggressive")
+    assert lazy.final_states == aggressive.final_states
+    assert (lazy.stats.get("tw.msgs.anti")
+            <= aggressive.stats.get("tw.msgs.anti"))

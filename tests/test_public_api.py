@@ -1,0 +1,67 @@
+"""The public API surface: everything advertised must import and work."""
+
+import importlib
+
+import pytest
+
+import repro
+
+
+def test_version():
+    assert repro.__version__
+
+
+def test_all_exports_resolve():
+    for name in repro.__all__:
+        assert hasattr(repro, name), name
+
+
+SUBPACKAGES = [
+    "repro.sim", "repro.csp", "repro.core", "repro.trace",
+    "repro.baselines", "repro.workloads", "repro.bench",
+    "repro.csp.dsl", "repro.core.predictors", "repro.core.autoplan",
+    "repro.core.analysis", "repro.core.gc", "repro.core.invariants",
+    "repro.core.model", "repro.sim.topology", "repro.trace.hb",
+    "repro.trace.diagram", "repro.baselines.timewarp",
+    "repro.baselines.promises", "repro.workloads.pipelines",
+    "repro.workloads.random_programs", "repro.workloads.random_duplex",
+]
+
+
+@pytest.mark.parametrize("module", SUBPACKAGES)
+def test_subpackage_imports(module):
+    mod = importlib.import_module(module)
+    assert mod.__doc__, f"{module} needs a module docstring"
+
+
+def test_subpackage_alls_resolve():
+    for module in ("repro.sim", "repro.csp", "repro.core", "repro.trace",
+                   "repro.baselines", "repro.workloads", "repro.bench"):
+        mod = importlib.import_module(module)
+        for name in getattr(mod, "__all__", []):
+            assert hasattr(mod, name), f"{module}.{name}"
+
+
+def test_minimal_happy_path_through_top_level_api_only():
+    calls = [("s", "op", (1,))]
+    client = repro.make_call_chain("c", calls)
+    seq = repro.SequentialSystem(repro.FixedLatency(2.0))
+    seq.add_program(client)
+    seq.add_program(repro.server_program("s", lambda st, r: "ok"))
+    r1 = seq.run()
+
+    client2 = repro.make_call_chain("c", calls)
+    opt = repro.OptimisticSystem(repro.FixedLatency(2.0))
+    opt.add_program(client2, repro.stream_plan(client2))
+    opt.add_program(repro.server_program("s", lambda st, r: "ok"))
+    r2 = opt.run()
+    repro.assert_equivalent(r2.trace, r1.trace)
+    assert repro.traces_equivalent(r2.trace, r1.trace)
+    assert "time" in repro.render_timeline(r2.trace, r2.protocol_log)
+
+
+def test_public_docstrings_on_core_classes():
+    for obj in (repro.OptimisticSystem, repro.SequentialSystem,
+                repro.OptimisticConfig, repro.Program, repro.Segment,
+                repro.ParallelizationPlan, repro.ForkSpec):
+        assert obj.__doc__, obj

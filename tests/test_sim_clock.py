@@ -1,0 +1,45 @@
+"""Virtual clock invariants."""
+
+import pytest
+
+from repro.errors import ClockError
+from repro.sim.clock import VirtualClock
+
+
+def test_starts_at_zero_by_default():
+    assert VirtualClock().now == 0.0
+
+
+def test_starts_at_given_time():
+    assert VirtualClock(5.5).now == 5.5
+
+
+def test_negative_start_rejected():
+    with pytest.raises(ClockError):
+        VirtualClock(-1.0)
+
+
+def test_advance_moves_forward():
+    clock = VirtualClock()
+    clock.advance_to(3.0)
+    assert clock.now == 3.0
+    clock.advance_to(7.25)
+    assert clock.now == 7.25
+
+
+def test_advance_to_same_time_is_allowed():
+    clock = VirtualClock(2.0)
+    clock.advance_to(2.0)
+    assert clock.now == 2.0
+
+
+def test_advance_backwards_rejected():
+    clock = VirtualClock(10.0)
+    with pytest.raises(ClockError):
+        clock.advance_to(9.999)
+
+
+def test_clock_time_is_float():
+    clock = VirtualClock()
+    clock.advance_to(1)
+    assert isinstance(clock.now, float)

@@ -1,0 +1,86 @@
+"""Event queue ordering and cancellation."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.events import PRIORITY_CONTROL, EventQueue
+
+
+def drain(queue):
+    out = []
+    while True:
+        ev = queue.pop()
+        if ev is None:
+            return out
+        out.append(ev)
+
+
+def test_pops_in_time_order():
+    q = EventQueue()
+    q.push(3.0, lambda: None, label="c")
+    q.push(1.0, lambda: None, label="a")
+    q.push(2.0, lambda: None, label="b")
+    assert [e.label for e in drain(q)] == ["a", "b", "c"]
+
+
+def test_ties_break_by_insertion_order():
+    q = EventQueue()
+    for i in range(10):
+        q.push(1.0, lambda: None, label=str(i))
+    assert [e.label for e in drain(q)] == [str(i) for i in range(10)]
+
+
+def test_control_priority_beats_normal_at_same_time():
+    q = EventQueue()
+    q.push(1.0, lambda: None, label="data")
+    q.push(1.0, lambda: None, priority=PRIORITY_CONTROL, label="ctrl")
+    assert [e.label for e in drain(q)] == ["ctrl", "data"]
+
+
+def test_priority_does_not_override_time():
+    q = EventQueue()
+    q.push(1.0, lambda: None, label="early-data")
+    q.push(2.0, lambda: None, priority=PRIORITY_CONTROL, label="late-ctrl")
+    assert [e.label for e in drain(q)] == ["early-data", "late-ctrl"]
+
+
+def test_cancelled_events_are_skipped():
+    q = EventQueue()
+    keep = q.push(1.0, lambda: None, label="keep")
+    drop = q.push(0.5, lambda: None, label="drop")
+    drop.cancel()
+    assert [e.label for e in drain(q)] == ["keep"]
+
+
+def test_len_ignores_cancelled():
+    q = EventQueue()
+    a = q.push(1.0, lambda: None)
+    b = q.push(2.0, lambda: None)
+    assert len(q) == 2
+    a.cancel()
+    assert len(q) == 1
+
+
+def test_peek_time_skips_cancelled():
+    q = EventQueue()
+    first = q.push(1.0, lambda: None)
+    q.push(2.0, lambda: None)
+    first.cancel()
+    assert q.peek_time() == 2.0
+
+
+def test_peek_time_empty():
+    assert EventQueue().peek_time() is None
+
+
+def test_negative_time_rejected():
+    q = EventQueue()
+    with pytest.raises(SimulationError):
+        q.push(-1.0, lambda: None)
+
+
+def test_clear_empties_queue():
+    q = EventQueue()
+    q.push(1.0, lambda: None)
+    q.clear()
+    assert q.pop() is None

@@ -1,0 +1,164 @@
+"""Latency models, delivery, FIFO links, broadcast."""
+
+import pytest
+
+from repro.errors import NetworkError
+from repro.sim.network import (
+    FixedLatency,
+    JitteredLatency,
+    Network,
+    PerLinkLatency,
+    SkewedLatency,
+)
+from repro.sim.rng import RngRegistry
+from repro.sim.scheduler import Scheduler
+
+
+def make_net(model, fifo=True):
+    sched = Scheduler()
+    net = Network(sched, model, fifo_links=fifo)
+    inbox = {}
+
+    def register(name):
+        inbox[name] = []
+        net.register(name, lambda src, payload, n=name: inbox[n].append(
+            (sched.now, src, payload)))
+
+    return sched, net, inbox, register
+
+
+def test_fixed_latency_delivery_time():
+    sched, net, inbox, register = make_net(FixedLatency(4.0))
+    register("a")
+    register("b")
+    net.send("a", "b", "hello")
+    sched.run()
+    assert inbox["b"] == [(4.0, "a", "hello")]
+
+
+def test_per_link_latency():
+    model = PerLinkLatency(default=2.0, links={("a", "b"): 9.0})
+    assert model.delay("a", "b") == 9.0
+    assert model.delay("b", "a") == 2.0
+    model.set("b", "a", 1.0)
+    assert model.delay("b", "a") == 1.0
+
+
+def test_skewed_latency_overrides_inner():
+    model = SkewedLatency(FixedLatency(2.0), {("x", "z"): 0.5})
+    assert model.delay("x", "z") == 0.5
+    assert model.delay("z", "x") == 2.0
+
+
+def test_jittered_latency_within_bounds_and_deterministic():
+    rng1 = RngRegistry(42)
+    rng2 = RngRegistry(42)
+    m1 = JitteredLatency(3.0, 2.0, rng1)
+    m2 = JitteredLatency(3.0, 2.0, rng2)
+    d1 = [m1.delay("a", "b") for _ in range(50)]
+    d2 = [m2.delay("a", "b") for _ in range(50)]
+    assert d1 == d2  # same seed, same stream
+    assert all(3.0 <= d < 5.0 for d in d1)
+
+
+def test_jitter_zero_is_base():
+    m = JitteredLatency(3.0, 0.0, RngRegistry(0))
+    assert m.delay("a", "b") == 3.0
+
+
+def test_negative_jitter_params_rejected():
+    with pytest.raises(NetworkError):
+        JitteredLatency(-1.0, 0.0, RngRegistry(0))
+
+
+def test_unknown_destination_rejected():
+    sched, net, inbox, register = make_net(FixedLatency(1.0))
+    register("a")
+    with pytest.raises(NetworkError):
+        net.send("a", "nowhere", "x")
+
+
+def test_duplicate_endpoint_rejected():
+    sched, net, inbox, register = make_net(FixedLatency(1.0))
+    register("a")
+    with pytest.raises(NetworkError):
+        net.register("a", lambda s, p: None)
+
+
+def test_fifo_link_preserves_order_under_decreasing_latency():
+    class Decreasing:
+        def __init__(self):
+            self.delays = [5.0, 1.0]
+
+        def delay(self, src, dst):
+            return self.delays.pop(0)
+
+    sched, net, inbox, register = make_net(Decreasing())
+    register("b")
+    net.send("a", "b", "first")
+    net.send("a", "b", "second")
+    sched.run()
+    payloads = [p for _, _, p in inbox["b"]]
+    assert payloads == ["first", "second"]  # FIFO despite faster 2nd msg
+
+
+def test_non_fifo_allows_reordering():
+    class Decreasing:
+        def __init__(self):
+            self.delays = [5.0, 1.0]
+
+        def delay(self, src, dst):
+            return self.delays.pop(0)
+
+    sched, net, inbox, register = make_net(Decreasing(), fifo=False)
+    register("b")
+    net.send("a", "b", "first")
+    net.send("a", "b", "second")
+    sched.run()
+    payloads = [p for _, _, p in inbox["b"]]
+    assert payloads == ["second", "first"]
+
+
+def test_cross_link_ordering_follows_latency():
+    model = PerLinkLatency(default=1.0, links={("x", "z"): 1.0, ("y", "z"): 5.0})
+    sched, net, inbox, register = make_net(model)
+    register("z")
+    net.send("y", "z", "slow")
+    net.send("x", "z", "fast")
+    sched.run()
+    payloads = [p for _, _, p in inbox["z"]]
+    assert payloads == ["fast", "slow"]  # the raw material of a time fault
+
+
+def test_broadcast_reaches_all_endpoints():
+    sched, net, inbox, register = make_net(FixedLatency(1.0))
+    for name in ("a", "b", "c"):
+        register(name)
+    net.broadcast("a", "ping", exclude_self=True)
+    sched.run()
+    assert inbox["a"] == []
+    assert [p for _, _, p in inbox["b"]] == ["ping"]
+    assert [p for _, _, p in inbox["c"]] == ["ping"]
+
+
+def test_stats_count_messages_and_bytes():
+    sched, net, inbox, register = make_net(FixedLatency(1.0))
+    register("a")
+    register("b")
+    net.send("a", "b", "x", size=3)
+    net.send("a", "b", "y", control=True, size=2)
+    assert net.stats.get("net.msgs.data") == 1
+    assert net.stats.get("net.bytes.data") == 3
+    assert net.stats.get("net.msgs.control") == 1
+    assert net.stats.get("net.bytes.control") == 2
+
+
+def test_negative_latency_rejected_at_send():
+    class Bad:
+        def delay(self, src, dst):
+            return -1.0
+
+    sched, net, inbox, register = make_net(Bad())
+    register("b")
+    with pytest.raises(NetworkError):
+        net.send("a", "b", "x")

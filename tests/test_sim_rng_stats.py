@@ -1,0 +1,78 @@
+"""Named RNG streams and run statistics."""
+
+from repro.sim.rng import RngRegistry
+from repro.sim.stats import Stats
+
+
+class TestRngRegistry:
+    def test_same_seed_same_stream_same_draws(self):
+        a = RngRegistry(7).stream("net")
+        b = RngRegistry(7).stream("net")
+        assert list(a.integers(0, 100, 10)) == list(b.integers(0, 100, 10))
+
+    def test_different_names_are_independent(self):
+        reg = RngRegistry(7)
+        a = list(reg.stream("a").integers(0, 1000, 10))
+        b = list(reg.stream("b").integers(0, 1000, 10))
+        assert a != b
+
+    def test_different_seeds_differ(self):
+        a = list(RngRegistry(1).stream("x").integers(0, 1000, 10))
+        b = list(RngRegistry(2).stream("x").integers(0, 1000, 10))
+        assert a != b
+
+    def test_stream_is_cached(self):
+        reg = RngRegistry(0)
+        assert reg.stream("x") is reg.stream("x")
+
+    def test_adding_stream_does_not_perturb_existing(self):
+        reg1 = RngRegistry(3)
+        s = reg1.stream("main")
+        first = list(s.integers(0, 1000, 5))
+        reg2 = RngRegistry(3)
+        reg2.stream("other")  # extra consumer created first
+        second = list(reg2.stream("main").integers(0, 1000, 5))
+        assert first == second
+
+    def test_reset_recreates_streams(self):
+        reg = RngRegistry(5)
+        first = list(reg.stream("x").integers(0, 1000, 5))
+        reg.reset()
+        again = list(reg.stream("x").integers(0, 1000, 5))
+        assert first == again
+
+
+class TestStats:
+    def test_incr_and_get(self):
+        s = Stats()
+        s.incr("a")
+        s.incr("a", 4)
+        assert s.get("a") == 5
+
+    def test_get_missing_is_zero(self):
+        assert Stats().get("nope") == 0
+
+    def test_series_record(self):
+        s = Stats()
+        s.record("lat", 1.0, 10.0)
+        s.record("lat", 2.0, 20.0)
+        assert s.series_values("lat") == [10.0, 20.0]
+        assert s.series["lat"] == [(1.0, 10.0), (2.0, 20.0)]
+
+    def test_merge_sums_counters_and_extends_series(self):
+        a, b = Stats(), Stats()
+        a.incr("x", 1)
+        b.incr("x", 2)
+        b.incr("y", 3)
+        b.record("s", 0.0, 1.0)
+        a.merge(b)
+        assert a.get("x") == 3
+        assert a.get("y") == 3
+        assert a.series_values("s") == [1.0]
+
+    def test_snapshot_selected(self):
+        s = Stats()
+        s.incr("a", 1)
+        s.incr("b", 2)
+        assert s.snapshot(["a", "c"]) == {"a": 1, "c": 0}
+        assert s.snapshot() == {"a": 1, "b": 2}

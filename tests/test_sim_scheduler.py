@@ -1,0 +1,114 @@
+"""Scheduler loop, timers, and the liveness backstop."""
+
+import pytest
+
+from repro.errors import LivenessError
+from repro.sim.scheduler import Scheduler
+
+
+def test_run_executes_in_time_order():
+    sched = Scheduler()
+    seen = []
+    sched.at(2.0, lambda: seen.append(("b", sched.now)))
+    sched.at(1.0, lambda: seen.append(("a", sched.now)))
+    sched.run()
+    assert seen == [("a", 1.0), ("b", 2.0)]
+
+
+def test_after_is_relative_to_now():
+    sched = Scheduler()
+    times = []
+    sched.at(5.0, lambda: sched.after(3.0, lambda: times.append(sched.now)))
+    sched.run()
+    assert times == [8.0]
+
+
+def test_negative_delay_clamped_to_now():
+    sched = Scheduler()
+    times = []
+    sched.at(5.0, lambda: sched.after(-2.0, lambda: times.append(sched.now)))
+    sched.run()
+    assert times == [5.0]
+
+
+def test_at_in_the_past_clamped_to_now():
+    sched = Scheduler()
+    times = []
+
+    def schedule_stale():
+        sched.at(1.0, lambda: times.append(sched.now))
+
+    sched.at(10.0, schedule_stale)
+    sched.run()
+    assert times == [10.0]
+
+
+def test_run_until_stops_before_later_events():
+    sched = Scheduler()
+    seen = []
+    sched.at(1.0, lambda: seen.append("a"))
+    sched.at(10.0, lambda: seen.append("b"))
+    final = sched.run(until=5.0)
+    assert seen == ["a"]
+    assert final == 5.0
+    # resuming continues with the rest
+    sched.run()
+    assert seen == ["a", "b"]
+
+
+def test_run_returns_final_time():
+    sched = Scheduler()
+    sched.at(4.0, lambda: None)
+    assert sched.run() == 4.0
+
+
+def test_empty_run_returns_zero():
+    assert Scheduler().run() == 0.0
+
+
+def test_step_limit_raises_liveness_error():
+    sched = Scheduler(max_steps=100)
+
+    def loop():
+        sched.after(0.0, loop)
+
+    sched.at(0.0, loop)
+    with pytest.raises(LivenessError):
+        sched.run()
+
+
+def test_timer_fires_and_reports():
+    sched = Scheduler()
+    fired = []
+    t = sched.timer(5.0, lambda: fired.append(sched.now))
+    sched.run()
+    assert fired == [5.0]
+    assert t.fired
+
+
+def test_cancelled_timer_does_not_fire():
+    sched = Scheduler()
+    fired = []
+    t = sched.timer(5.0, lambda: fired.append(True))
+    t.cancel()
+    sched.run()
+    assert fired == []
+    assert not t.fired
+    assert t.cancelled
+
+
+def test_cancel_after_fire_is_noop():
+    sched = Scheduler()
+    t = sched.timer(1.0, lambda: None)
+    sched.run()
+    t.cancel()  # must not raise
+    assert t.fired
+
+
+def test_simultaneous_events_run_in_schedule_order():
+    sched = Scheduler()
+    seen = []
+    for i in range(5):
+        sched.at(1.0, lambda i=i: seen.append(i))
+    sched.run()
+    assert seen == [0, 1, 2, 3, 4]

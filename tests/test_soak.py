@@ -1,0 +1,78 @@
+"""Soak tests: larger systems, longer chains, everything verified.
+
+Sized to run in a few seconds each; they exist to catch state leaks and
+super-linear blowups that small scenarios can't see.
+"""
+
+from repro.core import OptimisticSystem, make_call_chain, stream_plan
+from repro.core.invariants import validate_run
+from repro.csp.process import server_program
+from repro.csp.sequential import SequentialSystem
+from repro.sim.network import FixedLatency
+from repro.trace import assert_equivalent
+from repro.workloads.generators import ChainSpec, chain_workload
+
+
+def test_soak_long_chain_with_faults():
+    spec = ChainSpec(n_calls=60, n_servers=3, latency=4.0,
+                     service_time=0.2, p_fail=0.15, seed=42)
+    client, servers = chain_workload(spec)
+    seq_system = SequentialSystem(FixedLatency(spec.latency))
+    seq_system.add_program(client)
+    client2, servers2 = chain_workload(spec)
+    opt_system = OptimisticSystem(FixedLatency(spec.latency))
+    opt_system.add_program(client2, stream_plan(client2))
+    for a, b in zip(servers, servers2):
+        seq_system.add_program(a)
+        opt_system.add_program(b)
+    seq = seq_system.run()
+    opt = opt_system.run()
+    assert opt.unresolved == []
+    assert_equivalent(opt.trace, seq.trace)
+    validate_run(opt_system)
+
+
+def test_soak_many_clients_shared_servers():
+    n_clients, n_calls = 8, 12
+
+    def build(cls, optimistic):
+        system = cls(FixedLatency(3.0))
+        for c in range(n_clients):
+            calls = [(f"S{i % 2}", "op", (f"c{c}r{i}",))
+                     for i in range(n_calls)]
+            client = make_call_chain(f"client{c}", calls)
+            if optimistic:
+                system.add_program(client, stream_plan(client))
+            else:
+                system.add_program(client)
+        for s in ("S0", "S1"):
+            system.add_program(server_program(s, lambda st, r: True,
+                                              service_time=0.05))
+        return system
+
+    seq = build(SequentialSystem, False).run()
+    opt_system = build(OptimisticSystem, True)
+    opt = opt_system.run()
+    assert opt.unresolved == []
+    assert_equivalent(opt.trace, seq.trace)
+    validate_run(opt_system)
+    assert opt.stats.get("opt.forks") == n_clients * (n_calls - 1)
+    assert opt.makespan < seq.makespan
+
+
+def test_soak_repeated_runs_no_state_leak():
+    """Module-level counters must not corrupt later runs."""
+    results = []
+    for _ in range(5):
+        spec = ChainSpec(n_calls=10, n_servers=2, latency=5.0,
+                         service_time=0.5, p_fail=0.4, seed=7)
+        client, servers = chain_workload(spec)
+        system = OptimisticSystem(FixedLatency(spec.latency))
+        system.add_program(client, stream_plan(client))
+        for s in servers:
+            system.add_program(s)
+        res = system.run()
+        validate_run(system)
+        results.append((res.makespan, res.stats.get("opt.aborts"),
+                        [(e.kind, e.payload) for e in res.trace]))
+    assert all(r == results[0] for r in results[1:])

@@ -1,0 +1,64 @@
+"""The strict-exports contract check at joins."""
+
+import pytest
+
+from repro.errors import ProgramError
+from repro.core import OptimisticSystem
+from repro.core.config import OptimisticConfig
+from repro.csp.effects import Call
+from repro.csp.plan import ForkSpec, ParallelizationPlan
+from repro.csp.process import Program, Segment, server_program
+from repro.sim.network import FixedLatency
+
+
+def build(config=None, leak=True):
+    """S1 mutates a state key it does not export."""
+    def s1(state):
+        state["ok"] = yield Call("srv", "op", ())
+        if leak:
+            state["hidden"] = 99  # not in exports!
+
+    def s2(state):
+        state["done"] = True
+        yield Call("srv", "op2", ())
+
+    prog = Program("X", [Segment("s1", s1, exports=("ok",)),
+                         Segment("s2", s2)])
+    plan = ParallelizationPlan().add("s1", ForkSpec(predictor={"ok": True}))
+    system = OptimisticSystem(FixedLatency(2.0), config=config)
+    system.add_program(prog, plan)
+    system.add_program(server_program("srv", lambda s, r: True))
+    return system
+
+
+def test_leaky_segment_caught_by_default():
+    with pytest.raises(ProgramError, match="hidden"):
+        build().run()
+
+
+def test_clean_segment_passes():
+    build(leak=False).run()
+
+
+def test_check_can_be_disabled():
+    config = OptimisticConfig(strict_exports=False)
+    res = build(config=config).run()
+    assert res.unresolved == []
+
+
+def test_predictor_guessing_unexported_key_rejected():
+    def s1(state):
+        state["ok"] = yield Call("srv", "op", ())
+
+    def s2(state):
+        yield Call("srv", "op2", ())
+
+    prog = Program("X", [Segment("s1", s1, exports=("ok",)),
+                         Segment("s2", s2)])
+    plan = ParallelizationPlan().add(
+        "s1", ForkSpec(predictor={"ok": True, "bogus": 1}))
+    system = OptimisticSystem(FixedLatency(2.0))
+    system.add_program(prog, plan)
+    system.add_program(server_program("srv", lambda s, r: True))
+    with pytest.raises(ProgramError, match="bogus"):
+        system.run()

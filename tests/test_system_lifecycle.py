@@ -1,0 +1,59 @@
+"""System lifecycle: idempotent start, manual stepping, repeated run()."""
+
+from repro.core import OptimisticSystem, make_call_chain, stream_plan
+from repro.csp.process import server_program
+from repro.csp.sequential import SequentialSystem
+from repro.sim.network import FixedLatency
+from repro.trace import assert_equivalent
+
+
+def build(cls, optimistic):
+    calls = [("srv", "op", (f"q{i}",)) for i in range(4)]
+    client = make_call_chain("client", calls)
+    system = cls(FixedLatency(3.0))
+    if optimistic:
+        system.add_program(client, stream_plan(client))
+    else:
+        system.add_program(client)
+    system.add_program(server_program("srv", lambda s, r: True,
+                                      service_time=0.5))
+    return system
+
+
+def test_manual_start_then_run_does_not_restart():
+    """Regression: run() after manual stepping used to relaunch every
+    process, duplicating the whole workload."""
+    reference = build(OptimisticSystem, True).run()
+    system = build(OptimisticSystem, True)
+    system.start()
+    system.scheduler.run(until=2.0)   # partial progress
+    result = system.run()             # must continue, not restart
+    assert result.makespan == reference.makespan
+    assert_equivalent(result.trace, reference.trace)
+
+
+def test_double_start_is_noop():
+    system = build(OptimisticSystem, True)
+    system.start()
+    system.start()
+    result = system.run()
+    assert result.stats.get("opt.forks") == 3
+
+
+def test_sequential_manual_start_then_run():
+    reference = build(SequentialSystem, False).run()
+    system = build(SequentialSystem, False)
+    system.start()
+    system.scheduler.run(until=5.0)
+    result = system.run()
+    assert result.makespan == reference.makespan
+    assert_equivalent(result.trace, reference.trace)
+
+
+def test_run_with_until_then_continue():
+    system = build(OptimisticSystem, True)
+    partial = system.run(until=1.0)
+    assert partial.completion_times == {}
+    final = system.run()
+    assert final.completion_times != {}
+    assert final.unresolved == []

@@ -1,0 +1,101 @@
+"""Fork timeouts (§3.2) and the liveness limit L (§3.3)."""
+
+import pytest
+
+from repro.core import OptimisticSystem, make_call_chain, stream_plan
+from repro.core.config import OptimisticConfig
+from repro.csp.effects import Call, Compute
+from repro.csp.plan import ForkSpec, ParallelizationPlan
+from repro.csp.process import Program, Segment, server_program
+from repro.csp.sequential import SequentialSystem
+from repro.sim.network import FixedLatency
+from repro.trace import assert_equivalent
+from repro.workloads.generators import ChainSpec, run_chain_optimistic, run_chain_sequential
+
+
+class TestTimeout:
+    def build(self, s1_duration: float, timeout: float):
+        """S1 computes for a long time; the fork timer may expire first."""
+        def s1(state):
+            yield Compute(s1_duration)
+            state["v"] = 1
+
+        def s2(state):
+            state["r"] = yield Call("srv", "op", (state["v"],))
+
+        prog = Program("X", [Segment("s1", s1, exports=("v",)),
+                             Segment("s2", s2)])
+        plan = ParallelizationPlan().add(
+            "s1", ForkSpec(predictor={"v": 1}, timeout=timeout))
+        system = OptimisticSystem(FixedLatency(2.0))
+        system.add_program(prog, plan)
+        system.add_program(server_program("srv", lambda s, r: r.args[0]))
+        return system
+
+    def test_slow_s1_times_out_and_aborts(self):
+        res = self.build(s1_duration=50.0, timeout=10.0).run()
+        assert res.stats.get("opt.aborts.timeout") == 1
+        # S1 still finishes; the continuation re-runs S2 afterwards.
+        assert res.unresolved == []
+        assert res.final_states["X"]["r"] == 1
+        assert res.makespan >= 50.0
+
+    def test_fast_s1_beats_the_timer(self):
+        res = self.build(s1_duration=1.0, timeout=10.0).run()
+        assert res.stats.get("opt.aborts.timeout") == 0
+        assert res.stats.get("opt.commits") == 1
+        assert res.final_states["X"]["r"] == 1
+
+    def test_timeout_result_still_correct(self):
+        res = self.build(s1_duration=50.0, timeout=10.0).run()
+        # Same output as a sequential run of the same program.
+        def s1(state):
+            yield Compute(50.0)
+            state["v"] = 1
+
+        def s2(state):
+            state["r"] = yield Call("srv", "op", (state["v"],))
+
+        prog = Program("X", [Segment("s1", s1, exports=("v",)),
+                             Segment("s2", s2)])
+        seq_system = SequentialSystem(FixedLatency(2.0))
+        seq_system.add_program(prog)
+        seq_system.add_program(server_program("srv", lambda s, r: r.args[0]))
+        seq = seq_system.run()
+        assert_equivalent(res.trace, seq.trace)
+
+
+class TestLivenessLimit:
+    def test_always_failing_site_falls_back_to_pessimistic(self):
+        # Every request fails, so the guess (True) is always wrong; after L
+        # attempts per site the fork is skipped entirely.
+        spec = ChainSpec(n_calls=6, n_servers=1, latency=2.0,
+                         service_time=0.5, p_fail=1.0, seed=1)
+        config = OptimisticConfig(max_optimistic_retries=2)
+        opt = run_chain_optimistic(spec, config)
+        seq = run_chain_sequential(spec)
+        assert opt.unresolved == []
+        assert_equivalent(opt.trace, seq.trace)
+
+    def test_retry_counter_respects_limit(self):
+        spec = ChainSpec(n_calls=4, n_servers=1, latency=2.0,
+                         service_time=0.5, p_fail=1.0, seed=1)
+        config = OptimisticConfig(max_optimistic_retries=1)
+        opt = run_chain_optimistic(spec, config)
+        # With L=1 each site may be attempted optimistically at most once,
+        # and re-reached sites must fall back to pessimistic execution.
+        forks = opt.stats.get("opt.forks")
+        assert forks <= 4
+        assert opt.count("fork_fallback") >= 1
+        assert opt.unresolved == []
+
+    def test_bounded_reexecution_total(self):
+        spec = ChainSpec(n_calls=8, n_servers=2, latency=3.0,
+                         service_time=0.5, p_fail=0.6, seed=9)
+        config = OptimisticConfig(max_optimistic_retries=3)
+        opt = run_chain_optimistic(spec, config)
+        seq = run_chain_sequential(spec)
+        assert opt.unresolved == []
+        assert_equivalent(opt.trace, seq.trace)
+        # aborts are bounded by L per site (plus cascaded child aborts)
+        assert opt.stats.get("opt.aborts") <= 8 * 3 * 2

@@ -1,0 +1,130 @@
+"""Lazy cancellation in the Time Warp kernel."""
+
+import pytest
+
+from repro.baselines.timewarp import TimeWarpKernel, sequential_reference
+from repro.baselines.timewarp.kernel import TWEvent
+from repro.errors import SimulationError
+
+
+def counter_handler(state, payload, recv_time):
+    state.setdefault("log", []).append(payload)
+    return []
+
+
+def forwarder_to(dst):
+    def handler(state, payload, recv_time):
+        state.setdefault("log", []).append(payload)
+        return [(dst, 1.0, f"fwd:{payload}")]
+
+    return handler
+
+
+def ring_handler(targets):
+    def handler(state, payload, recv_time):
+        state["seen"] = state.get("seen", 0) + 1
+        hops, nxt = payload
+        if hops <= 0:
+            return []
+        return [(targets[nxt % len(targets)], 1.0, (hops - 1, nxt + 1))]
+
+    return handler
+
+
+def test_invalid_mode_rejected():
+    with pytest.raises(SimulationError):
+        TimeWarpKernel(cancellation="eager")
+
+
+def test_lazy_reuses_unchanged_outputs():
+    # A straggler at b that does NOT change b's forwards: lazy cancellation
+    # re-uses them and sends zero anti-messages.
+    k = TimeWarpKernel(physical_latency=1.0, processing_time=0.1,
+                       cancellation="lazy")
+    k.add_lp("b", forwarder_to("c"))
+    k.add_lp("c", counter_handler)
+    k.schedule_initial("b", 10.0, "spec")
+    straggler = TWEvent(recv_time=1.0, uid=777_777, sign=1, dst="b",
+                        src="__env__", send_time=0.0, payload="early")
+    k._transmit(straggler, physical_delay=8.0)
+    res = k.run()
+    # b rolls back for the straggler; the reused (already-delivered)
+    # forward then makes c sort its own inputs with a second rollback —
+    # but no anti-message ever travels.
+    assert res.stats.get("tw.rollbacks") == 2
+    assert res.stats.get("tw.lazy_reused") == 1     # the fwd:spec reused
+    assert res.stats.get("tw.msgs.anti") == 0
+    assert res.final_states["c"]["log"] == ["fwd:early", "fwd:spec"]
+
+
+def test_aggressive_cancels_and_resends_same_scenario():
+    k = TimeWarpKernel(physical_latency=1.0, processing_time=0.1,
+                       cancellation="aggressive")
+    k.add_lp("b", forwarder_to("c"))
+    k.add_lp("c", counter_handler)
+    k.schedule_initial("b", 10.0, "spec")
+    straggler = TWEvent(recv_time=1.0, uid=777_778, sign=1, dst="b",
+                        src="__env__", send_time=0.0, payload="early")
+    k._transmit(straggler, physical_delay=8.0)
+    res = k.run()
+    assert res.stats.get("tw.msgs.anti") >= 1
+    assert res.final_states["c"]["log"] == ["fwd:early", "fwd:spec"]
+
+
+def test_lazy_cancels_outputs_that_change():
+    # the forward payload embeds how many events b has seen so far, so a
+    # straggler *changes* the re-executed output and lazy must cancel it
+    def seq_forwarder(state, payload, recv_time):
+        n = state.get("n", 0) + 1
+        state["n"] = n
+        return [("c", 1.0, f"fwd{n}:{payload}")]
+
+    k = TimeWarpKernel(physical_latency=1.0, processing_time=0.1,
+                       cancellation="lazy")
+    k.add_lp("b", seq_forwarder)
+    k.add_lp("c", counter_handler)
+    k.schedule_initial("b", 10.0, "spec")
+    straggler = TWEvent(recv_time=1.0, uid=777_779, sign=1, dst="b",
+                        src="__env__", send_time=0.0, payload="early")
+    k._transmit(straggler, physical_delay=8.0)
+    res = k.run()
+    assert res.stats.get("tw.msgs.anti") >= 1  # fwd1:spec was wrong
+    assert res.final_states["c"]["log"] == ["fwd1:early", "fwd2:spec"]
+
+
+def test_lazy_matches_reference_on_jittered_rings():
+    targets = ["a", "b", "c", "d"]
+    handler = ring_handler(targets)
+    for seed in range(4):
+        k = TimeWarpKernel(physical_latency=1.0, physical_jitter=12.0,
+                           processing_time=0.2, seed=seed,
+                           cancellation="lazy")
+        for name in targets:
+            k.add_lp(name, handler)
+        k.schedule_initial("a", 1.0, (20, 1))
+        k.schedule_initial("c", 1.5, (20, 3))
+        res = k.run()
+        ref = sequential_reference(
+            {name: (handler, {}) for name in targets},
+            [("a", 1.0, (20, 1)), ("c", 1.5, (20, 3))],
+        )
+        assert res.final_states == ref["states"], f"seed={seed}"
+
+
+def test_lazy_sends_no_more_antis_than_aggressive():
+    targets = ["a", "b", "c", "d"]
+    handler = ring_handler(targets)
+
+    def run(mode):
+        k = TimeWarpKernel(physical_latency=1.0, physical_jitter=12.0,
+                           processing_time=0.2, seed=3, cancellation=mode)
+        for name in targets:
+            k.add_lp(name, handler)
+        k.schedule_initial("a", 1.0, (24, 1))
+        k.schedule_initial("c", 1.5, (24, 3))
+        return k.run()
+
+    lazy = run("lazy")
+    aggressive = run("aggressive")
+    assert (lazy.stats.get("tw.msgs.anti")
+            <= aggressive.stats.get("tw.msgs.anti"))

@@ -1,0 +1,79 @@
+"""Topology latency-model builders."""
+
+import pytest
+
+from repro.errors import NetworkError
+from repro.sim.topology import clusters, ring, star, uniform
+
+
+def test_uniform():
+    model = uniform(["a", "b"], 3.0)
+    assert model.delay("a", "b") == 3.0
+    assert model.delay("b", "zzz") == 3.0
+
+
+def test_star_spokes_and_leaf_to_leaf():
+    model = star("hub", ["a", "b"], spoke=4.0)
+    assert model.delay("hub", "a") == 4.0
+    assert model.delay("a", "hub") == 4.0
+    assert model.delay("a", "b") == 8.0  # two spokes
+
+
+def test_clusters_local_vs_remote():
+    model = clusters({"east": ["X"], "west": ["Y", "Z"]},
+                     local=0.5, remote=20.0)
+    assert model.delay("Y", "Z") == 0.5
+    assert model.delay("Z", "Y") == 0.5
+    assert model.delay("X", "Y") == 20.0
+    assert model.delay("X", "X") == 0.5
+
+
+def test_clusters_validation():
+    with pytest.raises(NetworkError):
+        clusters({"a": ["X"], "b": ["X"]}, local=1, remote=2)
+    with pytest.raises(NetworkError):
+        clusters({"a": ["X"]}, local=5, remote=2)
+
+
+def test_ring_distances():
+    model = ring(["a", "b", "c", "d"], hop=2.0)
+    assert model.delay("a", "b") == 2.0
+    assert model.delay("a", "c") == 4.0
+    assert model.delay("a", "d") == 2.0  # shorter the other way
+    assert model.delay("b", "b") == 0.0
+
+
+def test_ring_needs_two():
+    with pytest.raises(NetworkError):
+        ring(["only"], hop=1.0)
+
+
+def test_wan_client_scenario_end_to_end():
+    """Streaming pays off for a WAN client against a co-located backend."""
+    from repro.core import OptimisticSystem, make_call_chain, stream_plan
+    from repro.csp.process import server_program
+    from repro.csp.sequential import SequentialSystem
+    from repro.trace import assert_equivalent
+
+    topo = clusters({"laptop": ["client"], "dc": ["S0", "S1"]},
+                    local=0.5, remote=25.0)
+    calls = [("S0", "op", (f"r{i}",)) if i % 2 == 0 else
+             ("S1", "op", (f"r{i}",)) for i in range(6)]
+
+    def build(cls, opt):
+        client = make_call_chain("client", calls)
+        system = cls(topo)
+        if opt:
+            system.add_program(client, stream_plan(client))
+        else:
+            system.add_program(client)
+        for name in ("S0", "S1"):
+            system.add_program(server_program(name, lambda s, r: True,
+                                              service_time=0.5))
+        return system
+
+    seq = build(SequentialSystem, False).run()
+    opt = build(OptimisticSystem, True).run()
+    assert_equivalent(opt.trace, seq.trace)
+    assert seq.makespan > 300.0      # 6 WAN round trips
+    assert opt.makespan < 60.0       # one WAN round trip + queueing

@@ -1,0 +1,117 @@
+"""Partial-trace equivalence checker."""
+
+import pytest
+
+from repro.errors import TraceMismatchError
+from repro.trace.equivalence import (
+    assert_equivalent,
+    link_sequences,
+    receiver_sequences,
+    sender_sequences,
+    traces_equivalent,
+)
+from repro.trace.recorder import TraceRecorder
+
+
+def make_trace(events):
+    """events: list of (kind, src, dst, payload, porder)."""
+    r = TraceRecorder()
+    for kind, src, dst, payload, porder in events:
+        r.record(kind, src, dst, payload, 0.0, porder=porder)
+    return r.committed()
+
+
+def test_identical_traces_equivalent():
+    evs = [("send", "a", "b", 1, (0, 0)), ("recv", "a", "b", 1, (0, 0))]
+    assert traces_equivalent(make_trace(evs), make_trace(evs))
+
+
+def test_different_payloads_not_equivalent():
+    a = make_trace([("send", "a", "b", 1, (0, 0))])
+    b = make_trace([("send", "a", "b", 2, (0, 0))])
+    assert not traces_equivalent(a, b)
+    with pytest.raises(TraceMismatchError):
+        assert_equivalent(a, b)
+
+
+def test_missing_event_not_equivalent():
+    a = make_trace([("send", "a", "b", 1, (0, 0)), ("send", "a", "b", 2, (0, 1))])
+    b = make_trace([("send", "a", "b", 1, (0, 0))])
+    assert not traces_equivalent(a, b)
+
+
+def test_porder_recovers_logical_order():
+    # Physically recorded out of order (buffered externals) but porder fixes it.
+    a = make_trace([
+        ("external", "a", "sink", "second", (1, 0)),
+        ("external", "a", "sink", "first", (0, 0)),
+    ])
+    b = make_trace([
+        ("external", "a", "sink", "first", (0, 0)),
+        ("external", "a", "sink", "second", (1, 0)),
+    ])
+    assert traces_equivalent(a, b)
+
+
+def test_receiver_interleaving_matters():
+    # Z consumes X's message before Y's in one trace, after in the other.
+    a = make_trace([
+        ("recv", "x", "z", "mx", (0, 0)),
+        ("recv", "y", "z", "my", (0, 1)),
+    ])
+    b = make_trace([
+        ("recv", "y", "z", "my", (0, 0)),
+        ("recv", "x", "z", "mx", (0, 1)),
+    ])
+    assert not traces_equivalent(a, b)
+    with pytest.raises(TraceMismatchError) as err:
+        assert_equivalent(a, b)
+    assert "receiver" in str(err.value) or "link" in str(err.value)
+
+
+def test_sender_interleaving_matters():
+    a = make_trace([
+        ("send", "x", "y", 1, (0, 0)),
+        ("send", "x", "z", 2, (0, 1)),
+    ])
+    b = make_trace([
+        ("send", "x", "z", 2, (0, 0)),
+        ("send", "x", "y", 1, (0, 1)),
+    ])
+    assert not traces_equivalent(a, b)
+
+
+def test_concurrent_processes_may_interleave_differently():
+    # Two independent senders: global record order differs, still equivalent.
+    a = make_trace([
+        ("send", "p", "s", 1, (0, 0)),
+        ("send", "q", "s", 2, (0, 0)),
+    ])
+    b = make_trace([
+        ("send", "q", "s", 2, (0, 0)),
+        ("send", "p", "s", 1, (0, 0)),
+    ])
+    assert traces_equivalent(a, b)
+
+
+def test_times_do_not_matter():
+    r1, r2 = TraceRecorder(), TraceRecorder()
+    r1.record("send", "a", "b", 1, 5.0, porder=(0, 0))
+    r2.record("send", "a", "b", 1, 99.0, porder=(0, 0))
+    assert traces_equivalent(r1.committed(), r2.committed())
+
+
+def test_helper_groupings():
+    evs = make_trace([
+        ("send", "a", "b", 1, (0, 0)),
+        ("send", "a", "c", 2, (0, 1)),
+        ("recv", "a", "b", 1, (0, 0)),
+        ("external", "a", "sink", 3, (0, 2)),
+    ])
+    links = link_sequences(evs)
+    assert links[("send", "a", "b")] == [1]
+    assert links[("external", "a", "sink")] == [3]
+    senders = sender_sequences(evs)
+    assert senders["a"] == [("b", 1), ("c", 2), ("sink", 3)]
+    receivers = receiver_sequences(evs)
+    assert receivers["b"] == [("a", 1)]

@@ -1,0 +1,56 @@
+"""Logical clock semantics."""
+
+from repro.trace.lamport import LamportClock, VectorClock
+
+
+class TestLamport:
+    def test_tick_increments(self):
+        c = LamportClock()
+        assert c.tick() == 1
+        assert c.tick() == 2
+
+    def test_observe_takes_max_then_ticks(self):
+        c = LamportClock()
+        c.tick()          # 1
+        assert c.observe(10) == 11
+        assert c.observe(5) == 12  # local already ahead
+
+
+class TestVectorClock:
+    def test_tick_advances_own_component(self):
+        v = VectorClock("p")
+        assert v.tick() == {"p": 1}
+        assert v.tick() == {"p": 2}
+
+    def test_observe_merges_pointwise_max(self):
+        v = VectorClock("p")
+        v.tick()
+        snap = v.observe({"q": 5, "p": 0})
+        assert snap == {"p": 2, "q": 5}
+
+    def test_happens_before_basic(self):
+        a = {"p": 1}
+        b = {"p": 2}
+        assert VectorClock.happens_before(a, b)
+        assert not VectorClock.happens_before(b, a)
+
+    def test_happens_before_requires_strict(self):
+        a = {"p": 1, "q": 2}
+        assert not VectorClock.happens_before(a, dict(a))
+
+    def test_concurrent(self):
+        a = {"p": 1, "q": 0}
+        b = {"p": 0, "q": 1}
+        assert VectorClock.concurrent(a, b)
+        assert not VectorClock.concurrent(a, {"p": 2, "q": 0})
+
+    def test_message_chain_orders_events(self):
+        p, q = VectorClock("p"), VectorClock("q")
+        send = p.tick()
+        q.observe(send)
+        later = q.tick()
+        assert VectorClock.happens_before(send, later)
+
+    def test_missing_keys_treated_as_zero(self):
+        assert VectorClock.happens_before({}, {"p": 1})
+        assert not VectorClock.happens_before({"p": 1}, {})

@@ -1,0 +1,74 @@
+"""Trace recorder: tagging, abort filtering, external queries."""
+
+from repro.trace.events import EXTERNAL, RECV, SEND
+from repro.trace.recorder import TraceRecorder
+
+
+def test_records_in_order_with_seq():
+    r = TraceRecorder()
+    a = r.record_send("x", "y", 1, 0.0)
+    b = r.record_recv("x", "y", 1, 1.0)
+    assert a.seq < b.seq
+    assert [e.kind for e in r.committed()] == [SEND, RECV]
+
+
+def test_aborted_guess_filters_tagged_events():
+    r = TraceRecorder()
+    r.record_send("x", "y", "clean", 0.0)
+    r.record_send("x", "y", "tainted", 0.0, guards={"x:i0.n1"})
+    r.mark_aborted("x:i0.n1")
+    assert [e.payload for e in r.committed()] == ["clean"]
+
+
+def test_event_with_any_aborted_guard_is_dropped():
+    r = TraceRecorder()
+    r.record_send("x", "y", "multi", 0.0, guards={"a", "b"})
+    r.mark_aborted("b")
+    assert r.committed() == []
+
+
+def test_committed_guards_do_not_filter():
+    r = TraceRecorder()
+    r.record_send("x", "y", "guarded", 0.0, guards={"a"})
+    # never marked aborted: stays
+    assert [e.payload for e in r.committed()] == ["guarded"]
+
+
+def test_all_events_keeps_everything():
+    r = TraceRecorder()
+    r.record_send("x", "y", 1, 0.0, guards={"g"})
+    r.mark_aborted("g")
+    assert len(r.all_events()) == 1
+    assert r.committed() == []
+
+
+def test_externals_filter_by_sink():
+    r = TraceRecorder()
+    r.record_external("x", "display", "line1", 0.0)
+    r.record_external("x", "printer", "page", 1.0)
+    r.record_send("x", "y", "msg", 2.0)
+    assert [e.payload for e in r.externals()] == ["line1", "page"]
+    assert [e.payload for e in r.externals("printer")] == ["page"]
+
+
+def test_porder_recorded():
+    r = TraceRecorder()
+    ev = r.record_send("x", "y", 1, 0.0, porder=(2, 5))
+    assert ev.porder == (2, 5)
+
+
+def test_owner_is_receiver_for_recv():
+    r = TraceRecorder()
+    s = r.record_send("x", "y", 1, 0.0)
+    v = r.record_recv("x", "y", 1, 0.0)
+    assert s.owner == "x"
+    assert v.owner == "y"
+
+
+def test_clear_resets_everything():
+    r = TraceRecorder()
+    r.record_send("x", "y", 1, 0.0, guards={"g"})
+    r.mark_aborted("g")
+    r.clear()
+    assert r.all_events() == []
+    assert r.aborted_guesses == set()

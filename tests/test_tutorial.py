@@ -1,0 +1,90 @@
+"""The tutorial's scenario, verified (docs/TUTORIAL.md must stay true)."""
+
+from repro import (
+    Call,
+    Emit,
+    FixedLatency,
+    ForkSpec,
+    OptimisticSystem,
+    ParallelizationPlan,
+    Program,
+    Segment,
+    SequentialSystem,
+    assert_equivalent,
+    server_program,
+)
+
+
+def moderate(state):
+    state["allowed"] = yield Call("mod", "score", (state["text"],))
+
+
+def publish(state):
+    if state["allowed"]:
+        state["post_id"] = yield Call("store", "insert", (state["text"],))
+        yield Call("notify", "fanout", (state["post_id"],))
+        yield Emit("feed", f"posted:{state['text']}")
+    else:
+        state["post_id"] = None
+        yield Emit("feed", f"rejected:{state['text']}")
+
+
+def client(text):
+    return Program("client", [
+        Segment("moderate", moderate, exports=("allowed",)),
+        Segment("publish", publish),
+    ], initial_state={"text": text})
+
+
+def services(allowed=True):
+    yield server_program("mod", lambda s, r: allowed, service_time=2.0)
+    yield server_program("store", lambda s, r: f"id-{r.args[0]}",
+                         service_time=0.5)
+    yield server_program("notify", lambda s, r: True, service_time=0.5)
+
+
+PLAN = ParallelizationPlan().add(
+    "moderate", ForkSpec(predictor={"allowed": True}, timeout=100.0))
+
+
+def run(optimistic, allowed=True, text="hello"):
+    if optimistic:
+        system = OptimisticSystem(FixedLatency(10.0))
+        system.add_program(client(text), PLAN)
+    else:
+        system = SequentialSystem(FixedLatency(10.0))
+        system.add_program(client(text))
+    for srv in services(allowed):
+        system.add_program(srv)
+    system.add_sink("feed")
+    return system.run()
+
+
+def test_blocking_number_from_tutorial():
+    assert run(False).makespan == 63.0
+
+
+def test_optimistic_number_from_tutorial():
+    res = run(True)
+    assert res.makespan == 41.0
+    assert res.stats.get("opt.commits") == 1
+    assert res.stats.get("opt.aborts") == 0
+
+
+def test_equivalence_and_feed_output():
+    seq, opt = run(False), run(True)
+    assert_equivalent(opt.trace, seq.trace)
+    assert opt.sink_output("feed") == seq.sink_output("feed") == \
+        ["posted:hello"]
+
+
+def test_rejection_path():
+    seq, opt = run(False, allowed=False), run(True, allowed=False)
+    assert_equivalent(opt.trace, seq.trace)
+    assert opt.sink_output("feed") == ["rejected:hello"]
+    assert opt.stats.get("opt.aborts.value_fault") == 1
+    assert opt.count("rollback", "store") >= 1
+    assert opt.count("rollback", "notify") >= 1
+    # the fault lands before the speculative Emit executes, so nothing
+    # was even buffered — and certainly nothing reached the feed
+    assert opt.stats.get("opt.emissions_dropped") == 0
