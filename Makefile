@@ -1,6 +1,6 @@
 PYTHON ?= python
 
-.PHONY: install test bench figures fuzz examples results clean
+.PHONY: install test bench bench-wallclock figures fuzz examples results clean
 
 install:
 	$(PYTHON) setup.py develop
@@ -10,6 +10,9 @@ test:
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+bench-wallclock:
+	PYTHONPATH=src $(PYTHON) -m repro.bench.wallclock
 
 figures:
 	$(PYTHON) -m repro figures

@@ -1,0 +1,277 @@
+"""Wall-clock benchmark harness for the optimistic runtime.
+
+The other benches in this package measure *virtual* time — the simulated
+cost model of the paper.  This one measures *Python* time: how many real
+seconds (and deepcopy-equivalent state copies) the runtime itself burns on
+fork, checkpoint and rollback machinery.  Every scenario runs twice, once
+per :class:`~repro.core.config.SnapshotPolicy`:
+
+* ``cow`` — the copy-on-write snapshot layer (:mod:`repro.core.snapshot`);
+* ``deepcopy`` — the legacy full-``copy.deepcopy`` behaviour.
+
+Both must produce *bit-identical virtual makespans* (the snapshot layer is
+purely an implementation detail); the harness asserts this on every pair.
+What differs is wall time and the ``snap.*`` perf counters
+(:meth:`~repro.sim.stats.Stats.perf`), and the headline acceptance number:
+the fork/checkpoint micro-bench must show at least ``TARGET_RATIO``× fewer
+deepcopy-equivalent full copies under COW.
+
+Usage::
+
+    PYTHONPATH=src python -m repro.bench.wallclock            # full run
+    PYTHONPATH=src python -m repro.bench.wallclock --quick    # CI-sized
+    PYTHONPATH=src python -m repro.bench.wallclock --out x.json
+
+The default output is ``BENCH_core.json`` at the repository root.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+from typing import Any, Callable, Dict, Optional, Tuple
+
+from repro.core.config import OptimisticConfig, SnapshotPolicy
+from repro.core.snapshot import Snapshotter
+from repro.sim.stats import Stats
+from repro.workloads.generators import ChainSpec, run_chain_optimistic
+from repro.workloads.random_duplex import DuplexSpec, build_duplex_system
+
+#: Acceptance bar: COW must perform at least this many times fewer
+#: deepcopy-equivalent full copies than the legacy path on the
+#: fork/checkpoint micro-bench.
+TARGET_RATIO = 3.0
+
+#: src/repro/bench/wallclock.py -> repository root.
+REPO_ROOT = os.path.dirname(
+    os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+)
+DEFAULT_OUT = os.path.join(REPO_ROOT, "BENCH_core.json")
+
+_POLICIES = (SnapshotPolicy.COW, SnapshotPolicy.DEEPCOPY)
+
+
+def _time(fn: Callable[[], Any], repeats: int) -> Tuple[float, Any]:
+    """Best-of-``repeats`` wall seconds for ``fn`` plus its last result."""
+    best = float("inf")
+    result = None
+    for _ in range(max(1, repeats)):
+        t0 = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - t0)
+    return best, result
+
+
+def _policy_entry(wall_s: float, stats: Stats, ops: int,
+                  makespan: Optional[float] = None) -> Dict[str, Any]:
+    entry: Dict[str, Any] = {
+        "wall_s": round(wall_s, 6),
+        "per_op_us": round(wall_s / max(1, ops) * 1e6, 3),
+        "counters": stats.perf("snap."),
+        "full_copies": stats.full_copies(),
+        "guard_tag_units": stats.get("opt.guard_tag_units"),
+    }
+    if makespan is not None:
+        entry["makespan"] = makespan
+    return entry
+
+
+def _ratio(results: Dict[str, Dict[str, Any]]) -> float:
+    """DEEPCOPY-to-COW full-copy ratio (inf when COW needed none)."""
+    cow = results["cow"]["full_copies"]
+    dc = results["deepcopy"]["full_copies"]
+    if cow == 0:
+        return float("inf") if dc else 1.0
+    return dc / cow
+
+
+# ------------------------------------------------------------------- micro
+
+def _synthetic_states(scale: int) -> list:
+    """State dicts of the shapes threads actually carry."""
+    return [
+        # all-scalar: the common case (counters, cursors, flags)
+        {f"k{i}": i * 3 for i in range(8)},
+        # nested containers: journals, buffers, routing tables
+        {
+            "log": [{"op": f"op{i}", "args": (i, i + 1)} for i in range(scale)],
+            "routes": {f"S{i}": [i, i * 2] for i in range(4)},
+            "seen": {1, 2, 3},
+            "cursor": 7,
+        },
+    ]
+
+
+def bench_capture_restore(scale: int, repeats: int) -> Dict[str, Any]:
+    """Micro: checkpoint capture + restore on synthetic thread states."""
+    iters = 40 * scale
+    states = _synthetic_states(scale)
+    out: Dict[str, Any] = {}
+    for policy in _POLICIES:
+        stats = Stats()
+        snap = Snapshotter(policy, stats)
+
+        def run() -> None:
+            for state in states:
+                for _ in range(iters):
+                    snap.restore(snap.capture(state))
+
+        wall, _ = _time(run, repeats)
+        out[policy.value] = _policy_entry(wall, stats,
+                                          ops=iters * len(states))
+    out["full_copy_ratio"] = _ratio(out)
+    return out
+
+
+def bench_fork_chain(scale: int, repeats: int) -> Dict[str, Any]:
+    """Micro: fork + checkpoint cost along a fault-free call chain.
+
+    Every call site forks (call streaming), no guesses fail — the measured
+    work is exactly the per-fork state capture machinery.
+    """
+    spec = ChainSpec(n_calls=4 * scale, n_servers=2, p_fail=0.0)
+    return _run_pair(
+        lambda policy: run_chain_optimistic(
+            spec, OptimisticConfig(snapshot_policy=policy)),
+        ops=spec.n_calls, repeats=repeats,
+    )
+
+
+def bench_rollback_chain(scale: int, repeats: int) -> Dict[str, Any]:
+    """Micro: rollback/replay cost on a chain with failing calls."""
+    spec = ChainSpec(n_calls=3 * scale, n_servers=2, p_fail=0.4, seed=7,
+                     stop_on_failure=False)
+    return _run_pair(
+        lambda policy: run_chain_optimistic(
+            spec, OptimisticConfig(snapshot_policy=policy)),
+        ops=spec.n_calls, repeats=repeats,
+    )
+
+
+# ------------------------------------------------------------------- macro
+
+def bench_deep_pipeline(scale: int, repeats: int) -> Dict[str, Any]:
+    """Macro: deep call-streaming pipeline (the paper's Fig. 4 shape)."""
+    spec = ChainSpec(n_calls=10 * scale, n_servers=4, latency=5.0,
+                     service_time=1.0, compute_between=0.5, p_fail=0.0)
+    return _run_pair(
+        lambda policy: run_chain_optimistic(
+            spec, OptimisticConfig(snapshot_policy=policy)),
+        ops=spec.n_calls, repeats=repeats,
+    )
+
+
+def bench_abort_heavy_duplex(scale: int, repeats: int) -> Dict[str, Any]:
+    """Macro: two-sided exchange where every other guess is wrong."""
+    spec = DuplexSpec(n_steps=3 * scale, n_signals=scale, n_servers=2,
+                      seed=11, wrong_guess_bias=2)
+
+    def run(policy: SnapshotPolicy):
+        system = build_duplex_system(
+            spec, optimistic=True,
+            config=OptimisticConfig(snapshot_policy=policy))
+        return system.run()
+
+    return _run_pair(run, ops=2 * spec.n_steps, repeats=repeats)
+
+
+def _run_pair(run: Callable[[SnapshotPolicy], Any], ops: int,
+              repeats: int) -> Dict[str, Any]:
+    """Run one scenario under both policies; assert equal virtual time."""
+    out: Dict[str, Any] = {}
+    makespans = {}
+    for policy in _POLICIES:
+        wall, result = _time(lambda: run(policy), repeats)
+        makespans[policy.value] = result.makespan
+        out[policy.value] = _policy_entry(
+            wall, result.stats, ops=ops, makespan=result.makespan)
+    if makespans["cow"] != makespans["deepcopy"]:
+        raise AssertionError(
+            "snapshot policy changed the simulated semantics: "
+            f"makespan cow={makespans['cow']} deepcopy={makespans['deepcopy']}"
+        )
+    out["full_copy_ratio"] = _ratio(out)
+    return out
+
+
+# ----------------------------------------------------------------- harness
+
+def run_benchmarks(scale: int = 10, repeats: int = 3,
+                   out_path: Optional[str] = DEFAULT_OUT) -> Dict[str, Any]:
+    """Run every scenario; write and return the report.
+
+    ``scale`` stretches every workload linearly (10 = full run, 1 = smoke
+    test); ``out_path=None`` skips writing.
+    """
+    report: Dict[str, Any] = {
+        "meta": {
+            "scale": scale,
+            "repeats": repeats,
+            "python": sys.version.split()[0],
+            "target_full_copy_ratio": TARGET_RATIO,
+        },
+        "micro": {
+            "capture_restore": bench_capture_restore(scale, repeats),
+            "fork_chain": bench_fork_chain(scale, repeats),
+            "rollback_chain": bench_rollback_chain(scale, repeats),
+        },
+        "macro": {
+            "deep_pipeline": bench_deep_pipeline(scale, repeats),
+            "abort_heavy_duplex": bench_abort_heavy_duplex(scale, repeats),
+        },
+    }
+    fork_ratio = report["micro"]["fork_chain"]["full_copy_ratio"]
+    report["criteria"] = {
+        "fork_checkpoint_full_copy_ratio": fork_ratio,
+        "target": TARGET_RATIO,
+        "pass": fork_ratio >= TARGET_RATIO,
+    }
+    if out_path is not None:
+        with open(out_path, "w") as fh:
+            json.dump(report, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+    return report
+
+
+def _print_summary(report: Dict[str, Any]) -> None:
+    print(f"{'scenario':<28}{'cow (s)':>10}{'deepcopy (s)':>14}"
+          f"{'copies cow':>12}{'copies dc':>11}{'ratio':>8}")
+    for group in ("micro", "macro"):
+        for name, row in report[group].items():
+            print(f"{group + '/' + name:<28}"
+                  f"{row['cow']['wall_s']:>10.4f}"
+                  f"{row['deepcopy']['wall_s']:>14.4f}"
+                  f"{row['cow']['full_copies']:>12}"
+                  f"{row['deepcopy']['full_copies']:>11}"
+                  f"{row['full_copy_ratio']:>8.1f}")
+    crit = report["criteria"]
+    verdict = "PASS" if crit["pass"] else "FAIL"
+    print(f"fork/checkpoint full-copy ratio: "
+          f"{crit['fork_checkpoint_full_copy_ratio']:.1f}x "
+          f"(target >= {crit['target']}x) -> {verdict}")
+
+
+def main(argv: Optional[list] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Wall-clock A/B benchmark: COW snapshots vs deepcopy.")
+    parser.add_argument("--quick", action="store_true",
+                        help="small workloads, one repeat (CI smoke run)")
+    parser.add_argument("--out", default=DEFAULT_OUT,
+                        help="output JSON path (default: BENCH_core.json "
+                             "at the repo root)")
+    args = parser.parse_args(argv)
+    out_dir = os.path.dirname(os.path.abspath(args.out))
+    if not os.path.isdir(out_dir):
+        parser.error(f"--out directory does not exist: {out_dir}")
+    scale, repeats = (2, 1) if args.quick else (10, 3)
+    report = run_benchmarks(scale=scale, repeats=repeats, out_path=args.out)
+    _print_summary(report)
+    print(f"wrote {args.out}")
+    return 0 if report["criteria"]["pass"] else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

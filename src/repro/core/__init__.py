@@ -7,7 +7,13 @@ incarnation numbers, rollback by logged replay, output commit for external
 messages, and the liveness limit L.
 """
 
-from repro.core.config import CheckpointPolicy, DeliveryHeuristic, OptimisticConfig
+from repro.core.config import (
+    CheckpointPolicy,
+    DeliveryHeuristic,
+    OptimisticConfig,
+    SnapshotPolicy,
+)
+from repro.core.snapshot import CowState, Snapshotter, StateSnapshot
 from repro.core.guess import GuessId, IncarnationTable
 from repro.core.guards import GuardSet
 from repro.core.history import GuessStatus, PeerView, SystemView
@@ -25,6 +31,10 @@ __all__ = [
     "OptimisticConfig",
     "CheckpointPolicy",
     "DeliveryHeuristic",
+    "SnapshotPolicy",
+    "Snapshotter",
+    "StateSnapshot",
+    "CowState",
     "GuessId",
     "IncarnationTable",
     "GuardSet",

@@ -44,6 +44,25 @@ class CheckpointPolicy(enum.Enum):
     EAGER_COPY = "eager_copy"
 
 
+class SnapshotPolicy(enum.Enum):
+    """How thread state is captured and restored at the Python level.
+
+    Purely an implementation-cost knob: both policies produce bit-identical
+    virtual-time behaviour (the simulated checkpoint costs are charged by
+    :class:`CheckpointPolicy`, not here).  ``repro.bench.wallclock`` A/B
+    tests the two.
+    """
+
+    #: Versioned copy-on-write snapshots with structural sharing
+    #: (:mod:`repro.core.snapshot`); deepcopy only as a per-value fallback
+    #: for unrecognized mutable types.
+    COW = "cow"
+    #: The original behaviour: a full ``copy.deepcopy`` per capture and
+    #: per restore.  Kept for A/B comparison and as a conservative escape
+    #: hatch for exotic state values.
+    DEEPCOPY = "deepcopy"
+
+
 class DeliveryHeuristic(enum.Enum):
     """Which thread gets an ambiguous incoming message (§4.2.3)."""
 
@@ -85,6 +104,9 @@ class OptimisticConfig:
     max_optimistic_retries: int = 3
     #: Rollback state restoration policy.
     checkpoint_policy: CheckpointPolicy = CheckpointPolicy.REPLAY
+    #: Python-level state capture implementation (COW snapshots vs legacy
+    #: full deepcopy).  Does not affect simulated semantics.
+    snapshot_policy: SnapshotPolicy = SnapshotPolicy.COW
     #: Message-to-thread delivery policy.
     delivery_heuristic: DeliveryHeuristic = DeliveryHeuristic.MIN_NEW_DEPS
     #: Verify at each join that S1 changed no non-exported state the

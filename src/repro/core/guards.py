@@ -7,11 +7,25 @@ an empty set is vacuously true — the computation is committed.
 Guard sets ride on every data message.  Their size is what experiment C4
 measures, so :meth:`GuardSet.tag_size` models the per-message overhead
 explicitly (one abstract unit per member).
+
+Performance notes
+-----------------
+Guard sets sit on the send path of every message, so the hot operations
+avoid per-call work that only *some* callers need:
+
+* :meth:`__iter__` yields members in set order (undefined but cheap).
+  Protocol decisions never depend on member order; the places that need a
+  deterministic ordering — trace/record boundaries and log output — call
+  :meth:`sorted_members` explicitly.
+* :meth:`frozen` and :meth:`compressed` are cached per *mutation
+  generation*: the cache is invalidated only when :meth:`add` or
+  :meth:`discard` actually changes the set, so repeated tagging between
+  guard changes (the common case in a streaming run) reuses one frozenset.
 """
 
 from __future__ import annotations
 
-from typing import AbstractSet, FrozenSet, Iterable, Iterator, Optional
+from typing import AbstractSet, FrozenSet, Iterable, Iterator, List, Optional
 
 from repro.core.guess import GuessId
 
@@ -19,10 +33,17 @@ from repro.core.guess import GuessId
 class GuardSet:
     """A mutable set of :class:`GuessId` with protocol-flavoured helpers."""
 
-    __slots__ = ("_guesses",)
+    __slots__ = ("_guesses", "_gen", "_frozen_cache", "_frozen_gen",
+                 "_compressed_cache", "_compressed_gen")
 
     def __init__(self, guesses: Iterable[GuessId] = ()) -> None:
         self._guesses: set[GuessId] = set(guesses)
+        #: mutation generation; bumped whenever membership actually changes
+        self._gen = 0
+        self._frozen_cache: Optional[FrozenSet[GuessId]] = None
+        self._frozen_gen = -1
+        self._compressed_cache: Optional[FrozenSet[GuessId]] = None
+        self._compressed_gen = -1
 
     # ------------------------------------------------------------- set ops
 
@@ -30,7 +51,14 @@ class GuardSet:
         return g in self._guesses
 
     def __iter__(self) -> Iterator[GuessId]:
-        return iter(sorted(self._guesses))
+        """Iterate in set order.
+
+        Deliberately *not* sorted: iteration happens on every send and
+        sweep, and no protocol decision depends on the order.  Use
+        :meth:`sorted_members` where a deterministic order is required
+        (trace recording, log output).
+        """
+        return iter(self._guesses)
 
     def __len__(self) -> int:
         return len(self._guesses)
@@ -51,11 +79,15 @@ class GuardSet:
 
     def add(self, g: GuessId) -> None:
         """Add a guess to the set."""
-        self._guesses.add(g)
+        if g not in self._guesses:
+            self._guesses.add(g)
+            self._gen += 1
 
     def discard(self, g: GuessId) -> None:
         """Remove a guess if present."""
-        self._guesses.discard(g)
+        if g in self._guesses:
+            self._guesses.discard(g)
+            self._gen += 1
 
     def copy(self) -> "GuardSet":
         """An independent copy of this guard set."""
@@ -63,19 +95,34 @@ class GuardSet:
 
     def union(self, other: Iterable[GuessId]) -> "GuardSet":
         """A new set with the given guesses added."""
-        return GuardSet(self._guesses | set(other))
+        if isinstance(other, GuardSet):
+            return GuardSet(self._guesses | other._guesses)
+        if isinstance(other, (set, frozenset)):
+            return GuardSet(self._guesses | other)
+        return GuardSet(self._guesses.union(other))
 
     def difference(self, other: Iterable[GuessId]) -> "GuardSet":
         """A new set with the given guesses removed."""
-        return GuardSet(self._guesses - set(other))
+        if isinstance(other, GuardSet):
+            return GuardSet(self._guesses - other._guesses)
+        if isinstance(other, (set, frozenset)):
+            return GuardSet(self._guesses - other)
+        return GuardSet(self._guesses.difference(other))
 
     def frozen(self) -> FrozenSet[GuessId]:
-        """An immutable snapshot of the members."""
-        return frozenset(self._guesses)
+        """An immutable snapshot of the members (cached per generation)."""
+        if self._frozen_gen != self._gen:
+            self._frozen_cache = frozenset(self._guesses)
+            self._frozen_gen = self._gen
+        return self._frozen_cache  # type: ignore[return-value]
 
     def members(self) -> set[GuessId]:
         """A mutable copy of the member set."""
         return set(self._guesses)
+
+    def sorted_members(self) -> List[GuessId]:
+        """Members in sorted order, for determinism-sensitive consumers."""
+        return sorted(self._guesses)
 
     # ------------------------------------------------------ protocol helpers
 
@@ -110,11 +157,18 @@ class GuardSet:
         collapsing them to a single representative loses a real
         dependency (found by randomized search).  Hence one entry per
         incarnation, not one per process.
+
+        The result is cached per mutation generation: a thread sending a
+        burst of messages between guard changes computes it once.
         """
+        if self._compressed_gen == self._gen:
+            return self._compressed_cache  # type: ignore[return-value]
         latest: dict[tuple, GuessId] = {}
         for g in self._guesses:
             key = (g.process, g.incarnation)
             cur = latest.get(key)
             if cur is None or g.index > cur.index:
                 latest[key] = g
-        return frozenset(latest.values())
+        self._compressed_cache = frozenset(latest.values())
+        self._compressed_gen = self._gen
+        return self._compressed_cache

@@ -16,23 +16,59 @@ of ``C_{2,3}`` is an implicit abort of ``x_{1,3}``).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import ClassVar, Dict, Optional, Tuple
 
 
 @dataclass(frozen=True, order=True)
 class GuessId:
-    """Identifier of one optimistic guess ``x_{incarnation, index}``."""
+    """Identifier of one optimistic guess ``x_{incarnation, index}``.
+
+    Instances are hash-cached (a guess sits in many guard sets, pools and
+    views, so its hash is taken far more often than it is built) and the
+    runtime creates them through :meth:`make`, which interns: one Python
+    object per distinct identifier, so repeated tagging of the same guess
+    allocates nothing.
+    """
 
     process: str
     incarnation: int
     index: int
 
+    _interned: ClassVar[Dict[Tuple[str, int, int], "GuessId"]] = {}
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self, "_hash", hash((self.process, self.incarnation, self.index))
+        )
+        object.__setattr__(
+            self, "_key", f"{self.process}:i{self.incarnation}.n{self.index}"
+        )
+
+    @classmethod
+    def make(cls, process: str, incarnation: int, index: int) -> "GuessId":
+        """Interned constructor: the canonical instance for this identity."""
+        ident = (process, incarnation, index)
+        guess = cls._interned.get(ident)
+        if guess is None:
+            guess = cls(process, incarnation, index)
+            cls._interned[ident] = guess
+        return guess
+
     def key(self) -> str:
         """Stable string form used in trace tags and debug output."""
-        return f"{self.process}:i{self.incarnation}.n{self.index}"
+        return self._key
 
     def __str__(self) -> str:  # pragma: no cover - debug aid
-        return self.key()
+        return self._key
+
+
+def _cached_hash(self: GuessId) -> int:
+    return self._hash  # type: ignore[attr-defined]
+
+
+# @dataclass(frozen=True) installs a field-tuple __hash__ after the class
+# body runs, so the cached variant must be attached afterwards.
+GuessId.__hash__ = _cached_hash  # type: ignore[assignment]
 
 
 class IncarnationTable:

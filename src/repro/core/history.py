@@ -109,7 +109,6 @@ class SystemView:
     def status(self, guess: GuessId) -> GuessStatus:
         """Resolution status via the owning peer's view."""
         return self.peer(guess.process).status(guess)
-        """Resolution status via the owning peer's view."""
 
     def is_committed(self, guess: GuessId) -> bool:
         """True iff the guess is known committed."""
@@ -120,11 +119,20 @@ class SystemView:
         return self.status(guess) is GuessStatus.ABORTED
 
     def any_aborted(self, guesses: Iterable[GuessId]) -> Optional[GuessId]:
-        """First aborted guess among ``guesses`` (the orphan test, §4.2.3)."""
-        for g in sorted(guesses):
-            if self.is_aborted(g):
-                return g
-        return None
+        """Lowest aborted guess among ``guesses`` (the orphan test, §4.2.3).
+
+        Runs on every message arrival and every dispatch pass, so it does
+        not sort its input: callers only use the result's truthiness (is
+        this an orphan?), never its order among multiple aborted members.
+        The *returned* guess is still deterministic — the minimum aborted
+        member — so log output and tests are stable without paying an
+        O(n log n) sort for the common all-live case.
+        """
+        found: Optional[GuessId] = None
+        for g in guesses:
+            if (found is None or g < found) and self.is_aborted(g):
+                found = g
+        return found
 
     def all_committed(self, guesses: Iterable[GuessId]) -> bool:
         """True iff every listed guess is known committed."""

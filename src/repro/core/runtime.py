@@ -17,7 +17,6 @@ and its buffered external output.  It implements:
 
 from __future__ import annotations
 
-import copy
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Set, Tuple
 
@@ -35,6 +34,7 @@ from repro.core.messages import (
     PrecedenceMsg,
     control_size,
 )
+from repro.core.snapshot import Snapshotter, StateSnapshot
 from repro.core.thread import OptimisticThread, ThreadStatus
 from repro.csp.effects import Call, Emit, Reply, Send
 from repro.csp.payloads import CallRequest, CallResponse, OneWay, Request
@@ -57,7 +57,9 @@ class GuessRecord:
     status: str = "pending"         # pending | committed | aborted
     continuation_tid: Optional[int] = None
     timer: Any = None
-    fork_state: Optional[Dict[str, Any]] = None  # for strict_exports
+    #: snapshot of the left thread's state at fork, for strict_exports —
+    #: shared with the fork's other captures, not a separate copy
+    fork_snapshot: Optional[StateSnapshot] = None
     last_precedence: Optional[frozenset] = None
     #: True when a rollback of the forking thread discarded the FORK slot:
     #: the (former) left thread re-executes the whole range itself, so no
@@ -99,6 +101,8 @@ class ProcessRuntime:
         self.scheduler = system.scheduler
         self.stats = system.stats
         self.recorder = system.recorder
+        #: state capture/restore layer (COW snapshots or legacy deepcopy)
+        self.snap = Snapshotter(config.snapshot_policy, self.stats)
 
         self.view = SystemView()
         self.cdg = CommitDependencyGraph()
@@ -127,11 +131,13 @@ class ProcessRuntime:
 
     def start(self) -> None:
         """Create and launch the process's main thread."""
+        base = self.snap.capture(self.program.initial_state)
         main = self._create_thread(
             seg_start=0,
             seg_end=len(self.program.segments),
-            state=copy.deepcopy(self.program.initial_state),
+            state=self.snap.restore(base),
             guard=GuardSet(),
+            initial_snapshot=base,
         )
         self.scheduler.at(0.0, main.start, label=f"start {self.name}")
 
@@ -142,6 +148,7 @@ class ProcessRuntime:
         state: Dict[str, Any],
         guard: GuardSet,
         inherited_rollbacks: Optional[Dict[GuessId, int]] = None,
+        initial_snapshot: Optional[StateSnapshot] = None,
     ) -> OptimisticThread:
         tid = self._next_tid
         self._next_tid += 1
@@ -153,6 +160,7 @@ class ProcessRuntime:
             state=state,
             guard=guard,
             inherited_rollbacks=inherited_rollbacks,
+            initial_snapshot=initial_snapshot,
         )
         self.threads[tid] = thread
         self.children[tid] = []
@@ -183,7 +191,7 @@ class ProcessRuntime:
                 f"{self.name}.t{thread.tid} already guards {thread.own_guess}"
             )
 
-        guess = GuessId(self.name, self.incarnation, self.next_fork_index)
+        guess = GuessId.make(self.name, self.incarnation, self.next_fork_index)
         self.next_fork_index += 1
         guessed = spec.predict(thread.state)
         missing = [k for k in guessed if k not in seg.exports]
@@ -192,8 +200,12 @@ class ProcessRuntime:
                 f"predictor for segment {seg.name!r} guesses non-exported "
                 f"keys {missing}; exports are {seg.exports}"
             )
-        right_state = copy.deepcopy(thread.state)
-        right_state.update(copy.deepcopy(guessed))
+        # One capture of the forking thread's state backs everything the
+        # fork needs: the right thread's birth state (plus the guessed
+        # overlay), its replay base, and the strict_exports reference.
+        base_snap = self.snap.capture(thread.state)
+        right_snap = self.snap.derive(base_snap, guessed)
+        right_state = self.snap.restore(right_snap)
         right_guard = thread.guard.copy()
         right_guard.add(guess)
         inherited = {g: 0 for g in right_guard}
@@ -205,6 +217,7 @@ class ProcessRuntime:
             state=right_state,
             guard=right_guard,
             inherited_rollbacks=inherited,
+            initial_snapshot=right_snap,
         )
         record = GuessRecord(
             guess=guess,
@@ -215,8 +228,8 @@ class ProcessRuntime:
             guessed=guessed,
             left_tid=thread.tid,
             right_tid=right.tid,
-            fork_state=(
-                copy.deepcopy(thread.state) if self.config.strict_exports else None
+            fork_snapshot=(
+                base_snap if self.config.strict_exports else None
             ),
         )
         self.records[guess] = record
@@ -576,13 +589,19 @@ class ProcessRuntime:
 
     def _strict_exports_check(self, record: GuessRecord,
                               left: OptimisticThread, seg) -> None:
-        if not self.config.strict_exports or record.fork_state is None:
+        """Cheap snapshot comparison replacing the old full-state deepcopy.
+
+        ``fork_snapshot`` shares the capture the fork already paid for, and
+        the per-key comparison touches only frozen forms — scalar keys (the
+        common case) compare directly, with no state copy at all.
+        """
+        if not self.config.strict_exports or record.fork_snapshot is None:
             return
+        snap = record.fork_snapshot
         for key, value in left.state.items():
             if key in seg.exports:
                 continue
-            before = record.fork_state.get(key, _MISSING)
-            if before is _MISSING or before != value:
+            if self.snap.key_changed(snap, key, value):
                 raise ProgramError(
                     f"segment {seg.name!r} of {self.name!r} changed "
                     f"non-exported state key {key!r}; add it to exports= "
@@ -711,12 +730,14 @@ class ProcessRuntime:
         if existing is not None and existing.alive:
             return
         left = self.threads[record.left_tid]
+        base = self.snap.capture(left.state)
         cont = self._create_thread(
             seg_start=record.site_seg + 1,
             seg_end=record.range_end,
-            state=copy.deepcopy(left.state),
+            state=self.snap.restore(base),
             guard=left.guard.copy(),
             inherited_rollbacks={g: 0 for g in left.guard},
+            initial_snapshot=base,
         )
         record.continuation_tid = cont.tid
         left.journal.append(
@@ -1040,11 +1061,3 @@ class ProcessRuntime:
             ):
                 return t.state
         return None
-
-
-class _Missing:
-    def __repr__(self) -> str:  # pragma: no cover
-        return "<missing>"
-
-
-_MISSING = _Missing()

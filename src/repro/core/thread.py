@@ -15,7 +15,6 @@ visible action goes through the owning
 
 from __future__ import annotations
 
-import copy
 import enum
 from typing import Any, Dict, Generator, Optional, Tuple
 
@@ -23,6 +22,7 @@ from repro.errors import DeterminismError, EffectError, ProtocolError
 from repro.core.config import CheckpointPolicy
 from repro.core.guards import GuardSet
 from repro.core.guess import GuessId
+from repro.core.snapshot import StateSnapshot, live_state
 from repro.core.journal import (
     COMPUTE,
     EMIT,
@@ -72,13 +72,20 @@ class OptimisticThread:
         guard: GuardSet,
         inherited_rollbacks: Optional[Dict[GuessId, int]] = None,
         own_guess: Optional[GuessId] = None,
+        initial_snapshot: Optional[StateSnapshot] = None,
     ) -> None:
         self.runtime = runtime
         self.tid = tid
         self.seg_start = seg_start
         self.seg_end = seg_end  # exclusive; shrinks when this thread forks
-        self.initial_state: Dict[str, Any] = copy.deepcopy(state)
-        self.state: Dict[str, Any] = state
+        #: live state, version-tracked so snapshots of an unchanged state
+        #: are free; replay restores from ``initial_snapshot``
+        self.state: Dict[str, Any] = live_state(state)
+        self.initial_snapshot: StateSnapshot = (
+            initial_snapshot
+            if initial_snapshot is not None
+            else runtime.snap.capture(self.state)
+        )
         self.guard = guard
         #: Rollbacks[g]: journal position to roll back to when g aborts.
         #: Guards inherited at creation map to 0 (full re-execution).
@@ -493,7 +500,7 @@ class OptimisticThread:
         fixed restore cost (EAGER_COPY policy).
         """
         self.state.clear()
-        self.state.update(copy.deepcopy(self.initial_state))
+        self.runtime.snap.restore(self.initial_snapshot, into=self.state)
         self.gen = None
         self.seg_idx = self.seg_start - 1
         self.step = 0
@@ -532,7 +539,7 @@ class OptimisticThread:
                 "rebase cannot compact a segment with entry compute time"
             )
         reclaimed = len(self.journal.slots)
-        self.initial_state = copy.deepcopy(self.state)
+        self.initial_snapshot = self.runtime.snap.capture(self.state)
         self.journal.slots.clear()
         self.journal.cursor = 0
         self._step_base = self.step

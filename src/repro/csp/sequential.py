@@ -9,7 +9,6 @@ baseline every benchmark compares against.
 
 from __future__ import annotations
 
-import copy
 import itertools
 from collections import deque
 from dataclasses import dataclass, field
@@ -57,7 +56,9 @@ class _SeqProcess:
         self.system = system
         self.name = pdef.name
         self.program: Program = pdef.program  # type: ignore[assignment]
-        self.state: Dict[str, Any] = copy.deepcopy(self.program.initial_state)
+        self.state: Dict[str, Any] = system.snap.copy_state(
+            self.program.initial_state
+        )
         self.seg_idx = -1
         self.step = 0  # events recorded within the current segment
         self.gen: Optional[Generator] = None
@@ -250,6 +251,11 @@ class SequentialSystem:
             bandwidth=bandwidth,
         )
         self.recorder = TraceRecorder()
+        # Imported lazily: repro.core pulls in csp submodules at package
+        # init, so a module-level import here would be cycle-prone.
+        from repro.core.snapshot import Snapshotter
+
+        self.snap = Snapshotter(stats=self.stats)
         self.processes: Dict[str, _SeqProcess] = {}
         self.sinks: Dict[str, ExternalSink] = {}
         self._started = False

@@ -47,25 +47,36 @@ class Event:
     action: Callable[[], None] = field(compare=False)
     label: str = field(compare=False, default="")
     cancelled: bool = field(compare=False, default=False)
+    #: owning queue while the event is pending in its heap; cleared on pop
+    #: so cancelling an already-fired event cannot skew the live count
+    _queue: Optional["EventQueue"] = field(compare=False, default=None,
+                                           repr=False)
 
     def cancel(self) -> None:
         """Mark the event so the scheduler skips it when popped."""
+        if self.cancelled:
+            return
         self.cancelled = True
+        if self._queue is not None:
+            self._queue._live -= 1
+            self._queue = None
 
 
 class EventQueue:
     """Binary-heap event queue with deterministic ordering.
 
     Cancellation is lazy: cancelled events stay in the heap and are skipped
-    on pop, which keeps ``cancel`` O(1).
+    on pop, which keeps ``cancel`` O(1).  A live-event count is maintained
+    on push/pop/cancel, so ``len(queue)`` is O(1) instead of a heap scan.
     """
 
     def __init__(self) -> None:
         self._heap: list[Event] = []
         self._counter = itertools.count()
+        self._live = 0
 
     def __len__(self) -> int:
-        return sum(1 for e in self._heap if not e.cancelled)
+        return self._live
 
     def push(
         self,
@@ -85,6 +96,8 @@ class EventQueue:
             action=action,
             label=label,
         )
+        ev._queue = self
+        self._live += 1
         heapq.heappush(self._heap, ev)
         return ev
 
@@ -93,6 +106,8 @@ class EventQueue:
         while self._heap:
             ev = heapq.heappop(self._heap)
             if not ev.cancelled:
+                ev._queue = None
+                self._live -= 1
                 return ev
         return None
 
@@ -103,7 +118,10 @@ class EventQueue:
         return self._heap[0].time if self._heap else None
 
     def clear(self) -> None:
+        for ev in self._heap:
+            ev._queue = None
         self._heap.clear()
+        self._live = 0
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"EventQueue(pending={len(self)})"

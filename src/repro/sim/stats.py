@@ -48,5 +48,24 @@ class Stats:
             return dict(self.counters)
         return {n: self.counters.get(n, 0) for n in names}
 
+    def perf(self, prefix: str = "snap.") -> dict[str, int]:
+        """Counters under one namespace, sorted by name.
+
+        The runtime's implementation-cost counters live under ``snap.*``
+        (snapshots taken, deepcopy-equivalent full copies, bytes-equivalent
+        nodes copied, deepcopy fallbacks); guard-tag traffic is
+        ``opt.guard_tag_units``.  The wall-clock harness
+        (``repro.bench.wallclock``) reads these to assert the copy count
+        actually dropped.
+        """
+        return {
+            k: v for k, v in sorted(self.counters.items())
+            if k.startswith(prefix)
+        }
+
+    def full_copies(self) -> int:
+        """Deepcopy-equivalent full state copies performed so far."""
+        return self.counters.get("snap.full_copies", 0)
+
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"Stats({dict(self.counters)!r})"

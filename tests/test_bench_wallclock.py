@@ -1,0 +1,66 @@
+"""Smoke tests for the wall-clock benchmark harness.
+
+Tiny iteration counts: these verify the harness runs end-to-end, enforces
+virtual-time equality between snapshot policies, and emits a well-formed
+report — not that the numbers are impressive.  The full-scale run is
+``make bench-wallclock`` (or the ``slow``-marked test below).
+"""
+
+import json
+
+import pytest
+
+from repro.bench import wallclock
+
+
+@pytest.fixture(scope="module")
+def report(tmp_path_factory):
+    out = tmp_path_factory.mktemp("bench") / "BENCH_core.json"
+    rep = wallclock.run_benchmarks(scale=1, repeats=1, out_path=str(out))
+    return rep, out
+
+
+def test_report_schema(report):
+    rep, _ = report
+    assert set(rep) == {"meta", "micro", "macro", "criteria"}
+    assert set(rep["micro"]) == {"capture_restore", "fork_chain",
+                                 "rollback_chain"}
+    assert set(rep["macro"]) == {"deep_pipeline", "abort_heavy_duplex"}
+    for group in ("micro", "macro"):
+        for row in rep[group].values():
+            for policy in ("cow", "deepcopy"):
+                entry = row[policy]
+                assert entry["wall_s"] >= 0
+                assert entry["full_copies"] > 0
+                assert "snap.captures" in entry["counters"]
+            assert row["full_copy_ratio"] > 0
+
+
+def test_report_written_as_json(report):
+    rep, out = report
+    assert json.loads(out.read_text())["criteria"] == rep["criteria"]
+
+
+def test_scenarios_have_identical_virtual_makespans(report):
+    rep, _ = report
+    for group in ("micro", "macro"):
+        for name, row in rep[group].items():
+            if "makespan" not in row["cow"]:
+                continue  # capture_restore has no simulation
+            assert row["cow"]["makespan"] == row["deepcopy"]["makespan"], name
+
+
+def test_quick_cli_exits_zero(tmp_path, capsys):
+    out = tmp_path / "bench.json"
+    assert wallclock.main(["--quick", "--out", str(out)]) == 0
+    assert "PASS" in capsys.readouterr().out
+    assert out.exists()
+
+
+@pytest.mark.slow
+def test_full_scale_meets_copy_reduction_target(tmp_path):
+    rep = wallclock.run_benchmarks(
+        scale=10, repeats=1, out_path=str(tmp_path / "bench.json"))
+    assert rep["criteria"]["pass"]
+    assert rep["criteria"]["fork_checkpoint_full_copy_ratio"] >= \
+        wallclock.TARGET_RATIO

@@ -45,9 +45,12 @@ def test_new_guards_is_set_difference():
     assert g.new_guards({X0}) == set()
 
 
-def test_iteration_is_sorted():
+def test_iteration_and_sorted_members():
     g = GuardSet([Y0, X1, X0])
-    assert list(g) == [X0, X1, Y0]
+    # __iter__ is unordered (set order) for speed; sorted_members() is the
+    # deterministic view for consumers that need a stable order.
+    assert set(g) == {X0, X1, Y0}
+    assert g.sorted_members() == [X0, X1, Y0]
 
 
 def test_keys_are_string_tags():

@@ -29,7 +29,8 @@ def test_guard_set_roundtrip_and_size(members):
     g = GuardSet(members)
     assert g.members() == set(members)
     assert g.tag_size() == len(set(members))
-    assert list(g) == sorted(set(members))
+    assert set(g) == set(members)
+    assert g.sorted_members() == sorted(set(members))
 
 
 @settings(max_examples=100, deadline=None)
