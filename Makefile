@@ -1,12 +1,15 @@
 PYTHON ?= python
 
-.PHONY: install test bench bench-wallclock figures fuzz examples results clean
+.PHONY: install test trace-smoke bench bench-wallclock figures fuzz examples results clean
 
 install:
 	$(PYTHON) setup.py develop
 
-test:
-	$(PYTHON) -m pytest tests/
+test: trace-smoke
+	PYTHONPATH=src $(PYTHON) -m pytest tests/
+
+trace-smoke:
+	PYTHONPATH=src $(PYTHON) -m repro.obs.smoke
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only

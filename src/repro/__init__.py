@@ -8,9 +8,13 @@ re-exported here is the stable surface a downstream user needs:
 * choose what to parallelize (:class:`ParallelizationPlan`,
   :class:`ForkSpec`, :func:`stream_plan`),
 * run them (:class:`OptimisticSystem` vs :class:`SequentialSystem`) over a
-  latency model, and
+  latency model,
 * check Theorem 1 (:func:`assert_equivalent`) or draw the execution
-  (:func:`render_timeline`).
+  (:func:`render_timeline`), and
+* observe a run (:class:`RecordingTracer`, :class:`Span`,
+  :class:`MetricsRegistry`, the trace exporters and
+  :func:`speculation_report`) — the same span schema across every
+  execution mode.
 """
 
 from repro.core import (
@@ -19,6 +23,21 @@ from repro.core import (
     OptimisticSystem,
     make_call_chain,
     stream_plan,
+)
+from repro.core.analysis import speculation_report, summarize
+from repro.obs import (
+    MetricsRegistry,
+    NullTracer,
+    RecordingTracer,
+    RunResult,
+    Span,
+    Tracer,
+    as_spans,
+    chrome_trace_json,
+    prometheus_text,
+    spans_to_jsonl,
+    write_chrome_trace,
+    write_jsonl_trace,
 )
 from repro.core.config import (
     CheckpointPolicy,
@@ -79,5 +98,19 @@ __all__ = [
     "assert_equivalent",
     "traces_equivalent",
     "render_timeline",
+    "Tracer",
+    "NullTracer",
+    "RecordingTracer",
+    "Span",
+    "as_spans",
+    "MetricsRegistry",
+    "RunResult",
+    "chrome_trace_json",
+    "spans_to_jsonl",
+    "write_chrome_trace",
+    "write_jsonl_trace",
+    "prometheus_text",
+    "speculation_report",
+    "summarize",
     "__version__",
 ]

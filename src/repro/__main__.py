@@ -4,6 +4,7 @@ Commands
 --------
 ``figures``            regenerate all seven paper figures as ASCII diagrams
 ``scenario <id>``      run one scenario (fig2..fig7) and print its diagram
+``profile <id>``       run one scenario traced; report + optional trace file
 ``sweep``              print the C1-style latency sweep table
 ``list``               list scenarios and experiments
 """
@@ -22,23 +23,33 @@ PROTOCOL_KINDS = (
     "rollback", "continuation", "committed_complete",
 )
 
+# Each builder takes an optional tracer and returns (result, processes);
+# the ``profile`` command passes a recording tracer, everything else none.
 SCENARIOS = {
     "fig2": ("Figure 2 — no call streaming",
-             lambda: (scenarios.run_fig2_no_streaming(), ["X", "Y", "Z"])),
+             lambda tracer=None: (
+                 scenarios.run_fig2_no_streaming(tracer=tracer),
+                 ["X", "Y", "Z"])),
     "fig3": ("Figure 3 — successful call streaming",
-             lambda: (scenarios.run_fig3_streaming().optimistic,
-                      ["X", "Y", "Z"])),
+             lambda tracer=None: (
+                 scenarios.run_fig3_streaming(tracer=tracer).optimistic,
+                 ["X", "Y", "Z"])),
     "fig4": ("Figure 4 — time fault",
-             lambda: (scenarios.run_fig4_time_fault().optimistic,
-                      ["X", "Y", "Z"])),
+             lambda tracer=None: (
+                 scenarios.run_fig4_time_fault(tracer=tracer).optimistic,
+                 ["X", "Y", "Z"])),
     "fig5": ("Figure 5 — value fault",
-             lambda: (scenarios.run_fig5_value_fault().optimistic,
-                      ["X", "Y", "Z"])),
+             lambda tracer=None: (
+                 scenarios.run_fig5_value_fault(tracer=tracer).optimistic,
+                 ["X", "Y", "Z"])),
     "fig6": ("Figure 6 — two optimistic threads, commit cascade",
-             lambda: (scenarios.run_fig6_two_threads(),
-                      ["W", "X", "Z", "Y"])),
+             lambda tracer=None: (
+                 scenarios.run_fig6_two_threads(tracer=tracer),
+                 ["W", "X", "Z", "Y"])),
     "fig7": ("Figure 7 — mutual speculation cycle",
-             lambda: (scenarios.run_fig7_cycle(), ["W", "X", "Z", "Y"])),
+             lambda tracer=None: (
+                 scenarios.run_fig7_cycle(tracer=tracer),
+                 ["W", "X", "Z", "Y"])),
 }
 
 
@@ -64,6 +75,31 @@ def cmd_scenario(args: argparse.Namespace) -> int:
               file=sys.stderr)
         return 2
     _show(args.id)
+    return 0
+
+
+def cmd_profile(args: argparse.Namespace) -> int:
+    if args.id not in SCENARIOS:
+        print(f"unknown scenario {args.id!r}; try: {', '.join(SCENARIOS)}",
+              file=sys.stderr)
+        return 2
+    from repro.core.analysis import speculation_report
+    from repro.obs.export import write_chrome_trace, write_jsonl_trace
+    from repro.obs.tracer import RecordingTracer
+
+    title, build = SCENARIOS[args.id]
+    tracer = RecordingTracer()
+    result, _processes = build(tracer=tracer)
+    spans = result.spans
+    print(speculation_report(result, title=f"{title}:"))
+    print(f"  completion time: {result.completion_time}")
+    print(f"  spans recorded:  {len(spans)}")
+    if args.trace_out:
+        if args.format == "jsonl":
+            write_jsonl_trace(spans, args.trace_out)
+        else:
+            write_chrome_trace(spans, args.trace_out)
+        print(f"  trace written:   {args.trace_out} ({args.format})")
     return 0
 
 
@@ -110,6 +146,15 @@ def main(argv=None) -> int:
     p_scn = sub.add_parser("scenario", help="run one figure scenario")
     p_scn.add_argument("id", help="fig2..fig7")
     p_scn.set_defaults(fn=cmd_scenario)
+    p_prof = sub.add_parser(
+        "profile", help="run one scenario with tracing and report on it")
+    p_prof.add_argument("id", help="fig2..fig7")
+    p_prof.add_argument("--trace-out", default=None, metavar="FILE",
+                        help="also export the span trace to FILE")
+    p_prof.add_argument("--format", choices=("chrome", "jsonl"),
+                        default="chrome",
+                        help="trace file format (default: chrome)")
+    p_prof.set_defaults(fn=cmd_profile)
     p_sweep = sub.add_parser("sweep", help="latency sweep table")
     p_sweep.add_argument("--calls", type=int, default=10)
     p_sweep.add_argument("--fork-cost", type=float, default=0.0)

@@ -11,6 +11,7 @@ from typing import Iterable, Optional
 
 from repro.csp.process import Program
 from repro.csp.sequential import SequentialResult, SequentialSystem
+from repro.obs.tracer import Tracer
 from repro.sim.network import LatencyModel
 
 
@@ -20,9 +21,10 @@ def run_pessimistic(
     *,
     sinks: Iterable[str] = (),
     until: Optional[float] = None,
+    tracer: Optional[Tracer] = None,
 ) -> SequentialResult:
     """Run ``programs`` (plus external ``sinks``) with blocking semantics."""
-    system = SequentialSystem(latency_model)
+    system = SequentialSystem(latency_model, tracer=tracer)
     for program in programs:
         system.add_program(program)
     for sink in sinks:

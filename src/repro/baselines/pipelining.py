@@ -18,6 +18,10 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Tuple
 
 from repro.csp.external import ExternalSink
+from repro.obs import spans as ob
+from repro.obs.api import deprecated_alias
+from repro.obs.spans import Span
+from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.sim.network import FixedLatency, LatencyModel, Network
 from repro.sim.scheduler import Scheduler
 from repro.sim.stats import Stats
@@ -28,17 +32,24 @@ from repro.workloads.generators import ChainSpec, _request_fails
 class PipeliningResult:
     """Outcome of an unsafe pipelined run of a chain workload."""
 
-    makespan: float                 # client's last send (it never waits)
+    completion_time: float          # client's last send (it never waits)
     settled_time: float             # when all servers finished + errors landed
     outputs: List[Any]              # what physically reached the display
     async_errors: List[Tuple[float, str]]   # (arrival time, failed request)
     unsafe_outputs: int             # outputs a sequential run would not show
     stats: Stats
+    trace: List[Any] = field(default_factory=list)
+    spans: List[Span] = field(default_factory=list)
+
+
+PipeliningResult.makespan = deprecated_alias(
+    "PipeliningResult", "makespan", "completion_time")
 
 
 def run_pipelined_chain(
     spec: ChainSpec,
     latency_model: Optional[LatencyModel] = None,
+    tracer: Optional[Tracer] = None,
 ) -> PipeliningResult:
     """Run ``spec``'s chain with asynchronous sends and no rollback.
 
@@ -48,15 +59,22 @@ def run_pipelined_chain(
     a request *after* the first failed one is unsafe.
     """
     latency_model = latency_model or FixedLatency(spec.latency)
-    scheduler = Scheduler()
+    tracer = tracer if tracer is not None else NULL_TRACER
+    scheduler = Scheduler(tracer=tracer)
     stats = Stats()
     network = Network(scheduler, latency_model, stats=stats)
     display = ExternalSink("display")
     network.register("display", display.handler(scheduler))
 
     errors: List[Tuple[float, str]] = []
-    network.register("client", lambda src, payload: errors.append(
-        (scheduler.now, payload)))
+
+    def on_client_message(src: str, payload: Any) -> None:
+        if tracer.enabled:
+            tracer.event(ob.CONTROL, "client", scheduler.now,
+                         name=str(payload), src=src, direction="received")
+        errors.append((scheduler.now, payload))
+
+    network.register("client", on_client_message)
 
     server_busy: Dict[str, float] = {}
 
@@ -68,11 +86,22 @@ def run_pipelined_chain(
             server_busy[name] = done
             key = f"{op}:{tuple(args)!r}"
             failed = _request_fails(spec.seed, name, key, spec.p_fail)
+            span = -1
+            if tracer.enabled:
+                span = tracer.start_span(
+                    ob.SERVICE, name, start, name=f"{op}:{args[0]}",
+                    client=src, failed=failed,
+                )
 
             def finish() -> None:
+                if tracer.enabled:
+                    tracer.end_span(span, scheduler.now)
                 if failed:
                     network.send(name, "client", f"error:{args[0]}")
                 else:
+                    if tracer.enabled:
+                        tracer.event(ob.EMIT, name, scheduler.now,
+                                     name="display")
                     network.send(name, "display", f"done:{args[0]}")
 
             scheduler.at(done, finish, label=f"{name} service")
@@ -85,13 +114,18 @@ def run_pipelined_chain(
     calls = spec.calls()
     send_gap = spec.compute_between
 
+    def do_send(dst: str, op: str, args: Tuple) -> None:
+        if tracer.enabled:
+            tracer.event(ob.SEND, "client", scheduler.now,
+                         name=f"send:{op}", dst=dst)
+        network.send("client", dst, (op, args))
+
     def send_all() -> None:
         t = 0.0
         for dst, op, args in calls:
             scheduler.at(
                 t,
-                lambda dst=dst, op=op, args=args: network.send(
-                    "client", dst, (op, args)),
+                lambda dst=dst, op=op, args=args: do_send(dst, op, args),
                 label="client send",
             )
             t += send_gap
@@ -115,11 +149,13 @@ def run_pipelined_chain(
         allowed = {f"done:req{i}" for i in range(first_failure)}
         unsafe = sum(1 for out in display.delivered if out not in allowed)
 
+    tracer.close_open(scheduler.now)
     return PipeliningResult(
-        makespan=nonlocal_makespan[0],
+        completion_time=nonlocal_makespan[0],
         settled_time=scheduler.now,
         outputs=list(display.delivered),
         async_errors=errors,
         unsafe_outputs=unsafe,
         stats=stats,
+        spans=tracer.spans(),
     )

@@ -31,6 +31,10 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Generator, List, Optional, Tuple
 
 from repro.errors import EffectError, ProgramError
+from repro.obs import spans as ob
+from repro.obs.api import deprecated_alias
+from repro.obs.spans import Span
+from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.sim.network import FixedLatency, LatencyModel, Network
 from repro.sim.scheduler import Scheduler
 from repro.sim.stats import Stats
@@ -69,11 +73,17 @@ class PWait:
 class PipelineResult:
     """Outcome of a promise-pipelined client run."""
 
-    makespan: float                  # when the client generator finished
+    completion_time: float           # when the client generator finished
     settled_time: float              # when the whole system quiesced
     state: Dict[str, Any]
     stats: Stats
     waits: int                       # how many round-trip stalls happened
+    trace: List[Any] = field(default_factory=list)
+    spans: List[Span] = field(default_factory=list)
+
+
+PipelineResult.makespan = deprecated_alias(
+    "PipelineResult", "makespan", "completion_time")
 
 
 class PromiseSystem:
@@ -85,8 +95,10 @@ class PromiseSystem:
     """
 
     def __init__(self, latency_model: Optional[LatencyModel] = None,
-                 *, service_time: float = 0.0) -> None:
-        self.scheduler = Scheduler()
+                 *, service_time: float = 0.0,
+                 tracer: Optional[Tracer] = None) -> None:
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.scheduler = Scheduler(tracer=self.tracer)
         self.stats = Stats()
         self.network = Network(self.scheduler,
                                latency_model or FixedLatency(1.0),
@@ -102,6 +114,7 @@ class PromiseSystem:
         self._waiting_on: Optional[Promise] = None
         self._finished_at: Optional[float] = None
         self._waits = 0
+        self._promise_spans: Dict[int, int] = {}  # pid -> open GUESS span
 
         self.network.register("client", self._client_on_message)
 
@@ -131,6 +144,9 @@ class PromiseSystem:
                 effect = self._client_gen.send(value)
             except StopIteration:
                 self._finished_at = self.scheduler.now
+                if self.tracer.enabled:
+                    self.tracer.event(ob.COMPLETE, "client", self._finished_at,
+                                      name="complete")
                 return
             if isinstance(effect, PCall):
                 value = self._issue_call(effect)
@@ -142,6 +158,11 @@ class PromiseSystem:
                     self._waiting_on = p
                     self._waits += 1
                     self.stats.incr("pp.waits")
+                    if self.tracer.enabled:
+                        self.tracer.event(
+                            ob.CONTROL, "client", self.scheduler.now,
+                            name=f"wait:p{p.pid}", direction="stall",
+                        )
                     return
             else:
                 raise EffectError(f"client yielded {effect!r}")
@@ -150,6 +171,18 @@ class PromiseSystem:
         promise = Promise(pid=next(self._pid))
         self._promises[promise.pid] = promise
         payload = ("call", promise.pid, call.op, tuple(call.args))
+        if self.tracer.enabled:
+            # An unresolved promise is this baseline's "guess in doubt":
+            # the client proceeds before the value is known, exactly like a
+            # forked guess — except it can never be wrong (data-flow only),
+            # so every promise span resolves with outcome="commit".
+            now = self.scheduler.now
+            self._promise_spans[promise.pid] = self.tracer.start_span(
+                ob.GUESS, "client", now, name=f"p{promise.pid}:{call.op}",
+                dst=call.dst, mechanism="promise",
+            )
+            self.tracer.event(ob.SEND, "client", now,
+                              name=f"call:{call.op}", dst=call.dst)
         self.network.send("client", call.dst, payload)
         self.stats.incr("pp.calls")
         return promise
@@ -161,6 +194,13 @@ class PromiseSystem:
         promise.resolved = True
         promise.value = value
         self.stats.incr("pp.resolutions")
+        if self.tracer.enabled:
+            now = self.scheduler.now
+            self.tracer.event(ob.RECV, "client", now,
+                              name=f"resolve:p{pid}", src=src)
+            sid = self._promise_spans.pop(pid, -1)
+            if sid >= 0:
+                self.tracer.end_span(sid, now, outcome="commit")
         if self._waiting_on is promise:
             self._waiting_on = None
             self._advance(value)
@@ -189,9 +229,16 @@ class PromiseSystem:
         start = max(self.scheduler.now, self._server_busy[name])
         done = start + self.service_time
         self._server_busy[name] = done
+        span = -1
+        if self.tracer.enabled:
+            span = self.tracer.start_span(
+                ob.SERVICE, name, start, name=f"{op}:p{pid}", pid=pid,
+            )
 
         def finish() -> None:
             value = self._servers[name](self._server_state[name], op, concrete)
+            if self.tracer.enabled:
+                self.tracer.end_span(span, self.scheduler.now)
             self.network.send(name, "client", ("resolve", pid, value))
 
         self.scheduler.at(done, finish, label=f"{name} service")
@@ -203,11 +250,13 @@ class PromiseSystem:
             raise ProgramError("no client program set")
         self.scheduler.at(0.0, lambda: self._advance(None), label="client start")
         self.scheduler.run(until=until)
+        self.tracer.close_open(self.scheduler.now)
         return PipelineResult(
-            makespan=(self._finished_at if self._finished_at is not None
-                      else self.scheduler.now),
+            completion_time=(self._finished_at if self._finished_at is not None
+                             else self.scheduler.now),
             settled_time=self.scheduler.now,
             state=self._client_state,
             stats=self.stats,
             waits=self._waits,
+            spans=self.tracer.spans(),
         )

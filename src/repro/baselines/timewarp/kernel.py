@@ -21,6 +21,10 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.errors import ProtocolError, SimulationError
+from repro.obs import spans as ob
+from repro.obs.api import deprecated_alias
+from repro.obs.spans import Span
+from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.sim.rng import RngRegistry
 from repro.sim.scheduler import Scheduler
 from repro.sim.stats import Stats
@@ -58,6 +62,7 @@ class _Processed:
     event: TWEvent
     pre_state: Dict[str, Any]
     outputs: List[TWEvent]
+    span_sid: int = -1             # open GUESS span until commit/rollback
 
 
 class TimeWarpLP:
@@ -88,11 +93,17 @@ class TimeWarpLP:
 class TimeWarpResult:
     """Outcome and accounting of one Time Warp run."""
 
-    physical_makespan: float
+    completion_time: float         # physical makespan of the run
     gvt: float
     final_states: Dict[str, Dict[str, Any]]
     committed_events: Dict[str, List[Tuple[float, Any]]]
     stats: Stats
+    trace: List[Any] = field(default_factory=list)
+    spans: List[Span] = field(default_factory=list)
+
+
+TimeWarpResult.physical_makespan = deprecated_alias(
+    "TimeWarpResult", "physical_makespan", "completion_time")
 
 
 class TimeWarpKernel:
@@ -107,13 +118,15 @@ class TimeWarpKernel:
         seed: int = 0,
         max_steps: int = 2_000_000,
         cancellation: str = "aggressive",
+        tracer: Optional[Tracer] = None,
     ) -> None:
         if cancellation not in ("aggressive", "lazy"):
             raise SimulationError(
                 f"cancellation must be 'aggressive' or 'lazy', "
                 f"got {cancellation!r}"
             )
-        self.scheduler = Scheduler(max_steps=max_steps)
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.scheduler = Scheduler(max_steps=max_steps, tracer=self.tracer)
         self.stats = Stats()
         self.rng = RngRegistry(seed)
         self.physical_latency = physical_latency
@@ -161,6 +174,13 @@ class TimeWarpKernel:
         self._in_flight[event.uid * event.sign] = event.recv_time
         kind = "anti" if event.sign < 0 else "event"
         self.stats.incr(f"tw.msgs.{kind}")
+        if self.tracer.enabled:
+            ekind = ob.CONTROL if event.sign < 0 else ob.SEND
+            self.tracer.event(
+                ekind, event.src, self.scheduler.now,
+                name=f"{kind}:u{event.uid}", dst=event.dst,
+                vt=event.recv_time,
+            )
         self.scheduler.after(
             delay, lambda: self._deliver(event),
             label=f"tw deliver {kind} -> {event.dst}",
@@ -225,6 +245,17 @@ class TimeWarpKernel:
             return
         self.stats.incr("tw.rollbacks")
         self.stats.incr("tw.events_undone", len(undone))
+        if self.tracer.enabled:
+            now = self.scheduler.now
+            reason = "anti" if discard_uid is not None else "straggler"
+            self.tracer.event(ob.ROLLBACK, lp.name, now,
+                              name=f"to:{to_time}", undone=len(undone),
+                              reason=reason)
+            for rec in undone:
+                if rec.span_sid >= 0:
+                    self.tracer.end_span(rec.span_sid, now,
+                                         outcome="abort", reason=reason)
+                    rec.span_sid = -1
         lp.processed = keep
         # Restore the checkpoint of the *physically earliest* undone record:
         # with equal virtual timestamps the (recv_time, uid) minimum need
@@ -300,8 +331,19 @@ class TimeWarpKernel:
             # outputs the re-execution did NOT reproduce are wrong: cancel
             for old in held:
                 self._transmit(old.anti())
+        sid = -1
+        if self.tracer.enabled:
+            # A processed-but-uncommitted event is Time Warp's guess in
+            # doubt: it stays open until GVT passes it (commit) or a
+            # straggler/anti-message undoes it (abort).
+            sid = self.tracer.start_span(
+                ob.GUESS, lp.name, self.scheduler.now,
+                name=f"u{event.uid}@{event.recv_time}",
+                vt=event.recv_time, src=event.src,
+                mechanism="timewarp",
+            )
         lp.processed.append(_Processed(event=event, pre_state=pre_state,
-                                       outputs=outputs))
+                                       outputs=outputs, span_sid=sid))
         self.stats.incr("tw.events_processed")
         self._schedule_processing(lp)
 
@@ -320,6 +362,7 @@ class TimeWarpKernel:
         self.scheduler.run(until=until)
         gvt = self.gvt()
         committed: Dict[str, List[Tuple[float, Any]]] = {}
+        now = self.scheduler.now
         for name, lp in self.lps.items():
             records = sorted(lp.processed, key=lambda r: r.event.key())
             committed[name] = [
@@ -328,12 +371,23 @@ class TimeWarpKernel:
                 if r.event.recv_time < gvt
             ]
             self.stats.incr("tw.fossil_collected", len(committed[name]))
+            if self.tracer.enabled:
+                # Fossil collection is Time Warp's commit point: everything
+                # below GVT resolves; above-GVT survivors stay open and are
+                # marked truncated by close_open below.
+                for rec in records:
+                    if rec.span_sid >= 0 and rec.event.recv_time < gvt:
+                        self.tracer.end_span(rec.span_sid, now,
+                                             outcome="commit")
+                        rec.span_sid = -1
+        self.tracer.close_open(now)
         return TimeWarpResult(
-            physical_makespan=self.scheduler.now,
+            completion_time=now,
             gvt=gvt,
             final_states={n: lp.state for n, lp in self.lps.items()},
             committed_events=committed,
             stats=self.stats,
+            spans=self.tracer.spans(),
         )
 
 

@@ -1,16 +1,24 @@
 """Post-run analysis of protocol behaviour.
 
-Turns a run's protocol log and stats into the quantities the paper
-reasons about informally: how deep speculation ran, how long guesses
-stayed in doubt, how much work each abort destroyed, and where the
-completion time actually went.
+Turns a run's spans and stats into the quantities the paper reasons
+about informally: how deep speculation ran, how long guesses stayed in
+doubt, how much work each abort destroyed, and where the completion time
+actually went.
+
+Every function takes a *span source*: a result object (anything with a
+``spans`` or ``protocol_log`` attribute), a list of :class:`Span`, or a
+raw protocol-log list of dicts (adapted on the fly).  This keeps the
+pre-tracer call sites — ``summarize(result.protocol_log)`` — working
+unchanged while the span schema is the native input.
 """
 
 from __future__ import annotations
 
 from collections import defaultdict
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
+
+from repro.obs.spans import ABORT_OUTCOME, COMMIT_OUTCOME, GUESS, ROLLBACK, Span, as_spans
 
 
 @dataclass
@@ -32,34 +40,42 @@ class GuessLifetime:
         return self.resolved_at - self.forked_at
 
 
-def guess_lifetimes(protocol_log: List[dict]) -> List[GuessLifetime]:
+def _resolved(span: Span) -> bool:
+    """A guess span counts as resolved only by a real commit/abort."""
+    return span.end is not None and not span.attrs.get("truncated")
+
+
+def guess_lifetimes(source) -> List[GuessLifetime]:
     """Extract every guess's fork→resolution interval from a run."""
-    lifetimes: Dict[str, GuessLifetime] = {}
-    for entry in protocol_log:
-        kind = entry["kind"]
-        if kind == "fork":
-            lifetimes[entry["guess"]] = GuessLifetime(
-                guess=entry["guess"], process=entry["process"],
-                site=entry.get("site", "?"), forked_at=entry["time"],
-            )
-        elif kind in ("commit", "abort"):
-            lt = lifetimes.get(entry["guess"])
-            if lt is not None and lt.resolved_at is None:
-                lt.resolved_at = entry["time"]
-                lt.outcome = ("committed" if kind == "commit" else "aborted")
-                if kind == "abort":
-                    lt.abort_reason = entry.get("reason")
-    return list(lifetimes.values())
+    lifetimes: List[GuessLifetime] = []
+    for span in as_spans(source):
+        if span.kind != GUESS:
+            continue
+        lt = GuessLifetime(
+            guess=span.name, process=span.process,
+            site=span.attrs.get("site", "?"), forked_at=span.start,
+        )
+        if _resolved(span):
+            lt.resolved_at = span.end
+            outcome = span.attrs.get("outcome")
+            lt.outcome = ("committed" if outcome == COMMIT_OUTCOME
+                          else "aborted" if outcome == ABORT_OUTCOME
+                          else outcome)
+            if outcome == ABORT_OUTCOME:
+                lt.abort_reason = span.attrs.get("reason")
+        lifetimes.append(lt)
+    return lifetimes
 
 
-def speculation_depth_series(protocol_log: List[dict]) -> List[Tuple[float, int]]:
+def speculation_depth_series(source) -> List[Tuple[float, int]]:
     """(time, #guesses in doubt) step series over the run."""
     deltas: List[Tuple[float, int]] = []
-    for entry in protocol_log:
-        if entry["kind"] == "fork":
-            deltas.append((entry["time"], +1))
-        elif entry["kind"] in ("commit", "abort"):
-            deltas.append((entry["time"], -1))
+    for span in as_spans(source):
+        if span.kind != GUESS:
+            continue
+        deltas.append((span.start, +1))
+        if _resolved(span):
+            deltas.append((span.end, -1))
     deltas.sort()
     series: List[Tuple[float, int]] = []
     depth = 0
@@ -69,30 +85,31 @@ def speculation_depth_series(protocol_log: List[dict]) -> List[Tuple[float, int]
     return series
 
 
-def max_speculation_depth(protocol_log: List[dict]) -> int:
-    series = speculation_depth_series(protocol_log)
+def max_speculation_depth(source) -> int:
+    series = speculation_depth_series(source)
     return max((d for _, d in series), default=0)
 
 
-def abort_cascades(protocol_log: List[dict]) -> List[List[str]]:
+def abort_cascades(source) -> List[List[str]]:
     """Group aborts that happened at the same instant in one process.
 
     Each group is one §3.2 abort event: the named guess plus the nested
     guesses its right-subtree destruction took down with it.
     """
     groups: Dict[Tuple[str, float], List[str]] = defaultdict(list)
-    for entry in protocol_log:
-        if entry["kind"] == "abort":
-            groups[(entry["process"], entry["time"])].append(entry["guess"])
+    for span in as_spans(source):
+        if (span.kind == GUESS and _resolved(span)
+                and span.attrs.get("outcome") == ABORT_OUTCOME):
+            groups[(span.process, span.end)].append(span.name)
     return [v for _, v in sorted(groups.items())]
 
 
-def rollback_counts(protocol_log: List[dict]) -> Dict[str, int]:
+def rollback_counts(source) -> Dict[str, int]:
     """Rollbacks per process."""
     counts: Dict[str, int] = defaultdict(int)
-    for entry in protocol_log:
-        if entry["kind"] == "rollback":
-            counts[entry["process"]] += 1
+    for span in as_spans(source):
+        if span.kind == ROLLBACK:
+            counts[span.process] += 1
     return dict(counts)
 
 
@@ -123,9 +140,10 @@ class RunSummary:
         ]
 
 
-def summarize(protocol_log: List[dict]) -> RunSummary:
-    """Build a :class:`RunSummary` from a run's protocol log."""
-    lifetimes = guess_lifetimes(protocol_log)
+def summarize(source) -> RunSummary:
+    """Build a :class:`RunSummary` from any span source."""
+    spans = as_spans(source)
+    lifetimes = guess_lifetimes(spans)
     commits = sum(1 for lt in lifetimes if lt.outcome == "committed")
     aborts = sum(1 for lt in lifetimes if lt.outcome == "aborted")
     reasons: Dict[str, int] = defaultdict(int)
@@ -134,15 +152,27 @@ def summarize(protocol_log: List[dict]) -> RunSummary:
             reasons[lt.abort_reason] += 1
     doubts = [lt.in_doubt_for for lt in lifetimes
               if lt.in_doubt_for is not None]
-    cascades = abort_cascades(protocol_log)
+    cascades = abort_cascades(spans)
     return RunSummary(
         forks=len(lifetimes),
         commits=commits,
         aborts=aborts,
         abort_reasons=dict(reasons),
-        max_depth=max_speculation_depth(protocol_log),
+        max_depth=max_speculation_depth(spans),
         mean_doubt_time=(sum(doubts) / len(doubts)) if doubts else 0.0,
         cascades=len(cascades),
         largest_cascade=max((len(c) for c in cascades), default=0),
-        rollbacks=rollback_counts(protocol_log),
+        rollbacks=rollback_counts(spans),
     )
+
+
+def speculation_report(source, title: str = "speculation report") -> str:
+    """Render a human-readable summary of any run's speculative behaviour.
+
+    Works for every execution mode that emits the shared span schema —
+    optimistic, sequential (trivially zero guesses), pipelining, promise
+    pipelining, and Time Warp.
+    """
+    summary = summarize(source)
+    body = "\n".join(f"  {line}" for line in summary.lines())
+    return f"{title}\n{body}"

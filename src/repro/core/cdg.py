@@ -11,17 +11,26 @@ the cycle must abort.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Set
+from typing import Callable, Dict, Iterable, List, Optional, Set
 
 from repro.core.guess import GuessId
 
 
 class CommitDependencyGraph:
-    """Adjacency-set DAG over :class:`GuessId` with cycle extraction."""
+    """Adjacency-set DAG over :class:`GuessId` with cycle extraction.
 
-    def __init__(self) -> None:
+    ``tracer``/``process``/``clock`` are optional observability hooks: when
+    a tracer is enabled, every new edge is recorded as a ``cdg_edge`` event
+    stamped with the current virtual time.
+    """
+
+    def __init__(self, tracer=None, process: str = "",
+                 clock: Optional[Callable[[], float]] = None) -> None:
         self._succ: Dict[GuessId, Set[GuessId]] = {}
         self._pred: Dict[GuessId, Set[GuessId]] = {}
+        self._tracer = tracer
+        self._process = process
+        self._clock = clock
 
     # ------------------------------------------------------------- building
 
@@ -41,8 +50,14 @@ class CommitDependencyGraph:
         """Record ``src`` precedes ``dst``."""
         self._ensure(src)
         self._ensure(dst)
+        new = dst not in self._succ[src]
         self._succ[src].add(dst)
         self._pred[dst].add(src)
+        if new and self._tracer is not None and self._tracer.enabled:
+            now = self._clock() if self._clock is not None else 0.0
+            self._tracer.event("cdg_edge", self._process, now,
+                               name=f"{src.key()}->{dst.key()}",
+                               src=src.key(), dst=dst.key())
 
     def add_precedence(self, guess: GuessId, guard: Iterable[GuessId]) -> None:
         """Apply ``PRECEDENCE(guess, guard)``: each guard member precedes it."""

@@ -36,6 +36,7 @@ from repro.core.messages import (
 )
 from repro.core.snapshot import Snapshotter, StateSnapshot
 from repro.core.thread import OptimisticThread, ThreadStatus
+from repro.obs import spans as ob
 from repro.csp.effects import Call, Emit, Reply, Send
 from repro.csp.payloads import CallRequest, CallResponse, OneWay, Request
 from repro.csp.plan import ForkSpec, ParallelizationPlan
@@ -57,6 +58,8 @@ class GuessRecord:
     status: str = "pending"         # pending | committed | aborted
     continuation_tid: Optional[int] = None
     timer: Any = None
+    forked_at: float = 0.0          # virtual time of the fork
+    span_sid: int = -1              # tracer span of the in-doubt interval
     #: snapshot of the left thread's state at fork, for strict_exports —
     #: shared with the fork's other captures, not a separate copy
     fork_snapshot: Optional[StateSnapshot] = None
@@ -101,11 +104,17 @@ class ProcessRuntime:
         self.scheduler = system.scheduler
         self.stats = system.stats
         self.recorder = system.recorder
+        self.tracer = system.tracer
+        #: typed handles for the opt.* instrument set (same Stats keys)
+        self.m = system.runtime_metrics
         #: state capture/restore layer (COW snapshots or legacy deepcopy)
         self.snap = Snapshotter(config.snapshot_policy, self.stats)
 
         self.view = SystemView()
-        self.cdg = CommitDependencyGraph()
+        self.cdg = CommitDependencyGraph(
+            tracer=self.tracer, process=self.name,
+            clock=lambda: self.scheduler.now,
+        )
         self.threads: Dict[int, OptimisticThread] = {}
         self.children: Dict[int, List[int]] = {}
         self._next_tid = 0
@@ -183,7 +192,7 @@ class ProcessRuntime:
         if spec is None:
             return False
         if self.site_attempts.get(seg.name, 0) >= self.config.max_optimistic_retries:
-            self.stats.incr("opt.fork_fallback_pessimistic")
+            self.m.fork_fallback.inc()
             self.log_event("fork_fallback", site=seg.name)
             return False
         if thread.own_guess is not None:
@@ -254,7 +263,16 @@ class ProcessRuntime:
         right._pending_event = self.scheduler.after(
             overhead, right.start, label=f"start {self.name}.t{right.tid}"
         )
-        self.stats.incr("opt.forks")
+        self.m.forks.inc()
+        now = self.scheduler.now
+        record.forked_at = now
+        self.m.speculation_depth.add(1, now)
+        if self.tracer.enabled:
+            record.span_sid = self.tracer.start_span(
+                ob.GUESS, self.name, now, name=guess.key(),
+                site=seg.name, left=thread.tid, right=right.tid,
+                incarnation=guess.incarnation, index=guess.index,
+            )
         self.log_event("fork", guess=guess.key(), site=seg.name,
                        left=thread.tid, right=right.tid)
         return True
@@ -263,7 +281,7 @@ class ProcessRuntime:
         record = self.records[guess]
         if record.status != "pending":
             return
-        self.stats.incr("opt.aborts.timeout")
+        self.m.aborts_timeout.inc()
         self.log_event("timeout_abort", guess=guess.key())
         self.abort_own([record], reason="timeout")
 
@@ -309,7 +327,13 @@ class ProcessRuntime:
             self.name, dst, trace_data, self.scheduler.now,
             guards=envelope.guard_keys(), porder=thread.porder(),
         )
-        self.stats.incr("opt.guard_tag_units", len(envelope.guard))
+        self.m.guard_tag_units.inc(len(envelope.guard))
+        if self.tracer.enabled:
+            self.tracer.event(
+                ob.SEND, self.name, self.scheduler.now,
+                name=f"{trace_data[0]}:{trace_data[1]}", dst=dst,
+                tid=thread.tid, guards=len(envelope.guard),
+            )
         self.system.send_data(envelope)
 
     def record_recv(self, thread: OptimisticThread, src: str,
@@ -319,6 +343,12 @@ class ProcessRuntime:
             src, self.name, trace_data, self.scheduler.now,
             guards=thread.guard.keys(), porder=porder,
         )
+        if self.tracer.enabled:
+            self.tracer.event(
+                ob.RECV, self.name, self.scheduler.now,
+                name=f"{trace_data[0]}:{trace_data[1]}", src=src,
+                tid=thread.tid, guards=len(thread.guard),
+            )
 
     # ------------------------------------------------------------ emissions
 
@@ -344,9 +374,15 @@ class ProcessRuntime:
             self.name, effect.sink, effect.payload, self.scheduler.now,
             guards=thread.guard.keys(), porder=porder,
         )
+        if self.tracer.enabled:
+            self.tracer.event(
+                ob.EMIT, self.name, self.scheduler.now,
+                name=effect.sink, tid=thread.tid,
+                buffered=bool(emission.pending),
+            )
         if emission.pending:
             self.emissions.append(emission)
-            self.stats.incr("opt.emissions_buffered")
+            self.m.emissions_buffered.inc()
         else:
             self._release_emission(emission)
         return emission.emission_id
@@ -356,7 +392,7 @@ class ProcessRuntime:
         self.system.network.send(
             self.name, emission.sink, emission.payload, size=emission.size
         )
-        self.stats.incr("opt.emissions_released")
+        self.m.emissions_released.inc()
 
     def _drop_emission_by_id(self, emission_id: int) -> None:
         for em in self.emissions:
@@ -391,7 +427,7 @@ class ProcessRuntime:
             for g in new:
                 thread.guard.add(g)
                 thread.rollbacks[g] = before_position
-            self.stats.incr("opt.guards_acquired", len(new))
+            self.m.guards_acquired.inc(len(new))
 
     def _is_orphan(self, envelope: DataEnvelope) -> bool:
         return self.view.any_aborted(envelope.guard) is not None
@@ -413,14 +449,22 @@ class ProcessRuntime:
             self._handle_precedence(payload)
         elif isinstance(payload, DataEnvelope):
             if self._is_orphan(payload):
-                self.stats.incr("opt.orphans_discarded")
-                self.log_event("orphan_discard", msg_id=payload.msg_id,
-                               src=payload.src)
+                self._note_orphan(payload)
                 return
             self.pool.append(payload)
             self.dispatch()
         else:
             raise ProtocolError(f"{self.name}: bad payload {payload!r}")
+
+    def _note_orphan(self, envelope: DataEnvelope) -> None:
+        self.m.orphans_discarded.inc()
+        self.log_event("orphan_discard", msg_id=envelope.msg_id,
+                       src=envelope.src)
+        # msg_id is a process-global counter (not per-run), so it stays out
+        # of the span attrs to keep traces byte-deterministic.
+        if self.tracer.enabled:
+            self.tracer.event(ob.ORPHAN, self.name, self.scheduler.now,
+                              src=envelope.src)
 
     def on_thread_blocked(self, thread: OptimisticThread) -> None:
         """A thread entered a blocked state: try to feed it from the pool."""
@@ -448,9 +492,7 @@ class ProcessRuntime:
                 continue
             if self._is_orphan(envelope):
                 self.pool.remove(envelope)
-                self.stats.incr("opt.orphans_discarded")
-                self.log_event("orphan_discard", msg_id=envelope.msg_id,
-                               src=envelope.src)
+                self._note_orphan(envelope)
                 continue
             if isinstance(envelope.payload, CallResponse):
                 if self._dispatch_reply(envelope):
@@ -481,7 +523,7 @@ class ProcessRuntime:
                 and record.status == "pending"
                 and target.own_guess in envelope.guard
             ):
-                self.stats.incr("opt.aborts.time_fault")
+                self.m.aborts_time_fault.inc()
                 self.log_event("early_reply_time_fault",
                                guess=target.own_guess.key())
                 self.abort_own([record], reason="time_fault")
@@ -538,6 +580,11 @@ class ProcessRuntime:
             if thread.seg_end >= len(self.program.segments):
                 self.tentative_completion = self.scheduler.now
                 self.log_event("tentative_complete", tid=thread.tid)
+                if self.tracer.enabled:
+                    self.tracer.event(ob.COMPLETE, self.name,
+                                      self.scheduler.now,
+                                      name="tentative_complete",
+                                      tid=thread.tid)
             self._check_completion()
 
     def evaluate_join(self, record: GuessRecord) -> None:
@@ -558,14 +605,14 @@ class ProcessRuntime:
         self._strict_exports_check(record, left, seg)
 
         if not record.spec.verifier(record.guessed, actual):
-            self.stats.incr("opt.aborts.value_fault")
+            self.m.aborts_value_fault.inc()
             self.log_event("value_fault", guess=record.guess.key(),
                            guessed=record.guessed, actual=actual)
             self.abort_own([record], reason="value_fault")
             return
         if record.guess in left.guard:
             # The left thread causally depends on its own fork: time fault.
-            self.stats.incr("opt.aborts.time_fault")
+            self.m.aborts_time_fault.inc()
             self.log_event("join_time_fault", guess=record.guess.key())
             self.abort_own([record], reason="time_fault")
             return
@@ -582,7 +629,7 @@ class ProcessRuntime:
             self._emit_control(
                 PrecedenceMsg(guess=record.guess, guard=snapshot)
             )
-            self.stats.incr("opt.precedence_sent")
+            self.m.precedence_sent.inc()
             self.log_event("precedence_sent", guess=record.guess.key(),
                            guard=sorted(g.key() for g in snapshot))
             self._check_own_cycles()
@@ -616,9 +663,23 @@ class ProcessRuntime:
         self.view.note_commit(record.guess)
         self.cdg.remove_node(record.guess)
         self._emit_control(CommitMsg(guess=record.guess))
-        self.stats.incr("opt.commits")
+        self.m.commits.inc()
+        self._resolve_metrics(record, outcome="commit")
         self.log_event("commit", guess=record.guess.key())
         self.resolve_sweep()
+
+    def _resolve_metrics(self, record: GuessRecord, outcome: str,
+                         reason: Optional[str] = None) -> None:
+        """Shared commit/abort accounting: depth gauge, doubt histogram, span."""
+        now = self.scheduler.now
+        self.m.speculation_depth.add(-1, now)
+        self.m.doubt_time.observe(now - record.forked_at)
+        if self.tracer.enabled and record.span_sid >= 0:
+            if reason is not None:
+                self.tracer.end_span(record.span_sid, now, outcome=outcome,
+                                     reason=reason)
+            else:
+                self.tracer.end_span(record.span_sid, now, outcome=outcome)
 
     # ------------------------------------------------------------ own aborts
 
@@ -656,7 +717,8 @@ class ProcessRuntime:
                 self.site_attempts.get(record.site, 0) + 1
             )
             self._emit_control(AbortMsg(guess=record.guess))
-            self.stats.incr("opt.aborts")
+            self.m.aborts.inc()
+            self._resolve_metrics(record, outcome="abort", reason=reason)
             self.log_event("abort", guess=record.guess.key(), reason=reason)
         for record in to_abort:
             self._rollback_for_abort(record.guess)
@@ -685,13 +747,13 @@ class ProcessRuntime:
         for em in self.emissions:
             if em.tid == tid and not em.released:
                 em.dropped = True
-                self.stats.incr("opt.emissions_dropped")
+                self.m.emissions_dropped.inc()
             else:
                 kept.append(em)
         self.emissions = kept
         for child in self.children.get(tid, []):
             destroyed.extend(self._destroy_subtree(child))
-        self.stats.incr("opt.threads_destroyed")
+        self.m.threads_destroyed.inc()
         return destroyed
 
     def _abort_orphaned_records(self, destroyed: List[OptimisticThread],
@@ -745,8 +807,11 @@ class ProcessRuntime:
                  data=cont.tid)
         )
         self.children[left.tid].append(cont.tid)
-        self.stats.incr("opt.continuations")
+        self.m.continuations.inc()
         self.log_event("continuation", guess=record.guess.key(), tid=cont.tid)
+        if self.tracer.enabled:
+            self.tracer.event(ob.CONTINUATION, self.name, self.scheduler.now,
+                              name=record.guess.key(), tid=cont.tid)
         cont._pending_event = self.scheduler.after(
             0.0, cont.start, label=f"start {self.name}.t{cont.tid} (cont)"
         )
@@ -755,6 +820,12 @@ class ProcessRuntime:
 
     def _emit_control(self, msg: Any) -> None:
         """Originate a control message (owner side)."""
+        if self.tracer.enabled:
+            self.tracer.event(
+                ob.CONTROL, self.name, self.scheduler.now,
+                name=type(msg).__name__, guess=msg.guess.key(),
+                direction="sent",
+            )
         if isinstance(msg, PrecedenceMsg):
             # PRECEDENCE must reach guess owners the sender may not have
             # messaged, so it is broadcast in both modes.
@@ -785,7 +856,16 @@ class ProcessRuntime:
         for dst in sorted(targets):
             self.system.send_control(self.name, dst, msg)
 
+    def _note_control_received(self, msg: Any) -> None:
+        if self.tracer.enabled:
+            self.tracer.event(
+                ob.CONTROL, self.name, self.scheduler.now,
+                name=type(msg).__name__, guess=msg.guess.key(),
+                direction="received",
+            )
+
     def _handle_commit(self, msg: CommitMsg, src: str = "") -> None:
+        self._note_control_received(msg)
         self._relay_control(src, msg)
         self.view.note_commit(msg.guess)
         self.cdg.remove_node(msg.guess)
@@ -793,6 +873,7 @@ class ProcessRuntime:
         self.resolve_sweep()
 
     def _handle_abort(self, msg: AbortMsg, src: str = "") -> None:
+        self._note_control_received(msg)
         self._relay_control(src, msg)
         self.view.note_abort(msg.guess)
         self.log_event("abort_received", guess=msg.guess.key())
@@ -822,6 +903,7 @@ class ProcessRuntime:
                 self._perform_rollback(thread, position)
 
     def _handle_precedence(self, msg: PrecedenceMsg) -> None:
+        self._note_control_received(msg)
         self.log_event("precedence_received", guess=msg.guess.key(),
                        guard=sorted(g.key() for g in msg.guard))
         if self.view.status(msg.guess).resolved:
@@ -845,7 +927,7 @@ class ProcessRuntime:
                 continue
             cycle = self.cdg.cycle_through(record.guess)
             if cycle is not None:
-                self.stats.incr("opt.aborts.cycle")
+                self.m.aborts_cycle.inc()
                 self.log_event(
                     "cycle_abort", guess=record.guess.key(),
                     cycle=[g.key() for g in cycle],
@@ -941,8 +1023,11 @@ class ProcessRuntime:
         return {g for g in thread.guard if self.view.is_aborted(g)}
 
     def _perform_rollback(self, thread: OptimisticThread, position: int) -> None:
-        self.stats.incr("opt.rollbacks")
+        self.m.rollbacks.inc()
         self.log_event("rollback", tid=thread.tid, position=position)
+        if self.tracer.enabled:
+            self.tracer.event(ob.ROLLBACK, self.name, self.scheduler.now,
+                              tid=thread.tid, position=position)
         discarded = thread.rollback_to(position)
         self._requeue_consumed(discarded)
         for slot in discarded:
@@ -1004,7 +1089,7 @@ class ProcessRuntime:
             aborted = {g for g in em.pending if self.view.is_aborted(g)}
             if aborted:
                 em.dropped = True
-                self.stats.incr("opt.emissions_dropped")
+                self.m.emissions_dropped.inc()
                 changed = True
                 continue
             em.pending = {
@@ -1047,6 +1132,9 @@ class ProcessRuntime:
             return
         self.committed_completion = self.scheduler.now
         self.log_event("committed_complete")
+        if self.tracer.enabled:
+            self.tracer.event(ob.COMPLETE, self.name, self.scheduler.now,
+                              name="committed_complete")
 
     # ---------------------------------------------------------------- state
 

@@ -8,7 +8,7 @@ process (never to external sinks), per §4.2.5.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional
 
 from repro.errors import ProgramError
@@ -18,6 +18,9 @@ from repro.core.runtime import ProcessRuntime
 from repro.csp.external import ExternalSink
 from repro.csp.plan import ParallelizationPlan
 from repro.csp.process import ProcessDef, Program
+from repro.obs.metrics import MetricsRegistry, RuntimeMetrics
+from repro.obs.spans import Span
+from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.sim.network import FixedLatency, LatencyModel, Network
 from repro.sim.scheduler import Scheduler
 from repro.sim.stats import Stats
@@ -37,6 +40,13 @@ class OptimisticResult:
     sinks: Dict[str, ExternalSink]
     protocol_log: List[dict]
     unresolved: List[str]                # processes that never fully committed
+    spans: List[Span] = field(default_factory=list)
+    metrics: Optional[MetricsRegistry] = None
+
+    @property
+    def completion_time(self) -> float:
+        """Uniform RunResult surface (same as ``makespan``)."""
+        return self.makespan
 
     def sink_output(self, name: str) -> List[Any]:
         """What physically reached the named external sink, in order."""
@@ -60,7 +70,7 @@ class OptimisticResult:
         """Speculation anatomy of this run (see repro.core.analysis)."""
         from repro.core.analysis import summarize
 
-        return summarize(self.protocol_log)
+        return summarize(self)
 
     def timeline(self, processes=None, protocol_kinds=None,
                  title: str = "") -> str:
@@ -82,10 +92,15 @@ class OptimisticSystem:
         config: Optional[OptimisticConfig] = None,
         fifo_links: bool = True,
         bandwidth: Optional[float] = None,
+        tracer: Optional[Tracer] = None,
     ) -> None:
         self.config = config or OptimisticConfig()
-        self.scheduler = Scheduler(max_steps=self.config.max_steps)
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.scheduler = Scheduler(max_steps=self.config.max_steps,
+                                   tracer=self.tracer)
         self.stats = Stats()
+        self.metrics = MetricsRegistry(self.stats)
+        self.runtime_metrics = RuntimeMetrics(self.metrics)
         self.network = Network(
             self.scheduler,
             latency_model or FixedLatency(1.0),
@@ -174,6 +189,7 @@ class OptimisticSystem:
         """Run to quiescence (or ``until``) and collect the results."""
         self.start()
         self.scheduler.run(until=until)
+        self.tracer.close_open(self.scheduler.now)
 
         completion: Dict[str, float] = {}
         tentative: Dict[str, float] = {}
@@ -206,4 +222,6 @@ class OptimisticSystem:
             sinks=self.sinks,
             protocol_log=self.protocol_log,
             unresolved=unresolved,
+            spans=self.tracer.spans(),
+            metrics=self.metrics,
         )

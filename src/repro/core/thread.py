@@ -122,6 +122,7 @@ class OptimisticThread:
         # this slot index on; the restore itself may cost extra
         self._replay_charge_from = 0
         self._replay_restore_extra = 0.0
+        self._seg_span = -1             # open tracer span of the current segment
 
     # ----------------------------------------------------------- properties
 
@@ -159,6 +160,13 @@ class OptimisticThread:
         """Abort-discard this thread; it never runs again."""
         self._cancel_pending()
         self.status = ThreadStatus.DESTROYED
+        self._end_seg_span(outcome="destroyed")
+
+    def _end_seg_span(self, **attrs: Any) -> None:
+        if self._seg_span >= 0:
+            self.runtime.tracer.end_span(
+                self._seg_span, self.runtime.scheduler.now, **attrs)
+            self._seg_span = -1
 
     def _cancel_pending(self) -> None:
         if self._pending_event is not None:
@@ -242,6 +250,13 @@ class OptimisticThread:
                 self.seg_end = self.seg_idx + 1
         seg = self.runtime.program.segments[self.seg_idx]
         self.gen = seg.instantiate(self.state)
+        if self.runtime.tracer.enabled:
+            self._end_seg_span()
+            self._seg_span = self.runtime.tracer.start_span(
+                "segment", self.runtime.name, self.runtime.scheduler.now,
+                name=seg.name, tid=self.tid, seg=self.seg_idx,
+                speculative=bool(self.guard), replaying=not self.journal.live,
+            )
         if seg.compute > 0:
             blocked = self._do_compute(seg.compute, ("segcompute", self.seg_idx))
             if blocked:
@@ -252,6 +267,7 @@ class OptimisticThread:
         self.status = ThreadStatus.TERMINATED
         self.finished = True
         self.gen = None
+        self._end_seg_span(outcome="terminated")
         self.runtime.on_thread_finished(self)
 
     def _block(self, status: ThreadStatus) -> Any:
@@ -501,6 +517,12 @@ class OptimisticThread:
         """
         self.state.clear()
         self.runtime.snap.restore(self.initial_snapshot, into=self.state)
+        if self.runtime.tracer.enabled:
+            self._end_seg_span(outcome="rolled_back")
+            self.runtime.tracer.event(
+                "replay", self.runtime.name, self.runtime.scheduler.now,
+                tid=self.tid, position=self.journal.cursor,
+            )
         self.gen = None
         self.seg_idx = self.seg_start - 1
         self.step = 0

@@ -27,6 +27,9 @@ from repro.csp.effects import (
 from repro.csp.external import ExternalSink
 from repro.csp.payloads import CallRequest, CallResponse, OneWay, Request
 from repro.csp.process import ProcessDef, Program
+from repro.obs import spans as ob
+from repro.obs.spans import Span
+from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.sim.network import FixedLatency, LatencyModel, Network
 from repro.sim.scheduler import Scheduler
 from repro.sim.stats import Stats
@@ -43,6 +46,12 @@ class SequentialResult:
     trace: list
     stats: Stats
     sinks: Dict[str, ExternalSink]
+    spans: List[Span] = field(default_factory=list)
+
+    @property
+    def completion_time(self) -> float:
+        """Uniform RunResult surface (same as ``makespan``)."""
+        return self.makespan
 
     def sink_output(self, name: str) -> List[Any]:
         """What reached the named external sink, in order."""
@@ -68,6 +77,7 @@ class _SeqProcess:
         self.done = False
         self.completion_time: Optional[float] = None
         self._call_ids = itertools.count(1)
+        self._seg_span = -1  # open tracer span of the current segment
 
     # ------------------------------------------------------------ lifecycle
 
@@ -75,14 +85,29 @@ class _SeqProcess:
         self._next_segment(first=True)
 
     def _next_segment(self, first: bool = False) -> None:
+        tracer = self.system.tracer
         self.seg_idx += 1
         self.step = 0
         if self.seg_idx >= len(self.program.segments):
             self.done = True
             self.completion_time = self.system.scheduler.now
+            if tracer.enabled:
+                if self._seg_span >= 0:
+                    tracer.end_span(self._seg_span, self.completion_time)
+                    self._seg_span = -1
+                tracer.event(ob.COMPLETE, self.name, self.completion_time,
+                             name="complete")
             return
         seg = self.program.segments[self.seg_idx]
         self.gen = seg.instantiate(self.state)
+        if tracer.enabled:
+            now = self.system.scheduler.now
+            if self._seg_span >= 0:
+                tracer.end_span(self._seg_span, now)
+            self._seg_span = tracer.start_span(
+                ob.SEGMENT, self.name, now, name=seg.name,
+                seg=self.seg_idx,
+            )
         if seg.compute > 0:
             self.system.scheduler.after(
                 seg.compute, lambda: self._advance(None),
@@ -95,6 +120,12 @@ class _SeqProcess:
         p = (self.seg_idx, self.step)
         self.step += 1
         return p
+
+    def _trace_event(self, kind: str, name: str, **attrs: Any) -> None:
+        tracer = self.system.tracer
+        if tracer.enabled:
+            tracer.event(kind, self.name, self.system.scheduler.now,
+                         name=name, **attrs)
 
     # -------------------------------------------------------------- driving
 
@@ -125,6 +156,7 @@ class _SeqProcess:
                 self.name, effect.dst, ("call", effect.op, tuple(effect.args)),
                 sched.now, porder=self.porder(),
             )
+            self._trace_event(ob.SEND, f"call:{effect.op}", dst=effect.dst)
             self.system.network.send(self.name, effect.dst, payload,
                                      size=effect.size)
             self.waiting_call_id = call_id
@@ -136,6 +168,7 @@ class _SeqProcess:
                 self.name, effect.dst, ("send", effect.op, tuple(effect.args)),
                 sched.now, porder=self.porder(),
             )
+            self._trace_event(ob.SEND, f"send:{effect.op}", dst=effect.dst)
             self.system.network.send(self.name, effect.dst, payload,
                                      size=effect.size)
             self._advance(None)
@@ -155,6 +188,7 @@ class _SeqProcess:
                 self.name, req.reply_to, ("reply", req.op, effect.value),
                 sched.now, porder=self.porder(),
             )
+            self._trace_event(ob.SEND, f"reply:{req.op}", dst=req.reply_to)
             self.system.network.send(self.name, req.reply_to, payload,
                                      size=effect.size)
             self._advance(None)
@@ -167,6 +201,7 @@ class _SeqProcess:
                 self.name, effect.sink, effect.payload, sched.now,
                 porder=self.porder(),
             )
+            self._trace_event(ob.EMIT, effect.sink)
             self.system.network.send(self.name, effect.sink, effect.payload,
                                      size=effect.size)
             self._advance(None)
@@ -192,6 +227,7 @@ class _SeqProcess:
                     src, self.name, ("req", req.op, req.args),
                     self.system.scheduler.now, porder=self.porder(),
                 )
+                self._trace_event(ob.RECV, f"req:{req.op}", src=src)
                 self._advance(req)
                 return True
         return False
@@ -210,6 +246,7 @@ class _SeqProcess:
                 src, self.name, ("reply", payload.op, payload.value),
                 sched.now, porder=self.porder(),
             )
+            self._trace_event(ob.RECV, f"reply:{payload.op}", src=src)
             self._advance(payload.value)
             return
         if isinstance(payload, CallRequest):
@@ -240,8 +277,10 @@ class SequentialSystem:
         max_steps: int = 1_000_000,
         fifo_links: bool = True,
         bandwidth: Optional[float] = None,
+        tracer: Optional[Tracer] = None,
     ) -> None:
-        self.scheduler = Scheduler(max_steps=max_steps)
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.scheduler = Scheduler(max_steps=max_steps, tracer=self.tracer)
         self.stats = Stats()
         self.network = Network(
             self.scheduler,
@@ -300,6 +339,7 @@ class SequentialSystem:
         """Run to quiescence (or ``until``) and collect the results."""
         self.start()
         self.scheduler.run(until=until)
+        self.tracer.close_open(self.scheduler.now)
         completion = {
             name: p.completion_time
             for name, p in self.processes.items()
@@ -314,4 +354,5 @@ class SequentialSystem:
             trace=self.recorder.committed(),
             stats=self.stats,
             sinks=self.sinks,
+            spans=self.tracer.spans(),
         )

@@ -1,0 +1,52 @@
+"""repro.obs — unified observability: spans, typed metrics, exporters.
+
+One layer, three pieces:
+
+* **tracing** (:mod:`.spans`, :mod:`.tracer`): the speculation lifecycle
+  as typed spans in virtual time.  Every execution mode emits the same
+  schema; the default :data:`NULL_TRACER` records nothing and costs one
+  branch on the hot path.
+* **metrics** (:mod:`.metrics`): declared counters/gauges/histograms over
+  the legacy :class:`~repro.sim.stats.Stats` backing store.
+* **export** (:mod:`.export`, :mod:`.validate`): JSONL, Chrome
+  trace-event JSON (Perfetto-loadable) and prometheus text, all
+  byte-deterministic; plus schema validation for smoke tests.
+
+Typical use::
+
+    from repro import OptimisticSystem, RecordingTracer, write_chrome_trace
+    tracer = RecordingTracer()
+    system = OptimisticSystem(tracer=tracer)
+    ...
+    result = system.run()
+    write_chrome_trace(result.spans, "trace.json")
+"""
+
+from .api import RunResult, deprecated_alias
+from .export import (TS_SCALE, chrome_trace, chrome_trace_json,
+                     prometheus_text, spans_to_jsonl, write_chrome_trace,
+                     write_jsonl_trace)
+from .metrics import (DEFAULT_BUCKETS, Counter, Gauge, Histogram,
+                      MetricsRegistry, RuntimeMetrics)
+from .spans import (ALL_KINDS, EVENT_KINDS, INTERVAL_KINDS, Span, as_spans,
+                    span_from_dict, spans_from_protocol_log)
+from .tracer import NULL_TRACER, NullTracer, RecordingTracer, Tracer
+from .validate import (TraceValidationError, validate_chrome,
+                       validate_jsonl, validate_spans)
+
+__all__ = [
+    # spans & tracers
+    "Span", "Tracer", "NullTracer", "RecordingTracer", "NULL_TRACER",
+    "as_spans", "span_from_dict", "spans_from_protocol_log",
+    "ALL_KINDS", "EVENT_KINDS", "INTERVAL_KINDS",
+    # metrics
+    "Counter", "Gauge", "Histogram", "MetricsRegistry", "RuntimeMetrics",
+    "DEFAULT_BUCKETS",
+    # exporters & validation
+    "chrome_trace", "chrome_trace_json", "write_chrome_trace",
+    "spans_to_jsonl", "write_jsonl_trace", "prometheus_text", "TS_SCALE",
+    "TraceValidationError", "validate_spans", "validate_chrome",
+    "validate_jsonl",
+    # result surface
+    "RunResult", "deprecated_alias",
+]

@@ -1,0 +1,57 @@
+"""The uniform run-result surface shared by every execution mode.
+
+Five runtimes coexist in this repository (optimistic, sequential,
+pipelining, promises, Time Warp) and each grew its own result dataclass
+with its own names for "when did the run finish".  :class:`RunResult` is
+the common protocol they all now satisfy:
+
+* ``completion_time`` — virtual time the run completed;
+* ``stats``           — the :class:`~repro.sim.stats.Stats` backing store;
+* ``trace``           — per-message :class:`TraceEvent` list (may be empty);
+* ``spans``           — observability spans (empty unless traced).
+
+Renamed attributes keep working through :func:`deprecated_alias`
+properties that warn once per alias and forward to the new name.
+"""
+
+from __future__ import annotations
+
+import warnings
+from typing import Any, List, Protocol, Set, Tuple, runtime_checkable
+
+from repro.sim.stats import Stats
+
+from .spans import Span
+
+
+@runtime_checkable
+class RunResult(Protocol):
+    """What every execution mode's result object provides."""
+
+    completion_time: float
+    stats: Stats
+    trace: List[Any]
+    spans: List[Span]
+
+
+_warned_aliases: Set[Tuple[str, str]] = set()
+
+
+def deprecated_alias(owner: str, old: str, new: str) -> property:
+    """A read-only property forwarding ``old`` to ``new``, warning once.
+
+    ``owner`` scopes the warn-once bookkeeping so e.g. two result classes
+    that both rename ``makespan`` each get their own single warning.
+    """
+
+    def getter(self: Any) -> Any:
+        key = (owner, old)
+        if key not in _warned_aliases:
+            _warned_aliases.add(key)
+            warnings.warn(
+                f"{owner}.{old} is deprecated; use {owner}.{new}",
+                DeprecationWarning, stacklevel=2)
+        return getattr(self, new)
+
+    getter.__doc__ = f"Deprecated alias for ``{new}``."
+    return property(getter)

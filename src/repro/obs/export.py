@@ -1,0 +1,139 @@
+"""Trace exporters: JSONL, Chrome trace-event JSON, prometheus text.
+
+All exporters are pure functions of their input and emit canonical JSON
+(sorted keys, fixed separators), so exporting the same deterministic run
+twice produces byte-identical files — the property the golden tests pin.
+
+Chrome trace layout (open in Perfetto / ``chrome://tracing``):
+
+* one *process* track per simulated process (pid = rank in sorted name
+  order);
+* within each process, tid 0 is the instant-event lane, tids 10+ are
+  execution lanes (one per runtime thread / server), and tids 1000+ hold
+  one lane **per guess**, so overlapping speculation shows as stacked
+  in-flight guess bars;
+* virtual time maps 1 unit → 1 ms (the ``ts`` field is microseconds).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Iterable, List, Optional, Union
+
+from repro.sim.stats import Stats
+
+from .metrics import MetricsRegistry
+from .spans import EVENT_KINDS, GUESS, Span
+
+#: One unit of virtual time becomes 1000 Chrome-trace microseconds (1 ms).
+TS_SCALE = 1000.0
+
+_JSON_KW = dict(sort_keys=True, separators=(",", ":"))
+
+#: Chrome events lane and the base tid for execution / guess lanes.
+_EVENTS_TID = 0
+_EXEC_TID_BASE = 10
+_GUESS_TID_BASE = 1000
+
+
+def spans_to_jsonl(spans: Iterable[Span]) -> str:
+    """One canonical-JSON span per line."""
+    return "".join(json.dumps(span.to_dict(), **_JSON_KW) + "\n"
+                   for span in spans)
+
+
+def write_jsonl_trace(spans: Iterable[Span], path: str) -> None:
+    with open(path, "w") as fh:
+        fh.write(spans_to_jsonl(spans))
+
+
+def _display(process: str) -> str:
+    return process if process else "sim"
+
+
+def chrome_trace(spans: Iterable[Span]) -> Dict[str, Any]:
+    """Build a Chrome trace-event object (``{"traceEvents": [...]}``)."""
+    spans = list(spans)
+    processes = sorted({_display(s.process) for s in spans})
+    pid_of = {name: i + 1 for i, name in enumerate(processes)}
+
+    events: List[Dict[str, Any]] = []
+    for name in processes:
+        pid = pid_of[name]
+        events.append({"ph": "M", "name": "process_name", "pid": pid,
+                       "tid": 0, "args": {"name": name}})
+        events.append({"ph": "M", "name": "process_sort_index", "pid": pid,
+                       "tid": 0, "args": {"sort_index": pid}})
+
+    # Lane assignment: one tid per guess (stacked speculation), one per
+    # execution thread, everything instant on the shared events lane.
+    guess_lanes: Dict[str, int] = {}       # process -> next free guess lane
+    thread_names: Dict[Any, str] = {}      # (pid, tid) -> lane label
+    span_events: List[Dict[str, Any]] = []
+    for span in spans:
+        pid = pid_of[_display(span.process)]
+        args = {"sid": span.sid, "kind": span.kind}
+        args.update(span.attrs)
+        if span.kind == GUESS:
+            lane = guess_lanes.get(span.process, 0)
+            guess_lanes[span.process] = lane + 1
+            tid = _GUESS_TID_BASE + lane
+            thread_names.setdefault((pid, tid), f"guess {span.name}")
+        elif span.kind in EVENT_KINDS or span.instant:
+            tid = _EVENTS_TID
+            thread_names.setdefault((pid, tid), "events")
+        else:
+            tid = _EXEC_TID_BASE + int(span.attrs.get("tid", 0) or 0)
+            thread_names.setdefault((pid, tid),
+                                    f"thread {tid - _EXEC_TID_BASE}")
+        if span.instant:
+            span_events.append({
+                "ph": "i", "s": "t", "name": span.name or span.kind,
+                "cat": span.kind, "pid": pid, "tid": tid,
+                "ts": span.start * TS_SCALE, "args": args,
+            })
+        else:
+            end = span.end if span.end is not None else span.start
+            span_events.append({
+                "ph": "X", "name": span.name or span.kind,
+                "cat": span.kind, "pid": pid, "tid": tid,
+                "ts": span.start * TS_SCALE,
+                "dur": (end - span.start) * TS_SCALE, "args": args,
+            })
+
+    for (pid, tid) in sorted(thread_names):
+        events.append({"ph": "M", "name": "thread_name", "pid": pid,
+                       "tid": tid, "args": {"name": thread_names[(pid, tid)]}})
+        events.append({"ph": "M", "name": "thread_sort_index", "pid": pid,
+                       "tid": tid, "args": {"sort_index": tid}})
+    events.extend(span_events)
+    return {"displayTimeUnit": "ms", "traceEvents": events}
+
+
+def chrome_trace_json(spans: Iterable[Span]) -> str:
+    """Canonical (byte-stable) JSON text of :func:`chrome_trace`."""
+    return json.dumps(chrome_trace(spans), **_JSON_KW) + "\n"
+
+
+def write_chrome_trace(spans: Iterable[Span], path: str) -> None:
+    with open(path, "w") as fh:
+        fh.write(chrome_trace_json(spans))
+
+
+def prometheus_text(source: Union[MetricsRegistry, Stats, Any]) -> str:
+    """Prometheus text dump of a registry, a ``Stats``, or a run result.
+
+    Result objects are inspected for a ``metrics`` registry first, then a
+    raw ``stats`` store; a bare ``Stats`` dumps every counter untyped.
+    """
+    if isinstance(source, MetricsRegistry):
+        return source.to_prometheus()
+    if isinstance(source, Stats):
+        return MetricsRegistry(source).to_prometheus()
+    metrics = getattr(source, "metrics", None)
+    if isinstance(metrics, MetricsRegistry):
+        return metrics.to_prometheus()
+    stats = getattr(source, "stats", None)
+    if isinstance(stats, Stats):
+        return MetricsRegistry(stats).to_prometheus()
+    raise TypeError(f"cannot export metrics from {source!r}")

@@ -1,0 +1,242 @@
+"""Typed metrics over the untyped :class:`~repro.sim.stats.Stats` store.
+
+Historically every subsystem bumped raw string keys —
+``stats.incr("opt.forks")`` — and analyses had to know the key strings.
+The :class:`MetricsRegistry` replaces that with *declared* instruments:
+
+* :class:`Counter` — monotonically increasing count;
+* :class:`Gauge` — instantaneous level, with a virtual-time series;
+* :class:`Histogram` — distribution over fixed buckets.
+
+``Stats`` remains the backing store (counters land in
+``stats.counters``, gauge series in ``stats.series``), so everything
+that reads ``Stats`` today — snapshots, ``perf()``, test pins — keeps
+working unchanged; the registry adds names, types, help strings and a
+prometheus-style text export on top.
+
+:class:`RuntimeMetrics` declares the optimistic runtime's full
+instrument set in one place, replacing the string-key increments that
+used to be scattered through ``core/runtime.py``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.sim.stats import Stats
+
+#: Default histogram buckets (virtual-time durations).
+DEFAULT_BUCKETS: Tuple[float, ...] = (
+    1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0, 200.0, 500.0, 1000.0)
+
+
+class Counter:
+    """Monotonic counter; increments land in ``stats.counters[name]``."""
+
+    __slots__ = ("name", "help", "_stats")
+
+    def __init__(self, name: str, help: str, stats: Stats) -> None:
+        self.name = name
+        self.help = help
+        self._stats = stats
+
+    def inc(self, amount: int = 1) -> None:
+        self._stats.incr(self.name, amount)
+
+    @property
+    def value(self) -> int:
+        return self._stats.get(self.name)
+
+
+class Gauge:
+    """Instantaneous level; each change is recorded as a time series."""
+
+    __slots__ = ("name", "help", "value", "_stats")
+
+    def __init__(self, name: str, help: str, stats: Stats) -> None:
+        self.name = name
+        self.help = help
+        self.value: float = 0.0
+        self._stats = stats
+
+    def set(self, value: float, time: float = 0.0) -> None:
+        self.value = value
+        self._stats.record(self.name, time, value)
+
+    def add(self, delta: float, time: float = 0.0) -> None:
+        self.set(self.value + delta, time)
+
+
+class Histogram:
+    """Fixed-bucket distribution (prometheus-style cumulative export).
+
+    The observation count is mirrored into ``stats.counters`` under
+    ``<name>.count`` so untyped consumers still see activity.
+    """
+
+    __slots__ = ("name", "help", "buckets", "counts", "total", "sum",
+                 "_stats")
+
+    def __init__(self, name: str, help: str, stats: Stats,
+                 buckets: Sequence[float] = DEFAULT_BUCKETS) -> None:
+        self.name = name
+        self.help = help
+        self.buckets: Tuple[float, ...] = tuple(buckets)
+        self.counts: List[int] = [0] * (len(self.buckets) + 1)  # +inf slot
+        self.total = 0
+        self.sum = 0.0
+        self._stats = stats
+
+    def observe(self, value: float) -> None:
+        self.total += 1
+        self.sum += value
+        for i, bound in enumerate(self.buckets):
+            if value <= bound:
+                self.counts[i] += 1
+                break
+        else:
+            self.counts[-1] += 1
+        self._stats.incr(self.name + ".count")
+
+    def cumulative(self) -> List[Tuple[float, int]]:
+        """``(upper_bound, cumulative_count)`` pairs ending at +inf."""
+        out: List[Tuple[float, int]] = []
+        running = 0
+        for bound, count in zip(self.buckets, self.counts):
+            running += count
+            out.append((bound, running))
+        out.append((float("inf"), self.total))
+        return out
+
+
+def _sanitize(name: str) -> str:
+    """Dots (our namespacing) are invalid in prometheus metric names."""
+    return name.replace(".", "_").replace("-", "_")
+
+
+class MetricsRegistry:
+    """Declared instruments over a shared :class:`Stats` backing store."""
+
+    def __init__(self, stats: Optional[Stats] = None) -> None:
+        self.stats = stats if stats is not None else Stats()
+        self._metrics: Dict[str, Any] = {}  # insertion-ordered
+
+    def _declare(self, name: str, factory, cls) -> Any:
+        existing = self._metrics.get(name)
+        if existing is not None:
+            if not isinstance(existing, cls):
+                raise TypeError(
+                    f"metric {name!r} already declared as "
+                    f"{type(existing).__name__}, not {cls.__name__}")
+            return existing
+        metric = factory()
+        self._metrics[name] = metric
+        return metric
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        return self._declare(
+            name, lambda: Counter(name, help, self.stats), Counter)
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        return self._declare(
+            name, lambda: Gauge(name, help, self.stats), Gauge)
+
+    def histogram(self, name: str, help: str = "",
+                  buckets: Sequence[float] = DEFAULT_BUCKETS) -> Histogram:
+        return self._declare(
+            name, lambda: Histogram(name, help, self.stats, buckets),
+            Histogram)
+
+    def names(self) -> List[str]:
+        return list(self._metrics)
+
+    def get(self, name: str) -> Any:
+        return self._metrics[name]
+
+    def to_prometheus(self, include_unregistered: bool = True) -> str:
+        """Prometheus text exposition of every declared instrument.
+
+        With ``include_unregistered``, raw ``stats.counters`` entries that
+        no declared instrument owns are appended as untyped counters, so
+        legacy ``stats.incr`` call sites still show up in the dump.
+        """
+        lines: List[str] = []
+        covered = set()
+        for name, metric in self._metrics.items():
+            pname = _sanitize(name)
+            if metric.help:
+                lines.append(f"# HELP {pname} {metric.help}")
+            if isinstance(metric, Counter):
+                lines.append(f"# TYPE {pname} counter")
+                lines.append(f"{pname} {metric.value}")
+                covered.add(name)
+            elif isinstance(metric, Gauge):
+                lines.append(f"# TYPE {pname} gauge")
+                lines.append(f"{pname} {metric.value}")
+                covered.add(name)
+            elif isinstance(metric, Histogram):
+                lines.append(f"# TYPE {pname} histogram")
+                for bound, count in metric.cumulative():
+                    le = "+Inf" if bound == float("inf") else repr(bound)
+                    lines.append(f'{pname}_bucket{{le="{le}"}} {count}')
+                lines.append(f"{pname}_sum {metric.sum}")
+                lines.append(f"{pname}_count {metric.total}")
+                covered.add(name)
+                covered.add(name + ".count")
+        if include_unregistered:
+            extras = sorted(k for k in self.stats.counters
+                            if k not in covered)
+            for name in extras:
+                pname = _sanitize(name)
+                lines.append(f"# TYPE {pname} counter")
+                lines.append(f"{pname} {self.stats.counters[name]}")
+        return "\n".join(lines) + "\n"
+
+
+class RuntimeMetrics:
+    """The optimistic runtime's declared instrument set.
+
+    One attribute per metric so hot paths write ``m.forks.inc()`` instead
+    of ``stats.incr("opt.forks")`` — same backing keys, now typed and
+    self-documenting.
+    """
+
+    def __init__(self, registry: MetricsRegistry) -> None:
+        self.registry = registry
+        c = registry.counter
+        self.forks = c("opt.forks", "guesses forked")
+        self.commits = c("opt.commits", "guesses committed")
+        self.aborts = c("opt.aborts", "guesses aborted (any reason)")
+        self.aborts_timeout = c("opt.aborts.timeout",
+                                "aborts from fork-timer expiry")
+        self.aborts_value_fault = c("opt.aborts.value_fault",
+                                    "aborts from wrong guessed values")
+        self.aborts_time_fault = c("opt.aborts.time_fault",
+                                   "aborts from early-reply time faults")
+        self.aborts_cycle = c("opt.aborts.cycle",
+                              "aborts breaking commit-dependency cycles")
+        self.fork_fallback = c("opt.fork_fallback_pessimistic",
+                               "forks skipped (no predictor/disabled)")
+        self.guard_tag_units = c("opt.guard_tag_units",
+                                 "guard tags carried on messages")
+        self.guards_acquired = c("opt.guards_acquired",
+                                 "guard tags acquired by receivers")
+        self.orphans_discarded = c("opt.orphans_discarded",
+                                   "orphan messages dropped")
+        self.emissions_buffered = c("opt.emissions_buffered",
+                                    "external outputs held for commit")
+        self.emissions_released = c("opt.emissions_released",
+                                    "external outputs released on commit")
+        self.emissions_dropped = c("opt.emissions_dropped",
+                                   "external outputs dropped on abort")
+        self.precedence_sent = c("opt.precedence_sent",
+                                 "PRECEDENCE control messages sent")
+        self.rollbacks = c("opt.rollbacks", "thread rollback operations")
+        self.threads_destroyed = c("opt.threads_destroyed",
+                                   "speculative threads destroyed")
+        self.continuations = c("opt.continuations",
+                               "continuation threads spawned")
+        self.speculation_depth = registry.gauge(
+            "opt.speculation_depth", "guesses currently in doubt")
+        self.doubt_time = registry.histogram(
+            "opt.doubt_time", "virtual time guesses spend in doubt")

@@ -1,0 +1,84 @@
+"""Trace smoke test: ``python -m repro.obs.smoke [outdir]``.
+
+Runs the Fig. 3 and Fig. 6 scenarios with tracing on, exports each trace
+in both supported formats, validates every artifact, and checks that the
+Fig. 6 Chrome trace is byte-identical across two runs (the determinism
+contract the golden test relies on).  Exits non-zero on any failure, so
+``make trace-smoke`` can gate on it.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import tempfile
+
+from repro.core.analysis import speculation_report
+from repro.obs.export import chrome_trace_json, spans_to_jsonl, write_chrome_trace, write_jsonl_trace
+from repro.obs.tracer import RecordingTracer
+from repro.obs.validate import validate_chrome, validate_jsonl, validate_spans
+from repro.workloads.scenarios import run_fig3_streaming, run_fig6_two_threads
+
+
+def _traced(builder):
+    tracer = RecordingTracer()
+    result = builder(tracer)
+    return result, tracer.spans()
+
+
+def run_smoke(outdir: str) -> int:
+    cases = {
+        "fig3": lambda tr: run_fig3_streaming(tracer=tr).optimistic,
+        "fig6": lambda tr: run_fig6_two_threads(tracer=tr),
+    }
+    for name, builder in cases.items():
+        result, spans = _traced(builder)
+        if not spans:
+            print(f"FAIL: {name} produced no spans", file=sys.stderr)
+            return 1
+        counts = validate_spans(spans)
+
+        chrome_path = os.path.join(outdir, f"{name}_trace.json")
+        write_chrome_trace(spans, chrome_path)
+        with open(chrome_path, "r", encoding="utf-8") as fh:
+            validate_chrome(json.load(fh))
+
+        jsonl_path = os.path.join(outdir, f"{name}_trace.jsonl")
+        write_jsonl_trace(spans, jsonl_path)
+        with open(jsonl_path, "r", encoding="utf-8") as fh:
+            validate_jsonl(fh.read())
+
+        print(f"{name}: {counts['spans']} spans "
+              f"({counts['guesses']} guesses, {counts['commits']} commits, "
+              f"{counts['aborts']} aborts) -> "
+              f"{os.path.basename(chrome_path)}, "
+              f"{os.path.basename(jsonl_path)}")
+        print(speculation_report(result, title=f"{name} report:"))
+
+    # Determinism: the same scenario traced twice must export identically.
+    _, once = _traced(cases["fig6"])
+    _, twice = _traced(cases["fig6"])
+    if chrome_trace_json(once) != chrome_trace_json(twice):
+        print("FAIL: fig6 chrome trace is not deterministic", file=sys.stderr)
+        return 1
+    if spans_to_jsonl(once) != spans_to_jsonl(twice):
+        print("FAIL: fig6 jsonl trace is not deterministic", file=sys.stderr)
+        return 1
+    print("determinism: fig6 trace byte-identical across runs")
+    print("trace smoke OK")
+    return 0
+
+
+def main(argv=None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    if argv:
+        outdir = argv[0]
+        os.makedirs(outdir, exist_ok=True)
+        return run_smoke(outdir)
+    with tempfile.TemporaryDirectory(prefix="repro-trace-smoke-") as outdir:
+        return run_smoke(outdir)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

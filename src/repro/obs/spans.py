@@ -1,0 +1,205 @@
+"""The span schema: typed intervals and instants of a simulated run.
+
+A :class:`Span` is one interval of virtual time attributed to a process —
+the unit every execution mode (optimistic, sequential, pipelining,
+promises, time warp) reports through, so traces from different runtimes
+can be compared, merged and exported with the same tools.
+
+Two span shapes exist:
+
+* **interval spans** (``end > start`` possible): a guess's fork→resolution
+  window, a segment execution, a server servicing one request;
+* **instant events** (``end == start``): sends, receives, control
+  messages, rollbacks, replays, orphan discards, timer firings.
+
+Span ids are small integers assigned in creation order by the tracer, and
+all timestamps are *virtual* time, so a trace of a deterministic run is
+itself deterministic — byte-identical across repetitions — and can be
+golden-tested.
+
+The kind vocabulary is deliberately shared across modes: a promise that
+has not resolved yet and a Time Warp event that may still roll back are
+both "guesses in doubt" in the paper's sense, so they emit ``GUESS``
+spans too and the same analysis (:mod:`repro.core.analysis`) reads all of
+them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional
+
+# --------------------------------------------------------------- span kinds
+
+#: Speculation interval: fork→commit/abort for the optimistic runtime,
+#: issue→resolve for a promise, process→commit/rollback for Time Warp.
+#: Closed with ``outcome="commit"`` or ``outcome="abort"`` (plus
+#: ``reason=`` for aborts).
+GUESS = "guess"
+#: One thread (or sequential process) executing one program segment.
+SEGMENT = "segment"
+#: A server servicing one request (pipelining/promise baselines).
+SERVICE = "service"
+
+#: Instant events.
+SEND = "send"
+RECV = "recv"
+EMIT = "emit"
+CONTROL = "control"
+ROLLBACK = "rollback"
+REPLAY = "replay"
+CONTINUATION = "continuation"
+ORPHAN = "orphan"
+TIMER = "timer"
+CDG_EDGE = "cdg_edge"
+COMPLETE = "complete"
+
+#: Kinds that are interval spans (may have positive duration).
+INTERVAL_KINDS = frozenset({GUESS, SEGMENT, SERVICE})
+#: Kinds that are zero-duration instants.
+EVENT_KINDS = frozenset({
+    SEND, RECV, EMIT, CONTROL, ROLLBACK, REPLAY, CONTINUATION,
+    ORPHAN, TIMER, CDG_EDGE, COMPLETE,
+})
+#: The full shared vocabulary.
+ALL_KINDS = INTERVAL_KINDS | EVENT_KINDS
+
+#: ``outcome=`` attribute values a resolved GUESS span closes with.
+COMMIT_OUTCOME = "commit"
+ABORT_OUTCOME = "abort"
+
+
+@dataclass
+class Span:
+    """One interval (or instant) of a run, in virtual time."""
+
+    sid: int                         #: stable id, creation order
+    kind: str                        #: one of the module-level kind names
+    name: str                        #: display name (guess key, segment...)
+    process: str                     #: owning process ("" = the substrate)
+    start: float                     #: virtual start time
+    end: Optional[float] = None      #: virtual end time (None while open)
+    parent: Optional[int] = None     #: sid of the enclosing span, if any
+    attrs: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def duration(self) -> Optional[float]:
+        """Virtual-time length, or ``None`` while the span is open."""
+        if self.end is None:
+            return None
+        return self.end - self.start
+
+    @property
+    def instant(self) -> bool:
+        """True for zero-duration event spans."""
+        return self.end == self.start
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain-dict form used by the JSONL exporter."""
+        return {
+            "sid": self.sid,
+            "kind": self.kind,
+            "name": self.name,
+            "process": self.process,
+            "start": self.start,
+            "end": self.end,
+            "parent": self.parent,
+            "attrs": dict(self.attrs),
+        }
+
+
+def span_from_dict(data: Dict[str, Any]) -> Span:
+    """Inverse of :meth:`Span.to_dict` (used to reload JSONL traces)."""
+    return Span(
+        sid=data["sid"], kind=data["kind"], name=data["name"],
+        process=data["process"], start=data["start"], end=data.get("end"),
+        parent=data.get("parent"), attrs=dict(data.get("attrs", {})),
+    )
+
+
+# ------------------------------------------------- protocol-log compatibility
+
+def spans_from_protocol_log(protocol_log: Iterable[dict]) -> List[Span]:
+    """Synthesize spans from a legacy ``protocol_log`` event list.
+
+    The optimistic runtime keeps its dict-based protocol log even when
+    tracing is off; this adapter lifts it into the span schema so every
+    analysis (:mod:`repro.core.analysis`) has a single input type.  Guess
+    lifecycles (``fork`` → first ``commit``/``abort``) become ``GUESS``
+    interval spans; ``rollback`` and ``continuation`` entries become the
+    corresponding events; every other entry becomes a generic instant
+    event keyed by its protocol kind.
+    """
+    spans: List[Span] = []
+    open_guesses: Dict[str, Span] = {}
+    sid = 0
+    for entry in protocol_log:
+        kind = entry["kind"]
+        time = entry["time"]
+        process = entry["process"]
+        if kind == "fork":
+            span = Span(
+                sid=sid, kind=GUESS, name=entry["guess"], process=process,
+                start=time,
+                attrs={"site": entry.get("site", "?")},
+            )
+            sid += 1
+            spans.append(span)
+            open_guesses[entry["guess"]] = span
+        elif kind in ("commit", "abort"):
+            span = open_guesses.pop(entry.get("guess", ""), None)
+            if span is not None:
+                span.end = time
+                span.attrs["outcome"] = kind
+                if kind == "abort" and entry.get("reason"):
+                    span.attrs["reason"] = entry["reason"]
+        elif kind == "rollback":
+            spans.append(Span(
+                sid=sid, kind=ROLLBACK, name="rollback", process=process,
+                start=time, end=time,
+                attrs={"tid": entry.get("tid"),
+                       "position": entry.get("position")},
+            ))
+            sid += 1
+        elif kind == "continuation":
+            spans.append(Span(
+                sid=sid, kind=CONTINUATION, name=entry.get("guess", ""),
+                process=process, start=time, end=time,
+                attrs={"tid": entry.get("tid")},
+            ))
+            sid += 1
+        else:
+            attrs = {k: v for k, v in entry.items()
+                     if k not in ("kind", "time", "process")}
+            spans.append(Span(
+                sid=sid, kind=kind, name=kind, process=process,
+                start=time, end=time, attrs=attrs,
+            ))
+            sid += 1
+    return spans
+
+
+def as_spans(source: Any) -> List[Span]:
+    """Coerce any supported trace source into a span list.
+
+    Accepts a span list, a protocol-log dict list, a run-result object
+    (anything with ``spans`` and/or ``protocol_log`` attributes), or
+    ``None``.  Result objects prefer real tracer spans and fall back to
+    the protocol-log adapter, so analyses work whether or not tracing was
+    enabled for the run.
+    """
+    if source is None:
+        return []
+    if hasattr(source, "spans") or hasattr(source, "protocol_log"):
+        spans = getattr(source, "spans", None)
+        if spans:
+            return list(spans)
+        return spans_from_protocol_log(getattr(source, "protocol_log", []))
+    items = list(source)
+    if not items:
+        return []
+    if isinstance(items[0], Span):
+        return items
+    if isinstance(items[0], dict) and "kind" in items[0]:
+        return spans_from_protocol_log(items)
+    raise TypeError(f"cannot interpret trace source {source!r}")

@@ -1,0 +1,126 @@
+"""Tracers: the recording surface every runtime writes spans through.
+
+The base :class:`Tracer` is a *no-op*: every method returns immediately
+and records nothing, and its class attribute ``enabled`` is ``False`` so
+hot paths can skip even argument construction with a single attribute
+test::
+
+    if tracer.enabled:
+        tracer.event(SEND, self.name, now, name=dst, payload=len(msg))
+
+This is what makes tracing zero-overhead-when-off — systems default to
+the shared :data:`NULL_TRACER` singleton, and the only cost on the hot
+path is one predictable branch.
+
+:class:`RecordingTracer` keeps every span in creation order with small
+integer ids.  Because the simulation is deterministic and all stamps are
+virtual time, two runs of the same scenario produce byte-identical
+traces.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+from .spans import Span
+
+
+class Tracer:
+    """No-op tracer; base class and default for every runtime.
+
+    Subclass and set ``enabled = True`` to actually record.  All times
+    are virtual (simulation) time; span ids are opaque ints (``-1`` from
+    the no-op tracer).
+    """
+
+    enabled: bool = False
+
+    def start_span(self, kind: str, process: str, start: float, *,
+                   name: str = "", parent: Optional[int] = None,
+                   **attrs: Any) -> int:
+        """Open an interval span; returns its id."""
+        return -1
+
+    def end_span(self, sid: int, end: float, **attrs: Any) -> None:
+        """Close a previously opened span, merging ``attrs`` in."""
+
+    def event(self, kind: str, process: str, time: float, *,
+              name: str = "", parent: Optional[int] = None,
+              **attrs: Any) -> int:
+        """Record an instant (zero-duration) span; returns its id."""
+        return -1
+
+    def close_open(self, end: float) -> int:
+        """Close any dangling spans at ``end``; returns how many."""
+        return 0
+
+    def spans(self) -> List[Span]:
+        """All recorded spans in creation (sid) order."""
+        return []
+
+
+class NullTracer(Tracer):
+    """Explicit alias for the disabled tracer (API symmetry)."""
+
+
+#: Shared default instance — the no-op tracer is stateless.
+NULL_TRACER = NullTracer()
+
+
+class RecordingTracer(Tracer):
+    """In-memory tracer with deterministic, creation-ordered span ids."""
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self._spans: List[Span] = []
+        self._open: Dict[int, Span] = {}
+        self._next_sid = 0
+
+    def _new_span(self, kind: str, process: str, start: float,
+                  end: Optional[float], name: str, parent: Optional[int],
+                  attrs: Dict[str, Any]) -> Span:
+        span = Span(sid=self._next_sid, kind=kind, name=name,
+                    process=process, start=start, end=end, parent=parent,
+                    attrs=attrs)
+        self._next_sid += 1
+        self._spans.append(span)
+        return span
+
+    def start_span(self, kind: str, process: str, start: float, *,
+                   name: str = "", parent: Optional[int] = None,
+                   **attrs: Any) -> int:
+        span = self._new_span(kind, process, start, None, name, parent, attrs)
+        self._open[span.sid] = span
+        return span.sid
+
+    def end_span(self, sid: int, end: float, **attrs: Any) -> None:
+        span = self._open.pop(sid, None)
+        if span is None:     # unknown or already closed: ignore quietly
+            return
+        span.end = end
+        if attrs:
+            span.attrs.update(attrs)
+
+    def event(self, kind: str, process: str, time: float, *,
+              name: str = "", parent: Optional[int] = None,
+              **attrs: Any) -> int:
+        return self._new_span(kind, process, time, time, name or kind,
+                              parent, attrs).sid
+
+    def close_open(self, end: float) -> int:
+        """Close spans still open when the run ends (marked truncated)."""
+        count = 0
+        for sid in sorted(self._open):
+            span = self._open[sid]
+            span.end = max(end, span.start)
+            span.attrs["truncated"] = True
+            count += 1
+        self._open.clear()
+        return count
+
+    def spans(self) -> List[Span]:
+        return list(self._spans)
+
+    def __len__(self) -> int:
+        return len(self._spans)

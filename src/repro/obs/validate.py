@@ -1,0 +1,113 @@
+"""Schema validation for span lists and exported trace files.
+
+Used by ``make trace-smoke``, the CLI and the property tests.  The rules
+encode the speculation lifecycle invariants:
+
+* span ids are unique and assigned in creation order;
+* every span is closed (``end`` set) and no duration is negative;
+* every ``guess`` span resolves exactly one way — ``outcome`` is
+  ``"commit"`` or ``"abort"`` — unless the run was truncated mid-doubt
+  (``truncated`` attr), which callers may forbid via ``strict``.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Iterable, List
+
+from .spans import GUESS, Span
+
+
+class TraceValidationError(AssertionError):
+    """A span list or exported trace violates the schema."""
+
+
+def validate_spans(spans: Iterable[Span], *,
+                   strict: bool = False) -> Dict[str, int]:
+    """Check span well-formedness; returns summary counts.
+
+    ``strict`` additionally rejects truncated (unresolved) guess spans —
+    appropriate for runs that are known to quiesce.
+    """
+    spans = list(spans)
+    errors: List[str] = []
+    seen_sids = set()
+    last_sid = -1
+    guesses = commits = aborts = 0
+    for span in spans:
+        where = f"span sid={span.sid} kind={span.kind} name={span.name!r}"
+        if span.sid in seen_sids:
+            errors.append(f"duplicate sid: {where}")
+        seen_sids.add(span.sid)
+        if span.sid <= last_sid:
+            errors.append(f"sid out of creation order: {where}")
+        last_sid = span.sid
+        if span.end is None:
+            errors.append(f"unclosed span: {where}")
+        elif span.end < span.start:
+            errors.append(
+                f"negative duration ({span.start} -> {span.end}): {where}")
+        if span.kind == GUESS:
+            guesses += 1
+            outcome = span.attrs.get("outcome")
+            if outcome == "commit":
+                commits += 1
+            elif outcome == "abort":
+                aborts += 1
+            elif span.attrs.get("truncated"):
+                if strict:
+                    errors.append(f"truncated guess span: {where}")
+            else:
+                errors.append(
+                    f"guess span without commit/abort outcome: {where}")
+    if errors:
+        raise TraceValidationError(
+            f"{len(errors)} trace violations:\n  " + "\n  ".join(errors))
+    return {"spans": len(spans), "guesses": guesses,
+            "commits": commits, "aborts": aborts}
+
+
+def validate_chrome(trace: Dict[str, Any]) -> Dict[str, int]:
+    """Structural check of a Chrome trace-event object."""
+    if not isinstance(trace, dict) or "traceEvents" not in trace:
+        raise TraceValidationError("chrome trace must have 'traceEvents'")
+    events = trace["traceEvents"]
+    n_complete = n_instant = n_meta = 0
+    for ev in events:
+        ph = ev.get("ph")
+        for key in ("pid", "tid", "name"):
+            if key not in ev:
+                raise TraceValidationError(f"chrome event missing {key}: {ev}")
+        if ph == "X":
+            n_complete += 1
+            if ev.get("dur", 0) < 0 or "ts" not in ev:
+                raise TraceValidationError(f"bad complete event: {ev}")
+        elif ph == "i":
+            n_instant += 1
+            if "ts" not in ev:
+                raise TraceValidationError(f"instant event without ts: {ev}")
+        elif ph == "M":
+            n_meta += 1
+        else:
+            raise TraceValidationError(f"unexpected phase {ph!r}: {ev}")
+    return {"events": len(events), "complete": n_complete,
+            "instant": n_instant, "metadata": n_meta}
+
+
+def validate_jsonl(text: str) -> int:
+    """Check a JSONL export parses and carries the span fields."""
+    required = ("sid", "kind", "name", "process", "start", "end")
+    count = 0
+    for lineno, line in enumerate(text.splitlines(), 1):
+        if not line.strip():
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise TraceValidationError(f"line {lineno}: bad JSON: {exc}")
+        for key in required:
+            if key not in record:
+                raise TraceValidationError(
+                    f"line {lineno}: missing field {key!r}")
+        count += 1
+    return count

@@ -45,13 +45,19 @@ class Scheduler:
         Upper bound on processed events; exceeding it raises
         :class:`~repro.errors.LivenessError`.  This converts runtime
         non-termination bugs into test failures.
+    tracer:
+        Optional :class:`~repro.obs.Tracer`; when enabled, timer firings
+        are recorded as ``timer`` events.  Defaults to the no-op tracer.
     """
 
-    def __init__(self, max_steps: int = 1_000_000) -> None:
+    def __init__(self, max_steps: int = 1_000_000, tracer=None) -> None:
+        from repro.obs.tracer import NULL_TRACER
+
         self.clock = VirtualClock()
         self.queue = EventQueue()
         self.max_steps = max_steps
         self.steps_executed = 0
+        self.tracer = tracer if tracer is not None else NULL_TRACER
 
     @property
     def now(self) -> float:
@@ -91,6 +97,8 @@ class Scheduler:
 
         def fire() -> None:
             holder[0].fired = True
+            if self.tracer.enabled:
+                self.tracer.event("timer", "", self.now, name=label)
             action()
 
         ev = self.after(delay, fire, label=label)

@@ -132,8 +132,12 @@ def _build_side(spec: DuplexSpec, side: str) -> Tuple[Program,
 
 
 def build_duplex_system(spec: DuplexSpec, optimistic: bool,
-                        config: Optional[OptimisticConfig] = None):
-    """Assemble both sides plus the shared servers."""
+                        config: Optional[OptimisticConfig] = None,
+                        tracer=None):
+    """Assemble both sides plus the shared servers.
+
+    ``tracer`` (optimistic mode only) enables span tracing for the run.
+    """
     prog_a, plan_a = _build_side(spec, "A")
     prog_b, plan_b = _build_side(spec, "B")
 
@@ -144,7 +148,8 @@ def build_duplex_system(spec: DuplexSpec, optimistic: bool,
         return handler
 
     if optimistic:
-        system = OptimisticSystem(FixedLatency(spec.latency), config=config)
+        system = OptimisticSystem(FixedLatency(spec.latency), config=config,
+                                  tracer=tracer)
         system.add_program(prog_a, plan_a)
         system.add_program(prog_b, plan_b)
     else:

@@ -97,6 +97,7 @@ def run_update_write(
     nested_log: bool = False,
     service_time: float = 1.0,
     config: Optional[OptimisticConfig] = None,
+    tracer=None,
 ):
     """One execution of the Fig. 1 program under either interpreter."""
     latency = latency or FixedLatency(5.0)
@@ -104,10 +105,10 @@ def run_update_write(
         update_ok=update_ok, service_time=service_time, nested_log=nested_log
     )
     if optimistic:
-        system = OptimisticSystem(latency, config=config)
+        system = OptimisticSystem(latency, config=config, tracer=tracer)
         system.add_program(client, stream_plan(client))
     else:
-        system = SequentialSystem(latency)
+        system = SequentialSystem(latency, tracer=tracer)
         system.add_program(client)
     system.add_program(db)
     system.add_program(fs)
@@ -119,24 +120,31 @@ def run_update_write(
 # --------------------------------------------------------------------------
 
 def run_fig2_no_streaming(latency: float = 5.0,
-                          service_time: float = 1.0) -> SequentialResult:
+                          service_time: float = 1.0,
+                          tracer=None) -> SequentialResult:
     """Fig. 2: the blocking execution — each call waits out a round trip."""
     return run_update_write(
         optimistic=False, latency=FixedLatency(latency),
-        service_time=service_time,
+        service_time=service_time, tracer=tracer,
     )
 
 
 def run_fig3_streaming(latency: float = 5.0, service_time: float = 1.0,
-                       config: Optional[OptimisticConfig] = None) -> ScenarioResult:
-    """Fig. 3: successful call streaming; both calls overlap."""
+                       config: Optional[OptimisticConfig] = None,
+                       tracer=None) -> ScenarioResult:
+    """Fig. 3: successful call streaming; both calls overlap.
+
+    ``tracer`` (here and in the other figure builders) traces the
+    *optimistic* run; the sequential reference stays untraced so the
+    spans on each result are unambiguous.
+    """
     seq = run_update_write(
         optimistic=False, latency=FixedLatency(latency),
         service_time=service_time,
     )
     opt = run_update_write(
         optimistic=True, latency=FixedLatency(latency),
-        service_time=service_time, config=config,
+        service_time=service_time, config=config, tracer=tracer,
     )
     return ScenarioResult(sequential=seq, optimistic=opt)
 
@@ -147,6 +155,7 @@ def run_fig4_time_fault(
     slow: float = 10.0,
     service_time: float = 1.0,
     config: Optional[OptimisticConfig] = None,
+    tracer=None,
 ) -> ScenarioResult:
     """Fig. 4: X's speculative call to Z beats Y's causally-earlier one.
 
@@ -158,18 +167,20 @@ def run_fig4_time_fault(
     seq = run_update_write(optimistic=False, latency=latency, nested_log=True,
                            service_time=service_time)
     opt = run_update_write(optimistic=True, latency=latency, nested_log=True,
-                           service_time=service_time, config=config)
+                           service_time=service_time, config=config,
+                           tracer=tracer)
     return ScenarioResult(sequential=seq, optimistic=opt)
 
 
 def run_fig5_value_fault(latency: float = 5.0, service_time: float = 1.0,
-                         config: Optional[OptimisticConfig] = None) -> ScenarioResult:
+                         config: Optional[OptimisticConfig] = None,
+                         tracer=None) -> ScenarioResult:
     """Fig. 5: the Update fails, so the guessed ``OK = True`` is wrong."""
     seq = run_update_write(optimistic=False, latency=FixedLatency(latency),
                            update_ok=False, service_time=service_time)
     opt = run_update_write(optimistic=True, latency=FixedLatency(latency),
                            update_ok=False, service_time=service_time,
-                           config=config)
+                           config=config, tracer=tracer)
     return ScenarioResult(sequential=seq, optimistic=opt)
 
 
@@ -183,7 +194,8 @@ def _recv_one(state):
 
 
 def run_fig6_two_threads(latency: float = 3.0,
-                         config: Optional[OptimisticConfig] = None) -> OptimisticResult:
+                         config: Optional[OptimisticConfig] = None,
+                         tracer=None) -> OptimisticResult:
     """Fig. 6: X and Z are both forked; z1's fate hangs on x1 via PRECEDENCE.
 
     X's S1 calls W; X's S2 sends M1 to Z.  Z's S1 receives M1 (acquiring
@@ -214,7 +226,8 @@ def run_fig6_two_threads(latency: float = 3.0,
         state.setdefault("got", []).append(tuple(req.args))
         return None
 
-    system = OptimisticSystem(FixedLatency(latency), config=config)
+    system = OptimisticSystem(FixedLatency(latency), config=config,
+                              tracer=tracer)
     system.add_program(prog_x, plan_x)
     system.add_program(prog_z, plan_z)
     system.add_program(server_program("W", worker, service_time=1.0))
@@ -224,7 +237,8 @@ def run_fig6_two_threads(latency: float = 3.0,
 
 def run_fig7_cycle(latency: float = 3.0,
                    config: Optional[OptimisticConfig] = None,
-                   until: float = 500.0) -> OptimisticResult:
+                   until: float = 500.0,
+                   tracer=None) -> OptimisticResult:
     """Fig. 7: the symmetric version — x1 → z1 → x1 is a causal cycle.
 
     Each left thread receives the *other* process's speculative send, so
@@ -251,7 +265,8 @@ def run_fig7_cycle(latency: float = 3.0,
         state.setdefault("got", []).append(tuple(req.args))
         return True
 
-    system = OptimisticSystem(FixedLatency(latency), config=config)
+    system = OptimisticSystem(FixedLatency(latency), config=config,
+                              tracer=tracer)
     system.add_program(prog_x, ParallelizationPlan().add(
         "s1", ForkSpec(predictor={"v": 7})))
     system.add_program(prog_z, ParallelizationPlan().add(

@@ -36,3 +36,42 @@ def test_sweep_table(capsys):
     out = capsys.readouterr().out
     assert "speedup" in out
     assert "N=3" in out
+
+
+def test_profile_reports_speculation(capsys):
+    assert main(["profile", "fig6"]) == 0
+    out = capsys.readouterr().out
+    assert "Figure 6" in out
+    assert "forks=2 commits=2 aborts=0" in out
+    assert "spans recorded:" in out
+
+
+def test_profile_unknown_scenario(capsys):
+    assert main(["profile", "fig99"]) == 2
+    assert "unknown scenario" in capsys.readouterr().err
+
+
+def test_profile_writes_chrome_trace(tmp_path, capsys):
+    import json
+
+    from repro.obs.validate import validate_chrome
+
+    out_file = tmp_path / "fig6.json"
+    assert main(["profile", "fig6", "--trace-out", str(out_file)]) == 0
+    assert "trace written" in capsys.readouterr().out
+    trace = json.loads(out_file.read_text())
+    counts = validate_chrome(trace)
+    assert counts["complete"] > 0 and counts["metadata"] > 0
+    # one pid per process of the scenario
+    names = {e["args"]["name"] for e in trace["traceEvents"]
+             if e.get("name") == "process_name"}
+    assert names == {"W", "X", "Y", "Z"}
+
+
+def test_profile_writes_jsonl_trace(tmp_path, capsys):
+    from repro.obs.validate import validate_jsonl
+
+    out_file = tmp_path / "fig2.jsonl"
+    assert main(["profile", "fig2", "--trace-out", str(out_file),
+                 "--format", "jsonl"]) == 0
+    assert validate_jsonl(out_file.read_text()) > 0

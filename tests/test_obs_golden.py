@@ -1,0 +1,56 @@
+"""Golden trace exports: byte-identical, deterministic, loadable.
+
+``tests/data/fig6_chrome_trace.json`` pins the exact Chrome trace-event
+export of the canonical Fig. 6 run.  Regenerate after an intentional
+schema change with::
+
+    PYTHONPATH=src python -m repro profile fig6 \
+        --trace-out tests/data/fig6_chrome_trace.json
+"""
+
+import json
+import os
+
+from repro.obs.export import chrome_trace_json, spans_to_jsonl
+from repro.obs.tracer import RecordingTracer
+from repro.obs.validate import validate_chrome
+from repro.workloads.scenarios import run_fig6_two_threads
+
+GOLDEN = os.path.join(os.path.dirname(__file__), "data",
+                      "fig6_chrome_trace.json")
+
+
+def _fig6_spans():
+    tracer = RecordingTracer()
+    run_fig6_two_threads(tracer=tracer)
+    return tracer.spans()
+
+
+def test_fig6_chrome_trace_matches_golden_bytes():
+    with open(GOLDEN, "r", encoding="utf-8") as fh:
+        golden = fh.read()
+    assert chrome_trace_json(_fig6_spans()) == golden
+
+
+def test_fig6_golden_is_valid_and_complete():
+    with open(GOLDEN, "r", encoding="utf-8") as fh:
+        trace = json.load(fh)
+    counts = validate_chrome(trace)
+    assert counts["complete"] > 0 and counts["instant"] > 0
+    events = trace["traceEvents"]
+    process_names = {e["args"]["name"] for e in events
+                     if e.get("name") == "process_name"}
+    assert process_names == {"W", "X", "Y", "Z"}
+    # both forked guesses get their own lane (tids >= 1000)
+    guess_rows = [e for e in events
+                  if e["ph"] == "X" and e["args"].get("kind") == "guess"]
+    assert len(guess_rows) == 2
+    assert all(e["tid"] >= 1000 for e in guess_rows)
+    assert all(e["args"]["outcome"] == "commit" for e in guess_rows)
+
+
+def test_fig6_exports_deterministic_across_runs():
+    first = _fig6_spans()
+    second = _fig6_spans()
+    assert spans_to_jsonl(first) == spans_to_jsonl(second)
+    assert chrome_trace_json(first) == chrome_trace_json(second)

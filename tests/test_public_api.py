@@ -25,6 +25,9 @@ SUBPACKAGES = [
     "repro.trace.diagram", "repro.baselines.timewarp",
     "repro.baselines.promises", "repro.workloads.pipelines",
     "repro.workloads.random_programs", "repro.workloads.random_duplex",
+    "repro.obs", "repro.obs.spans", "repro.obs.tracer",
+    "repro.obs.metrics", "repro.obs.export", "repro.obs.validate",
+    "repro.obs.api", "repro.obs.smoke",
 ]
 
 
@@ -36,7 +39,8 @@ def test_subpackage_imports(module):
 
 def test_subpackage_alls_resolve():
     for module in ("repro.sim", "repro.csp", "repro.core", "repro.trace",
-                   "repro.baselines", "repro.workloads", "repro.bench"):
+                   "repro.baselines", "repro.workloads", "repro.bench",
+                   "repro.obs"):
         mod = importlib.import_module(module)
         for name in getattr(mod, "__all__", []):
             assert hasattr(mod, name), f"{module}.{name}"
@@ -63,5 +67,67 @@ def test_minimal_happy_path_through_top_level_api_only():
 def test_public_docstrings_on_core_classes():
     for obj in (repro.OptimisticSystem, repro.SequentialSystem,
                 repro.OptimisticConfig, repro.Program, repro.Segment,
-                repro.ParallelizationPlan, repro.ForkSpec):
+                repro.ParallelizationPlan, repro.ForkSpec,
+                repro.Tracer, repro.RecordingTracer, repro.Span,
+                repro.MetricsRegistry, repro.RunResult):
         assert obj.__doc__, obj
+
+
+def test_observability_surface_through_top_level_api_only():
+    calls = [("s", "op", (1,))]
+    client = repro.make_call_chain("c", calls)
+    tracer = repro.RecordingTracer()
+    opt = repro.OptimisticSystem(repro.FixedLatency(2.0), tracer=tracer)
+    opt.add_program(client, repro.stream_plan(client))
+    opt.add_program(repro.server_program("s", lambda st, r: "ok"))
+    result = opt.run()
+
+    assert isinstance(result, repro.RunResult)
+    assert result.spans and all(isinstance(s, repro.Span)
+                                for s in result.spans)
+    assert result.completion_time == result.makespan
+    assert repro.as_spans(result) == result.spans
+
+    chrome = repro.chrome_trace_json(result.spans)
+    assert chrome.endswith("\n") and '"traceEvents"' in chrome
+    jsonl = repro.spans_to_jsonl(result.spans)
+    assert len(jsonl.splitlines()) == len(result.spans)
+    assert "forks=" in repro.speculation_report(result)
+    assert "# TYPE" in repro.prometheus_text(result)
+
+
+def test_every_mode_is_a_runresult_with_spans():
+    from repro.baselines.pipelining import run_pipelined_chain
+    from repro.baselines.promises import PCall, PromiseSystem, PWait
+    from repro.baselines.timewarp.kernel import TimeWarpKernel
+    from repro.workloads.generators import ChainSpec
+
+    results = []
+
+    seq = repro.SequentialSystem(repro.FixedLatency(1.0),
+                                 tracer=repro.RecordingTracer())
+    seq.add_program(repro.make_call_chain("c", [("s", "op", (1,))]))
+    seq.add_program(repro.server_program("s", lambda st, r: "ok"))
+    results.append(seq.run())
+
+    results.append(run_pipelined_chain(ChainSpec(n_calls=3),
+                                       tracer=repro.RecordingTracer()))
+
+    def promise_client(state):
+        p = yield PCall("s", "op", (1,))
+        state["v"] = yield PWait(p)
+
+    psys = PromiseSystem(tracer=repro.RecordingTracer())
+    psys.add_server("s", lambda st, op, args: "ok")
+    psys.set_client(promise_client)
+    results.append(psys.run())
+
+    tw = TimeWarpKernel(tracer=repro.RecordingTracer())
+    tw.add_lp("a", lambda st, p, t: [])
+    tw.schedule_initial("a", 1.0, "go")
+    results.append(tw.run())
+
+    for result in results:
+        assert isinstance(result, repro.RunResult), result
+        assert result.spans, result
+        repro.obs.validate_spans(result.spans)
