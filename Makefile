@@ -1,6 +1,6 @@
 PYTHON ?= python
 
-.PHONY: install test trace-smoke bench bench-wallclock figures fuzz examples results clean
+.PHONY: install test trace-smoke bench bench-wallclock bench-obs figures fuzz examples results clean
 
 install:
 	$(PYTHON) setup.py develop
@@ -17,13 +17,16 @@ bench:
 bench-wallclock:
 	PYTHONPATH=src $(PYTHON) -m repro.bench.wallclock
 
+bench-obs:
+	PYTHONPATH=src $(PYTHON) -m repro.bench.speculation_health
+
 figures:
 	$(PYTHON) -m repro figures
 
 examples:
 	@for f in examples/*.py; do echo "== $$f =="; $(PYTHON) $$f; done
 
-results: test bench
+results: test bench bench-obs
 	$(PYTHON) -m pytest tests/ 2>&1 | tee test_output.txt
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only 2>&1 | tee bench_output.txt
 

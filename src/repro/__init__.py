@@ -26,16 +26,22 @@ from repro.core import (
 )
 from repro.core.analysis import speculation_report, summarize
 from repro.obs import (
+    CriticalPath,
     MetricsRegistry,
     NullTracer,
+    ProvenanceGraph,
     RecordingTracer,
     RunResult,
     Span,
     Tracer,
+    WastedWork,
     as_spans,
+    build_provenance,
     chrome_trace_json,
+    critical_path,
     prometheus_text,
     spans_to_jsonl,
+    wasted_work,
     write_chrome_trace,
     write_jsonl_trace,
 )
@@ -112,5 +118,11 @@ __all__ = [
     "prometheus_text",
     "speculation_report",
     "summarize",
+    "ProvenanceGraph",
+    "build_provenance",
+    "WastedWork",
+    "wasted_work",
+    "CriticalPath",
+    "critical_path",
     "__version__",
 ]

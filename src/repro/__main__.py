@@ -5,6 +5,8 @@ Commands
 ``figures``            regenerate all seven paper figures as ASCII diagrams
 ``scenario <id>``      run one scenario (fig2..fig7) and print its diagram
 ``profile <id>``       run one scenario traced; report + optional trace file
+``explain <id>``       speculation forensics: provenance, abort attribution,
+                       wasted work and the virtual-time critical path
 ``sweep``              print the C1-style latency sweep table
 ``list``               list scenarios and experiments
 """
@@ -94,12 +96,63 @@ def cmd_profile(args: argparse.Namespace) -> int:
     print(speculation_report(result, title=f"{title}:"))
     print(f"  completion time: {result.completion_time}")
     print(f"  spans recorded:  {len(spans)}")
-    if args.trace_out:
+    if args.format == "prometheus":
+        from repro.obs.export import prometheus_text
+        text = prometheus_text(result)
+        if args.trace_out:
+            with open(args.trace_out, "w") as fh:
+                fh.write(text)
+            print(f"  metrics written: {args.trace_out} (prometheus)")
+        else:
+            print(text, end="")
+    elif args.trace_out:
         if args.format == "jsonl":
             write_jsonl_trace(spans, args.trace_out)
         else:
             write_chrome_trace(spans, args.trace_out)
         print(f"  trace written:   {args.trace_out} ({args.format})")
+    return 0
+
+
+def cmd_explain(args: argparse.Namespace) -> int:
+    if args.id not in SCENARIOS:
+        print(f"unknown scenario {args.id!r}; try: {', '.join(SCENARIOS)}",
+              file=sys.stderr)
+        return 2
+    from repro.obs.critical_path import critical_path
+    from repro.obs.forensics import build_provenance
+    from repro.obs.tracer import RecordingTracer
+
+    title, build = SCENARIOS[args.id]
+    tracer = RecordingTracer()
+    result, _processes = build(tracer=tracer)
+    graph = build_provenance(result)
+    path = critical_path(result)
+    print(f"{title}: speculation forensics")
+    print()
+    if args.guess:
+        try:
+            lines = graph.explain(args.guess)
+        except KeyError as exc:
+            print(exc.args[0], file=sys.stderr)
+            return 2
+        print("\n".join(lines))
+    else:
+        print("\n".join(graph.report_lines()))
+        print()
+        print("\n".join(path.lines()))
+    if args.json:
+        import json
+        artifact = {
+            "scenario": args.id,
+            "title": title,
+            "provenance": graph.to_dict(),
+            "critical_path": path.to_dict(),
+        }
+        with open(args.json, "w") as fh:
+            json.dump(artifact, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"\njson artifact written: {args.json}")
     return 0
 
 
@@ -151,10 +204,20 @@ def main(argv=None) -> int:
     p_prof.add_argument("id", help="fig2..fig7")
     p_prof.add_argument("--trace-out", default=None, metavar="FILE",
                         help="also export the span trace to FILE")
-    p_prof.add_argument("--format", choices=("chrome", "jsonl"),
+    p_prof.add_argument("--format", choices=("chrome", "jsonl", "prometheus"),
                         default="chrome",
-                        help="trace file format (default: chrome)")
+                        help="trace file format, or 'prometheus' to dump "
+                             "the run's metrics instead (default: chrome)")
     p_prof.set_defaults(fn=cmd_profile)
+    p_exp = sub.add_parser(
+        "explain", help="speculation forensics for one scenario")
+    p_exp.add_argument("id", help="fig2..fig7")
+    p_exp.add_argument("--guess", default=None, metavar="ID",
+                       help="explain one guess (e.g. X:i0.n0) instead of "
+                            "the full report")
+    p_exp.add_argument("--json", default=None, metavar="FILE",
+                       help="also write the forensic artifact as JSON")
+    p_exp.set_defaults(fn=cmd_explain)
     p_sweep = sub.add_parser("sweep", help="latency sweep table")
     p_sweep.add_argument("--calls", type=int, default=10)
     p_sweep.add_argument("--fork-cost", type=float, default=0.0)

@@ -90,7 +90,7 @@ def run_pipelined_chain(
             if tracer.enabled:
                 span = tracer.start_span(
                     ob.SERVICE, name, start, name=f"{op}:{args[0]}",
-                    client=src, failed=failed,
+                    client=src, failed=failed, mechanism="pipelining",
                 )
 
             def finish() -> None:

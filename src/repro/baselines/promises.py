@@ -179,7 +179,7 @@ class PromiseSystem:
             now = self.scheduler.now
             self._promise_spans[promise.pid] = self.tracer.start_span(
                 ob.GUESS, "client", now, name=f"p{promise.pid}:{call.op}",
-                dst=call.dst, mechanism="promise",
+                dst=call.dst, mechanism="promise", site=call.op,
             )
             self.tracer.event(ob.SEND, "client", now,
                               name=f"call:{call.op}", dst=call.dst)
@@ -233,6 +233,7 @@ class PromiseSystem:
         if self.tracer.enabled:
             span = self.tracer.start_span(
                 ob.SERVICE, name, start, name=f"{op}:p{pid}", pid=pid,
+                mechanism="promise",
             )
 
         def finish() -> None:

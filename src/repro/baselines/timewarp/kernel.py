@@ -205,7 +205,7 @@ class TimeWarpKernel:
             return
         if event.recv_time < lp.lvt:
             self.stats.incr("tw.stragglers")
-            self._rollback(lp, event.recv_time)
+            self._rollback(lp, event.recv_time, cause_uid=event.uid)
         lp.push_pending(event)
 
     def _deliver_anti(self, lp: TimeWarpLP, anti: TWEvent) -> None:
@@ -224,7 +224,8 @@ class TimeWarpKernel:
         for rec in lp.processed:
             if rec.event.uid == anti.uid:
                 self.stats.incr("tw.anti_rollbacks")
-                self._rollback(lp, rec.event.recv_time, discard_uid=anti.uid)
+                self._rollback(lp, rec.event.recv_time, discard_uid=anti.uid,
+                               cause_uid=anti.uid)
                 return
         # 3. the anti-message overtook its positive: remember it.
         lp.anti_first.add(anti.uid)
@@ -232,8 +233,14 @@ class TimeWarpKernel:
     # ------------------------------------------------------------ rollback
 
     def _rollback(self, lp: TimeWarpLP, to_time: float,
-                  discard_uid: Optional[int] = None) -> None:
-        """Undo every processed event with recv_time >= ``to_time``."""
+                  discard_uid: Optional[int] = None,
+                  cause_uid: Optional[int] = None) -> None:
+        """Undo every processed event with recv_time >= ``to_time``.
+
+        ``cause_uid`` is the message that triggered the rollback (the
+        straggler, or the anti-message's uid) — it becomes the cascade
+        root on the aborted guess spans.
+        """
         keep: List[_Processed] = []
         undone: List[_Processed] = []
         for rec in lp.processed:  # append order == physical processing order
@@ -248,13 +255,29 @@ class TimeWarpKernel:
         if self.tracer.enabled:
             now = self.scheduler.now
             reason = "anti" if discard_uid is not None else "straggler"
+            cause = {"cause": f"u{cause_uid}"} if cause_uid is not None else {}
             self.tracer.event(ob.ROLLBACK, lp.name, now,
                               name=f"to:{to_time}", undone=len(undone),
-                              reason=reason)
+                              reason=reason, **cause)
+            # Root of the cascade: the undone span of the anti-message's
+            # victim if it was processed here, else the raw message uid.
+            root_key = f"u{cause_uid}" if cause_uid is not None else None
+            for rec in undone:
+                if cause_uid is not None and rec.event.uid == cause_uid:
+                    root_key = f"u{rec.event.uid}@{rec.event.recv_time}"
             for rec in undone:
                 if rec.span_sid >= 0:
+                    # Every undone event except the direct victim is
+                    # collateral of the same cause: a cascade orphan.
+                    root = (
+                        {"root": root_key}
+                        if root_key is not None
+                        and rec.event.uid != cause_uid
+                        else {}
+                    )
                     self.tracer.end_span(rec.span_sid, now,
-                                         outcome="abort", reason=reason)
+                                         outcome="abort", reason=reason,
+                                         **root)
                     rec.span_sid = -1
         lp.processed = keep
         # Restore the checkpoint of the *physically earliest* undone record:

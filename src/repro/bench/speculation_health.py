@@ -1,0 +1,243 @@
+"""Speculation-health bench: forensic metrics per scenario, with a gate.
+
+Unlike :mod:`repro.bench.wallclock` this bench measures nothing physical:
+every number is a pure function of the deterministic span trace, so the
+emitted ``BENCH_obs.json`` is byte-stable across machines and runs.  Per
+bundled scenario it reports the four speculation-health quantities the
+forensics layer (:mod:`repro.obs.forensics`,
+:mod:`repro.obs.critical_path`) defines:
+
+* **abort rate** — aborted guesses / all guesses;
+* **wasted-work fraction** — discarded segment time / total segment time;
+* **mean guess depth** — time-weighted average number of guesses in
+  doubt over the makespan;
+* **critical-path utilization** — committed chain work / makespan.
+
+Two checks run on every scenario:
+
+1. **conservation** — ``committed + wasted + unresolved == total`` traced
+   interval time, and attributed + unattributed waste re-sums to
+   ``wasted`` (a hard assertion: a failure means the tracer or the
+   forensics classifier broke, not the workload);
+2. **regression gate** — if a pinned ``BENCH_obs.json`` exists, the new
+   abort rate and wasted-work fraction must not exceed the pinned values
+   by more than :data:`GATE_TOLERANCE` (relative, with a small absolute
+   floor so a 0-abort pin does not trip on rounding).
+
+Usage::
+
+    PYTHONPATH=src python -m repro.bench.speculation_health
+    PYTHONPATH=src python -m repro.bench.speculation_health --check-only
+
+The default output is ``BENCH_obs.json`` at the repository root; the
+pinned copy is read *before* it is rewritten, so a regressing run still
+fails (exit 1) after refreshing the file for inspection.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.core.analysis import speculation_depth_series
+from repro.obs.critical_path import critical_path
+from repro.obs.forensics import build_provenance, wasted_work
+from repro.obs.spans import ABORT_OUTCOME, COMMIT_OUTCOME, GUESS
+from repro.obs.tracer import RecordingTracer
+from repro.workloads import scenarios
+from repro.workloads.pipelines import PipelineSpec, run_pipeline_optimistic
+from repro.workloads.random_duplex import DuplexSpec, build_duplex_system
+
+#: Relative headroom the gate allows over the pinned abort rate and
+#: wasted-work fraction before failing.
+GATE_TOLERANCE = 0.10
+#: Absolute slack so pinned zeros don't fail on representation noise.
+GATE_ABS_SLACK = 1e-6
+
+#: src/repro/bench/speculation_health.py -> repository root.
+REPO_ROOT = os.path.dirname(
+    os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+)
+DEFAULT_OUT = os.path.join(REPO_ROOT, "BENCH_obs.json")
+
+#: The two gated series (lower is healthier for both).
+GATED_METRICS = ("abort_rate", "wasted_work_fraction")
+
+
+def _duplex_abort_heavy(tracer: RecordingTracer):
+    spec = DuplexSpec(n_steps=6, n_signals=2, n_servers=2, seed=11,
+                      wrong_guess_bias=2)
+    return build_duplex_system(spec, optimistic=True, tracer=tracer).run()
+
+
+def _pipeline_fault(tracer: RecordingTracer):
+    spec = PipelineSpec(n_requests=4, depth=3, fail_request=1, relay=True)
+    return run_pipeline_optimistic(spec, tracer=tracer)[1]
+
+
+#: scenario id -> runner(tracer) -> traced result.  All deterministic.
+SCENARIOS: Dict[str, Callable[[RecordingTracer], Any]] = {
+    "fig2": lambda tr: scenarios.run_fig2_no_streaming(tracer=tr),
+    "fig3": lambda tr: scenarios.run_fig3_streaming(tracer=tr).optimistic,
+    "fig4": lambda tr: scenarios.run_fig4_time_fault(tracer=tr).optimistic,
+    "fig5": lambda tr: scenarios.run_fig5_value_fault(tracer=tr).optimistic,
+    "fig6": lambda tr: scenarios.run_fig6_two_threads(tracer=tr),
+    "fig7": lambda tr: scenarios.run_fig7_cycle(tracer=tr),
+    "duplex_abort_heavy": _duplex_abort_heavy,
+    "pipeline_fault": _pipeline_fault,
+}
+
+
+def _round(value: float, places: int = 6) -> float:
+    return round(float(value), places)
+
+
+def mean_guess_depth(spans, makespan: float) -> float:
+    """Time-weighted average number of guesses in doubt over the run."""
+    if makespan <= 0:
+        return 0.0
+    series = speculation_depth_series(spans)
+    total = 0.0
+    for (t, depth), nxt in zip(series, series[1:] + [(makespan, 0)]):
+        total += depth * max(0.0, min(nxt[0], makespan) - t)
+    return total / makespan
+
+
+def measure_scenario(runner: Callable[[RecordingTracer], Any]) -> Dict[str, Any]:
+    """Run one scenario traced and compute its health metrics.
+
+    Raises ``AssertionError`` when the conservation property fails — that
+    is a bug in the tracer or forensics layer, never in the workload.
+    """
+    tracer = RecordingTracer()
+    result = runner(tracer)
+    spans = result.spans
+
+    waste = wasted_work(spans)
+    assert abs(waste.committed + waste.wasted + waste.unresolved
+               - waste.total) <= 1e-9, "interval time partition broken"
+    assert waste.conserved(), (
+        "attributed + unattributed waste != wasted time")
+
+    graph = build_provenance(spans)
+    path = critical_path(spans)
+    assert path.work <= path.makespan + 1e-9, (
+        "critical-path work exceeds the makespan")
+
+    guesses = [s for s in spans if s.kind == GUESS]
+    resolved = [s for s in guesses
+                if s.end is not None and not s.attrs.get("truncated")]
+    aborts = sum(1 for s in resolved
+                 if s.attrs.get("outcome") == ABORT_OUTCOME)
+    commits = sum(1 for s in resolved
+                  if s.attrs.get("outcome") == COMMIT_OUTCOME)
+    makespan = path.makespan
+    return {
+        "guesses": len(guesses),
+        "commits": commits,
+        "aborts": aborts,
+        "abort_rate": _round(aborts / len(guesses) if guesses else 0.0),
+        "attribution": graph.attribution_counts(),
+        "wasted_work_fraction": _round(waste.wasted_fraction),
+        "segment_time": {
+            "committed": _round(waste.committed),
+            "wasted": _round(waste.wasted),
+            "unresolved": _round(waste.unresolved),
+            "total": _round(waste.total),
+        },
+        "mean_guess_depth": _round(mean_guess_depth(spans, makespan)),
+        "critical_path_utilization": _round(path.utilization),
+        "critical_path_steps": len(path.steps),
+        "makespan": _round(makespan),
+    }
+
+
+def run_bench() -> Dict[str, Any]:
+    """Measure every bundled scenario; return the (deterministic) report."""
+    report: Dict[str, Any] = {
+        "meta": {
+            "gate_tolerance": GATE_TOLERANCE,
+            "gated_metrics": list(GATED_METRICS),
+            "scenarios": sorted(SCENARIOS),
+        },
+        "scenarios": {},
+    }
+    for name in sorted(SCENARIOS):
+        report["scenarios"][name] = measure_scenario(SCENARIOS[name])
+    return report
+
+
+def gate(report: Dict[str, Any],
+         pinned: Optional[Dict[str, Any]]) -> Tuple[bool, List[str]]:
+    """Compare gated metrics against the pinned report.
+
+    Returns ``(ok, messages)``; with no pin everything passes (first run).
+    """
+    if not pinned:
+        return True, ["no pinned BENCH_obs.json — gate skipped"]
+    messages: List[str] = []
+    ok = True
+    old_scenarios = pinned.get("scenarios", {})
+    for name, row in report["scenarios"].items():
+        old = old_scenarios.get(name)
+        if old is None:
+            messages.append(f"{name}: new scenario (not in pin)")
+            continue
+        for metric in GATED_METRICS:
+            new_v, old_v = row[metric], old.get(metric, 0.0)
+            limit = old_v * (1.0 + GATE_TOLERANCE) + GATE_ABS_SLACK
+            if new_v > limit:
+                ok = False
+                messages.append(
+                    f"{name}: {metric} regressed {old_v:g} -> {new_v:g} "
+                    f"(limit {limit:g})")
+    if ok:
+        messages.append(
+            f"gate OK: no metric above pin + {GATE_TOLERANCE:.0%}")
+    return ok, messages
+
+
+def _print_summary(report: Dict[str, Any]) -> None:
+    print(f"{'scenario':<20}{'guesses':>8}{'aborts':>7}{'abort%':>8}"
+          f"{'wasted%':>9}{'depth':>7}{'cp util':>9}")
+    for name, row in report["scenarios"].items():
+        print(f"{name:<20}{row['guesses']:>8}{row['aborts']:>7}"
+              f"{row['abort_rate']:>8.2f}"
+              f"{row['wasted_work_fraction']:>9.2f}"
+              f"{row['mean_guess_depth']:>7.2f}"
+              f"{row['critical_path_utilization']:>9.2f}")
+
+
+def main(argv: Optional[list] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Speculation-health metrics + regression gate.")
+    parser.add_argument("--out", default=DEFAULT_OUT,
+                        help="output JSON path (default: BENCH_obs.json at "
+                             "the repo root)")
+    parser.add_argument("--check-only", action="store_true",
+                        help="gate against the pin without rewriting it")
+    args = parser.parse_args(argv)
+
+    pinned: Optional[Dict[str, Any]] = None
+    if os.path.exists(args.out):
+        with open(args.out) as fh:
+            pinned = json.load(fh)
+
+    report = run_bench()
+    ok, messages = gate(report, pinned)
+    _print_summary(report)
+    for msg in messages:
+        print(msg)
+    if not args.check_only:
+        with open(args.out, "w") as fh:
+            json.dump(report, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote {args.out}")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -18,7 +18,8 @@ from collections import defaultdict
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
-from repro.obs.spans import ABORT_OUTCOME, COMMIT_OUTCOME, GUESS, ROLLBACK, Span, as_spans
+from repro.obs.spans import (ABORT_OUTCOME, COMMIT_OUTCOME, GUESS, ROLLBACK,
+                             SERVICE, Span, as_spans)
 
 
 @dataclass
@@ -166,13 +167,90 @@ def summarize(source) -> RunSummary:
     )
 
 
+def mechanism_lanes(source) -> Dict[str, Dict[str, object]]:
+    """Per-mechanism lane statistics from the shared span schema.
+
+    Baseline runtimes stamp ``mechanism=`` on their guess/service spans
+    (``timewarp`` on processed-but-uncommitted events, ``promise`` on
+    unresolved promises and promise-served calls, ``pipelining`` on
+    pipelined service intervals); the optimistic runtime's guesses carry
+    no mechanism attribute and fold into the default ``optimistic`` lane.
+    Lanes with ``explicit=True`` were named by at least one span and get
+    their own section in :func:`speculation_report`.
+    """
+    lanes: Dict[str, Dict[str, object]] = {}
+
+    def lane(mode: str) -> Dict[str, object]:
+        return lanes.setdefault(mode, {
+            "guesses": 0, "commits": 0, "aborts": 0,
+            "abort_reasons": defaultdict(int), "doubt": [],
+            "services": 0, "service_time": 0.0, "explicit": False,
+        })
+
+    for span in as_spans(source):
+        if span.kind == GUESS:
+            mode = span.attrs.get("mechanism")
+            row = lane(mode or "optimistic")
+            row["explicit"] = row["explicit"] or bool(mode)
+            row["guesses"] += 1
+            if _resolved(span):
+                outcome = span.attrs.get("outcome")
+                if outcome == COMMIT_OUTCOME:
+                    row["commits"] += 1
+                elif outcome == ABORT_OUTCOME:
+                    row["aborts"] += 1
+                    reason = span.attrs.get("reason")
+                    if reason:
+                        row["abort_reasons"][reason] += 1
+                row["doubt"].append(span.end - span.start)
+        elif span.kind == SERVICE:
+            mode = span.attrs.get("mechanism")
+            row = lane(mode or "service")
+            row["explicit"] = row["explicit"] or bool(mode)
+            row["services"] += 1
+            if span.end is not None:
+                row["service_time"] += span.end - span.start
+    for row in lanes.values():
+        row["abort_reasons"] = dict(row["abort_reasons"])
+    return lanes
+
+
+def _lane_lines(mode: str, row: Dict[str, object]) -> List[str]:
+    lines = [f"[{mode} lane]"]
+    if row["guesses"]:
+        reasons = ", ".join(
+            f"{k}={v}" for k, v in sorted(row["abort_reasons"].items()))
+        unresolved = row["guesses"] - row["commits"] - row["aborts"]
+        lines.append(
+            f"  in doubt: {row['guesses']} "
+            f"(committed {row['commits']}, aborted {row['aborts']}"
+            + (f" [{reasons}]" if reasons else "")
+            + (f", unresolved {unresolved}" if unresolved else "") + ")")
+        doubt = row["doubt"]
+        if doubt:
+            lines.append(
+                f"  mean time in doubt: {sum(doubt) / len(doubt):.2f}")
+    if row["services"]:
+        lines.append(
+            f"  service intervals: {row['services']} "
+            f"(total time {row['service_time']:g})")
+    return lines
+
+
 def speculation_report(source, title: str = "speculation report") -> str:
     """Render a human-readable summary of any run's speculative behaviour.
 
     Works for every execution mode that emits the shared span schema —
     optimistic, sequential (trivially zero guesses), pipelining, promise
-    pipelining, and Time Warp.
+    pipelining, and Time Warp.  Runs whose spans name their mechanism
+    (Time Warp's in-doubt events, promise and pipelining lanes) get one
+    explicit section per mechanism after the shared summary.
     """
-    summary = summarize(source)
-    body = "\n".join(f"  {line}" for line in summary.lines())
+    spans = as_spans(source)
+    summary = summarize(spans)
+    lines = summary.lines()
+    for mode, row in sorted(mechanism_lanes(spans).items()):
+        if row["explicit"]:
+            lines.extend(_lane_lines(mode, row))
+    body = "\n".join(f"  {line}" for line in lines)
     return f"{title}\n{body}"

@@ -11,7 +11,7 @@ the cycle must abort.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Iterable, List, Optional, Set
+from typing import Callable, Dict, Iterable, List, Optional, Set, Tuple
 
 from repro.core.guess import GuessId
 
@@ -142,6 +142,14 @@ class CommitDependencyGraph:
     def edge_count(self) -> int:
         """Number of edges in the graph."""
         return sum(len(s) for s in self._succ.values())
+
+    def edges(self) -> List[Tuple[GuessId, GuessId]]:
+        """All ``(src, dst)`` precedence edges, sorted — forensics surface."""
+        return [
+            (s, d)
+            for s in sorted(self._succ)
+            for d in sorted(self._succ[s])
+        ]
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         edges = [

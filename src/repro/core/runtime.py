@@ -268,10 +268,14 @@ class ProcessRuntime:
         record.forked_at = now
         self.m.speculation_depth.add(1, now)
         if self.tracer.enabled:
+            # guard= lists the guesses the new right thread is born under
+            # (excluding its own): the fork-time dependence edges of the
+            # provenance graph.
             record.span_sid = self.tracer.start_span(
                 ob.GUESS, self.name, now, name=guess.key(),
                 site=seg.name, left=thread.tid, right=right.tid,
                 incarnation=guess.incarnation, index=guess.index,
+                guard=sorted(g.key() for g in right_guard if g != guess),
             )
         self.log_event("fork", guess=guess.key(), site=seg.name,
                        left=thread.tid, right=right.tid)
@@ -333,6 +337,7 @@ class ProcessRuntime:
                 ob.SEND, self.name, self.scheduler.now,
                 name=f"{trace_data[0]}:{trace_data[1]}", dst=dst,
                 tid=thread.tid, guards=len(envelope.guard),
+                guard=sorted(envelope.guard_keys()),
             )
         self.system.send_data(envelope)
 
@@ -348,6 +353,7 @@ class ProcessRuntime:
                 ob.RECV, self.name, self.scheduler.now,
                 name=f"{trace_data[0]}:{trace_data[1]}", src=src,
                 tid=thread.tid, guards=len(thread.guard),
+                guard=sorted(thread.guard.keys()),
             )
 
     # ------------------------------------------------------------ emissions
@@ -463,8 +469,11 @@ class ProcessRuntime:
         # msg_id is a process-global counter (not per-run), so it stays out
         # of the span attrs to keep traces byte-deterministic.
         if self.tracer.enabled:
+            aborted = self.view.any_aborted(envelope.guard)
+            extra = {"aborted": aborted.key()} if aborted is not None else {}
             self.tracer.event(ob.ORPHAN, self.name, self.scheduler.now,
-                              src=envelope.src)
+                              src=envelope.src,
+                              guard=sorted(envelope.guard_keys()), **extra)
 
     def on_thread_blocked(self, thread: OptimisticThread) -> None:
         """A thread entered a blocked state: try to feed it from the pool."""
@@ -526,7 +535,8 @@ class ProcessRuntime:
                 self.m.aborts_time_fault.inc()
                 self.log_event("early_reply_time_fault",
                                guess=target.own_guess.key())
-                self.abort_own([record], reason="time_fault")
+                self.abort_own([record], reason="time_fault",
+                               detail={"cycle": [target.own_guess.key()]})
                 return True  # envelope is now an orphan; next pass drops it
         # NOTE: the §3.3 pessimistic filter deliberately does NOT apply to
         # call replies.  A reply is a forced move — the thread must consume
@@ -608,13 +618,25 @@ class ProcessRuntime:
             self.m.aborts_value_fault.inc()
             self.log_event("value_fault", guess=record.guess.key(),
                            guessed=record.guessed, actual=actual)
-            self.abort_own([record], reason="value_fault")
+            # repr() keeps arbitrary guessed values JSON-safe in span attrs.
+            wrong = sorted(
+                k for k in record.guessed
+                if record.guessed.get(k) != actual.get(k)
+            ) or sorted(record.guessed)
+            self.abort_own([record], reason="value_fault", detail={
+                "mispredicted": [
+                    [k, repr(record.guessed.get(k)), repr(actual.get(k))]
+                    for k in wrong
+                ],
+            })
             return
         if record.guess in left.guard:
-            # The left thread causally depends on its own fork: time fault.
+            # The left thread causally depends on its own fork: time fault —
+            # a causal cycle of length one, through the guess itself.
             self.m.aborts_time_fault.inc()
             self.log_event("join_time_fault", guess=record.guess.key())
-            self.abort_own([record], reason="time_fault")
+            self.abort_own([record], reason="time_fault",
+                           detail={"cycle": [record.guess.key()]})
             return
         # Prune resolved guards before deciding.
         self._prune_thread_guards(left)
@@ -669,37 +691,56 @@ class ProcessRuntime:
         self.resolve_sweep()
 
     def _resolve_metrics(self, record: GuessRecord, outcome: str,
-                         reason: Optional[str] = None) -> None:
+                         reason: Optional[str] = None,
+                         **extra: Any) -> None:
         """Shared commit/abort accounting: depth gauge, doubt histogram, span."""
         now = self.scheduler.now
         self.m.speculation_depth.add(-1, now)
         self.m.doubt_time.observe(now - record.forked_at)
         if self.tracer.enabled and record.span_sid >= 0:
+            attrs: Dict[str, Any] = {"outcome": outcome}
             if reason is not None:
-                self.tracer.end_span(record.span_sid, now, outcome=outcome,
-                                     reason=reason)
-            else:
-                self.tracer.end_span(record.span_sid, now, outcome=outcome)
+                attrs["reason"] = reason
+            for k, v in extra.items():
+                if v is not None:
+                    attrs[k] = v
+            self.tracer.end_span(record.span_sid, now, **attrs)
 
     # ------------------------------------------------------------ own aborts
 
-    def abort_own(self, records: List[GuessRecord], reason: str) -> None:
-        """Abort our own guesses: destroy right subtrees, renumber, notify."""
+    def abort_own(self, records: List[GuessRecord], reason: str,
+                  root: Optional[str] = None,
+                  detail: Optional[Dict[str, Any]] = None) -> None:
+        """Abort our own guesses: destroy right subtrees, renumber, notify.
+
+        ``root`` names the guess whose failure caused this abort (cascade
+        provenance); guesses discovered while destroying right subtrees are
+        cascade orphans of the record being torn down.  ``detail`` carries
+        fault forensics (mispredictions, CDG cycle) onto the *initial*
+        records' guess spans.
+        """
         to_abort: List[GuessRecord] = []
-        stack = list(records)
+        #: cascade root per aborted record: None for the genuine roots.
+        roots: Dict[GuessId, Optional[str]] = {}
+        stack: List[Tuple[GuessRecord, Optional[str]]] = [
+            (r, root) for r in records
+        ]
         while stack:
-            record = stack.pop()
+            record, cascade_root = stack.pop()
             if record.status != "pending":
                 continue
             record.status = "aborted"
             if record.timer is not None:
                 record.timer.cancel()
             to_abort.append(record)
-            for t in self._destroy_subtree(record.right_tid):
+            roots[record.guess] = cascade_root
+            nested_root = cascade_root or record.guess.key()
+            for t in self._destroy_subtree(record.right_tid,
+                                           cause=record.guess.key()):
                 if t.own_guess is not None:
                     nested = self.records.get(t.own_guess)
                     if nested is not None and nested.status == "pending":
-                        stack.append(nested)
+                        stack.append((nested, nested_root))
         if not to_abort:
             return
 
@@ -718,7 +759,10 @@ class ProcessRuntime:
             )
             self._emit_control(AbortMsg(guess=record.guess))
             self.m.aborts.inc()
-            self._resolve_metrics(record, outcome="abort", reason=reason)
+            fault_detail = detail if roots.get(record.guess) is None else None
+            self._resolve_metrics(record, outcome="abort", reason=reason,
+                                  root=roots.get(record.guess),
+                                  **(fault_detail or {}))
             self.log_event("abort", guess=record.guess.key(), reason=reason)
         for record in to_abort:
             self._rollback_for_abort(record.guess)
@@ -733,13 +777,18 @@ class ProcessRuntime:
             ):
                 self._spawn_continuation(record)
 
-    def _destroy_subtree(self, tid: int) -> List[OptimisticThread]:
-        """Destroy a thread and its descendants; requeue their clean inputs."""
+    def _destroy_subtree(self, tid: int,
+                         cause: Optional[str] = None) -> List[OptimisticThread]:
+        """Destroy a thread and its descendants; requeue their clean inputs.
+
+        ``cause`` names the aborted guess on whose behalf the subtree dies;
+        it lands on the destroyed segment spans for wasted-work attribution.
+        """
         thread = self.threads.get(tid)
         if thread is None or thread.status is ThreadStatus.DESTROYED:
             return []
         destroyed = [thread]
-        thread.destroy()
+        thread.destroy(cause=cause)
         # Requeue messages the dead thread had consumed so the re-execution
         # can receive them again (orphans are filtered at dispatch).
         self._requeue_consumed(thread.journal.slots)
@@ -752,12 +801,13 @@ class ProcessRuntime:
                 kept.append(em)
         self.emissions = kept
         for child in self.children.get(tid, []):
-            destroyed.extend(self._destroy_subtree(child))
+            destroyed.extend(self._destroy_subtree(child, cause=cause))
         self.m.threads_destroyed.inc()
         return destroyed
 
     def _abort_orphaned_records(self, destroyed: List[OptimisticThread],
-                                reason: str = "parent_rollback") -> None:
+                                reason: str = "parent_rollback",
+                                root: Optional[str] = None) -> None:
         """Abort pending guesses whose left threads were just destroyed.
 
         A destroyed left thread can never reach its join, so leaving its
@@ -770,7 +820,7 @@ class ProcessRuntime:
                 if record is not None and record.status == "pending":
                     pending.append(record)
         if pending:
-            self.abort_own(pending, reason=reason)
+            self.abort_own(pending, reason=reason, root=root)
 
     def _requeue_consumed(self, slots: List[Slot]) -> None:
         requeued = [
@@ -900,7 +950,7 @@ class ProcessRuntime:
             affected = thread.guard.members() & dead
             if affected:
                 position = min(thread.rollbacks[g] for g in affected)
-                self._perform_rollback(thread, position)
+                self._perform_rollback(thread, position, cause=guess.key())
 
     def _handle_precedence(self, msg: PrecedenceMsg) -> None:
         self._note_control_received(msg)
@@ -932,7 +982,8 @@ class ProcessRuntime:
                     "cycle_abort", guess=record.guess.key(),
                     cycle=[g.key() for g in cycle],
                 )
-                self.abort_own([record], reason="cycle")
+                self.abort_own([record], reason="cycle",
+                               detail={"cycle": [g.key() for g in cycle]})
 
     # -------------------------------------------------------- resolve sweep
 
@@ -975,7 +1026,8 @@ class ProcessRuntime:
             affected = self._aborted_dependencies(thread)
             if affected:
                 position = min(thread.rollbacks[g] for g in affected)
-                self._perform_rollback(thread, position)
+                self._perform_rollback(thread, position,
+                                       cause=min(g.key() for g in affected))
                 changed = True
         # 2. re-evaluate joins of pending guesses whose left thread is done.
         for record in list(self.records.values()):
@@ -1022,12 +1074,15 @@ class ProcessRuntime:
         """
         return {g for g in thread.guard if self.view.is_aborted(g)}
 
-    def _perform_rollback(self, thread: OptimisticThread, position: int) -> None:
+    def _perform_rollback(self, thread: OptimisticThread, position: int,
+                          cause: Optional[str] = None) -> None:
         self.m.rollbacks.inc()
         self.log_event("rollback", tid=thread.tid, position=position)
         if self.tracer.enabled:
+            extra = {"cause": cause} if cause is not None else {}
             self.tracer.event(ob.ROLLBACK, self.name, self.scheduler.now,
-                              tid=thread.tid, position=position)
+                              tid=thread.tid, position=position, **extra)
+        thread.discard_cause = cause
         discarded = thread.rollback_to(position)
         self._requeue_consumed(discarded)
         for slot in discarded:
@@ -1044,15 +1099,18 @@ class ProcessRuntime:
                     # continuation (it would duplicate the range's effects).
                     record.fork_undone = True
                 if record is not None and record.status == "pending":
-                    self.abort_own([record], reason="parent_rollback")
+                    self.abort_own([record], reason="parent_rollback",
+                                   root=cause)
                 elif record is not None and record.status == "aborted":
                     # Already aborted; just make sure the subtree is gone
                     # (and no pending nested guess leaks with it).
                     self._abort_orphaned_records(
-                        self._destroy_subtree(record.right_tid))
+                        self._destroy_subtree(record.right_tid, cause=cause),
+                        root=cause)
             elif slot.kind == JOIN:
                 cont_tid = slot.data
-                self._abort_orphaned_records(self._destroy_subtree(cont_tid))
+                self._abort_orphaned_records(
+                    self._destroy_subtree(cont_tid, cause=cause), root=cause)
                 if cont_tid in self.children.get(thread.tid, []):
                     self.children[thread.tid].remove(cont_tid)
             elif slot.kind == SEND and slot.signature[0] == "emit":

@@ -123,6 +123,10 @@ class OptimisticThread:
         self._replay_charge_from = 0
         self._replay_restore_extra = 0.0
         self._seg_span = -1             # open tracer span of the current segment
+        #: guess key blamed for the next discard of this thread's current
+        #: segment (set by the runtime before rollback/destroy) — it lands
+        #: on the segment span so wasted time is attributable per guess.
+        self.discard_cause: Optional[str] = None
 
     # ----------------------------------------------------------- properties
 
@@ -156,17 +160,24 @@ class OptimisticThread:
         self._pending_event = None
         self._advance_loop(None)
 
-    def destroy(self) -> None:
+    def destroy(self, cause: Optional[str] = None) -> None:
         """Abort-discard this thread; it never runs again."""
         self._cancel_pending()
         self.status = ThreadStatus.DESTROYED
+        if cause is not None:
+            self.discard_cause = cause
         self._end_seg_span(outcome="destroyed")
 
     def _end_seg_span(self, **attrs: Any) -> None:
         if self._seg_span >= 0:
+            if attrs.get("outcome") in ("destroyed", "rolled_back") \
+                    and self.discard_cause is not None:
+                attrs.setdefault("cause", self.discard_cause)
             self.runtime.tracer.end_span(
                 self._seg_span, self.runtime.scheduler.now, **attrs)
             self._seg_span = -1
+        if "outcome" in attrs:
+            self.discard_cause = None
 
     def _cancel_pending(self) -> None:
         if self._pending_event is not None:

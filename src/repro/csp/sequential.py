@@ -93,7 +93,8 @@ class _SeqProcess:
             self.completion_time = self.system.scheduler.now
             if tracer.enabled:
                 if self._seg_span >= 0:
-                    tracer.end_span(self._seg_span, self.completion_time)
+                    tracer.end_span(self._seg_span, self.completion_time,
+                                    outcome="terminated")
                     self._seg_span = -1
                 tracer.event(ob.COMPLETE, self.name, self.completion_time,
                              name="complete")
@@ -103,7 +104,7 @@ class _SeqProcess:
         if tracer.enabled:
             now = self.system.scheduler.now
             if self._seg_span >= 0:
-                tracer.end_span(self._seg_span, now)
+                tracer.end_span(self._seg_span, now, outcome="terminated")
             self._seg_span = tracer.start_span(
                 ob.SEGMENT, self.name, now, name=seg.name,
                 seg=self.seg_idx,

@@ -23,9 +23,14 @@ Typical use::
 """
 
 from .api import RunResult, deprecated_alias
+from .critical_path import CriticalPath, PathStep, critical_path
 from .export import (TS_SCALE, chrome_trace, chrome_trace_json,
                      prometheus_text, spans_to_jsonl, write_chrome_trace,
                      write_jsonl_trace)
+from .forensics import (ATTRIBUTION_CLASSES, CASCADE_ORPHAN, TIME_FAULT,
+                        VALUE_FAULT, GuessForensics, ProvenanceGraph,
+                        WastedWork, build_provenance, classify_abort,
+                        wasted_work)
 from .metrics import (DEFAULT_BUCKETS, Counter, Gauge, Histogram,
                       MetricsRegistry, RuntimeMetrics)
 from .spans import (ALL_KINDS, EVENT_KINDS, INTERVAL_KINDS, Span, as_spans,
@@ -47,6 +52,11 @@ __all__ = [
     "spans_to_jsonl", "write_jsonl_trace", "prometheus_text", "TS_SCALE",
     "TraceValidationError", "validate_spans", "validate_chrome",
     "validate_jsonl",
+    # forensics & critical path
+    "ProvenanceGraph", "GuessForensics", "WastedWork", "build_provenance",
+    "wasted_work", "classify_abort", "ATTRIBUTION_CLASSES",
+    "VALUE_FAULT", "TIME_FAULT", "CASCADE_ORPHAN",
+    "CriticalPath", "PathStep", "critical_path",
     # result surface
     "RunResult", "deprecated_alias",
 ]

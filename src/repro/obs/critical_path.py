@@ -1,0 +1,214 @@
+"""Virtual-time critical path: the chain that explains the makespan.
+
+The speedup call streaming buys is bounded not by total work but by the
+longest chain of *committed* work linked by happens-before edges — the
+quantity behind the C11 anatomy experiment (``bench_c11_anatomy``).
+This module extracts that chain from any span source:
+
+* **nodes** are committed segment/service intervals (discarded work by
+  definition cannot explain the makespan, so ``destroyed`` and
+  ``rolled_back`` intervals are excluded);
+* **edges** are execution order within one lane (one ``(process, tid)``
+  pair) plus cross-process message edges, FIFO-matching each ``recv``
+  event to the earliest unmatched ``send`` from its source process;
+* the **critical path** is the chain maximizing covered virtual time,
+  counted without double-charging overlap:
+  ``work = Σ max(0, end_i - max(start_i, end_{i-1}))``.
+
+``utilization = work / makespan`` is then in ``[0, 1]``: 1.0 means the
+makespan is fully explained by one serial chain of committed work (no
+speculation could shorten it further without shortening the chain);
+low values mean the run spent its time waiting or re-executing.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict, deque
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from .spans import RECV, SEGMENT, SEND, SERVICE, Span, as_spans
+
+#: segment outcomes whose work was undone — never on the critical path.
+_DISCARDED = ("destroyed", "rolled_back")
+
+
+@dataclass
+class PathStep:
+    """One interval on the critical path."""
+
+    sid: int
+    kind: str
+    name: str
+    process: str
+    start: float
+    end: float
+    #: virtual time this step adds to the chain (overlap-free)
+    contribution: float = 0.0
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "sid": self.sid, "kind": self.kind, "name": self.name,
+            "process": self.process, "start": self.start, "end": self.end,
+            "contribution": self.contribution,
+        }
+
+
+@dataclass
+class CriticalPath:
+    """The longest committed chain of one run, plus its accounting."""
+
+    steps: List[PathStep] = field(default_factory=list)
+    work: float = 0.0           #: overlap-free virtual time on the chain
+    makespan: float = 0.0
+    committed_total: float = 0.0  #: all committed interval time in the run
+
+    @property
+    def utilization(self) -> float:
+        """Fraction of the makespan explained by the chain, in [0, 1]."""
+        if self.makespan <= 0:
+            return 1.0 if not self.steps else 0.0
+        return min(1.0, self.work / self.makespan)
+
+    def lines(self, limit: int = 20) -> List[str]:
+        out = [
+            f"critical path: {len(self.steps)} step(s), work={self.work:g} "
+            f"over makespan={self.makespan:g} "
+            f"(utilization {self.utilization:.1%})",
+        ]
+        shown = self.steps if len(self.steps) <= limit else (
+            self.steps[: limit // 2] + self.steps[-(limit - limit // 2):])
+        elided = len(self.steps) - len(shown)
+        for i, step in enumerate(shown):
+            if elided and i == limit // 2:
+                out.append(f"  ... {elided} step(s) elided ...")
+            out.append(
+                f"  {step.start:>8g}..{step.end:<8g} {step.process}"
+                f" {step.kind}:{step.name} (+{step.contribution:g})")
+        return out
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "work": self.work,
+            "makespan": self.makespan,
+            "utilization": self.utilization,
+            "committed_total": self.committed_total,
+            "steps": [s.to_dict() for s in self.steps],
+        }
+
+
+def _lane(span: Span) -> Tuple[str, Any]:
+    attrs = span.attrs
+    return (span.process, attrs.get("tid", attrs.get("pid", -1)))
+
+
+def critical_path(source) -> CriticalPath:
+    """Extract the makespan-explaining chain from any span source."""
+    spans = as_spans(source)
+    makespan = max((s.end for s in spans if s.end is not None), default=0.0)
+    nodes = [
+        s for s in spans
+        if s.kind in (SEGMENT, SERVICE)
+        and s.end is not None
+        and s.attrs.get("outcome") not in _DISCARDED
+    ]
+    result = CriticalPath(makespan=makespan)
+    result.committed_total = sum(s.end - s.start for s in nodes)
+    if not nodes:
+        return result
+
+    preds: Dict[int, set] = defaultdict(set)
+
+    # Intra-lane edges: consecutive intervals of one (process, tid) lane.
+    lanes: Dict[Tuple[str, Any], List[Span]] = defaultdict(list)
+    for s in nodes:
+        lanes[_lane(s)].append(s)
+    for lane in lanes.values():
+        lane.sort(key=lambda s: (s.start, s.sid))
+        for prev, nxt in zip(lane, lane[1:]):
+            preds[nxt.sid].add(prev.sid)
+
+    # Cross-process message edges: FIFO-match recv events to sends.
+    by_process: Dict[str, List[Span]] = defaultdict(list)
+    for s in nodes:
+        by_process[s.process].append(s)
+    for lst in by_process.values():
+        lst.sort(key=lambda s: (s.start, s.sid))
+
+    def covering(process: str, t: float) -> Optional[Span]:
+        """The latest interval of ``process`` starting at or before ``t``
+        (else the earliest one after it)."""
+        lst = by_process.get(process)
+        if not lst:
+            return None
+        best = None
+        for s in lst:
+            if s.start <= t:
+                best = s
+            elif best is None:
+                return s
+            else:
+                break
+        return best
+
+    sends: Dict[Tuple[str, str], deque] = defaultdict(deque)
+    for s in spans:
+        if s.kind == SEND and s.attrs.get("dst"):
+            sends[(s.process, s.attrs["dst"])].append(s)
+    for r in spans:
+        if r.kind != RECV or not r.attrs.get("src"):
+            continue
+        queue = sends.get((r.attrs["src"], r.process))
+        if not queue:
+            continue
+        snd = queue.popleft()
+        u = covering(snd.process, snd.start)
+        v = covering(r.process, r.start)
+        if u is not None and v is not None and u.sid != v.sid:
+            # Admissible only forward in completion order — this keeps
+            # the graph acyclic even when two processes exchange messages
+            # within long-lived intervals.
+            if (u.end, u.sid) < (v.end, v.sid):
+                preds[v.sid].add(u.sid)
+
+    # Longest chain by covered time: process nodes in completion order,
+    # extending each predecessor chain without double-charging overlap.
+    order = sorted(nodes, key=lambda s: (s.end, s.sid))
+    by_sid = {s.sid: s for s in nodes}
+    best: Dict[int, float] = {}
+    back: Dict[int, Optional[int]] = {}
+    frontier: Dict[int, float] = {}   # sid -> chain end time
+    for s in order:
+        choice, choice_work = None, 0.0
+        for p in preds[s.sid]:
+            if p not in best:
+                continue
+            gain = best[p] + max(0.0, s.end - max(s.start, frontier[p]))
+            if choice is None or gain > choice_work:
+                choice, choice_work = p, gain
+        if choice is None:
+            choice_work = s.end - s.start
+        best[s.sid] = choice_work
+        back[s.sid] = choice
+        frontier[s.sid] = s.end
+
+    tail = max(best, key=lambda sid: (best[sid], -sid))
+    chain: List[int] = []
+    cur: Optional[int] = tail
+    while cur is not None:
+        chain.append(cur)
+        cur = back[cur]
+    chain.reverse()
+
+    prev_end: Optional[float] = None
+    for sid in chain:
+        s = by_sid[sid]
+        contrib = s.end - s.start if prev_end is None else max(
+            0.0, s.end - max(s.start, prev_end))
+        result.steps.append(PathStep(
+            sid=s.sid, kind=s.kind, name=s.name, process=s.process,
+            start=s.start, end=s.end, contribution=contrib,
+        ))
+        prev_end = s.end
+    result.work = sum(step.contribution for step in result.steps)
+    return result

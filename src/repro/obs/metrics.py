@@ -156,30 +156,42 @@ class MetricsRegistry:
     def to_prometheus(self, include_unregistered: bool = True) -> str:
         """Prometheus text exposition of every declared instrument.
 
-        With ``include_unregistered``, raw ``stats.counters`` entries that
-        no declared instrument owns are appended as untyped counters, so
-        legacy ``stats.incr`` call sites still show up in the dump.
+        Every exported series carries ``# HELP`` and ``# TYPE`` metadata —
+        including the ``_sum``/``_count`` series of each histogram, which
+        scrapers that do not understand the histogram family can then
+        still ingest as plain counters.  With ``include_unregistered``,
+        raw ``stats.counters`` entries that no declared instrument owns
+        are appended as untyped counters, so legacy ``stats.incr`` call
+        sites still show up in the dump.
         """
         lines: List[str] = []
         covered = set()
+
+        def meta(pname: str, ptype: str, help_text: str) -> None:
+            lines.append(f"# HELP {pname} {help_text}")
+            lines.append(f"# TYPE {pname} {ptype}")
+
         for name, metric in self._metrics.items():
             pname = _sanitize(name)
-            if metric.help:
-                lines.append(f"# HELP {pname} {metric.help}")
+            help_text = metric.help or name
             if isinstance(metric, Counter):
-                lines.append(f"# TYPE {pname} counter")
+                meta(pname, "counter", help_text)
                 lines.append(f"{pname} {metric.value}")
                 covered.add(name)
             elif isinstance(metric, Gauge):
-                lines.append(f"# TYPE {pname} gauge")
+                meta(pname, "gauge", help_text)
                 lines.append(f"{pname} {metric.value}")
                 covered.add(name)
             elif isinstance(metric, Histogram):
-                lines.append(f"# TYPE {pname} histogram")
+                meta(pname, "histogram", help_text)
                 for bound, count in metric.cumulative():
                     le = "+Inf" if bound == float("inf") else repr(bound)
                     lines.append(f'{pname}_bucket{{le="{le}"}} {count}')
+                meta(f"{pname}_sum", "counter",
+                     f"total of values observed by {pname}")
                 lines.append(f"{pname}_sum {metric.sum}")
+                meta(f"{pname}_count", "counter",
+                     f"number of observations recorded by {pname}")
                 lines.append(f"{pname}_count {metric.total}")
                 covered.add(name)
                 covered.add(name + ".count")
@@ -188,7 +200,8 @@ class MetricsRegistry:
                             if k not in covered)
             for name in extras:
                 pname = _sanitize(name)
-                lines.append(f"# TYPE {pname} counter")
+                meta(pname, "counter",
+                     f"undeclared counter (stats key {name!r})")
                 lines.append(f"{pname} {self.stats.counters[name]}")
         return "\n".join(lines) + "\n"
 

@@ -119,9 +119,11 @@ def run_chain_sequential(spec: ChainSpec) -> SequentialResult:
 def run_chain_optimistic(
     spec: ChainSpec,
     config: Optional[OptimisticConfig] = None,
+    tracer=None,
 ) -> OptimisticResult:
     client, servers = chain_workload(spec)
-    system = OptimisticSystem(FixedLatency(spec.latency), config=config)
+    system = OptimisticSystem(FixedLatency(spec.latency), config=config,
+                              tracer=tracer)
     system.add_program(client, stream_plan(client))
     for s in servers:
         system.add_program(s)

@@ -101,9 +101,11 @@ def run_pipeline_sequential(spec: PipelineSpec):
 
 
 def run_pipeline_optimistic(spec: PipelineSpec,
-                            config: Optional[OptimisticConfig] = None):
+                            config: Optional[OptimisticConfig] = None,
+                            tracer=None):
     client, tiers = build_pipeline(spec)
-    system = OptimisticSystem(spec.latency_model(), config=config)
+    system = OptimisticSystem(spec.latency_model(), config=config,
+                              tracer=tracer)
     system.add_program(client, stream_plan(client))
     for t in tiers:
         system.add_program(t)

@@ -75,3 +75,70 @@ def test_profile_writes_jsonl_trace(tmp_path, capsys):
     assert main(["profile", "fig2", "--trace-out", str(out_file),
                  "--format", "jsonl"]) == 0
     assert validate_jsonl(out_file.read_text()) > 0
+
+
+def test_profile_prometheus_format(capsys):
+    assert main(["profile", "fig6", "--format", "prometheus"]) == 0
+    out = capsys.readouterr().out
+    assert "# HELP opt_forks guesses forked" in out
+    assert "# TYPE opt_forks counter" in out
+    assert "opt_forks 2" in out
+    # histogram _sum/_count series carry their own metadata
+    assert "# TYPE opt_doubt_time histogram" in out
+    assert "# TYPE opt_doubt_time_sum counter" in out
+    assert "# TYPE opt_doubt_time_count counter" in out
+
+
+def test_profile_prometheus_to_file(tmp_path, capsys):
+    out_file = tmp_path / "fig6.prom"
+    assert main(["profile", "fig6", "--trace-out", str(out_file),
+                 "--format", "prometheus"]) == 0
+    assert "metrics written" in capsys.readouterr().out
+    text = out_file.read_text()
+    # every sample line has HELP and TYPE metadata for its series
+    samples = [l.split("{")[0].split()[0] for l in text.splitlines()
+               if l and not l.startswith("#")]
+    for series in samples:
+        base = series[:-len("_bucket")] if series.endswith("_bucket") else series
+        assert f"# TYPE {base} " in text, series
+        assert f"# HELP {base} " in text, series
+
+
+def test_explain_fig7_attributes_cycle_time_fault(capsys):
+    assert main(["explain", "fig7"]) == 0
+    out = capsys.readouterr().out
+    assert "time_fault" in out
+    assert "CDG cycle: X:i0.n0 -> Z:i0.n0 -> X:i0.n0" in out
+    assert "critical path:" in out
+
+
+def test_explain_fig5_names_mispredicted_value(capsys):
+    assert main(["explain", "fig5"]) == 0
+    out = capsys.readouterr().out
+    assert "value_fault" in out
+    assert "mispredicted 'r0': guessed True, actual False" in out
+
+
+def test_explain_single_guess_and_json_artifact(tmp_path, capsys):
+    import json
+
+    out_file = tmp_path / "fig5.json"
+    assert main(["explain", "fig5", "--guess", "X:i0.n0",
+                 "--json", str(out_file)]) == 0
+    out = capsys.readouterr().out
+    assert "guess X:i0.n0" in out
+    artifact = json.loads(out_file.read_text())
+    assert artifact["scenario"] == "fig5"
+    node = artifact["provenance"]["guesses"]["X:i0.n0"]
+    assert node["attribution"] == "value_fault"
+    assert 0.0 <= artifact["critical_path"]["utilization"] <= 1.0
+
+
+def test_explain_unknown_guess(capsys):
+    assert main(["explain", "fig5", "--guess", "nope"]) == 2
+    assert "traced guesses" in capsys.readouterr().err
+
+
+def test_explain_unknown_scenario(capsys):
+    assert main(["explain", "fig99"]) == 2
+    assert "unknown scenario" in capsys.readouterr().err

@@ -1,0 +1,288 @@
+"""Speculation forensics: attribution, provenance, wasted work, critical path."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.bench.speculation_health import (
+    SCENARIOS as HEALTH_SCENARIOS,
+    gate,
+    measure_scenario,
+    run_bench,
+)
+from repro.obs import RecordingTracer
+from repro.obs.critical_path import critical_path
+from repro.obs.forensics import (
+    ATTRIBUTION_CLASSES,
+    CASCADE_ORPHAN,
+    TIME_FAULT,
+    VALUE_FAULT,
+    build_provenance,
+    classify_abort,
+    wasted_work,
+)
+from repro.obs.spans import ABORT_OUTCOME, GUESS, Span
+from repro.workloads import scenarios
+from repro.workloads.pipelines import PipelineSpec, run_pipeline_optimistic
+from repro.workloads.random_duplex import DuplexSpec, build_duplex_system
+
+
+def traced(runner, **kw):
+    tracer = RecordingTracer()
+    result = runner(tracer=tracer, **kw)
+    return getattr(result, "optimistic", result)
+
+
+# ------------------------------------------------------------- attribution
+
+def _abort_span(**attrs):
+    attrs.setdefault("outcome", "abort")
+    return Span(sid=0, kind=GUESS, name="g", process="X", start=0.0,
+                end=1.0, attrs=attrs)
+
+
+def test_classify_abort_maps_reasons_to_exactly_one_class():
+    assert classify_abort(_abort_span(reason="value_fault")) == VALUE_FAULT
+    for reason in ("time_fault", "cycle", "timeout", "straggler"):
+        assert classify_abort(_abort_span(reason=reason)) == TIME_FAULT
+    for reason in ("parent_rollback", "anti"):
+        assert classify_abort(_abort_span(reason=reason)) == CASCADE_ORPHAN
+    # unknown reasons default to the ordering fault class
+    assert classify_abort(_abort_span(reason="???")) == TIME_FAULT
+
+
+def test_cascade_root_dominates_recorded_reason():
+    span = _abort_span(reason="value_fault", root="Y:i0.n0")
+    assert classify_abort(span) == CASCADE_ORPHAN
+
+
+def test_fig5_is_a_value_fault_naming_the_mispredicted_value():
+    graph = build_provenance(traced(scenarios.run_fig5_value_fault))
+    aborted = graph.aborted()
+    assert len(aborted) == 1
+    g = aborted[0]
+    assert g.attribution == VALUE_FAULT
+    assert g.mispredicted, "value fault must name the mispredicted keys"
+    keys = [row[0] for row in g.mispredicted]
+    assert "r0" in keys
+    guessed = {row[0]: row[1] for row in g.mispredicted}
+    assert guessed["r0"] == repr(True)
+    text = "\n".join(graph.explain(g.key))
+    assert "value_fault" in text and "mispredicted" in text
+
+
+def test_fig7_is_a_time_fault_listing_the_cdg_cycle():
+    graph = build_provenance(traced(scenarios.run_fig7_cycle))
+    aborted = graph.aborted()
+    assert len(aborted) == 2
+    for g in aborted:
+        assert g.attribution == TIME_FAULT
+        assert g.reason == "cycle"
+        assert set(g.cycle) == {"X:i0.n0", "Z:i0.n0"}
+
+
+def test_fig4_join_time_fault_attribution():
+    graph = build_provenance(traced(scenarios.run_fig4_time_fault))
+    aborted = graph.aborted()
+    assert len(aborted) == 1
+    assert aborted[0].attribution == TIME_FAULT
+
+
+def test_provenance_edges_and_blame_fig7():
+    result = traced(scenarios.run_fig7_cycle)
+    graph = build_provenance(result)
+    # mutual speculation: each guess depends on the other
+    x = graph.node("X:i0.n0")
+    z = graph.node("Z:i0.n0")
+    assert "Z:i0.n0" in x.depends_on and "Z:i0.n0" in x.dependents
+    assert "X:i0.n0" in z.depends_on and "X:i0.n0" in z.dependents
+    assert x.messages_tagged > 0 and x.rollbacks_caused > 0
+    blame = graph.blame_by_site()
+    assert blame["s1"][TIME_FAULT] == 2
+
+
+def test_unknown_guess_raises_with_known_keys():
+    graph = build_provenance(traced(scenarios.run_fig6_two_threads))
+    with pytest.raises(KeyError, match="traced guesses"):
+        graph.node("nope")
+
+
+# ------------------------------------------------------------- wasted work
+
+FIG_RUNNERS = [
+    scenarios.run_fig2_no_streaming,
+    scenarios.run_fig3_streaming,
+    scenarios.run_fig4_time_fault,
+    scenarios.run_fig5_value_fault,
+    scenarios.run_fig6_two_threads,
+    scenarios.run_fig7_cycle,
+]
+
+
+@pytest.mark.parametrize("runner", FIG_RUNNERS,
+                         ids=lambda r: r.__name__)
+def test_wasted_work_conservation_on_bundled_scenarios(runner):
+    result = traced(runner)
+    w = wasted_work(result)
+    assert w.committed >= 0 and w.wasted >= 0 and w.unresolved >= 0
+    assert abs(w.committed + w.wasted + w.unresolved - w.total) <= 1e-9
+    assert w.conserved()
+
+
+def test_fault_free_run_wastes_nothing():
+    w = wasted_work(traced(scenarios.run_fig6_two_threads))
+    assert w.wasted == 0.0
+    assert w.wasted_fraction == 0.0
+
+
+def test_abort_waste_is_attributed_to_the_guilty_guess():
+    result = traced(scenarios.run_fig5_value_fault)
+    w = wasted_work(result)
+    assert w.wasted > 0
+    assert w.by_guess.get("X:i0.n0", 0.0) > 0
+
+
+# ----------------------------------------------------------- critical path
+
+@pytest.mark.parametrize("runner", FIG_RUNNERS,
+                         ids=lambda r: r.__name__)
+def test_critical_path_bounds(runner):
+    result = traced(runner)
+    cp = critical_path(result)
+    assert 0.0 <= cp.utilization <= 1.0
+    assert cp.work <= cp.makespan + 1e-9
+    assert cp.work <= cp.committed_total + 1e-9
+    # steps are in non-decreasing completion order, contributions re-sum
+    ends = [s.end for s in cp.steps]
+    assert ends == sorted(ends)
+    assert abs(sum(s.contribution for s in cp.steps) - cp.work) <= 1e-9
+
+
+def test_discarded_work_never_lands_on_the_critical_path():
+    result = traced(scenarios.run_fig7_cycle)
+    spans = {s.sid: s for s in result.spans}
+    cp = critical_path(result)
+    for step in cp.steps:
+        outcome = spans[step.sid].attrs.get("outcome")
+        assert outcome not in ("destroyed", "rolled_back")
+
+
+def test_empty_trace_critical_path():
+    cp = critical_path([])
+    assert cp.steps == [] and cp.work == 0.0
+    assert cp.utilization == 1.0
+
+
+# -------------------------------------------------- hypothesis: conservation
+
+duplex_specs = st.builds(
+    DuplexSpec,
+    n_steps=st.integers(1, 6),
+    n_signals=st.integers(0, 3),
+    n_servers=st.integers(1, 3),
+    latency=st.floats(0.5, 10.0),
+    service_time=st.floats(0.0, 2.0),
+    seed=st.integers(0, 100_000),
+    wrong_guess_bias=st.sampled_from([1, 3, 5]),
+)
+
+pipeline_specs = st.builds(
+    PipelineSpec,
+    n_requests=st.integers(1, 6),
+    depth=st.integers(1, 4),
+    latency=st.floats(0.5, 8.0),
+    service_time=st.floats(0.0, 2.0),
+    fail_request=st.one_of(st.none(), st.integers(0, 5)),
+    relay=st.booleans(),
+)
+
+
+def _check_forensics_invariants(result):
+    spans = result.spans
+    # conservation: committed + wasted + unresolved == total traced time
+    w = wasted_work(spans)
+    assert abs(w.committed + w.wasted + w.unresolved - w.total) <= 1e-9
+    assert w.conserved()
+    # exactly one attribution class per abort span
+    graph = build_provenance(spans)
+    for span in spans:
+        if (span.kind == GUESS and span.end is not None
+                and not span.attrs.get("truncated")
+                and span.attrs.get("outcome") == ABORT_OUTCOME):
+            classes = [c for c in ATTRIBUTION_CLASSES
+                       if classify_abort(span) == c]
+            assert len(classes) == 1
+            node = graph.node(span.name)
+            assert node.attribution == classes[0]
+    for node in graph.guesses.values():
+        if node.outcome != ABORT_OUTCOME:
+            assert node.attribution is None
+    # critical path stays within its bounds on arbitrary workloads too
+    cp = critical_path(spans)
+    assert 0.0 <= cp.utilization <= 1.0
+    assert cp.work <= cp.makespan + 1e-9
+
+
+@settings(max_examples=30, deadline=None)
+@given(spec=duplex_specs)
+def test_duplex_conservation_and_single_attribution(spec):
+    tracer = RecordingTracer()
+    result = build_duplex_system(spec, optimistic=True, tracer=tracer).run()
+    _check_forensics_invariants(result)
+
+
+@settings(max_examples=30, deadline=None)
+@given(spec=pipeline_specs)
+def test_pipeline_conservation_and_single_attribution(spec):
+    tracer = RecordingTracer()
+    _, result = run_pipeline_optimistic(spec, tracer=tracer)
+    _check_forensics_invariants(result)
+
+
+# ------------------------------------------------------ speculation health
+
+def test_health_bench_is_deterministic_and_conserving():
+    a = run_bench()
+    b = run_bench()
+    assert a == b
+    for name, row in a["scenarios"].items():
+        seg = row["segment_time"]
+        assert abs(seg["committed"] + seg["wasted"] + seg["unresolved"]
+                   - seg["total"]) <= 1e-5, name
+        total = sum(row["attribution"].values())
+        assert total == row["aborts"], name
+
+
+def test_health_gate_passes_against_pinned_baseline():
+    import json
+    import os
+
+    from repro.bench.speculation_health import DEFAULT_OUT
+
+    assert os.path.exists(DEFAULT_OUT), "pinned BENCH_obs.json missing"
+    with open(DEFAULT_OUT) as fh:
+        pinned = json.load(fh)
+    report = run_bench()
+    ok, messages = gate(report, pinned)
+    assert ok, messages
+    # the pin is the current truth: a drift here means regenerate the pin
+    assert report == pinned
+
+
+def test_health_gate_flags_regression():
+    report = run_bench()
+    pinned = {"scenarios": {
+        name: dict(row, abort_rate=row["abort_rate"] / 2 - 0.01)
+        for name, row in report["scenarios"].items()
+        if row["abort_rate"] > 0
+    }}
+    ok, messages = gate(report, pinned)
+    assert not ok
+    assert any("abort_rate regressed" in m for m in messages)
+
+
+def test_measure_scenario_covers_all_bundled_scenarios():
+    for name, runner in HEALTH_SCENARIOS.items():
+        row = measure_scenario(runner)
+        assert 0.0 <= row["abort_rate"] <= 1.0, name
+        assert 0.0 <= row["wasted_work_fraction"] <= 1.0, name
+        assert 0.0 <= row["critical_path_utilization"] <= 1.0, name
