@@ -1,15 +1,18 @@
 PYTHON ?= python
 
-.PHONY: install test trace-smoke bench bench-wallclock bench-obs figures fuzz examples results clean
+.PHONY: install test trace-smoke chaos-smoke bench bench-wallclock bench-obs bench-chaos figures fuzz examples results clean
 
 install:
 	$(PYTHON) setup.py develop
 
-test: trace-smoke
+test: trace-smoke chaos-smoke
 	PYTHONPATH=src $(PYTHON) -m pytest tests/
 
 trace-smoke:
 	PYTHONPATH=src $(PYTHON) -m repro.obs.smoke
+
+chaos-smoke:
+	PYTHONPATH=src $(PYTHON) -m repro.bench.chaos --smoke
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
@@ -20,13 +23,16 @@ bench-wallclock:
 bench-obs:
 	PYTHONPATH=src $(PYTHON) -m repro.bench.speculation_health
 
+bench-chaos:
+	PYTHONPATH=src $(PYTHON) -m repro.bench.chaos
+
 figures:
 	$(PYTHON) -m repro figures
 
 examples:
 	@for f in examples/*.py; do echo "== $$f =="; $(PYTHON) $$f; done
 
-results: test bench bench-obs
+results: test bench bench-obs bench-chaos
 	$(PYTHON) -m pytest tests/ 2>&1 | tee test_output.txt
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only 2>&1 | tee bench_output.txt
 

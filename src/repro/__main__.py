@@ -8,6 +8,8 @@ Commands
 ``explain <id>``       speculation forensics: provenance, abort attribution,
                        wasted work and the virtual-time critical path
 ``sweep``              print the C1-style latency sweep table
+``chaos``              randomized fault schedules against the hardened
+                       runtime (``--smoke``, ``--seed N``, ``--check-only``)
 ``list``               list scenarios and experiments
 """
 
@@ -179,6 +181,21 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_chaos(args: argparse.Namespace) -> int:
+    from repro.bench import chaos
+
+    argv = []
+    if args.smoke:
+        argv.append("--smoke")
+    if args.check_only:
+        argv.append("--check-only")
+    if args.seed is not None:
+        argv.extend(["--seed", str(args.seed)])
+    if args.out is not None:
+        argv.extend(["--out", args.out])
+    return chaos.main(argv)
+
+
 def cmd_list(args: argparse.Namespace) -> int:
     print("scenarios (python -m repro scenario <id>):")
     for sid, (title, _) in SCENARIOS.items():
@@ -222,6 +239,18 @@ def main(argv=None) -> int:
     p_sweep.add_argument("--calls", type=int, default=10)
     p_sweep.add_argument("--fork-cost", type=float, default=0.0)
     p_sweep.set_defaults(fn=cmd_sweep)
+    p_chaos = sub.add_parser(
+        "chaos", help="fault-injection harness (see repro.bench.chaos)")
+    p_chaos.add_argument("--smoke", action="store_true",
+                         help="fast fixed-seed subset, no pin rewrite")
+    p_chaos.add_argument("--check-only", action="store_true",
+                         help="gate against the BENCH_chaos.json pin "
+                              "without rewriting it")
+    p_chaos.add_argument("--seed", type=int, default=None, metavar="N",
+                         help="run a single fault schedule and print its row")
+    p_chaos.add_argument("--out", default=None, metavar="FILE",
+                         help="where to write the report JSON")
+    p_chaos.set_defaults(fn=cmd_chaos)
     sub.add_parser("list", help="list scenarios").set_defaults(fn=cmd_list)
     args = parser.parse_args(argv)
     return args.fn(args)

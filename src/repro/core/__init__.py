@@ -10,27 +10,38 @@ messages, and the liveness limit L.
 from repro.core.config import (
     CheckpointPolicy,
     DeliveryHeuristic,
+    GovernorConfig,
     OptimisticConfig,
+    ResilienceConfig,
     SnapshotPolicy,
 )
 from repro.core.snapshot import CowState, Snapshotter, StateSnapshot
+from repro.core.governor import SpeculationGovernor
 from repro.core.guess import GuessId, IncarnationTable
 from repro.core.guards import GuardSet
 from repro.core.history import GuessStatus, PeerView, SystemView
 from repro.core.cdg import CommitDependencyGraph
 from repro.core.messages import (
     AbortMsg,
+    AckMsg,
     CommitMsg,
     DataEnvelope,
     PrecedenceMsg,
+    QueryMsg,
+    Wire,
 )
 from repro.core.system import OptimisticResult, OptimisticSystem
+from repro.core.transport import ReliableTransport
 from repro.core.streaming import make_call_chain, stream_plan
 
 __all__ = [
     "OptimisticConfig",
     "CheckpointPolicy",
     "DeliveryHeuristic",
+    "GovernorConfig",
+    "ResilienceConfig",
+    "SpeculationGovernor",
+    "ReliableTransport",
     "SnapshotPolicy",
     "Snapshotter",
     "StateSnapshot",
@@ -46,6 +57,9 @@ __all__ = [
     "CommitMsg",
     "AbortMsg",
     "PrecedenceMsg",
+    "QueryMsg",
+    "Wire",
+    "AckMsg",
     "OptimisticSystem",
     "OptimisticResult",
     "make_call_chain",

@@ -76,6 +76,68 @@ class DeliveryHeuristic(enum.Enum):
 
 
 @dataclass
+class ResilienceConfig:
+    """Hardening knobs for lossy/duplicating/reordering networks.
+
+    The paper assumes reliable FIFO channels (§4.2.5); these knobs relax
+    that.  All mechanisms are **off unless a ResilienceConfig is attached**
+    to the run's :class:`OptimisticConfig`, so fault-free runs are
+    byte-identical to the unhardened runtime.
+
+    * ``reliable_control`` / ``reliable_data`` wrap the respective plane in
+      sequence-numbered frames with ack + retransmission (exponential
+      backoff, capped attempts) and receiver-side duplicate suppression.
+    * ``orphan_scan_interval`` arms a periodic re-detection pass: a process
+      holding an unresolved *foreign* guess queries the guess's owner, so a
+      lost ABORT/COMMIT degrades to delayed cleanup instead of a hang.  The
+      scan stops re-arming after ``orphan_scan_max_idle`` rounds in which
+      the unresolved set did not change (so a genuine §4.2.6 deadlock — or
+      a fig7-style mutual-speculation stall — still quiesces).
+    """
+
+    #: Frame control messages (COMMIT/ABORT/PRECEDENCE) with seq+ack+retry.
+    reliable_control: bool = True
+    #: Frame data envelopes with seq+ack+retry.
+    reliable_data: bool = True
+    #: Base retransmission timeout (virtual time); must exceed one RTT.
+    retransmit_timeout: float = 30.0
+    #: Backoff multiplier applied per retransmission attempt.
+    retransmit_backoff: float = 1.5
+    #: Cap on the backed-off timeout.
+    retransmit_timeout_max: float = 240.0
+    #: Retransmission attempts before giving up on a frame (liveness bound;
+    #: a dropped frame past this is left to the orphan scan / incarnation
+    #: inference to clean up).
+    max_retransmits: int = 10
+    #: Period of the orphan re-detection scan; 0 disables it.
+    orphan_scan_interval: float = 120.0
+    #: Consecutive no-progress scan rounds before the scanner disarms.
+    orphan_scan_max_idle: int = 3
+
+
+@dataclass
+class GovernorConfig:
+    """Adaptive speculation throttle (graceful degradation).
+
+    AIMD over each process's *fork admission window*: commits open the
+    window additively, aborts close it multiplicatively — down to fully
+    sequential execution — and periodic probe forks test the water so a
+    closed window re-opens once the fault storm passes.
+    """
+
+    #: Ceiling on a process's outstanding own guesses (initial window).
+    max_depth: int = 8
+    #: Additive window increase per committed guess.
+    increase: float = 0.5
+    #: Multiplicative window decrease per aborted guess.
+    decrease: float = 0.5
+    #: Floor of the window (0.0 = may close to fully sequential).
+    min_limit: float = 0.0
+    #: Virtual time between probe forks while the window is closed.
+    probe_interval: float = 100.0
+
+
+@dataclass
 class OptimisticConfig:
     """Cost model and policy knobs for an optimistic run.
 
@@ -138,6 +200,12 @@ class OptimisticConfig:
     control_plane: ControlPlane = ControlPlane.BROADCAST
     #: Hard cap on scheduler events, converted to LivenessError.
     max_steps: int = 2_000_000
+    #: Network-fault hardening (acks, retransmission, orphan re-detection).
+    #: ``None`` keeps the paper's reliable-FIFO assumption: no framing, no
+    #: scan, bit-identical behaviour to the unhardened runtime.
+    resilience: Optional[ResilienceConfig] = None
+    #: Adaptive speculation governor; ``None`` = speculation always open.
+    governor: Optional[GovernorConfig] = None
 
     def fork_overhead(self, copy_state: bool) -> float:
         return self.fork_cost + (self.state_copy_cost if copy_state else 0.0)

@@ -64,7 +64,50 @@ class PrecedenceMsg:
     guard: FrozenSet[GuessId]
 
 
-ControlMsg = (CommitMsg, AbortMsg, PrecedenceMsg)
+@dataclass(frozen=True)
+class QueryMsg:
+    """``QUERY(x_n)``: orphan re-detection probe (our extension, not §4.2).
+
+    A process holding an unresolved *foreign* guess past the orphan-scan
+    interval asks the guess's owner for its fate.  The owner answers with a
+    fresh (idempotent) ``COMMIT``/``ABORT`` if the guess is resolved, and
+    stays silent while it is genuinely still pending.
+    """
+
+    guess: GuessId
+
+
+ControlMsg = (CommitMsg, AbortMsg, PrecedenceMsg, QueryMsg)
+
+
+@dataclass(frozen=True)
+class Wire:
+    """Reliable-transport frame: one sequence-numbered message on a channel.
+
+    A channel is the directed, per-plane pair ``(src, dst, plane)``; ``seq``
+    increases by one per frame on its channel.  The receiver acks every
+    frame (including re-received duplicates, since the ack itself may have
+    been lost) and delivers the inner ``msg`` at most once.
+    """
+
+    src: str
+    dst: str
+    plane: str                  # "control" | "data"
+    seq: int
+    msg: Any
+
+    def channel(self) -> Tuple[str, str, str]:
+        return (self.src, self.dst, self.plane)
+
+
+@dataclass(frozen=True)
+class AckMsg:
+    """Acknowledgement of one :class:`Wire` frame (never itself acked)."""
+
+    src: str                    # original frame sender (the ack's target)
+    dst: str                    # original frame receiver (the ack's sender)
+    plane: str
+    seq: int
 
 
 def control_size(msg: Any) -> int:

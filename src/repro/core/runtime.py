@@ -32,6 +32,7 @@ from repro.core.messages import (
     CommitMsg,
     DataEnvelope,
     PrecedenceMsg,
+    QueryMsg,
     control_size,
 )
 from repro.core.snapshot import Snapshotter, StateSnapshot
@@ -135,6 +136,19 @@ class ProcessRuntime:
         self._sweep_again = False
         self._in_dispatch = False
         self._dispatch_again = False
+        #: Idempotence bookkeeping for re-delivered control messages: a
+        #: COMMIT/ABORT is applied once per (kind, GuessId) — the GuessId
+        #: carries the incarnation, so renumbered retries are distinct —
+        #: and a PRECEDENCE once per (guess, guard snapshot).
+        self._control_seen: Set[Tuple] = set()
+        #: Data envelopes already accepted (duplicate suppression when the
+        #: network can duplicate; keyed on the envelope's unique msg_id).
+        self._data_seen: Set[int] = set()
+        #: True while the simulated process is down (crash fault).
+        self.crashed = False
+        self._scan_timer: Any = None
+        self._scan_last: frozenset = frozenset()
+        self._scan_idle = 0
 
     # ------------------------------------------------------------ lifecycle
 
@@ -194,6 +208,14 @@ class ProcessRuntime:
         if self.site_attempts.get(seg.name, 0) >= self.config.max_optimistic_retries:
             self.m.fork_fallback.inc()
             self.log_event("fork_fallback", site=seg.name)
+            return False
+        governor = self.system.governor
+        if governor is not None and not governor.allow_fork(
+            self.name, self.scheduler.now
+        ):
+            # Denied fork == sequential execution of the segment, exactly
+            # like the §3.3 fallback: a pure throughput decision.
+            self.log_event("fork_throttled", site=seg.name)
             return False
         if thread.own_guess is not None:
             raise ProtocolError(
@@ -263,6 +285,8 @@ class ProcessRuntime:
         right._pending_event = self.scheduler.after(
             overhead, right.start, label=f"start {self.name}.t{right.tid}"
         )
+        if governor is not None:
+            governor.on_fork(self.name)
         self.m.forks.inc()
         now = self.scheduler.now
         record.forked_at = now
@@ -447,18 +471,31 @@ class ProcessRuntime:
 
     def on_network(self, src: str, payload: Any) -> None:
         """Network delivery entry point: control handling + orphan test (§4.2.3)."""
+        if self.crashed:
+            # A down process loses in-flight deliveries; the reliable
+            # transport (when on) withholds the ack so the sender retries.
+            self.m.messages_lost_down.inc()
+            return
         if isinstance(payload, CommitMsg):
             self._handle_commit(payload, src)
         elif isinstance(payload, AbortMsg):
             self._handle_abort(payload, src)
         elif isinstance(payload, PrecedenceMsg):
             self._handle_precedence(payload)
+        elif isinstance(payload, QueryMsg):
+            self._handle_query(payload, src)
         elif isinstance(payload, DataEnvelope):
+            if self.config.resilience is not None:
+                if payload.msg_id in self._data_seen:
+                    self.m.data_dups.inc()
+                    return
+                self._data_seen.add(payload.msg_id)
             if self._is_orphan(payload):
                 self._note_orphan(payload)
                 return
             self.pool.append(payload)
             self.dispatch()
+            self._maybe_arm_orphan_scan()
         else:
             raise ProtocolError(f"{self.name}: bad payload {payload!r}")
 
@@ -697,6 +734,8 @@ class ProcessRuntime:
         now = self.scheduler.now
         self.m.speculation_depth.add(-1, now)
         self.m.doubt_time.observe(now - record.forked_at)
+        if self.system.governor is not None:
+            self.system.governor.on_resolution(self.name, outcome, now)
         if self.tracer.enabled and record.span_sid >= 0:
             attrs: Dict[str, Any] = {"outcome": outcome}
             if reason is not None:
@@ -882,6 +921,9 @@ class ProcessRuntime:
             self.system.broadcast_control(self.name, msg)
             return
         self._control_relayed.add((type(msg).__name__, msg.guess))
+        # The owner already applied its own resolution; a copy relayed back
+        # (targeted mode) or re-sent in answer to a QUERY must be a no-op.
+        self._control_seen.add((type(msg).__name__, msg.guess))
         if self.config.control_plane is ControlPlane.BROADCAST:
             self.system.broadcast_control(self.name, msg)
             return
@@ -914,9 +956,26 @@ class ProcessRuntime:
                 direction="received",
             )
 
+    def _control_duplicate(self, key: Tuple) -> bool:
+        """Record-and-test for re-delivered control messages.
+
+        Keys carry the full :class:`GuessId` (process, incarnation, index),
+        so resolutions of renumbered retries stay distinct; a true re-send
+        — network duplicate, retransmission, or a QUERY reply racing the
+        original — is suppressed after the relay step, keeping every
+        handler idempotent.
+        """
+        if key in self._control_seen:
+            self.m.control_dups.inc()
+            return True
+        self._control_seen.add(key)
+        return False
+
     def _handle_commit(self, msg: CommitMsg, src: str = "") -> None:
         self._note_control_received(msg)
         self._relay_control(src, msg)
+        if self._control_duplicate(("CommitMsg", msg.guess)):
+            return
         self.view.note_commit(msg.guess)
         self.cdg.remove_node(msg.guess)
         self.log_event("commit_received", guess=msg.guess.key())
@@ -925,6 +984,8 @@ class ProcessRuntime:
     def _handle_abort(self, msg: AbortMsg, src: str = "") -> None:
         self._note_control_received(msg)
         self._relay_control(src, msg)
+        if self._control_duplicate(("AbortMsg", msg.guess)):
+            return
         self.view.note_abort(msg.guess)
         self.log_event("abort_received", guess=msg.guess.key())
         self._rollback_for_abort(msg.guess)
@@ -954,6 +1015,8 @@ class ProcessRuntime:
 
     def _handle_precedence(self, msg: PrecedenceMsg) -> None:
         self._note_control_received(msg)
+        if self._control_duplicate(("PrecedenceMsg", msg.guess, msg.guard)):
+            return
         self.log_event("precedence_received", guess=msg.guess.key(),
                        guard=sorted(g.key() for g in msg.guard))
         if self.view.status(msg.guess).resolved:
@@ -985,6 +1048,143 @@ class ProcessRuntime:
                 self.abort_own([record], reason="cycle",
                                detail={"cycle": [g.key() for g in cycle]})
 
+    # --------------------------------------- orphan re-detection and crashes
+
+    def _handle_query(self, msg: QueryMsg, src: str) -> None:
+        """Answer a peer's fate probe for a guess we know about.
+
+        A lost COMMIT/ABORT degrades to delayed cleanup rather than a hang:
+        the dependent's periodic scan sends a QUERY and we re-send the
+        resolution (the receiver's idempotence layer makes the re-send
+        harmless even when the original eventually arrives too).  A
+        still-pending guess gets no answer — the scan asks again next round.
+        """
+        status = self.view.status(msg.guess)
+        if status is GuessStatus.COMMITTED:
+            reply: Any = CommitMsg(guess=msg.guess)
+        elif status is GuessStatus.ABORTED:
+            reply = AbortMsg(guess=msg.guess)
+        else:
+            return
+        self.m.query_replies.inc()
+        self.log_event("query_reply", guess=msg.guess.key(), to=src)
+        self.system.send_control(self.name, src, reply)
+
+    def _unresolved_foreign(self) -> frozenset:
+        """Foreign guesses this process depends on whose fate is unknown."""
+        out = set()
+        for thread in self._threads_in_order():
+            if not thread.alive:
+                continue
+            for g in thread.guard:
+                if g.process != self.name and not self.view.status(g).resolved:
+                    out.add(g)
+        for envelope in self.pool:
+            for g in envelope.guard:
+                if g.process != self.name and not self.view.status(g).resolved:
+                    out.add(g)
+        return frozenset(out)
+
+    def _scan_armed(self) -> bool:
+        t = self._scan_timer
+        return t is not None and not t.cancelled and not t.fired
+
+    def _maybe_arm_orphan_scan(self) -> None:
+        """Arm the periodic orphan scan while unresolved foreign doubt exists.
+
+        The timer exists only when needed: the scheduler runs until its
+        queue drains, so an unconditional periodic timer would keep every
+        run alive forever.
+        """
+        if self.config.resilience is None or self.crashed:
+            return
+        interval = self.config.resilience.orphan_scan_interval
+        if interval <= 0 or self._scan_armed():
+            return
+        if not self._unresolved_foreign():
+            self._scan_last = frozenset()
+            self._scan_idle = 0
+            return
+        self._scan_timer = self.scheduler.timer(
+            interval, self._orphan_scan, label=f"{self.name}.orphan_scan",
+        )
+
+    def _orphan_scan(self) -> None:
+        """One scan round: QUERY the owner of every unresolved dependency."""
+        if self.crashed:
+            return
+        unresolved = self._unresolved_foreign()
+        if not unresolved:
+            self._scan_last = frozenset()
+            self._scan_idle = 0
+            return
+        self.m.orphan_scans.inc()
+        if unresolved == self._scan_last:
+            self._scan_idle += 1
+        else:
+            self._scan_last = unresolved
+            self._scan_idle = 0
+        if self._scan_idle >= self.config.resilience.orphan_scan_max_idle:
+            # The same doubt survived several answered rounds: the owners
+            # really are undecided (e.g. a deadlocked workload), not silent.
+            # Disarm so the run can reach quiescence; new arrivals re-arm.
+            self.log_event("orphan_scan_idle",
+                           unresolved=sorted(g.key() for g in unresolved))
+            return
+        for g in sorted(unresolved):
+            self.m.orphan_queries.inc()
+            self.system.send_control(self.name, g.process, QueryMsg(guess=g))
+        self._maybe_arm_orphan_scan()
+
+    def crash(self) -> None:
+        """Simulated process failure: freeze and lose uncommitted progress.
+
+        Every pending timer and scheduled resume owned by this process is
+        cancelled — a down process does nothing — and :meth:`on_network`
+        drops deliveries while down.  Committed facts survive (peer views,
+        journals, released output); :meth:`restart` rebuilds the rest.
+        """
+        if self.crashed:
+            return
+        self.crashed = True
+        self.m.crashes.inc()
+        self.log_event("crash")
+        for thread in self._threads_in_order():
+            thread._cancel_pending()
+        for record in self.records.values():
+            if record.timer is not None:
+                record.timer.cancel()
+        if self._scan_timer is not None:
+            self._scan_timer.cancel()
+
+    def restart(self) -> None:
+        """Recover after a crash: abort own pending guesses, replay threads.
+
+        Speculative state is volatile: every guess still in doubt at crash
+        time is aborted — its tagged messages orphan everywhere, and the
+        incarnation bump lets peers infer the abort even if the ABORT
+        message itself is lost (§4.1.5).  Each surviving thread is then
+        rebuilt by a *full-journal* replay: the journal is the stable log
+        and replay suppresses already-performed sends, so recovery repeats
+        nothing that was externally visible (the Optimistic Recovery
+        position on logged inputs).
+        """
+        if not self.crashed:
+            return
+        self.crashed = False
+        self.m.restarts.inc()
+        self.log_event("restart")
+        pending = [r for r in self.records.values() if r.status == "pending"]
+        if pending:
+            self.abort_own(pending, reason="crash")
+        for thread in self._threads_in_order():
+            if not thread.alive or not thread.active:
+                continue
+            self.m.crash_replays.inc()
+            thread.rollback_to(len(thread.journal.slots), charge_retry=False)
+            thread.replay()
+        self.resolve_sweep()
+
     # -------------------------------------------------------- resolve sweep
 
     def resolve_sweep(self) -> None:
@@ -1008,6 +1208,7 @@ class ProcessRuntime:
             self._in_sweep = False
         self.dispatch()
         self._check_completion()
+        self._maybe_arm_orphan_scan()
 
     def _sweep_once(self) -> bool:
         changed = False

@@ -13,14 +13,17 @@ from typing import Any, Dict, List, Optional
 
 from repro.errors import ProgramError
 from repro.core.config import OptimisticConfig
+from repro.core.governor import SpeculationGovernor
 from repro.core.messages import DataEnvelope, control_size
 from repro.core.runtime import ProcessRuntime
+from repro.core.transport import ReliableTransport
 from repro.csp.external import ExternalSink
 from repro.csp.plan import ParallelizationPlan
 from repro.csp.process import ProcessDef, Program
 from repro.obs.metrics import MetricsRegistry, RuntimeMetrics
 from repro.obs.spans import Span
 from repro.obs.tracer import NULL_TRACER, Tracer
+from repro.sim.faults import FaultPlan, FaultyNetwork
 from repro.sim.network import FixedLatency, LatencyModel, Network
 from repro.sim.scheduler import Scheduler
 from repro.sim.stats import Stats
@@ -93,6 +96,7 @@ class OptimisticSystem:
         fifo_links: bool = True,
         bandwidth: Optional[float] = None,
         tracer: Optional[Tracer] = None,
+        faults: Optional[FaultPlan] = None,
     ) -> None:
         self.config = config or OptimisticConfig()
         self.tracer = tracer if tracer is not None else NULL_TRACER
@@ -101,18 +105,43 @@ class OptimisticSystem:
         self.stats = Stats()
         self.metrics = MetricsRegistry(self.stats)
         self.runtime_metrics = RuntimeMetrics(self.metrics)
-        self.network = Network(
-            self.scheduler,
-            latency_model or FixedLatency(1.0),
-            stats=self.stats,
-            fifo_links=fifo_links,
-            bandwidth=bandwidth,
+        self.faults = faults
+        net_kwargs = dict(
+            stats=self.stats, fifo_links=fifo_links, bandwidth=bandwidth,
         )
+        if faults is not None:
+            self.network: Network = FaultyNetwork(
+                self.scheduler, latency_model or FixedLatency(1.0),
+                plan=faults, **net_kwargs,
+            )
+        else:
+            self.network = Network(
+                self.scheduler, latency_model or FixedLatency(1.0),
+                **net_kwargs,
+            )
+        #: reliable ack/retransmit framing over participant channels; None
+        #: when resilience is off (the default — byte-identical wire format)
+        self.transport: Optional[ReliableTransport] = None
+        if self.config.resilience is not None:
+            self.transport = ReliableTransport(
+                self.network, self.scheduler, self.config.resilience,
+                self.runtime_metrics, is_down=self._process_down,
+            )
+        #: adaptive speculation throttle; None when disabled
+        self.governor: Optional[SpeculationGovernor] = None
+        if self.config.governor is not None:
+            self.governor = SpeculationGovernor(
+                self.config.governor, self.runtime_metrics
+            )
         self.recorder = TraceRecorder()
         self.runtimes: Dict[str, ProcessRuntime] = {}
         self.sinks: Dict[str, ExternalSink] = {}
         self.protocol_log: List[dict] = []
         self._started = False
+
+    def _process_down(self, name: str) -> bool:
+        rt = self.runtimes.get(name)
+        return rt is not None and rt.crashed
 
     # ------------------------------------------------------------- assembly
 
@@ -126,7 +155,11 @@ class OptimisticSystem:
             raise ProgramError(f"duplicate process name {program.name!r}")
         runtime = ProcessRuntime(self, program, plan, self.config)
         self.runtimes[program.name] = runtime
-        self.network.register(program.name, runtime.on_network)
+        handler = runtime.on_network
+        if self.transport is not None:
+            self.transport.add_participant(program.name)
+            handler = self.transport.receiver(program.name, handler)
+        self.network.register(program.name, handler)
         return runtime
 
     def add_process(self, pdef: ProcessDef,
@@ -144,12 +177,20 @@ class OptimisticSystem:
         sink = ExternalSink(name)
         self.sinks[name] = sink
         self.network.register(name, sink.handler(self.scheduler))
+        if isinstance(self.network, FaultyNetwork):
+            # Output commit (§3.2): traffic to a sink is only ever sent once
+            # released, so the fault layer must not drop or duplicate it.
+            self.network.protect(name)
         return sink
 
     # ----------------------------------------------------------- transport
 
     def send_data(self, envelope: DataEnvelope) -> None:
         """Put a guard-tagged data envelope on the wire."""
+        if self.transport is not None:
+            self.transport.send(envelope.src, envelope.dst, envelope,
+                                size=envelope.wire_size())
+            return
         self.network.send(
             envelope.src, envelope.dst, envelope, size=envelope.wire_size()
         )
@@ -159,13 +200,16 @@ class OptimisticSystem:
         for name in sorted(self.runtimes):
             if name == src:
                 continue
-            self.network.send(src, name, msg, control=True,
-                              size=control_size(msg))
+            self.send_control(src, name, msg)
 
     def send_control(self, src: str, dst: str, msg: Any) -> None:
         """Targeted control delivery (§4.2.5's explicit-send alternative)."""
         if dst not in self.runtimes:
             return  # sinks and departed endpoints don't take control traffic
+        if self.transport is not None:
+            self.transport.send(src, dst, msg, control=True,
+                                size=control_size(msg))
+            return
         self.network.send(src, dst, msg, control=True, size=control_size(msg))
 
     def log_protocol_event(self, process: str, kind: str,
@@ -184,6 +228,37 @@ class OptimisticSystem:
         self._started = True
         for runtime in self.runtimes.values():
             runtime.start()
+        if self.faults is not None:
+            for spec in self.faults.crashes:
+                if spec.process not in self.runtimes:
+                    raise ProgramError(
+                        f"crash schedule names unknown process "
+                        f"{spec.process!r}"
+                    )
+                self.scheduler.at(
+                    spec.at,
+                    lambda name=spec.process: self._crash(name),
+                    label=f"crash {spec.process}",
+                )
+                self.scheduler.at(
+                    spec.at + spec.restart_after,
+                    lambda name=spec.process: self._restart(name),
+                    label=f"restart {spec.process}",
+                )
+
+    def _crash(self, name: str) -> None:
+        """Take ``name`` down: freeze its runtime, drop its wire traffic."""
+        self.runtimes[name].crash()
+        if isinstance(self.network, FaultyNetwork):
+            self.network.mark_down(name)
+        if self.transport is not None:
+            self.transport.on_crash(name)
+
+    def _restart(self, name: str) -> None:
+        """Bring ``name`` back: reopen its wire, then run crash recovery."""
+        if isinstance(self.network, FaultyNetwork):
+            self.network.mark_up(name)
+        self.runtimes[name].restart()
 
     def run(self, until: Optional[float] = None) -> OptimisticResult:
         """Run to quiescence (or ``until``) and collect the results."""

@@ -481,18 +481,21 @@ class OptimisticThread:
 
     # -------------------------------------------------------------- rollback
 
-    def rollback_to(self, position: int) -> list:
+    def rollback_to(self, position: int, *, charge_retry: bool = True) -> list:
         """Roll back to journal ``position``; returns the discarded slots.
 
         The caller (runtime) requeues consumed envelopes, destroys forked
         children and drops emissions found in the discarded suffix, then
-        calls :meth:`replay`.
+        calls :meth:`replay`.  ``charge_retry=False`` exempts the rollback
+        from the §3.3 pessimistic-fallback accounting — crash-recovery
+        replay is environmental, not evidence of misspeculation.
         """
         self._cancel_pending()
-        self.rollback_count += 1
         config = self.runtime.config
-        if self.rollback_count >= config.max_optimistic_retries:
-            self.pessimistic = True
+        if charge_retry:
+            self.rollback_count += 1
+            if self.rollback_count >= config.max_optimistic_retries:
+                self.pessimistic = True
         # §3.1 interval checkpoints: restore the nearest checkpoint at or
         # below the rollback point; compute before it is not re-paid.
         if (

@@ -253,3 +253,36 @@ class RuntimeMetrics:
             "opt.speculation_depth", "guesses currently in doubt")
         self.doubt_time = registry.histogram(
             "opt.doubt_time", "virtual time guesses spend in doubt")
+        # Resilience layer (acks/retransmission/dedup/orphan re-detection).
+        self.retransmits = c("net.retransmits",
+                             "reliable-transport frame retransmissions")
+        self.retransmit_giveups = c("net.retransmit_giveups",
+                                    "frames abandoned after max retries")
+        self.acks_sent = c("net.acks_sent",
+                           "reliable-transport acks sent")
+        self.frames_deduped = c("net.frames_deduped",
+                                "duplicate frames suppressed by seq dedup")
+        self.control_dups = c("opt.control_duplicates",
+                              "duplicate control messages suppressed")
+        self.data_dups = c("opt.data_duplicates",
+                           "duplicate data envelopes suppressed")
+        self.orphan_scans = c("opt.orphan_scans",
+                              "orphan re-detection scan rounds")
+        self.orphan_queries = c("opt.orphan_queries",
+                                "QUERY probes sent for unresolved guesses")
+        self.query_replies = c("opt.query_replies",
+                               "resolutions re-sent in answer to a QUERY")
+        self.crashes = c("opt.crashes", "process crash events")
+        self.restarts = c("opt.restarts", "process restart events")
+        self.crash_replays = c("opt.crash_replays",
+                               "threads rebuilt by replay after a restart")
+        self.messages_lost_down = c("opt.messages_lost_down",
+                                    "deliveries dropped at a crashed process")
+        # Speculation governor.
+        self.gov_throttled = c("gov.forks_throttled",
+                               "forks denied by the speculation governor")
+        self.gov_probes = c("gov.probe_forks",
+                            "probe forks admitted through a closed window")
+        self.gov_window = registry.gauge(
+            "gov.admission_window",
+            "governor fork-admission window (last process updated)")

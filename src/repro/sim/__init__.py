@@ -19,10 +19,15 @@ from repro.sim.network import (
     PerLinkLatency,
     SkewedLatency,
 )
+from repro.sim.faults import CrashSpec, FaultPlan, FaultyNetwork, LinkFaults
 from repro.sim.rng import RngRegistry
 from repro.sim.stats import Stats
 
 __all__ = [
+    "LinkFaults",
+    "CrashSpec",
+    "FaultPlan",
+    "FaultyNetwork",
     "VirtualClock",
     "Event",
     "EventQueue",

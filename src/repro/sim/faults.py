@@ -1,0 +1,221 @@
+"""Seeded fault injection for the network substrate.
+
+The paper's protocol assumes reliable, FIFO, fail-free channels (§4.2.5).
+This module is the adversary that revokes the assumption: a
+:class:`FaultyNetwork` decorates :class:`~repro.sim.network.Network` and —
+driven by a declarative, seeded :class:`FaultPlan` — drops, duplicates,
+reorders and delays messages, separately tunable for the data and control
+planes, and takes whole processes down for scheduled crash windows.
+
+Every decision is drawn from a named stream of the plan's own
+:class:`~repro.sim.rng.RngRegistry`, so a fault schedule is a pure function
+of ``(seed, message sequence)``: the same run under the same plan sees the
+same faults, which is what lets the chaos harness pin its results.
+
+External sinks are exempt: an :class:`~repro.csp.external.ExternalSink`
+models the outside world *after* output commit (§3.2) — a released emission
+is already irrevocable, so the fault model targets the links the protocol
+is responsible for, not the terminal in front of the user.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, List, Optional, Set, Tuple
+
+from repro.errors import NetworkError
+from repro.sim.network import LatencyModel, Network
+from repro.sim.rng import RngRegistry
+from repro.sim.scheduler import Scheduler
+from repro.sim.stats import Stats
+
+
+@dataclass
+class LinkFaults:
+    """Per-message fault probabilities for one plane (data or control)."""
+
+    #: Probability a message is silently dropped.
+    drop_p: float = 0.0
+    #: Probability a message is delivered twice (second copy re-jittered).
+    dup_p: float = 0.0
+    #: Probability a message bypasses the per-link FIFO clamp and gets an
+    #: extra uniform(0, reorder_spread) delay — a non-FIFO burst.
+    reorder_p: float = 0.0
+    #: Spread of the reordering delay.
+    reorder_spread: float = 10.0
+    #: Probability of a latency spike of ``spike_delay``.
+    spike_p: float = 0.0
+    #: Extra delay added on a spike.
+    spike_delay: float = 50.0
+
+    def validate(self) -> None:
+        for name in ("drop_p", "dup_p", "reorder_p", "spike_p"):
+            p = getattr(self, name)
+            if not 0.0 <= p <= 1.0:
+                raise NetworkError(f"LinkFaults.{name}={p!r} not in [0, 1]")
+        if self.reorder_spread < 0 or self.spike_delay < 0:
+            raise NetworkError("fault delays must be non-negative")
+
+    @property
+    def active(self) -> bool:
+        return any((self.drop_p, self.dup_p, self.reorder_p, self.spike_p))
+
+
+@dataclass
+class CrashSpec:
+    """One scheduled crash/restart of a process.
+
+    While down, the process receives nothing (in-flight deliveries are
+    dropped on arrival) and sends nothing (its threads are frozen).  On
+    restart it loses uncommitted speculative state — its own pending
+    guesses abort — and rebuilds volatile thread state by full-journal
+    replay from the snapshot layer; committed state survives.
+    """
+
+    process: str
+    at: float                    # virtual time of the crash
+    restart_after: float = 50.0  # downtime before the restart
+
+    def validate(self) -> None:
+        if self.at < 0 or self.restart_after <= 0:
+            raise NetworkError(
+                f"crash of {self.process!r} needs at >= 0 and "
+                f"restart_after > 0"
+            )
+
+
+@dataclass
+class FaultPlan:
+    """A complete, seeded fault schedule for one run.
+
+    ``window`` optionally restricts message faults to a virtual-time
+    interval ``(start, end)``; crashes fire at their own times regardless.
+    """
+
+    seed: int = 0
+    data: LinkFaults = field(default_factory=LinkFaults)
+    control: LinkFaults = field(default_factory=LinkFaults)
+    crashes: List[CrashSpec] = field(default_factory=list)
+    window: Optional[Tuple[float, float]] = None
+
+    def validate(self) -> None:
+        self.data.validate()
+        self.control.validate()
+        for crash in self.crashes:
+            crash.validate()
+
+    def in_window(self, now: float) -> bool:
+        if self.window is None:
+            return True
+        start, end = self.window
+        return start <= now < end
+
+    @property
+    def active(self) -> bool:
+        return self.data.active or self.control.active or bool(self.crashes)
+
+
+class FaultyNetwork(Network):
+    """A :class:`Network` that executes a :class:`FaultPlan`.
+
+    Faults apply only between *participating* endpoints (``protect`` a name
+    to exempt it — the system exempts external sinks) and only while no
+    endpoint of the link is down.  Messages to or from a down process are
+    dropped at the wire, which is what makes a crash lossy for in-flight
+    traffic.
+    """
+
+    def __init__(
+        self,
+        scheduler: Scheduler,
+        latency_model: LatencyModel,
+        plan: FaultPlan,
+        *,
+        stats: Optional[Stats] = None,
+        fifo_links: bool = True,
+        bandwidth: Optional[float] = None,
+    ) -> None:
+        super().__init__(
+            scheduler,
+            latency_model,
+            stats=stats,
+            fifo_links=fifo_links,
+            bandwidth=bandwidth,
+        )
+        plan.validate()
+        self.plan = plan
+        self.rng = RngRegistry(plan.seed)
+        self.down: Set[str] = set()
+        self.protected: Set[str] = set()
+
+    # ------------------------------------------------------------- control
+
+    def protect(self, name: str) -> None:
+        """Exempt an endpoint (e.g. an external sink) from all faults."""
+        self.protected.add(name)
+
+    def mark_down(self, name: str) -> None:
+        self.down.add(name)
+
+    def mark_up(self, name: str) -> None:
+        self.down.discard(name)
+
+    # ------------------------------------------------------------- sending
+
+    def _draw(self, stream: str) -> float:
+        return float(self.rng.stream(stream).uniform(0.0, 1.0))
+
+    def send(
+        self,
+        src: str,
+        dst: str,
+        payload: Any,
+        *,
+        control: bool = False,
+        size: int = 1,
+    ) -> float:
+        if src in self.protected or dst in self.protected:
+            return super().send(src, dst, payload, control=control, size=size)
+        kind = "control" if control else "data"
+        if src in self.down or dst in self.down:
+            # Account the loss against the plain delivery time so the FIFO
+            # clamp and bandwidth bookkeeping stay consistent either way.
+            deliver_at = self._delivery_time(src, dst, size)
+            self.stats.incr(f"faults.{kind}.down_dropped")
+            return deliver_at
+        faults = self.plan.control if control else self.plan.data
+        if not faults.active or not self.plan.in_window(self.scheduler.now):
+            return super().send(src, dst, payload, control=control, size=size)
+
+        stream = f"faults.{kind}"
+        if self._draw(stream) < faults.drop_p:
+            deliver_at = self._delivery_time(src, dst, size)
+            self.stats.incr(f"faults.{kind}.dropped")
+            return deliver_at
+
+        extra = 0.0
+        fifo: Optional[bool] = None
+        if faults.spike_p and self._draw(stream) < faults.spike_p:
+            extra += faults.spike_delay
+            self.stats.incr(f"faults.{kind}.spiked")
+        if faults.reorder_p and self._draw(stream) < faults.reorder_p:
+            extra += float(
+                self.rng.stream(stream).uniform(0.0, faults.reorder_spread)
+            )
+            fifo = False
+            self.stats.incr(f"faults.{kind}.reordered")
+        deliver_at = self._delivery_time(
+            src, dst, size, extra_delay=extra, fifo=fifo
+        )
+        self._schedule_delivery(src, dst, payload, deliver_at, control, size)
+
+        if faults.dup_p and self._draw(stream) < faults.dup_p:
+            dup_extra = float(
+                self.rng.stream(stream).uniform(0.0, faults.reorder_spread)
+            )
+            dup_at = self._delivery_time(
+                src, dst, size, extra_delay=dup_extra, fifo=False
+            )
+            self._schedule_delivery(src, dst, payload, dup_at, control, size)
+            self.stats.incr(f"faults.{kind}.duplicated")
+        return deliver_at

@@ -105,9 +105,25 @@ class Network:
     """Delivers opaque payloads between named endpoints through the scheduler.
 
     Endpoints register a handler; ``send`` schedules the handler call after
-    the modelled latency.  Per-link FIFO is enforced by clamping each
-    delivery to be no earlier than the previous delivery on the same link
-    (set ``fifo_links=False`` to allow intra-link reordering).
+    the modelled latency.
+
+    **FIFO contract.**  With ``fifo_links=True`` (the default), each
+    *directed link* ``(src, dst)`` delivers messages in send order: every
+    delivery is clamped to be no earlier than the previous delivery on the
+    same link, and simultaneous deliveries untie in send order (the event
+    queue is FIFO within a timestamp+priority class).  This is the paper's
+    §4.2.5 per-channel assumption — a TCP-like connection per process pair.
+    Nothing is guaranteed *across* links; cross-link races are exactly the
+    source of the paper's time faults.
+
+    With ``fifo_links=False`` the per-link clamp is off and a latency model
+    with per-message variance (e.g. :class:`JitteredLatency`) **will**
+    reorder messages within a link.  The optimistic protocol's control
+    handlers tolerate this (commit histories are monotonic and handlers are
+    idempotent), but the paper's correctness argument does not cover it —
+    use it only with the hardened runtime
+    (:class:`~repro.core.config.ResilienceConfig`) or in tests that assert
+    convergence under reordering.
 
     ``bandwidth`` (size units per time unit, ``None`` = infinite) models
     link capacity: each message occupies its directed link for
@@ -163,6 +179,30 @@ class Network:
         separately and given delivery priority among simultaneous events.
         ``size`` is an abstract payload size used for overhead accounting.
         """
+        deliver_at = self._delivery_time(src, dst, size)
+        self._schedule_delivery(src, dst, payload, deliver_at, control, size)
+        return deliver_at
+
+    # The two halves of ``send``, exposed separately so decorators (see
+    # :mod:`repro.sim.faults`) can perturb delivery without re-implementing
+    # bandwidth/latency/FIFO bookkeeping.
+
+    def _delivery_time(
+        self,
+        src: str,
+        dst: str,
+        size: int,
+        *,
+        extra_delay: float = 0.0,
+        fifo: Optional[bool] = None,
+    ) -> float:
+        """Compute (and book-keep) the delivery time of one message.
+
+        ``extra_delay`` is added after the modelled latency (latency
+        spikes); ``fifo=False`` bypasses the per-link FIFO clamp for this
+        one message (deliberate reordering) without updating the clamp, so
+        later messages are not dragged behind the straggler.
+        """
         if dst not in self._handlers:
             raise NetworkError(f"no endpoint registered for {dst!r}")
         delay = self.latency_model.delay(src, dst)
@@ -175,12 +215,24 @@ class Network:
             depart_at = max(self.scheduler.now, busy) + tx
             self._link_busy[(src, dst)] = depart_at
             self.stats.record("net.tx_time", self.scheduler.now, tx)
-        deliver_at = depart_at + delay
-        if self.fifo_links:
+        deliver_at = depart_at + delay + extra_delay
+        use_fifo = self.fifo_links if fifo is None else (fifo and self.fifo_links)
+        if use_fifo:
             prev = self._last_delivery.get((src, dst), 0.0)
             deliver_at = max(deliver_at, prev)
             self._last_delivery[(src, dst)] = deliver_at
+        return deliver_at
 
+    def _schedule_delivery(
+        self,
+        src: str,
+        dst: str,
+        payload: Any,
+        deliver_at: float,
+        control: bool,
+        size: int,
+    ) -> None:
+        """Schedule the handler call and account the message."""
         handler = self._handlers[dst]
         self.scheduler.at(
             deliver_at,
@@ -191,7 +243,6 @@ class Network:
         kind = "control" if control else "data"
         self.stats.incr(f"net.msgs.{kind}")
         self.stats.incr(f"net.bytes.{kind}", size)
-        return deliver_at
 
     def broadcast(
         self,

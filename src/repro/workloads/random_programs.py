@@ -126,8 +126,14 @@ def build_random_client(spec: RandomProgramSpec) -> Tuple[Program,
 
 
 def build_random_system(spec: RandomProgramSpec, optimistic: bool,
-                        config: Optional[OptimisticConfig] = None):
-    """Assemble the full system (client, servers, display sink)."""
+                        config: Optional[OptimisticConfig] = None,
+                        faults=None):
+    """Assemble the full system (client, servers, display sink).
+
+    ``faults`` (a :class:`~repro.sim.faults.FaultPlan`) applies only to the
+    optimistic assembly — the sequential reference always runs fault-free,
+    which is exactly the equivalence the chaos harness asserts.
+    """
     program, plan = build_random_client(spec)
 
     def make_handler(name: str):
@@ -140,7 +146,8 @@ def build_random_system(spec: RandomProgramSpec, optimistic: bool,
         return handler
 
     if optimistic:
-        system = OptimisticSystem(FixedLatency(spec.latency), config=config)
+        system = OptimisticSystem(FixedLatency(spec.latency), config=config,
+                                  faults=faults)
         system.add_program(program, plan)
     else:
         system = SequentialSystem(FixedLatency(spec.latency))

@@ -1,0 +1,48 @@
+"""The chaos harness itself: schedules, gates, CLI plumbing."""
+
+import json
+
+from repro.bench import chaos
+
+
+def test_schedule_count_meets_floor():
+    # the acceptance bar: at least 20 randomized fault schedules
+    assert chaos.N_SCHEDULES >= 20
+    assert set(chaos.SMOKE_SEEDS) <= set(range(chaos.N_SCHEDULES))
+
+
+def test_fault_schedule_is_deterministic():
+    spec_a, plan_a = chaos.fault_schedule(5)
+    spec_b, plan_b = chaos.fault_schedule(5)
+    assert spec_a == spec_b
+    assert plan_a.data == plan_b.data
+    assert plan_a.control == plan_b.control
+    assert plan_a.crashes == plan_b.crashes
+    # different seeds genuinely vary the schedule
+    _, plan_c = chaos.fault_schedule(6)
+    assert (plan_a.data, plan_a.crashes) != (plan_c.data, plan_c.crashes)
+
+
+def test_run_schedule_row_shape_and_outcome():
+    row = chaos.run_schedule(0)
+    assert chaos.schedule_ok(row)
+    assert row["equivalent"]
+    assert row["unresolved"] == []
+    assert row["invariant_problems"] == []
+    assert row["crash"]["process"] in ("client", "S0", "S1")
+    json.dumps(row)  # report rows must be JSON-serializable
+
+
+def test_single_seed_cli_exit_code(capsys):
+    assert chaos.main(["--seed", "0"]) == 0
+    out = capsys.readouterr().out
+    payload = json.loads(out)
+    assert payload["seed"] == 0
+    assert payload["equivalent"]
+
+
+def test_repro_chaos_subcommand(capsys):
+    from repro.__main__ import main
+
+    assert main(["chaos", "--seed", "0"]) == 0
+    assert json.loads(capsys.readouterr().out)["equivalent"]

@@ -1,0 +1,75 @@
+"""Crash/restart: lose speculative state, keep committed state, rejoin."""
+
+import pytest
+
+from repro.core.config import OptimisticConfig, ResilienceConfig
+from repro.core.invariants import validate_run
+from repro.sim.faults import CrashSpec, FaultPlan
+from repro.trace import assert_equivalent
+from repro.workloads.random_programs import (
+    RandomProgramSpec,
+    build_random_system,
+)
+
+
+def run_with_crash(victim: str, at: float = 8.0, restart_after: float = 20.0,
+                   program_seed: int = 3):
+    spec = RandomProgramSpec(n_segments=6, seed=program_seed)
+    plan = FaultPlan(seed=0, crashes=[CrashSpec(process=victim, at=at,
+                                                restart_after=restart_after)])
+    system = build_random_system(
+        spec, optimistic=True,
+        config=OptimisticConfig(
+            resilience=ResilienceConfig(retransmit_timeout=10.0)
+        ),
+        faults=plan,
+    )
+    return system, system.run(), spec
+
+
+@pytest.mark.parametrize("victim", ["client", "S0", "S1"])
+def test_crash_preserves_sequential_equivalence(victim):
+    system, opt, spec = run_with_crash(victim)
+    seq = build_random_system(spec, optimistic=False).run()
+    assert opt.unresolved == []
+    assert_equivalent(opt.trace, seq.trace)
+    assert opt.sink_output("display") == seq.sink_output("display")
+    validate_run(system)
+    assert opt.stats.get("opt.crashes") == 1
+    assert opt.stats.get("opt.restarts") == 1
+
+
+def test_crash_aborts_own_pending_guesses():
+    # the client is the only forking process: crashing it mid-flight must
+    # abort its uncommitted speculation (reason="crash" in the log) and
+    # rebuild by journal replay
+    system, opt, _ = run_with_crash("client")
+    crash_aborts = [
+        e for e in opt.events("abort", "client")
+        if e.get("reason") == "crash"
+    ]
+    assert crash_aborts, "crash should abort in-doubt own guesses"
+    assert opt.stats.get("opt.crash_replays") >= 1
+
+
+def test_downtime_drops_arriving_messages():
+    # retransmission has to carry the conversation across the outage, so
+    # something must actually have been lost while the victim was down
+    _, opt, _ = run_with_crash("S0", at=8.0, restart_after=30.0)
+    lost = (opt.stats.get("opt.messages_lost_down")
+            + opt.stats.get("faults.data.down_dropped")
+            + opt.stats.get("faults.control.down_dropped"))
+    assert lost > 0
+    assert opt.stats.get("net.retransmits") > 0
+    assert opt.unresolved == []
+
+
+def test_crash_makespan_includes_outage():
+    spec = RandomProgramSpec(n_segments=6, seed=3)
+    clean = build_random_system(
+        spec, optimistic=True,
+        config=OptimisticConfig(resilience=ResilienceConfig()),
+    ).run()
+    _, crashed, _ = run_with_crash("client", at=10.0, restart_after=40.0)
+    # recovery is not free: the outage pushes completion past the clean run
+    assert crashed.makespan > clean.makespan

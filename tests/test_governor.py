@@ -1,0 +1,107 @@
+"""SpeculationGovernor: AIMD window, probes, reopen rule, integration."""
+
+from repro.core.config import GovernorConfig
+from repro.core.governor import SpeculationGovernor
+
+
+def make(max_depth=4, increase=0.5, decrease=0.5, probe_interval=10.0):
+    return SpeculationGovernor(GovernorConfig(
+        max_depth=max_depth, increase=increase, decrease=decrease,
+        probe_interval=probe_interval,
+    ))
+
+
+def drain_aborts(gov, n, now=0.0):
+    for _ in range(n):
+        gov.on_fork("X")
+        gov.on_resolution("X", "abort", now)
+
+
+class TestWindow:
+    def test_opens_at_max_depth(self):
+        gov = make(max_depth=4)
+        for _ in range(4):
+            assert gov.allow_fork("X", 0.0)
+            gov.on_fork("X")
+        assert not gov.allow_fork("X", 0.0)  # window full
+        assert gov.snapshot()["X"]["throttled"] == 1
+
+    def test_aborts_shrink_multiplicatively(self):
+        gov = make(max_depth=8, decrease=0.5)
+        drain_aborts(gov, 3)
+        assert gov.limit("X") == 1.0
+        drain_aborts(gov, 1)
+        assert gov.limit("X") == 0.5  # int() truncates: effectively closed
+        # a closed window still admits one immediate probe, nothing more
+        assert gov.allow_fork("X", 0.0)
+        assert gov.snapshot()["X"]["probes"] == 1
+        gov.on_fork("X")
+        assert not gov.allow_fork("X", 100.0)  # probe in flight: throttled
+
+    def test_commits_grow_additively_to_cap(self):
+        gov = make(max_depth=4, increase=0.5)
+        for _ in range(20):
+            gov.on_fork("X")
+            gov.on_resolution("X", "commit", 0.0)
+        assert gov.limit("X") == 4.0  # capped at max_depth
+
+    def test_commit_reopens_closed_window_outright(self):
+        # crawling up from ~0 in `increase` steps would leave the window
+        # truncating to closed for several more probe rounds — one commit
+        # must reopen it to at least 1
+        gov = make(max_depth=8)
+        drain_aborts(gov, 10)
+        assert int(gov.limit("X")) == 0
+        gov.on_fork("X")
+        gov.on_resolution("X", "commit", 50.0)
+        assert gov.limit("X") >= 1.0
+        assert gov.allow_fork("X", 50.0)
+
+
+class TestProbe:
+    def test_closed_window_probes_on_interval(self):
+        gov = make(probe_interval=10.0)
+        drain_aborts(gov, 10)
+        assert gov.allow_fork("X", 5.0)       # first probe fires
+        gov.on_fork("X")
+        gov.on_resolution("X", "abort", 6.0)  # probe failed, still closed
+        assert not gov.allow_fork("X", 8.0)   # too soon after last probe
+        assert gov.allow_fork("X", 15.1)      # interval elapsed: probe again
+        assert gov.snapshot()["X"]["probes"] == 2
+
+    def test_no_probe_while_outstanding(self):
+        gov = make(probe_interval=10.0)
+        drain_aborts(gov, 10)
+        assert gov.allow_fork("X", 0.0)
+        gov.on_fork("X")
+        # the probe is still in flight: don't pile more speculation on
+        assert not gov.allow_fork("X", 50.0)
+
+    def test_windows_are_per_process(self):
+        gov = make(probe_interval=10.0)
+        drain_aborts(gov, 10)
+        gov.allow_fork("X", 0.0)            # consume X's initial probe
+        assert not gov.allow_fork("X", 1.0)  # X throttled inside the interval
+        assert gov.allow_fork("Y", 1.0)      # Y's window untouched
+
+
+class TestIntegration:
+    def test_governor_degrades_and_recovers_on_burst_chain(self):
+        # the chaos bench's experiment, reused as a regression: a mid-run
+        # failure burst should cost far fewer aborts with the governor on,
+        # and the tail must return to the clean run's pace
+        from repro.bench.chaos import governor_report
+
+        report = governor_report()
+        assert report["degrades"]
+        assert report["recovers"]
+        assert report["aborts_governed"] < report["aborts_ungoverned"]
+        assert report["forks_throttled"] > 0
+
+    def test_throttled_fork_falls_back_to_sequential_correctness(self):
+        from repro.bench.chaos import GOV_BURST, _run_gov_chain
+
+        governed = _run_gov_chain(burst=GOV_BURST, governed=True)
+        assert governed.unresolved == []
+        assert governed.stats.get("gov.forks_throttled") > 0
+        assert governed.stats.get("gov.probe_forks") > 0

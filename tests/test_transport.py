@@ -1,0 +1,153 @@
+"""ReliableTransport: acks, retransmission, dedup, crash semantics."""
+
+import pytest
+
+from repro.core.config import ResilienceConfig
+from repro.core.messages import AckMsg, Wire
+from repro.core.transport import ReliableTransport
+from repro.obs.metrics import MetricsRegistry, RuntimeMetrics
+from repro.sim.scheduler import Scheduler
+from repro.sim.stats import Stats
+
+
+class ScriptedNet:
+    """Delivers after a fixed delay; can drop frames/acks on demand."""
+
+    def __init__(self, scheduler, latency=1.0):
+        self.scheduler = scheduler
+        self.latency = latency
+        self.handlers = {}
+        self.drop_frames = 0       # drop this many Wire frames, then deliver
+        self.drop_acks = False
+        self.duplicate_frames = False
+
+    def register(self, name, handler):
+        self.handlers[name] = handler
+
+    def send(self, src, dst, msg, control=False, size=1):
+        if isinstance(msg, Wire) and self.drop_frames > 0:
+            self.drop_frames -= 1
+            return
+        if isinstance(msg, AckMsg) and self.drop_acks:
+            return
+        copies = 2 if (isinstance(msg, Wire) and self.duplicate_frames) else 1
+        for _ in range(copies):
+            self.scheduler.after(
+                self.latency,
+                lambda m=msg: self.handlers[dst](src, m),
+                label=f"deliver {src}->{dst}",
+            )
+
+
+def make_transport(config=None, **net_kwargs):
+    scheduler = Scheduler()
+    net = ScriptedNet(scheduler, **net_kwargs)
+    stats = Stats()
+    metrics = RuntimeMetrics(MetricsRegistry(stats))
+    transport = ReliableTransport(
+        net, scheduler, config or ResilienceConfig(retransmit_timeout=5.0),
+        metrics,
+    )
+    received = []
+    for name in ("A", "B"):
+        transport.add_participant(name)
+        net.register(
+            name,
+            transport.receiver(
+                name, lambda src, msg, _n=name: received.append((_n, src, msg))
+            ),
+        )
+    return scheduler, net, transport, stats, received
+
+
+def test_clean_delivery_acks_and_clears_pending():
+    scheduler, net, transport, stats, received = make_transport()
+    transport.send("A", "B", "hello", control=True)
+    scheduler.run()
+    assert received == [("B", "A", "hello")]
+    assert transport.outstanding() == 0
+    assert stats.get("net.acks_sent") == 1
+    assert stats.get("net.retransmits") == 0
+
+
+def test_dropped_frame_is_retransmitted():
+    scheduler, net, transport, stats, received = make_transport()
+    net.drop_frames = 1
+    transport.send("A", "B", "hello", control=True)
+    scheduler.run()
+    assert received == [("B", "A", "hello")]
+    assert stats.get("net.retransmits") == 1
+    assert transport.outstanding() == 0
+
+
+def test_duplicate_frames_deliver_once_but_ack_twice():
+    scheduler, net, transport, stats, received = make_transport()
+    net.duplicate_frames = True
+    transport.send("A", "B", "hello", control=True)
+    scheduler.run()
+    # at-most-once delivery to the handler, but every copy is acked: the
+    # previous ack may be the thing that was lost
+    assert received == [("B", "A", "hello")]
+    assert stats.get("net.frames_deduped") >= 1
+    assert stats.get("net.acks_sent") >= 2
+
+
+def test_lost_acks_cause_retries_but_single_delivery():
+    config = ResilienceConfig(retransmit_timeout=5.0, max_retransmits=3)
+    scheduler, net, transport, stats, received = make_transport(config)
+    net.drop_acks = True
+    transport.send("A", "B", "hello", control=True)
+    scheduler.run()
+    assert received == [("B", "A", "hello")]
+    assert stats.get("net.retransmits") == 3
+    assert stats.get("net.frames_deduped") == 3
+    assert stats.get("net.retransmit_giveups") == 1
+    assert transport.outstanding() == 0
+
+
+def test_giveup_after_max_retransmits():
+    config = ResilienceConfig(retransmit_timeout=5.0, max_retransmits=2)
+    scheduler, net, transport, stats, received = make_transport(config)
+    net.drop_frames = 10**9
+    transport.send("A", "B", "hello", control=True)
+    scheduler.run()
+    assert received == []
+    assert stats.get("net.retransmits") == 2
+    assert stats.get("net.retransmit_giveups") == 1
+    assert transport.outstanding() == 0  # nothing leaks after giving up
+
+
+def test_backoff_grows_and_is_capped():
+    config = ResilienceConfig(retransmit_timeout=10.0, retransmit_backoff=2.0,
+                              retransmit_timeout_max=25.0, max_retransmits=3)
+    scheduler, net, transport, stats, received = make_transport(config)
+    net.drop_frames = 10**9
+    transport.send("A", "B", "x", control=True)
+    scheduler.run()
+    # attempts at RTOs 10, 20, 25(capped from 40), then a final 25 wait
+    # before the giveup fires
+    assert scheduler.now == pytest.approx(10 + 20 + 25 + 25)
+
+
+def test_crash_drops_control_plane_but_keeps_data_plane():
+    scheduler, net, transport, stats, received = make_transport()
+    net.drop_frames = 10**9
+    transport.send("A", "B", "ctl", control=True)
+    transport.send("A", "B", "dat", control=False)
+    assert transport.outstanding() == 2
+    transport.on_crash("A")
+    # volatile control retransmission state is lost; the journal-backed
+    # data frame keeps retrying
+    assert transport.outstanding() == 1
+    [entry] = transport._pending.values()
+    assert entry.wire.plane == "data"
+
+
+def test_non_participants_pass_through_unframed():
+    scheduler, net, transport, stats, received = make_transport()
+    seen = []
+    net.register("sink", lambda src, msg: seen.append(msg))
+    transport.send("A", "sink", "emission")
+    scheduler.run()
+    assert seen == ["emission"]  # raw payload, no Wire framing, no acks
+    assert stats.get("net.acks_sent") == 0
