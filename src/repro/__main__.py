@@ -10,6 +10,9 @@ Commands
 ``sweep``              print the C1-style latency sweep table
 ``chaos``              randomized fault schedules against the hardened
                        runtime (``--smoke``, ``--seed N``, ``--check-only``)
+``lint <target>``      static analysis of programs and plans: scenario
+                       names (fig1..fig7, chain, pipeline, random), paths,
+                       or dotted modules (see docs/ANALYSIS.md)
 ``list``               list scenarios and experiments
 """
 
@@ -196,6 +199,12 @@ def cmd_chaos(args: argparse.Namespace) -> int:
     return chaos.main(argv)
 
 
+def cmd_lint(args: argparse.Namespace) -> int:
+    from repro.analyze.cli import run_lint
+
+    return run_lint(args)
+
+
 def cmd_list(args: argparse.Namespace) -> int:
     print("scenarios (python -m repro scenario <id>):")
     for sid, (title, _) in SCENARIOS.items():
@@ -251,6 +260,11 @@ def main(argv=None) -> int:
     p_chaos.add_argument("--out", default=None, metavar="FILE",
                          help="where to write the report JSON")
     p_chaos.set_defaults(fn=cmd_chaos)
+    p_lint = sub.add_parser(
+        "lint", help="statically analyze programs and plans")
+    from repro.analyze.cli import configure_parser as configure_lint
+    configure_lint(p_lint)
+    p_lint.set_defaults(fn=cmd_lint)
     sub.add_parser("list", help="list scenarios").set_defaults(fn=cmd_list)
     args = parser.parse_args(argv)
     return args.fn(args)

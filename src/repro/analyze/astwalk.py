@@ -1,0 +1,389 @@
+"""Conservative Python-AST walk of raw segment bodies and server handlers.
+
+The DSL and the built-in builders attach structured metadata to their
+segments, so most programs need no source inspection at all.  Hand-written
+generator segments fall back to this walker, which recovers:
+
+* the effects the body yields (calls, sends, emits, receives) with their
+  destinations, resolving names through parameter defaults and closure
+  cells (the repo's ``def body(state, _dst=dst)`` idiom);
+* the ``state`` keys read and written;
+* determinism-contract hazards: use of the ``random``/``time``/``os``
+  modules, writes to ``global`` names, and yields of non-:class:`Effect`
+  literals.
+
+The walk is *conservative in the no-false-positive direction*: anything it
+cannot resolve (dynamic destinations, ``yield from``, missing source) sets
+``opaque`` instead of producing a finding.  The static planner treats
+``opaque`` as "not provably safe"; the linter treats it as "not provably
+broken".
+"""
+
+from __future__ import annotations
+
+import ast
+import inspect
+import textwrap
+import types
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Set, Tuple
+
+#: Effect constructors a segment may legitimately yield.
+EFFECT_NAMES = frozenset(
+    {"Call", "Send", "Receive", "Reply", "Compute", "Emit", "GetTime"}
+)
+
+#: Modules whose use inside a segment body breaks the determinism contract
+#: (their results differ between first execution and rollback replay).
+FORBIDDEN_MODULES = frozenset({"random", "time", "os", "secrets", "uuid"})
+
+#: Placeholder for a communication partner the walk could not resolve.
+UNKNOWN = "?"
+
+
+@dataclass
+class WalkResult:
+    """Everything the AST walk recovered from one function body."""
+
+    calls: List[Tuple[str, str]] = field(default_factory=list)
+    sends: List[Tuple[str, str]] = field(default_factory=list)
+    emits: List[str] = field(default_factory=list)
+    receives: bool = False
+    reads: Set[str] = field(default_factory=set)
+    writes: Set[str] = field(default_factory=set)
+    #: yields whose operand is provably not an Effect: (repr, line)
+    bad_yields: List[Tuple[str, int]] = field(default_factory=list)
+    #: uses of forbidden nondeterministic modules: (dotted name, line)
+    forbidden: List[Tuple[str, int]] = field(default_factory=list)
+    #: writes to names declared ``global``: (name, line)
+    global_writes: List[Tuple[str, int]] = field(default_factory=list)
+    #: True when something could not be resolved (conservative marker)
+    opaque: bool = False
+    #: False when the source itself was unavailable (opaque is then True)
+    source_available: bool = True
+
+    def merge(self, other: "WalkResult") -> "WalkResult":
+        self.calls.extend(other.calls)
+        self.sends.extend(other.sends)
+        self.emits.extend(other.emits)
+        self.receives = self.receives or other.receives
+        self.reads |= other.reads
+        self.writes |= other.writes
+        self.bad_yields.extend(other.bad_yields)
+        self.forbidden.extend(other.forbidden)
+        self.global_writes.extend(other.global_writes)
+        self.opaque = self.opaque or other.opaque
+        self.source_available = (
+            self.source_available and other.source_available
+        )
+        return self
+
+
+def _resolution_env(fn: Any) -> Dict[str, Any]:
+    """Names resolvable to constants: parameter defaults + closure cells."""
+    env: Dict[str, Any] = {}
+    try:
+        sig = inspect.signature(fn)
+    except (TypeError, ValueError):
+        sig = None
+    if sig is not None:
+        for pname, param in sig.parameters.items():
+            if param.default is not inspect.Parameter.empty:
+                env[pname] = param.default
+    code = getattr(fn, "__code__", None)
+    closure = getattr(fn, "__closure__", None)
+    if code is not None and closure:
+        for name, cell in zip(code.co_freevars, closure):
+            try:
+                env[name] = cell.cell_contents
+            except ValueError:  # empty cell
+                pass
+    return env
+
+
+def _find_function_node(tree: ast.AST, fn: Any) -> Optional[ast.AST]:
+    """Locate the def (or lambda) for ``fn`` in its parsed source."""
+    name = getattr(fn, "__name__", None)
+    candidates: List[ast.AST] = []
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            if name in (None, "<lambda>") or node.name == name:
+                candidates.append(node)
+        elif isinstance(node, ast.Lambda) and name == "<lambda>":
+            candidates.append(node)
+    return candidates[0] if candidates else None
+
+
+class _SegmentWalker:
+    """Statement-level walk with unreachability and nested-def handling."""
+
+    def __init__(self, fn: Any, node: ast.AST, state_param: str) -> None:
+        self.fn = fn
+        self.env = _resolution_env(fn)
+        self.node = node
+        self.state_param = state_param
+        self.result = WalkResult()
+        self.globals_declared: Set[str] = set()
+        self.locals_bound: Set[str] = set(self.env)
+        fn_globals = getattr(fn, "__globals__", {})
+        self.module_names = {
+            name for name, value in fn_globals.items()
+            if isinstance(value, types.ModuleType)
+        }
+
+    # ----------------------------------------------------------- resolution
+
+    def _literal(self, node: ast.AST) -> Any:
+        """Resolve ``node`` to a constant if possible, else UNKNOWN."""
+        if isinstance(node, ast.Constant):
+            return node.value
+        if isinstance(node, ast.Name):
+            name = node.id
+            if name in self.env:
+                return self.env[name]
+        return UNKNOWN
+
+    def _dst_op(self, call: ast.Call) -> Tuple[str, str]:
+        args = list(call.args)
+        kwargs = {kw.arg: kw.value for kw in call.keywords if kw.arg}
+        dst_node = args[0] if args else kwargs.get("dst") or kwargs.get("sink")
+        op_node = args[1] if len(args) > 1 else kwargs.get("op")
+        dst = self._literal(dst_node) if dst_node is not None else UNKNOWN
+        op = self._literal(op_node) if op_node is not None else UNKNOWN
+        if not isinstance(dst, str):
+            dst = UNKNOWN
+        if not isinstance(op, str):
+            op = UNKNOWN
+        if dst == UNKNOWN:
+            self.result.opaque = True
+        return dst, str(op)
+
+    # -------------------------------------------------------------- effects
+
+    def _effect_name(self, call: ast.Call) -> Optional[str]:
+        func = call.func
+        if isinstance(func, ast.Name) and func.id in EFFECT_NAMES:
+            return func.id
+        if isinstance(func, ast.Attribute) and func.attr in EFFECT_NAMES:
+            return func.attr
+        return None
+
+    def _note_yield(self, node: ast.AST, reachable: bool) -> None:
+        value = node.value if isinstance(node, ast.Yield) else None
+        if isinstance(node, ast.YieldFrom):
+            # Delegation to another generator: anything could happen there.
+            self.result.opaque = True
+            return
+        if value is None or isinstance(value, ast.Constant):
+            # ``yield`` / ``yield <literal>``: never an Effect.  The
+            # ``return; yield`` generator-marker idiom is unreachable and
+            # already filtered out by the caller.
+            if reachable:
+                text = ast.unparse(value) if value is not None else "None"
+                self.result.bad_yields.append((text, node.lineno))
+            return
+        if isinstance(value, ast.Call):
+            effect = self._effect_name(value)
+            if effect is None:
+                # A constructor we don't know; could be a user Effect
+                # subclass — stay silent but note the opacity.
+                self.result.opaque = True
+                return
+            if effect == "Call":
+                self.result.calls.append(self._dst_op(value))
+            elif effect == "Send":
+                self.result.sends.append(self._dst_op(value))
+            elif effect == "Emit":
+                sink, _ = self._dst_op(value)
+                self.result.emits.append(sink)
+            elif effect == "Receive":
+                self.result.receives = True
+            return
+        # yield <name> / <expr>: can't classify statically.
+        self.result.opaque = True
+
+    # ---------------------------------------------------------------- state
+
+    def _is_state(self, node: ast.AST) -> bool:
+        return isinstance(node, ast.Name) and node.id == self.state_param
+
+    def _note_subscript(self, node: ast.Subscript, store: bool) -> None:
+        if not self._is_state(node.value):
+            return
+        key = self._literal(node.slice)
+        if isinstance(key, str):
+            (self.result.writes if store else self.result.reads).add(key)
+        else:
+            self.result.opaque = True
+
+    def _note_state_method(self, call: ast.Call) -> None:
+        func = call.func
+        if not (isinstance(func, ast.Attribute) and self._is_state(func.value)):
+            return
+        key = self._literal(call.args[0]) if call.args else UNKNOWN
+        if func.attr == "get":
+            if isinstance(key, str):
+                self.result.reads.add(key)
+            else:
+                self.result.opaque = True
+        elif func.attr == "setdefault":
+            if isinstance(key, str):
+                self.result.reads.add(key)
+                self.result.writes.add(key)
+            else:
+                self.result.opaque = True
+        elif func.attr in ("pop", "update", "clear", "popitem"):
+            self.result.opaque = True
+
+    # ---------------------------------------------------------- determinism
+
+    def _note_name_use(self, node: ast.Name) -> None:
+        name = node.id
+        if not isinstance(node.ctx, ast.Load):
+            return
+        if name in self.locals_bound:
+            return
+        if name in FORBIDDEN_MODULES and name in self.module_names:
+            self.result.forbidden.append((name, node.lineno))
+
+    def _note_import(self, node: ast.AST) -> None:
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                root = alias.name.split(".")[0]
+                if root in FORBIDDEN_MODULES:
+                    self.result.forbidden.append((alias.name, node.lineno))
+        elif isinstance(node, ast.ImportFrom):
+            root = (node.module or "").split(".")[0]
+            if root in FORBIDDEN_MODULES:
+                self.result.forbidden.append((node.module or "", node.lineno))
+
+    def _note_store(self, node: ast.AST) -> None:
+        for target in ast.walk(node):
+            if isinstance(target, ast.Name) and isinstance(
+                target.ctx, (ast.Store,)
+            ):
+                if target.id in self.globals_declared:
+                    self.result.global_writes.append(
+                        (target.id, target.lineno)
+                    )
+                else:
+                    self.locals_bound.add(target.id)
+
+    # ----------------------------------------------------------------- walk
+
+    def walk(self) -> WalkResult:
+        body = getattr(self.node, "body", None)
+        if isinstance(self.node, ast.Lambda):
+            self._walk_expr(self.node.body, reachable=True)
+            return self.result
+        if body is None:
+            self.result.opaque = True
+            return self.result
+        self._walk_block(body, reachable=True)
+        return self.result
+
+    def _walk_block(self, stmts: List[ast.stmt], reachable: bool) -> None:
+        for stmt in stmts:
+            self._walk_stmt(stmt, reachable)
+            if isinstance(stmt, (ast.Return, ast.Raise, ast.Continue,
+                                 ast.Break)):
+                # The ``return`` / ``yield`` generator-marker idiom and
+                # anything else after a terminator is unreachable.
+                reachable = False
+
+    def _walk_stmt(self, stmt: ast.stmt, reachable: bool) -> None:
+        if isinstance(stmt, ast.Global):
+            self.globals_declared.update(stmt.names)
+            return
+        if isinstance(stmt, (ast.Import, ast.ImportFrom)):
+            self._note_import(stmt)
+            return
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            return  # nested defs are separate bodies; do not attribute
+        if isinstance(stmt, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+            self._note_store(stmt)
+            if isinstance(stmt, ast.Assign):
+                for target in stmt.targets:
+                    self._walk_store_target(target)
+            elif stmt.target is not None:
+                self._walk_store_target(stmt.target)
+            value = getattr(stmt, "value", None)
+            if value is not None:
+                self._walk_expr(value, reachable)
+            return
+        if isinstance(stmt, (ast.If, ast.While)):
+            self._walk_expr(stmt.test, reachable)
+            self._walk_block(stmt.body, reachable)
+            self._walk_block(stmt.orelse, reachable)
+            return
+        if isinstance(stmt, ast.For):
+            self._note_store(stmt.target)
+            self._walk_expr(stmt.iter, reachable)
+            self._walk_block(stmt.body, reachable)
+            self._walk_block(stmt.orelse, reachable)
+            return
+        if isinstance(stmt, ast.Try):
+            self._walk_block(stmt.body, reachable)
+            for handler in stmt.handlers:
+                self._walk_block(handler.body, reachable)
+            self._walk_block(stmt.orelse, reachable)
+            self._walk_block(stmt.finalbody, reachable)
+            return
+        if isinstance(stmt, ast.With):
+            for item in stmt.items:
+                self._walk_expr(item.context_expr, reachable)
+            self._walk_block(stmt.body, reachable)
+            return
+        if isinstance(stmt, (ast.Expr, ast.Return)):
+            value = stmt.value
+            if value is not None:
+                self._walk_expr(value, reachable)
+            return
+        # Anything exotic (match, etc.): walk expressions generically.
+        for child in ast.iter_child_nodes(stmt):
+            if isinstance(child, ast.expr):
+                self._walk_expr(child, reachable)
+            elif isinstance(child, ast.stmt):
+                self._walk_stmt(child, reachable)
+
+    def _walk_store_target(self, target: ast.expr) -> None:
+        if isinstance(target, ast.Subscript):
+            self._note_subscript(target, store=True)
+            self._walk_expr(target.value, reachable=True)
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for elt in target.elts:
+                self._walk_store_target(elt)
+
+    def _walk_expr(self, expr: ast.expr, reachable: bool) -> None:
+        for node in ast.walk(expr):
+            if isinstance(node, (ast.Yield, ast.YieldFrom)):
+                self._note_yield(node, reachable)
+            elif isinstance(node, ast.Subscript):
+                if isinstance(node.ctx, ast.Load):
+                    self._note_subscript(node, store=False)
+            elif isinstance(node, ast.Call):
+                self._note_state_method(node)
+            elif isinstance(node, ast.Name):
+                self._note_name_use(node)
+            elif isinstance(node, (ast.Lambda, ast.FunctionDef)):
+                pass  # separate body
+
+
+def walk_function(fn: Any, *, state_param: Optional[str] = None) -> WalkResult:
+    """AST walk of ``fn``; returns a fully-opaque result when source fails."""
+    try:
+        source = textwrap.dedent(inspect.getsource(fn))
+        tree = ast.parse(source)
+        first_line = getattr(getattr(fn, "__code__", None),
+                             "co_firstlineno", 1)
+        ast.increment_lineno(tree, first_line - 1)
+    except (OSError, TypeError, SyntaxError, IndentationError, ValueError):
+        return WalkResult(opaque=True, source_available=False)
+    node = _find_function_node(tree, fn)
+    if node is None:
+        return WalkResult(opaque=True, source_available=False)
+    if state_param is None:
+        params = getattr(getattr(node, "args", None), "args", None)
+        state_param = params[0].arg if params else "state"
+    walker = _SegmentWalker(fn, node, state_param)
+    return walker.walk()

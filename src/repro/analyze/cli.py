@@ -1,0 +1,137 @@
+"""``python -m repro lint``: the analyzer's command-line front end.
+
+A target is resolved in order:
+
+1. a **named scenario** from :data:`repro.analyze.targets.TARGETS`
+   (``fig1`` … ``fig7``, ``chain``, ``pipeline``, ``random``) — full
+   semantic lint of the assembled system;
+2. a **path** (``.py`` file or directory) — AST file scan of segment-like
+   generators (:mod:`repro.analyze.filescan`);
+3. a **dotted module path** — if the imported module exposes
+   ``lint_entries()`` returning ``(entries, sinks)`` it gets the semantic
+   lint, otherwise its source file gets the AST scan.
+
+Exit status is non-zero when any finding reaches ``--min-severity``
+(default: warning), so the command gates CI directly.
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib
+import sys
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from repro.analyze.filescan import scan_paths
+from repro.analyze.graph import SystemModel
+from repro.analyze.report import Report, Severity
+from repro.analyze.rules import RULES, run_rules
+from repro.analyze.targets import TARGETS, build_target
+
+
+def resolve_target(name: str) -> Report:
+    """Lint one target (scenario name, path, or dotted module)."""
+    if name in TARGETS:
+        return run_rules(build_target(name), target=name)
+    path = Path(name)
+    if path.exists():
+        return scan_paths([path])
+    if "/" not in name and not name.endswith(".py"):
+        try:
+            module = importlib.import_module(name)
+        except ImportError as exc:
+            raise SystemExit(
+                f"lint: {name!r} is not a known scenario, an existing "
+                f"path, or an importable module ({exc})"
+            ) from None
+        entries_fn = getattr(module, "lint_entries", None)
+        if callable(entries_fn):
+            entries, sinks = entries_fn()
+            return run_rules(SystemModel.build(entries, sinks=sinks),
+                             target=name)
+        source = getattr(module, "__file__", None)
+        if source:
+            return scan_paths([source])
+        raise SystemExit(f"lint: module {name!r} has no source file")
+    raise SystemExit(
+        f"lint: no such target {name!r}; known scenarios: "
+        + ", ".join(sorted(TARGETS))
+    )
+
+
+def list_rules() -> str:
+    lines = ["registered rules:"]
+    for rule_id in sorted(RULES):
+        r = RULES[rule_id]
+        lines.append(f"  {rule_id}  {r.severity.label():7s} {r.title}")
+    return "\n".join(lines)
+
+
+def configure_parser(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "targets", nargs="*",
+        help="scenario names (fig1..fig7, chain, pipeline, random), "
+             ".py files/directories, or dotted module paths",
+    )
+    parser.add_argument(
+        "--min-severity", default="warning",
+        help="gate level for the exit code: info, warning or error",
+    )
+    parser.add_argument(
+        "--json", metavar="FILE", default=None,
+        help="also write the findings as JSON to FILE ('-' for stdout)",
+    )
+    parser.add_argument(
+        "--rules", default=None,
+        help="comma-separated rule IDs to run (default: all)",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="print the rule catalogue and exit",
+    )
+
+
+def run_lint(args: argparse.Namespace) -> int:
+    if args.list_rules:
+        print(list_rules())
+        return 0
+    if not args.targets:
+        print("lint: no targets given (try --list-rules, or a scenario "
+              "name such as fig4)", file=sys.stderr)
+        return 2
+    min_severity = Severity.parse(args.min_severity)
+    only: Optional[List[str]] = (
+        [r.strip() for r in args.rules.split(",") if r.strip()]
+        if args.rules else None
+    )
+
+    combined = Report(target=", ".join(args.targets))
+    for name in args.targets:
+        report = resolve_target(name)
+        if only is not None:
+            report.findings = [f for f in report.findings
+                               if f.rule in only]
+        print(report.render())
+        combined.extend(report.findings)
+
+    if args.json:
+        payload = combined.to_json()
+        if args.json == "-":
+            print(payload)
+        else:
+            Path(args.json).write_text(payload + "\n")
+    return combined.exit_code(min_severity)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro lint",
+        description="statically analyze CSP programs and plans",
+    )
+    configure_parser(parser)
+    return run_lint(parser.parse_args(argv))
+
+
+if __name__ == "__main__":
+    sys.exit(main())

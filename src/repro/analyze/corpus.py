@@ -1,0 +1,222 @@
+"""The bad-program corpus: one deliberately-broken system per rule.
+
+Each :class:`CorpusCase` builds a small system seeded with a specific
+violation and names the rule IDs that must fire on it.  The smoke gate
+(:mod:`repro.analyze.smoke`, ``make analyze-smoke``) runs the whole corpus
+and fails if any registered rule never fires — so the catalogue cannot
+grow dead rules — and the unit tests assert the per-case expectations.
+
+The paper's own fault figures double as true positives: Figure 4 is the
+SA201 service-set reentry and Figure 7 the SA202 speculation cycle.
+"""
+
+from __future__ import annotations
+
+import os      # noqa: F401  — used *inside* bad segment bodies on purpose
+import random  # corpus segments misuse these modules deliberately
+import time    # noqa: F401
+
+from dataclasses import dataclass
+from typing import Callable, FrozenSet, List, Tuple
+
+from repro.analyze.graph import SystemModel
+from repro.analyze.targets import build_target
+from repro.csp.dsl import program
+from repro.csp.plan import ForkSpec, ParallelizationPlan
+from repro.csp.process import Program, Segment, server_program
+
+
+@dataclass(frozen=True)
+class CorpusCase:
+    """One seeded-violation system and the rules it must trip."""
+
+    name: str
+    expect: FrozenSet[str]
+    build: Callable[[], SystemModel]
+    doc: str = ""
+
+
+def _ok_server(name: str) -> Tuple[Program, None]:
+    def handler(state, req):
+        return True
+
+    return server_program(name, handler), None
+
+
+# ------------------------------------------------------------- determinism
+
+_SHARED_COUNTER = 0
+
+
+def _nondeterministic_segment() -> SystemModel:
+    def body(state):
+        state["r"] = yield from _noop()
+        state["now"] = time.time()          # SA101: replay diverges
+        state["pick"] = random.random()     # SA101 again
+        state["pid"] = os.getpid()          # SA101 again
+
+    prog = Program("P", [Segment("s0", body, exports=("r",)),
+                         Segment("s1", _tail, exports=())])
+    return SystemModel.build([(prog, None)])
+
+
+def _noop():
+    return None
+    yield  # pragma: no cover - generator marker
+
+
+def _tail(state):
+    return
+    yield  # pragma: no cover - generator marker
+
+
+def _global_mutation() -> SystemModel:
+    def body(state):
+        global _SHARED_COUNTER
+        _SHARED_COUNTER += 1                # SA102: rollback can't undo
+        state["r"] = _SHARED_COUNTER
+        return
+        yield  # pragma: no cover - generator marker
+
+    prog = Program("P", [Segment("s0", body, exports=("r",))])
+    return SystemModel.build([(prog, None)])
+
+
+def _bad_yield() -> SystemModel:
+    def body(state):
+        yield 42                            # SA103: not an Effect
+        state["r"] = 1
+
+    prog = Program("P", [Segment("s0", body, exports=("r",))])
+    return SystemModel.build([(prog, None)])
+
+
+# -------------------------------------------------------------- time faults
+
+def _fig4_reentry() -> SystemModel:
+    # Figure 4 verbatim: Y services X's Update by calling Z while X's
+    # speculative continuation writes to Z directly.
+    return build_target("fig4")
+
+
+def _fig7_cycle() -> SystemModel:
+    # Figure 7 verbatim: X and Z each guess a receive fed only by the
+    # other's speculative send.
+    return build_target("fig7")
+
+
+# ------------------------------------------------------------ output commit
+
+def _speculative_emit() -> SystemModel:
+    built = (
+        program("P")
+        .call("S", "op", (), export="r", guess=True)
+        .emit("display", from_state="r")    # SA301: buffered until commit
+        .send("S", "done")
+        .build()
+    )
+    return SystemModel.build(
+        [(built.program, built.plan), _ok_server("S")],
+        sinks=("display",),
+    )
+
+
+def _emit_to_participant() -> SystemModel:
+    built = (
+        program("P")
+        .call("S", "op", (), export="r")
+        .emit("S", "oops")                  # SA302: S is a participant
+        .build()
+    )
+    return SystemModel.build([(built.program, built.plan), _ok_server("S")])
+
+
+# -------------------------------------------------------- plan consistency
+
+def _unknown_segment_plan() -> SystemModel:
+    prog = Program("P", [Segment("s0", _seg_call_s0, exports=("r",)),
+                         Segment("s1", _tail)])
+    plan = ParallelizationPlan().add(
+        "phantom", ForkSpec(predictor={"r": 1}))   # SA401
+    return SystemModel.build([(prog, plan), _ok_server("S")])
+
+
+def _final_segment_plan() -> SystemModel:
+    prog = Program("P", [Segment("s0", _seg_call_s0, exports=("r",))])
+    plan = ParallelizationPlan().add(
+        "s0", ForkSpec(predictor={"r": 1}))        # SA402
+    return SystemModel.build([(prog, plan), _ok_server("S")])
+
+
+def _seg_call_s0(state):
+    state["r"] = yield __import__("repro.csp.effects", fromlist=["Call"]).Call(
+        "S", "op", ()
+    )
+
+
+def _never_exported_guess() -> SystemModel:
+    built = (
+        program("P")
+        .call("S", "op", (), export="r", guess=True, name="first")
+        .send("S", "done")
+        .build()
+    )
+    built.plan.add("first", ForkSpec(predictor={"bogus": 1}))  # SA403
+    return SystemModel.build([(built.program, built.plan), _ok_server("S")])
+
+
+def _uncovered_export() -> SystemModel:
+    def s0(state):
+        from repro.csp.effects import Call
+        state["a"] = yield Call("S", "op", ())
+        state["b"] = state["a"] * 2
+
+    def s1(state):
+        from repro.csp.effects import Send
+        yield Send("S", "report", (state["b"],))   # reads the unguessed b
+
+    prog = Program("P", [Segment("s0", s0, exports=("a", "b")),
+                         Segment("s1", s1)])
+    plan = ParallelizationPlan().add(
+        "s0", ForkSpec(predictor={"a": 1}))        # SA404: b never guessed
+    return SystemModel.build([(prog, plan), _ok_server("S")])
+
+
+def _dead_when() -> SystemModel:
+    built = (
+        program("P")
+        .call("S", "op", (), export="r")
+        .when("never_set")                         # SA405: nobody writes it
+        .send("S", "done")
+        .build()
+    )
+    return SystemModel.build([(built.program, built.plan), _ok_server("S")])
+
+
+CORPUS: List[CorpusCase] = [
+    CorpusCase("nondeterministic-modules", frozenset({"SA101"}),
+               _nondeterministic_segment,
+               "random/time/os inside a segment body"),
+    CorpusCase("global-mutation", frozenset({"SA102"}),
+               _global_mutation, "global counter bumped in a segment"),
+    CorpusCase("non-effect-yield", frozenset({"SA103"}),
+               _bad_yield, "segment yields the literal 42"),
+    CorpusCase("fig4-service-reentry", frozenset({"SA201"}),
+               _fig4_reentry, "the paper's Figure 4 topology"),
+    CorpusCase("fig7-speculation-cycle", frozenset({"SA202"}),
+               _fig7_cycle, "the paper's Figure 7 mutual cycle"),
+    CorpusCase("speculative-emit", frozenset({"SA301"}),
+               _speculative_emit, "emit downstream of a fork site"),
+    CorpusCase("emit-to-participant", frozenset({"SA302"}),
+               _emit_to_participant, "emit aimed at a server"),
+    CorpusCase("unknown-segment-plan", frozenset({"SA401"}),
+               _unknown_segment_plan, "plan forks a phantom segment"),
+    CorpusCase("final-segment-plan", frozenset({"SA402"}),
+               _final_segment_plan, "plan forks the last segment"),
+    CorpusCase("never-exported-guess", frozenset({"SA403"}),
+               _never_exported_guess, "predictor invents a key"),
+    CorpusCase("uncovered-export", frozenset({"SA404"}),
+               _uncovered_export, "continuation reads an unguessed export"),
+    CorpusCase("dead-when", frozenset({"SA405"}),
+               _dead_when, "when() on a never-written key"),
+]

@@ -1,0 +1,183 @@
+"""Whole-file AST lint: determinism rules over source files.
+
+The program-level analyzer needs built ``Program`` objects; this mode
+needs only source.  It finds *segment-like* functions — generator
+functions that yield at least one known Effect constructor — and applies
+the determinism rules (SA101/SA102/SA103) to their bodies.  It is how
+``make lint`` sweeps ``examples/`` and ``src/repro/workloads/`` without
+executing them.
+
+Detection is deliberately narrow: a function with no effect yields is not
+a segment and is never flagged, so ordinary code that uses ``random`` or
+``os`` outside the runtime's replay discipline stays out of scope.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+from typing import Iterator, List, Sequence, Set, Union
+
+from repro.analyze.astwalk import EFFECT_NAMES, FORBIDDEN_MODULES
+from repro.analyze.report import Finding, Report, Severity
+
+
+def _effect_yields(fn_node: ast.AST) -> bool:
+    """Does this function yield a known Effect constructor?"""
+    for node in _own_nodes(fn_node):
+        if isinstance(node, ast.Yield) and isinstance(node.value, ast.Call):
+            func = node.value.func
+            name = (func.id if isinstance(func, ast.Name)
+                    else func.attr if isinstance(func, ast.Attribute)
+                    else None)
+            if name in EFFECT_NAMES:
+                return True
+    return False
+
+
+def _own_nodes(fn_node: ast.AST) -> Iterator[ast.AST]:
+    """All nodes of a function body, excluding nested function bodies."""
+    stack: List[ast.AST] = list(ast.iter_child_nodes(fn_node))
+    while stack:
+        node = stack.pop()
+        yield node
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.Lambda)):
+            continue
+        stack.extend(ast.iter_child_nodes(node))
+
+
+def _module_imports(tree: ast.Module) -> Set[str]:
+    """Top-level names bound to (possibly forbidden) modules."""
+    bound: Set[str] = set()
+    for node in tree.body:
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                root = alias.name.split(".")[0]
+                if root in FORBIDDEN_MODULES:
+                    bound.add(alias.asname or root)
+    return bound
+
+
+def _reachable_lines(fn_node: ast.AST) -> Set[int]:
+    """Line numbers made unreachable by a preceding terminator, per block."""
+    dead: Set[int] = set()
+
+    def walk_block(stmts: Sequence[ast.stmt]) -> None:
+        reachable = True
+        for stmt in stmts:
+            if not reachable:
+                for node in ast.walk(stmt):
+                    line = getattr(node, "lineno", None)
+                    if line is not None:
+                        dead.add(line)
+            for block in _child_blocks(stmt):
+                walk_block(block)
+            if isinstance(stmt, (ast.Return, ast.Raise, ast.Break,
+                                 ast.Continue)):
+                reachable = False
+
+    walk_block(getattr(fn_node, "body", []))
+    return dead
+
+
+def _child_blocks(stmt: ast.stmt) -> List[List[ast.stmt]]:
+    blocks = []
+    for attr in ("body", "orelse", "finalbody"):
+        block = getattr(stmt, attr, None)
+        if isinstance(block, list) and block and isinstance(
+            block[0], ast.stmt
+        ):
+            blocks.append(block)
+    for handler in getattr(stmt, "handlers", []) or []:
+        blocks.append(handler.body)
+    return blocks
+
+
+def _scan_segment_fn(fn_node: ast.AST, path: str,
+                     forbidden_names: Set[str]) -> Iterator[Finding]:
+    dead = _reachable_lines(fn_node)
+    declared_global: Set[str] = set()
+    for node in _own_nodes(fn_node):
+        if isinstance(node, ast.Global):
+            declared_global.update(node.names)
+    for node in _own_nodes(fn_node):
+        line = getattr(node, "lineno", 0)
+        if line in dead:
+            continue
+        if isinstance(node, ast.Name) and isinstance(node.ctx, ast.Load):
+            if node.id in forbidden_names:
+                yield Finding(
+                    rule="SA101", severity=Severity.ERROR,
+                    message=f"segment-like generator uses "
+                            f"nondeterministic module {node.id!r}",
+                    process=getattr(fn_node, "name", "<lambda>"),
+                    location=f"{path}:{line}",
+                )
+        elif isinstance(node, (ast.Import, ast.ImportFrom)):
+            mod = (node.names[0].name if isinstance(node, ast.Import)
+                   else node.module or "")
+            if mod.split(".")[0] in FORBIDDEN_MODULES:
+                yield Finding(
+                    rule="SA101", severity=Severity.ERROR,
+                    message=f"segment-like generator imports "
+                            f"nondeterministic module {mod!r}",
+                    process=getattr(fn_node, "name", "<lambda>"),
+                    location=f"{path}:{line}",
+                )
+        elif isinstance(node, ast.Name) and isinstance(node.ctx, ast.Store):
+            if node.id in declared_global:
+                yield Finding(
+                    rule="SA102", severity=Severity.ERROR,
+                    message=f"segment-like generator writes global "
+                            f"{node.id!r}",
+                    process=getattr(fn_node, "name", "<lambda>"),
+                    location=f"{path}:{line}",
+                )
+        elif isinstance(node, ast.Yield):
+            if node.value is None or isinstance(node.value, ast.Constant):
+                text = (ast.unparse(node.value)
+                        if node.value is not None else "None")
+                yield Finding(
+                    rule="SA103", severity=Severity.ERROR,
+                    message=f"segment-like generator yields non-Effect "
+                            f"value {text}",
+                    process=getattr(fn_node, "name", "<lambda>"),
+                    location=f"{path}:{line}",
+                )
+
+
+def scan_file(path: Union[str, Path]) -> Report:
+    """Lint one Python source file; returns a Report."""
+    path = Path(path)
+    report = Report(target=str(path))
+    try:
+        tree = ast.parse(path.read_text())
+    except (OSError, SyntaxError) as exc:
+        report.findings.append(Finding(
+            rule="SA000", severity=Severity.ERROR,
+            message=f"could not parse: {exc}", location=str(path),
+        ))
+        return report
+    # Only names actually bound to a forbidden module at the top level are
+    # flagged on use — a local variable that happens to be called ``time``
+    # must not false-positive.
+    forbidden_names = _module_imports(tree)
+    for node in ast.walk(tree):
+        if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        if not _effect_yields(node):
+            continue
+        report.extend(_scan_segment_fn(node, str(path), forbidden_names))
+    return report
+
+
+def scan_paths(paths: Sequence[Union[str, Path]]) -> Report:
+    """Lint files and/or directories (recursively, ``*.py``)."""
+    combined = Report(target=", ".join(str(p) for p in paths))
+    for entry in paths:
+        entry = Path(entry)
+        files = sorted(entry.rglob("*.py")) if entry.is_dir() else [entry]
+        for f in files:
+            combined.extend(scan_file(f).findings)
+    return combined

@@ -1,0 +1,137 @@
+"""Findings, severities and reports: the lint framework's output side.
+
+Every rule produces :class:`Finding` objects with a stable rule ID
+(``SAxyz``), a severity, and enough location information (process,
+segment, file:line for AST findings) to act on.  A :class:`Report`
+aggregates findings, renders them for humans or as JSON, and decides the
+process exit code.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from enum import IntEnum
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+
+class Severity(IntEnum):
+    """Finding severities, ordered so comparisons mean "at least"."""
+
+    INFO = 10
+    WARNING = 20
+    ERROR = 30
+
+    @classmethod
+    def parse(cls, text: str) -> "Severity":
+        try:
+            return cls[text.upper()]
+        except KeyError:
+            raise ValueError(
+                f"unknown severity {text!r}; use info, warning or error"
+            ) from None
+
+    def label(self) -> str:
+        return self.name.lower()
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One diagnostic: a rule firing at a specific place."""
+
+    rule: str                      # stable ID, e.g. "SA201"
+    severity: Severity
+    message: str
+    process: Optional[str] = None  # program / process name
+    segment: Optional[str] = None  # segment name within the process
+    location: Optional[str] = None  # "file.py:42" for AST-level findings
+
+    def where(self) -> str:
+        parts = []
+        if self.process:
+            parts.append(self.process)
+        if self.segment:
+            parts.append(self.segment)
+        place = ":".join(parts) if parts else "-"
+        if self.location:
+            place = f"{place} ({self.location})"
+        return place
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "rule": self.rule,
+            "severity": self.severity.label(),
+            "message": self.message,
+            "process": self.process,
+            "segment": self.segment,
+            "location": self.location,
+        }
+
+
+def _sort_key(f: Finding) -> Tuple:
+    return (-int(f.severity), f.rule, f.process or "", f.segment or "",
+            f.location or "", f.message)
+
+
+@dataclass
+class Report:
+    """A collection of findings with rendering and gating helpers."""
+
+    findings: List[Finding] = field(default_factory=list)
+    #: what was analyzed, for the report header ("fig4", "examples/x.py", …)
+    target: str = ""
+
+    def extend(self, findings: Iterable[Finding]) -> "Report":
+        self.findings.extend(findings)
+        return self
+
+    def sorted(self) -> List[Finding]:
+        return sorted(self.findings, key=_sort_key)
+
+    def at_least(self, severity: Severity) -> List[Finding]:
+        return [f for f in self.findings if f.severity >= severity]
+
+    def count(self, severity: Severity) -> int:
+        return sum(1 for f in self.findings if f.severity is severity)
+
+    def rules_fired(self) -> List[str]:
+        return sorted({f.rule for f in self.findings})
+
+    def exit_code(self, min_severity: Severity = Severity.WARNING) -> int:
+        """Non-zero iff any finding reaches ``min_severity``."""
+        return 1 if self.at_least(min_severity) else 0
+
+    # ------------------------------------------------------------ rendering
+
+    def render(self, min_severity: Severity = Severity.INFO) -> str:
+        shown = [f for f in self.sorted() if f.severity >= min_severity]
+        lines: List[str] = []
+        header = f"lint {self.target}".rstrip()
+        if not shown:
+            return f"{header}: clean (0 findings)"
+        lines.append(f"{header}: {len(shown)} finding(s)")
+        for f in shown:
+            lines.append(
+                f"  {f.severity.label():7s} {f.rule}  {f.where()}: {f.message}"
+            )
+        tally = ", ".join(
+            f"{self.count(s)} {s.label()}"
+            for s in (Severity.ERROR, Severity.WARNING, Severity.INFO)
+            if self.count(s)
+        )
+        lines.append(f"  -- {tally}")
+        return "\n".join(lines)
+
+    def to_json(self, min_severity: Severity = Severity.INFO) -> str:
+        payload = {
+            "target": self.target,
+            "findings": [
+                f.to_dict() for f in self.sorted()
+                if f.severity >= min_severity
+            ],
+            "counts": {
+                s.label(): self.count(s)
+                for s in (Severity.ERROR, Severity.WARNING, Severity.INFO)
+            },
+        }
+        return json.dumps(payload, indent=2, sort_keys=True)

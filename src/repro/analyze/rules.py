@@ -1,0 +1,345 @@
+"""The lint rule catalogue: registry, severities, stable IDs.
+
+Rules are small functions over a :class:`~repro.analyze.graph.SystemModel`
+that yield :class:`~repro.analyze.report.Finding` objects.  IDs are
+stable and grouped by family:
+
+=====  ========================================================== ========
+ID     What it catches                                            Severity
+=====  ========================================================== ========
+SA101  nondeterministic module use in a segment body              error
+SA102  mutation of a ``global`` name in a segment body            error
+SA103  yield of a non-Effect literal                              error
+SA201  right thread reenters the left thread's service set        error
+SA202  mutual speculation cycle across processes                  error
+SA301  Emit inside a speculative region (buffered until commit)   info
+SA302  Emit targets a participating process, not a sink           error
+SA401  plan forks a segment the program does not have             error
+SA402  plan forks the final segment (no continuation)             error
+SA403  predictor guesses keys the segment never exports           error
+SA404  continuation reads an export the predictor does not guess  error
+SA405  dead ``.when()`` branch (condition can never be truthy)    warning
+=====  ========================================================== ========
+
+Register new rules with :func:`rule`; the smoke gate
+(:mod:`repro.analyze.smoke`) fails if any registered rule never fires on
+the bad-program corpus, so there are no dead rules.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterator, List, Optional
+
+from repro.analyze.astwalk import UNKNOWN
+from repro.analyze.graph import SystemModel, predicted_keys
+from repro.analyze.report import Finding, Report, Severity
+
+RuleFn = Callable[[SystemModel], Iterator[Finding]]
+
+
+@dataclass(frozen=True)
+class Rule:
+    """One registered lint rule."""
+
+    id: str
+    severity: Severity
+    title: str
+    fn: RuleFn
+
+    def run(self, model: SystemModel) -> List[Finding]:
+        return list(self.fn(model))
+
+
+#: The global registry, keyed by rule ID.
+RULES: Dict[str, Rule] = {}
+
+
+def rule(rule_id: str, severity: Severity,
+         title: str) -> Callable[[RuleFn], RuleFn]:
+    """Register a rule function under a stable ID."""
+
+    def register(fn: RuleFn) -> RuleFn:
+        if rule_id in RULES:
+            raise ValueError(f"duplicate rule id {rule_id!r}")
+        RULES[rule_id] = Rule(id=rule_id, severity=severity,
+                              title=title, fn=fn)
+        return fn
+
+    return register
+
+
+def run_rules(model: SystemModel, *,
+              rules: Optional[List[str]] = None,
+              target: str = "") -> Report:
+    """Run (a subset of) the registry over ``model``."""
+    report = Report(target=target)
+    for rule_id in sorted(RULES):
+        if rules is not None and rule_id not in rules:
+            continue
+        report.extend(RULES[rule_id].run(model))
+    return report
+
+
+def _finding(rule_id: str, message: str, *, process: str,
+             segment: Optional[str] = None,
+             location: Optional[str] = None) -> Finding:
+    return Finding(rule=rule_id, severity=RULES[rule_id].severity,
+                   message=message, process=process, segment=segment,
+                   location=location)
+
+
+# ------------------------------------------------------------- determinism
+
+@rule("SA101", Severity.ERROR,
+      "nondeterministic module use in a segment body")
+def _nondeterministic_modules(model: SystemModel) -> Iterator[Finding]:
+    """``random``/``time``/``os``/… results differ between first execution
+    and rollback replay, breaking the determinism contract (effects.py)."""
+    for name in model.processes():
+        for seg in model.summaries[name].segments:
+            for module, line in seg.forbidden:
+                yield _finding(
+                    "SA101",
+                    f"segment body uses nondeterministic module "
+                    f"{module!r}; route it through an effect (GetTime, a "
+                    f"Call to a service) or precompute it in the initial "
+                    f"state",
+                    process=name, segment=seg.name,
+                    location=_loc(seg.source, line),
+                )
+
+
+@rule("SA102", Severity.ERROR,
+      "mutation of a global name in a segment body")
+def _global_mutation(model: SystemModel) -> Iterator[Finding]:
+    """Globals are shared across threads and survive rollback — a replayed
+    segment sees the mutated value and diverges."""
+    for name in model.processes():
+        for seg in model.summaries[name].segments:
+            for gname, line in seg.global_writes:
+                yield _finding(
+                    "SA102",
+                    f"segment body writes global {gname!r}; rollback "
+                    f"cannot undo it — keep mutable data in the state dict",
+                    process=name, segment=seg.name,
+                    location=_loc(seg.source, line),
+                )
+
+
+@rule("SA103", Severity.ERROR, "yield of a non-Effect literal")
+def _non_effect_yield(model: SystemModel) -> Iterator[Finding]:
+    """Segments communicate with the runtime only through Effect objects;
+    yielding anything else raises ProgramError at run time."""
+    for name in model.processes():
+        for seg in model.summaries[name].segments:
+            for text, line in seg.bad_yields:
+                yield _finding(
+                    "SA103",
+                    f"segment yields non-Effect value {text}; yield an "
+                    f"effect (Call, Send, Compute, …) or nothing",
+                    process=name, segment=seg.name,
+                    location=_loc(seg.source, line),
+                )
+
+
+# -------------------------------------------------------------- time faults
+
+@rule("SA201", Severity.ERROR,
+      "right thread reenters the left thread's service set")
+def _service_reentry(model: SystemModel) -> Iterator[Finding]:
+    """The Figure 4 race: speculative traffic into a process the pending
+    call is being serviced through can overtake the causally-earlier
+    message — a guaranteed time-fault hazard."""
+    for site in model.all_fork_sites():
+        if site.index < 0:
+            continue
+        for dst, target in model.service_reentry(site):
+            yield _finding(
+                "SA201",
+                f"fork at {site.segment!r}: the speculative continuation "
+                f"contacts {target!r}, which also services the left "
+                f"thread's call to {dst!r} — the speculative message can "
+                f"arrive first (time fault, paper §3.4)",
+                process=site.process, segment=site.segment,
+            )
+
+
+@rule("SA202", Severity.ERROR,
+      "mutual speculation cycle across processes")
+def _speculation_cycle(model: SystemModel) -> Iterator[Finding]:
+    """The Figure 7 shape: each process's guessed receive consumes the
+    other's speculative output; PRECEDENCE will abort the whole cycle."""
+    in_cycle = model.processes_in_cycles()
+    for site in model.all_fork_sites():
+        cycle = in_cycle.get(site.process)
+        if cycle is None or site.index < 0:
+            continue
+        seg = model.summaries[site.process].segments[site.index]
+        if not seg.receives:
+            continue
+        yield _finding(
+            "SA202",
+            "guessed receive is fed only by speculative output around the "
+            "cycle " + " -> ".join(cycle + (cycle[0],))
+            + "; the PRECEDENCE protocol is guaranteed to abort it "
+            "(paper §4.2.6, Figure 7)",
+            process=site.process, segment=site.segment,
+        )
+
+
+# ------------------------------------------------------------ output commit
+
+@rule("SA301", Severity.INFO, "Emit inside a speculative region")
+def _speculative_emit(model: SystemModel) -> Iterator[Finding]:
+    """Not a bug — the runtime buffers the emission until its guard set
+    empties (§3.2) — but worth knowing: the output commits only when every
+    guard resolves, and an abort discards the work that produced it."""
+    for name in model.processes():
+        sites = [s.index for s in model.fork_sites(name) if s.index >= 0]
+        if not sites:
+            continue
+        first_fork = min(sites)
+        for seg in model.summaries[name].segments:
+            if seg.index < first_fork:
+                continue
+            for sink in seg.emits:
+                if sink == UNKNOWN:
+                    continue
+                yield _finding(
+                    "SA301",
+                    f"Emit to {sink!r} runs under speculation; output "
+                    f"commit buffers it until the guard set empties",
+                    process=name, segment=seg.name,
+                )
+
+
+@rule("SA302", Severity.ERROR,
+      "Emit targets a participating process, not a sink")
+def _emit_to_participant(model: SystemModel) -> Iterator[Finding]:
+    """Emit is the output-commit boundary for *external* endpoints;
+    pointing it at a participant raises ProgramError at run time — use
+    Send for process-to-process messages."""
+    for name in model.processes():
+        for seg in model.summaries[name].segments:
+            for sink in seg.emits:
+                if sink in model.entries:
+                    yield _finding(
+                        "SA302",
+                        f"Emit targets {sink!r}, a participating process; "
+                        f"external sinks cannot roll back, participants "
+                        f"must be reached with Send or Call",
+                        process=name, segment=seg.name,
+                    )
+
+
+# -------------------------------------------------------- plan consistency
+
+@rule("SA401", Severity.ERROR,
+      "plan forks a segment the program does not have")
+def _unknown_segment(model: SystemModel) -> Iterator[Finding]:
+    for site in model.all_fork_sites():
+        if site.index < 0:
+            names = [s.name for s in
+                     model.program_of(site.process).segments]
+            yield _finding(
+                "SA401",
+                f"plan forks unknown segment {site.segment!r} "
+                f"(program has {names})",
+                process=site.process, segment=site.segment,
+            )
+
+
+@rule("SA402", Severity.ERROR,
+      "plan forks the final segment")
+def _final_segment(model: SystemModel) -> Iterator[Finding]:
+    for site in model.all_fork_sites():
+        program = model.program_of(site.process)
+        if site.index == len(program.segments) - 1:
+            yield _finding(
+                "SA402",
+                f"plan forks final segment {site.segment!r}: nothing "
+                f"follows the join point, so there is no S2 to overlap",
+                process=site.process, segment=site.segment,
+            )
+
+
+@rule("SA403", Severity.ERROR,
+      "predictor guesses keys the segment never exports")
+def _never_exported_keys(model: SystemModel) -> Iterator[Finding]:
+    """The join compares guessed keys against the segment's *exports*; a
+    guessed key with no matching export can never verify — the fork is a
+    certain value fault."""
+    for site in model.all_fork_sites():
+        if site.index < 0:
+            continue
+        program = model.program_of(site.process)
+        keys = predicted_keys(site, program)
+        if keys is None:
+            continue
+        exports = frozenset(program.segments[site.index].exports)
+        for key in sorted(keys - exports):
+            yield _finding(
+                "SA403",
+                f"predictor guesses {key!r} but segment "
+                f"{site.segment!r} exports {sorted(exports)}; the guess "
+                f"can never verify (certain value fault)",
+                process=site.process, segment=site.segment,
+            )
+
+
+@rule("SA404", Severity.ERROR,
+      "continuation reads an export the predictor does not guess")
+def _uncovered_export(model: SystemModel) -> Iterator[Finding]:
+    """The right thread starts from the fork-point state plus the guessed
+    values; an export it reads that was never guessed is stale or missing
+    — wrong data flows downstream with no fault to catch it."""
+    for site in model.all_fork_sites():
+        if site.index < 0:
+            continue
+        program = model.program_of(site.process)
+        summary = model.summaries[site.process]
+        keys = predicted_keys(site, program)
+        if keys is None:
+            continue
+        exports = frozenset(program.segments[site.index].exports)
+        for later in summary.downstream(site.index):
+            for key in sorted((later.reads & exports) - keys):
+                yield _finding(
+                    "SA404",
+                    f"segment {later.name!r} reads export {key!r} of "
+                    f"forked segment {site.segment!r}, but the predictor "
+                    f"does not guess it — the continuation runs on a "
+                    f"stale or missing value",
+                    process=site.process, segment=site.segment,
+                )
+
+
+@rule("SA405", Severity.WARNING, "dead .when() branch")
+def _dead_when(model: SystemModel) -> Iterator[Finding]:
+    """A ``.when(key)`` condition that no earlier segment exports and the
+    initial state does not seed is always falsy — the guarded steps can
+    never run."""
+    for name in model.processes():
+        summary = model.summaries[name]
+        available = set(summary.initial_keys())
+        for seg in summary.segments:
+            for cond in seg.conditions:
+                if cond not in available:
+                    yield _finding(
+                        "SA405",
+                        f"condition {cond!r} is never written by an "
+                        f"earlier segment nor seeded in the initial "
+                        f"state; the guarded steps are dead code",
+                        process=name, segment=seg.name,
+                    )
+            available |= set(seg.writes)
+    return
+
+
+def _loc(source: Optional[str], line: int) -> Optional[str]:
+    """Combine a function's source anchor with a body line number."""
+    if source is None:
+        return None
+    path = source.rsplit(":", 1)[0]
+    return f"{path}:{line}"

@@ -1,0 +1,92 @@
+"""The analyzer's self-check: no dead rules, no false positives.
+
+Two gates, both required (``make analyze-smoke`` and the ``analyze``
+pytest marker run this):
+
+1. **Every registered rule fires** somewhere on the bad-program corpus
+   (:mod:`repro.analyze.corpus`), and each corpus case trips at least the
+   rules it was seeded with.  A rule nobody can trigger is dead weight.
+2. **Every clean target stays clean** at warning severity
+   (:data:`repro.analyze.targets.CLEAN_TARGETS` — the shipped examples
+   and workloads).  A rule that fires on known-good programs is a false
+   positive.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Dict, List, Set, Tuple
+
+from repro.analyze.corpus import CORPUS
+from repro.analyze.report import Report, Severity
+from repro.analyze.rules import RULES, run_rules
+from repro.analyze.targets import CLEAN_TARGETS, build_target
+
+
+def run_corpus() -> Tuple[Dict[str, Report], List[str]]:
+    """Lint every corpus case; returns (reports by case, problems)."""
+    problems: List[str] = []
+    reports: Dict[str, Report] = {}
+    for case in CORPUS:
+        report = run_rules(case.build(), target=case.name)
+        reports[case.name] = report
+        fired = set(report.rules_fired())
+        missing = case.expect - fired
+        if missing:
+            problems.append(
+                f"corpus case {case.name!r} expected "
+                f"{sorted(case.expect)} but only {sorted(fired)} fired "
+                f"(missing {sorted(missing)})"
+            )
+    return reports, problems
+
+
+def dead_rules(reports: Dict[str, Report]) -> Set[str]:
+    """Registered rules that never fired across the whole corpus."""
+    fired: Set[str] = set()
+    for report in reports.values():
+        fired.update(report.rules_fired())
+    return set(RULES) - fired
+
+
+def run_clean_targets() -> List[str]:
+    """Lint the dogfood set; returns problem strings (should be empty)."""
+    problems: List[str] = []
+    for name in CLEAN_TARGETS:
+        report = run_rules(build_target(name), target=name)
+        noisy = report.at_least(Severity.WARNING)
+        if noisy:
+            lines = "; ".join(
+                f"{f.rule} {f.where()}: {f.message}" for f in noisy
+            )
+            problems.append(
+                f"clean target {name!r} has {len(noisy)} finding(s) at "
+                f"warning level: {lines}"
+            )
+    return problems
+
+
+def main() -> int:
+    reports, problems = run_corpus()
+    dead = dead_rules(reports)
+    if dead:
+        problems.append(
+            f"rules never fired on the corpus (dead rules): {sorted(dead)}"
+        )
+    problems.extend(run_clean_targets())
+
+    total = sum(len(r.findings) for r in reports.values())
+    print(
+        f"analyze-smoke: {len(CORPUS)} corpus cases, {total} findings, "
+        f"{len(RULES)} rules registered, {len(CLEAN_TARGETS)} clean targets"
+    )
+    if problems:
+        for p in problems:
+            print(f"  FAIL: {p}")
+        return 1
+    print("  all rules fire on the corpus; all clean targets lint clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,120 @@
+"""Named lint targets: the canonical workloads as analyzable systems.
+
+``python -m repro lint fig4`` needs (program, plan) pairs *without*
+running anything; these builders reuse the exact workload constructors so
+"fig4" means the same thing to the linter, the tests and the runtime.
+
+``CLEAN_TARGETS`` is the dogfood set — workloads that must lint clean at
+warning level (the ``make lint`` gate).  ``FAULTY_TARGETS`` are the
+paper's own deliberate-fault demonstrations (Figures 4 and 7): they are
+the smoke corpus's true positives, not false positives.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Sequence, Tuple
+
+from repro.analyze.graph import Entry, SystemModel
+
+#: A target builder returns (entries, sink names).
+TargetFn = Callable[[], Tuple[List[Entry], Sequence[str]]]
+
+
+def _fig1(*, nested_log: bool = False,
+          update_ok: bool = True) -> Tuple[List[Entry], Sequence[str]]:
+    from repro.core import stream_plan
+    from repro.workloads.scenarios import fig1_programs
+
+    client, db, fs = fig1_programs(update_ok=update_ok,
+                                   nested_log=nested_log)
+    return [(client, stream_plan(client)), (db, None), (fs, None)], ()
+
+
+def _fig2() -> Tuple[List[Entry], Sequence[str]]:
+    # The blocking run: same programs, no plan at all.
+    from repro.workloads.scenarios import fig1_programs
+
+    client, db, fs = fig1_programs()
+    return [(client, None), (db, None), (fs, None)], ()
+
+
+def _fig6() -> Tuple[List[Entry], Sequence[str]]:
+    from repro.workloads.scenarios import fig6_programs
+
+    return list(fig6_programs().values()), ()
+
+
+def _fig7() -> Tuple[List[Entry], Sequence[str]]:
+    from repro.workloads.scenarios import fig7_programs
+
+    return list(fig7_programs().values()), ()
+
+
+def _chain() -> Tuple[List[Entry], Sequence[str]]:
+    from repro.core import stream_plan
+    from repro.workloads.generators import ChainSpec, chain_workload
+
+    client, servers = chain_workload(ChainSpec())
+    return ([(client, stream_plan(client))]
+            + [(s, None) for s in servers], ())
+
+
+def _pipeline(relay: bool = False) -> Tuple[List[Entry], Sequence[str]]:
+    from repro.core import stream_plan
+    from repro.workloads.pipelines import PipelineSpec, build_pipeline
+
+    client, tiers = build_pipeline(PipelineSpec(relay=relay))
+    return ([(client, stream_plan(client))]
+            + [(t, None) for t in tiers], ())
+
+
+def _random() -> Tuple[List[Entry], Sequence[str]]:
+    from repro.csp.process import server_program
+    from repro.workloads.random_programs import (
+        RandomProgramSpec, build_random_client,
+    )
+
+    spec = RandomProgramSpec()
+    program, plan = build_random_client(spec)
+
+    def handler(state, req):
+        return 0
+
+    entries: List[Entry] = [(program, plan)]
+    for name in spec.server_names():
+        entries.append((server_program(name, handler), None))
+    return entries, ("display",)
+
+
+TARGETS: Dict[str, TargetFn] = {
+    "fig1": lambda: _fig1(),
+    "fig2": _fig2,
+    "fig3": lambda: _fig1(),                    # streaming, clean topology
+    "fig4": lambda: _fig1(nested_log=True),     # the §3.4 time-fault shape
+    "fig5": lambda: _fig1(update_ok=False),     # value fault: runtime-only
+    "fig6": _fig6,
+    "fig7": _fig7,                              # the §4.2.6 cycle shape
+    "chain": _chain,
+    "pipeline": _pipeline,
+    "pipeline-relay": lambda: _pipeline(relay=True),
+    "random": _random,
+}
+
+#: Must lint clean at warning severity — the ``make lint`` dogfood gate.
+CLEAN_TARGETS: Tuple[str, ...] = (
+    "fig1", "fig2", "fig3", "fig5", "fig6", "chain",
+    "pipeline", "pipeline-relay", "random",
+)
+
+#: The paper's deliberate-fault figures; SA201/SA202 true positives.
+FAULTY_TARGETS: Tuple[str, ...] = ("fig4", "fig7")
+
+
+def build_target(name: str) -> SystemModel:
+    """Build the named target's :class:`SystemModel`."""
+    if name not in TARGETS:
+        raise KeyError(
+            f"unknown lint target {name!r}; known: {', '.join(sorted(TARGETS))}"
+        )
+    entries, sinks = TARGETS[name]()
+    return SystemModel.build(entries, sinks=sinks)

@@ -50,7 +50,6 @@ from repro.core.invariants import validate_run
 from repro.core.system import OptimisticSystem
 from repro.core.streaming import make_call_chain, stream_plan
 from repro.csp.process import server_program
-from repro.csp.sequential import SequentialSystem
 from repro.sim.faults import CrashSpec, FaultPlan, LinkFaults
 from repro.sim.network import FixedLatency
 from repro.trace.events import RECV

@@ -20,7 +20,7 @@ from __future__ import annotations
 import copy
 from collections import Counter, defaultdict
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.csp.plan import ForkSpec, ParallelizationPlan
 from repro.csp.process import Program, Segment
@@ -85,7 +85,9 @@ def instrument(program: Program, profile: Profile) -> Program:
             )
 
         segments.append(Segment(name=seg.name, fn=wrapped,
-                                exports=seg.exports, compute=seg.compute))
+                                exports=seg.exports, compute=seg.compute,
+                                rebase_safe=seg.rebase_safe,
+                                meta=dict(seg.meta)))
     return Program(program.name, segments,
                    initial_state=copy.deepcopy(program.initial_state))
 
@@ -97,12 +99,27 @@ def propose_plan(
     min_confidence: float = 0.8,
     min_runs: int = 1,
     timeout: Optional[float] = None,
+    static: bool = False,
+    peers: Sequence[Tuple[Program, Optional[ParallelizationPlan]]] = (),
+    sinks: Sequence[str] = (),
 ) -> Tuple[ParallelizationPlan, Dict[str, float]]:
     """Build a plan from a profile; returns (plan, per-segment confidence).
 
     Only segments observed at least ``min_runs`` times whose majority
     guess was exactly right in at least ``min_confidence`` of the runs are
     forked; the final segment never is (nothing follows its join point).
+
+    With ``static=True`` the profiling evidence is cross-checked against
+    the static analyzer (:mod:`repro.analyze`): every candidate fork site
+    must be *certified* by :func:`~repro.analyze.graph.fork_site_safety`
+    against the system formed by this program plus ``peers`` (the other
+    (program, plan) participants) and ``sinks``.  Sites with a certain
+    time fault (Figure 4 reentry, Figure 7 cycle), a certain value fault
+    (uncovered or never-exported guessed keys), or communication the
+    analyzer cannot resolve are dropped — profiling says "usually right",
+    static analysis says "cannot be right", and the latter wins.  Note
+    the conservative default: with no ``peers``, a fork whose segment
+    calls another process cannot be certified and is dropped.
     """
     plan = ParallelizationPlan()
     confidences: Dict[str, float] = {}
@@ -118,5 +135,12 @@ def propose_plan(
         if conf >= min_confidence:
             plan.add(seg.name, ForkSpec(predictor=prof.majority_guess(),
                                         timeout=timeout))
+    if static and plan.forks:
+        from repro.analyze.graph import SystemModel, fork_site_safety
+
+        model = SystemModel.build([(program, plan), *peers], sinks=sinks)
+        for site in model.fork_sites(program.name):
+            if not fork_site_safety(model, site).safe:
+                del plan.forks[site.segment]
     plan.validate(program)
     return plan, confidences

@@ -19,7 +19,7 @@ attempted.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Dict
 
 from repro.core.config import GovernorConfig
 

@@ -14,7 +14,7 @@ and :class:`~repro.errors.DeterminismError` is raised.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, List, Optional, Tuple
 
 from repro.errors import DeterminismError

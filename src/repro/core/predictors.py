@@ -23,7 +23,7 @@ from __future__ import annotations
 from collections import Counter, defaultdict
 from typing import Any, Callable, Dict, Optional
 
-from repro.csp.plan import constant_predictor as constant  # re-export
+from repro.csp.plan import constant_predictor as constant  # noqa: F401 — re-export
 
 
 class LearnedPredictor:

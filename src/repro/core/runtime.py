@@ -17,7 +17,7 @@ and its buffered external output.  It implements:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Set, Tuple
 
 from repro.errors import ProgramError, ProtocolError
@@ -33,7 +33,6 @@ from repro.core.messages import (
     DataEnvelope,
     PrecedenceMsg,
     QueryMsg,
-    control_size,
 )
 from repro.core.snapshot import Snapshotter, StateSnapshot
 from repro.core.thread import OptimisticThread, ThreadStatus
@@ -648,7 +647,10 @@ class ProcessRuntime:
             return
 
         seg = self.program.segments[record.site_seg]
-        actual = {k: left.state.get(k) for k in seg.exports}
+        # An export the left thread never wrote must stay *absent*, not
+        # become an explicit None — the default verifier distinguishes the
+        # two (a guessed None against a missing export is a value fault).
+        actual = {k: left.state[k] for k in seg.exports if k in left.state}
         self._strict_exports_check(record, left, seg)
 
         if not record.spec.verifier(record.guessed, actual):

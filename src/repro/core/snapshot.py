@@ -46,7 +46,7 @@ dropped (see ``repro.bench.wallclock`` and ``Stats.perf``):
 from __future__ import annotations
 
 import copy
-from typing import Any, Dict, Iterable, Mapping, Optional, Tuple
+from typing import Any, Dict, Mapping, Optional, Tuple
 
 from repro.core.config import SnapshotPolicy
 

@@ -8,7 +8,7 @@ helpers build call-chain programs and the plans that stream them.
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.csp.effects import Call, Compute
 from repro.csp.plan import ForkSpec, ParallelizationPlan
@@ -51,7 +51,15 @@ def make_call_chain(
         exports = (f"r{i}", result_key)
         if stop_on_failure:
             exports = exports + ("stopped",)
-        segments.append(Segment(name=f"call{i}", fn=seg_fn, exports=exports))
+        segments.append(Segment(
+            name=f"call{i}", fn=seg_fn, exports=exports,
+            meta={"kind": "chain", "steps": (
+                {"kind": "call", "dst": dst, "op": op,
+                 "export": f"r{i}",
+                 "condition": "stopped" if stop_on_failure else None,
+                 "negated": True},
+            )},
+        ))
     return Program(name=name, segments=segments,
                    initial_state={"stopped": False} if stop_on_failure else {})
 

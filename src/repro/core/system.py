@@ -97,7 +97,12 @@ class OptimisticSystem:
         bandwidth: Optional[float] = None,
         tracer: Optional[Tracer] = None,
         faults: Optional[FaultPlan] = None,
+        strict_plans: bool = False,
     ) -> None:
+        #: refuse statically-certain faults (see repro.analyze):
+        #: each add_program gets the program-local rules, start() gets the
+        #: whole-system sweep (reentry, cycles, emit targets)
+        self.strict_plans = strict_plans
         self.config = config or OptimisticConfig()
         self.tracer = tracer if tracer is not None else NULL_TRACER
         self.scheduler = Scheduler(max_steps=self.config.max_steps,
@@ -153,6 +158,8 @@ class OptimisticSystem:
         """Register a program (optionally with a parallelization plan)."""
         if program.name in self.runtimes or program.name in self.sinks:
             raise ProgramError(f"duplicate process name {program.name!r}")
+        if self.strict_plans:
+            self._lint_strict([(program, plan)], target=program.name)
         runtime = ProcessRuntime(self, program, plan, self.config)
         self.runtimes[program.name] = runtime
         handler = runtime.on_network
@@ -221,10 +228,40 @@ class OptimisticSystem:
 
     # ------------------------------------------------------------------ run
 
+    def _lint_strict(self, entries, target: str) -> None:
+        """Run the static analyzer; raise on any error-severity finding.
+
+        Called per program at :meth:`add_program` (program-local rules:
+        determinism, plan consistency, certain value faults) and once more
+        at :meth:`start` over the assembled system, where the cross-process
+        rules (service-set reentry, speculation cycles, emit targets) have
+        every participant in view.
+        """
+        from repro.analyze.graph import SystemModel
+        from repro.analyze.report import Severity
+        from repro.analyze.rules import run_rules
+
+        model = SystemModel.build(entries, sinks=sorted(self.sinks))
+        report = run_rules(model, target=target)
+        errors = report.at_least(Severity.ERROR)
+        if errors:
+            detail = "; ".join(
+                f"{f.rule} {f.where()}: {f.message}" for f in errors
+            )
+            raise ProgramError(
+                f"strict_plans rejected {target!r}: {len(errors)} static "
+                f"error(s): {detail}"
+            )
+
     def start(self) -> None:
         """Launch every process (idempotent; ``run`` calls it for you)."""
         if self._started:
             return
+        if self.strict_plans:
+            self._lint_strict(
+                [(rt.program, rt.plan) for rt in self.runtimes.values()],
+                target="system",
+            )
         self._started = True
         for runtime in self.runtimes.values():
             runtime.start()

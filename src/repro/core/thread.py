@@ -18,16 +18,16 @@ from __future__ import annotations
 import enum
 from typing import Any, Dict, Generator, Optional, Tuple
 
-from repro.errors import DeterminismError, EffectError, ProtocolError
+from repro.errors import EffectError, ProtocolError
 from repro.core.config import CheckpointPolicy
 from repro.core.guards import GuardSet
 from repro.core.guess import GuessId
 from repro.core.snapshot import StateSnapshot, live_state
 from repro.core.journal import (
     COMPUTE,
-    EMIT,
+    
     FORK,
-    JOIN,
+    
     RESULT,
     SEND,
     Journal,

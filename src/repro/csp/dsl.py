@@ -17,7 +17,7 @@ optimistic forking, so ``prog.plan`` is ready to pass to
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.errors import ProgramError
@@ -109,7 +109,11 @@ class ProgramBuilder:
 
         seg_fn = self._guarded_with_export(body, export)
         self._segments.append(
-            Segment(name=seg_name, fn=seg_fn, exports=(export,)))
+            Segment(name=seg_name, fn=seg_fn, exports=(export,),
+                    meta={"kind": "dsl", "steps": (
+                        {"kind": "call", "dst": dst, "op": op,
+                         "export": export, "condition": cond},
+                    )}))
         if guess is not _MISSING:
             guessed_value = guess
 
@@ -144,7 +148,11 @@ class ProgramBuilder:
             yield Send(dst, op, tuple(args))
 
         self._segments.append(
-            Segment(name=seg_name, fn=self._guarded(body)))
+            Segment(name=seg_name, fn=self._guarded(body),
+                    meta={"kind": "dsl", "steps": (
+                        {"kind": "send", "dst": dst, "op": op,
+                         "condition": self._condition_key},
+                    )}))
         return self
 
     def emit(self, sink: str, payload: Any = None,
@@ -158,7 +166,12 @@ class ProgramBuilder:
             yield Emit(sink, value)
 
         self._segments.append(
-            Segment(name=seg_name, fn=self._guarded(body)))
+            Segment(name=seg_name, fn=self._guarded(body),
+                    meta={"kind": "dsl", "steps": (
+                        {"kind": "emit", "sink": sink,
+                         "from_state": from_state,
+                         "condition": self._condition_key},
+                    )}))
         return self
 
     def compute(self, duration: float,
@@ -169,7 +182,11 @@ class ProgramBuilder:
             yield Compute(duration)
 
         self._segments.append(
-            Segment(name=seg_name, fn=self._guarded(body)))
+            Segment(name=seg_name, fn=self._guarded(body),
+                    meta={"kind": "dsl", "steps": (
+                        {"kind": "compute",
+                         "condition": self._condition_key},
+                    )}))
         return self
 
     def step(self, fn: Callable, *, exports: Tuple[str, ...] = (),
@@ -177,7 +194,11 @@ class ProgramBuilder:
         """Escape hatch: a raw generator segment."""
         seg_name = name or self._next_name("step")
         self._segments.append(
-            Segment(name=seg_name, fn=self._guarded(fn), exports=exports))
+            Segment(name=seg_name, fn=self._guarded(fn), exports=exports,
+                    meta={"kind": "dsl", "steps": (
+                        {"kind": "step", "fn": fn,
+                         "condition": self._condition_key},
+                    )}))
         return self
 
     # ----------------------------------------------------------------- build

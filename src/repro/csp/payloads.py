@@ -7,7 +7,7 @@ optimistic runtime wraps them in a guard-tagged envelope
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Optional, Tuple
 
 

@@ -11,7 +11,7 @@ exports, an optional custom verifier, and the fork timeout.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Iterable, Mapping, Optional
+from typing import Any, Callable, Dict, Mapping, Optional
 
 from repro.errors import ProgramError
 from repro.csp.process import Program
@@ -32,9 +32,20 @@ def constant_predictor(values: Mapping[str, Any]) -> Predictor:
     return predict
 
 
+#: Sentinel distinguishing "export absent" from "export is None" in the
+#: verifier.  A guessed ``None`` must NOT verify against a missing key: the
+#: segment never produced the export, so the guess has nothing to match.
+_MISSING = object()
+
+
 def equality_verifier(guessed: Dict[str, Any], actual: Dict[str, Any]) -> bool:
-    """Default verifier: every guessed value must equal the actual value."""
-    return all(actual.get(k, None) == v for k, v in guessed.items())
+    """Default verifier: every guessed value must equal the actual value.
+
+    A guessed key that is absent from ``actual`` fails verification even
+    when the guessed value is ``None`` — absence means the left thread
+    never wrote the export, which is a value fault, not a lucky match.
+    """
+    return all(actual.get(k, _MISSING) == v for k, v in guessed.items())
 
 
 @dataclass

@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import inspect
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Generator, Iterable, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, Generator, Optional, Sequence, Tuple
 
 from repro.errors import ProgramError
 
@@ -45,6 +45,13 @@ class Segment:
         the current state while blocked at its receive is equivalent to
         continuing.  True for the ``server_program`` loop; enables journal
         compaction (:mod:`repro.core.gc`) on long-running servers.
+    meta:
+        Structured description of what the body does, recorded by the
+        builders (:mod:`repro.csp.dsl`, :func:`server_program`,
+        :func:`~repro.core.streaming.make_call_chain`) and consumed by the
+        static analyzer (:mod:`repro.analyze`).  Never affects execution;
+        hand-written segments may leave it empty and the analyzer falls
+        back to a conservative AST walk of ``fn``.
     """
 
     name: str
@@ -52,6 +59,7 @@ class Segment:
     exports: Tuple[str, ...] = ()
     compute: float = 0.0
     rebase_safe: bool = False
+    meta: Dict[str, Any] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
         if not callable(self.fn):
@@ -152,6 +160,9 @@ def server_program(
 
     return Program(
         name=name,
-        segments=[Segment(name="serve", fn=loop, rebase_safe=True)],
+        segments=[Segment(
+            name="serve", fn=loop, rebase_safe=True,
+            meta={"kind": "server", "handler": handler, "ops": ops},
+        )],
         initial_state=dict(initial_state or {}),
     )

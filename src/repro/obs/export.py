@@ -18,7 +18,7 @@ Chrome trace layout (open in Perfetto / ``chrome://tracing``):
 from __future__ import annotations
 
 import json
-from typing import Any, Dict, Iterable, List, Optional, Union
+from typing import Any, Dict, Iterable, List, Union
 
 from repro.sim.stats import Stats
 

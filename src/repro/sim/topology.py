@@ -9,7 +9,7 @@ line.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Mapping, Sequence, Tuple
+from typing import Dict, Iterable, Mapping, Sequence
 
 from repro.errors import NetworkError
 from repro.sim.network import PerLinkLatency

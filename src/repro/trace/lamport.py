@@ -6,7 +6,7 @@ preserves the happens-before relation [Lamport 1978] of the sequential one.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Mapping
+from typing import Dict, Mapping
 
 
 class LamportClock:

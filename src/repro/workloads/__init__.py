@@ -8,6 +8,8 @@ in the repository.
 from repro.workloads.scenarios import (
     ScenarioResult,
     fig1_programs,
+    fig6_programs,
+    fig7_programs,
     run_fig2_no_streaming,
     run_fig3_streaming,
     run_fig4_time_fault,
@@ -33,6 +35,8 @@ from repro.workloads.pipelines import (
 __all__ = [
     "ScenarioResult",
     "fig1_programs",
+    "fig6_programs",
+    "fig7_programs",
     "run_update_write",
     "run_fig2_no_streaming",
     "run_fig3_streaming",

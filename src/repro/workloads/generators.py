@@ -9,8 +9,8 @@ drives the abort-probability sweep (experiment C2).
 from __future__ import annotations
 
 import hashlib
-from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Any, List, Optional, Tuple
 
 import numpy as np
 
@@ -19,7 +19,7 @@ from repro.core.config import OptimisticConfig
 from repro.core.system import OptimisticResult
 from repro.csp.process import Program, server_program
 from repro.csp.sequential import SequentialResult, SequentialSystem
-from repro.sim.network import FixedLatency, LatencyModel
+from repro.sim.network import FixedLatency
 
 
 def _request_fails(seed: int, server: str, key: str, p_fail: float) -> bool:

@@ -12,8 +12,8 @@ the whole random space.
 from __future__ import annotations
 
 import hashlib
-from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Any, List, Optional, Tuple
 
 from repro.core import OptimisticSystem
 from repro.core.config import OptimisticConfig

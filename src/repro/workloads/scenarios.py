@@ -13,7 +13,7 @@ callers can assert both the timings and Theorem-1 trace equivalence.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, Optional, Tuple
+from typing import Dict, Optional, Tuple
 
 from repro.core import OptimisticSystem, make_call_chain, stream_plan
 from repro.core.config import OptimisticConfig
@@ -193,14 +193,12 @@ def _recv_one(state):
     state["v"] = req.args[0]
 
 
-def run_fig6_two_threads(latency: float = 3.0,
-                         config: Optional[OptimisticConfig] = None,
-                         tracer=None) -> OptimisticResult:
-    """Fig. 6: X and Z are both forked; z1's fate hangs on x1 via PRECEDENCE.
+def fig6_programs() -> Dict[str, Tuple[Program,
+                                       Optional[ParallelizationPlan]]]:
+    """The four Fig. 6 processes as (program, plan) pairs, unassembled.
 
-    X's S1 calls W; X's S2 sends M1 to Z.  Z's S1 receives M1 (acquiring
-    {x1}); Z's S2 sends M2 to Y.  x1 commits cleanly; the commit cascades
-    through the PRECEDENCE wait and commits z1 too.
+    Shared by :func:`run_fig6_two_threads` and the static analyzer
+    (:mod:`repro.analyze`), so "Figure 6" means one thing everywhere.
     """
     def x_s1(state):
         state["r"] = yield Call("W", "work", ())
@@ -226,27 +224,37 @@ def run_fig6_two_threads(latency: float = 3.0,
         state.setdefault("got", []).append(tuple(req.args))
         return None
 
+    return {
+        "X": (prog_x, plan_x),
+        "Z": (prog_z, plan_z),
+        "W": (server_program("W", worker, service_time=1.0), None),
+        "Y": (server_program("Y", sink_server), None),
+    }
+
+
+def run_fig6_two_threads(latency: float = 3.0,
+                         config: Optional[OptimisticConfig] = None,
+                         tracer=None) -> OptimisticResult:
+    """Fig. 6: X and Z are both forked; z1's fate hangs on x1 via PRECEDENCE.
+
+    X's S1 calls W; X's S2 sends M1 to Z.  Z's S1 receives M1 (acquiring
+    {x1}); Z's S2 sends M2 to Y.  x1 commits cleanly; the commit cascades
+    through the PRECEDENCE wait and commits z1 too.
+    """
     system = OptimisticSystem(FixedLatency(latency), config=config,
                               tracer=tracer)
-    system.add_program(prog_x, plan_x)
-    system.add_program(prog_z, plan_z)
-    system.add_program(server_program("W", worker, service_time=1.0))
-    system.add_program(server_program("Y", sink_server))
+    for program, plan in fig6_programs().values():
+        system.add_program(program, plan)
     return system.run()
 
 
-def run_fig7_cycle(latency: float = 3.0,
-                   config: Optional[OptimisticConfig] = None,
-                   until: float = 500.0,
-                   tracer=None) -> OptimisticResult:
-    """Fig. 7: the symmetric version — x1 → z1 → x1 is a causal cycle.
+def fig7_programs() -> Dict[str, Tuple[Program,
+                                       Optional[ParallelizationPlan]]]:
+    """The four Fig. 7 processes as (program, plan) pairs, unassembled.
 
-    Each left thread receives the *other* process's speculative send, so
-    the PRECEDENCE exchange discovers the cycle and both guesses abort.
-    The underlying sequential program deadlocks (each S1 waits on the other
-    side's S2), so after the aborts the system correctly quiesces without
-    committing — the optimistic execution must not "succeed" where the
-    sequential semantics cannot.
+    This is the paper's deliberately-doomed plan (the X ↔ Z speculation
+    cycle); the static analyzer's SA202 rule flags it, which is exactly
+    why the analyzer's smoke corpus uses it as a true positive.
     """
     def x_s2(state):
         yield Call("W", "log", (state["v"],))
@@ -265,12 +273,31 @@ def run_fig7_cycle(latency: float = 3.0,
         state.setdefault("got", []).append(tuple(req.args))
         return True
 
+    return {
+        "X": (prog_x, ParallelizationPlan().add(
+            "s1", ForkSpec(predictor={"v": 7}))),
+        "Z": (prog_z, ParallelizationPlan().add(
+            "s1", ForkSpec(predictor={"v": 7}))),
+        "W": (server_program("W", logger, service_time=1.0), None),
+        "Y": (server_program("Y", logger, service_time=1.0), None),
+    }
+
+
+def run_fig7_cycle(latency: float = 3.0,
+                   config: Optional[OptimisticConfig] = None,
+                   until: float = 500.0,
+                   tracer=None) -> OptimisticResult:
+    """Fig. 7: the symmetric version — x1 → z1 → x1 is a causal cycle.
+
+    Each left thread receives the *other* process's speculative send, so
+    the PRECEDENCE exchange discovers the cycle and both guesses abort.
+    The underlying sequential program deadlocks (each S1 waits on the other
+    side's S2), so after the aborts the system correctly quiesces without
+    committing — the optimistic execution must not "succeed" where the
+    sequential semantics cannot.
+    """
     system = OptimisticSystem(FixedLatency(latency), config=config,
                               tracer=tracer)
-    system.add_program(prog_x, ParallelizationPlan().add(
-        "s1", ForkSpec(predictor={"v": 7})))
-    system.add_program(prog_z, ParallelizationPlan().add(
-        "s1", ForkSpec(predictor={"v": 7})))
-    system.add_program(server_program("W", logger, service_time=1.0))
-    system.add_program(server_program("Y", logger, service_time=1.0))
+    for program, plan in fig7_programs().values():
+        system.add_program(program, plan)
     return system.run(until=until)

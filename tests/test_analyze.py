@@ -1,0 +1,319 @@
+"""The static analyzer: summaries, graph hazards, rules, corpus, CLI."""
+
+import json
+import random  # noqa: F401 — must be in module globals for the walk tests
+
+import pytest
+
+from repro.analyze import (
+    CLEAN_TARGETS,
+    RULES,
+    Severity,
+    SystemModel,
+    UNKNOWN,
+    build_target,
+    fork_site_safety,
+    run_rules,
+    scan_file,
+    summarize_program,
+    walk_function,
+)
+from repro.analyze.corpus import CORPUS
+from repro.analyze.smoke import dead_rules, run_clean_targets, run_corpus
+from repro.csp.dsl import program
+from repro.csp.effects import Call, Send
+from repro.csp.plan import ForkSpec, ParallelizationPlan
+from repro.csp.process import Program, Segment, server_program
+
+
+# ------------------------------------------------------------------ astwalk
+
+def test_walk_resolves_parameter_defaults():
+    def body(state, _dst="Y"):
+        state["r"] = yield Call(_dst, "op", (state["x"],))
+
+    res = walk_function(body)
+    assert ("Y", "op") in res.calls
+    assert "x" in res.reads
+    assert "r" in res.writes
+    assert not res.opaque
+
+
+def test_walk_resolves_closure_cells():
+    dst = "Z"
+
+    def body(state):
+        yield Send(dst, "go", ())
+
+    res = walk_function(body)
+    assert ("Z", "go") in res.sends
+
+
+def test_walk_marks_dynamic_destination_unknown():
+    def body(state):
+        yield Call(state["target"], "op", ())
+
+    res = walk_function(body)
+    assert (UNKNOWN, "op") in res.calls
+
+
+def test_walk_finds_forbidden_modules_and_globals():
+    def body(state):
+        global _G
+        _G = random.random()
+        state["r"] = 1
+        yield Call("Y", "op", ())
+
+    res = walk_function(body)
+    assert any(mod == "random" for mod, _ in res.forbidden)
+    assert any(name == "_G" for name, _ in res.global_writes)
+
+
+def test_walk_ignores_code_after_return():
+    def body(state):
+        state["r"] = yield Call("Y", "op", ())
+        return
+        yield 42  # the generator-marker idiom: unreachable, not a finding
+
+    res = walk_function(body)
+    assert not res.bad_yields
+
+
+def test_walk_flags_non_effect_yield():
+    def body(state):
+        yield 42
+
+    res = walk_function(body)
+    assert res.bad_yields
+
+
+# ------------------------------------------------------------------ summary
+
+def test_dsl_program_summaries_are_precise():
+    built = (
+        program("P")
+        .call("Y", "Update", ("k", 1), export="ok", name="update")
+        .when("ok")
+        .call("Z", "Write", ("f",), export="r", name="write")
+        .build()
+    )
+    summary = summarize_program(built.program)
+    update = summary.segment("update")
+    assert update.precise and update.dsl
+    assert ("Y", "Update") in update.calls
+    write = summary.segment("write")
+    assert ("Z", "Write") in write.calls
+    assert "ok" in write.conditions
+
+
+def test_server_program_summary_reads_handler():
+    def handler(state, req):
+        yield Call("Z", "WriteLog", (req.args[0],))
+        return True
+
+    summary = summarize_program(server_program("Y", handler))
+    serve = summary.segment("serve")
+    assert serve.receives
+    assert ("Z", "WriteLog") in serve.calls
+
+
+# -------------------------------------------------------------------- graph
+
+def test_fig4_has_service_reentry_and_fig1_does_not():
+    assert run_rules(build_target("fig4")).rules_fired() == ["SA201"]
+    assert "SA201" not in run_rules(build_target("fig1")).rules_fired()
+
+
+def test_fig7_cycle_detected_fig6_clean():
+    fired = run_rules(build_target("fig7")).rules_fired()
+    assert fired == ["SA202"]
+    assert run_rules(build_target("fig6")).findings == []
+
+
+def test_fork_site_safety_certifies_fig1():
+    model = build_target("fig1")
+    for site in model.fork_sites("X"):
+        assert fork_site_safety(model, site).safe
+
+
+def test_fork_site_safety_rejects_without_peers():
+    # With the servers absent, the service closure is unresolvable and the
+    # analyzer must refuse to certify — conservative by design.
+    client, _plan = build_target("fig1").entries["X"]
+    from repro.core import stream_plan
+    model = SystemModel.build([(client, stream_plan(client))])
+    for site in model.fork_sites("X"):
+        safety = fork_site_safety(model, site)
+        assert not safety.safe
+        assert safety.reasons
+
+
+# ----------------------------------------------------------- corpus + smoke
+
+@pytest.mark.analyze
+@pytest.mark.parametrize("case", CORPUS, ids=[c.name for c in CORPUS])
+def test_corpus_case_fires_expected_rules(case):
+    report = run_rules(case.build(), target=case.name)
+    fired = set(report.rules_fired())
+    assert case.expect <= fired, (
+        f"{case.name}: expected {sorted(case.expect)}, fired {sorted(fired)}"
+    )
+
+
+@pytest.mark.analyze
+def test_no_dead_rules():
+    reports, problems = run_corpus()
+    assert not problems
+    assert not dead_rules(reports)
+
+
+@pytest.mark.analyze
+@pytest.mark.parametrize("name", CLEAN_TARGETS)
+def test_clean_targets_have_no_warnings(name):
+    report = run_rules(build_target(name), target=name)
+    assert report.at_least(Severity.WARNING) == []
+
+
+@pytest.mark.analyze
+def test_smoke_main_passes():
+    from repro.analyze.smoke import main
+
+    assert main() == 0
+    assert run_clean_targets() == []
+
+
+def test_every_rule_id_documented_in_catalogue():
+    import repro.analyze.rules as rules_mod
+
+    for rule_id in RULES:
+        assert rule_id in rules_mod.__doc__
+
+
+# ----------------------------------------------------------------- filescan
+
+BAD_FILE = '''
+import random
+import time as clock
+
+def looks_like_segment(state):
+    global hits
+    hits = hits + 1
+    state["r"] = random.random() + clock.time()
+    yield Call("Y", "op", ())
+    yield 42
+
+def not_a_segment(state):
+    # no effect yields: out of scope even though it uses random
+    return random.random()
+'''
+
+
+def test_filescan_flags_bad_segment_only(tmp_path):
+    path = tmp_path / "bad.py"
+    path.write_text(BAD_FILE)
+    report = scan_file(path)
+    fired = set(report.rules_fired())
+    assert {"SA101", "SA102", "SA103"} <= fired
+    assert all(f.process == "looks_like_segment" for f in report.findings)
+
+
+def test_filescan_clean_on_workloads_and_examples():
+    from repro.analyze import scan_paths
+
+    report = scan_paths(["examples", "src/repro/workloads"])
+    assert report.findings == []
+
+
+def test_filescan_reports_syntax_errors(tmp_path):
+    path = tmp_path / "broken.py"
+    path.write_text("def f(:\n")
+    report = scan_file(path)
+    assert report.rules_fired() == ["SA000"]
+
+
+# ---------------------------------------------------------------------- cli
+
+def test_cli_exit_codes_and_json(tmp_path, capsys):
+    from repro.analyze.cli import main
+
+    assert main(["fig1"]) == 0
+    assert main(["fig4"]) == 1
+    out = tmp_path / "report.json"
+    assert main(["fig7", "--json", str(out)]) == 1
+    payload = json.loads(out.read_text())
+    assert payload["counts"]["error"] == 2
+    assert all(f["rule"] == "SA202" for f in payload["findings"])
+    capsys.readouterr()
+
+
+def test_cli_min_severity_and_rule_filter(capsys):
+    from repro.analyze.cli import main
+
+    # random emits under speculation: info-level only
+    assert main(["random"]) == 0
+    assert main(["random", "--min-severity", "info"]) == 1
+    assert main(["random", "--min-severity", "info",
+                 "--rules", "SA302"]) == 0
+    capsys.readouterr()
+
+
+def test_cli_list_rules(capsys):
+    from repro.analyze.cli import main
+
+    assert main(["--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for rule_id in RULES:
+        assert rule_id in out
+
+
+def test_cli_rejects_unknown_target():
+    from repro.analyze.cli import main
+
+    with pytest.raises(SystemExit):
+        main(["no-such-target-anywhere"])
+
+
+def test_repro_lint_subcommand(capsys):
+    from repro.__main__ import main
+
+    assert main(["lint", "fig1"]) == 0
+    assert main(["lint", "fig4"]) == 1
+    capsys.readouterr()
+
+
+# ------------------------------------------------------- rule spot checks
+
+def test_sa403_and_sa404_on_hand_built_plan():
+    def s0(state):
+        state["a"] = yield Call("S", "op", ())
+        state["b"] = 2
+
+    def s1(state):
+        yield Send("S", "use", (state["b"],))
+
+    prog = Program("P", [Segment("s0", s0, exports=("a", "b")),
+                         Segment("s1", s1)])
+    plan = ParallelizationPlan().add(
+        "s0", ForkSpec(predictor={"a": 1, "ghost": 0}))
+    model = SystemModel.build(
+        [(prog, plan), (server_program("S", lambda s, r: 0), None)])
+    fired = run_rules(model).rules_fired()
+    assert "SA403" in fired  # 'ghost' never exported
+    assert "SA404" in fired  # 'b' read downstream, never guessed
+
+
+def test_sa405_respects_initial_state_and_earlier_writes():
+    built = (
+        program("P")
+        .initial(flag=True)
+        .call("S", "op", (), export="ok")
+        .when("flag")          # seeded initially: not dead
+        .send("S", "go")
+        .when("ok")            # written by an earlier segment: not dead
+        .send("S", "go2")
+        .build()
+    )
+    model = SystemModel.build(
+        [(built.program, built.plan),
+         (server_program("S", lambda s, r: 0), None)])
+    assert "SA405" not in run_rules(model).rules_fired()

@@ -1,0 +1,194 @@
+"""strict_plans, static plan proposal, and the equality-verifier fix."""
+
+import pytest
+
+from repro.errors import ProgramError
+from repro.core import OptimisticSystem, make_call_chain, stream_plan
+from repro.core.autoplan import Profile, propose_plan
+from repro.csp.effects import Call, Compute, Send
+from repro.csp.plan import ForkSpec, ParallelizationPlan, equality_verifier
+from repro.csp.process import Program, Segment, server_program
+from repro.sim.network import FixedLatency
+from repro.workloads.scenarios import fig1_programs
+
+
+# ----------------------------------------------------------- strict_plans
+
+def test_strict_plans_accepts_fig1():
+    client, db, fs = fig1_programs()
+    system = OptimisticSystem(FixedLatency(5.0), strict_plans=True)
+    system.add_program(client, stream_plan(client))
+    system.add_program(db)
+    system.add_program(fs)
+    result = system.run()
+    assert result.final_states["X"]["r0"] is True
+
+
+def test_strict_plans_rejects_fig4_at_start():
+    client, db, fs = fig1_programs(nested_log=True)
+    system = OptimisticSystem(FixedLatency(5.0), strict_plans=True)
+    # Program-local checks pass: the reentry is only visible once every
+    # participant is registered, so rejection happens at start().
+    system.add_program(client, stream_plan(client))
+    system.add_program(db)
+    system.add_program(fs)
+    with pytest.raises(ProgramError, match="SA201"):
+        system.run()
+
+
+def test_strict_plans_rejects_bad_program_at_add():
+    def body(state):
+        yield 42
+
+    prog = Program("P", [Segment("s0", body, exports=("r",))])
+    system = OptimisticSystem(strict_plans=True)
+    with pytest.raises(ProgramError, match="SA103"):
+        system.add_program(prog)
+
+
+def test_strict_plans_rejects_uncovered_predictor_at_add():
+    def s0(state):
+        state["a"] = yield Compute(1.0) or 1
+        state["b"] = 2
+
+    def s1(state):
+        state["c"] = state["b"]
+        yield Compute(1.0)
+
+    prog = Program("P", [Segment("s0", s0, exports=("a", "b")),
+                         Segment("s1", s1)])
+    plan = ParallelizationPlan().add("s0", ForkSpec(predictor={"a": 1}))
+    system = OptimisticSystem(strict_plans=True)
+    with pytest.raises(ProgramError, match="SA404"):
+        system.add_program(prog, plan)
+
+
+def test_strict_plans_off_by_default():
+    client, db, fs = fig1_programs(nested_log=True)
+    system = OptimisticSystem(FixedLatency(5.0))
+    system.add_program(client, stream_plan(client))
+    system.add_program(db)
+    system.add_program(fs)
+    result = system.run()  # runtime repairs the time fault dynamically
+    assert result.final_states["X"]["r0"] is True
+
+
+# ------------------------------------------------------ static propose_plan
+
+def _profiled_chain():
+    # Two calls: a single-call chain has only a final segment, which is
+    # never forked.
+    client = make_call_chain("X", [("S", "op", ()), ("S", "op2", ())])
+
+    def handler(state, req):
+        return True
+
+    profile = Profile("X")
+    profile.segment("call0").observations.append({"r0": True})
+    return client, server_program("S", handler), profile
+
+
+def test_propose_plan_static_keeps_certified_fork():
+    client, srv, profile = _profiled_chain()
+    plan, conf = propose_plan(profile, client, static=True,
+                              peers=[(srv, None)])
+    assert "call0" in plan.forks
+    assert conf["call0"] == 1.0
+
+
+def test_propose_plan_static_drops_fork_without_peers():
+    client, _srv, profile = _profiled_chain()
+    loose, _ = propose_plan(profile, client)
+    assert "call0" in loose.forks
+    # Same evidence, but the service closure cannot be resolved without
+    # the peer programs — the static mode must refuse to certify.
+    tight, _ = propose_plan(profile, client, static=True)
+    assert tight.forks == {}
+
+
+def test_propose_plan_static_never_proposes_fig4_fork():
+    client, db, fs = fig1_programs(nested_log=True)
+    profile = Profile("X")
+    profile.segment("call0").observations.append({"r0": True})
+    loose, _ = propose_plan(profile, client)
+    assert "call0" in loose.forks
+    plan, _ = propose_plan(profile, client, static=True,
+                           peers=[(db, None), (fs, None)])
+    assert "call0" not in plan.forks
+
+
+def test_propose_plan_static_never_proposes_cycle_fork():
+    from repro.workloads.scenarios import fig7_programs
+
+    entries = fig7_programs()
+    prog_x, plan_x = entries["X"]
+    peers = [entries["Z"], entries["W"], entries["Y"]]
+    profile = Profile("X")
+    profile.segment("s1").observations.append({"v": 7})
+    plan, _ = propose_plan(profile, prog_x, static=True, peers=peers)
+    assert plan.forks == {}
+
+
+# ------------------------------------------------------- equality_verifier
+
+def test_guessed_none_does_not_match_missing_export():
+    assert equality_verifier({"r": None}, {"r": None}) is True
+    assert equality_verifier({"r": None}, {}) is False
+    assert equality_verifier({"r": 1}, {"r": 1, "extra": 2}) is True
+    assert equality_verifier({}, {}) is True
+
+
+def test_missing_export_is_a_value_fault_at_runtime():
+    # The forked segment never writes its declared export; before the
+    # sentinel fix a predictor guessing None verified trivially against
+    # the absent key and the wrong guess committed.
+    def s0(state):
+        yield Compute(1.0)  # declares 'r' but never writes it
+
+    def s1(state):
+        yield Compute(1.0)
+
+    prog = Program("P", [Segment("s0", s0, exports=("r",)),
+                         Segment("s1", s1)])
+    plan = ParallelizationPlan().add("s0", ForkSpec(predictor={"r": None}))
+    system = OptimisticSystem(FixedLatency(1.0))
+    system.add_program(prog, plan)
+    result = system.run()
+    assert result.count("value_fault", "P") == 1
+    assert result.count("commit", "P") == 0
+
+
+def test_explicit_none_export_still_verifies():
+    def s0(state):
+        state["r"] = None
+        yield Compute(1.0)
+
+    def s1(state):
+        yield Compute(1.0)
+
+    prog = Program("P", [Segment("s0", s0, exports=("r",)),
+                         Segment("s1", s1)])
+    plan = ParallelizationPlan().add("s0", ForkSpec(predictor={"r": None}))
+    system = OptimisticSystem(FixedLatency(1.0))
+    system.add_program(prog, plan)
+    result = system.run()
+    assert result.count("value_fault", "P") == 0
+    assert result.count("commit", "P") == 1
+
+
+def test_analyzer_flags_strict_reject_consistently():
+    # The same shapes strict_plans rejects are SA-flagged by the linter;
+    # keep the two front ends in sync.
+    from repro.analyze import SystemModel, run_rules
+
+    def body(state):
+        yield Send("nowhere", "op", (state["ghost"],))
+
+    prog = Program("P", [Segment("s0", body, exports=("r",)),
+                         Segment("s1", body)])
+    plan = ParallelizationPlan().add("s0", ForkSpec(predictor={"x": 1}))
+    report = run_rules(SystemModel.build([(prog, plan)]))
+    assert "SA403" in report.rules_fired()
+    system = OptimisticSystem(strict_plans=True)
+    with pytest.raises(ProgramError, match="SA403"):
+        system.add_program(prog, plan)

@@ -1,0 +1,103 @@
+"""ProgramBuilder.when(): skip paths, guessed conditions, fork rollback."""
+
+from repro.core import OptimisticSystem
+from repro.csp.dsl import program
+from repro.csp.process import server_program
+from repro.csp.sequential import SequentialSystem
+from repro.sim.network import FixedLatency
+from repro.trace import assert_equivalent
+
+
+def _build(guess=None):
+    b = program("X")
+    if guess is None:
+        b = b.call("Y", "Check", (), export="ok", name="check")
+    else:
+        b = b.call("Y", "Check", (), export="ok", guess=guess, name="check")
+    return (
+        b.when("ok")
+        .call("Z", "Write", ("file",), export="r", name="write")
+        .emit("display", from_state="r")
+        .always()
+        .compute(1.0)
+        .build()
+    )
+
+
+def _servers(check_ok):
+    def z_handler(state, req):
+        state.setdefault("served", []).append(req.op)
+        return "WROTE"
+
+    return [
+        server_program("Y", lambda s, r: check_ok, service_time=1.0),
+        server_program("Z", z_handler, service_time=1.0),
+    ]
+
+
+def _run(system_cls, check_ok, guess=None, **kwargs):
+    system = system_cls(FixedLatency(5.0), **kwargs)
+    built = _build(guess) if system_cls is OptimisticSystem else _build()
+    if system_cls is OptimisticSystem:
+        system.add_program(built.program, built.plan)
+    else:
+        system.add_program(built.program)
+    for s in _servers(check_ok):
+        system.add_program(s)
+    system.add_sink("display")
+    return system.run()
+
+
+def test_condition_false_skips_guarded_steps():
+    res = _run(SequentialSystem, check_ok=False)
+    # The guarded call never ran: Z was never serviced, the export is the
+    # skip-path None, and nothing reached the sink.
+    assert res.final_states["X"]["ok"] is False
+    assert res.final_states["X"]["r"] is None
+    assert "served" not in res.final_states["Z"]
+    assert res.sink_output("display") == []
+
+
+def test_condition_true_runs_guarded_steps():
+    seq = _run(SequentialSystem, check_ok=True)
+    assert seq.final_states["X"]["r"] == "WROTE"
+    assert seq.final_states["Z"]["served"] == ["Write"]
+    assert seq.sink_output("display") == ["WROTE"]
+
+
+def test_guessed_condition_correct_commits_and_matches_sequential():
+    seq = _run(SequentialSystem, check_ok=True)
+    opt = _run(OptimisticSystem, check_ok=True, guess=True)
+    assert opt.final_states["X"] == seq.final_states["X"]
+    assert opt.sink_output("display") == ["WROTE"]
+    assert opt.stats.get("opt.aborts.value_fault") in (None, 0)
+    assert_equivalent(opt.trace, seq.trace)
+    # speculation paid off: strictly faster than blocking
+    assert opt.makespan < seq.makespan
+
+
+def test_wrong_guess_rolls_back_guarded_branch():
+    seq = _run(SequentialSystem, check_ok=False)
+    opt = _run(OptimisticSystem, check_ok=False, guess=True)
+    # The speculative right thread ran the guarded call against Z and
+    # emitted to the sink; the value fault must unwind all of it.
+    assert opt.stats.get("opt.aborts.value_fault") == 1
+    assert opt.final_states["X"]["ok"] is False
+    assert opt.final_states["X"]["r"] is None
+    # Output commit never released the speculative emission, and the
+    # committed trace shows no servicing at Z (trace equivalence below
+    # covers the rollback of Z's speculative work).
+    assert opt.sink_output("display") == []
+    assert_equivalent(opt.trace, seq.trace)
+
+
+def test_wrong_guess_skip_direction():
+    # Inverse mispredict: guess the skip (ok=False) while the real answer
+    # is True — the replay must *run* the guarded steps it skipped.
+    seq = _run(SequentialSystem, check_ok=True)
+    opt = _run(OptimisticSystem, check_ok=True, guess=False)
+    assert opt.stats.get("opt.aborts.value_fault") == 1
+    assert opt.final_states["X"] == seq.final_states["X"]
+    assert opt.final_states["X"]["r"] == "WROTE"
+    assert opt.sink_output("display") == ["WROTE"]
+    assert_equivalent(opt.trace, seq.trace)
