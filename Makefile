@@ -1,11 +1,11 @@
 PYTHON ?= python
 
-.PHONY: install test lint analyze-smoke trace-smoke chaos-smoke bench bench-wallclock bench-obs bench-chaos figures fuzz examples results clean
+.PHONY: install test lint analyze-smoke trace-smoke chaos-smoke kernel-smoke bench bench-wallclock bench-obs bench-chaos bench-kernel figures fuzz examples results clean
 
 install:
 	$(PYTHON) setup.py develop
 
-test: trace-smoke chaos-smoke analyze-smoke
+test: trace-smoke chaos-smoke analyze-smoke kernel-smoke
 	PYTHONPATH=src $(PYTHON) -m pytest tests/
 
 # Static analysis gate: the analyzer over its own shipped workloads (the
@@ -35,7 +35,11 @@ trace-smoke:
 chaos-smoke:
 	PYTHONPATH=src $(PYTHON) -m repro.bench.chaos --smoke
 
-bench:
+# Fast kernel-throughput sanity gate (loose ratio floor, no pin update).
+kernel-smoke:
+	PYTHONPATH=src $(PYTHON) -m repro.bench.kernel --smoke
+
+bench: bench-kernel
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
 
 bench-wallclock:
@@ -46,6 +50,11 @@ bench-obs:
 
 bench-chaos:
 	PYTHONPATH=src $(PYTHON) -m repro.bench.chaos
+
+# Full kernel throughput tier: measures events/sec on both kernels and
+# rewrites the BENCH_kernel.json pin (gate: >=5x over the seed kernel).
+bench-kernel:
+	PYTHONPATH=src $(PYTHON) -m repro.bench.kernel
 
 figures:
 	$(PYTHON) -m repro figures

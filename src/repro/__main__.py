@@ -199,6 +199,23 @@ def cmd_chaos(args: argparse.Namespace) -> int:
     return chaos.main(argv)
 
 
+def cmd_bench_kernel(args: argparse.Namespace) -> int:
+    from repro.bench import kernel
+
+    argv = []
+    if args.smoke:
+        argv.append("--smoke")
+    if args.check_only:
+        argv.append("--check-only")
+    if args.profile is not None:
+        argv.append("--profile")
+        if args.profile:
+            argv.append(args.profile)
+    if args.out is not None:
+        argv.extend(["--out", args.out])
+    return kernel.main(argv)
+
+
 def cmd_lint(args: argparse.Namespace) -> int:
     from repro.analyze.cli import run_lint
 
@@ -260,6 +277,21 @@ def main(argv=None) -> int:
     p_chaos.add_argument("--out", default=None, metavar="FILE",
                          help="where to write the report JSON")
     p_chaos.set_defaults(fn=cmd_chaos)
+    p_kern = sub.add_parser(
+        "bench-kernel",
+        help="simulator kernel throughput bench (see repro.bench.kernel)")
+    p_kern.add_argument("--smoke", action="store_true",
+                        help="fast tier (<=10s), no pin rewrite")
+    p_kern.add_argument("--check-only", action="store_true",
+                        help="gate against the BENCH_kernel.json pin "
+                             "without rewriting it")
+    p_kern.add_argument("--profile", nargs="?", const="", default=None,
+                        metavar="FILE",
+                        help="cProfile the tuned kernel workloads and print "
+                             "the top-20 cumulative table")
+    p_kern.add_argument("--out", default=None, metavar="FILE",
+                        help="where to write the report JSON")
+    p_kern.set_defaults(fn=cmd_bench_kernel)
     p_lint = sub.add_parser(
         "lint", help="statically analyze programs and plans")
     from repro.analyze.cli import configure_parser as configure_lint

@@ -1,0 +1,479 @@
+"""Kernel throughput bench: events/sec as a first-class metric.
+
+Every result in this repository — the paper-figure reproductions, the
+chaos suite, the forensics — flows through the DES kernel
+(:mod:`repro.sim`), and the roadmap's 10k-process sharded-commitment runs
+and workload-atlas sweeps are only honest if that kernel is fast.  This
+bench makes the kernel's speed a pinned, regression-gated number.
+
+Three synthetic workloads, ~a million seed-equivalent events in total at
+full scale, each run against **two kernels**:
+
+* ``tuned`` — the current kernel: calendar event queue
+  (:class:`repro.sim.events.EventQueue`), slotted retransmission timer
+  wheel (:mod:`repro.sim.wheel`), no-handle delivery fast path, lazy
+  labels, ``__slots__`` messages;
+* ``legacy`` — the preserved seed kernel
+  (:mod:`repro.sim.legacy_events`): binary heap of ordered dataclasses,
+  one exact timer event per in-flight frame, eager per-event label
+  formatting (``debug_labels=True`` reproduces the seed's always-on
+  f-strings).
+
+The workloads:
+
+``message_storm``
+    Endpoint rings exchanging messages through the :class:`Network`
+    (FIFO links, mixed control/data priorities, varied latencies) — the
+    delivery-event fast path.
+``timer_army``
+    A :class:`ReliableTransport` channel under clean delivery: every
+    frame arms a retransmission timer that the returning ack cancels —
+    the timer-wheel path, and the seed kernel's worst case (armies of
+    lazily-cancelled heap entries).
+``cancel_churn``
+    Rollback-shaped scheduler load: batches of timers armed, 75%
+    cancelled and re-armed, the rest firing — exercises lazy-cancellation
+    compaction (the ``sim.timers_cancelled_pending`` stat).
+
+Measured per (workload, kernel): wall seconds, scheduler events
+processed, events/sec, logical ops/sec (ops are identical across kernels,
+so the ratio is a fair speedup), and allocated heap blocks per op
+(``sys.getallocatedblocks`` delta).  The headline gate: the tuned kernel
+must clear :data:`TARGET_SPEEDUP` aggregate speedup over the seed kernel,
+and must not regress more than :data:`PIN_TOLERANCE` against the
+``BENCH_kernel.json`` pin.  Both gates are ratios, so they hold across
+machines.
+
+Usage::
+
+    PYTHONPATH=src python -m repro.bench.kernel              # full + pin
+    PYTHONPATH=src python -m repro.bench.kernel --check-only # gate only
+    PYTHONPATH=src python -m repro.bench.kernel --smoke      # <=10s tier
+    PYTHONPATH=src python -m repro bench-kernel --profile    # cProfile
+
+Exit status 1 on any gate failure.  The pin is read *before* it is
+rewritten, so a regressing run still fails after refreshing the file.
+"""
+
+from __future__ import annotations
+
+import argparse
+import gc
+import json
+import os
+import sys
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.core.config import ResilienceConfig
+from repro.core.transport import ReliableTransport
+from repro.obs.metrics import MetricsRegistry, RuntimeMetrics
+from repro.sim import legacy_events
+from repro.sim.network import LatencyModel, Network
+from repro.sim.scheduler import Scheduler
+from repro.sim.stats import Stats
+
+#: Aggregate (total legacy wall / total tuned wall) the tuned kernel must
+#: clear.  This is the tentpole acceptance bar: >=5x events/sec over the
+#: pre-PR kernel on the million-event synthetic workload.
+TARGET_SPEEDUP = 5.0
+#: Max fractional regression of the aggregate speedup vs the pinned value.
+#: Ratios are machine-independent but not noise-free: the legacy heap's
+#: wall time swings tens of percent run-to-run at deep populations, so
+#: the tolerance is sized to that (the absolute >=5x gate stays tight).
+PIN_TOLERANCE = 0.50
+#: Smoke tier must stay above this loose floor (tiny workloads are noisy).
+SMOKE_MIN_SPEEDUP = 1.5
+
+#: src/repro/bench/kernel.py -> repository root.
+REPO_ROOT = os.path.dirname(
+    os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+)
+DEFAULT_OUT = os.path.join(REPO_ROOT, "BENCH_kernel.json")
+
+KERNELS = ("tuned", "legacy")
+
+
+def _make_scheduler(kernel: str, max_steps: int = 50_000_000) -> Scheduler:
+    """A scheduler wired for one side of the A/B."""
+    if kernel == "legacy":
+        return Scheduler(max_steps=max_steps,
+                         queue=legacy_events.EventQueue(),
+                         debug_labels=True)
+    return Scheduler(max_steps=max_steps)
+
+
+def _wheel_granularity(kernel: str) -> float:
+    return 0.0 if kernel == "legacy" else 5.0
+
+
+class _CyclingLatency(LatencyModel):
+    """Deterministic latency pattern (no RNG: identical on both kernels)."""
+
+    PATTERN = (0.5, 1.0, 2.25, 0.75, 3.5, 1.25)
+
+    def __init__(self) -> None:
+        self._i = 0
+
+    def delay(self, src: str, dst: str) -> float:
+        self._i += 1
+        return self.PATTERN[self._i % len(self.PATTERN)]
+
+
+# --------------------------------------------------------------- workloads
+
+def run_message_storm(kernel: str, n_msgs: int) -> Dict[str, Any]:
+    """Ring of endpoints with thousands of messages in flight at once.
+
+    A realistic optimistic run keeps many speculative sends in the air
+    simultaneously, so the event queue holds a large population — which is
+    exactly where the seed heap pays O(log n) Python-level comparisons per
+    push/pop while the calendar queue stays O(1).
+    """
+    scheduler = _make_scheduler(kernel)
+    stats = Stats()
+    network = Network(scheduler, _CyclingLatency(), stats=stats)
+    n_procs = 8
+    names = [f"P{i}" for i in range(n_procs)]
+    remaining = [n_msgs]
+    in_flight = min(8192, max(n_procs, n_msgs // 8))
+
+    def make_handler(i: int) -> Callable[[str, Any], None]:
+        dst = names[(i + 1) % n_procs]
+        src = names[i]
+
+        def handler(frm: str, payload: Any) -> None:
+            if remaining[0] <= 0:
+                return
+            remaining[0] -= 1
+            # every 5th message rides the control plane (priority path)
+            network.send(src, dst, payload,
+                         control=(remaining[0] % 5 == 0),
+                         size=1 + remaining[0] % 3)
+
+        return handler
+
+    for i, name in enumerate(names):
+        network.register(name, make_handler(i))
+    for i in range(in_flight):
+        network.send(names[i % n_procs], names[(i + 1) % n_procs],
+                     ("seed", i))
+    scheduler.run()
+    return {"scheduler": scheduler, "ops": n_msgs, "stats": stats}
+
+
+def run_timer_army(kernel: str, n_frames: int) -> Dict[str, Any]:
+    """Reliable-transport frames whose acks cancel the timer army."""
+    scheduler = _make_scheduler(kernel)
+    stats = Stats()
+    network = Network(scheduler, _CyclingLatency(), stats=stats)
+    metrics = RuntimeMetrics(MetricsRegistry(stats))
+    config = ResilienceConfig(
+        timer_wheel_granularity=_wheel_granularity(kernel))
+    transport = ReliableTransport(network, scheduler, config, metrics)
+    for name in ("A", "B"):
+        transport.add_participant(name)
+    network.register("B", transport.receiver("B", lambda src, msg: None))
+    network.register("A", transport.receiver("A", lambda src, msg: None))
+
+    # bursts keep a large in-flight (timer-resident) population alive
+    batch = min(2000, max(50, n_frames // 40))
+    sent = [0]
+
+    def send_batch() -> None:
+        todo = min(batch, n_frames - sent[0])
+        for i in range(todo):
+            transport.send("A", "B", ("frame", sent[0] + i),
+                           control=(i % 4 == 0))
+        sent[0] += todo
+        if sent[0] < n_frames:
+            scheduler.after(2.0, send_batch, label="batch")
+
+    send_batch()
+    scheduler.run()
+    return {"scheduler": scheduler, "ops": n_frames, "stats": stats}
+
+
+def run_cancel_churn(kernel: str, n_timers: int) -> Dict[str, Any]:
+    """Arm/cancel batches of long-lived timeouts (fork/abort churn).
+
+    Fork timeouts and RTOs are *lower bounds* that usually die young: the
+    join (commit) or ack cancels most of them shortly after arming, and
+    the survivors fire much later.  The workload arms them through the
+    same facility the transport uses — the slotted wheel when the kernel
+    offers one, exact per-timeout scheduler timers otherwise (the seed
+    behaviour) — so the A/B measures the production timeout path: the
+    seed kernel carries every entry (dead or not) through a deepening
+    heap of Python-compared events, the tuned kernel does an O(1) append
+    and an O(1) cancel against shared slot ticks.
+    """
+    scheduler = _make_scheduler(kernel)
+    granularity = _wheel_granularity(kernel)
+    wheel = scheduler.wheel(granularity) if granularity > 0 else None
+    batch = min(1200, max(50, n_timers // 130))
+    armed = [0]
+    fired = [0]
+
+    def on_fire() -> None:
+        fired[0] += 1
+
+    def arm(delay: float) -> Any:
+        if wheel is not None:
+            return wheel.after(delay, on_fire)
+        return scheduler.timer(delay, on_fire, label="timeout")
+
+    def round_() -> None:
+        todo = min(batch, n_timers - armed[0])
+        if todo <= 0:
+            return
+        # deadlines spread over [20, 220): a long-lived pending army
+        timers = [arm(20.0 + (i * 7919) % 200) for i in range(todo)]
+        armed[0] += todo
+        # a rollback aborts most speculative work shortly after arming
+        for i, timer in enumerate(timers):
+            if i % 4 != 0:
+                timer.cancel()
+        scheduler.after(1.0, round_, label="round")
+
+    round_()
+    scheduler.run()
+    return {"scheduler": scheduler, "ops": n_timers, "fired": fired[0]}
+
+
+WORKLOADS: Tuple[Tuple[str, Callable[..., Dict[str, Any]], str], ...] = (
+    ("message_storm", run_message_storm, "n_msgs"),
+    ("timer_army", run_timer_army, "n_frames"),
+    ("cancel_churn", run_cancel_churn, "n_timers"),
+)
+
+
+# -------------------------------------------------------------- measurement
+
+def _measure(fn: Callable[[], Dict[str, Any]],
+             repeats: int) -> Tuple[float, int, Dict[str, Any]]:
+    """Best-of-``repeats``: (wall_s, alloc_blocks_delta, last_result)."""
+    import time
+
+    best = float("inf")
+    best_allocs = 0
+    result: Dict[str, Any] = {}
+    for _ in range(max(1, repeats)):
+        # collect garbage from previous reps/workloads, then keep the
+        # collector out of the measured region — cycles from a *previous*
+        # workload otherwise tax whichever kernel happens to run next
+        gc.collect()
+        gc.disable()
+        blocks0 = sys.getallocatedblocks()
+        t0 = time.perf_counter()
+        try:
+            result = fn()
+        finally:
+            gc.enable()
+        wall = time.perf_counter() - t0
+        allocs = sys.getallocatedblocks() - blocks0
+        if wall < best:
+            best = wall
+            best_allocs = allocs
+    return best, best_allocs, result
+
+
+def run_workload(name: str, fn: Callable[..., Dict[str, Any]],
+                 size: int, repeats: int) -> Dict[str, Any]:
+    """One workload on both kernels, plus the fairness cross-checks."""
+    out: Dict[str, Any] = {"size": size}
+    for kernel in KERNELS:
+        wall, allocs, result = _measure(lambda: fn(kernel, size), repeats)
+        scheduler = result["scheduler"]
+        events = scheduler.steps_executed
+        ops = result["ops"]
+        entry: Dict[str, Any] = {
+            "wall_s": round(wall, 6),
+            "events": events,
+            "events_per_sec": round(events / wall) if wall else 0,
+            "ops": ops,
+            "ops_per_sec": round(ops / wall) if wall else 0,
+            "alloc_blocks": allocs,
+            "allocs_per_op": round(allocs / max(1, ops), 3),
+            "kernel_counters": scheduler.kernel_counters(),
+        }
+        out[kernel] = entry
+    out["speedup"] = round(
+        out["legacy"]["wall_s"] / max(out["tuned"]["wall_s"], 1e-12), 3)
+    out["event_reduction"] = round(
+        out["legacy"]["events"] / max(1, out["tuned"]["events"]), 3)
+    return out
+
+
+def run_bench(scale: float = 1.0, repeats: int = 3) -> Dict[str, Any]:
+    """Run every workload at ``scale`` (1.0 = the million-event tier)."""
+    # Mix mirrors a hardened production run: timeouts rival messages in
+    # event volume (every frame arms an RTO, every fork a fork timeout).
+    sizes = {
+        "message_storm": int(150_000 * scale),
+        "timer_army": int(50_000 * scale),
+        "cancel_churn": int(800_000 * scale),
+    }
+    report: Dict[str, Any] = {
+        "meta": {
+            "scale": scale,
+            "repeats": repeats,
+            "python": sys.version.split()[0],
+            "sizes": sizes,
+            "target_speedup": TARGET_SPEEDUP,
+            "pin_tolerance": PIN_TOLERANCE,
+        },
+        "workloads": {},
+    }
+    for name, fn, _param in WORKLOADS:
+        report["workloads"][name] = run_workload(
+            name, fn, sizes[name], repeats)
+
+    total_legacy = sum(w["legacy"]["wall_s"]
+                       for w in report["workloads"].values())
+    total_tuned = sum(w["tuned"]["wall_s"]
+                      for w in report["workloads"].values())
+    legacy_events = sum(w["legacy"]["events"]
+                        for w in report["workloads"].values())
+    tuned_events = sum(w["tuned"]["events"]
+                       for w in report["workloads"].values())
+    speedup = total_legacy / max(total_tuned, 1e-12)
+    report["totals"] = {
+        "legacy_wall_s": round(total_legacy, 6),
+        "tuned_wall_s": round(total_tuned, 6),
+        "legacy_events": legacy_events,
+        "tuned_events": tuned_events,
+        "legacy_events_per_sec": round(legacy_events / total_legacy)
+        if total_legacy else 0,
+        "tuned_events_per_sec": round(tuned_events / total_tuned)
+        if total_tuned else 0,
+        "speedup": round(speedup, 3),
+    }
+    return report
+
+
+# ------------------------------------------------------------------- gates
+
+def gate(report: Dict[str, Any], pinned: Optional[Dict[str, Any]],
+         *, smoke: bool = False) -> Tuple[bool, List[str]]:
+    """Ratio gates: absolute target plus pin-relative regression check."""
+    ok = True
+    messages: List[str] = []
+    speedup = report["totals"]["speedup"]
+    target = SMOKE_MIN_SPEEDUP if smoke else TARGET_SPEEDUP
+    if speedup < target:
+        ok = False
+        messages.append(
+            f"kernel speedup {speedup:.2f}x below target {target:.1f}x")
+    else:
+        messages.append(
+            f"kernel speedup {speedup:.2f}x (target >= {target:.1f}x)")
+    if pinned is not None:
+        old = pinned.get("totals", {}).get("speedup")
+        if old:
+            floor = old * (1.0 - PIN_TOLERANCE)
+            if speedup < floor:
+                ok = False
+                messages.append(
+                    f"speedup regressed vs pin: {old:.2f}x -> "
+                    f"{speedup:.2f}x (floor {floor:.2f}x)")
+            else:
+                messages.append(
+                    f"pin check OK: {speedup:.2f}x vs pinned {old:.2f}x "
+                    f"(floor {floor:.2f}x)")
+    if ok:
+        messages.append("gate OK: kernel throughput gates passed")
+    return ok, messages
+
+
+def _print_summary(report: Dict[str, Any]) -> None:
+    print(f"{'workload':<16}{'size':>9}{'legacy ev/s':>13}{'tuned ev/s':>12}"
+          f"{'ops/s tuned':>13}{'allocs/op':>11}{'speedup':>9}")
+    for name, row in report["workloads"].items():
+        print(f"{name:<16}{row['size']:>9}"
+              f"{row['legacy']['events_per_sec']:>13,}"
+              f"{row['tuned']['events_per_sec']:>12,}"
+              f"{row['tuned']['ops_per_sec']:>13,}"
+              f"{row['tuned']['allocs_per_op']:>11}"
+              f"{row['speedup']:>8.2f}x")
+    totals = report["totals"]
+    print(f"total: legacy {totals['legacy_wall_s']:.3f}s "
+          f"({totals['legacy_events_per_sec']:,} ev/s) vs tuned "
+          f"{totals['tuned_wall_s']:.3f}s "
+          f"({totals['tuned_events_per_sec']:,} ev/s) "
+          f"-> {totals['speedup']:.2f}x")
+
+
+# --------------------------------------------------------------- profiling
+
+def profile_kernel(out_path: Optional[str], scale: float) -> int:
+    """cProfile the tuned kernel workloads; dump stats + top-20 table."""
+    import cProfile
+    import pstats
+
+    profiler = cProfile.Profile()
+    profiler.enable()
+    for name, fn, _param in WORKLOADS:
+        fn("tuned", int(100_000 * scale))
+    profiler.disable()
+    if out_path is None:
+        results_dir = os.path.join(REPO_ROOT, "benchmarks", "results")
+        os.makedirs(results_dir, exist_ok=True)
+        out_path = os.path.join(results_dir, "kernel_profile.pstats")
+    profiler.dump_stats(out_path)
+    stats = pstats.Stats(profiler)
+    stats.sort_stats("cumulative")
+    print("top 20 by cumulative time (tuned kernel workloads):")
+    stats.print_stats(20)
+    print(f"profile written: {out_path}")
+    return 0
+
+
+# ----------------------------------------------------------------- harness
+
+def main(argv: Optional[list] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Kernel throughput bench: tuned vs seed event kernel.")
+    parser.add_argument("--out", default=DEFAULT_OUT,
+                        help="output JSON path (default: BENCH_kernel.json "
+                             "at the repo root)")
+    parser.add_argument("--check-only", action="store_true",
+                        help="gate against the pin without rewriting it")
+    parser.add_argument("--smoke", action="store_true",
+                        help="fast tier (<=10s, no pin update) for make test")
+    parser.add_argument("--profile", nargs="?", const="", default=None,
+                        metavar="FILE",
+                        help="emit a cProfile dump (+top-20 cumulative "
+                             "table) of the tuned kernel workloads")
+    args = parser.parse_args(argv)
+
+    if args.profile is not None:
+        return profile_kernel(args.profile or None,
+                              scale=0.2 if args.smoke else 1.0)
+
+    if args.smoke:
+        report = run_bench(scale=0.04, repeats=1)
+        ok, messages = gate(report, pinned=None, smoke=True)
+        _print_summary(report)
+        for msg in messages:
+            print(msg)
+        return 0 if ok else 1
+
+    pinned: Optional[Dict[str, Any]] = None
+    if os.path.exists(args.out):
+        with open(args.out) as fh:
+            pinned = json.load(fh)
+
+    report = run_bench(scale=1.0, repeats=3)
+    ok, messages = gate(report, pinned)
+    _print_summary(report)
+    for msg in messages:
+        print(msg)
+    if not args.check_only:
+        with open(args.out, "w") as fh:
+            json.dump(report, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote {args.out}")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -109,6 +109,14 @@ class ResilienceConfig:
     #: a dropped frame past this is left to the orphan scan / incarnation
     #: inference to clean up).
     max_retransmits: int = 10
+    #: Slot width of the retransmission timer wheel (virtual time).  All
+    #: in-flight frames whose RTO lands in the same slot share **one**
+    #: scheduler event; deadlines round *up* to the slot boundary, so a
+    #: retransmission may fire up to one slot late (never early) — the
+    #: correct contract for a timeout lower bound.  0 restores exact
+    #: per-frame timers (one event per in-flight frame, the seed
+    #: behaviour); see ``docs/PERF.md``.
+    timer_wheel_granularity: float = 5.0
     #: Period of the orphan re-detection scan; 0 disables it.
     orphan_scan_interval: float = 120.0
     #: Consecutive no-progress scan rounds before the scanner disarms.

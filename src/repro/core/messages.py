@@ -4,11 +4,17 @@ Data messages are the CSP payloads wrapped in an envelope carrying the
 sender's commit guard set.  Control messages — COMMIT, ABORT, PRECEDENCE —
 are broadcast (the paper's simplifying assumption, §4.2.5) and drive the
 history/CDG machinery on every process.
+
+Every class here is instantiated once per message on million-event runs,
+so all are ``slots=True`` dataclasses and the plane names are interned
+module constants (:data:`PLANE_CONTROL`, :data:`PLANE_DATA`) — identity
+comparisons and dict hashing on them never re-hash string contents.
 """
 
 from __future__ import annotations
 
 import itertools
+import sys
 from dataclasses import dataclass, field
 from typing import Any, FrozenSet, Tuple
 
@@ -16,8 +22,12 @@ from repro.core.guess import GuessId
 
 _envelope_ids = itertools.count(1)
 
+#: Interned plane names used as ``Wire.plane`` / channel-key components.
+PLANE_CONTROL = sys.intern("control")
+PLANE_DATA = sys.intern("data")
 
-@dataclass
+
+@dataclass(slots=True)
 class DataEnvelope:
     """A CSP payload tagged with the sending computation's guard set.
 
@@ -42,21 +52,21 @@ class DataEnvelope:
         return self.size + len(self.guard)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class CommitMsg:
     """``COMMIT(x_n)``: the guess resolved true (§4.2.7)."""
 
     guess: GuessId
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class AbortMsg:
     """``ABORT(x_n)``: the guess resolved false (§4.2.8)."""
 
     guess: GuessId
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class PrecedenceMsg:
     """``PRECEDENCE(x_n, Guard)``: every guard member precedes ``x_n`` (§4.2.6)."""
 
@@ -64,7 +74,7 @@ class PrecedenceMsg:
     guard: FrozenSet[GuessId]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class QueryMsg:
     """``QUERY(x_n)``: orphan re-detection probe (our extension, not §4.2).
 
@@ -80,7 +90,7 @@ class QueryMsg:
 ControlMsg = (CommitMsg, AbortMsg, PrecedenceMsg, QueryMsg)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Wire:
     """Reliable-transport frame: one sequence-numbered message on a channel.
 
@@ -100,7 +110,7 @@ class Wire:
         return (self.src, self.dst, self.plane)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class AckMsg:
     """Acknowledgement of one :class:`Wire` frame (never itself acked)."""
 

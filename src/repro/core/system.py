@@ -302,6 +302,10 @@ class OptimisticSystem:
         self.start()
         self.scheduler.run(until=until)
         self.tracer.close_open(self.scheduler.now)
+        # kernel-health counters are pull-based (zero cost on the hot
+        # path); harvest them into the run's stats once, at quiescence
+        for key, value in self.scheduler.kernel_counters().items():
+            self.stats.counters[key] = value
 
         completion: Dict[str, float] = {}
         tentative: Dict[str, float] = {}

@@ -23,7 +23,7 @@ from dataclasses import dataclass
 from typing import Any, Callable, Dict, Optional, Set, Tuple
 
 from repro.core.config import ResilienceConfig
-from repro.core.messages import AckMsg, Wire
+from repro.core.messages import PLANE_CONTROL, PLANE_DATA, AckMsg, Wire
 
 Channel = Tuple[str, str, str]          # (src, dst, plane)
 FrameKey = Tuple[str, str, str, int]    # channel + seq
@@ -67,6 +67,11 @@ class ReliableTransport:
         self._next_seq: Dict[Channel, int] = {}
         self._pending: Dict[FrameKey, _Pending] = {}
         self._seen: Dict[Channel, Set[int]] = {}
+        #: slotted wheel for the retransmission-timer army: one scheduler
+        #: event per slot instead of per in-flight frame (0 = per-frame
+        #: exact timers, the seed behaviour)
+        granularity = getattr(config, "timer_wheel_granularity", 0.0)
+        self._wheel = scheduler.wheel(granularity) if granularity > 0 else None
 
     # ------------------------------------------------------------ assembly
 
@@ -97,7 +102,7 @@ class ReliableTransport:
         if not self._framed(src, dst, control):
             self.network.send(src, dst, msg, control=control, size=size)
             return
-        plane = "control" if control else "data"
+        plane = PLANE_CONTROL if control else PLANE_DATA
         channel = (src, dst, plane)
         seq = self._next_seq.get(channel, 0)
         self._next_seq[channel] = seq + 1
@@ -116,11 +121,16 @@ class ReliableTransport:
             * (self.config.retransmit_backoff ** entry.attempts),
             self.config.retransmit_timeout_max,
         )
-        entry.timer = self.scheduler.timer(
-            rto,
-            lambda: self._on_rto(entry),
-            label=f"rto {wire.src}->{wire.dst}.{wire.plane}.{wire.seq}",
-        )
+        if self._wheel is not None:
+            entry.timer = self._wheel.after(rto, lambda: self._on_rto(entry))
+            return
+        scheduler = self.scheduler
+        if scheduler.debug_labels or scheduler.tracer.enabled:
+            label = f"rto {wire.src}->{wire.dst}.{wire.plane}.{wire.seq}"
+        else:
+            label = "rto"
+        entry.timer = scheduler.timer(
+            rto, lambda: self._on_rto(entry), label=label)
 
     def _on_rto(self, entry: _Pending) -> None:
         wire = entry.wire

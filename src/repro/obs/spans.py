@@ -69,7 +69,7 @@ COMMIT_OUTCOME = "commit"
 ABORT_OUTCOME = "abort"
 
 
-@dataclass
+@dataclass(slots=True)
 class Span:
     """One interval (or instant) of a run, in virtual time."""
 

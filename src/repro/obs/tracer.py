@@ -35,6 +35,8 @@ class Tracer:
 
     enabled: bool = False
 
+    __slots__ = ()
+
     def start_span(self, kind: str, process: str, start: float, *,
                    name: str = "", parent: Optional[int] = None,
                    **attrs: Any) -> int:
@@ -62,6 +64,8 @@ class Tracer:
 class NullTracer(Tracer):
     """Explicit alias for the disabled tracer (API symmetry)."""
 
+    __slots__ = ()
+
 
 #: Shared default instance — the no-op tracer is stateless.
 NULL_TRACER = NullTracer()
@@ -71,6 +75,8 @@ class RecordingTracer(Tracer):
     """In-memory tracer with deterministic, creation-ordered span ids."""
 
     enabled = True
+
+    __slots__ = ("_spans", "_open", "_next_sid")
 
     def __init__(self) -> None:
         self._spans: List[Span] = []

@@ -1,0 +1,148 @@
+"""Slotted timer wheel: one scheduler event per slot, not per timer.
+
+The hardened control plane arms one retransmission timer per unacked frame
+(:mod:`repro.core.transport`); under load that is an *army* of timers, and
+almost all of them are cancelled by the ack racing the timeout.  Paying a
+full event-queue push (and a lazy-cancelled pop later) per frame makes the
+timer army the kernel's dominant cost — ``repro.bench.kernel`` measures it.
+
+A :class:`TimerWheel` quantizes deadlines up to a slot boundary
+(``granularity`` virtual-time units) and schedules **one** tick event per
+non-empty slot.  Arming a timer is a list append; cancelling decrements
+the slot's live count, and when a slot's last timer is cancelled its tick
+event is cancelled too, so a fully-acked run schedules *zero* extra
+events at quiescence (this is what keeps the chaos bench's fig3 overhead
+gate at 0%).  Timers in one slot fire in arming order at the slot
+boundary — deterministic, like everything else in the kernel.
+
+The trade-off is precision: a wheel timer fires up to ``granularity``
+*late* (never early).  That is the correct contract for timeouts —
+retransmission and divergence timers are lower bounds — but not for exact
+deadlines; anything needing exact firing times keeps using
+:meth:`~repro.sim.scheduler.Scheduler.timer`.  Setting a transport's
+``timer_wheel_granularity`` to 0 restores exact per-frame timers.
+"""
+
+from __future__ import annotations
+
+from math import ceil
+from typing import Callable, Dict, List, Optional
+
+
+class WheelTimer:
+    """Cancellable handle for one wheel-slotted timeout.
+
+    API-compatible with :class:`~repro.sim.scheduler.Timer` (``cancel()``,
+    ``cancelled``, ``fired``), so callers can hold either interchangeably.
+    """
+
+    __slots__ = ("action", "fired", "cancelled", "_wheel", "_slot")
+
+    def __init__(self, action: Callable[[], None], wheel: "TimerWheel",
+                 slot: int) -> None:
+        self.action = action
+        self.fired = False
+        self.cancelled = False
+        self._wheel: Optional["TimerWheel"] = wheel
+        self._slot = slot
+
+    def cancel(self) -> None:
+        """Cancel the timer; a no-op once fired or already cancelled."""
+        if self.fired or self.cancelled:
+            return
+        self.cancelled = True
+        wheel = self._wheel
+        if wheel is not None:
+            self._wheel = None
+            wheel._note_cancel(self._slot)
+
+
+class _Slot:
+    __slots__ = ("entries", "live", "tick")
+
+    def __init__(self) -> None:
+        self.entries: List[WheelTimer] = []
+        self.live = 0
+        self.tick = None  # the slot's scheduler Event
+
+
+class TimerWheel:
+    """Groups timers into fixed-width slots ticked by single events."""
+
+    __slots__ = ("scheduler", "granularity", "_inv", "_slots",
+                 "timers_armed", "timers_fired", "timers_cancelled",
+                 "ticks", "ticks_cancelled")
+
+    def __init__(self, scheduler, granularity: float) -> None:
+        if granularity <= 0:
+            raise ValueError(
+                f"wheel granularity must be positive: {granularity!r}")
+        self.scheduler = scheduler
+        self.granularity = float(granularity)
+        self._inv = 1.0 / self.granularity
+        self._slots: Dict[int, _Slot] = {}
+        self.timers_armed = 0
+        self.timers_fired = 0
+        self.timers_cancelled = 0
+        self.ticks = 0
+        self.ticks_cancelled = 0
+
+    def after(self, delay: float, action: Callable[[], None]) -> WheelTimer:
+        """Arm ``action`` to fire at the first slot boundary >= now+delay."""
+        if delay < 0:
+            delay = 0.0
+        deadline = self.scheduler.now + delay
+        slot_key = ceil(deadline * self._inv)
+        slot = self._slots.get(slot_key)
+        if slot is None:
+            slot = _Slot()
+            self._slots[slot_key] = slot
+            slot.tick = self.scheduler.at(
+                slot_key * self.granularity,
+                lambda: self._tick(slot_key),
+                label="wheel-tick",
+            )
+        timer = WheelTimer(action, self, slot_key)
+        slot.entries.append(timer)
+        slot.live += 1
+        self.timers_armed += 1
+        return timer
+
+    def _tick(self, slot_key: int) -> None:
+        slot = self._slots.pop(slot_key, None)
+        if slot is None:  # fully cancelled in the same instant
+            return
+        self.ticks += 1
+        for timer in slot.entries:
+            if timer.cancelled:
+                continue
+            timer.fired = True
+            timer._wheel = None
+            self.timers_fired += 1
+            timer.action()
+
+    def _note_cancel(self, slot_key: int) -> None:
+        self.timers_cancelled += 1
+        slot = self._slots.get(slot_key)
+        if slot is None:
+            return
+        slot.live -= 1
+        if slot.live == 0:
+            # last live timer gone: the tick itself is dead weight
+            del self._slots[slot_key]
+            if slot.tick is not None:
+                slot.tick.cancel()
+                self.ticks_cancelled += 1
+
+    def pending(self) -> int:
+        """Live timers currently armed (tests/diagnostics)."""
+        return sum(slot.live for slot in self._slots.values())
+
+    def counters(self) -> dict[str, int]:
+        return {
+            "wheel_timers_armed": self.timers_armed,
+            "wheel_timers_fired": self.timers_fired,
+            "wheel_timers_cancelled": self.timers_cancelled,
+            "wheel_ticks": self.ticks,
+            "wheel_ticks_cancelled": self.ticks_cancelled,
+        }

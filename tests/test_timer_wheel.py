@@ -1,0 +1,181 @@
+"""Slotted timer wheel semantics (repro.sim.wheel).
+
+The contract: a wheel timer fires at the first slot boundary at or after
+its deadline — up to one granularity *late*, never early — timers in a
+slot fire in arming order, and a slot whose last timer is cancelled
+cancels its own tick event (so fully-acked transport runs add zero
+events to the makespan).
+"""
+
+import pytest
+
+from repro.core.config import ResilienceConfig
+from repro.core.transport import ReliableTransport
+from repro.obs.metrics import MetricsRegistry, RuntimeMetrics
+from repro.sim.network import FixedLatency, Network
+from repro.sim.scheduler import Scheduler
+from repro.sim.stats import Stats
+
+
+def test_fires_at_slot_boundary_never_early():
+    scheduler = Scheduler()
+    wheel = scheduler.wheel(5.0)
+    fired = []
+    wheel.after(7.0, lambda: fired.append(scheduler.now))
+    scheduler.run()
+    assert fired == [10.0]  # ceil(7/5)*5, one slot late at most
+
+
+def test_exact_boundary_is_on_time():
+    scheduler = Scheduler()
+    wheel = scheduler.wheel(5.0)
+    fired = []
+    wheel.after(15.0, lambda: fired.append(scheduler.now))
+    scheduler.run()
+    assert fired == [15.0]
+
+
+def test_same_slot_shares_one_tick_and_fires_in_arming_order():
+    scheduler = Scheduler()
+    wheel = scheduler.wheel(10.0)
+    fired = []
+    for i in range(8):
+        wheel.after(1.0 + i * 0.5, lambda i=i: fired.append(i))
+    scheduler.run()
+    assert fired == list(range(8))
+    counters = wheel.counters()
+    assert counters["wheel_ticks"] == 1
+    assert counters["wheel_timers_fired"] == 8
+    assert len(scheduler.queue) == 0
+
+
+def test_cancel_before_fire():
+    scheduler = Scheduler()
+    wheel = scheduler.wheel(5.0)
+    fired = []
+    timer = wheel.after(3.0, lambda: fired.append("no"))
+    keeper = wheel.after(4.0, lambda: fired.append("yes"))
+    timer.cancel()
+    assert timer.cancelled and not timer.fired
+    scheduler.run()
+    assert fired == ["yes"]
+    assert keeper.fired
+    # cancel after fire is a no-op
+    keeper.cancel()
+    assert keeper.fired and not keeper.cancelled
+
+
+def test_fully_cancelled_slot_cancels_its_tick():
+    scheduler = Scheduler()
+    wheel = scheduler.wheel(5.0)
+    timers = [wheel.after(2.0, lambda: None) for _ in range(10)]
+    for timer in timers:
+        timer.cancel()
+    assert wheel.pending() == 0
+    # the tick event itself is dead: the run processes nothing
+    scheduler.run()
+    assert scheduler.steps_executed == 0
+    assert wheel.counters()["wheel_ticks_cancelled"] == 1
+
+
+def test_timer_rearm_lands_in_later_slot():
+    scheduler = Scheduler()
+    wheel = scheduler.wheel(5.0)
+    fired = []
+    first = wheel.after(2.0, lambda: fired.append(("first", scheduler.now)))
+    first.cancel()
+    wheel.after(12.0, lambda: fired.append(("second", scheduler.now)))
+    scheduler.run()
+    assert fired == [("second", 15.0)]
+
+
+def test_wheels_cached_per_granularity():
+    scheduler = Scheduler()
+    assert scheduler.wheel(5.0) is scheduler.wheel(5.0)
+    assert scheduler.wheel(5.0) is not scheduler.wheel(2.0)
+
+
+def test_kernel_counters_include_wheel():
+    scheduler = Scheduler()
+    wheel = scheduler.wheel(5.0)
+    wheel.after(1.0, lambda: None)
+    t = wheel.after(2.0, lambda: None)
+    t.cancel()
+    scheduler.run()
+    counters = scheduler.kernel_counters()
+    assert counters["sim.wheel_timers_armed"] == 2
+    assert counters["sim.wheel_timers_fired"] == 1
+    assert counters["sim.wheel_timers_cancelled"] == 1
+
+
+def test_rejects_nonpositive_granularity():
+    scheduler = Scheduler()
+    with pytest.raises(ValueError):
+        scheduler.wheel(0.0)
+
+
+# ----------------------------------------------------- transport integration
+
+def _make_transport(granularity, drop_first_n=0):
+    """A->B reliable channel; optionally drop the first N data frames."""
+    scheduler = Scheduler()
+    network = Network(scheduler, FixedLatency(1.0), stats=Stats())
+    metrics = RuntimeMetrics(MetricsRegistry(Stats()))
+    config = ResilienceConfig(timer_wheel_granularity=granularity,
+                              retransmit_timeout=30.0)
+    transport = ReliableTransport(network, scheduler, config, metrics)
+    for name in ("A", "B"):
+        transport.add_participant(name)
+    received = []
+    dropped = [0]
+    inner = transport.receiver("B", lambda src, msg: received.append(msg))
+
+    def b_handler(src, payload):
+        from repro.core.messages import Wire
+
+        if isinstance(payload, Wire) and dropped[0] < drop_first_n:
+            dropped[0] += 1
+            return  # swallowed: no ack, sender must retransmit
+        inner(src, payload)
+
+    network.register("B", b_handler)
+    network.register("A", transport.receiver("A", lambda src, msg: None))
+    return scheduler, transport, metrics, received
+
+
+def test_ack_cancels_wheel_timer_zero_extra_events():
+    scheduler, transport, metrics, received = _make_transport(5.0)
+    transport.send("A", "B", "hello")
+    scheduler.run()
+    assert received == ["hello"]
+    assert metrics.retransmits.value == 0
+    # ack beat the RTO: the wheel tick was cancelled, nothing fired late
+    counters = scheduler.kernel_counters()
+    assert counters["sim.wheel_timers_cancelled"] == 1
+    assert counters["sim.wheel_ticks"] == 0
+
+
+def test_wheel_retransmit_fires_late_never_early():
+    granularity = 7.0
+    scheduler, transport, metrics, received = _make_transport(
+        granularity, drop_first_n=1)
+    transport.send("A", "B", "frame")
+    scheduler.run()
+    assert received == ["frame"]
+    assert metrics.retransmits.value == 1
+    # the RTO (30.0) was quantized up to the next slot boundary (35.0)
+    assert scheduler.now >= 30.0
+
+
+def test_wheel_and_exact_timers_deliver_identically():
+    """Same payload outcome whether the wheel or exact timers back the RTO."""
+    outcomes = []
+    for granularity in (5.0, 0.0):
+        scheduler, transport, metrics, received = _make_transport(
+            granularity, drop_first_n=2)
+        for i in range(5):
+            transport.send("A", "B", ("m", i))
+        scheduler.run()
+        outcomes.append(received)
+        assert transport.outstanding() == 0
+    assert outcomes[0] == outcomes[1]
