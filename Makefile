@@ -1,11 +1,11 @@
 PYTHON ?= python
 
-.PHONY: install test lint analyze-smoke trace-smoke chaos-smoke kernel-smoke bench bench-wallclock bench-obs bench-chaos bench-kernel figures fuzz examples results clean
+.PHONY: install test lint analyze-smoke trace-smoke chaos-smoke kernel-smoke parallel-smoke bench bench-wallclock bench-obs bench-chaos bench-kernel bench-parallel figures fuzz examples results clean
 
 install:
 	$(PYTHON) setup.py develop
 
-test: trace-smoke chaos-smoke analyze-smoke kernel-smoke
+test: trace-smoke chaos-smoke analyze-smoke kernel-smoke parallel-smoke
 	PYTHONPATH=src $(PYTHON) -m pytest tests/
 
 # Static analysis gate: the analyzer over its own shipped workloads (the
@@ -39,6 +39,10 @@ chaos-smoke:
 kernel-smoke:
 	PYTHONPATH=src $(PYTHON) -m repro.bench.kernel --smoke
 
+# Real-parallelism sanity gate: tiny thread-pool speedup + 3 parity seeds.
+parallel-smoke:
+	PYTHONPATH=src $(PYTHON) -m repro.bench.parallel --smoke
+
 bench: bench-kernel
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
 
@@ -56,13 +60,18 @@ bench-chaos:
 bench-kernel:
 	PYTHONPATH=src $(PYTHON) -m repro.bench.kernel
 
+# Full parallelism tier: wall-clock speedup at 8 workers + all 24 chaos
+# parity schedules; rewrites the BENCH_parallel.json pin (gate: >=2x).
+bench-parallel:
+	PYTHONPATH=src $(PYTHON) -m repro.bench.parallel
+
 figures:
 	$(PYTHON) -m repro figures
 
 examples:
 	@for f in examples/*.py; do echo "== $$f =="; $(PYTHON) $$f; done
 
-results: test bench bench-obs bench-chaos
+results: test bench bench-obs bench-chaos bench-parallel
 	$(PYTHON) -m pytest tests/ 2>&1 | tee test_output.txt
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only 2>&1 | tee bench_output.txt
 

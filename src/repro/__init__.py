@@ -8,7 +8,10 @@ re-exported here is the stable surface a downstream user needs:
 * choose what to parallelize (:class:`ParallelizationPlan`,
   :class:`ForkSpec`, :func:`stream_plan`),
 * run them (:class:`OptimisticSystem` vs :class:`SequentialSystem`) over a
-  latency model,
+  latency model, on a pluggable executor backend
+  (:class:`ExecutorBackend`: :class:`VirtualTimeBackend` by default, or
+  :class:`ThreadPoolBackend` / :class:`ProcessPoolBackend` for real
+  OS-level parallelism),
 * check Theorem 1 (:func:`assert_equivalent`) or draw the execution
   (:func:`render_timeline`), and
 * observe a run (:class:`RecordingTracer`, :class:`Span`,
@@ -50,6 +53,13 @@ from repro.core.config import (
     ControlPlane,
     DeliveryHeuristic,
 )
+from repro.exec import (
+    ExecutorBackend,
+    ExecutorCapabilities,
+    ProcessPoolBackend,
+    ThreadPoolBackend,
+    VirtualTimeBackend,
+)
 from repro.csp import (
     Call,
     Compute,
@@ -83,6 +93,11 @@ __all__ = [
     "DeliveryHeuristic",
     "ControlPlane",
     "SequentialSystem",
+    "ExecutorBackend",
+    "ExecutorCapabilities",
+    "VirtualTimeBackend",
+    "ThreadPoolBackend",
+    "ProcessPoolBackend",
     "Program",
     "Segment",
     "server_program",

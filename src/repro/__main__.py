@@ -10,6 +10,9 @@ Commands
 ``sweep``              print the C1-style latency sweep table
 ``chaos``              randomized fault schedules against the hardened
                        runtime (``--smoke``, ``--seed N``, ``--check-only``)
+``bench-parallel``     wall-clock speedup + cross-backend parity gates for
+                       the real executor backends (``--smoke``,
+                       ``--workers N``, ``--check-only``)
 ``lint <target>``      static analysis of programs and plans: scenario
                        names (fig1..fig7, chain, pipeline, random), paths,
                        or dotted modules (see docs/ANALYSIS.md)
@@ -216,6 +219,21 @@ def cmd_bench_kernel(args: argparse.Namespace) -> int:
     return kernel.main(argv)
 
 
+def cmd_bench_parallel(args: argparse.Namespace) -> int:
+    from repro.bench import parallel
+
+    argv = []
+    if args.smoke:
+        argv.append("--smoke")
+    if args.check_only:
+        argv.append("--check-only")
+    if args.workers is not None:
+        argv.extend(["--workers", str(args.workers)])
+    if args.out is not None:
+        argv.extend(["--out", args.out])
+    return parallel.main(argv)
+
+
 def cmd_lint(args: argparse.Namespace) -> int:
     from repro.analyze.cli import run_lint
 
@@ -292,6 +310,19 @@ def main(argv=None) -> int:
     p_kern.add_argument("--out", default=None, metavar="FILE",
                         help="where to write the report JSON")
     p_kern.set_defaults(fn=cmd_bench_kernel)
+    p_par = sub.add_parser(
+        "bench-parallel",
+        help="wall-clock parallelism bench (see repro.bench.parallel)")
+    p_par.add_argument("--smoke", action="store_true",
+                       help="tiny workload + 3 parity seeds, no pin rewrite")
+    p_par.add_argument("--check-only", action="store_true",
+                       help="gate against the BENCH_parallel.json pin "
+                            "without rewriting it")
+    p_par.add_argument("--workers", type=int, default=None, metavar="N",
+                       help="thread-pool size for the speedup section")
+    p_par.add_argument("--out", default=None, metavar="FILE",
+                       help="where to write the report JSON")
+    p_par.set_defaults(fn=cmd_bench_parallel)
     p_lint = sub.add_parser(
         "lint", help="statically analyze programs and plans")
     from repro.analyze.cli import configure_parser as configure_lint

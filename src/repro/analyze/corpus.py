@@ -193,6 +193,24 @@ def _dead_when() -> SystemModel:
     return SystemModel.build([(built.program, built.plan), _ok_server("S")])
 
 
+# --------------------------------------------------------- executor backends
+
+def _unpicklable_process_segment() -> SystemModel:
+    captured = {"weight": 2}
+
+    def body(state):                               # closure over `captured`
+        state["r"] = captured["weight"]
+        return
+        yield  # pragma: no cover - generator marker
+
+    prog = Program("P", [
+        Segment("s0", body, exports=("r",),
+                meta={"backend": "process"}),      # SA501: can't pickle
+        Segment("s1", _tail),
+    ])
+    return SystemModel.build([(prog, None)])
+
+
 CORPUS: List[CorpusCase] = [
     CorpusCase("nondeterministic-modules", frozenset({"SA101"}),
                _nondeterministic_segment,
@@ -219,4 +237,7 @@ CORPUS: List[CorpusCase] = [
                _uncovered_export, "continuation reads an unguessed export"),
     CorpusCase("dead-when", frozenset({"SA405"}),
                _dead_when, "when() on a never-written key"),
+    CorpusCase("unpicklable-process-segment", frozenset({"SA501"}),
+               _unpicklable_process_segment,
+               "closure segment tagged for the process backend"),
 ]

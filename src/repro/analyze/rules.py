@@ -19,6 +19,7 @@ SA402  plan forks the final segment (no continuation)             error
 SA403  predictor guesses keys the segment never exports           error
 SA404  continuation reads an export the predictor does not guess  error
 SA405  dead ``.when()`` branch (condition can never be truthy)    warning
+SA501  process-backend segment captures unpicklable state         warning
 =====  ========================================================== ========
 
 Register new rules with :func:`rule`; the smoke gate
@@ -335,6 +336,43 @@ def _dead_when(model: SystemModel) -> Iterator[Finding]:
                     )
             available |= set(seg.writes)
     return
+
+
+# --------------------------------------------------------- executor backends
+
+@rule("SA501", Severity.WARNING,
+      "process-backend segment captures unpicklable state")
+def _unpicklable_process_segment(model: SystemModel) -> Iterator[Finding]:
+    """ProcessPoolBackend ships ``Compute`` work payloads to worker
+    processes by pickling; a segment tagged ``meta={"backend": "process"}``
+    whose function (or attached ``work`` payload) is a closure or lambda
+    will fail at submit time.  Define payloads at module level and pass
+    parameters through ``functools.partial`` (docs/BACKENDS.md)."""
+    import pickle
+
+    for name in model.processes():
+        program = model.program_of(name)
+        for seg in program.segments:
+            meta = getattr(seg, "meta", None) or {}
+            if meta.get("backend") != "process":
+                continue
+            candidates = [("segment function", seg.fn)]
+            work = meta.get("work")
+            if work is not None:
+                candidates.append(("work payload", work))
+            for what, obj in candidates:
+                try:
+                    pickle.dumps(obj)
+                except Exception:
+                    yield _finding(
+                        "SA501",
+                        f"{what} of {seg.name!r} is not picklable but the "
+                        f"segment requests the process backend "
+                        f"(meta['backend'] == 'process'); closures and "
+                        f"lambdas cannot cross the process boundary — use "
+                        f"a module-level function with functools.partial",
+                        process=name, segment=seg.name,
+                    )
 
 
 def _loc(source: Optional[str], line: int) -> Optional[str]:

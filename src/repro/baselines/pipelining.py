@@ -43,7 +43,7 @@ class PipeliningResult:
 
 
 PipeliningResult.makespan = deprecated_alias(
-    "PipeliningResult", "makespan", "completion_time")
+    "PipeliningResult", "makespan", "completion_time", removal="0.3.0")
 
 
 def run_pipelined_chain(

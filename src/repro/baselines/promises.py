@@ -83,7 +83,7 @@ class PipelineResult:
 
 
 PipelineResult.makespan = deprecated_alias(
-    "PipelineResult", "makespan", "completion_time")
+    "PipelineResult", "makespan", "completion_time", removal="0.3.0")
 
 
 class PromiseSystem:

@@ -103,7 +103,8 @@ class TimeWarpResult:
 
 
 TimeWarpResult.physical_makespan = deprecated_alias(
-    "TimeWarpResult", "physical_makespan", "completion_time")
+    "TimeWarpResult", "physical_makespan", "completion_time",
+    removal="0.3.0")
 
 
 class TimeWarpKernel:

@@ -1,0 +1,346 @@
+"""Wall-clock parallelism bench: real speedup + cross-backend parity.
+
+The executor-backend redesign (:mod:`repro.exec`) makes two promises, and
+this bench turns both into pinned, gateable numbers:
+
+1. **Speedup** — on a latency-bound call-streaming workload whose service
+   computes carry *real* labor (``realize_scale`` turns every virtual
+   ``Compute(d)`` into a ``d * scale``-second sleep on a pool worker), the
+   optimistically streamed run on a :class:`ThreadPoolBackend` must finish
+   at least :data:`SPEEDUP_MIN` times faster in *wall-clock* time than the
+   unstreamed run of the same system on the same backend.  Speculation is
+   what overlaps the service times on pool workers; without a plan the
+   client blocks on every call and the pool serializes.
+2. **Parity** — real parallelism must not change observable behaviour: the
+   same :data:`N_SCHEDULES` seeded chaos schedules (faults, crashes,
+   reordering — reused verbatim from :mod:`repro.bench.chaos`) are run
+   under :class:`VirtualTimeBackend` and :class:`ThreadPoolBackend` and
+   must produce byte-equal committed sink output, equal virtual makespans,
+   zero unresolved guesses, clean invariants, and zero leaked tasks on
+   either backend.  The backends allocate identical placeholder events, so
+   this is the sequential-equivalence oracle applied to the threaded
+   substrate.
+
+Usage::
+
+    PYTHONPATH=src python -m repro.bench.parallel            # full + pin
+    PYTHONPATH=src python -m repro.bench.parallel --check-only
+    PYTHONPATH=src python -m repro.bench.parallel --smoke    # fast, no pin
+    PYTHONPATH=src python -m repro bench-parallel --workers 4
+
+Exit status 1 on any gate failure.  Wall-clock numbers are machine-noisy,
+so the pin-relative check only refuses *large* regressions
+(:data:`PIN_SPEEDUP_RATIO` of the pinned speedup); the absolute
+:data:`SPEEDUP_MIN` gate is the hard line.  The pinned
+``BENCH_parallel.json`` is read *before* it is rewritten, so a regressing
+run still fails after refreshing the file for inspection.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.core.invariants import validate_run
+from repro.core.streaming import make_call_chain, stream_plan
+from repro.core.system import OptimisticSystem
+from repro.csp.process import server_program
+from repro.exec.pool import ThreadPoolBackend
+from repro.exec.virtual import VirtualTimeBackend
+from repro.sim.network import FixedLatency
+from repro.workloads.random_programs import build_random_system
+from repro.bench.chaos import N_SCHEDULES, chaos_config, fault_schedule
+
+#: Hard wall-clock gate: streamed-over-pool vs unstreamed-over-pool.
+SPEEDUP_MIN = 2.0
+#: Smoke gate (2 workers, tiny workload — still must show real overlap).
+SMOKE_SPEEDUP_MIN = 1.2
+#: Pin-relative floor: new speedup must reach this fraction of the pin.
+PIN_SPEEDUP_RATIO = 0.65
+
+#: Full speedup workload: calls round-robined over this many servers.
+N_WORKERS = 8
+N_SERVERS = 8
+N_CALLS = 24
+#: Virtual service time per call; ``REALIZE_SCALE`` converts it to real
+#: seconds of pool labor (1.0 virtual unit -> 30 ms of sleep).
+SERVICE_TIME = 1.0
+REALIZE_SCALE = 0.03
+LATENCY = 1.0
+
+#: Parity runs attach a sliver of real labor to every compute so the
+#: thread pool is genuinely exercised (submits, gates, cancellations on
+#: abort/crash) without dominating wall time: 24 schedules stay quick.
+PARITY_REALIZE_SCALE = 0.001
+PARITY_WORKERS = 4
+SMOKE_SEEDS = (0, 7, 19)
+
+#: src/repro/bench/parallel.py -> repository root.
+REPO_ROOT = os.path.dirname(
+    os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+)
+DEFAULT_OUT = os.path.join(REPO_ROOT, "BENCH_parallel.json")
+
+
+# ------------------------------------------------------------------ speedup
+
+def _speedup_system(*, streamed: bool, workers: int, n_calls: int,
+                    n_servers: int) -> OptimisticSystem:
+    """The latency-bound call-streaming workload over a real thread pool."""
+    calls = [(f"S{i % n_servers}", "op", (f"req{i}",))
+             for i in range(n_calls)]
+    client = make_call_chain("client", calls)
+    backend = ThreadPoolBackend(workers, realize_scale=REALIZE_SCALE)
+    system = OptimisticSystem(FixedLatency(LATENCY), backend=backend)
+    system.add_program(client, stream_plan(client) if streamed else None)
+    for i in range(n_servers):
+        # replies match the stream plan's default guess (True), so the
+        # streamed run measures pure overlap — wrong-guess wall-clock cost
+        # is the parity section's business, not the speedup gate's
+        system.add_program(server_program(
+            f"S{i}", lambda state, req: True, service_time=SERVICE_TIME))
+    return system
+
+
+def _timed_run(system: OptimisticSystem) -> Tuple[Any, float]:
+    start = time.perf_counter()
+    result = system.run()
+    return result, time.perf_counter() - start
+
+
+def speedup_report(*, workers: int, n_calls: int = N_CALLS,
+                   n_servers: int = N_SERVERS,
+                   minimum: float = SPEEDUP_MIN) -> Dict[str, Any]:
+    """Wall-clock: unstreamed (serial pool use) vs streamed (overlapped)."""
+    serial_sys = _speedup_system(streamed=False, workers=workers,
+                                 n_calls=n_calls, n_servers=n_servers)
+    serial, serial_wall = _timed_run(serial_sys)
+    streamed_sys = _speedup_system(streamed=True, workers=workers,
+                                   n_calls=n_calls, n_servers=n_servers)
+    streamed, streamed_wall = _timed_run(streamed_sys)
+    speedup = serial_wall / streamed_wall if streamed_wall > 0 else 0.0
+    counters = streamed.stats.counters
+    return {
+        "workers": workers,
+        "n_calls": n_calls,
+        "n_servers": n_servers,
+        "service_seconds": SERVICE_TIME * REALIZE_SCALE,
+        "serial_wall_seconds": round(serial_wall, 6),
+        "streamed_wall_seconds": round(streamed_wall, 6),
+        "speedup": round(speedup, 4),
+        "minimum": minimum,
+        "serial_makespan": round(serial.makespan, 6),
+        "streamed_makespan": round(streamed.makespan, 6),
+        "tasks_submitted": counters.get("exec.tasks_submitted", 0),
+        "gate_waits": counters.get("exec.gate_waits", 0),
+        "ok": speedup >= minimum,
+    }
+
+
+# ------------------------------------------------------------------- parity
+
+def _parity_run(seed: int, backend) -> Tuple[Any, Any, List[str]]:
+    """One chaos schedule on the given backend; returns (system, result,
+    invariant problems)."""
+    spec, plan = fault_schedule(seed)
+    system = build_random_system(spec, optimistic=True,
+                                 config=chaos_config(), faults=plan,
+                                 backend=backend)
+    result = system.run()
+    problems: List[str] = []
+    try:
+        validate_run(system)
+    except Exception as exc:  # ProtocolError carries the problem list
+        problems = str(exc).splitlines()
+    return system, result, problems
+
+
+def run_parity_schedule(seed: int) -> Dict[str, Any]:
+    """Run one seeded chaos schedule on both backends and compare."""
+    _, v_result, v_problems = _parity_run(seed, VirtualTimeBackend())
+    t_backend = ThreadPoolBackend(PARITY_WORKERS,
+                                  realize_scale=PARITY_REALIZE_SCALE)
+    t_system, t_result, t_problems = _parity_run(seed, t_backend)
+
+    v_out = v_result.sink_output("display")
+    t_out = t_result.sink_output("display")
+    stats = t_result.stats.counters
+    return {
+        "seed": seed,
+        "outputs_equal": v_out == t_out,
+        "makespans_equal": v_result.makespan == t_result.makespan,
+        "virtual_makespan": round(v_result.makespan, 6),
+        "thread_makespan": round(t_result.makespan, 6),
+        "unresolved_virtual": list(v_result.unresolved),
+        "unresolved_thread": list(t_result.unresolved),
+        "invariant_problems_virtual": v_problems,
+        "invariant_problems_thread": t_problems,
+        "orphan_tasks": t_system.backend.pending(),
+        "tasks_submitted": stats.get("exec.tasks_submitted", 0),
+        "tasks_cancelled": stats.get("exec.tasks_cancelled", 0),
+    }
+
+
+def parity_ok(row: Dict[str, Any]) -> bool:
+    return (
+        row["outputs_equal"]
+        and row["makespans_equal"]
+        and not row["unresolved_virtual"]
+        and not row["unresolved_thread"]
+        and not row["invariant_problems_virtual"]
+        and not row["invariant_problems_thread"]
+        and row["orphan_tasks"] == 0
+    )
+
+
+# ------------------------------------------------------------------- report
+
+def run_bench(*, workers: int = N_WORKERS,
+              seeds: Optional[List[int]] = None,
+              smoke: bool = False) -> Dict[str, Any]:
+    if seeds is None:
+        seeds = list(SMOKE_SEEDS) if smoke else list(range(N_SCHEDULES))
+    if smoke:
+        speedup = speedup_report(workers=2, n_calls=8, n_servers=2,
+                                 minimum=SMOKE_SPEEDUP_MIN)
+    else:
+        speedup = speedup_report(workers=workers)
+    return {
+        "meta": {
+            "workers": speedup["workers"],
+            "seeds": list(seeds),
+            "speedup_min": speedup["minimum"],
+            "pin_speedup_ratio": PIN_SPEEDUP_RATIO,
+            "realize_scale": REALIZE_SCALE,
+            "parity_realize_scale": PARITY_REALIZE_SCALE,
+        },
+        "speedup": speedup,
+        "parity": [run_parity_schedule(seed) for seed in seeds],
+    }
+
+
+def gate(report: Dict[str, Any],
+         pinned: Optional[Dict[str, Any]]) -> Tuple[bool, List[str]]:
+    """Absolute gates (speedup floor, full parity) + loose pin check."""
+    ok = True
+    messages: List[str] = []
+
+    speedup = report["speedup"]
+    if not speedup["ok"]:
+        ok = False
+        messages.append(
+            f"speedup: {speedup['speedup']:.2f}x at "
+            f"{speedup['workers']} workers is below the "
+            f"{speedup['minimum']:.1f}x floor "
+            f"({speedup['serial_wall_seconds']:.3f}s serial vs "
+            f"{speedup['streamed_wall_seconds']:.3f}s streamed)")
+    else:
+        messages.append(
+            f"speedup: {speedup['speedup']:.2f}x wall-clock at "
+            f"{speedup['workers']} workers "
+            f"(floor {speedup['minimum']:.1f}x)")
+
+    if pinned and "speedup" in pinned:
+        old = pinned["speedup"].get("speedup", 0.0)
+        floor = old * PIN_SPEEDUP_RATIO
+        if speedup["speedup"] < floor:
+            ok = False
+            messages.append(
+                f"speedup: regressed vs pin {old:g}x -> "
+                f"{speedup['speedup']:g}x (floor {floor:g}x)")
+
+    for row in report["parity"]:
+        if parity_ok(row):
+            continue
+        ok = False
+        seed = row["seed"]
+        if not row["outputs_equal"]:
+            messages.append(
+                f"seed {seed}: committed output differs between virtual "
+                f"and thread backends")
+        if not row["makespans_equal"]:
+            messages.append(
+                f"seed {seed}: makespan diverged "
+                f"({row['virtual_makespan']} virtual vs "
+                f"{row['thread_makespan']} threaded)")
+        for side in ("virtual", "thread"):
+            if row[f"unresolved_{side}"]:
+                messages.append(
+                    f"seed {seed}: unresolved on {side} backend: "
+                    f"{row[f'unresolved_{side}']}")
+            for problem in row[f"invariant_problems_{side}"]:
+                messages.append(f"seed {seed} ({side}): {problem}")
+        if row["orphan_tasks"]:
+            messages.append(
+                f"seed {seed}: {row['orphan_tasks']} orphan pool tasks "
+                f"leaked past drain")
+    n_ok = sum(1 for row in report["parity"] if parity_ok(row))
+    messages.append(
+        f"parity: {n_ok}/{len(report['parity'])} schedules byte-equal, "
+        f"orphan-free across backends")
+    if ok:
+        messages.append("gate OK: all parallel gates passed")
+    return ok, messages
+
+
+def _print_summary(report: Dict[str, Any]) -> None:
+    s = report["speedup"]
+    print(f"speedup@{s['workers']}w: serial {s['serial_wall_seconds']:.3f}s "
+          f"-> streamed {s['streamed_wall_seconds']:.3f}s "
+          f"= {s['speedup']:.2f}x  (submitted {s['tasks_submitted']}, "
+          f"gate waits {s['gate_waits']})")
+    print(f"{'seed':>5}{'equal':>7}{'makespan':>10}{'tasks':>7}"
+          f"{'cancel':>8}{'orphans':>9}")
+    for row in report["parity"]:
+        print(f"{row['seed']:>5}{str(parity_ok(row)):>7}"
+              f"{row['thread_makespan']:>10.1f}{row['tasks_submitted']:>7}"
+              f"{row['tasks_cancelled']:>8}{row['orphan_tasks']:>9}")
+
+
+def main(argv: Optional[list] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Wall-clock parallelism bench: speedup + backend parity.")
+    parser.add_argument("--out", default=DEFAULT_OUT,
+                        help="output JSON path (default: BENCH_parallel.json "
+                             "at the repo root)")
+    parser.add_argument("--check-only", action="store_true",
+                        help="gate against the pin without rewriting it")
+    parser.add_argument("--smoke", action="store_true",
+                        help=f"tiny workload, seeds {SMOKE_SEEDS}, no pin "
+                             "update (fast; used by `make parallel-smoke`)")
+    parser.add_argument("--workers", type=int, default=N_WORKERS,
+                        help="thread-pool size for the speedup section")
+    args = parser.parse_args(argv)
+
+    if args.smoke:
+        report = run_bench(smoke=True)
+        ok, messages = gate(report, pinned=None)
+        _print_summary(report)
+        for msg in messages:
+            print(msg)
+        return 0 if ok else 1
+
+    pinned: Optional[Dict[str, Any]] = None
+    if os.path.exists(args.out):
+        with open(args.out) as fh:
+            pinned = json.load(fh)
+
+    report = run_bench(workers=args.workers)
+    ok, messages = gate(report, pinned)
+    _print_summary(report)
+    for msg in messages:
+        print(msg)
+    if not args.check_only:
+        with open(args.out, "w") as fh:
+            json.dump(report, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote {args.out}")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -101,7 +101,9 @@ class ProcessRuntime:
         self.plan = plan or ParallelizationPlan()
         self.plan.validate(program)
         self.config = config
-        self.scheduler = system.scheduler
+        #: the execution substrate, spoken to only through the backend
+        #: facade (scheduling, timers, segment-task submission)
+        self.backend = system.backend
         self.stats = system.stats
         self.recorder = system.recorder
         self.tracer = system.tracer
@@ -113,7 +115,7 @@ class ProcessRuntime:
         self.view = SystemView()
         self.cdg = CommitDependencyGraph(
             tracer=self.tracer, process=self.name,
-            clock=lambda: self.scheduler.now,
+            clock=lambda: self.backend.now,
         )
         self.threads: Dict[int, OptimisticThread] = {}
         self.children: Dict[int, List[int]] = {}
@@ -161,7 +163,7 @@ class ProcessRuntime:
             guard=GuardSet(),
             initial_snapshot=base,
         )
-        self.scheduler.at(0.0, main.start, label=f"start {self.name}")
+        self.backend.at(0.0, main.start, label=f"start {self.name}")
 
     def _create_thread(
         self,
@@ -210,7 +212,7 @@ class ProcessRuntime:
             return False
         governor = self.system.governor
         if governor is not None and not governor.allow_fork(
-            self.name, self.scheduler.now
+            self.name, self.backend.now
         ):
             # Denied fork == sequential execution of the segment, exactly
             # like the §3.3 fallback: a pure throughput decision.
@@ -273,7 +275,7 @@ class ProcessRuntime:
         timeout = spec.timeout if spec.timeout is not None else (
             self.config.default_fork_timeout
         )
-        record.timer = self.scheduler.timer(
+        record.timer = self.backend.timer(
             timeout,
             lambda: self._on_fork_timeout(guess),
             label=f"{self.name}.{guess.key()}.timeout",
@@ -281,13 +283,13 @@ class ProcessRuntime:
         overhead = self.config.fork_overhead(spec.copy_state)
         # Track the start event so destroying the thread before it launches
         # cancels the launch (no zombie threads).
-        right._pending_event = self.scheduler.after(
+        right._pending_event = self.backend.after(
             overhead, right.start, label=f"start {self.name}.t{right.tid}"
         )
         if governor is not None:
             governor.on_fork(self.name)
         self.m.forks.inc()
-        now = self.scheduler.now
+        now = self.backend.now
         record.forked_at = now
         self.m.speculation_depth.add(1, now)
         if self.tracer.enabled:
@@ -351,13 +353,13 @@ class ProcessRuntime:
         for g in envelope.guard:
             self.dependents.setdefault(g, set()).add(dst)
         self.recorder.record_send(
-            self.name, dst, trace_data, self.scheduler.now,
+            self.name, dst, trace_data, self.backend.now,
             guards=envelope.guard_keys(), porder=thread.porder(),
         )
         self.m.guard_tag_units.inc(len(envelope.guard))
         if self.tracer.enabled:
             self.tracer.event(
-                ob.SEND, self.name, self.scheduler.now,
+                ob.SEND, self.name, self.backend.now,
                 name=f"{trace_data[0]}:{trace_data[1]}", dst=dst,
                 tid=thread.tid, guards=len(envelope.guard),
                 guard=sorted(envelope.guard_keys()),
@@ -368,12 +370,12 @@ class ProcessRuntime:
                     trace_data: Tuple, porder: Tuple[int, int]) -> None:
         """Record a consumption in the trace, tagged with the guard."""
         self.recorder.record_recv(
-            src, self.name, trace_data, self.scheduler.now,
+            src, self.name, trace_data, self.backend.now,
             guards=thread.guard.keys(), porder=porder,
         )
         if self.tracer.enabled:
             self.tracer.event(
-                ob.RECV, self.name, self.scheduler.now,
+                ob.RECV, self.name, self.backend.now,
                 name=f"{trace_data[0]}:{trace_data[1]}", src=src,
                 tid=thread.tid, guards=len(thread.guard),
                 guard=sorted(thread.guard.keys()),
@@ -400,12 +402,12 @@ class ProcessRuntime:
             },
         )
         self.recorder.record_external(
-            self.name, effect.sink, effect.payload, self.scheduler.now,
+            self.name, effect.sink, effect.payload, self.backend.now,
             guards=thread.guard.keys(), porder=porder,
         )
         if self.tracer.enabled:
             self.tracer.event(
-                ob.EMIT, self.name, self.scheduler.now,
+                ob.EMIT, self.name, self.backend.now,
                 name=effect.sink, tid=thread.tid,
                 buffered=bool(emission.pending),
             )
@@ -507,7 +509,7 @@ class ProcessRuntime:
         if self.tracer.enabled:
             aborted = self.view.any_aborted(envelope.guard)
             extra = {"aborted": aborted.key()} if aborted is not None else {}
-            self.tracer.event(ob.ORPHAN, self.name, self.scheduler.now,
+            self.tracer.event(ob.ORPHAN, self.name, self.backend.now,
                               src=envelope.src,
                               guard=sorted(envelope.guard_keys()), **extra)
 
@@ -624,11 +626,11 @@ class ProcessRuntime:
             self.evaluate_join(self.records[thread.own_guess])
         else:
             if thread.seg_end >= len(self.program.segments):
-                self.tentative_completion = self.scheduler.now
+                self.tentative_completion = self.backend.now
                 self.log_event("tentative_complete", tid=thread.tid)
                 if self.tracer.enabled:
                     self.tracer.event(ob.COMPLETE, self.name,
-                                      self.scheduler.now,
+                                      self.backend.now,
                                       name="tentative_complete",
                                       tid=thread.tid)
             self._check_completion()
@@ -733,7 +735,7 @@ class ProcessRuntime:
                          reason: Optional[str] = None,
                          **extra: Any) -> None:
         """Shared commit/abort accounting: depth gauge, doubt histogram, span."""
-        now = self.scheduler.now
+        now = self.backend.now
         self.m.speculation_depth.add(-1, now)
         self.m.doubt_time.observe(now - record.forked_at)
         if self.system.governor is not None:
@@ -901,9 +903,9 @@ class ProcessRuntime:
         self.m.continuations.inc()
         self.log_event("continuation", guess=record.guess.key(), tid=cont.tid)
         if self.tracer.enabled:
-            self.tracer.event(ob.CONTINUATION, self.name, self.scheduler.now,
+            self.tracer.event(ob.CONTINUATION, self.name, self.backend.now,
                               name=record.guess.key(), tid=cont.tid)
-        cont._pending_event = self.scheduler.after(
+        cont._pending_event = self.backend.after(
             0.0, cont.start, label=f"start {self.name}.t{cont.tid} (cont)"
         )
 
@@ -913,7 +915,7 @@ class ProcessRuntime:
         """Originate a control message (owner side)."""
         if self.tracer.enabled:
             self.tracer.event(
-                ob.CONTROL, self.name, self.scheduler.now,
+                ob.CONTROL, self.name, self.backend.now,
                 name=type(msg).__name__, guess=msg.guess.key(),
                 direction="sent",
             )
@@ -953,7 +955,7 @@ class ProcessRuntime:
     def _note_control_received(self, msg: Any) -> None:
         if self.tracer.enabled:
             self.tracer.event(
-                ob.CONTROL, self.name, self.scheduler.now,
+                ob.CONTROL, self.name, self.backend.now,
                 name=type(msg).__name__, guess=msg.guess.key(),
                 direction="received",
             )
@@ -1107,7 +1109,7 @@ class ProcessRuntime:
             self._scan_last = frozenset()
             self._scan_idle = 0
             return
-        self._scan_timer = self.scheduler.timer(
+        self._scan_timer = self.backend.timer(
             interval, self._orphan_scan, label=f"{self.name}.orphan_scan",
         )
 
@@ -1283,7 +1285,7 @@ class ProcessRuntime:
         self.log_event("rollback", tid=thread.tid, position=position)
         if self.tracer.enabled:
             extra = {"cause": cause} if cause is not None else {}
-            self.tracer.event(ob.ROLLBACK, self.name, self.scheduler.now,
+            self.tracer.event(ob.ROLLBACK, self.name, self.backend.now,
                               tid=thread.tid, position=position, **extra)
         thread.discard_cause = cause
         discarded = thread.rollback_to(position)
@@ -1334,7 +1336,7 @@ class ProcessRuntime:
             ):
                 timeout = record.spec.timeout if record.spec.timeout is not None \
                     else self.config.default_fork_timeout
-                record.timer = self.scheduler.timer(
+                record.timer = self.backend.timer(
                     timeout,
                     lambda g=record.guess: self._on_fork_timeout(g),
                     label=f"{self.name}.{record.guess.key()}.retimeout",
@@ -1391,10 +1393,10 @@ class ProcessRuntime:
             return
         if any(not em.released and not em.dropped for em in self.emissions):
             return
-        self.committed_completion = self.scheduler.now
+        self.committed_completion = self.backend.now
         self.log_event("committed_complete")
         if self.tracer.enabled:
-            self.tracer.event(ob.COMPLETE, self.name, self.scheduler.now,
+            self.tracer.event(ob.COMPLETE, self.name, self.backend.now,
                               name="committed_complete")
 
     # ---------------------------------------------------------------- state

@@ -20,12 +20,13 @@ from repro.core.transport import ReliableTransport
 from repro.csp.external import ExternalSink
 from repro.csp.plan import ParallelizationPlan
 from repro.csp.process import ProcessDef, Program
+from repro.exec.api import ExecutorBackend
+from repro.exec.virtual import VirtualTimeBackend
 from repro.obs.metrics import MetricsRegistry, RuntimeMetrics
 from repro.obs.spans import Span
 from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.sim.faults import FaultPlan, FaultyNetwork
 from repro.sim.network import FixedLatency, LatencyModel, Network
-from repro.sim.scheduler import Scheduler
 from repro.sim.stats import Stats
 from repro.trace.recorder import TraceRecorder
 
@@ -98,6 +99,7 @@ class OptimisticSystem:
         tracer: Optional[Tracer] = None,
         faults: Optional[FaultPlan] = None,
         strict_plans: bool = False,
+        backend: Optional[ExecutorBackend] = None,
     ) -> None:
         #: refuse statically-certain faults (see repro.analyze):
         #: each add_program gets the program-local rules, start() gets the
@@ -105,8 +107,14 @@ class OptimisticSystem:
         self.strict_plans = strict_plans
         self.config = config or OptimisticConfig()
         self.tracer = tracer if tracer is not None else NULL_TRACER
-        self.scheduler = Scheduler(max_steps=self.config.max_steps,
-                                   tracer=self.tracer)
+        #: the execution substrate (see docs/BACKENDS.md): the virtual-time
+        #: oracle by default, OS threads or a process pool when the caller
+        #: wants real parallelism.  The backend owns the scheduler; the
+        #: raw handle stays exposed for the (virtual-time-only) network,
+        #: transport, and sink layers.
+        self.backend = backend if backend is not None else VirtualTimeBackend()
+        self.scheduler = self.backend.bind(max_steps=self.config.max_steps,
+                                           tracer=self.tracer)
         self.stats = Stats()
         self.metrics = MetricsRegistry(self.stats)
         self.runtime_metrics = RuntimeMetrics(self.metrics)
@@ -300,11 +308,17 @@ class OptimisticSystem:
     def run(self, until: Optional[float] = None) -> OptimisticResult:
         """Run to quiescence (or ``until``) and collect the results."""
         self.start()
-        self.scheduler.run(until=until)
+        self.backend.run(until=until)
+        # settle outstanding real tasks (cancelled speculation still holds
+        # workers until its token wakes them) and, at quiescence, release
+        # the pool — a finished run leaks neither tasks nor threads
+        self.backend.drain()
         self.tracer.close_open(self.scheduler.now)
         # kernel-health counters are pull-based (zero cost on the hot
         # path); harvest them into the run's stats once, at quiescence
         for key, value in self.scheduler.kernel_counters().items():
+            self.stats.counters[key] = value
+        for key, value in self.backend.counters().items():
             self.stats.counters[key] = value
 
         completion: Dict[str, float] = {}

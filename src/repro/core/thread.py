@@ -174,7 +174,7 @@ class OptimisticThread:
                     and self.discard_cause is not None:
                 attrs.setdefault("cause", self.discard_cause)
             self.runtime.tracer.end_span(
-                self._seg_span, self.runtime.scheduler.now, **attrs)
+                self._seg_span, self.runtime.backend.now, **attrs)
             self._seg_span = -1
         if "outcome" in attrs:
             self.discard_cause = None
@@ -225,7 +225,7 @@ class OptimisticThread:
             if value is not _BLOCKED:
                 self._advance_loop(value)
 
-        self._pending_event = self.runtime.scheduler.after(
+        self._pending_event = self.runtime.backend.after(
             delay, fire, label=f"{self.runtime.name}.t{self.tid}.replay-debt"
         )
 
@@ -264,7 +264,7 @@ class OptimisticThread:
         if self.runtime.tracer.enabled:
             self._end_seg_span()
             self._seg_span = self.runtime.tracer.start_span(
-                "segment", self.runtime.name, self.runtime.scheduler.now,
+                "segment", self.runtime.name, self.runtime.backend.now,
                 name=seg.name, tid=self.tid, seg=self.seg_idx,
                 speculative=bool(self.guard), replaying=not self.journal.live,
             )
@@ -297,7 +297,7 @@ class OptimisticThread:
                 self.status = status
                 self.runtime.on_thread_blocked(self)
 
-            self._pending_event = self.runtime.scheduler.after(
+            self._pending_event = self.runtime.backend.after(
                 debt, unblock, label=f"{self.runtime.name}.t{self.tid}.debt"
             )
         else:
@@ -311,7 +311,9 @@ class OptimisticThread:
         """Perform (or replay) one effect; returns its value or _BLOCKED."""
         if isinstance(effect, Compute):
             sig = ("compute", self.seg_idx)
-            return _BLOCKED if self._do_compute(effect.duration, sig) else None
+            blocked = self._do_compute(effect.duration, sig,
+                                       work=effect.work)
+            return _BLOCKED if blocked else None
         if isinstance(effect, Call):
             return self._do_call(effect)
         if isinstance(effect, Send):
@@ -330,8 +332,17 @@ class OptimisticThread:
 
     # -- compute ------------------------------------------------------------
 
-    def _do_compute(self, duration: float, sig: Tuple) -> bool:
-        """Returns True when blocked on a timer."""
+    def _do_compute(self, duration: float, sig: Tuple,
+                    work: Any = None) -> bool:
+        """Returns True when blocked on a (backend-mediated) timer.
+
+        Live computes are submitted as segment tasks: on a real backend
+        the ``work`` payload (or a realized sleep standing in for the
+        modelled duration) runs on a pool worker while the placeholder
+        event keeps virtual ordering identical to the oracle.  The replay
+        path below never resubmits — already-performed labor is a logged
+        duration, not work to redo.
+        """
         if not self.journal.live:
             slot_index = self.journal.cursor
             slot = self.journal.consume_replay_slot(COMPUTE, sig)
@@ -346,13 +357,14 @@ class OptimisticThread:
         # compute (it is CPU time either way).
         wall = duration + self._replay_debt
         self._replay_debt = 0.0
-        if wall <= 0:
+        if wall <= 0 and work is None:
             return False
         self.status = ThreadStatus.COMPUTING
-        self._pending_event = self.runtime.scheduler.after(
+        self._pending_event = self.runtime.backend.submit_segment(
             wall,
             lambda: self.resume(None),
             label=f"{self.runtime.name}.t{self.tid}.compute",
+            work=work,
         )
         return True
 
@@ -475,7 +487,7 @@ class OptimisticThread:
         sig = ("gettime", self.seg_idx)
         if not self.journal.live:
             return self.journal.consume_replay_slot(RESULT, sig).result
-        now = self.runtime.scheduler.now
+        now = self.runtime.backend.now
         self.journal.append(Slot(kind=RESULT, signature=sig, result=now))
         return now
 
@@ -534,7 +546,7 @@ class OptimisticThread:
         if self.runtime.tracer.enabled:
             self._end_seg_span(outcome="rolled_back")
             self.runtime.tracer.event(
-                "replay", self.runtime.name, self.runtime.scheduler.now,
+                "replay", self.runtime.name, self.runtime.backend.now,
                 tid=self.tid, position=self.journal.cursor,
             )
         self.gen = None

@@ -86,9 +86,22 @@ class Reply(Effect):
 
 @dataclass
 class Compute(Effect):
-    """Consume ``duration`` units of virtual CPU time."""
+    """Consume ``duration`` units of virtual CPU time.
+
+    ``work`` optionally attaches *real* labor — a callable taking a
+    :class:`~repro.exec.api.WorkContext` — that runs on a pool worker
+    when the system uses a real executor backend (threads/processes) and
+    is skipped entirely in virtual time.  Payloads must be effect-free
+    (their return value is discarded; all visible actions still go
+    through effects) and cooperative: route blocking waits through
+    ``ctx.sleep`` and call ``ctx.check()`` inside long loops so an abort
+    can cancel them at the next effect boundary.  Under
+    :class:`~repro.exec.pool.ProcessPoolBackend` the payload must be
+    picklable (lint rule SA501).
+    """
 
     duration: float = 0.0
+    work: Optional[Any] = None
 
 
 @dataclass

@@ -1,0 +1,33 @@
+"""repro.exec — pluggable segment-executor backends.
+
+The runtime/substrate split: :class:`ExecutorBackend` is the protocol
+(`submit_segment`, `cancel`, `drain`, capability flags), with three
+implementations — the single-threaded DES oracle
+(:class:`VirtualTimeBackend`, the default), OS threads
+(:class:`ThreadPoolBackend`) and a process pool
+(:class:`ProcessPoolBackend`).  See ``docs/BACKENDS.md`` for the
+contract and the cross-backend equivalence guarantee.
+"""
+
+from repro.exec.api import (
+    CancelledWork,
+    ExecutorBackend,
+    ExecutorCapabilities,
+    TaskHandle,
+    Work,
+    WorkContext,
+)
+from repro.exec.pool import ProcessPoolBackend, ThreadPoolBackend
+from repro.exec.virtual import VirtualTimeBackend
+
+__all__ = [
+    "CancelledWork",
+    "ExecutorBackend",
+    "ExecutorCapabilities",
+    "ProcessPoolBackend",
+    "TaskHandle",
+    "ThreadPoolBackend",
+    "VirtualTimeBackend",
+    "Work",
+    "WorkContext",
+]

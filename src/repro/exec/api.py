@@ -1,0 +1,271 @@
+"""The executor-backend protocol: one substrate API, three execution modes.
+
+The optimistic runtime never touches the simulator directly any more —
+:class:`~repro.core.system.OptimisticSystem` owns an
+:class:`ExecutorBackend` and every scheduling decision of the protocol
+(fork timeouts, compute completions, continuations, orphan scans) goes
+through the backend facade.  Three implementations exist:
+
+* :class:`~repro.exec.virtual.VirtualTimeBackend` — wraps the existing
+  single-threaded DES.  The default, and the *sequential-equivalence
+  oracle*: every other backend must produce byte-equal committed outputs.
+* :class:`~repro.exec.pool.ThreadPoolBackend` — OS threads for
+  latency-bound segments doing real ``time.sleep``/socket I/O.
+* :class:`~repro.exec.pool.ProcessPoolBackend` — a process pool for
+  CPU-bound segments; work payloads must be picklable (lint rule SA501).
+
+The equivalence trick — placeholder events
+------------------------------------------
+
+Real backends do **not** replace the DES; they run *underneath* it.
+:meth:`ExecutorBackend.submit_segment` always allocates the exact same
+virtual event (same ``(time, priority, seq)``) the virtual backend would,
+so the deterministic event order — and therefore every protocol decision,
+guard propagation, and committed output — is identical by construction.
+On a real backend the call *additionally* ships the segment's real labor
+(a :class:`Work` payload, or a realized sleep for plain
+:class:`~repro.csp.effects.Compute` durations) to a worker pool.  When
+the DES pops the placeholder and the future has not finished, the driver
+blocks on it: real time passes, virtual order is untouched.  Wall-clock
+speedup comes from every *speculative* segment's work overlapping on the
+pool while the driver is still upstream — the paper's optimism, realized
+on hardware.
+
+Cancellation is cooperative: aborting a guess cancels the placeholder
+event *and* sets the task's cancel token, which wakes a worker blocked in
+:meth:`WorkContext.sleep` immediately (it raises :class:`CancelledWork`
+inside the payload).  A cancelled task's result is always discarded, so
+its effects can never reach a journal.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Optional
+
+from repro.errors import SimulationError
+from repro.sim.events import PRIORITY_NORMAL
+from repro.sim.scheduler import Scheduler, Timer
+
+
+class CancelledWork(Exception):
+    """Raised inside a work payload when its task's cancel token is set."""
+
+
+@dataclass(frozen=True)
+class ExecutorCapabilities:
+    """What a backend can and cannot do; reflection for callers and tests.
+
+    Attributes
+    ----------
+    name:
+        Stable identifier (``"virtual"``, ``"thread"``, ``"process"``).
+    real_time:
+        Work payloads and realized sleeps consume wall-clock time.
+    parallel:
+        Distinct segments' work can make progress simultaneously.
+    cancel_blocked_work:
+        ``cancel()`` interrupts a payload blocked in
+        :meth:`WorkContext.sleep` promptly.  Process pools cannot reach
+        into a worker, so cancellation there is best-effort (the result
+        is still discarded — only the labor is wasted).
+    requires_picklable:
+        Work payloads cross a process boundary and must pickle.
+    """
+
+    name: str
+    real_time: bool
+    parallel: bool
+    cancel_blocked_work: bool
+    requires_picklable: bool
+
+
+class WorkContext:
+    """Handed to every work payload; the only sanctioned blocking surface.
+
+    Payloads must route blocking waits through :meth:`sleep` and call
+    :meth:`check` inside long computations so cooperative cancellation can
+    interrupt them.  On the virtual backend no payload ever runs, so this
+    class only materializes on real backends.
+    """
+
+    __slots__ = ("_token",)
+
+    def __init__(self, token: Any = None) -> None:
+        self._token = token
+
+    @property
+    def cancelled(self) -> bool:
+        token = self._token
+        return token is not None and token.is_set()
+
+    def check(self) -> None:
+        """Raise :class:`CancelledWork` if this task has been cancelled."""
+        if self.cancelled:
+            raise CancelledWork("task cancelled")
+
+    def sleep(self, seconds: float) -> None:
+        """Sleep for real ``seconds``, waking immediately on cancellation."""
+        token = self._token
+        if token is None:
+            import time
+
+            time.sleep(seconds)
+            return
+        if token.wait(seconds):
+            raise CancelledWork("task cancelled during sleep")
+
+
+#: A work payload: real labor whose *result is discarded*.  The effect-free
+#: contract is what keeps cross-backend equivalence trivial — payloads may
+#: burn CPU, sleep, or talk to the outside world idempotently, but every
+#: externally visible protocol action still goes through effects.
+Work = Callable[[WorkContext], Any]
+
+
+class TaskHandle:
+    """Cancellable handle for one submitted segment task.
+
+    Duck-compatible with :class:`~repro.sim.events.Event` (``cancel()``,
+    ``cancelled``) so runtime code can hold either interchangeably —
+    the virtual backend returns raw events and pays no overhead.
+    """
+
+    __slots__ = ("label", "cancelled", "future", "_event", "_token",
+                 "_backend")
+
+    def __init__(self, label: str = "") -> None:
+        self.label = label
+        self.cancelled = False
+        self.future = None
+        self._event = None        # the virtual placeholder event
+        self._token = None        # cooperative cancel token
+        self._backend = None
+
+    @property
+    def done(self) -> bool:
+        future = self.future
+        return future is not None and future.done()
+
+    def cancel(self) -> None:
+        """Backend-mediated abort: placeholder, token, and future at once."""
+        if self.cancelled:
+            return
+        self.cancelled = True
+        event = self._event
+        if event is not None:
+            self._event = None
+            event.cancel()
+        token = self._token
+        if token is not None:
+            token.set()
+        future = self.future
+        if future is not None:
+            future.cancel()  # only wins if not started; result is discarded
+        backend = self._backend
+        if backend is not None:
+            self._backend = None
+            backend._note_task_cancelled(self)
+
+
+class ExecutorBackend:
+    """Base class and facade contract for all executor backends.
+
+    A backend is bound to exactly one system: :meth:`bind` creates and
+    owns the :class:`~repro.sim.scheduler.Scheduler` so nothing else can
+    construct a substrate behind the backend's back.  The scheduling
+    facade (:attr:`now`, :meth:`at`, :meth:`after`, :meth:`post`,
+    :meth:`timer`) is what the runtime and threads call; the raw
+    ``scheduler`` attribute remains available for the network/transport
+    layers, which are virtual-time-only by design.
+    """
+
+    capabilities: ExecutorCapabilities = ExecutorCapabilities(
+        name="abstract", real_time=False, parallel=False,
+        cancel_blocked_work=False, requires_picklable=False,
+    )
+
+    def __init__(self) -> None:
+        self.scheduler: Optional[Scheduler] = None
+
+    # ------------------------------------------------------------- binding
+
+    def bind(self, *, max_steps: int, tracer=None) -> Scheduler:
+        """Create (and own) the virtual-time substrate for one system."""
+        if self.scheduler is not None:
+            raise SimulationError(
+                f"{type(self).__name__} is already bound to a system; "
+                "backends are single-use — construct one per system"
+            )
+        self.scheduler = Scheduler(max_steps=max_steps, tracer=tracer)
+        return self.scheduler
+
+    # ------------------------------------------------------ schedule facade
+
+    @property
+    def now(self) -> float:
+        return self.scheduler.now
+
+    def at(self, time: float, action: Callable[[], None], *,
+           priority: int = PRIORITY_NORMAL, label: str = ""):
+        return self.scheduler.at(time, action, priority=priority, label=label)
+
+    def after(self, delay: float, action: Callable[[], None], *,
+              priority: int = PRIORITY_NORMAL, label: str = ""):
+        return self.scheduler.after(delay, action, priority=priority,
+                                    label=label)
+
+    def post(self, time: float, action: Callable[[], None],
+             priority: int = PRIORITY_NORMAL, label: str = "") -> None:
+        self.scheduler.post(time, action, priority, label)
+
+    def timer(self, delay: float, action: Callable[[], None], *,
+              label: str = "timer") -> Timer:
+        return self.scheduler.timer(delay, action, label=label)
+
+    # ------------------------------------------------------------ protocol
+
+    def submit_segment(self, delay: float, resume: Callable[[], None], *,
+                       label: str = "", work: Optional[Work] = None):
+        """Schedule a segment's compute completion ``delay`` units from now.
+
+        Returns a cancellable handle (an :class:`~repro.sim.events.Event`
+        or a :class:`TaskHandle`).  ``resume`` runs on the driver thread at
+        the placeholder's virtual time — after the real work, if any,
+        has finished.  ``work`` is ignored by virtual backends (payloads
+        are effect-free, so skipping them is semantics-preserving).
+        """
+        raise NotImplementedError
+
+    def cancel(self, handle: Any) -> None:
+        """Cancel a previously submitted task (no-op when already done)."""
+        handle.cancel()
+
+    def run(self, until: Optional[float] = None) -> float:
+        """Drive the system to quiescence (or past ``until``)."""
+        return self.scheduler.run(until=until)
+
+    def drain(self) -> None:
+        """Settle every outstanding real task; idempotent.
+
+        After ``drain()`` returns no worker is executing or holding a
+        payload, and — when the virtual queue is empty — the pool itself
+        has been shut down, so a finished run leaks neither tasks nor
+        threads.
+        """
+
+    def shutdown(self) -> None:
+        """Tear down pools unconditionally (drain first for a clean stop)."""
+
+    def pending(self) -> int:
+        """Outstanding (submitted, unsettled) real tasks; 0 when virtual."""
+        return 0
+
+    def counters(self) -> dict:
+        """Pull-based ``exec.*`` health counters, merged into run stats."""
+        return {}
+
+    # ----------------------------------------------------------- internals
+
+    def _note_task_cancelled(self, handle: TaskHandle) -> None:
+        """Hook for pool backends' cancellation bookkeeping."""

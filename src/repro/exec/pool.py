@@ -1,0 +1,218 @@
+"""Real-hardware backends: OS-thread and process pools under the DES.
+
+Both backends keep the virtual-time substrate authoritative (see
+:mod:`repro.exec.api` for the placeholder-event design) and differ only
+in where the real labor runs and how cancellation reaches it:
+
+* :class:`ThreadPoolBackend` — ``concurrent.futures`` threads.  Right for
+  latency-bound work (real ``time.sleep``, socket I/O) where the GIL is
+  released while blocked.  Cancellation is prompt: the cancel token wakes
+  a payload blocked in :meth:`~repro.exec.api.WorkContext.sleep`.
+* :class:`ProcessPoolBackend` — a process pool for CPU-bound payloads.
+  Payloads must be picklable (module-level callables or ``partial`` of
+  them — lint rule SA501 flags closures); the cancel token cannot cross
+  the process boundary, so cancellation of *running* work is best-effort
+  and only the result-discard guarantee holds.
+
+``realize_scale`` makes the pools earn their keep on unmodified
+workloads: every live :class:`~repro.csp.effects.Compute` duration ``d``
+is realized as a real sleep of ``d * realize_scale`` seconds on a worker.
+The chaos-parity gate in ``repro.bench.parallel`` uses this so all 24
+fault schedules genuinely exercise submission, overlap, and
+abort-triggered cancellation without touching the workloads.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import CancelledError, Executor, ProcessPoolExecutor, \
+    ThreadPoolExecutor
+from functools import partial
+from typing import Callable, Optional
+
+from repro.exec.api import (
+    CancelledWork,
+    ExecutorBackend,
+    ExecutorCapabilities,
+    TaskHandle,
+    Work,
+    WorkContext,
+)
+
+
+def _timed_work(seconds: float, ctx: WorkContext) -> None:
+    """Realized sleep standing in for ``Compute(duration)`` labor.
+
+    Module-level (not a closure) so the process backend can pickle the
+    ``partial(_timed_work, seconds)`` payload.
+    """
+    ctx.sleep(seconds)
+
+
+class _PoolBackend(ExecutorBackend):
+    """Shared machinery: placeholder gating, cancel tokens, drain."""
+
+    def __init__(self, workers: int = 8, *,
+                 realize_scale: float = 0.0) -> None:
+        super().__init__()
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1: {workers!r}")
+        self.workers = workers
+        #: seconds of real sleep per unit of live Compute virtual time
+        #: (0.0 = only explicit ``Compute(work=...)`` payloads run for real)
+        self.realize_scale = realize_scale
+        self._pool: Optional[Executor] = None
+        #: submitted-but-unsettled handles; the gate removes fired tasks,
+        #: :meth:`drain` settles cancelled ones
+        self._inflight: set = set()
+        self.tasks_submitted = 0
+        self.tasks_completed = 0
+        self.tasks_cancelled = 0
+        #: placeholders popped before their real work finished — i.e. how
+        #: often real time was on the driver's critical path
+        self.gate_waits = 0
+        self.pool_spinups = 0
+
+    # ----------------------------------------------- subclass obligations
+
+    def _make_pool(self) -> Executor:
+        raise NotImplementedError
+
+    def _new_token(self):
+        """Cancel token (``set()``/``is_set()``/``wait()``) or ``None``."""
+        raise NotImplementedError
+
+    def _submit_work(self, pool: Executor, work: Work, ctx: WorkContext):
+        return pool.submit(work, ctx)
+
+    # ----------------------------------------------------------- submission
+
+    def _ensure_pool(self) -> Executor:
+        if self._pool is None:
+            self._pool = self._make_pool()
+            self.pool_spinups += 1
+        return self._pool
+
+    def submit_segment(self, delay: float, resume: Callable[[], None], *,
+                       label: str = "", work: Optional[Work] = None):
+        if work is None:
+            if self.realize_scale > 0.0 and delay > 0.0:
+                work = partial(_timed_work, delay * self.realize_scale)
+            else:
+                # nothing real to do: identical to the virtual backend
+                return self.scheduler.after(delay, resume, label=label)
+        handle = TaskHandle(label=label)
+        token = self._new_token()
+        handle._token = token
+        handle._backend = self
+        handle.future = self._submit_work(
+            self._ensure_pool(), work, WorkContext(token))
+        self.tasks_submitted += 1
+        self._inflight.add(handle)
+
+        def gate() -> None:
+            # Fires at the placeholder's virtual time, on the driver
+            # thread, in exactly the event order the oracle would use.
+            future = handle.future
+            if not future.done():
+                self.gate_waits += 1
+            try:
+                future.result()
+            except (CancelledWork, CancelledError):
+                pass  # result discarded; the virtual duration still stands
+            self.tasks_completed += 1
+            self._inflight.discard(handle)
+            handle._backend = None
+            resume()
+
+        # The placeholder allocates the same (time, priority, seq) slot the
+        # virtual backend would — this is the whole equivalence argument.
+        handle._event = self.scheduler.after(delay, gate, label=label)
+        return handle
+
+    def _note_task_cancelled(self, handle: TaskHandle) -> None:
+        self.tasks_cancelled += 1
+        # stays in _inflight until drain() settles its future
+
+    # ------------------------------------------------------------- teardown
+
+    def drain(self) -> None:
+        for handle in list(self._inflight):
+            future = handle.future
+            if handle.cancelled:
+                if future is not None:
+                    try:
+                        future.result()
+                    except Exception:
+                        pass  # discarded by contract
+                self._inflight.discard(handle)
+            elif future is not None and future.done():
+                pass  # settled; its gate is still queued and will fire
+        # At quiescence no more work can arrive: release the workers so a
+        # finished system leaks no threads/processes.  A later run(until=)
+        # resumption lazily spins a fresh pool up.
+        if self.scheduler is not None \
+                and self.scheduler.queue.peek_time() is None:
+            self.shutdown()
+
+    def shutdown(self) -> None:
+        pool = self._pool
+        if pool is not None:
+            self._pool = None
+            pool.shutdown(wait=True)
+
+    def pending(self) -> int:
+        return len(self._inflight)
+
+    def counters(self) -> dict:
+        return {
+            "exec.workers": self.workers,
+            "exec.tasks_submitted": self.tasks_submitted,
+            "exec.tasks_completed": self.tasks_completed,
+            "exec.tasks_cancelled": self.tasks_cancelled,
+            "exec.gate_waits": self.gate_waits,
+            "exec.pool_spinups": self.pool_spinups,
+        }
+
+
+class ThreadPoolBackend(_PoolBackend):
+    """Speculative segments on real OS threads (latency-bound work)."""
+
+    capabilities = ExecutorCapabilities(
+        name="thread",
+        real_time=True,
+        parallel=True,
+        cancel_blocked_work=True,
+        requires_picklable=False,
+    )
+
+    def _make_pool(self) -> Executor:
+        return ThreadPoolExecutor(
+            max_workers=self.workers, thread_name_prefix="repro-exec")
+
+    def _new_token(self):
+        return threading.Event()
+
+
+class ProcessPoolBackend(_PoolBackend):
+    """Speculative segments on a process pool (CPU-bound work).
+
+    Work payloads cross a process boundary: they must be picklable and
+    cannot see the cancel token, so ``cancel()`` only prevents *unstarted*
+    work from running (``Future.cancel``) and guarantees that a started
+    task's result is discarded.
+    """
+
+    capabilities = ExecutorCapabilities(
+        name="process",
+        real_time=True,
+        parallel=True,
+        cancel_blocked_work=False,
+        requires_picklable=True,
+    )
+
+    def _make_pool(self) -> Executor:
+        return ProcessPoolExecutor(max_workers=self.workers)
+
+    def _new_token(self):
+        return None  # tokens cannot cross the process boundary

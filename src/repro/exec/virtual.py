@@ -1,0 +1,41 @@
+"""The virtual-time backend: the DES as a sequential-equivalence oracle.
+
+This is the default backend and the reference semantics.  It adds *zero*
+overhead over the pre-backend runtime: :meth:`submit_segment` is exactly
+the old ``scheduler.after(...)`` call and returns the raw
+:class:`~repro.sim.events.Event`, so the kernel-throughput bench
+(``repro.bench.kernel``) measures the same hot path as before the
+runtime/substrate split.
+
+Every real backend is gated against this one: same committed outputs,
+same trace, same makespan, on every chaos schedule
+(``repro.bench.parallel``).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.exec.api import ExecutorBackend, ExecutorCapabilities, Work
+
+
+class VirtualTimeBackend(ExecutorBackend):
+    """Single-threaded discrete-event execution (the paper's simulator)."""
+
+    capabilities = ExecutorCapabilities(
+        name="virtual",
+        real_time=False,
+        parallel=False,
+        # nothing ever blocks for real, so cancellation is always immediate
+        cancel_blocked_work=True,
+        requires_picklable=False,
+    )
+
+    def submit_segment(self, delay: float, resume: Callable[[], None], *,
+                       label: str = "", work: Optional[Work] = None):
+        # ``work`` payloads are effect-free real labor; in virtual time the
+        # modelled ``delay`` already stands for them, so they are skipped.
+        return self.scheduler.after(delay, resume, label=label)
+
+    def counters(self) -> dict:
+        return {"exec.workers": 0}

@@ -11,13 +11,15 @@ the common protocol they all now satisfy:
 * ``spans``           — observability spans (empty unless traced).
 
 Renamed attributes keep working through :func:`deprecated_alias`
-properties that warn once per alias and forward to the new name.
+properties that forward to the new name and raise a
+:class:`DeprecationWarning` on *every* access, naming the release in
+which the alias will be removed.
 """
 
 from __future__ import annotations
 
 import warnings
-from typing import Any, List, Protocol, Set, Tuple, runtime_checkable
+from typing import Any, List, Protocol, runtime_checkable
 
 from repro.sim.stats import Stats
 
@@ -34,24 +36,23 @@ class RunResult(Protocol):
     spans: List[Span]
 
 
-_warned_aliases: Set[Tuple[str, str]] = set()
+def deprecated_alias(owner: str, old: str, new: str, *,
+                     removal: str) -> property:
+    """A read-only property forwarding ``old`` to ``new``.
 
-
-def deprecated_alias(owner: str, old: str, new: str) -> property:
-    """A read-only property forwarding ``old`` to ``new``, warning once.
-
-    ``owner`` scopes the warn-once bookkeeping so e.g. two result classes
-    that both rename ``makespan`` each get their own single warning.
+    Every access warns (no warn-once suppression: callers migrating code
+    should see each remaining use) and the message states the release in
+    which the alias disappears, so the deprecation is actionable rather
+    than a permanent compatibility shim.
     """
 
     def getter(self: Any) -> Any:
-        key = (owner, old)
-        if key not in _warned_aliases:
-            _warned_aliases.add(key)
-            warnings.warn(
-                f"{owner}.{old} is deprecated; use {owner}.{new}",
-                DeprecationWarning, stacklevel=2)
+        warnings.warn(
+            f"{owner}.{old} is deprecated and will be removed in "
+            f"repro {removal}; use {owner}.{new}",
+            DeprecationWarning, stacklevel=2)
         return getattr(self, new)
 
-    getter.__doc__ = f"Deprecated alias for ``{new}``."
+    getter.__doc__ = (f"Deprecated alias for ``{new}`` "
+                      f"(removed in repro {removal}).")
     return property(getter)

@@ -36,11 +36,31 @@ Two scheduling surfaces exist:
 
 from __future__ import annotations
 
+import os
 from bisect import insort
 from heapq import heappop, heappush
+from threading import get_ident
 from typing import Callable, List, Optional, Tuple
 
 from repro.errors import SimulationError
+
+#: When true, queues and wheels record the thread that created them and
+#: raise :class:`~repro.errors.SimulationError` if another thread touches
+#: a scheduling surface.  The real executor backends
+#: (:mod:`repro.exec.pool`) run *work payloads* on pool threads but keep
+#: every scheduler interaction on the thread driving the event loop; this
+#: flag turns that invariant into a hard check.  Enable via the
+#: ``REPRO_DEBUG_OWNERSHIP`` environment variable or
+#: :func:`set_ownership_debug`; off by default so the hot path pays only a
+#: ``None`` test.
+DEBUG_OWNERSHIP = os.environ.get("REPRO_DEBUG_OWNERSHIP", "") not in ("", "0")
+
+
+def set_ownership_debug(enabled: bool) -> None:
+    """Toggle owner-thread assertions for queues/wheels created *after* this
+    call (existing instances keep the ownership mode they were built with)."""
+    global DEBUG_OWNERSHIP
+    DEBUG_OWNERSHIP = bool(enabled)
 
 #: Default priority for ordinary events.
 PRIORITY_NORMAL = 0
@@ -121,7 +141,8 @@ class EventQueue:
 
     __slots__ = ("_width", "_inv_width", "_buckets", "_keys", "_cur",
                  "_cur_key", "_idx", "_seq", "_live", "_cancelled",
-                 "cancelled_peak", "compactions", "cancelled_reclaimed")
+                 "cancelled_peak", "compactions", "cancelled_reclaimed",
+                 "_owner")
 
     def __init__(self, width: float = 1.0) -> None:
         if width <= 0:
@@ -143,6 +164,15 @@ class EventQueue:
         self.compactions = 0
         #: cancelled entries reclaimed by compaction (vs. popped dead)
         self.cancelled_reclaimed = 0
+        #: thread allowed to touch the queue (None = unchecked)
+        self._owner: Optional[int] = get_ident() if DEBUG_OWNERSHIP else None
+
+    def _check_owner(self) -> None:
+        raise SimulationError(
+            "EventQueue touched from a foreign thread: scheduler surfaces "
+            "are owned by the backend's event-loop thread "
+            f"(owner={self._owner}, caller={get_ident()}); real work must "
+            "go through ExecutorBackend.submit_segment work payloads")
 
     def __len__(self) -> int:
         return self._live
@@ -179,6 +209,8 @@ class EventQueue:
         label: str = "",
     ) -> Event:
         """Schedule ``action`` at virtual time ``time`` and return the event."""
+        if self._owner is not None and get_ident() != self._owner:
+            self._check_owner()
         if time < 0:
             raise SimulationError(f"cannot schedule event at negative time {time!r}")
         time = float(time)
@@ -201,6 +233,8 @@ class EventQueue:
         Use for events that are never cancelled (message deliveries); this
         skips the handle allocation entirely.
         """
+        if self._owner is not None and get_ident() != self._owner:
+            self._check_owner()
         if time < 0:
             raise SimulationError(f"cannot schedule event at negative time {time!r}")
         self._seq += 1
@@ -211,6 +245,8 @@ class EventQueue:
 
     def pop_entry(self) -> Optional[Entry]:
         """Remove and return the earliest live entry, or ``None`` if empty."""
+        if self._owner is not None and get_ident() != self._owner:
+            self._check_owner()
         while True:
             cur = self._cur
             if cur is not None:

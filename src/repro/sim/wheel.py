@@ -26,7 +26,11 @@ deadlines; anything needing exact firing times keeps using
 from __future__ import annotations
 
 from math import ceil
+from threading import get_ident
 from typing import Callable, Dict, List, Optional
+
+from repro.errors import SimulationError
+from repro.sim import events as _events
 
 
 class WheelTimer:
@@ -71,7 +75,7 @@ class TimerWheel:
 
     __slots__ = ("scheduler", "granularity", "_inv", "_slots",
                  "timers_armed", "timers_fired", "timers_cancelled",
-                 "ticks", "ticks_cancelled")
+                 "ticks", "ticks_cancelled", "_owner")
 
     def __init__(self, scheduler, granularity: float) -> None:
         if granularity <= 0:
@@ -86,9 +90,18 @@ class TimerWheel:
         self.timers_cancelled = 0
         self.ticks = 0
         self.ticks_cancelled = 0
+        #: thread allowed to arm timers (None = unchecked); see
+        #: :data:`repro.sim.events.DEBUG_OWNERSHIP`
+        self._owner: Optional[int] = (
+            get_ident() if _events.DEBUG_OWNERSHIP else None)
 
     def after(self, delay: float, action: Callable[[], None]) -> WheelTimer:
         """Arm ``action`` to fire at the first slot boundary >= now+delay."""
+        if self._owner is not None and get_ident() != self._owner:
+            raise SimulationError(
+                "TimerWheel armed from a foreign thread: scheduler surfaces "
+                "are owned by the backend's event-loop thread "
+                f"(owner={self._owner}, caller={get_ident()})")
         if delay < 0:
             delay = 0.0
         deadline = self.scheduler.now + delay

@@ -127,12 +127,15 @@ def build_random_client(spec: RandomProgramSpec) -> Tuple[Program,
 
 def build_random_system(spec: RandomProgramSpec, optimistic: bool,
                         config: Optional[OptimisticConfig] = None,
-                        faults=None):
+                        faults=None, backend=None):
     """Assemble the full system (client, servers, display sink).
 
     ``faults`` (a :class:`~repro.sim.faults.FaultPlan`) applies only to the
     optimistic assembly — the sequential reference always runs fault-free,
     which is exactly the equivalence the chaos harness asserts.
+    ``backend`` (an :class:`~repro.exec.api.ExecutorBackend`) likewise only
+    applies to the optimistic assembly; the parallel bench uses it to run
+    the same seeded schedule on virtual time and on a real thread pool.
     """
     program, plan = build_random_client(spec)
 
@@ -147,7 +150,7 @@ def build_random_system(spec: RandomProgramSpec, optimistic: bool,
 
     if optimistic:
         system = OptimisticSystem(FixedLatency(spec.latency), config=config,
-                                  faults=faults)
+                                  faults=faults, backend=backend)
         system.add_program(program, plan)
     else:
         system = SequentialSystem(FixedLatency(spec.latency))

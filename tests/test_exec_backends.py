@@ -1,0 +1,317 @@
+"""Executor backends: protocol contract, gating, cancellation, parity.
+
+The load-bearing claims under test:
+
+* placeholder gating — real backends resume segments in *virtual-time*
+  order no matter how real work durations interleave;
+* backend-mediated cancellation — aborting a speculative segment whose
+  payload is blocked in a real sleep wakes the worker early and its
+  effects never reach a journal or a sink;
+* cross-backend equivalence — the same system commits byte-equal output
+  on the virtual oracle, the thread pool, and the process pool;
+* ownership assertions — with ``REPRO_DEBUG_OWNERSHIP`` on, touching a
+  queue or wheel from a foreign thread raises immediately.
+"""
+
+import threading
+import time
+from functools import partial
+
+import pytest
+
+from repro.core.streaming import make_call_chain, stream_plan
+from repro.core.system import OptimisticSystem
+from repro.csp.dsl import program as dsl_program
+from repro.csp.process import server_program
+from repro.csp.sequential import SequentialSystem
+from repro.errors import SimulationError
+from repro.exec import (
+    CancelledWork,
+    ProcessPoolBackend,
+    ThreadPoolBackend,
+    VirtualTimeBackend,
+    WorkContext,
+)
+from repro.exec.pool import _timed_work
+from repro.sim import events as sim_events
+from repro.sim.events import EventQueue
+from repro.sim.network import FixedLatency
+from repro.sim.scheduler import Scheduler
+
+
+# -------------------------------------------------------------- capabilities
+
+def test_capability_flags():
+    assert VirtualTimeBackend.capabilities.name == "virtual"
+    assert not VirtualTimeBackend.capabilities.real_time
+    assert not VirtualTimeBackend.capabilities.parallel
+    assert VirtualTimeBackend.capabilities.cancel_blocked_work
+
+    assert ThreadPoolBackend.capabilities.name == "thread"
+    assert ThreadPoolBackend.capabilities.parallel
+    assert ThreadPoolBackend.capabilities.cancel_blocked_work
+    assert not ThreadPoolBackend.capabilities.requires_picklable
+
+    assert ProcessPoolBackend.capabilities.name == "process"
+    assert ProcessPoolBackend.capabilities.parallel
+    assert not ProcessPoolBackend.capabilities.cancel_blocked_work
+    assert ProcessPoolBackend.capabilities.requires_picklable
+
+
+def test_backends_are_single_use():
+    backend = VirtualTimeBackend()
+    backend.bind(max_steps=100)
+    with pytest.raises(SimulationError):
+        backend.bind(max_steps=100)
+
+
+def test_pool_backend_rejects_zero_workers():
+    with pytest.raises(ValueError):
+        ThreadPoolBackend(0)
+
+
+# -------------------------------------------------------------- work context
+
+def test_work_context_check_and_cancelled():
+    token = threading.Event()
+    ctx = WorkContext(token)
+    assert not ctx.cancelled
+    ctx.check()
+    token.set()
+    assert ctx.cancelled
+    with pytest.raises(CancelledWork):
+        ctx.check()
+
+
+def test_work_context_sleep_wakes_early_on_cancel():
+    token = threading.Event()
+    ctx = WorkContext(token)
+    timer = threading.Timer(0.05, token.set)
+    timer.start()
+    start = time.perf_counter()
+    with pytest.raises(CancelledWork):
+        ctx.sleep(5.0)
+    assert time.perf_counter() - start < 2.0
+    timer.cancel()
+
+
+# ----------------------------------------------------------- virtual backend
+
+def test_virtual_backend_submit_is_a_plain_event():
+    backend = VirtualTimeBackend()
+    backend.bind(max_steps=100)
+    fired = []
+    handle = backend.submit_segment(2.0, lambda: fired.append(backend.now),
+                                    label="seg")
+    assert hasattr(handle, "cancel")
+    backend.run()
+    backend.drain()
+    assert fired == [2.0]
+    assert backend.pending() == 0
+    assert backend.counters()["exec.workers"] == 0
+
+
+# ------------------------------------------------------------- thread gating
+
+def test_thread_backend_resumes_in_virtual_time_order():
+    """The task with the *later* virtual deadline finishes its real work
+    first — the gate must still resume in virtual order."""
+    backend = ThreadPoolBackend(2)
+    backend.bind(max_steps=1000)
+    order = []
+    backend.submit_segment(1.0, lambda: order.append("slow-real"),
+                           label="a", work=partial(_timed_work, 0.15))
+    backend.submit_segment(2.0, lambda: order.append("fast-real"),
+                           label="b", work=partial(_timed_work, 0.01))
+    backend.run()
+    backend.drain()
+    assert order == ["slow-real", "fast-real"]
+    counters = backend.counters()
+    assert counters["exec.tasks_submitted"] == 2
+    assert counters["exec.tasks_completed"] == 2
+    assert backend.pending() == 0
+
+
+def test_thread_backend_overlaps_real_work():
+    backend = ThreadPoolBackend(4)
+    backend.bind(max_steps=1000)
+    for i in range(4):
+        backend.submit_segment(1.0, lambda: None, label=f"w{i}",
+                               work=partial(_timed_work, 0.1))
+    start = time.perf_counter()
+    backend.run()
+    backend.drain()
+    wall = time.perf_counter() - start
+    assert wall < 0.35, f"4 x 0.1s tasks took {wall:.3f}s — no overlap"
+
+
+# -------------------------------------------------- cancellation (satellite)
+
+def test_cancel_wakes_worker_blocked_in_real_sleep():
+    """Backend-mediated abort: a task blocked in a 30s real sleep is
+    cancelled at virtual time 1.0; the worker wakes immediately, the
+    resume callback (the journal's entry point) never runs."""
+    backend = ThreadPoolBackend(1)
+    backend.bind(max_steps=1000)
+    resumed = []
+    handle = backend.submit_segment(5.0, lambda: resumed.append(True),
+                                    label="doomed",
+                                    work=partial(_timed_work, 30.0))
+    backend.after(1.0, lambda: backend.cancel(handle))
+    start = time.perf_counter()
+    backend.run()
+    backend.drain()
+    wall = time.perf_counter() - start
+    assert wall < 5.0, f"cancel did not interrupt the sleep ({wall:.1f}s)"
+    assert resumed == []
+    assert handle.cancelled
+    assert backend.pending() == 0
+    assert backend.counters()["exec.tasks_cancelled"] == 1
+
+
+def test_cancel_is_idempotent_and_counts_once():
+    backend = ThreadPoolBackend(1)
+    backend.bind(max_steps=1000)
+    handle = backend.submit_segment(1.0, lambda: None, label="x",
+                                    work=partial(_timed_work, 0.01))
+    backend.cancel(handle)
+    backend.cancel(handle)
+    backend.run()
+    backend.drain()
+    assert backend.counters()["exec.tasks_cancelled"] == 1
+    assert backend.pending() == 0
+
+
+def _wrong_guess_emit_system(backend=None, realize=False):
+    """A client whose streamed guess (True) is always wrong — every fork
+    aborts — emitting each reply to an external sink."""
+    built = (
+        dsl_program("client")
+        .call("S", "op", ("a",), export="r0", guess=True, name="c0")
+        .call("S", "op", ("b",), export="r1", guess=True, name="c1")
+        .emit("display", from_state="r1")
+        .build()
+    )
+    if backend is None and not realize:
+        system = SequentialSystem(FixedLatency(1.0))
+        system.add_program(built.program)
+    else:
+        system = OptimisticSystem(FixedLatency(1.0), backend=backend)
+        system.add_program(built.program, built.plan)
+    system.add_program(server_program("S", lambda st, req: f"ok-{req.args[0]}",
+                                      service_time=1.0))
+    system.add_sink("display")
+    return system
+
+
+@pytest.mark.parametrize("make_backend", [
+    lambda: VirtualTimeBackend(),
+    lambda: ThreadPoolBackend(2, realize_scale=0.01),
+], ids=["virtual", "thread"])
+def test_aborted_speculation_never_reaches_the_sink(make_backend):
+    seq = _wrong_guess_emit_system().run()
+    opt_system = _wrong_guess_emit_system(backend=make_backend(),
+                                          realize=True)
+    opt = opt_system.run()
+    assert opt.stats.get("opt.aborts") > 0  # the guesses really were wrong
+    assert opt.sink_output("display") == seq.sink_output("display")
+    assert opt.sink_output("display") == ["ok-b"]  # never the guessed True
+    assert not opt.unresolved
+    assert opt_system.backend.pending() == 0
+
+
+def test_seeded_chaos_schedule_cancels_real_work_without_leaks():
+    """Seed 4 of the chaos sweep aborts mid-flight work on the thread
+    backend (exec.tasks_cancelled > 0 in BENCH_parallel.json); the
+    committed output must still match the virtual oracle."""
+    from repro.bench.parallel import parity_ok, run_parity_schedule
+
+    row = run_parity_schedule(4)
+    assert parity_ok(row), row
+    assert row["tasks_cancelled"] > 0
+
+
+# ------------------------------------------------------------- process pool
+
+def test_process_backend_runs_and_matches_virtual():
+    calls = [("S", "op", (i,)) for i in range(3)]
+
+    def build(backend):
+        client = make_call_chain("client", calls)
+        system = OptimisticSystem(FixedLatency(1.0), backend=backend)
+        system.add_program(client, stream_plan(client))
+        system.add_program(server_program("S", lambda st, req: True,
+                                          service_time=1.0))
+        return system
+
+    virtual = build(VirtualTimeBackend()).run()
+    proc_system = build(ProcessPoolBackend(2, realize_scale=0.005))
+    proc = proc_system.run()
+    assert proc.makespan == virtual.makespan
+    assert proc.stats.get("exec.tasks_submitted") > 0
+    assert proc_system.backend.pending() == 0
+
+
+def test_process_backend_discards_cancelled_unstarted_work():
+    backend = ProcessPoolBackend(1)
+    backend.bind(max_steps=1000)
+    resumed = []
+    # saturate the single worker, then cancel a queued task before it starts
+    backend.submit_segment(1.0, lambda: resumed.append("first"),
+                           label="busy", work=partial(_timed_work, 0.2))
+    handle = backend.submit_segment(5.0, lambda: resumed.append("doomed"),
+                                    label="queued",
+                                    work=partial(_timed_work, 0.2))
+    backend.after(0.5, lambda: backend.cancel(handle))
+    backend.run()
+    backend.drain()
+    assert resumed == ["first"]
+    assert backend.pending() == 0
+
+
+# -------------------------------------------------------- ownership asserts
+
+def test_ownership_assertion_fires_across_threads():
+    sim_events.set_ownership_debug(True)
+    try:
+        queue = EventQueue()
+        scheduler = Scheduler(max_steps=100)
+        wheel = scheduler.wheel(1.0)
+        errors = []
+
+        def foreign():
+            for fn in (
+                lambda: queue.push(1.0, lambda: None),
+                lambda: queue.schedule(1.0, lambda: None),
+                lambda: queue.pop_entry(),
+                lambda: wheel.after(1.0, lambda: None),
+            ):
+                try:
+                    fn()
+                except SimulationError as exc:
+                    errors.append(str(exc))
+
+        thread = threading.Thread(target=foreign)
+        thread.start()
+        thread.join()
+        assert len(errors) == 4
+        assert all("foreign thread" in msg for msg in errors)
+        # the owning thread is unaffected
+        queue.push(1.0, lambda: None)
+        assert queue.pop_entry() is not None
+    finally:
+        sim_events.set_ownership_debug(False)
+
+
+def test_ownership_unchecked_by_default():
+    queue = EventQueue()
+    done = []
+
+    def foreign():
+        queue.push(1.0, lambda: None)
+        done.append(True)
+
+    thread = threading.Thread(target=foreign)
+    thread.start()
+    thread.join()
+    assert done == [True]

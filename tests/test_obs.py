@@ -213,16 +213,19 @@ def test_validate_spans_flags_malformed():
 
 # ------------------------------------------------------------ deprecation
 
-def test_deprecated_alias_warns_once_per_owner():
+def test_deprecated_alias_warns_every_access_with_removal_date():
     class Legacy:
         completion_time = 7.0
 
     Legacy.makespan = deprecated_alias("LegacyTestOnly", "makespan",
-                                       "completion_time")
+                                       "completion_time", removal="0.3.0")
     obj = Legacy()
     with warnings.catch_warnings(record=True) as caught:
         warnings.simplefilter("always")
         assert obj.makespan == 7.0
         assert obj.makespan == 7.0
-    assert len(caught) == 1
-    assert issubclass(caught[0].category, DeprecationWarning)
+    assert len(caught) == 2
+    for warning in caught:
+        assert issubclass(warning.category, DeprecationWarning)
+        assert "will be removed in repro 0.3.0" in str(warning.message)
+        assert "LegacyTestOnly.completion_time" in str(warning.message)

@@ -25,7 +25,7 @@ def test_single_call_wait_costs_round_trip():
 
     res = build(client).run()
     assert res.state["v"] == ("r", 1)
-    assert res.makespan == 2 * LAT
+    assert res.completion_time == 2 * LAT
     assert res.waits == 1
 
 
@@ -40,7 +40,7 @@ def test_data_dependent_chain_pipelines_in_one_extra_hop():
     res = build(client).run()
     assert res.state["v"] == ("r", ("r", 1))  # promise arg was substituted
     # far cheaper than two sequential round trips (4*LAT)
-    assert res.makespan < 4 * LAT
+    assert res.completion_time < 4 * LAT
     assert res.waits == 1
 
 
@@ -56,7 +56,7 @@ def test_control_dependency_forces_full_wait():
 
     res = build(client).run()
     assert res.waits == 2
-    assert res.makespan == 4 * LAT  # two full round trips, like blocking
+    assert res.completion_time == 4 * LAT  # two full round trips, like blocking
 
 
 def test_resolved_promise_wait_is_free():
@@ -67,7 +67,7 @@ def test_resolved_promise_wait_is_free():
 
     res = build(client).run()
     assert res.waits == 1  # the second wait found it resolved
-    assert res.makespan == 2 * LAT
+    assert res.completion_time == 2 * LAT
 
 
 def test_unwaited_promises_settle_after_client_finishes():
@@ -76,6 +76,6 @@ def test_unwaited_promises_settle_after_client_finishes():
         yield PCall("srv", "op", (2,))
 
     res = build(client).run()
-    assert res.makespan == 0.0       # fire-and-forget
+    assert res.completion_time == 0.0       # fire-and-forget
     assert res.settled_time >= 2 * LAT
     assert res.stats.get("pp.resolutions") == 2

@@ -16,6 +16,42 @@ def test_all_exports_resolve():
         assert hasattr(repro, name), name
 
 
+#: The documented public surface (docs/USAGE.md, docs/BACKENDS.md).  This
+#: is asserted *exactly*: adding an export without documenting it — or
+#: documenting one without exporting it — fails the suite.
+DOCUMENTED_SURFACE = {
+    # systems + configuration
+    "OptimisticSystem", "OptimisticResult", "OptimisticConfig",
+    "CheckpointPolicy", "DeliveryHeuristic", "ControlPlane",
+    "SequentialSystem",
+    # executor backends
+    "ExecutorBackend", "ExecutorCapabilities", "VirtualTimeBackend",
+    "ThreadPoolBackend", "ProcessPoolBackend",
+    # programs + plans
+    "Program", "Segment", "server_program", "make_call_chain",
+    "stream_plan", "ParallelizationPlan", "ForkSpec",
+    # effects
+    "Call", "Send", "Receive", "Reply", "Compute", "Emit", "GetTime",
+    # latency models
+    "FixedLatency", "PerLinkLatency", "JitteredLatency", "SkewedLatency",
+    # equivalence + rendering
+    "assert_equivalent", "traces_equivalent", "render_timeline",
+    # observability
+    "Tracer", "NullTracer", "RecordingTracer", "Span", "as_spans",
+    "MetricsRegistry", "RunResult", "chrome_trace_json", "spans_to_jsonl",
+    "write_chrome_trace", "write_jsonl_trace", "prometheus_text",
+    "speculation_report", "summarize", "ProvenanceGraph",
+    "build_provenance", "WastedWork", "wasted_work", "CriticalPath",
+    "critical_path",
+    # metadata
+    "__version__",
+}
+
+
+def test_exported_surface_is_exactly_the_documented_one():
+    assert set(repro.__all__) == DOCUMENTED_SURFACE
+
+
 SUBPACKAGES = [
     "repro.sim", "repro.csp", "repro.core", "repro.trace",
     "repro.baselines", "repro.workloads", "repro.bench",
@@ -28,6 +64,8 @@ SUBPACKAGES = [
     "repro.obs", "repro.obs.spans", "repro.obs.tracer",
     "repro.obs.metrics", "repro.obs.export", "repro.obs.validate",
     "repro.obs.api", "repro.obs.smoke",
+    "repro.exec", "repro.exec.api", "repro.exec.virtual",
+    "repro.exec.pool",
 ]
 
 
@@ -40,7 +78,7 @@ def test_subpackage_imports(module):
 def test_subpackage_alls_resolve():
     for module in ("repro.sim", "repro.csp", "repro.core", "repro.trace",
                    "repro.baselines", "repro.workloads", "repro.bench",
-                   "repro.obs"):
+                   "repro.obs", "repro.exec"):
         mod = importlib.import_module(module)
         for name in getattr(mod, "__all__", []):
             assert hasattr(mod, name), f"{module}.{name}"
@@ -62,6 +100,26 @@ def test_minimal_happy_path_through_top_level_api_only():
     repro.assert_equivalent(r2.trace, r1.trace)
     assert repro.traces_equivalent(r2.trace, r1.trace)
     assert "time" in repro.render_timeline(r2.trace, r2.protocol_log)
+
+
+def test_backend_parameterized_happy_path_through_top_level_api():
+    def build(backend):
+        calls = [("s", "op", (1,))]
+        client = repro.make_call_chain("c", calls)
+        opt = repro.OptimisticSystem(repro.FixedLatency(2.0),
+                                     backend=backend)
+        opt.add_program(client, repro.stream_plan(client))
+        opt.add_program(repro.server_program("s", lambda st, r: "ok"))
+        return opt
+
+    virtual = build(repro.VirtualTimeBackend()).run()
+    threaded = build(repro.ThreadPoolBackend(2)).run()
+    assert repro.traces_equivalent(threaded.trace, virtual.trace)
+    assert threaded.completion_time == virtual.completion_time
+
+    assert repro.VirtualTimeBackend.capabilities.name == "virtual"
+    assert repro.ThreadPoolBackend.capabilities.parallel
+    assert repro.ProcessPoolBackend.capabilities.requires_picklable
 
 
 def test_public_docstrings_on_core_classes():
