@@ -17,7 +17,9 @@ re-exported here is the stable surface a downstream user needs:
 * observe a run (:class:`RecordingTracer`, :class:`Span`,
   :class:`MetricsRegistry`, the trace exporters and
   :func:`speculation_report`) — the same span schema across every
-  execution mode.
+  execution mode — including its *dual-clock* extensions: wall-clock
+  pool telemetry (:func:`pool_report`) and access-set conflict heatmaps
+  (:class:`AccessTracker`, :func:`conflicts`).
 """
 
 from repro.core import (
@@ -29,9 +31,12 @@ from repro.core import (
 )
 from repro.core.analysis import speculation_report, summarize
 from repro.obs import (
+    AccessTracker,
+    ConflictMatrix,
     CriticalPath,
     MetricsRegistry,
     NullTracer,
+    PoolReport,
     ProvenanceGraph,
     RecordingTracer,
     RunResult,
@@ -41,7 +46,9 @@ from repro.obs import (
     as_spans,
     build_provenance,
     chrome_trace_json,
+    conflicts,
     critical_path,
+    pool_report,
     prometheus_text,
     spans_to_jsonl,
     wasted_work,
@@ -139,5 +146,10 @@ __all__ = [
     "wasted_work",
     "CriticalPath",
     "critical_path",
+    "PoolReport",
+    "pool_report",
+    "AccessTracker",
+    "ConflictMatrix",
+    "conflicts",
     "__version__",
 ]

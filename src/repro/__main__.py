@@ -5,8 +5,12 @@ Commands
 ``figures``            regenerate all seven paper figures as ASCII diagrams
 ``scenario <id>``      run one scenario (fig2..fig7) and print its diagram
 ``profile <id>``       run one scenario traced; report + optional trace file
+                       (``--wall`` re-runs it on a thread pool and prints
+                       the dual-clock pool telemetry)
 ``explain <id>``       speculation forensics: provenance, abort attribution,
                        wasted work and the virtual-time critical path
+                       (``--conflicts`` records access sets instead and
+                       renders the WW/WR/RW conflict heatmap)
 ``sweep``              print the C1-style latency sweep table
 ``chaos``              randomized fault schedules against the hardened
                        runtime (``--smoke``, ``--seed N``, ``--check-only``)
@@ -63,6 +67,48 @@ SCENARIOS = {
 }
 
 
+def _build_duplex_abort_heavy(tracer=None, backend=None, access=None):
+    from repro.workloads.random_duplex import DuplexSpec, build_duplex_system
+
+    spec = DuplexSpec(n_steps=6, n_signals=2, n_servers=2, seed=11,
+                      wrong_guess_bias=2)
+    system = build_duplex_system(spec, optimistic=True, tracer=tracer,
+                                 backend=backend, access=access)
+    return system.run(), ["A", "B"] + spec.server_names()
+
+
+def _build_pipeline_fault(tracer=None, backend=None, access=None):
+    from repro.workloads.pipelines import PipelineSpec, run_pipeline_optimistic
+
+    spec = PipelineSpec(n_requests=4, depth=3, fail_request=1, relay=True)
+    _system, result = run_pipeline_optimistic(spec, tracer=tracer,
+                                              backend=backend, access=access)
+    return result, ["client"] + spec.tier_names()
+
+
+#: Scenarios whose builders thread an executor ``backend`` and an access
+#: tracker through to the system — the ones ``profile --wall`` and
+#: ``explain --conflicts`` accept.  The fig2..fig7 reproductions pin the
+#: paper's virtual timelines and stay virtual-only.
+DUAL_CLOCK_SCENARIOS = {
+    "duplex_abort_heavy": (
+        "Duplex abort-heavy — both sides speculative, 50% wrong guesses",
+        _build_duplex_abort_heavy),
+    "pipeline_fault": (
+        "Relay pipeline, depth 3 — request 1 fails at tier 0",
+        _build_pipeline_fault),
+}
+
+
+def _resolve(sid: str):
+    """``(title, build)`` for any profile/explain scenario id, or None."""
+    return SCENARIOS.get(sid) or DUAL_CLOCK_SCENARIOS.get(sid)
+
+
+def _all_ids() -> str:
+    return ", ".join(list(SCENARIOS) + list(DUAL_CLOCK_SCENARIOS))
+
+
 def _show(sid: str) -> None:
     title, build = SCENARIOS[sid]
     result, processes = build()
@@ -89,21 +135,38 @@ def cmd_scenario(args: argparse.Namespace) -> int:
 
 
 def cmd_profile(args: argparse.Namespace) -> int:
-    if args.id not in SCENARIOS:
-        print(f"unknown scenario {args.id!r}; try: {', '.join(SCENARIOS)}",
+    entry = _resolve(args.id)
+    if entry is None:
+        print(f"unknown scenario {args.id!r}; try: {_all_ids()}",
               file=sys.stderr)
         return 2
     from repro.core.analysis import speculation_report
     from repro.obs.export import write_chrome_trace, write_jsonl_trace
     from repro.obs.tracer import RecordingTracer
 
-    title, build = SCENARIOS[args.id]
+    title, build = entry
     tracer = RecordingTracer()
-    result, _processes = build(tracer=tracer)
+    if args.wall:
+        if args.id not in DUAL_CLOCK_SCENARIOS:
+            print(f"--wall needs a pool-capable scenario; try: "
+                  f"{', '.join(DUAL_CLOCK_SCENARIOS)}", file=sys.stderr)
+            return 2
+        from repro.exec.pool import ThreadPoolBackend
+        from repro.obs.realtime import pool_report
+
+        backend = ThreadPoolBackend(workers=args.workers,
+                                    realize_scale=0.01)
+        result, _processes = build(tracer=tracer, backend=backend)
+    else:
+        backend = None
+        result, _processes = build(tracer=tracer)
     spans = result.spans
     print(speculation_report(result, title=f"{title}:"))
     print(f"  completion time: {result.completion_time}")
     print(f"  spans recorded:  {len(spans)}")
+    if backend is not None:
+        print()
+        print(pool_report(spans, backend.wall_records).render())
     if args.format == "prometheus":
         from repro.obs.export import prometheus_text
         text = prometheus_text(result)
@@ -123,15 +186,18 @@ def cmd_profile(args: argparse.Namespace) -> int:
 
 
 def cmd_explain(args: argparse.Namespace) -> int:
-    if args.id not in SCENARIOS:
-        print(f"unknown scenario {args.id!r}; try: {', '.join(SCENARIOS)}",
+    entry = _resolve(args.id)
+    if entry is None:
+        print(f"unknown scenario {args.id!r}; try: {_all_ids()}",
               file=sys.stderr)
         return 2
+    if args.conflicts:
+        return _explain_conflicts(args, entry)
     from repro.obs.critical_path import critical_path
     from repro.obs.forensics import build_provenance
     from repro.obs.tracer import RecordingTracer
 
-    title, build = SCENARIOS[args.id]
+    title, build = entry
     tracer = RecordingTracer()
     result, _processes = build(tracer=tracer)
     graph = build_provenance(result)
@@ -161,6 +227,37 @@ def cmd_explain(args: argparse.Namespace) -> int:
             json.dump(artifact, fh, indent=2, sort_keys=True)
             fh.write("\n")
         print(f"\njson artifact written: {args.json}")
+    return 0
+
+
+def _explain_conflicts(args: argparse.Namespace, entry) -> int:
+    """``explain --conflicts``: access-set recording + WW/WR/RW heatmap."""
+    if args.id not in DUAL_CLOCK_SCENARIOS:
+        print(f"--conflicts needs an access-capable scenario; try: "
+              f"{', '.join(DUAL_CLOCK_SCENARIOS)}", file=sys.stderr)
+        return 2
+    import json
+
+    from repro.obs.access import AccessTracker, conflicts
+
+    title, build = entry
+    tracker = AccessTracker()
+    build(access=tracker)
+    matrix = conflicts(tracker.records)
+    print(f"{title}: access-set conflict heatmap")
+    print()
+    print(matrix.render())
+    out = args.json or f"conflicts_{args.id}.json"
+    artifact = {
+        "scenario": args.id,
+        "title": title,
+        "access": tracker.to_dict(),
+        "conflicts": matrix.to_dict(),
+    }
+    with open(out, "w") as fh:
+        json.dump(artifact, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"\nconflict artifact written: {out}")
     return 0
 
 
@@ -244,6 +341,9 @@ def cmd_list(args: argparse.Namespace) -> int:
     print("scenarios (python -m repro scenario <id>):")
     for sid, (title, _) in SCENARIOS.items():
         print(f"  {sid:6s} {title}")
+    print("\ndual-clock scenarios (profile --wall / explain --conflicts):")
+    for sid, (title, _) in DUAL_CLOCK_SCENARIOS.items():
+        print(f"  {sid:18s} {title}")
     print("\nexperiments: pytest benchmarks/ --benchmark-only "
           "(tables land in benchmarks/results/)")
     return 0
@@ -262,22 +362,34 @@ def main(argv=None) -> int:
     p_scn.set_defaults(fn=cmd_scenario)
     p_prof = sub.add_parser(
         "profile", help="run one scenario with tracing and report on it")
-    p_prof.add_argument("id", help="fig2..fig7")
+    p_prof.add_argument("id", help="fig2..fig7, duplex_abort_heavy, "
+                                   "pipeline_fault")
     p_prof.add_argument("--trace-out", default=None, metavar="FILE",
                         help="also export the span trace to FILE")
     p_prof.add_argument("--format", choices=("chrome", "jsonl", "prometheus"),
                         default="chrome",
                         help="trace file format, or 'prometheus' to dump "
                              "the run's metrics instead (default: chrome)")
+    p_prof.add_argument("--wall", action="store_true",
+                        help="run on a thread pool and print the dual-clock "
+                             "pool telemetry (pool-capable scenarios only)")
+    p_prof.add_argument("--workers", type=int, default=4, metavar="N",
+                        help="thread-pool size for --wall (default: 4)")
     p_prof.set_defaults(fn=cmd_profile)
     p_exp = sub.add_parser(
         "explain", help="speculation forensics for one scenario")
-    p_exp.add_argument("id", help="fig2..fig7")
+    p_exp.add_argument("id", help="fig2..fig7, duplex_abort_heavy, "
+                                  "pipeline_fault")
     p_exp.add_argument("--guess", default=None, metavar="ID",
                        help="explain one guess (e.g. X:i0.n0) instead of "
                             "the full report")
     p_exp.add_argument("--json", default=None, metavar="FILE",
                        help="also write the forensic artifact as JSON")
+    p_exp.add_argument("--conflicts", action="store_true",
+                       help="record access sets and render the WW/WR/RW "
+                            "conflict heatmap (access-capable scenarios "
+                            "only); writes conflicts_<id>.json unless "
+                            "--json names the artifact")
     p_exp.set_defaults(fn=cmd_explain)
     p_sweep = sub.add_parser("sweep", help="latency sweep table")
     p_sweep.add_argument("--calls", type=int, default=10)

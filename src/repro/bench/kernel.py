@@ -402,6 +402,64 @@ def _print_summary(report: Dict[str, Any]) -> None:
           f"-> {totals['speedup']:.2f}x")
 
 
+# ------------------------------------------------------ dual-clock off gate
+
+def zero_cost_check(n_calls: int = 8) -> Tuple[bool, List[str]]:
+    """Dual-clock capture must be completely cold when no tracer is bound.
+
+    Runs the small streaming workload on a :class:`ThreadPoolBackend`
+    twice.  Untraced, the wall-capture paths must allocate *nothing* per
+    event: no per-task record dicts, no work-closure wrapping, no span
+    annotations (``wall_records`` empty, ``wall.*`` counters zero).
+    Traced, the same backend code must capture every settled task — the
+    positive control proving the check can fail.
+    """
+    from repro.bench.parallel import streaming_system
+    from repro.obs.tracer import RecordingTracer
+
+    ok = True
+    messages: List[str] = []
+
+    system = streaming_system(streamed=True, workers=2, n_calls=n_calls,
+                              n_servers=2, realize_scale=0.001, tracer=None)
+    system.run()
+    off = system.backend.counters()
+    if system.backend.wall_records:
+        ok = False
+        messages.append(
+            f"zero-cost-off: {len(system.backend.wall_records)} wall "
+            f"records captured with no tracer bound")
+    for key in ("wall.records", "wall.annotated", "wall.labor_ms",
+                "wall.gate_block_ms"):
+        if off.get(key, 0) != 0:
+            ok = False
+            messages.append(
+                f"zero-cost-off: counter {key} = {off[key]} with no "
+                f"tracer bound")
+    if off.get("exec.tasks_submitted", 0) == 0:
+        ok = False
+        messages.append("zero-cost-off: workload submitted no pool tasks "
+                        "(check is vacuous)")
+
+    system = streaming_system(streamed=True, workers=2, n_calls=n_calls,
+                              n_servers=2, realize_scale=0.001,
+                              tracer=RecordingTracer())
+    system.run()
+    on = system.backend.counters()
+    if on.get("wall.records", 0) != on.get("exec.tasks_completed", 0):
+        ok = False
+        messages.append(
+            f"zero-cost-off control: traced run captured "
+            f"{on.get('wall.records', 0)} records for "
+            f"{on.get('exec.tasks_completed', 0)} settled tasks")
+    if ok:
+        messages.append(
+            f"zero-cost-off OK: {off['exec.tasks_submitted']} untraced pool "
+            f"tasks captured nothing; traced control recorded "
+            f"{on['wall.records']}/{on['exec.tasks_completed']}")
+    return ok, messages
+
+
 # --------------------------------------------------------------- profiling
 
 def profile_kernel(out_path: Optional[str], scale: float) -> int:
@@ -452,8 +510,10 @@ def main(argv: Optional[list] = None) -> int:
     if args.smoke:
         report = run_bench(scale=0.04, repeats=1)
         ok, messages = gate(report, pinned=None, smoke=True)
+        zc_ok, zc_messages = zero_cost_check()
+        ok = ok and zc_ok
         _print_summary(report)
-        for msg in messages:
+        for msg in messages + zc_messages:
             print(msg)
         return 0 if ok else 1
 

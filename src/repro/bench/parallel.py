@@ -88,14 +88,22 @@ DEFAULT_OUT = os.path.join(REPO_ROOT, "BENCH_parallel.json")
 
 # ------------------------------------------------------------------ speedup
 
-def _speedup_system(*, streamed: bool, workers: int, n_calls: int,
-                    n_servers: int) -> OptimisticSystem:
-    """The latency-bound call-streaming workload over a real thread pool."""
+def streaming_system(*, streamed: bool, workers: int, n_calls: int,
+                     n_servers: int, realize_scale: float = REALIZE_SCALE,
+                     tracer=None) -> OptimisticSystem:
+    """The latency-bound call-streaming workload over a real thread pool.
+
+    Also the reference workload for the dual-clock observability layer:
+    :mod:`repro.bench.speculation_health` re-runs it with a ``tracer`` to
+    pin ``speculation_efficiency``/per-worker utilization and to gate the
+    wall-clock overhead of tracing (on vs off) on the same system.
+    """
     calls = [(f"S{i % n_servers}", "op", (f"req{i}",))
              for i in range(n_calls)]
     client = make_call_chain("client", calls)
-    backend = ThreadPoolBackend(workers, realize_scale=REALIZE_SCALE)
-    system = OptimisticSystem(FixedLatency(LATENCY), backend=backend)
+    backend = ThreadPoolBackend(workers, realize_scale=realize_scale)
+    system = OptimisticSystem(FixedLatency(LATENCY), backend=backend,
+                              tracer=tracer)
     system.add_program(client, stream_plan(client) if streamed else None)
     for i in range(n_servers):
         # replies match the stream plan's default guess (True), so the
@@ -116,11 +124,11 @@ def speedup_report(*, workers: int, n_calls: int = N_CALLS,
                    n_servers: int = N_SERVERS,
                    minimum: float = SPEEDUP_MIN) -> Dict[str, Any]:
     """Wall-clock: unstreamed (serial pool use) vs streamed (overlapped)."""
-    serial_sys = _speedup_system(streamed=False, workers=workers,
-                                 n_calls=n_calls, n_servers=n_servers)
+    serial_sys = streaming_system(streamed=False, workers=workers,
+                                  n_calls=n_calls, n_servers=n_servers)
     serial, serial_wall = _timed_run(serial_sys)
-    streamed_sys = _speedup_system(streamed=True, workers=workers,
-                                   n_calls=n_calls, n_servers=n_servers)
+    streamed_sys = streaming_system(streamed=True, workers=workers,
+                                    n_calls=n_calls, n_servers=n_servers)
     streamed, streamed_wall = _timed_run(streamed_sys)
     speedup = serial_wall / streamed_wall if streamed_wall > 0 else 0.0
     counters = streamed.stats.counters

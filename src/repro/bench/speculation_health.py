@@ -1,7 +1,7 @@
 """Speculation-health bench: forensic metrics per scenario, with a gate.
 
-Unlike :mod:`repro.bench.wallclock` this bench measures nothing physical:
-every number is a pure function of the deterministic span trace, so the
+The per-scenario section measures nothing physical: every number is a
+pure function of the deterministic span trace, so that part of the
 emitted ``BENCH_obs.json`` is byte-stable across machines and runs.  Per
 bundled scenario it reports the four speculation-health quantities the
 forensics layer (:mod:`repro.obs.forensics`,
@@ -24,10 +24,22 @@ Two checks run on every scenario:
    by more than :data:`GATE_TOLERANCE` (relative, with a small absolute
    floor so a 0-abort pin does not trip on rounding).
 
+A third, *dual-clock* section runs the :mod:`repro.bench.parallel`
+streaming workload at :data:`WALL_WORKERS` workers on a real thread pool
+with tracing on, and records the wall-clock telemetry
+(:mod:`repro.obs.realtime`): ``speculation_efficiency``, per-worker
+utilization and the wait distributions — plus the tracing-overhead check
+(best-of-:data:`WALL_TRIALS` wall time, tracer on vs off, must stay
+within :data:`WALL_OVERHEAD_LIMIT`).  Those numbers are physical, so the
+``wall`` section is pinned for inspection but gated only by its own
+sanity checks, never compared against the previous pin; the per-scenario
+section stays byte-stable.
+
 Usage::
 
     PYTHONPATH=src python -m repro.bench.speculation_health
     PYTHONPATH=src python -m repro.bench.speculation_health --check-only
+    PYTHONPATH=src python -m repro.bench.speculation_health --no-wall
 
 The default output is ``BENCH_obs.json`` at the repository root; the
 pinned copy is read *before* it is rewritten, so a regressing run still
@@ -65,6 +77,17 @@ DEFAULT_OUT = os.path.join(REPO_ROOT, "BENCH_obs.json")
 
 #: The two gated series (lower is healthier for both).
 GATED_METRICS = ("abort_rate", "wasted_work_fraction")
+
+#: Dual-clock section: pool size for the streaming workload...
+WALL_WORKERS = 8
+#: ...how many timed repetitions back the best-of overhead comparison...
+WALL_TRIALS = 3
+#: ...and the tracing-overhead ceiling (traced vs untraced wall time).
+WALL_OVERHEAD_LIMIT = 0.05
+#: Efficiency floor for the all-correct streaming workload: nothing rolls
+#: back, so committed labor must dominate (1.0 up to scheduler jitter in
+#: cancelled-task accounting).
+WALL_EFFICIENCY_FLOOR = 0.95
 
 
 def _duplex_abort_heavy(tracer: RecordingTracer):
@@ -170,6 +193,123 @@ def run_bench() -> Dict[str, Any]:
     return report
 
 
+# ------------------------------------------------------ dual-clock section
+
+
+def _timed_streaming_run(*, workers: int, tracer) -> Tuple[Any, Any, float]:
+    """One streaming run on a thread pool; returns (system, result, wall)."""
+    import time
+
+    from repro.bench.parallel import N_CALLS, N_SERVERS, streaming_system
+
+    system = streaming_system(streamed=True, workers=workers,
+                              n_calls=N_CALLS, n_servers=N_SERVERS,
+                              tracer=tracer)
+    start = time.perf_counter()
+    result = system.run()
+    return system, result, time.perf_counter() - start
+
+
+def measure_wall(*, workers: int = WALL_WORKERS,
+                 trials: int = WALL_TRIALS) -> Dict[str, Any]:
+    """The dual-clock telemetry of the streaming workload (physical!).
+
+    One traced run supplies the telemetry report; ``trials`` additional
+    timed runs per tracer setting supply the best-of overhead comparison.
+    The wall-ledger conservation assertion mirrors the virtual one in
+    :func:`measure_scenario`.
+    """
+    from repro.obs.realtime import pool_report
+
+    tracer = RecordingTracer()
+    system, result, _ = _timed_streaming_run(workers=workers, tracer=tracer)
+    telemetry = pool_report(result.spans, system.backend.wall_records)
+    waste = telemetry.wasted
+    assert abs(waste.wall_committed + waste.wall_wasted
+               + waste.wall_unresolved - waste.wall_total) <= 1e-9, (
+        "wall labor partition broken")
+
+    traced_best = untraced_best = float("inf")
+    for _ in range(trials):
+        _, _, wall = _timed_streaming_run(workers=workers,
+                                          tracer=RecordingTracer())
+        traced_best = min(traced_best, wall)
+        _, _, wall = _timed_streaming_run(workers=workers, tracer=None)
+        untraced_best = min(untraced_best, wall)
+    overhead = (max(0.0, traced_best - untraced_best) / untraced_best
+                if untraced_best > 0 else 0.0)
+
+    t = telemetry.to_dict()
+    return {
+        "workers": workers,
+        "trials": trials,
+        "speculation_efficiency": (
+            None if t["speculation_efficiency"] is None
+            else _round(t["speculation_efficiency"])),
+        "worker_utilization": {
+            name: _round(row["utilization"])
+            for name, row in t["workers"].items()
+        },
+        "mean_utilization": _round(t["mean_utilization"]),
+        "labor_window_seconds": _round(t["window"]),
+        "wall_labor_seconds": {k: _round(v)
+                               for k, v in t["wall_labor"].items()},
+        "queue_wait_p90_seconds": _round(t["queue_wait"]["p90"]),
+        "gate_block_p90_seconds": _round(t["gate_block"]["p90"]),
+        "cancelled_tasks": t["cancelled_tasks"],
+        "tracing_overhead": {
+            "traced_best_seconds": _round(traced_best),
+            "untraced_best_seconds": _round(untraced_best),
+            "overhead_fraction": _round(overhead, 4),
+            "limit": WALL_OVERHEAD_LIMIT,
+        },
+    }
+
+
+def wall_gate(wall: Optional[Dict[str, Any]]) -> Tuple[bool, List[str]]:
+    """Sanity gates for the physical section (no pin comparison).
+
+    Wall numbers are machine-noisy, so the gate checks shape, not speed:
+    the efficiency floor of an all-correct workload, utilization inside
+    (0, 1], at least one pool worker observed, and the tracing-overhead
+    ceiling.
+    """
+    if wall is None:
+        return True, ["wall section skipped (--no-wall)"]
+    ok = True
+    messages: List[str] = []
+    eff = wall["speculation_efficiency"]
+    if eff is None or eff < WALL_EFFICIENCY_FLOOR:
+        ok = False
+        messages.append(
+            f"wall: speculation_efficiency {eff} below the "
+            f"{WALL_EFFICIENCY_FLOOR} floor on the all-correct workload")
+    util = wall["worker_utilization"]
+    if not util:
+        ok = False
+        messages.append("wall: no pool workers observed")
+    for name, value in util.items():
+        if not 0.0 < value <= 1.0 + 1e-9:
+            ok = False
+            messages.append(
+                f"wall: utilization of {name} out of (0, 1]: {value}")
+    overhead = wall["tracing_overhead"]
+    if overhead["overhead_fraction"] > overhead["limit"]:
+        ok = False
+        messages.append(
+            f"wall: tracing overhead {overhead['overhead_fraction']:.1%} "
+            f"exceeds the {overhead['limit']:.0%} ceiling "
+            f"({overhead['untraced_best_seconds']:.3f}s off -> "
+            f"{overhead['traced_best_seconds']:.3f}s on)")
+    if ok:
+        messages.append(
+            f"wall gate OK: efficiency {eff:.2f}, "
+            f"{len(util)} workers busy, tracing overhead "
+            f"{overhead['overhead_fraction']:.1%} <= "
+            f"{overhead['limit']:.0%}")
+    return ok, messages
+
+
 def gate(report: Dict[str, Any],
          pinned: Optional[Dict[str, Any]]) -> Tuple[bool, List[str]]:
     """Compare gated metrics against the pinned report.
@@ -209,6 +349,14 @@ def _print_summary(report: Dict[str, Any]) -> None:
               f"{row['wasted_work_fraction']:>9.2f}"
               f"{row['mean_guess_depth']:>7.2f}"
               f"{row['critical_path_utilization']:>9.2f}")
+    wall = report.get("wall")
+    if wall:
+        overhead = wall["tracing_overhead"]
+        print(f"wall@{wall['workers']}w: efficiency "
+              f"{wall['speculation_efficiency']:.2f}, mean utilization "
+              f"{wall['mean_utilization']:.1%} over "
+              f"{len(wall['worker_utilization'])} workers, tracing "
+              f"overhead {overhead['overhead_fraction']:.1%}")
 
 
 def main(argv: Optional[list] = None) -> int:
@@ -219,6 +367,10 @@ def main(argv: Optional[list] = None) -> int:
                              "the repo root)")
     parser.add_argument("--check-only", action="store_true",
                         help="gate against the pin without rewriting it")
+    parser.add_argument("--no-wall", action="store_true",
+                        help="skip the dual-clock wall section (physical "
+                             "timing; the per-scenario section stays "
+                             "byte-deterministic either way)")
     args = parser.parse_args(argv)
 
     pinned: Optional[Dict[str, Any]] = None
@@ -228,8 +380,15 @@ def main(argv: Optional[list] = None) -> int:
 
     report = run_bench()
     ok, messages = gate(report, pinned)
+    wall = None if args.no_wall else measure_wall()
+    wall_ok, wall_messages = wall_gate(wall)
+    ok = ok and wall_ok
+    if wall is not None:
+        report["wall"] = wall
+    elif pinned and "wall" in pinned:
+        report["wall"] = pinned["wall"]  # keep the last measured section
     _print_summary(report)
-    for msg in messages:
+    for msg in messages + wall_messages:
         print(msg)
     if not args.check_only:
         with open(args.out, "w") as fh:

@@ -109,6 +109,8 @@ class ProcessRuntime:
         self.tracer = system.tracer
         #: typed handles for the opt.* instrument set (same Stats keys)
         self.m = system.runtime_metrics
+        #: opt-in per-segment access recording (None = off, zero cost)
+        self.access = system.access
         #: state capture/restore layer (COW snapshots or legacy deepcopy)
         self.snap = Snapshotter(config.snapshot_policy, self.stats)
 
@@ -302,6 +304,12 @@ class ProcessRuntime:
                 incarnation=guess.incarnation, index=guess.index,
                 guard=sorted(g.key() for g in right_guard if g != guess),
             )
+            # Dual clock: stamp the in-doubt window on the driver's wall
+            # lane too (real backends only; virtual has no wall clock).
+            wall = self.backend.wall_now()
+            if wall is not None:
+                self.tracer.annotate_wall(record.span_sid, start=wall,
+                                          worker="driver")
         self.log_event("fork", guess=guess.key(), site=seg.name,
                        left=thread.tid, right=right.tid)
         return True
@@ -364,6 +372,9 @@ class ProcessRuntime:
                 tid=thread.tid, guards=len(envelope.guard),
                 guard=sorted(envelope.guard_keys()),
             )
+        if self.access is not None:
+            self.access.note_send(thread._access_rec, self.name, dst,
+                                  trace_data[1])
         self.system.send_data(envelope)
 
     def record_recv(self, thread: OptimisticThread, src: str,
@@ -380,6 +391,9 @@ class ProcessRuntime:
                 tid=thread.tid, guards=len(thread.guard),
                 guard=sorted(thread.guard.keys()),
             )
+        if self.access is not None:
+            self.access.note_recv(thread._access_rec, src, self.name,
+                                  trace_data[1])
 
     # ------------------------------------------------------------ emissions
 
@@ -411,6 +425,8 @@ class ProcessRuntime:
                 name=effect.sink, tid=thread.tid,
                 buffered=bool(emission.pending),
             )
+        if self.access is not None:
+            self.access.note_emit(thread._access_rec, effect.sink)
         if emission.pending:
             self.emissions.append(emission)
             self.m.emissions_buffered.inc()
@@ -748,6 +764,10 @@ class ProcessRuntime:
                 if v is not None:
                     attrs[k] = v
             self.tracer.end_span(record.span_sid, now, **attrs)
+            wall = self.backend.wall_now()
+            if wall is not None:
+                self.tracer.annotate_wall(record.span_sid, end=wall,
+                                          worker="driver")
 
     # ------------------------------------------------------------ own aborts
 

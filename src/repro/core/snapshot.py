@@ -301,7 +301,9 @@ class Snapshotter:
                 frozen = dict(cache.frozen)
                 all_scalar = True
                 for k in state._dirty:
-                    v = state[k]  # deletions would have set the overflow
+                    # raw dict read: capture is infrastructure, so it must
+                    # not register in an ObservedState's access record
+                    v = dict.__getitem__(state, k)
                     if isinstance(v, _SCALARS):
                         frozen[k] = v
                     else:

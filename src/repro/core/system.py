@@ -100,6 +100,7 @@ class OptimisticSystem:
         faults: Optional[FaultPlan] = None,
         strict_plans: bool = False,
         backend: Optional[ExecutorBackend] = None,
+        access: Optional[Any] = None,
     ) -> None:
         #: refuse statically-certain faults (see repro.analyze):
         #: each add_program gets the program-local rules, start() gets the
@@ -107,6 +108,9 @@ class OptimisticSystem:
         self.strict_plans = strict_plans
         self.config = config or OptimisticConfig()
         self.tracer = tracer if tracer is not None else NULL_TRACER
+        #: opt-in access-set recorder (:class:`repro.obs.access.AccessTracker`);
+        #: ``None`` keeps plain (unobserved) thread states — zero overhead
+        self.access = access
         #: the execution substrate (see docs/BACKENDS.md): the virtual-time
         #: oracle by default, OS threads or a process pool when the caller
         #: wants real parallelism.  The backend owns the scheduler; the
@@ -168,6 +172,8 @@ class OptimisticSystem:
             raise ProgramError(f"duplicate process name {program.name!r}")
         if self.strict_plans:
             self._lint_strict([(program, plan)], target=program.name)
+        if self.access is not None:
+            self.access.seed_program(program)
         runtime = ProcessRuntime(self, program, plan, self.config)
         self.runtimes[program.name] = runtime
         handler = runtime.on_network

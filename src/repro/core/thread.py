@@ -79,8 +79,12 @@ class OptimisticThread:
         self.seg_start = seg_start
         self.seg_end = seg_end  # exclusive; shrinks when this thread forks
         #: live state, version-tracked so snapshots of an unchanged state
-        #: are free; replay restores from ``initial_snapshot``
+        #: are free; replay restores from ``initial_snapshot``.  With an
+        #: access tracker attached the state is additionally observed, so
+        #: every key read/write lands in the current segment's record.
         self.state: Dict[str, Any] = live_state(state)
+        if runtime.access is not None:
+            self.state = runtime.access.observe(self.state)
         self.initial_snapshot: StateSnapshot = (
             initial_snapshot
             if initial_snapshot is not None
@@ -123,6 +127,7 @@ class OptimisticThread:
         self._replay_charge_from = 0
         self._replay_restore_extra = 0.0
         self._seg_span = -1             # open tracer span of the current segment
+        self._access_rec = None         # open SegmentAccess record, if tracking
         #: guess key blamed for the next discard of this thread's current
         #: segment (set by the runtime before rollback/destroy) — it lands
         #: on the segment span so wasted time is attributable per guess.
@@ -167,6 +172,7 @@ class OptimisticThread:
         if cause is not None:
             self.discard_cause = cause
         self._end_seg_span(outcome="destroyed")
+        self._end_access("destroyed")
 
     def _end_seg_span(self, **attrs: Any) -> None:
         if self._seg_span >= 0:
@@ -178,6 +184,14 @@ class OptimisticThread:
             self._seg_span = -1
         if "outcome" in attrs:
             self.discard_cause = None
+
+    def _end_access(self, outcome: str) -> None:
+        """Close the current segment's access record, if tracking."""
+        rec = self._access_rec
+        if rec is not None:
+            self._access_rec = None
+            self.runtime.access.end_segment(
+                rec, self.runtime.backend.now, outcome, state=self.state)
 
     def _cancel_pending(self) -> None:
         if self._pending_event is not None:
@@ -268,6 +282,15 @@ class OptimisticThread:
                 name=seg.name, tid=self.tid, seg=self.seg_idx,
                 speculative=bool(self.guard), replaying=not self.journal.live,
             )
+        access = self.runtime.access
+        if access is not None:
+            self._end_access("completed")
+            self._access_rec = access.begin_segment(
+                self.state, process=self.runtime.name, tid=self.tid,
+                seg=self.seg_idx, name=seg.name,
+                start=self.runtime.backend.now,
+                replaying=not self.journal.live,
+            )
         if seg.compute > 0:
             blocked = self._do_compute(seg.compute, ("segcompute", self.seg_idx))
             if blocked:
@@ -279,6 +302,7 @@ class OptimisticThread:
         self.finished = True
         self.gen = None
         self._end_seg_span(outcome="terminated")
+        self._end_access("terminated")
         self.runtime.on_thread_finished(self)
 
     def _block(self, status: ThreadStatus) -> Any:
@@ -365,6 +389,7 @@ class OptimisticThread:
             lambda: self.resume(None),
             label=f"{self.runtime.name}.t{self.tid}.compute",
             work=work,
+            span_sid=self._seg_span,
         )
         return True
 
@@ -541,6 +566,10 @@ class OptimisticThread:
         *replay debt* paid before the first live effect (REPLAY policy) or a
         fixed restore cost (EAGER_COPY policy).
         """
+        # Close the access record first: restoration writes are recovery
+        # bookkeeping, not program accesses (the record is detached, so the
+        # clear/restore below goes unobserved).
+        self._end_access("rolled_back")
         self.state.clear()
         self.runtime.snap.restore(self.initial_snapshot, into=self.state)
         if self.runtime.tracer.enabled:

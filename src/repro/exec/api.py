@@ -132,7 +132,8 @@ class TaskHandle:
     """
 
     __slots__ = ("label", "cancelled", "future", "_event", "_token",
-                 "_backend")
+                 "_backend", "span_sid", "wall_submit", "wall_start",
+                 "wall_end", "wall_worker")
 
     def __init__(self, label: str = "") -> None:
         self.label = label
@@ -141,6 +142,12 @@ class TaskHandle:
         self._event = None        # the virtual placeholder event
         self._token = None        # cooperative cancel token
         self._backend = None
+        # Dual-clock observations (populated only while a tracer records).
+        self.span_sid = -1        # segment span the wall stamps belong to
+        self.wall_submit = None   # perf_counter() at submission
+        self.wall_start = None    # perf_counter() when a worker picked it up
+        self.wall_end = None      # perf_counter() when the labor finished
+        self.wall_worker = None   # pool worker that performed the labor
 
     @property
     def done(self) -> bool:
@@ -187,6 +194,7 @@ class ExecutorBackend:
 
     def __init__(self) -> None:
         self.scheduler: Optional[Scheduler] = None
+        self.tracer = None
 
     # ------------------------------------------------------------- binding
 
@@ -197,6 +205,7 @@ class ExecutorBackend:
                 f"{type(self).__name__} is already bound to a system; "
                 "backends are single-use — construct one per system"
             )
+        self.tracer = tracer
         self.scheduler = Scheduler(max_steps=max_steps, tracer=tracer)
         return self.scheduler
 
@@ -226,7 +235,8 @@ class ExecutorBackend:
     # ------------------------------------------------------------ protocol
 
     def submit_segment(self, delay: float, resume: Callable[[], None], *,
-                       label: str = "", work: Optional[Work] = None):
+                       label: str = "", work: Optional[Work] = None,
+                       span_sid: int = -1):
         """Schedule a segment's compute completion ``delay`` units from now.
 
         Returns a cancellable handle (an :class:`~repro.sim.events.Event`
@@ -234,8 +244,20 @@ class ExecutorBackend:
         the placeholder's virtual time — after the real work, if any,
         has finished.  ``work`` is ignored by virtual backends (payloads
         are effect-free, so skipping them is semantics-preserving).
+        ``span_sid`` names the open segment span so real backends can
+        annotate it with wall-clock stamps; ``-1`` (or a disabled tracer)
+        turns the dual-clock capture off entirely.
         """
         raise NotImplementedError
+
+    def wall_now(self) -> Optional[float]:
+        """Current wall-clock reading, or ``None`` on virtual backends.
+
+        Lets the runtime stamp driver-side work (guess fork→resolution
+        windows) on the same clock the pool workers use, without the
+        virtual backend ever touching a real clock.
+        """
+        return None
 
     def cancel(self, handle: Any) -> None:
         """Cancel a previously submitted task (no-op when already done)."""

@@ -24,11 +24,13 @@ abort-triggered cancellation without touching the workloads.
 
 from __future__ import annotations
 
+import multiprocessing
 import threading
 from concurrent.futures import CancelledError, Executor, ProcessPoolExecutor, \
     ThreadPoolExecutor
 from functools import partial
-from typing import Callable, Optional
+from time import perf_counter
+from typing import Callable, List, Optional
 
 from repro.exec.api import (
     CancelledWork,
@@ -47,6 +49,20 @@ def _timed_work(seconds: float, ctx: WorkContext) -> None:
     ``partial(_timed_work, seconds)`` payload.
     """
     ctx.sleep(seconds)
+
+
+def _walled_work(work: Work, ctx: WorkContext):
+    """Run ``work`` and report its wall window from inside a pool process.
+
+    Handle fields cannot be written across a process boundary, so the
+    process backend ships this picklable wrapper instead and reads the
+    ``(wall_start, wall_end, worker)`` tuple off the future at settle
+    time.  Payload results are discarded by contract, so hijacking the
+    return value is free.
+    """
+    t0 = perf_counter()
+    work(ctx)
+    return (t0, perf_counter(), multiprocessing.current_process().name)
 
 
 class _PoolBackend(ExecutorBackend):
@@ -72,6 +88,23 @@ class _PoolBackend(ExecutorBackend):
         #: often real time was on the driver's critical path
         self.gate_waits = 0
         self.pool_spinups = 0
+        #: dual-clock capture: one record per settled real task while a
+        #: tracer records (``repro.obs.realtime`` reads these)
+        self.wall_records: List[dict] = []
+        self.wall_annotated = 0
+        self._wall_on = False
+
+    def bind(self, *, max_steps: int, tracer=None):
+        scheduler = super().bind(max_steps=max_steps, tracer=tracer)
+        # One flag decides the whole dual-clock path: with no recording
+        # tracer, submission and gating run exactly the pre-dual-clock
+        # code (zero per-task clock reads or allocations).
+        self._wall_on = bool(tracer is not None
+                             and getattr(tracer, "enabled", False))
+        return scheduler
+
+    def wall_now(self) -> Optional[float]:
+        return perf_counter()
 
     # ----------------------------------------------- subclass obligations
 
@@ -94,7 +127,8 @@ class _PoolBackend(ExecutorBackend):
         return self._pool
 
     def submit_segment(self, delay: float, resume: Callable[[], None], *,
-                       label: str = "", work: Optional[Work] = None):
+                       label: str = "", work: Optional[Work] = None,
+                       span_sid: int = -1):
         if work is None:
             if self.realize_scale > 0.0 and delay > 0.0:
                 work = partial(_timed_work, delay * self.realize_scale)
@@ -105,6 +139,10 @@ class _PoolBackend(ExecutorBackend):
         token = self._new_token()
         handle._token = token
         handle._backend = self
+        if self._wall_on:
+            handle.span_sid = span_sid
+            handle.wall_submit = perf_counter()
+            work = self._wrap_work(work, handle)
         handle.future = self._submit_work(
             self._ensure_pool(), work, WorkContext(token))
         self.tasks_submitted += 1
@@ -114,21 +152,68 @@ class _PoolBackend(ExecutorBackend):
             # Fires at the placeholder's virtual time, on the driver
             # thread, in exactly the event order the oracle would use.
             future = handle.future
-            if not future.done():
+            blocked = not future.done()
+            if blocked:
                 self.gate_waits += 1
+            wait0 = perf_counter() if (blocked and self._wall_on) else None
+            result = None
             try:
-                future.result()
+                result = future.result()
             except (CancelledWork, CancelledError):
                 pass  # result discarded; the virtual duration still stands
             self.tasks_completed += 1
             self._inflight.discard(handle)
             handle._backend = None
+            if self._wall_on:
+                block = 0.0 if wait0 is None else perf_counter() - wait0
+                self._settle_wall(handle, result, gate_block=block,
+                                  cancelled=False)
             resume()
 
         # The placeholder allocates the same (time, priority, seq) slot the
         # virtual backend would — this is the whole equivalence argument.
         handle._event = self.scheduler.after(delay, gate, label=label)
         return handle
+
+    # ----------------------------------------------------- dual-clock capture
+
+    def _wrap_work(self, work: Work, handle: TaskHandle) -> Work:
+        """Stamp the handle with the labor's wall window and worker.
+
+        In-process pools can write the handle directly from the worker;
+        the ``finally`` keeps the end stamp even when cancellation raises
+        :class:`CancelledWork` out of the payload mid-sleep.
+        """
+        def walled(ctx: WorkContext):
+            handle.wall_worker = threading.current_thread().name
+            handle.wall_start = perf_counter()
+            try:
+                return work(ctx)
+            finally:
+                handle.wall_end = perf_counter()
+        return walled
+
+    def _extract_wall(self, handle: TaskHandle, result) -> None:
+        """Recover wall stamps the wrapper could not write directly."""
+
+    def _settle_wall(self, handle: TaskHandle, result, *,
+                     gate_block: float, cancelled: bool) -> None:
+        """Annotate the segment span and keep one wall record per task."""
+        self._extract_wall(handle, result)
+        tracer = self.tracer
+        if (tracer is not None and handle.span_sid >= 0
+                and handle.wall_start is not None):
+            tracer.annotate_wall(
+                handle.span_sid, start=handle.wall_start,
+                end=handle.wall_end,
+                worker=handle.wall_worker or "worker")
+            self.wall_annotated += 1
+        self.wall_records.append({
+            "label": handle.label, "sid": handle.span_sid,
+            "submit": handle.wall_submit, "start": handle.wall_start,
+            "end": handle.wall_end, "worker": handle.wall_worker,
+            "gate_block": gate_block, "cancelled": cancelled,
+        })
 
     def _note_task_cancelled(self, handle: TaskHandle) -> None:
         self.tasks_cancelled += 1
@@ -140,12 +225,19 @@ class _PoolBackend(ExecutorBackend):
         for handle in list(self._inflight):
             future = handle.future
             if handle.cancelled:
+                result = None
                 if future is not None:
                     try:
-                        future.result()
+                        result = future.result()
                     except Exception:
                         pass  # discarded by contract
                 self._inflight.discard(handle)
+                if self._wall_on:
+                    # Cancelled labor settles here, after its span was
+                    # closed by the abort path — annotate_wall works on
+                    # closed spans for exactly this reason.
+                    self._settle_wall(handle, result, gate_block=0.0,
+                                      cancelled=True)
             elif future is not None and future.done():
                 pass  # settled; its gate is still queued and will fire
         # At quiescence no more work can arrive: release the workers so a
@@ -165,6 +257,12 @@ class _PoolBackend(ExecutorBackend):
         return len(self._inflight)
 
     def counters(self) -> dict:
+        labor = 0.0
+        block = 0.0
+        for rec in self.wall_records:
+            if rec["start"] is not None and rec["end"] is not None:
+                labor += rec["end"] - rec["start"]
+            block += rec["gate_block"]
         return {
             "exec.workers": self.workers,
             "exec.tasks_submitted": self.tasks_submitted,
@@ -172,6 +270,10 @@ class _PoolBackend(ExecutorBackend):
             "exec.tasks_cancelled": self.tasks_cancelled,
             "exec.gate_waits": self.gate_waits,
             "exec.pool_spinups": self.pool_spinups,
+            "wall.records": len(self.wall_records),
+            "wall.annotated": self.wall_annotated,
+            "wall.labor_ms": int(labor * 1000),
+            "wall.gate_block_ms": int(block * 1000),
         }
 
 
@@ -216,3 +318,11 @@ class ProcessPoolBackend(_PoolBackend):
 
     def _new_token(self):
         return None  # tokens cannot cross the process boundary
+
+    def _wrap_work(self, work: Work, handle: TaskHandle) -> Work:
+        # Closures don't pickle; ship the module-level wrapper instead.
+        return partial(_walled_work, work)
+
+    def _extract_wall(self, handle: TaskHandle, result) -> None:
+        if type(result) is tuple and len(result) == 3:
+            handle.wall_start, handle.wall_end, handle.wall_worker = result

@@ -32,9 +32,12 @@ class VirtualTimeBackend(ExecutorBackend):
     )
 
     def submit_segment(self, delay: float, resume: Callable[[], None], *,
-                       label: str = "", work: Optional[Work] = None):
+                       label: str = "", work: Optional[Work] = None,
+                       span_sid: int = -1):
         # ``work`` payloads are effect-free real labor; in virtual time the
-        # modelled ``delay`` already stands for them, so they are skipped.
+        # modelled ``delay`` already stands for them, so they are skipped —
+        # and with no real clock there is nothing to annotate ``span_sid``
+        # with either.
         return self.scheduler.after(delay, resume, label=label)
 
     def counters(self) -> dict:

@@ -12,6 +12,18 @@ One layer, three pieces:
   trace-event JSON (Perfetto-loadable) and prometheus text, all
   byte-deterministic; plus schema validation for smoke tests.
 
+Two dual-clock extensions ride on the same span schema:
+
+* **wall-clock telemetry** (:mod:`.realtime`): on a real executor
+  backend spans also carry ``(wall_start, wall_end, worker)``;
+  :func:`pool_report` turns them into per-worker utilization, queue-wait
+  and gate-block distributions and the ``speculation_efficiency`` metric
+  (``python -m repro profile --wall``).
+* **access sets** (:mod:`.access`): an opt-in :class:`AccessTracker`
+  records per-segment read/write key sets and aggregates WW/WR/RW
+  conflict pairs into a heatmap (``python -m repro explain
+  --conflicts``).
+
 Typical use::
 
     from repro import OptimisticSystem, RecordingTracer, write_chrome_trace
@@ -22,6 +34,8 @@ Typical use::
     write_chrome_trace(result.spans, "trace.json")
 """
 
+from .access import (AccessTracker, ConflictMatrix, ObservedState,
+                     SegmentAccess, chan_key, conflicts, sink_key)
 from .api import RunResult, deprecated_alias
 from .critical_path import CriticalPath, PathStep, critical_path
 from .export import (TS_SCALE, chrome_trace, chrome_trace_json,
@@ -31,8 +45,9 @@ from .forensics import (ATTRIBUTION_CLASSES, CASCADE_ORPHAN, TIME_FAULT,
                         VALUE_FAULT, GuessForensics, ProvenanceGraph,
                         WastedWork, build_provenance, classify_abort,
                         wasted_work)
-from .metrics import (DEFAULT_BUCKETS, Counter, Gauge, Histogram,
-                      MetricsRegistry, RuntimeMetrics)
+from .metrics import (DEFAULT_BUCKETS, WELL_KNOWN_COUNTERS, Counter, Gauge,
+                      Histogram, MetricsRegistry, RuntimeMetrics)
+from .realtime import PoolReport, WorkerStats, pool_report, summarize_values
 from .spans import (ALL_KINDS, EVENT_KINDS, INTERVAL_KINDS, Span, as_spans,
                     span_from_dict, spans_from_protocol_log)
 from .tracer import NULL_TRACER, NullTracer, RecordingTracer, Tracer
@@ -46,7 +61,12 @@ __all__ = [
     "ALL_KINDS", "EVENT_KINDS", "INTERVAL_KINDS",
     # metrics
     "Counter", "Gauge", "Histogram", "MetricsRegistry", "RuntimeMetrics",
-    "DEFAULT_BUCKETS",
+    "DEFAULT_BUCKETS", "WELL_KNOWN_COUNTERS",
+    # wall-clock pool telemetry
+    "PoolReport", "WorkerStats", "pool_report", "summarize_values",
+    # access sets & conflict heatmaps
+    "AccessTracker", "SegmentAccess", "ObservedState", "ConflictMatrix",
+    "conflicts", "chan_key", "sink_key",
     # exporters & validation
     "chrome_trace", "chrome_trace_json", "write_chrome_trace",
     "spans_to_jsonl", "write_jsonl_trace", "prometheus_text", "TS_SCALE",

@@ -1,0 +1,337 @@
+"""Opt-in access-set recording and WW/RW/WR conflict heatmaps.
+
+ROADMAP item 1 (read/write-set conflict prediction) needs an empirical
+substrate: which state keys, channels and sinks does each *concurrently
+live* segment actually touch, and where do overlapping segments collide?
+This module records exactly that, off by default and attached per system
+(``OptimisticSystem(access=AccessTracker())``):
+
+* :class:`ObservedState` — a :class:`~repro.core.snapshot.CowState`
+  subclass that additionally records the key of every read and write into
+  the segment record currently attached to it.  With no tracker the
+  runtime never instantiates it, so the default state keeps plain dict
+  read speed.
+* :class:`AccessTracker` — one :class:`SegmentAccess` record per segment
+  execution (including replays, flagged), seeded with the segment's
+  *static* effect summary (:mod:`repro.analyze.summary`, i.e. the
+  ``Segment.meta`` route) and grown by runtime observation: state keys
+  from :class:`ObservedState`, channel keys from the send/recv paths,
+  sink keys from emits.
+* :func:`conflicts` — aggregates WW/WR/RW pairs per key over every pair
+  of time-overlapping records from different threads, the raw material of
+  ``python -m repro explain --conflicts``.
+
+Key namespaces: a state key ``k`` of process ``P`` becomes ``P.k`` (state
+is process-local, so only same-process thread overlap can conflict on
+it); a message over channel ``src→dst`` op ``o`` is ``chan:src->dst.o``
+(written by the sender, read by the receiver); sink output is
+``sink:name``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Set, Tuple
+
+from repro.core.snapshot import CowState
+
+# ------------------------------------------------------------------ records
+
+
+@dataclass
+class SegmentAccess:
+    """Everything one segment execution touched, with its live interval."""
+
+    process: str
+    tid: int
+    seg: int
+    name: str
+    start: float                    #: virtual time the segment began
+    end: Optional[float] = None     #: virtual time it ended (None while open)
+    outcome: str = "open"           #: completed / terminated / destroyed /
+                                    #: rolled_back
+    replaying: bool = False         #: began as rollback replay (not live)
+    reads: Set[str] = field(default_factory=set)
+    writes: Set[str] = field(default_factory=set)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "process": self.process, "tid": self.tid, "seg": self.seg,
+            "name": self.name, "start": self.start, "end": self.end,
+            "outcome": self.outcome, "replaying": self.replaying,
+            "reads": sorted(self.reads), "writes": sorted(self.writes),
+        }
+
+
+def chan_key(src: str, dst: str, op: str) -> str:
+    """Canonical conflict key for one directed channel operation."""
+    return f"chan:{src}->{dst}.{op}"
+
+
+def sink_key(name: str) -> str:
+    return f"sink:{name}"
+
+
+def _is_global_key(key: str) -> bool:
+    return key.startswith("chan:") or key.startswith("sink:")
+
+
+# ----------------------------------------------------------- observed state
+
+
+class ObservedState(CowState):
+    """Live state that reports key reads/writes to an attached record.
+
+    The segment record is swapped at segment boundaries by the tracker;
+    with no record attached (``_rec is None`` — e.g. during rollback
+    restoration) accesses pass through unrecorded, so replay bookkeeping
+    never pollutes the access sets.
+    """
+
+    __slots__ = ("_rec",)
+
+    def __init__(self, *args: Any, **kwargs: Any) -> None:
+        self._rec: Optional[SegmentAccess] = None
+        super().__init__(*args, **kwargs)
+
+    # -- reads ------------------------------------------------------------
+
+    def __getitem__(self, key: Any) -> Any:
+        rec = self._rec
+        if rec is not None:
+            rec.reads.add(key)
+        return super().__getitem__(key)
+
+    def get(self, key: Any, default: Any = None) -> Any:
+        rec = self._rec
+        if rec is not None:
+            rec.reads.add(key)
+        return super().get(key, default)
+
+    def __contains__(self, key: Any) -> bool:
+        rec = self._rec
+        if rec is not None:
+            rec.reads.add(key)
+        return super().__contains__(key)
+
+    # -- writes -----------------------------------------------------------
+
+    def __setitem__(self, key: Any, value: Any) -> None:
+        rec = self._rec
+        if rec is not None:
+            rec.writes.add(key)
+        super().__setitem__(key, value)
+
+    def __delitem__(self, key: Any) -> None:
+        rec = self._rec
+        if rec is not None:
+            rec.writes.add(key)
+        super().__delitem__(key)
+
+    def setdefault(self, key: Any, default: Any = None) -> Any:
+        rec = self._rec
+        if rec is not None:
+            rec.reads.add(key)
+            rec.writes.add(key)
+        return super().setdefault(key, default)
+
+    def pop(self, *args: Any) -> Any:
+        rec = self._rec
+        if rec is not None and args:
+            rec.writes.add(args[0])
+        return super().pop(*args)
+
+    def update(self, *args: Any, **kwargs: Any) -> None:
+        rec = self._rec
+        if rec is not None:
+            if len(args) == 1 and isinstance(args[0], dict):
+                rec.writes.update(args[0])
+            rec.writes.update(kwargs)
+        super().update(*args, **kwargs)
+
+
+# ----------------------------------------------------------------- tracker
+
+
+class AccessTracker:
+    """Per-segment access recording for one system (opt-in)."""
+
+    def __init__(self) -> None:
+        self.records: List[SegmentAccess] = []
+        #: (process, seg index) -> (static reads, static writes), seeded
+        #: from the analyzer's effect summaries at ``add_program`` time
+        self._static: Dict[Tuple[str, int], Tuple[frozenset, frozenset]] = {}
+
+    # -- static seeding ---------------------------------------------------
+
+    def seed_program(self, program: Any) -> None:
+        """Pre-seed access sets from the program's static summaries.
+
+        Best-effort: opaque segments simply contribute nothing static and
+        are still observed at runtime.
+        """
+        try:
+            from repro.analyze.summary import summarize_program
+
+            summary = summarize_program(program)
+        except Exception:
+            return
+        name = program.name
+        for s in summary.segments:
+            reads = set(s.reads)
+            writes = set(s.writes)
+            for dst, op in (*s.calls, *s.sends):
+                writes.add(chan_key(name, dst, op))
+            for snk in s.emits:
+                writes.add(sink_key(snk))
+            self._static[(name, s.index)] = (frozenset(reads),
+                                             frozenset(writes))
+
+    # -- state & segment lifecycle ---------------------------------------
+
+    def observe(self, state: CowState) -> ObservedState:
+        """Wrap a live state so its key accesses are recorded."""
+        if isinstance(state, ObservedState):
+            return state
+        return ObservedState(state)
+
+    def begin_segment(self, state: Any, *, process: str, tid: int, seg: int,
+                      name: str, start: float,
+                      replaying: bool = False) -> SegmentAccess:
+        rec = SegmentAccess(process=process, tid=tid, seg=seg, name=name,
+                            start=start, replaying=replaying)
+        static = self._static.get((process, seg))
+        if static is not None:
+            rec.reads |= static[0]
+            rec.writes |= static[1]
+        self.records.append(rec)
+        if isinstance(state, ObservedState):
+            state._rec = rec
+        return rec
+
+    def end_segment(self, rec: SegmentAccess, end: float, outcome: str,
+                    state: Any = None) -> None:
+        rec.end = end
+        rec.outcome = outcome
+        if isinstance(state, ObservedState) and state._rec is rec:
+            state._rec = None
+
+    # -- channel / sink observation ---------------------------------------
+
+    def note_send(self, rec: Optional[SegmentAccess], src: str, dst: str,
+                  op: str) -> None:
+        if rec is not None:
+            rec.writes.add(chan_key(src, dst, op))
+
+    def note_recv(self, rec: Optional[SegmentAccess], src: str, dst: str,
+                  op: str) -> None:
+        if rec is not None:
+            rec.reads.add(chan_key(src, dst, op))
+
+    def note_emit(self, rec: Optional[SegmentAccess], sink: str) -> None:
+        if rec is not None:
+            rec.writes.add(sink_key(sink))
+
+    # -- analysis ----------------------------------------------------------
+
+    def conflicts(self) -> "ConflictMatrix":
+        return conflicts(self.records)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"records": [r.to_dict() for r in self.records]}
+
+
+# ---------------------------------------------------------------- conflicts
+
+
+class ConflictMatrix:
+    """Per-key WW/WR/RW conflict counts over concurrent segment pairs."""
+
+    KINDS = ("WW", "WR", "RW")
+
+    def __init__(self) -> None:
+        #: key -> {"WW": n, "WR": n, "RW": n}
+        self.cells: Dict[str, Dict[str, int]] = {}
+        self.pairs_examined = 0
+        self.records = 0
+
+    def add(self, key: str, kind: str) -> None:
+        cell = self.cells.setdefault(key, dict.fromkeys(self.KINDS, 0))
+        cell[kind] += 1
+
+    def total(self, key: str) -> int:
+        return sum(self.cells.get(key, {}).values())
+
+    def __bool__(self) -> bool:
+        return bool(self.cells)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "records": self.records,
+            "pairs_examined": self.pairs_examined,
+            "keys": {k: dict(v) for k, v in sorted(self.cells.items())},
+        }
+
+    def render(self, limit: int = 30) -> str:
+        """ASCII heatmap: hottest conflict keys first."""
+        if not self.cells:
+            return ("no conflicts: no overlapping segments touched a "
+                    "common key")
+        rows = sorted(self.cells.items(),
+                      key=lambda kv: (-sum(kv[1].values()), kv[0]))
+        width = max(3, max(len(k) for k, _ in rows[:limit]))
+        out = [f"{'key':<{width}}  {'WW':>5} {'WR':>5} {'RW':>5} {'total':>6}"]
+        out.append("-" * (width + 26))
+        for key, cell in rows[:limit]:
+            out.append(
+                f"{key:<{width}}  {cell['WW']:>5} {cell['WR']:>5} "
+                f"{cell['RW']:>5} {sum(cell.values()):>6}")
+        if len(rows) > limit:
+            out.append(f"... and {len(rows) - limit} more keys")
+        return "\n".join(out)
+
+
+def _qualify(rec: SegmentAccess) -> Tuple[Set[str], Set[str]]:
+    """Record's access sets with process-local state keys disambiguated."""
+    reads = {k if _is_global_key(k) else f"{rec.process}.{k}"
+             for k in rec.reads}
+    writes = {k if _is_global_key(k) else f"{rec.process}.{k}"
+              for k in rec.writes}
+    return reads, writes
+
+
+def _overlaps(a: SegmentAccess, b: SegmentAccess) -> bool:
+    a_end = a.end if a.end is not None else float("inf")
+    b_end = b.end if b.end is not None else float("inf")
+    return a.start < b_end and b.start < a_end
+
+
+def conflicts(records: List[SegmentAccess]) -> ConflictMatrix:
+    """WW/WR/RW conflict counts over every concurrent record pair.
+
+    For a pair ordered by start time (``a`` first): a key both write is
+    ``WW``; written by ``a`` and read by ``b`` is ``WR`` (the reader saw
+    speculative output); read by ``a`` and written by ``b`` is ``RW``
+    (the earlier read may be invalidated).  Pairs must come from
+    different threads and overlap in virtual time — sequential segments
+    of one thread can never conflict with themselves.
+    """
+    matrix = ConflictMatrix()
+    touched = [(r, *_qualify(r)) for r in records if r.reads or r.writes]
+    matrix.records = len(touched)
+    for i, (a, ar, aw) in enumerate(touched):
+        for (b, br, bw) in touched[i + 1:]:
+            if a.process == b.process and a.tid == b.tid:
+                continue
+            if not _overlaps(a, b):
+                continue
+            first_r, first_w, second_r, second_w = (
+                (ar, aw, br, bw) if a.start <= b.start else (br, bw, ar, aw))
+            matrix.pairs_examined += 1
+            for key in first_w & second_w:
+                matrix.add(key, "WW")
+            for key in first_w & second_r:
+                matrix.add(key, "WR")
+            for key in first_r & second_w:
+                matrix.add(key, "RW")
+    return matrix

@@ -13,6 +13,16 @@ Chrome trace layout (open in Perfetto / ``chrome://tracing``):
   one lane **per guess**, so overlapping speculation shows as stacked
   in-flight guess bars;
 * virtual time maps 1 unit → 1 ms (the ``ts`` field is microseconds).
+
+Dual-clock traces additionally get one synthetic **wall** process (the
+highest pid) holding the wall-clock timeline: one tid per pool worker
+(plus a ``driver`` lane for guess windows), so spans executed by
+different workers never collapse into a single lane and real overlap,
+queue waits and cancelled labor are visible at a glance.  Wall events
+carry ``cat="wall:<kind>"`` and their ``ts`` is wall-clock microseconds
+relative to the first observed labor.  The wall lane is strictly
+additive: dropping every event with the wall pid leaves the virtual-lane
+events byte-identical to a virtual-backend export of the same run.
 """
 
 from __future__ import annotations
@@ -34,6 +44,11 @@ _JSON_KW = dict(sort_keys=True, separators=(",", ":"))
 _EVENTS_TID = 0
 _EXEC_TID_BASE = 10
 _GUESS_TID_BASE = 1000
+
+#: Wall-clock seconds become Chrome-trace microseconds on the wall lane.
+WALL_TS_SCALE = 1e6
+#: Display name of the synthetic wall-clock process lane.
+WALL_PROCESS = "wall"
 
 
 def spans_to_jsonl(spans: Iterable[Span]) -> str:
@@ -99,6 +114,37 @@ def chrome_trace(spans: Iterable[Span]) -> Dict[str, Any]:
                 "cat": span.kind, "pid": pid, "tid": tid,
                 "ts": span.start * TS_SCALE,
                 "dur": (end - span.start) * TS_SCALE, "args": args,
+            })
+
+    # Dual-clock: wall-annotated spans get a second timeline under one
+    # synthetic process, one lane per worker — never collapsed.  Strictly
+    # additive (own pid, appended after the virtual lanes), so filtering
+    # the wall pid out recovers the virtual-backend export byte-for-byte.
+    wall_spans = [s for s in spans
+                  if s.wall_start is not None and s.wall_end is not None]
+    if wall_spans:
+        wall_pid = len(processes) + 1
+        events.append({"ph": "M", "name": "process_name", "pid": wall_pid,
+                       "tid": 0, "args": {"name": WALL_PROCESS}})
+        events.append({"ph": "M", "name": "process_sort_index",
+                       "pid": wall_pid, "tid": 0,
+                       "args": {"sort_index": wall_pid}})
+        workers = sorted({s.worker or "?" for s in wall_spans})
+        wall_tid = {name: i for i, name in enumerate(workers)}
+        epoch = min(s.wall_start for s in wall_spans)
+        for span in wall_spans:
+            tid = wall_tid[span.worker or "?"]
+            thread_names.setdefault((wall_pid, tid),
+                                    span.worker or "?")
+            span_events.append({
+                "ph": "X", "name": span.name or span.kind,
+                "cat": f"wall:{span.kind}", "pid": wall_pid, "tid": tid,
+                "ts": (span.wall_start - epoch) * WALL_TS_SCALE,
+                "dur": (span.wall_end - span.wall_start) * WALL_TS_SCALE,
+                "args": {"sid": span.sid, "kind": span.kind,
+                         "process": _display(span.process),
+                         "virtual_start": span.start,
+                         "virtual_end": span.end},
             })
 
     for (pid, tid) in sorted(thread_names):

@@ -100,7 +100,21 @@ def _interval_duration(span: Span, makespan: float) -> float:
 
 @dataclass
 class WastedWork:
-    """Partition of all traced segment/service time, in virtual time."""
+    """Partition of all traced segment/service time, in virtual time.
+
+    Dual-clock runs additionally partition the *wall-clock labor* of the
+    same spans — the substrate of the ``speculation_efficiency`` metric
+    (committed real labor over total real labor).  The wall ledger's
+    unresolved bucket is narrower than the virtual one: a server's serve
+    loop is one span that is always ``truncated`` when the run drains,
+    yet any labor burst still on it was never rolled back — it stood.  So
+    wall labor counts as wasted only when its span's effects were undone
+    (``destroyed``/``rolled_back``), as unresolved only on spans never
+    closed at all (profiling a live tracer mid-run), and as committed
+    otherwise.  Wall fields stay zero on virtual backends, and
+    :meth:`to_dict` omits the wall section entirely then, so virtual-run
+    reports are unchanged.
+    """
 
     committed: float = 0.0      #: intervals that terminated and stand
     wasted: float = 0.0         #: destroyed or rolled-back intervals
@@ -109,6 +123,10 @@ class WastedWork:
     by_guess: Dict[str, float] = field(default_factory=dict)
     #: wasted time whose discard carried no cause attribution
     unattributed: float = 0.0
+    #: wall-clock labor (seconds) in the same three classes
+    wall_committed: float = 0.0
+    wall_wasted: float = 0.0
+    wall_unresolved: float = 0.0
 
     @property
     def total(self) -> float:
@@ -118,13 +136,23 @@ class WastedWork:
     def wasted_fraction(self) -> float:
         return self.wasted / self.total if self.total > 0 else 0.0
 
+    @property
+    def wall_total(self) -> float:
+        return self.wall_committed + self.wall_wasted + self.wall_unresolved
+
+    @property
+    def speculation_efficiency(self) -> Optional[float]:
+        """Committed wall labor / total wall labor (None without wall data)."""
+        total = self.wall_total
+        return self.wall_committed / total if total > 0 else None
+
     def conserved(self, tol: float = 1e-9) -> bool:
         """Attributed + unattributed waste must re-sum to ``wasted``."""
         return abs(sum(self.by_guess.values()) + self.unattributed
                    - self.wasted) <= tol
 
     def to_dict(self) -> Dict[str, Any]:
-        return {
+        out = {
             "committed": self.committed,
             "wasted": self.wasted,
             "unresolved": self.unresolved,
@@ -133,6 +161,15 @@ class WastedWork:
             "by_guess": dict(sorted(self.by_guess.items())),
             "unattributed": self.unattributed,
         }
+        if self.wall_total > 0:
+            out["wall"] = {
+                "committed": self.wall_committed,
+                "wasted": self.wall_wasted,
+                "unresolved": self.wall_unresolved,
+                "total": self.wall_total,
+                "speculation_efficiency": self.speculation_efficiency,
+            }
+        return out
 
 
 def wasted_work(source) -> WastedWork:
@@ -163,6 +200,16 @@ def wasted_work(source) -> WastedWork:
             acc.unresolved += dur
         else:
             acc.committed += dur
+        wall = span.wall_labor  # None without dual-clock capture
+        if wall is not None:
+            # The wall ledger (see WastedWork docstring): undone -> wasted,
+            # still-open span -> unresolved, everything else stood.
+            if outcome in ("destroyed", "rolled_back"):
+                acc.wall_wasted += wall
+            elif span.end is None:
+                acc.wall_unresolved += wall
+            else:
+                acc.wall_committed += wall
     return acc
 
 

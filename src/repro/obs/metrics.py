@@ -29,6 +29,24 @@ from repro.sim.stats import Stats
 DEFAULT_BUCKETS: Tuple[float, ...] = (
     1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0, 200.0, 500.0, 1000.0)
 
+#: Help text for counters that are bumped outside the registry — executor
+#: backends keep plain ints and merge them into ``stats.counters`` at
+#: drain — but still deserve real ``# HELP`` metadata in the prometheus
+#: export instead of the generic "undeclared counter" stamp.
+WELL_KNOWN_COUNTERS: Dict[str, str] = {
+    "exec.workers": "pool workers configured on the executor backend",
+    "exec.tasks_submitted": "work payloads submitted to the executor pool",
+    "exec.tasks_completed": "pool tasks settled at their placeholder event",
+    "exec.tasks_cancelled": "pool tasks cancelled by rollback or abort",
+    "exec.gate_waits": "placeholder pops that blocked on an unfinished task",
+    "exec.pool_spinups": "lazy pool executor start-ups",
+    "wall.records": "per-task wall-clock records captured by the backend",
+    "wall.annotated": "spans annotated with wall-clock labor stamps",
+    "wall.labor_ms": "total wall-clock labor milliseconds on pool workers",
+    "wall.gate_block_ms":
+        "total wall-clock milliseconds the driver blocked at gates",
+}
+
 
 class Counter:
     """Monotonic counter; increments land in ``stats.counters[name]``."""
@@ -201,7 +219,8 @@ class MetricsRegistry:
             for name in extras:
                 pname = _sanitize(name)
                 meta(pname, "counter",
-                     f"undeclared counter (stats key {name!r})")
+                     WELL_KNOWN_COUNTERS.get(
+                         name, f"undeclared counter (stats key {name!r})"))
                 lines.append(f"{pname} {self.stats.counters[name]}")
         return "\n".join(lines) + "\n"
 

@@ -1,0 +1,202 @@
+"""Wall-clock pool telemetry: utilization, waits, speculation efficiency.
+
+The dual-clock spans (:mod:`repro.obs.spans`) say *where real labor went*;
+this module turns them — plus the executor backend's per-task
+``wall_records`` — into the report behind ``python -m repro profile
+--wall`` and the wall section of ``BENCH_obs.json``:
+
+* **per-worker utilization**: busy wall seconds per pool worker over the
+  observed labor window (first labor start → last labor end);
+* **queue-wait** (submit → worker pickup) and **gate-block** (driver
+  stalled on an unfinished future at placeholder pop) distributions;
+* **speculation efficiency** = committed wall labor / total wall labor,
+  the dual-clock analogue of the virtual wasted-work fraction — computed
+  by :func:`repro.obs.forensics.wasted_work` from the very spans whose
+  virtual accounting the conservation gate already checks.
+
+Everything here is pure post-processing: it reads spans and records, so
+a persisted dual-clock JSONL trace can be profiled after the fact (the
+record-based histograms are then simply absent).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from .forensics import WastedWork, wasted_work
+from .spans import SEGMENT, SERVICE, as_spans
+
+#: Worker label the runtime uses for driver-side wall stamps (guess
+#: windows); excluded from pool utilization — the driver is not a worker.
+DRIVER = "driver"
+
+
+def summarize_values(values: List[float]) -> Dict[str, float]:
+    """Compact distribution summary (count/total/mean/p50/p90/max)."""
+    if not values:
+        return {"count": 0, "total": 0.0, "mean": 0.0,
+                "p50": 0.0, "p90": 0.0, "max": 0.0}
+    ordered = sorted(values)
+    n = len(ordered)
+
+    def pct(q: float) -> float:
+        return ordered[min(n - 1, int(q * n))]
+
+    total = sum(ordered)
+    return {"count": n, "total": total, "mean": total / n,
+            "p50": pct(0.50), "p90": pct(0.90), "max": ordered[-1]}
+
+
+@dataclass
+class WorkerStats:
+    """Observed labor of one pool worker."""
+
+    name: str
+    busy: float = 0.0           #: total wall seconds executing labor
+    tasks: int = 0
+    first: Optional[float] = None
+    last: Optional[float] = None
+
+    def utilization(self, window: float) -> float:
+        return self.busy / window if window > 0 else 0.0
+
+    def to_dict(self, window: float) -> Dict[str, Any]:
+        return {"busy": self.busy, "tasks": self.tasks,
+                "utilization": self.utilization(window)}
+
+
+@dataclass
+class PoolReport:
+    """One run's wall-clock pool telemetry."""
+
+    window: float = 0.0                 #: first labor start → last labor end
+    workers: Dict[str, WorkerStats] = field(default_factory=dict)
+    queue_wait: Dict[str, float] = field(default_factory=dict)
+    gate_block: Dict[str, float] = field(default_factory=dict)
+    cancelled_tasks: int = 0
+    wasted: WastedWork = field(default_factory=WastedWork)
+
+    @property
+    def speculation_efficiency(self) -> Optional[float]:
+        return self.wasted.speculation_efficiency
+
+    @property
+    def total_busy(self) -> float:
+        return sum(w.busy for w in self.workers.values())
+
+    def mean_utilization(self) -> float:
+        if not self.workers:
+            return 0.0
+        return (sum(w.utilization(self.window) for w in self.workers.values())
+                / len(self.workers))
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "window": self.window,
+            "workers": {name: w.to_dict(self.window)
+                        for name, w in sorted(self.workers.items())},
+            "mean_utilization": self.mean_utilization(),
+            "queue_wait": dict(self.queue_wait),
+            "gate_block": dict(self.gate_block),
+            "cancelled_tasks": self.cancelled_tasks,
+            "speculation_efficiency": self.speculation_efficiency,
+            "wall_labor": {
+                "committed": self.wasted.wall_committed,
+                "wasted": self.wasted.wall_wasted,
+                "unresolved": self.wasted.wall_unresolved,
+                "total": self.wasted.wall_total,
+            },
+        }
+
+    def render(self) -> str:
+        """Human-readable report (``python -m repro profile --wall``)."""
+        lines = ["wall-clock pool report"]
+        if not self.workers:
+            lines.append("  no wall-annotated labor recorded — run on a "
+                         "pool backend with a tracer attached")
+            return "\n".join(lines)
+        lines.append(f"  labor window: {self.window * 1000:.1f} ms, "
+                     f"{len(self.workers)} worker(s), "
+                     f"busy {self.total_busy * 1000:.1f} ms "
+                     f"(mean utilization {self.mean_utilization():.1%})")
+        lines.append(f"  {'worker':<20} {'busy(ms)':>9} {'util':>7} "
+                     f"{'tasks':>6}")
+        for name, w in sorted(self.workers.items()):
+            lines.append(f"  {name:<20} {w.busy * 1000:>9.1f} "
+                         f"{w.utilization(self.window):>6.1%} {w.tasks:>6}")
+        for label, dist in (("queue wait", self.queue_wait),
+                            ("gate block", self.gate_block)):
+            if dist.get("count"):
+                lines.append(
+                    f"  {label}: n={dist['count']} "
+                    f"mean={dist['mean'] * 1000:.2f}ms "
+                    f"p50={dist['p50'] * 1000:.2f}ms "
+                    f"p90={dist['p90'] * 1000:.2f}ms "
+                    f"max={dist['max'] * 1000:.2f}ms")
+        if self.cancelled_tasks:
+            lines.append(f"  cancelled tasks settled: {self.cancelled_tasks}")
+        eff = self.speculation_efficiency
+        if eff is not None:
+            w = self.wasted
+            lines.append(
+                f"  speculation efficiency: {eff:.1%} "
+                f"(committed {w.wall_committed * 1000:.1f} ms / total "
+                f"{w.wall_total * 1000:.1f} ms; wasted "
+                f"{w.wall_wasted * 1000:.1f} ms, unresolved "
+                f"{w.wall_unresolved * 1000:.1f} ms)")
+        return "\n".join(lines)
+
+
+def pool_report(source, records: Optional[List[dict]] = None) -> PoolReport:
+    """Build the telemetry report from spans (+ backend wall records).
+
+    ``source`` is any span source (:func:`repro.obs.spans.as_spans`);
+    ``records`` is an executor backend's ``wall_records`` list — one entry
+    per pool task, which gives exact per-worker attribution (a long-lived
+    serve span can burst on several workers but keeps only the last label)
+    plus the queue-wait/gate-block distributions and cancelled-task counts
+    that spans alone cannot carry.  Pass ``backend.wall_records`` for live
+    runs; with only a persisted trace, worker accounting falls back to the
+    spans' burst envelopes.
+    """
+    report = PoolReport()
+    spans = as_spans(source)
+    report.wasted = wasted_work(spans)
+
+    def tally(worker: str, start: float, end: float) -> None:
+        w = report.workers.setdefault(worker, WorkerStats(worker))
+        w.busy += end - start
+        w.tasks += 1
+        w.first = start if w.first is None else min(w.first, start)
+        w.last = end if w.last is None else max(w.last, end)
+
+    waits: List[float] = []
+    blocks: List[float] = []
+    for rec in records or ():
+        if rec.get("cancelled"):
+            report.cancelled_tasks += 1
+        submit, start = rec.get("submit"), rec.get("start")
+        if submit is not None and start is not None:
+            waits.append(max(0.0, start - submit))
+        block = rec.get("gate_block", 0.0)
+        if block > 0.0:
+            blocks.append(block)
+        end = rec.get("end")
+        if start is not None and end is not None:
+            tally(rec.get("worker") or "?", start, end)
+    report.queue_wait = summarize_values(waits)
+    report.gate_block = summarize_values(blocks)
+
+    if not report.workers:
+        # Persisted-trace fallback: burst envelopes from the spans.
+        for s in spans:
+            if (s.kind in (SEGMENT, SERVICE)
+                    and s.wall_start is not None and s.wall_end is not None
+                    and s.worker is not None and s.worker != DRIVER):
+                tally(s.worker, s.wall_start, s.wall_end)
+    if report.workers:
+        epoch = min(w.first for w in report.workers.values())
+        horizon = max(w.last for w in report.workers.values())
+        report.window = horizon - epoch
+    return report

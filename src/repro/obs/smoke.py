@@ -5,6 +5,12 @@ in both supported formats, validates every artifact, and checks that the
 Fig. 6 Chrome trace is byte-identical across two runs (the determinism
 contract the golden test relies on).  Exits non-zero on any failure, so
 ``make trace-smoke`` can gate on it.
+
+The dual-clock section runs a small duplex workload on the real executor
+backends and checks the two promises of the wall lane: traces that carry
+wall stamps still validate and round-trip, and stripping the synthetic
+wall process out of the Chrome export recovers the virtual-only export
+byte-for-byte on every backend (virtual lane untouched by real time).
 """
 
 from __future__ import annotations
@@ -66,7 +72,68 @@ def run_smoke(outdir: str) -> int:
         print("FAIL: fig6 jsonl trace is not deterministic", file=sys.stderr)
         return 1
     print("determinism: fig6 trace byte-identical across runs")
+
+    rc = run_dual_clock_smoke()
+    if rc != 0:
+        return rc
     print("trace smoke OK")
+    return 0
+
+
+# ------------------------------------------------------------- dual clock
+
+def _strip_wall_lane(trace_json: str) -> str:
+    """Chrome-trace JSON with the synthetic wall process removed."""
+    doc = json.loads(trace_json)
+    wall_pids = {ev.get("pid") for ev in doc["traceEvents"]
+                 if ev.get("ph") == "M" and ev.get("name") == "process_name"
+                 and ev.get("args", {}).get("name") == "wall"}
+    doc["traceEvents"] = [ev for ev in doc["traceEvents"]
+                          if ev.get("pid") not in wall_pids]
+    return json.dumps(doc, sort_keys=True)
+
+
+def _duplex_trace(backend) -> list:
+    from repro.workloads.random_duplex import DuplexSpec, build_duplex_system
+
+    spec = DuplexSpec(n_steps=3, n_signals=1, n_servers=2, seed=7)
+    tracer = RecordingTracer()
+    build_duplex_system(spec, optimistic=True, tracer=tracer,
+                        backend=backend).run()
+    return tracer.spans()
+
+
+def run_dual_clock_smoke() -> int:
+    from repro.exec.pool import ProcessPoolBackend, ThreadPoolBackend
+    from repro.exec.virtual import VirtualTimeBackend
+
+    backends = {
+        "virtual": VirtualTimeBackend,
+        "thread": lambda: ThreadPoolBackend(2, realize_scale=0.001),
+        "process": lambda: ProcessPoolBackend(2, realize_scale=0.001),
+    }
+    stripped = {}
+    for name, make in backends.items():
+        spans = _duplex_trace(make())
+        counts = validate_spans(spans)
+        validate_jsonl(spans_to_jsonl(spans))
+        walled = sum(1 for s in spans if s.wall_start is not None
+                     and s.wall_end is not None)
+        if name == "virtual" and walled:
+            print("FAIL: virtual backend grew wall stamps", file=sys.stderr)
+            return 1
+        if name != "virtual" and not walled:
+            print(f"FAIL: {name} backend recorded no wall stamps",
+                  file=sys.stderr)
+            return 1
+        stripped[name] = _strip_wall_lane(chrome_trace_json(spans))
+        print(f"dual-clock {name}: {counts['spans']} spans validated, "
+              f"{walled} wall-stamped")
+    if not (stripped["virtual"] == stripped["thread"] == stripped["process"]):
+        print("FAIL: virtual lane differs across backends", file=sys.stderr)
+        return 1
+    print("dual-clock: virtual lane byte-identical across "
+          "virtual/thread/process backends")
     return 0
 
 

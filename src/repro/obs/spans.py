@@ -13,9 +13,26 @@ Two span shapes exist:
   messages, rollbacks, replays, orphan discards, timer firings.
 
 Span ids are small integers assigned in creation order by the tracer, and
-all timestamps are *virtual* time, so a trace of a deterministic run is
-itself deterministic — byte-identical across repetitions — and can be
-golden-tested.
+all primary timestamps are *virtual* time, so a trace of a deterministic
+run is itself deterministic — byte-identical across repetitions — and can
+be golden-tested.
+
+Dual-clock spans
+----------------
+
+On a real executor backend (:mod:`repro.exec.pool`) a span may *also*
+carry wall-clock observations: ``wall_start``/``wall_end`` (seconds, from
+``time.perf_counter``) and the ``worker`` that performed the real labor.
+The wall fields are strictly additive — they never appear in the virtual
+fields or attrs, so the virtual-time projection of a trace stays
+byte-identical across backends.  :meth:`Span.to_dict` only includes them
+when present, which keeps virtual-backend JSONL exports unchanged.
+
+A long-lived span can accumulate *several* labor bursts — a server's
+``serve`` segment is one span but services many requests, each a separate
+pool task.  The stamps then hold the burst *envelope* (first start, last
+end, last worker) while ``wall_busy`` accumulates the exact busy seconds,
+so :attr:`Span.wall_labor` never counts a server's idle gaps as labor.
 
 The kind vocabulary is deliberately shared across modes: a promise that
 has not resolved yet and a Time Warp event that may still roll back are
@@ -81,6 +98,11 @@ class Span:
     end: Optional[float] = None      #: virtual end time (None while open)
     parent: Optional[int] = None     #: sid of the enclosing span, if any
     attrs: Dict[str, Any] = field(default_factory=dict)
+    #: wall-clock observations (real backends only; see module docstring)
+    wall_start: Optional[float] = None   #: perf_counter() of real labor start
+    wall_end: Optional[float] = None     #: perf_counter() of real labor end
+    worker: Optional[str] = None         #: pool worker (or "driver")
+    wall_busy: Optional[float] = None    #: accumulated busy seconds (bursts)
 
     @property
     def duration(self) -> Optional[float]:
@@ -94,9 +116,33 @@ class Span:
         """True for zero-duration event spans."""
         return self.end == self.start
 
+    @property
+    def wall_duration(self) -> Optional[float]:
+        """Wall-clock envelope length, or ``None`` without both stamps."""
+        if self.wall_start is None or self.wall_end is None:
+            return None
+        return self.wall_end - self.wall_start
+
+    @property
+    def wall_labor(self) -> Optional[float]:
+        """Exact busy seconds when bursts were tallied, else the envelope.
+
+        Single-burst spans (a client segment's one compute task) have
+        identical busy and envelope; multi-burst spans (a server's serve
+        loop) differ, and driver-annotated guess windows — stamped start
+        and end separately — carry only the envelope.
+        """
+        if self.wall_busy is not None:
+            return self.wall_busy
+        return self.wall_duration
+
     def to_dict(self) -> Dict[str, Any]:
-        """Plain-dict form used by the JSONL exporter."""
-        return {
+        """Plain-dict form used by the JSONL exporter.
+
+        Wall-clock fields are emitted only when captured, so virtual-only
+        traces serialize exactly as they did before the dual-clock layer.
+        """
+        out = {
             "sid": self.sid,
             "kind": self.kind,
             "name": self.name,
@@ -106,6 +152,13 @@ class Span:
             "parent": self.parent,
             "attrs": dict(self.attrs),
         }
+        if self.wall_start is not None or self.worker is not None:
+            out["wall_start"] = self.wall_start
+            out["wall_end"] = self.wall_end
+            out["worker"] = self.worker
+            if self.wall_busy is not None:
+                out["wall_busy"] = self.wall_busy
+        return out
 
 
 def span_from_dict(data: Dict[str, Any]) -> Span:
@@ -114,6 +167,8 @@ def span_from_dict(data: Dict[str, Any]) -> Span:
         sid=data["sid"], kind=data["kind"], name=data["name"],
         process=data["process"], start=data["start"], end=data.get("end"),
         parent=data.get("parent"), attrs=dict(data.get("attrs", {})),
+        wall_start=data.get("wall_start"), wall_end=data.get("wall_end"),
+        worker=data.get("worker"), wall_busy=data.get("wall_busy"),
     )
 
 

@@ -52,6 +52,25 @@ class Tracer:
         """Record an instant (zero-duration) span; returns its id."""
         return -1
 
+    def annotate_wall(self, sid: int, *, start: Optional[float] = None,
+                      end: Optional[float] = None,
+                      worker: Optional[str] = None) -> None:
+        """Attach wall-clock observations to a span (real backends only).
+
+        Unlike ``end_span`` this works on closed spans too: cancelled pool
+        tasks settle at :meth:`~repro.exec.api.ExecutorBackend.drain`,
+        after their segment span was already ended by the abort path.
+        Fields left ``None`` keep any previously annotated value.
+
+        Repeated annotation *accumulates*: the stamps widen to the burst
+        envelope (min start, max end) and, when a call carries both
+        stamps — one complete labor burst, as pool settles do — the
+        burst's length is added to the span's ``wall_busy`` tally.  A
+        server's serve loop is one span but many pool tasks; widening
+        keeps its envelope honest while ``wall_busy`` keeps its labor
+        exact.
+        """
+
     def close_open(self, end: float) -> int:
         """Close any dangling spans at ``end``; returns how many."""
         return 0
@@ -113,6 +132,24 @@ class RecordingTracer(Tracer):
               **attrs: Any) -> int:
         return self._new_span(kind, process, time, time, name or kind,
                               parent, attrs).sid
+
+    def annotate_wall(self, sid: int, *, start: Optional[float] = None,
+                      end: Optional[float] = None,
+                      worker: Optional[str] = None) -> None:
+        # sids are assigned densely in creation order, so the span list
+        # doubles as the sid index — annotation is O(1), open or closed.
+        if 0 <= sid < len(self._spans):
+            span = self._spans[sid]
+            if start is not None:
+                span.wall_start = (start if span.wall_start is None
+                                   else min(span.wall_start, start))
+            if end is not None:
+                span.wall_end = (end if span.wall_end is None
+                                 else max(span.wall_end, end))
+            if worker is not None:
+                span.worker = worker
+            if start is not None and end is not None:
+                span.wall_busy = (span.wall_busy or 0.0) + (end - start)
 
     def close_open(self, end: float) -> int:
         """Close spans still open when the run ends (marked truncated)."""

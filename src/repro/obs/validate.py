@@ -7,7 +7,10 @@ encode the speculation lifecycle invariants:
 * every span is closed (``end`` set) and no duration is negative;
 * every ``guess`` span resolves exactly one way — ``outcome`` is
   ``"commit"`` or ``"abort"`` — unless the run was truncated mid-doubt
-  (``truncated`` attr), which callers may forbid via ``strict``.
+  (``truncated`` attr), which callers may forbid via ``strict``;
+* dual-clock spans are internally consistent: wall stamps are finite
+  numbers, ``wall_end >= wall_start`` whenever both are present, and a
+  wall observation names its worker.
 """
 
 from __future__ import annotations
@@ -20,6 +23,49 @@ from .spans import GUESS, Span
 
 class TraceValidationError(AssertionError):
     """A span list or exported trace violates the schema."""
+
+
+def _wall_errors(span: Any, where: str) -> List[str]:
+    """Dual-clock consistency checks for one span (empty list = ok).
+
+    Accepts anything with ``wall_start``/``wall_end``/``worker``
+    attributes or keys so both :class:`Span` objects and decoded JSONL
+    records can be checked with the same rules.
+    """
+    if isinstance(span, dict):
+        wall_start = span.get("wall_start")
+        wall_end = span.get("wall_end")
+        worker = span.get("worker")
+        wall_busy = span.get("wall_busy")
+    else:
+        wall_start = span.wall_start
+        wall_end = span.wall_end
+        worker = span.worker
+        wall_busy = span.wall_busy
+    errors: List[str] = []
+    for label, value in (("wall_start", wall_start), ("wall_end", wall_end),
+                         ("wall_busy", wall_busy)):
+        if value is not None and (not isinstance(value, (int, float))
+                                  or isinstance(value, bool)
+                                  or value != value      # NaN
+                                  or value in (float("inf"), float("-inf"))):
+            errors.append(f"non-finite {label} ({value!r}): {where}")
+    if worker is not None and (not isinstance(worker, str) or not worker):
+        errors.append(f"bad worker label ({worker!r}): {where}")
+    if (isinstance(wall_start, (int, float)) and not isinstance(wall_start, bool)
+            and isinstance(wall_end, (int, float))
+            and not isinstance(wall_end, bool)
+            and wall_end < wall_start):
+        errors.append(
+            f"negative wall duration ({wall_start} -> {wall_end}): {where}")
+    if (wall_start is not None or wall_end is not None) and worker is None:
+        errors.append(f"wall stamps without a worker: {where}")
+    if (isinstance(wall_busy, (int, float)) and not isinstance(wall_busy, bool)
+            and wall_busy == wall_busy and wall_busy < 0):
+        errors.append(f"negative wall_busy ({wall_busy}): {where}")
+    if wall_busy is not None and wall_start is None and wall_end is None:
+        errors.append(f"wall_busy without wall stamps: {where}")
+    return errors
 
 
 def validate_spans(spans: Iterable[Span], *,
@@ -47,6 +93,7 @@ def validate_spans(spans: Iterable[Span], *,
         elif span.end < span.start:
             errors.append(
                 f"negative duration ({span.start} -> {span.end}): {where}")
+        errors.extend(_wall_errors(span, where))
         if span.kind == GUESS:
             guesses += 1
             outcome = span.attrs.get("outcome")
@@ -95,7 +142,11 @@ def validate_chrome(trace: Dict[str, Any]) -> Dict[str, int]:
 
 
 def validate_jsonl(text: str) -> int:
-    """Check a JSONL export parses and carries the span fields."""
+    """Check a JSONL export parses and carries the span fields.
+
+    Wall-clock fields are optional per record, but when present they must
+    satisfy the dual-clock rules (finite stamps, ordered, worker named).
+    """
     required = ("sid", "kind", "name", "process", "start", "end")
     count = 0
     for lineno, line in enumerate(text.splitlines(), 1):
@@ -109,5 +160,8 @@ def validate_jsonl(text: str) -> int:
             if key not in record:
                 raise TraceValidationError(
                     f"line {lineno}: missing field {key!r}")
+        wall_problems = _wall_errors(record, f"line {lineno}")
+        if wall_problems:
+            raise TraceValidationError("; ".join(wall_problems))
         count += 1
     return count

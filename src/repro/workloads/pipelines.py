@@ -102,10 +102,10 @@ def run_pipeline_sequential(spec: PipelineSpec):
 
 def run_pipeline_optimistic(spec: PipelineSpec,
                             config: Optional[OptimisticConfig] = None,
-                            tracer=None):
+                            tracer=None, backend=None, access=None):
     client, tiers = build_pipeline(spec)
     system = OptimisticSystem(spec.latency_model(), config=config,
-                              tracer=tracer)
+                              tracer=tracer, backend=backend, access=access)
     system.add_program(client, stream_plan(client))
     for t in tiers:
         system.add_program(t)

@@ -133,10 +133,12 @@ def _build_side(spec: DuplexSpec, side: str) -> Tuple[Program,
 
 def build_duplex_system(spec: DuplexSpec, optimistic: bool,
                         config: Optional[OptimisticConfig] = None,
-                        tracer=None):
+                        tracer=None, backend=None, access=None):
     """Assemble both sides plus the shared servers.
 
-    ``tracer`` (optimistic mode only) enables span tracing for the run.
+    ``tracer`` (optimistic mode only) enables span tracing for the run;
+    ``backend`` selects the executor substrate and ``access`` attaches an
+    access-set recorder (:class:`repro.obs.access.AccessTracker`).
     """
     prog_a, plan_a = _build_side(spec, "A")
     prog_b, plan_b = _build_side(spec, "B")
@@ -149,7 +151,8 @@ def build_duplex_system(spec: DuplexSpec, optimistic: bool,
 
     if optimistic:
         system = OptimisticSystem(FixedLatency(spec.latency), config=config,
-                                  tracer=tracer)
+                                  tracer=tracer, backend=backend,
+                                  access=access)
         system.add_program(prog_a, plan_a)
         system.add_program(prog_b, plan_b)
     else:

@@ -142,3 +142,75 @@ def test_explain_unknown_guess(capsys):
 def test_explain_unknown_scenario(capsys):
     assert main(["explain", "fig99"]) == 2
     assert "unknown scenario" in capsys.readouterr().err
+
+
+# --------------------------------------------------- dual-clock commands
+
+def test_list_names_dual_clock_scenarios(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    assert "duplex_abort_heavy" in out
+    assert "pipeline_fault" in out
+
+
+def test_profile_wall_prints_pool_telemetry(capsys):
+    assert main(["profile", "pipeline_fault", "--wall",
+                 "--workers", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "wall-clock pool report" in out
+    assert "speculation efficiency" in out
+    assert "repro-exec_0" in out
+
+
+def test_profile_wall_rejects_fig_scenarios(capsys):
+    assert main(["profile", "fig6", "--wall"]) == 2
+    err = capsys.readouterr().err
+    assert "pool-capable" in err
+    assert "duplex_abort_heavy" in err
+
+
+def test_explain_conflicts_writes_nonempty_heatmap(tmp_path, capsys):
+    import json
+
+    out_file = tmp_path / "conflicts.json"
+    assert main(["explain", "duplex_abort_heavy", "--conflicts",
+                 "--json", str(out_file)]) == 0
+    out = capsys.readouterr().out
+    assert "conflict heatmap" in out
+    assert "WW" in out and "WR" in out and "RW" in out
+    artifact = json.loads(out_file.read_text())
+    assert artifact["scenario"] == "duplex_abort_heavy"
+    assert artifact["access"]["records"], "no access records captured"
+    keys = artifact["conflicts"]["keys"]
+    assert keys, "conflict heatmap artifact is empty"
+    assert any(sum(row.values()) > 0 for row in keys.values())
+    assert all(set(row) == {"WW", "WR", "RW"} for row in keys.values())
+
+
+def test_explain_conflicts_rejects_fig_scenarios(capsys):
+    assert main(["explain", "fig5", "--conflicts"]) == 2
+    assert "access-capable" in capsys.readouterr().err
+
+
+def test_explain_plain_forensics_on_dual_clock_scenario(capsys):
+    assert main(["explain", "pipeline_fault"]) == 0
+    out = capsys.readouterr().out
+    assert "speculation forensics" in out
+    assert "critical path:" in out
+
+
+def test_profile_prometheus_includes_exec_and_wall_counters(capsys):
+    import re
+
+    assert main(["profile", "pipeline_fault", "--wall", "--workers", "2",
+                 "--format", "prometheus"]) == 0
+    out = capsys.readouterr().out
+    for series in ("exec_workers", "exec_tasks_submitted",
+                   "exec_tasks_completed", "wall_records",
+                   "wall_labor_ms"):
+        assert f"# TYPE {series} counter" in out, series
+        assert f"# HELP {series} " in out, series
+        # well-known counters carry real help text, not the fallback
+        help_line = re.search(rf"# HELP {series} (.+)", out).group(1)
+        assert "undeclared" not in help_line, series
+        assert re.search(rf"^{series} \d", out, re.M), series

@@ -264,7 +264,11 @@ def test_health_gate_passes_against_pinned_baseline():
     report = run_bench()
     ok, messages = gate(report, pinned)
     assert ok, messages
-    # the pin is the current truth: a drift here means regenerate the pin
+    # the pin is the current truth: a drift here means regenerate the pin.
+    # The "wall" section is physical (machine-local timing) and gated by
+    # its own sanity checks in wall_gate(), so only the deterministic
+    # sections must match byte-for-byte.
+    pinned.pop("wall", None)
     assert report == pinned
 
 

@@ -1,0 +1,149 @@
+"""Access-set recording and WW/WR/RW conflict heatmaps."""
+
+from repro.core.snapshot import CowState
+from repro.obs.access import (
+    AccessTracker,
+    ConflictMatrix,
+    SegmentAccess,
+    chan_key,
+    conflicts,
+    sink_key,
+)
+from repro.workloads.random_duplex import DuplexSpec, build_duplex_system
+
+
+def rec(process, tid, start, end, reads=(), writes=(), seg=0):
+    return SegmentAccess(process=process, tid=tid, seg=seg, name=f"{process}.{seg}",
+                         start=start, end=end, outcome="completed",
+                         reads=set(reads), writes=set(writes))
+
+
+# ------------------------------------------------------------------- keys
+
+def test_channel_keys_are_symmetric_between_endpoints():
+    tracker = AccessTracker()
+    sender = rec("A", 0, 0.0, 1.0)
+    receiver = rec("B", 1, 0.0, 1.0)
+    tracker.note_send(sender, "A", "B", "op")
+    tracker.note_recv(receiver, "A", "B", "op")
+    assert sender.writes == {chan_key("A", "B", "op")}
+    assert receiver.reads == sender.writes
+    tracker.note_emit(sender, "display")
+    assert sink_key("display") in sender.writes
+    # None record (untracked segment) is quietly ignored
+    tracker.note_send(None, "A", "B", "op")
+
+
+def test_observed_state_records_key_reads_and_writes():
+    tracker = AccessTracker()
+    state = tracker.observe(CowState({"x": 1, "y": 2}))
+    r = tracker.begin_segment(state, process="P", tid=0, seg=0, name="P.0",
+                              start=0.0)
+    assert state["x"] == 1
+    state["y"] = 3
+    tracker.end_segment(r, 1.0, "completed", state)
+    assert "x" in r.reads
+    assert "y" in r.writes
+    # after end_segment the state no longer feeds the record
+    state["z"] = 9
+    assert "z" not in r.writes
+
+
+# -------------------------------------------------------------- conflicts
+
+def test_conflict_classification_ww_wr_rw():
+    k = chan_key("A", "S0", "op")
+    a = rec("A", 0, 0.0, 2.0, reads={"ra"}, writes={k})
+    b = rec("B", 1, 1.0, 3.0, reads={k}, writes={k})
+    m = conflicts([a, b])
+    assert m.pairs_examined == 1
+    # a (earlier) wrote, b wrote -> WW; a wrote, b read -> WR
+    assert m.cells[k] == {"WW": 1, "WR": 1, "RW": 0}
+    assert m.total(k) == 2
+    assert bool(m)
+
+
+def test_rw_counts_earlier_read_invalidated_by_later_write():
+    k = chan_key("S0", "A", "op")
+    early_reader = rec("A", 0, 0.0, 2.0, reads={k})
+    late_writer = rec("B", 1, 1.0, 3.0, writes={k})
+    m = conflicts([early_reader, late_writer])
+    assert m.cells[k] == {"WW": 0, "WR": 0, "RW": 1}
+
+
+def test_same_thread_segments_never_conflict():
+    k = chan_key("A", "B", "op")
+    m = conflicts([rec("A", 0, 0.0, 2.0, writes={k}, seg=0),
+                   rec("A", 0, 1.0, 3.0, writes={k}, seg=1)])
+    assert not m.cells
+
+
+def test_disjoint_intervals_never_conflict():
+    k = chan_key("A", "B", "op")
+    m = conflicts([rec("A", 0, 0.0, 1.0, writes={k}),
+                   rec("B", 1, 2.0, 3.0, writes={k})])
+    assert not m.cells
+    assert m.pairs_examined == 0
+
+
+def test_local_state_keys_are_qualified_per_process():
+    # both touch a local key "x" — different processes, so no conflict
+    m = conflicts([rec("A", 0, 0.0, 2.0, writes={"x"}),
+                   rec("B", 1, 1.0, 3.0, writes={"x"})])
+    assert not m.cells
+    # but the same process on two threads does conflict on its own key
+    m2 = conflicts([rec("A", 0, 0.0, 2.0, writes={"x"}),
+                    rec("A", 1, 1.0, 3.0, writes={"x"})])
+    assert m2.cells == {"A.x": {"WW": 1, "WR": 0, "RW": 0}}
+
+
+def test_open_records_overlap_everything_later():
+    k = chan_key("A", "B", "op")
+    open_rec = SegmentAccess(process="A", tid=0, seg=0, name="A.0",
+                             start=0.0, writes={k})
+    late = rec("B", 1, 100.0, 101.0, reads={k})
+    m = conflicts([open_rec, late])
+    assert m.cells[k]["WR"] == 1
+
+
+def test_render_orders_hottest_first_and_caps_rows():
+    m = ConflictMatrix()
+    m.add("cold", "WW")
+    for _ in range(5):
+        m.add("hot", "RW")
+    text = m.render(limit=1)
+    assert text.splitlines()[2].startswith("hot")
+    assert "1 more keys" in text
+    assert "no conflicts" in ConflictMatrix().render()
+
+
+# ------------------------------------------------------------ integration
+
+def test_abort_heavy_duplex_produces_nonempty_heatmap():
+    spec = DuplexSpec(n_steps=6, n_signals=2, n_servers=2, seed=11,
+                      wrong_guess_bias=2)
+    tracker = AccessTracker()
+    build_duplex_system(spec, optimistic=True, access=tracker).run()
+    assert tracker.records
+    # runtime observation fills the channel keys in on both endpoints
+    all_keys = set()
+    for r in tracker.records:
+        all_keys |= r.reads | r.writes
+    assert any(k.startswith("chan:") for k in all_keys)
+    m = tracker.conflicts()
+    assert m.cells, "abort-heavy duplex must show WW/WR/RW conflicts"
+    assert sum(m.total(k) for k in m.cells) > 0
+    # the matrix is deterministic for a fixed spec
+    tracker2 = AccessTracker()
+    build_duplex_system(spec, optimistic=True, access=tracker2).run()
+    assert tracker2.conflicts().to_dict() == m.to_dict()
+
+
+def test_access_recording_does_not_change_run_output():
+    spec = DuplexSpec(n_steps=4, n_signals=1, n_servers=2, seed=5)
+    plain = build_duplex_system(spec, optimistic=True).run()
+    tracked = build_duplex_system(spec, optimistic=True,
+                                  access=AccessTracker()).run()
+    assert plain.makespan == tracked.makespan
+    assert plain.final_states == tracked.final_states
+    assert plain.completion_times == tracked.completion_times

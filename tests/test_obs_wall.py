@@ -1,0 +1,274 @@
+"""Dual-clock observability: wall spans, pool telemetry, zero-cost-off."""
+
+import pytest
+
+from repro.bench.kernel import zero_cost_check
+from repro.exec.pool import ThreadPoolBackend
+from repro.obs.forensics import wasted_work
+from repro.obs.realtime import (
+    DRIVER,
+    PoolReport,
+    pool_report,
+    summarize_values,
+)
+from repro.obs.spans import GUESS, SEGMENT, Span, span_from_dict
+from repro.obs.tracer import RecordingTracer
+from repro.obs.validate import TraceValidationError, validate_spans
+from repro.workloads.random_duplex import DuplexSpec, build_duplex_system
+
+
+#: every predictor truthful (bias 997 never divides the seeded hashes),
+#: so the run commits everything it forks
+FRIENDLY = DuplexSpec(n_steps=4, n_signals=1, n_servers=2, seed=3,
+                      wrong_guess_bias=997)
+ABORT_HEAVY = DuplexSpec(n_steps=6, n_signals=2, n_servers=2, seed=11,
+                         wrong_guess_bias=2)
+
+
+def traced_pool_run(spec, workers=3):
+    tracer = RecordingTracer()
+    backend = ThreadPoolBackend(workers, realize_scale=0.002)
+    system = build_duplex_system(spec, optimistic=True, tracer=tracer,
+                                 backend=backend)
+    result = system.run()
+    return result, tracer.spans(), backend
+
+
+# ------------------------------------------------------- span accumulation
+
+def test_annotate_wall_widens_envelope_and_accumulates_busy():
+    tracer = RecordingTracer()
+    sid = tracer.start_span(SEGMENT, "S0", 0.0, name="serve")
+    tracer.end_span(sid, 9.0)
+    # three pool-task bursts land on the one long-lived serve span
+    tracer.annotate_wall(sid, start=10.0, end=10.5, worker="w0")
+    tracer.annotate_wall(sid, start=12.0, end=12.25, worker="w1")
+    tracer.annotate_wall(sid, start=11.0, end=11.5, worker="w0")
+    span = tracer.spans()[0]
+    assert span.wall_start == 10.0          # min over bursts
+    assert span.wall_end == 12.25           # max over bursts
+    assert span.worker == "w0"              # last annotation wins
+    assert span.wall_busy == pytest.approx(0.5 + 0.25 + 0.5)
+    # busy excludes the idle gaps the envelope spans
+    assert span.wall_busy < span.wall_duration
+
+
+def test_annotate_wall_split_stamps_carry_envelope_only():
+    # the driver stamps guess windows open/close separately, so no burst
+    # (start AND end in one call) is ever tallied into wall_busy
+    tracer = RecordingTracer()
+    sid = tracer.start_span(GUESS, "X", 0.0, name="g")
+    tracer.annotate_wall(sid, start=5.0, worker=DRIVER)
+    tracer.annotate_wall(sid, end=7.0, worker=DRIVER)
+    tracer.end_span(sid, 1.0, outcome="commit")
+    span = tracer.spans()[0]
+    assert span.wall_busy is None
+    assert span.wall_duration == 2.0
+    assert span.wall_labor == 2.0           # falls back to the envelope
+
+
+def test_wall_labor_prefers_busy_over_envelope():
+    span = Span(sid=0, kind=SEGMENT, name="s", process="P", start=0.0,
+                end=1.0, wall_start=0.0, wall_end=10.0, worker="w0",
+                wall_busy=3.0)
+    assert span.wall_duration == 10.0
+    assert span.wall_labor == 3.0
+    bare = Span(sid=1, kind=SEGMENT, name="s", process="P", start=0.0,
+                end=1.0)
+    assert bare.wall_labor is None
+
+
+def test_span_dict_roundtrip_preserves_wall_busy():
+    span = Span(sid=2, kind=SEGMENT, name="s", process="P", start=0.0,
+                end=1.0, wall_start=1.0, wall_end=4.0, worker="w1",
+                wall_busy=2.5)
+    data = span.to_dict()
+    assert data["wall_busy"] == 2.5
+    clone = span_from_dict(data)
+    assert clone == span
+    # virtual-only spans serialize without any wall keys at all
+    plain = Span(sid=3, kind=SEGMENT, name="s", process="P", start=0.0,
+                 end=1.0).to_dict()
+    assert "wall_start" not in plain and "wall_busy" not in plain
+
+
+# ------------------------------------------------------------- validation
+
+def _wall_span(**kw):
+    base = dict(sid=0, kind=SEGMENT, name="s", process="P", start=0.0,
+                end=1.0, wall_start=0.0, wall_end=1.0, worker="w0")
+    base.update(kw)
+    return Span(**base)
+
+
+def test_validate_rejects_negative_wall_busy():
+    with pytest.raises(TraceValidationError, match="negative wall_busy"):
+        validate_spans([_wall_span(wall_busy=-0.5)])
+
+
+def test_validate_rejects_busy_without_stamps():
+    with pytest.raises(TraceValidationError,
+                       match="wall_busy without wall stamps"):
+        validate_spans([_wall_span(wall_start=None, wall_end=None,
+                                   worker=None, wall_busy=1.0)])
+
+
+def test_validate_accepts_multi_burst_span():
+    counts = validate_spans([_wall_span(wall_end=5.0, wall_busy=2.0)])
+    assert counts["spans"] == 1
+
+
+# ---------------------------------------------------------- pool telemetry
+
+def test_summarize_values_percentiles():
+    s = summarize_values([1.0, 2.0, 3.0, 4.0, 10.0])
+    assert s["count"] == 5
+    assert s["total"] == 20.0
+    assert s["mean"] == 4.0
+    assert s["p50"] == 3.0
+    assert s["max"] == 10.0
+    empty = summarize_values([])
+    assert empty["count"] == 0 and empty["total"] == 0.0
+
+
+def test_pool_report_from_backend_records():
+    records = [
+        {"label": "a", "sid": 0, "submit": 0.0, "start": 0.1, "end": 1.1,
+         "worker": "w0", "gate_block": 0.0, "cancelled": False},
+        {"label": "b", "sid": 1, "submit": 0.0, "start": 0.2, "end": 0.7,
+         "worker": "w1", "gate_block": 0.3, "cancelled": False},
+        {"label": "c", "sid": 2, "submit": 0.5, "start": 1.2, "end": 2.1,
+         "worker": "w0", "gate_block": 0.0, "cancelled": True},
+    ]
+    report = pool_report([], records)
+    assert set(report.workers) == {"w0", "w1"}
+    assert report.workers["w0"].tasks == 2
+    assert report.workers["w0"].busy == pytest.approx(1.9)
+    assert report.cancelled_tasks == 1
+    assert report.queue_wait["count"] == 3
+    assert report.gate_block["count"] == 1
+    # window spans first labor start to last labor end
+    assert report.window == pytest.approx(2.0)
+    assert report.workers["w0"].utilization(report.window) == pytest.approx(
+        1.9 / 2.0)
+    assert 0.0 < report.mean_utilization() <= 1.0
+
+
+def test_pool_report_falls_back_to_span_envelopes():
+    spans = [
+        _wall_span(sid=0, wall_start=0.0, wall_end=1.0, worker="w0"),
+        _wall_span(sid=1, wall_start=1.0, wall_end=3.0, worker="w1"),
+        # driver-annotated guess windows never count as pool labor
+        Span(sid=2, kind=GUESS, name="g", process="X", start=0.0, end=1.0,
+             wall_start=0.0, wall_end=9.0, worker=DRIVER,
+             attrs={"outcome": "commit"}),
+    ]
+    report = pool_report(spans)
+    assert set(report.workers) == {"w0", "w1"}
+    assert report.window == pytest.approx(3.0)
+
+
+def test_pool_report_render_and_to_dict_shape():
+    report = PoolReport()
+    text = report.render()
+    assert "no pool labor" in text or "wall-clock pool report" in text
+    data = report.to_dict()
+    assert set(data) >= {"workers", "queue_wait", "gate_block",
+                         "speculation_efficiency"}
+
+
+# ------------------------------------------------------ wall-labor ledger
+
+def test_wall_ledger_classification():
+    def seg(sid, outcome=None, end=1.0, truncated=False):
+        attrs = {}
+        if outcome:
+            attrs["outcome"] = outcome
+        if truncated:
+            attrs["truncated"] = True
+        return Span(sid=sid, kind=SEGMENT, name="s", process="P", start=0.0,
+                    end=end, attrs=attrs, wall_start=0.0, wall_end=1.0,
+                    worker="w0", wall_busy=1.0)
+
+    spans = [
+        seg(0),                                   # committed
+        seg(1, outcome="destroyed"),              # undone -> wasted
+        seg(2, outcome="rolled_back"),            # undone -> wasted
+        seg(3, truncated=True),                   # survived drain -> committed
+        seg(4, end=None),                         # still open -> unresolved
+    ]
+    w = wasted_work(spans)
+    assert w.wall_committed == pytest.approx(2.0)
+    assert w.wall_wasted == pytest.approx(2.0)
+    assert w.wall_unresolved == pytest.approx(1.0)
+    assert w.wall_total == pytest.approx(5.0)
+    assert w.speculation_efficiency == pytest.approx(2.0 / 5.0)
+    assert "wall" in w.to_dict()
+
+
+def test_virtual_only_trace_has_no_wall_ledger():
+    spans = [Span(sid=0, kind=SEGMENT, name="s", process="P", start=0.0,
+                  end=1.0)]
+    w = wasted_work(spans)
+    assert w.wall_total == 0.0
+    assert w.speculation_efficiency is None
+    assert "wall" not in w.to_dict()
+
+
+# ----------------------------------------------------------- integration
+
+def test_pool_run_produces_consistent_dual_clock_telemetry():
+    result, spans, backend = traced_pool_run(FRIENDLY)
+    validate_spans(spans)
+    assert backend.wall_records, "no wall records captured"
+    assert all(r["worker"] for r in backend.wall_records
+               if r["end"] is not None)
+    report = pool_report(spans, backend.wall_records)
+    assert report.workers
+    eff = report.speculation_efficiency
+    assert eff is not None and 0.0 <= eff <= 1.0
+    # wall-labor conservation: committed + wasted + unresolved == total
+    w = report.wasted
+    assert abs(w.wall_committed + w.wall_wasted + w.wall_unresolved
+               - w.wall_total) <= 1e-9
+    # a fault-free run wastes no wall labor
+    assert w.wall_wasted == 0.0
+    assert eff == pytest.approx(1.0)
+
+
+def test_abort_heavy_pool_run_wastes_wall_labor():
+    result, spans, backend = traced_pool_run(ABORT_HEAVY)
+    report = pool_report(spans, backend.wall_records)
+    assert report.wasted.wall_wasted > 0.0
+    assert report.speculation_efficiency < 1.0
+    # telemetry from the persisted trace alone agrees on the ledger
+    persisted = pool_report(spans)
+    assert persisted.speculation_efficiency == pytest.approx(
+        report.speculation_efficiency)
+
+
+def test_stats_counters_include_wall_series_when_traced():
+    result, _spans, backend = traced_pool_run(FRIENDLY)
+    counters = result.stats.counters
+    assert counters["wall.records"] == len(backend.wall_records)
+    assert counters["wall.records"] == counters["exec.tasks_completed"]
+    assert counters["wall.annotated"] > 0
+    assert counters["wall.labor_ms"] >= 0
+
+
+# -------------------------------------------------------- zero-cost-off
+
+def test_zero_cost_check_passes():
+    ok, messages = zero_cost_check()
+    assert ok, messages
+
+
+def test_untraced_pool_run_records_nothing():
+    backend = ThreadPoolBackend(2, realize_scale=0.001)
+    system = build_duplex_system(FRIENDLY, optimistic=True, backend=backend)
+    result = system.run()
+    assert backend.wall_records == []
+    counters = result.stats.counters
+    assert counters["wall.records"] == 0
+    assert counters["wall.annotated"] == 0
+    assert counters["exec.tasks_submitted"] > 0  # labor really ran

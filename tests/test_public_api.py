@@ -43,6 +43,9 @@ DOCUMENTED_SURFACE = {
     "speculation_report", "summarize", "ProvenanceGraph",
     "build_provenance", "WastedWork", "wasted_work", "CriticalPath",
     "critical_path",
+    # dual-clock observability
+    "PoolReport", "pool_report", "AccessTracker", "ConflictMatrix",
+    "conflicts",
     # metadata
     "__version__",
 }
@@ -63,7 +66,8 @@ SUBPACKAGES = [
     "repro.workloads.random_programs", "repro.workloads.random_duplex",
     "repro.obs", "repro.obs.spans", "repro.obs.tracer",
     "repro.obs.metrics", "repro.obs.export", "repro.obs.validate",
-    "repro.obs.api", "repro.obs.smoke",
+    "repro.obs.api", "repro.obs.smoke", "repro.obs.realtime",
+    "repro.obs.access",
     "repro.exec", "repro.exec.api", "repro.exec.virtual",
     "repro.exec.pool",
 ]
