@@ -32,6 +32,9 @@ analyze-smoke:
 trace-smoke:
 	PYTHONPATH=src $(PYTHON) -m repro.obs.smoke
 
+# Fast chaos subset: 3 network-fault seeds plus the exec-fault smoke
+# pair (one worker-kill schedule, one hang-past-deadline schedule) and
+# the pool-demotion fallback gate.
 chaos-smoke:
 	PYTHONPATH=src $(PYTHON) -m repro.bench.chaos --smoke
 

@@ -61,11 +61,17 @@ from repro.core.config import (
     DeliveryHeuristic,
 )
 from repro.exec import (
+    ExecFaultPlan,
     ExecutorBackend,
     ExecutorCapabilities,
+    FallbackPolicy,
     ProcessPoolBackend,
+    RecoveryPolicy,
+    SegmentFailure,
+    TaskFaults,
     ThreadPoolBackend,
     VirtualTimeBackend,
+    WorkerKillSpec,
 )
 from repro.csp import (
     Call,
@@ -105,6 +111,12 @@ __all__ = [
     "VirtualTimeBackend",
     "ThreadPoolBackend",
     "ProcessPoolBackend",
+    "ExecFaultPlan",
+    "TaskFaults",
+    "WorkerKillSpec",
+    "RecoveryPolicy",
+    "FallbackPolicy",
+    "SegmentFailure",
     "Program",
     "Segment",
     "server_program",

@@ -294,6 +294,8 @@ def cmd_chaos(args: argparse.Namespace) -> int:
         argv.append("--check-only")
     if args.seed is not None:
         argv.extend(["--seed", str(args.seed)])
+    if args.exec_seed is not None:
+        argv.extend(["--exec-seed", str(args.exec_seed)])
     if args.out is not None:
         argv.extend(["--out", args.out])
     return chaos.main(argv)
@@ -404,6 +406,9 @@ def main(argv=None) -> int:
                               "without rewriting it")
     p_chaos.add_argument("--seed", type=int, default=None, metavar="N",
                          help="run a single fault schedule and print its row")
+    p_chaos.add_argument("--exec-seed", type=int, default=None, metavar="N",
+                         help="run a single executor-fault schedule and "
+                              "print its row")
     p_chaos.add_argument("--out", default=None, metavar="FILE",
                          help="where to write the report JSON")
     p_chaos.set_defaults(fn=cmd_chaos)

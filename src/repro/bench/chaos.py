@@ -23,6 +23,19 @@ This bench makes that claim executable:
    with forks demonstrably throttled) and *recover* (post-burst per-call
    pace within :data:`GOV_TAIL_TOLERANCE` of the clean ungoverned
    baseline, i.e. the admission window reopened).
+4. **Exec faults** — :data:`N_EXEC_SCHEDULES` seeded *executor* fault
+   plans (:class:`~repro.sim.faults.ExecFaultPlan`: worker kills
+   mid-flight, hangs past the watchdog deadline, poison payloads, lost
+   results) run on a real :class:`~repro.exec.pool.ThreadPoolBackend`
+   under :class:`~repro.exec.watchdog.RecoveryPolicy`.  Gates: committed
+   output byte-equal to the fault-free sequential reference, virtual
+   makespan *equal* to the fault-free :class:`VirtualTimeBackend` oracle
+   (zero makespan inflation in virtual time — recovery is invisible to
+   the DES), zero orphan tasks at quiescence, and a nonzero aggregate
+   injected-fault count (the plans must actually bite).  A dedicated
+   schedule additionally demotes the pool mid-run via
+   :class:`~repro.exec.watchdog.FallbackPolicy` and must still commit
+   byte-equal output.
 
 Usage::
 
@@ -50,7 +63,16 @@ from repro.core.invariants import validate_run
 from repro.core.system import OptimisticSystem
 from repro.core.streaming import make_call_chain, stream_plan
 from repro.csp.process import server_program
-from repro.sim.faults import CrashSpec, FaultPlan, LinkFaults
+from repro.exec.pool import ThreadPoolBackend
+from repro.exec.watchdog import FallbackPolicy, RecoveryPolicy
+from repro.sim.faults import (
+    CrashSpec,
+    ExecFaultPlan,
+    FaultPlan,
+    LinkFaults,
+    TaskFaults,
+    WorkerKillSpec,
+)
 from repro.sim.network import FixedLatency
 from repro.trace.events import RECV
 from repro.workloads.random_programs import (
@@ -70,6 +92,23 @@ GOV_TAIL_TOLERANCE = 0.05
 #: Relative headroom the pin gate allows on fig3 overhead.
 GATE_TOLERANCE = 0.10
 GATE_ABS_SLACK = 1e-6
+
+#: How many seeded executor-fault schedules the full bench runs.
+N_EXEC_SCHEDULES = 6
+#: The exec seeds ``--smoke`` runs: seed 0 is kill-dominated, seed 1 adds
+#: hangs past the watchdog deadline — one kill + one hang schedule.
+EXEC_SMOKE_SEEDS = (0, 1)
+#: Pool shape for the exec-fault schedules.  ``EXEC_REALIZE_SCALE`` keeps
+#: real labor tiny (a virtual unit -> 2 ms of sleep) so the sweep stays
+#: fast while still exercising genuine pool submits and cancellations.
+EXEC_WORKERS = 4
+EXEC_REALIZE_SCALE = 0.002
+#: Watchdog deadline (wall seconds) for exec schedules; hung tasks stall
+#: ``EXEC_HANG_EXTRA`` seconds — safely past deadline + grace, so every
+#: injected hang is detected, abandoned, and the label quarantined.
+EXEC_DEADLINE = 0.08
+EXEC_GRACE = 0.05
+EXEC_HANG_EXTRA = 0.2
 
 #: src/repro/bench/chaos.py -> repository root.
 REPO_ROOT = os.path.dirname(
@@ -187,6 +226,154 @@ def schedule_ok(row: Dict[str, Any]) -> bool:
         and not row["unresolved"]
         and not row["invariant_problems"]
     )
+
+
+# ------------------------------------------------------ exec-fault schedules
+
+def exec_fault_schedule(seed: int) -> Tuple[RandomProgramSpec, ExecFaultPlan]:
+    """Derive one (workload, executor fault plan) pair from a seed.
+
+    Every schedule injects worker kills and lost results plus one
+    *scheduled* kill of an in-flight task; odd seeds add hangs past the
+    watchdog deadline; every third seed adds poison payloads (which must
+    reach quarantine).  Workload seeds are offset so the exec sweep does
+    not reuse the network-fault programs.
+    """
+    spec = RandomProgramSpec(
+        n_segments=5 + _det(seed, "x.segs") % 3,
+        n_servers=2,
+        seed=1000 + seed,
+        guess_accuracy_bias=2 + _det(seed, "x.bias") % 3,
+    )
+    tasks = TaskFaults(
+        kill_p=0.15 + _frac(seed, "x.kill") * 0.25,
+        hang_p=(0.20 + _frac(seed, "x.hang") * 0.15) if seed % 2 else 0.0,
+        hang_extra=EXEC_HANG_EXTRA,
+        poison_p=(0.10 + _frac(seed, "x.poison") * 0.15)
+        if seed % 3 == 2 else 0.0,
+        lose_result_p=0.05 + _frac(seed, "x.lose") * 0.15,
+    )
+    plan = ExecFaultPlan(
+        seed=seed,
+        tasks=tasks,
+        kills=[WorkerKillSpec(at=2.0 + _frac(seed, "x.kill_at") * 10.0)],
+    )
+    return spec, plan
+
+
+def exec_recovery() -> RecoveryPolicy:
+    """The recovery policy every exec schedule runs under."""
+    return RecoveryPolicy(deadline=EXEC_DEADLINE, grace=EXEC_GRACE,
+                          max_retries=3, quarantine_after=2)
+
+
+def run_exec_schedule(seed: int) -> Dict[str, Any]:
+    """Run one exec-fault schedule; returns its (gateable) report row.
+
+    Three runs of the same seeded workload: the fault-free sequential
+    reference (output oracle), the fault-free default-backend optimistic
+    run (virtual-makespan oracle), and the faulted thread-pool run under
+    recovery.  Recovery must be invisible in virtual time and byte-equal
+    in output.
+    """
+    spec, plan = exec_fault_schedule(seed)
+    seq = build_random_system(spec, optimistic=False).run()
+    oracle = build_random_system(
+        spec, optimistic=True, config=chaos_config()).run()
+    backend = ThreadPoolBackend(
+        EXEC_WORKERS, realize_scale=EXEC_REALIZE_SCALE,
+        exec_faults=plan, recovery=exec_recovery())
+    system = build_random_system(
+        spec, optimistic=True, config=chaos_config(), backend=backend)
+    result = system.run()
+
+    invariant_problems: List[str] = []
+    try:
+        validate_run(system)
+    except Exception as exc:  # ProtocolError carries the problem list
+        invariant_problems = str(exc).splitlines()
+
+    expected = seq.sink_output("display")
+    got = result.sink_output("display")
+    stats = result.stats.counters
+    injected = (backend.kills_injected + backend.hangs_injected
+                + backend.poison_injected + backend.results_lost
+                + backend.sched_kills)
+    return {
+        "seed": seed,
+        "plan": {"kill_p": round(plan.tasks.kill_p, 3),
+                 "hang_p": round(plan.tasks.hang_p, 3),
+                 "poison_p": round(plan.tasks.poison_p, 3),
+                 "lose_result_p": round(plan.tasks.lose_result_p, 3),
+                 "sched_kill_at": round(plan.kills[0].at, 3)},
+        "equivalent": got == expected,
+        "makespan_equal": result.makespan == oracle.makespan,
+        "oracle_makespan": round(oracle.makespan, 6),
+        "makespan": round(result.makespan, 6),
+        "orphan_tasks": backend.pending(),
+        "unresolved": list(result.unresolved),
+        "invariant_problems": invariant_problems,
+        "faults_injected": injected,
+        "task_failures": len(backend.task_errors),
+        "counters": {
+            key: stats.get(key, 0)
+            for key in (
+                "exec.tasks_submitted", "exec.tasks_cancelled",
+                "exec.fault.kills_injected", "exec.fault.hangs_injected",
+                "exec.fault.poison_injected", "exec.fault.results_lost",
+                "exec.fault.sched_kills", "exec.fault.quarantined",
+                "exec.fault.quarantine_skips", "exec.retry.attempts",
+                "exec.retry.respawns", "exec.retry.exhausted",
+                "exec.watchdog.timeouts", "exec.watchdog.abandoned",
+                "exec.task_errors",
+            )
+        },
+    }
+
+
+def exec_schedule_ok(row: Dict[str, Any]) -> bool:
+    return (
+        row["equivalent"]
+        and row["makespan_equal"]
+        and row["orphan_tasks"] == 0
+        and not row["unresolved"]
+        and not row["invariant_problems"]
+    )
+
+
+def exec_fallback_report() -> Dict[str, Any]:
+    """Graceful degradation: demote a sick pool mid-run, stay byte-equal.
+
+    The hang-heavy smoke schedule runs under a one-strike
+    :class:`FallbackPolicy`: the first fault event demotes the backend to
+    virtual-time passthrough.  The demoted run must actually demote, drain
+    every in-flight handle, and still commit output byte-equal to the
+    fault-free oracle at the oracle's makespan.
+    """
+    spec, plan = exec_fault_schedule(1)
+    oracle = build_random_system(
+        spec, optimistic=True, config=chaos_config()).run()
+    recovery = RecoveryPolicy(deadline=EXEC_DEADLINE, grace=EXEC_GRACE,
+                              max_retries=1, quarantine_after=1,
+                              fallback=FallbackPolicy(max_faults=1))
+    backend = ThreadPoolBackend(
+        EXEC_WORKERS, realize_scale=EXEC_REALIZE_SCALE,
+        exec_faults=plan, recovery=recovery)
+    system = build_random_system(
+        spec, optimistic=True, config=chaos_config(), backend=backend)
+    result = system.run()
+    equal = (result.sink_output("display") == oracle.sink_output("display"))
+    return {
+        "demoted": backend.fallen_back,
+        "fallback_reason": backend.fallback_reason,
+        "virtual_segments": backend.fallback_virtual,
+        "outputs_equal": equal,
+        "makespan_equal": result.makespan == oracle.makespan,
+        "orphan_tasks": backend.pending(),
+        "ok": bool(backend.fallen_back and equal
+                   and result.makespan == oracle.makespan
+                   and backend.pending() == 0),
+    }
 
 
 # ----------------------------------------------------- resilience overhead
@@ -313,19 +500,29 @@ def governor_report() -> Dict[str, Any]:
 # ------------------------------------------------------------------ report
 
 def run_bench(seeds: Optional[List[int]] = None,
-              full: bool = True) -> Dict[str, Any]:
-    """Run the chaos schedules (and, when ``full``, the two extra gates)."""
+              full: bool = True,
+              exec_seeds: Optional[List[int]] = None) -> Dict[str, Any]:
+    """Run the chaos schedules (and, when ``full``, the extra gates)."""
     if seeds is None:
         seeds = list(range(N_SCHEDULES))
+    if exec_seeds is None:
+        exec_seeds = list(range(N_EXEC_SCHEDULES))
     report: Dict[str, Any] = {
         "meta": {
             "n_schedules": len(seeds),
             "seeds": list(seeds),
+            "exec_seeds": list(exec_seeds),
+            "exec_workers": EXEC_WORKERS,
+            "exec_deadline": EXEC_DEADLINE,
             "fig3_overhead_limit": FIG3_OVERHEAD_LIMIT,
             "gov_tail_tolerance": GOV_TAIL_TOLERANCE,
             "gate_tolerance": GATE_TOLERANCE,
         },
         "schedules": [run_schedule(seed) for seed in seeds],
+        "exec_faults": {
+            "schedules": [run_exec_schedule(seed) for seed in exec_seeds],
+            "fallback": exec_fallback_report(),
+        },
     }
     if full:
         report["fig3_overhead"] = fig3_overhead()
@@ -357,6 +554,51 @@ def gate(report: Dict[str, Any],
     messages.append(
         f"schedules: {n_ok}/{len(report['schedules'])} equivalent, "
         f"orphan-free, invariant-clean")
+
+    exec_section = report.get("exec_faults")
+    if exec_section is not None:
+        rows = exec_section["schedules"]
+        for row in rows:
+            if exec_schedule_ok(row):
+                continue
+            ok = False
+            if not row["equivalent"]:
+                messages.append(
+                    f"exec seed {row['seed']}: committed output diverged "
+                    f"from the sequential reference under executor faults")
+            if not row["makespan_equal"]:
+                messages.append(
+                    f"exec seed {row['seed']}: virtual makespan inflated by "
+                    f"recovery ({row['makespan']:g} != oracle "
+                    f"{row['oracle_makespan']:g})")
+            if row["orphan_tasks"]:
+                messages.append(
+                    f"exec seed {row['seed']}: {row['orphan_tasks']} orphan "
+                    f"pool task(s) at quiescence")
+            if row["unresolved"]:
+                messages.append(
+                    f"exec seed {row['seed']}: unresolved processes: "
+                    f"{row['unresolved']}")
+            for problem in row["invariant_problems"]:
+                messages.append(f"exec seed {row['seed']}: {problem}")
+        injected = sum(row["faults_injected"] for row in rows)
+        if rows and injected == 0:
+            ok = False
+            messages.append(
+                "exec faults: no faults injected across the sweep — the "
+                "plans never bit, the gates are vacuous")
+        n_exec_ok = sum(1 for row in rows if exec_schedule_ok(row))
+        messages.append(
+            f"exec schedules: {n_exec_ok}/{len(rows)} equivalent, "
+            f"orphan-free, makespan-exact ({injected} faults injected)")
+        fb = exec_section.get("fallback")
+        if fb is not None and not fb["ok"]:
+            ok = False
+            messages.append(
+                f"exec fallback: demoted={fb['demoted']} "
+                f"outputs_equal={fb['outputs_equal']} "
+                f"makespan_equal={fb['makespan_equal']} "
+                f"orphans={fb['orphan_tasks']}")
 
     fig3 = report.get("fig3_overhead")
     if fig3 is not None:
@@ -402,6 +644,24 @@ def _print_summary(report: Dict[str, Any]) -> None:
               f"{str(row['equivalent']):>7}{c['opt.aborts']:>8}"
               f"{c['net.retransmits']:>9}{c['net.frames_deduped']:>7}"
               f"{c['opt.orphan_queries']:>9}{row['makespan']:>10.1f}")
+    exec_section = report.get("exec_faults")
+    if exec_section:
+        print(f"{'xseed':>5}{'equiv':>7}{'mkeq':>6}{'inj':>5}{'retry':>7}"
+              f"{'quar':>6}{'aband':>7}{'fail':>6}{'orph':>6}")
+        for row in exec_section["schedules"]:
+            c = row["counters"]
+            print(f"{row['seed']:>5}{str(row['equivalent']):>7}"
+                  f"{str(row['makespan_equal']):>6}"
+                  f"{row['faults_injected']:>5}"
+                  f"{c['exec.retry.attempts']:>7}"
+                  f"{c['exec.fault.quarantined']:>6}"
+                  f"{c['exec.watchdog.abandoned']:>7}"
+                  f"{row['task_failures']:>6}{row['orphan_tasks']:>6}")
+        fb = exec_section.get("fallback")
+        if fb:
+            print(f"exec fallback: demoted={fb['demoted']} "
+                  f"({fb['virtual_segments']} virtual segment(s)), "
+                  f"byte-equal={fb['outputs_equal']}")
     fig3 = report.get("fig3_overhead")
     if fig3:
         print(f"fig3 resilience overhead: {fig3['overhead_fraction']:+.4%} "
@@ -428,6 +688,9 @@ def main(argv: Optional[list] = None) -> int:
                              "update (fast; used by `make chaos-smoke`)")
     parser.add_argument("--seed", type=int, default=None,
                         help="run a single schedule seed and print its row")
+    parser.add_argument("--exec-seed", type=int, default=None,
+                        help="run a single executor-fault schedule seed "
+                             "and print its row")
     args = parser.parse_args(argv)
 
     if args.seed is not None:
@@ -435,8 +698,14 @@ def main(argv: Optional[list] = None) -> int:
         print(json.dumps(row, indent=2, sort_keys=True))
         return 0 if schedule_ok(row) else 1
 
+    if args.exec_seed is not None:
+        row = run_exec_schedule(args.exec_seed)
+        print(json.dumps(row, indent=2, sort_keys=True))
+        return 0 if exec_schedule_ok(row) else 1
+
     if args.smoke:
-        report = run_bench(seeds=list(SMOKE_SEEDS), full=True)
+        report = run_bench(seeds=list(SMOKE_SEEDS), full=True,
+                           exec_seeds=list(EXEC_SMOKE_SEEDS))
         ok, messages = gate(report, pinned=None)
         _print_summary(report)
         for msg in messages:

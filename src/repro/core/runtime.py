@@ -196,6 +196,19 @@ class ProcessRuntime:
         """Record one protocol event for this process."""
         self.system.log_protocol_event(self.name, kind, detail)
 
+    def on_exec_failure(self, failure) -> None:
+        """A pool task carrying this process's segment labor failed.
+
+        Labor is effect-free by construction, so the substrate already
+        recovered (retry, quarantine, or fallback) and the segment's
+        virtual completion stands — this records the abort-and-fallback
+        in the process's protocol events and metrics, never a crash.
+        """
+        self.m.exec_failures.inc()
+        self.log_event("exec_failure", label=failure.label,
+                       failure=failure.kind, attempts=failure.attempts,
+                       quarantined=failure.quarantined)
+
     # ----------------------------------------------------------------- fork
 
     def maybe_fork(self, thread: OptimisticThread, seg_idx: int) -> bool:

@@ -46,6 +46,11 @@ class OptimisticResult:
     unresolved: List[str]                # processes that never fully committed
     spans: List[Span] = field(default_factory=list)
     metrics: Optional[MetricsRegistry] = None
+    #: structured SegmentFailure records from the executor backend: pool
+    #: tasks whose real labor could not be earned (empty on virtual
+    #: backends and on healthy pools).  Informational by construction —
+    #: labor is effect-free, so these never affect committed output.
+    exec_failures: List[Any] = field(default_factory=list)
 
     @property
     def completion_time(self) -> float:
@@ -119,6 +124,11 @@ class OptimisticSystem:
         self.backend = backend if backend is not None else VirtualTimeBackend()
         self.scheduler = self.backend.bind(max_steps=self.config.max_steps,
                                            tracer=self.tracer)
+        # Substrate failures surface into the run (protocol log + per-
+        # process metrics) as abort-and-fallback, never a crash — see
+        # repro.exec.watchdog.
+        self.backend.on_segment_failure = self._on_segment_failure
+        self.backend.on_fallback = self._on_exec_fallback
         self.stats = Stats()
         self.metrics = MetricsRegistry(self.stats)
         self.runtime_metrics = RuntimeMetrics(self.metrics)
@@ -240,6 +250,24 @@ class OptimisticSystem:
         entry.update(detail)
         self.protocol_log.append(entry)
 
+    def _on_segment_failure(self, failure) -> None:
+        """Backend hook: one pool task's labor could not be earned.
+
+        Routed to the owning runtime when the task label names one (so the
+        failure lands in that process's protocol events and metrics),
+        logged under the synthetic ``"exec"`` process otherwise.
+        """
+        runtime = self.runtimes.get(failure.process)
+        if runtime is not None:
+            runtime.on_exec_failure(failure)
+        else:
+            self.log_protocol_event("exec", "exec_failure",
+                                    failure.to_dict())
+
+    def _on_exec_fallback(self, backend, reason: str) -> None:
+        """Backend hook: the pool demoted itself to virtual passthrough."""
+        self.log_protocol_event("exec", "exec_fallback", {"reason": reason})
+
     # ------------------------------------------------------------------ run
 
     def _lint_strict(self, entries, target: str) -> None:
@@ -360,4 +388,5 @@ class OptimisticSystem:
             unresolved=unresolved,
             spans=self.tracer.spans(),
             metrics=self.metrics,
+            exec_failures=list(self.backend.task_errors),
         )

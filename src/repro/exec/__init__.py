@@ -7,6 +7,14 @@ implementations — the single-threaded DES oracle
 (:class:`ThreadPoolBackend`) and a process pool
 (:class:`ProcessPoolBackend`).  See ``docs/BACKENDS.md`` for the
 contract and the cross-backend equivalence guarantee.
+
+The substrate is fault-tolerant: a seeded :class:`ExecFaultPlan` injects
+worker kills, hangs, poisoned payloads and lost results through the pool
+backends, and a :class:`RecoveryPolicy` (watchdog deadlines, bounded
+retry, quarantine, optional :class:`FallbackPolicy` demotion to virtual
+passthrough) recovers from them — injected or real — without ever
+changing committed output.  Unearned labor surfaces as structured
+:class:`SegmentFailure` records, never a crash.
 """
 
 from repro.exec.api import (
@@ -17,17 +25,43 @@ from repro.exec.api import (
     Work,
     WorkContext,
 )
+from repro.exec.faults import (
+    ExecFaultError,
+    ExecFaultInjector,
+    ExecFaultPlan,
+    PoisonedPayload,
+    TaskFaults,
+    WorkerKilled,
+    WorkerKillSpec,
+)
 from repro.exec.pool import ProcessPoolBackend, ThreadPoolBackend
 from repro.exec.virtual import VirtualTimeBackend
+from repro.exec.watchdog import (
+    FallbackPolicy,
+    RecoveryPolicy,
+    SegmentFailure,
+    Watchdog,
+)
 
 __all__ = [
     "CancelledWork",
+    "ExecFaultError",
+    "ExecFaultInjector",
+    "ExecFaultPlan",
     "ExecutorBackend",
     "ExecutorCapabilities",
+    "FallbackPolicy",
+    "PoisonedPayload",
     "ProcessPoolBackend",
+    "RecoveryPolicy",
+    "SegmentFailure",
+    "TaskFaults",
     "TaskHandle",
     "ThreadPoolBackend",
     "VirtualTimeBackend",
+    "Watchdog",
     "Work",
     "WorkContext",
+    "WorkerKilled",
+    "WorkerKillSpec",
 ]

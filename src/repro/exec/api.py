@@ -133,7 +133,8 @@ class TaskHandle:
 
     __slots__ = ("label", "cancelled", "future", "_event", "_token",
                  "_backend", "span_sid", "wall_submit", "wall_start",
-                 "wall_end", "wall_worker")
+                 "wall_end", "wall_worker", "_seq", "_base_work",
+                 "_fault", "_killed", "_hung")
 
     def __init__(self, label: str = "") -> None:
         self.label = label
@@ -142,6 +143,12 @@ class TaskHandle:
         self._event = None        # the virtual placeholder event
         self._token = None        # cooperative cancel token
         self._backend = None
+        # Fault-plane bookkeeping (see repro.exec.faults / .watchdog).
+        self._seq = 0             # submission order, for deterministic kills
+        self._base_work = None    # clean payload, resubmitted on retry
+        self._fault = None        # injected fault kind, if any
+        self._killed = False      # scheduled kill took this task's worker
+        self._hung = False        # watchdog deadline expired on this task
         # Dual-clock observations (populated only while a tracer records).
         self.span_sid = -1        # segment span the wall stamps belong to
         self.wall_submit = None   # perf_counter() at submission
@@ -195,6 +202,19 @@ class ExecutorBackend:
     def __init__(self) -> None:
         self.scheduler: Optional[Scheduler] = None
         self.tracer = None
+        #: structured :class:`~repro.exec.watchdog.SegmentFailure` records
+        #: for tasks whose real labor could not be earned (always empty on
+        #: virtual backends — no real labor, nothing to lose)
+        self.task_errors: list = []
+        #: set once a FallbackPolicy demoted this backend to virtual
+        #: passthrough mid-run (see docs/BACKENDS.md, "Fault tolerance")
+        self.fallen_back = False
+        #: optional system hook: called with each SegmentFailure as it is
+        #: settled, so the runtime can log the abort-and-fallback
+        self.on_segment_failure: Optional[Callable[[Any], None]] = None
+        #: optional system hook: called once on fallback demotion with
+        #: ``(backend, reason)``
+        self.on_fallback: Optional[Callable[[Any, str], None]] = None
 
     # ------------------------------------------------------------- binding
 

@@ -20,17 +20,33 @@ is realized as a real sleep of ``d * realize_scale`` seconds on a worker.
 The chaos-parity gate in ``repro.bench.parallel`` uses this so all 24
 fault schedules genuinely exercise submission, overlap, and
 abort-triggered cancellation without touching the workloads.
+
+Fault tolerance (docs/BACKENDS.md, "Fault tolerance"): because payloads
+are effect-free and the placeholder events are untouched, losing labor is
+never a correctness problem — so the backends *recover* instead of
+crashing.  A :class:`~repro.exec.watchdog.RecoveryPolicy` bounds gate
+waits with a monotonic watchdog deadline, respawns broken pools
+(``BrokenProcessPool``), retries transient losses (dead worker, lost
+result) with bounded backoff, quarantines deterministically failing
+payloads by label, and — under a
+:class:`~repro.exec.watchdog.FallbackPolicy` — demotes a sick pool to
+virtual passthrough mid-run, preserving byte-equal committed output.
+An :class:`~repro.sim.faults.ExecFaultPlan` (``exec_faults=``) injects
+exactly these faults, seeded, for the chaos harness.
 """
 
 from __future__ import annotations
 
 import multiprocessing
 import threading
-from concurrent.futures import CancelledError, Executor, ProcessPoolExecutor, \
-    ThreadPoolExecutor
+import time
+import traceback as traceback_module
+from concurrent.futures import BrokenExecutor, CancelledError, Executor, \
+    ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures import TimeoutError as FuturesTimeout
 from functools import partial
 from time import perf_counter
-from typing import Callable, List, Optional
+from typing import Callable, Dict, List, Optional
 
 from repro.exec.api import (
     CancelledWork,
@@ -40,6 +56,23 @@ from repro.exec.api import (
     Work,
     WorkContext,
 )
+from repro.exec.faults import (
+    LOST_RESULT,
+    ExecFaultInjector,
+    PoisonedPayload,
+    WorkerKilled,
+    hung_work,
+    killed_work,
+    lost_work,
+    poisoned_work,
+)
+from repro.exec.watchdog import (
+    TRANSIENT_KINDS,
+    RecoveryPolicy,
+    SegmentFailure,
+    Watchdog,
+)
+from repro.sim.faults import ExecFaultPlan
 
 
 def _timed_work(seconds: float, ctx: WorkContext) -> None:
@@ -58,18 +91,33 @@ def _walled_work(work: Work, ctx: WorkContext):
     process backend ships this picklable wrapper instead and reads the
     ``(wall_start, wall_end, worker)`` tuple off the future at settle
     time.  Payload results are discarded by contract, so hijacking the
-    return value is free.
+    return value is free — except for the fault plane's lost-result
+    sentinel, which must survive the trip so the gate can detect it.
     """
     t0 = perf_counter()
-    work(ctx)
+    result = work(ctx)
+    if result == LOST_RESULT:
+        return result
     return (t0, perf_counter(), multiprocessing.current_process().name)
 
 
+def _classify_exception(exc: BaseException) -> str:
+    """Failure kind for an exception a settled payload raised."""
+    if isinstance(exc, WorkerKilled) or isinstance(exc, BrokenExecutor):
+        return "worker_death"
+    if isinstance(exc, PoisonedPayload):
+        return "poison"
+    return "error"
+
+
 class _PoolBackend(ExecutorBackend):
-    """Shared machinery: placeholder gating, cancel tokens, drain."""
+    """Shared machinery: placeholder gating, cancel tokens, drain,
+    fault injection and the detection/recovery loop."""
 
     def __init__(self, workers: int = 8, *,
-                 realize_scale: float = 0.0) -> None:
+                 realize_scale: float = 0.0,
+                 exec_faults: Optional[ExecFaultPlan] = None,
+                 recovery: Optional[RecoveryPolicy] = None) -> None:
         super().__init__()
         if workers < 1:
             raise ValueError(f"workers must be >= 1: {workers!r}")
@@ -77,10 +125,33 @@ class _PoolBackend(ExecutorBackend):
         #: seconds of real sleep per unit of live Compute virtual time
         #: (0.0 = only explicit ``Compute(work=...)`` payloads run for real)
         self.realize_scale = realize_scale
+        #: detection/recovery knobs; the default policy has no watchdog
+        #: deadline and no fallback — pre-recovery behavior, plus bounded
+        #: retry on genuinely broken pools
+        self.recovery = recovery if recovery is not None else RecoveryPolicy()
+        self.recovery.validate()
+        self._watchdog: Optional[Watchdog] = (
+            Watchdog(self.recovery.deadline, self.recovery.grace)
+            if self.recovery.deadline is not None else None)
+        #: seeded exec-fault plan (None = no injection, zero overhead)
+        self._exec_plan = exec_faults
+        self._injector: Optional[ExecFaultInjector] = (
+            ExecFaultInjector(exec_faults) if exec_faults is not None
+            else None)
         self._pool: Optional[Executor] = None
+        #: pools retired mid-run (hung worker, BrokenProcessPool); shut
+        #: down without waiting so a zombie can never block the driver
+        self._zombies: List[Executor] = []
         #: submitted-but-unsettled handles; the gate removes fired tasks,
         #: :meth:`drain` settles cancelled ones
         self._inflight: set = set()
+        #: task labels whose payload failed deterministically too often;
+        #: their later submissions skip real labor (semantically free)
+        self._quarantined: set = set()
+        #: workers declared dead (abandoned past the watchdog grace) —
+        #: worker name -> perf_counter() at declaration; feeds the
+        #: dead-worker validation rule in :mod:`repro.obs.validate`
+        self.dead_workers: Dict[str, float] = {}
         self.tasks_submitted = 0
         self.tasks_completed = 0
         self.tasks_cancelled = 0
@@ -88,6 +159,22 @@ class _PoolBackend(ExecutorBackend):
         #: often real time was on the driver's critical path
         self.gate_waits = 0
         self.pool_spinups = 0
+        # fault-plane telemetry (exec.fault.* / exec.retry.* /
+        # exec.fallback.* counters; plain ints, pull-based)
+        self.kills_injected = 0
+        self.hangs_injected = 0
+        self.poison_injected = 0
+        self.results_lost = 0
+        self.sched_kills = 0
+        self.quarantine_skips = 0
+        self.fault_events = 0
+        self.retries = 0
+        self.respawns = 0
+        self.retry_exhausted = 0
+        self.demotions = 0
+        self.fallback_virtual = 0
+        self.fallback_reason = ""
+        self._pending_kills = 0
         #: dual-clock capture: one record per settled real task while a
         #: tracer records (``repro.obs.realtime`` reads these)
         self.wall_records: List[dict] = []
@@ -101,6 +188,10 @@ class _PoolBackend(ExecutorBackend):
         # code (zero per-task clock reads or allocations).
         self._wall_on = bool(tracer is not None
                              and getattr(tracer, "enabled", False))
+        if self._exec_plan is not None:
+            for spec in self._exec_plan.kills:
+                scheduler.at(spec.at, partial(self._fire_kill, spec.kills),
+                             label="exec.worker_kill")
         return scheduler
 
     def wall_now(self) -> Optional[float]:
@@ -126,6 +217,43 @@ class _PoolBackend(ExecutorBackend):
             self.pool_spinups += 1
         return self._pool
 
+    @property
+    def quarantined(self) -> frozenset:
+        """Task labels currently quarantined (skipping real labor)."""
+        return frozenset(self._quarantined)
+
+    @property
+    def watchdog(self) -> Optional[Watchdog]:
+        """The armed watchdog (None unless the policy set a deadline)."""
+        return self._watchdog
+
+    def _draw_fault(self) -> Optional[str]:
+        """Fault verdict for the task being submitted (None = clean)."""
+        if self._pending_kills > 0:
+            # a scheduled kill found nothing in flight; it hits the next
+            # submission instead so a kill never silently misses
+            self._pending_kills -= 1
+            self.sched_kills += 1
+            return "kill"
+        injector = self._injector
+        if injector is None:
+            return None
+        return injector.draw(self.scheduler.now)
+
+    def _faulted_work(self, kind: str, work: Work) -> Work:
+        """Wrap ``work`` so the drawn fault manifests inside a worker."""
+        if kind == "kill":
+            self.kills_injected += 1
+            return partial(killed_work, work)
+        if kind == "hang":
+            self.hangs_injected += 1
+            return partial(hung_work, self._exec_plan.tasks.hang_extra, work)
+        if kind == "poison":
+            self.poison_injected += 1
+            return partial(poisoned_work, work)
+        self.results_lost += 1
+        return partial(lost_work, work)
+
     def submit_segment(self, delay: float, resume: Callable[[], None], *,
                        label: str = "", work: Optional[Work] = None,
                        span_sid: int = -1):
@@ -135,16 +263,36 @@ class _PoolBackend(ExecutorBackend):
             else:
                 # nothing real to do: identical to the virtual backend
                 return self.scheduler.after(delay, resume, label=label)
+        if self.fallen_back:
+            # demoted by the FallbackPolicy: pure virtual passthrough,
+            # byte-equal to VirtualTimeBackend by construction
+            self.fallback_virtual += 1
+            return self.scheduler.after(delay, resume, label=label)
+        if self._quarantined and label in self._quarantined:
+            # quarantined label: skip the labor, keep the virtual event
+            self.quarantine_skips += 1
+            return self.scheduler.after(delay, resume, label=label)
         handle = TaskHandle(label=label)
+        handle._seq = self.tasks_submitted
+        handle._base_work = work
         token = self._new_token()
         handle._token = token
         handle._backend = self
+        fault = self._draw_fault()
+        if fault is not None:
+            handle._fault = fault
+            work = self._faulted_work(fault, work)
         if self._wall_on:
             handle.span_sid = span_sid
             handle.wall_submit = perf_counter()
             work = self._wrap_work(work, handle)
-        handle.future = self._submit_work(
-            self._ensure_pool(), work, WorkContext(token))
+        try:
+            handle.future = self._submit_work(
+                self._ensure_pool(), work, WorkContext(token))
+        except BrokenExecutor:
+            self._respawn_pool()
+            handle.future = self._submit_work(
+                self._ensure_pool(), work, WorkContext(token))
         self.tasks_submitted += 1
         self._inflight.add(handle)
 
@@ -156,11 +304,7 @@ class _PoolBackend(ExecutorBackend):
             if blocked:
                 self.gate_waits += 1
             wait0 = perf_counter() if (blocked and self._wall_on) else None
-            result = None
-            try:
-                result = future.result()
-            except (CancelledWork, CancelledError):
-                pass  # result discarded; the virtual duration still stands
+            result = self._settle(handle)
             self.tasks_completed += 1
             self._inflight.discard(handle)
             handle._backend = None
@@ -174,6 +318,201 @@ class _PoolBackend(ExecutorBackend):
         # virtual backend would — this is the whole equivalence argument.
         handle._event = self.scheduler.after(delay, gate, label=label)
         return handle
+
+    # --------------------------------------------- detection and recovery
+
+    def _await(self, handle: TaskHandle) -> bool:
+        """Wait for the handle's future, watchdog-bounded when armed."""
+        watchdog = self._watchdog
+        if watchdog is None:
+            try:
+                handle.future.exception()  # blocks until done
+            except CancelledError:
+                pass
+            return True
+        before = watchdog.timeouts
+        done = watchdog.await_future(handle.future, handle._token)
+        if watchdog.timeouts > before:
+            handle._hung = True
+        return done
+
+    def _settle(self, handle: TaskHandle):
+        """Earn (or give up on) one task's real labor; returns its result.
+
+        The recovery loop: watchdog-bounded waits, broken-pool respawn,
+        bounded retry with backoff for transient faults (dead worker,
+        lost result, deadline overrun), quarantine for deterministic
+        ones (poison, payload bugs).  Failures become structured
+        :class:`SegmentFailure` records — the placeholder's virtual
+        semantics are identical either way, because the result is
+        discarded by contract.
+        """
+        policy = self.recovery
+        attempts = 1
+        while True:
+            if not self._await(handle):
+                # hung past deadline + grace: that worker is gone for good
+                self._abandon(handle)
+                self._note_fault()
+                self._record_failure(handle, "hang", attempts, None,
+                                     quarantine=not handle.cancelled)
+                return None
+            kind: Optional[str] = None
+            error: Optional[BaseException] = None
+            result = None
+            try:
+                result = handle.future.result()
+            except (CancelledWork, CancelledError) as exc:
+                if handle._killed:
+                    kind, error = "worker_death", exc
+                elif handle._hung:
+                    kind, error = "deadline", exc
+                else:
+                    return None  # benign abort; discarded by contract
+            except BrokenExecutor as exc:
+                kind, error = "worker_death", exc
+                self._respawn_pool()
+            except Exception as exc:
+                kind, error = _classify_exception(exc), exc
+            else:
+                if handle._killed:
+                    kind = "worker_death"  # labor died with its worker
+                elif result == LOST_RESULT:
+                    kind = "result_loss"
+            if kind is None:
+                return result
+            handle._killed = False
+            handle._hung = False
+            self._note_fault()
+            transient = kind in TRANSIENT_KINDS
+            limit = (1 + policy.max_retries if transient
+                     else policy.quarantine_after)
+            if handle.cancelled or self.fallen_back or attempts >= limit:
+                if transient and attempts >= limit:
+                    self.retry_exhausted += 1
+                # exhausted labels are quarantined too: retrying them
+                # again later can only hurt the pool, and skipping labor
+                # is semantically free
+                self._record_failure(handle, kind, attempts, error,
+                                     quarantine=not handle.cancelled
+                                     and attempts >= limit)
+                return None
+            backoff = policy.backoff_for(attempts)
+            if backoff > 0.0:
+                time.sleep(backoff)
+            self._resubmit(handle, clean=transient)
+            attempts += 1
+
+    def _resubmit(self, handle: TaskHandle, *, clean: bool) -> None:
+        """Re-earn a task's labor on a fresh worker.
+
+        Transient faults retry the clean payload (the substrate was at
+        fault, not the work); deterministic ones re-run what actually
+        failed — injected faults refire, genuine payload bugs re-raise —
+        so quarantine is reached honestly, never papered over.
+        """
+        work = handle._base_work
+        if not clean and handle._fault is not None:
+            work = self._faulted_work(handle._fault, work)
+        if self._wall_on:
+            work = self._wrap_work(work, handle)
+        token = self._new_token()
+        handle._token = token
+        try:
+            handle.future = self._submit_work(
+                self._ensure_pool(), work, WorkContext(token))
+        except BrokenExecutor:
+            self._respawn_pool()
+            handle.future = self._submit_work(
+                self._ensure_pool(), work, WorkContext(token))
+        self.retries += 1
+
+    def _abandon(self, handle: TaskHandle) -> None:
+        """Give up on a hung task; declare its worker dead.
+
+        The stuck worker still occupies a pool slot, so the whole pool is
+        retired (shut down without waiting — never block the driver on a
+        zombie) and a fresh one spins up lazily at the next submission.
+        """
+        worker = handle.wall_worker
+        if not worker:
+            watchdog = self._watchdog
+            worker = f"abandoned-{watchdog.abandoned if watchdog else 0}"
+        self.dead_workers.setdefault(worker, perf_counter())
+        self._respawn_pool()
+
+    def _respawn_pool(self) -> None:
+        """Retire the current pool; the next submission spins a fresh one."""
+        pool = self._pool
+        if pool is not None:
+            self._pool = None
+            self._zombies.append(pool)
+            pool.shutdown(wait=False)
+        self.respawns += 1
+
+    def _record_failure(self, handle: TaskHandle, kind: str, attempts: int,
+                        error: Optional[BaseException], *,
+                        quarantine: bool) -> None:
+        """Surface one unearned task as a structured SegmentFailure."""
+        tb = None
+        if error is not None:
+            tb = "".join(traceback_module.format_exception(
+                type(error), error, error.__traceback__))
+        if quarantine and handle.label:
+            self._quarantined.add(handle.label)
+        failure = SegmentFailure(
+            label=handle.label, kind=kind, attempts=attempts,
+            error=repr(error) if error is not None else "",
+            traceback=tb, quarantined=quarantine and bool(handle.label),
+            time=self.scheduler.now if self.scheduler is not None else 0.0,
+        )
+        self.task_errors.append(failure)
+        listener = self.on_segment_failure
+        if listener is not None:
+            listener(failure)
+
+    def _note_fault(self) -> None:
+        """Count one fault event; demote when the FallbackPolicy says so."""
+        self.fault_events += 1
+        fallback = self.recovery.fallback
+        if fallback is None or self.fallen_back:
+            return
+        abandoned = self._watchdog.abandoned if self._watchdog else 0
+        if (self.fault_events >= fallback.max_faults
+                or abandoned >= fallback.max_abandoned):
+            self.demote(f"fault threshold: {self.fault_events} fault events, "
+                        f"{abandoned} abandoned")
+
+    def demote(self, reason: str = "requested") -> None:
+        """Demote this backend to virtual passthrough for the rest of the
+        run: later submissions skip the pool entirely (graceful
+        degradation — committed output is unchanged by construction).
+        In-flight tasks still settle normally; drain retires the pool."""
+        if self.fallen_back:
+            return
+        self.fallen_back = True
+        self.demotions += 1
+        self.fallback_reason = reason
+        listener = self.on_fallback
+        if listener is not None:
+            listener(self, reason)
+
+    def _fire_kill(self, kills: int) -> None:
+        """A scheduled WorkerKillSpec: oldest in-flight tasks lose labor."""
+        victims = sorted(
+            (h for h in self._inflight
+             if not h.cancelled and not h._killed
+             and not (h.future is not None and h.future.done())),
+            key=lambda h: h._seq)
+        hit = 0
+        for handle in victims[:kills]:
+            handle._killed = True
+            token = handle._token
+            if token is not None:
+                token.set()  # reclaim the worker; the gate re-earns labor
+            self.sched_kills += 1
+            hit += 1
+        self._pending_kills += kills - hit
 
     # ----------------------------------------------------- dual-clock capture
 
@@ -222,15 +561,33 @@ class _PoolBackend(ExecutorBackend):
     # ------------------------------------------------------------- teardown
 
     def drain(self) -> None:
+        deadline = self.recovery.deadline
         for handle in list(self._inflight):
             future = handle.future
             if handle.cancelled:
                 result = None
                 if future is not None:
                     try:
-                        result = future.result()
-                    except Exception:
-                        pass  # discarded by contract
+                        if deadline is None:
+                            result = future.result()
+                        else:
+                            result = future.result(
+                                timeout=deadline + self.recovery.grace)
+                    except (CancelledWork, CancelledError):
+                        pass  # the benign abort path: discarded by contract
+                    except (FuturesTimeout, TimeoutError):
+                        # still hung at drain: abandon the worker rather
+                        # than wedge shutdown on it
+                        self._abandon(handle)
+                        self._record_failure(handle, "hang", 1, None,
+                                             quarantine=False)
+                    except Exception as exc:
+                        # a cancelled task's payload failed for real —
+                        # surface it structured (exec.task_errors), never
+                        # swallow it
+                        self._record_failure(
+                            handle, _classify_exception(exc), 1, exc,
+                            quarantine=False)
                 self._inflight.discard(handle)
                 if self._wall_on:
                     # Cancelled labor settles here, after its span was
@@ -252,6 +609,9 @@ class _PoolBackend(ExecutorBackend):
         if pool is not None:
             self._pool = None
             pool.shutdown(wait=True)
+        zombies, self._zombies = self._zombies, []
+        for pool in zombies:
+            pool.shutdown(wait=False)  # never block on a retired pool
 
     def pending(self) -> int:
         return len(self._inflight)
@@ -263,6 +623,7 @@ class _PoolBackend(ExecutorBackend):
             if rec["start"] is not None and rec["end"] is not None:
                 labor += rec["end"] - rec["start"]
             block += rec["gate_block"]
+        watchdog = self._watchdog
         return {
             "exec.workers": self.workers,
             "exec.tasks_submitted": self.tasks_submitted,
@@ -270,6 +631,24 @@ class _PoolBackend(ExecutorBackend):
             "exec.tasks_cancelled": self.tasks_cancelled,
             "exec.gate_waits": self.gate_waits,
             "exec.pool_spinups": self.pool_spinups,
+            "exec.task_errors": len(self.task_errors),
+            "exec.fault.kills_injected": self.kills_injected,
+            "exec.fault.hangs_injected": self.hangs_injected,
+            "exec.fault.poison_injected": self.poison_injected,
+            "exec.fault.results_lost": self.results_lost,
+            "exec.fault.sched_kills": self.sched_kills,
+            "exec.fault.events": self.fault_events,
+            "exec.fault.quarantined": len(self._quarantined),
+            "exec.fault.quarantine_skips": self.quarantine_skips,
+            "exec.retry.attempts": self.retries,
+            "exec.retry.respawns": self.respawns,
+            "exec.retry.exhausted": self.retry_exhausted,
+            "exec.fallback.demotions": self.demotions,
+            "exec.fallback.virtual_segments": self.fallback_virtual,
+            "exec.watchdog.timeouts":
+                watchdog.timeouts if watchdog is not None else 0,
+            "exec.watchdog.abandoned":
+                watchdog.abandoned if watchdog is not None else 0,
             "wall.records": len(self.wall_records),
             "wall.annotated": self.wall_annotated,
             "wall.labor_ms": int(labor * 1000),
@@ -302,7 +681,9 @@ class ProcessPoolBackend(_PoolBackend):
     Work payloads cross a process boundary: they must be picklable and
     cannot see the cancel token, so ``cancel()`` only prevents *unstarted*
     work from running (``Future.cancel``) and guarantees that a started
-    task's result is discarded.
+    task's result is discarded.  Real worker death surfaces here as
+    ``BrokenProcessPool`` — the recovery loop retires the broken pool and
+    re-earns lost labor on a respawned one.
     """
 
     capabilities = ExecutorCapabilities(

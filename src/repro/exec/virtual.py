@@ -10,6 +10,11 @@ runtime/substrate split.
 Every real backend is gated against this one: same committed outputs,
 same trace, same makespan, on every chaos schedule
 (``repro.bench.parallel``).
+
+It is also the graceful-degradation target: when a
+:class:`~repro.exec.watchdog.FallbackPolicy` demotes a sick pool backend
+mid-run, later submissions become exactly the ``scheduler.after`` call
+below — which is why demotion preserves byte-equal committed output.
 """
 
 from __future__ import annotations

@@ -1,0 +1,205 @@
+"""Detection and recovery policy for pool-backed segment labor.
+
+The pool backends (:mod:`repro.exec.pool`) ship *effect-free* labor to
+real workers underneath the DES oracle: the virtual placeholder event is
+authoritative and a payload's result is always discarded.  That contract
+is what makes recovery safe — retrying, skipping, or abandoning labor can
+never change committed output, only cost wall-clock time.  This module
+holds the pieces the backends use to survive a misbehaving substrate:
+
+* :class:`SegmentFailure` — the structured record of one task whose labor
+  could not be earned (poisoned payload, dead worker, hang past deadline,
+  lost result).  Surfaced through ``backend.task_errors`` and the run's
+  protocol log as an *abort-and-fallback*, never a crash.
+* :class:`RecoveryPolicy` — the knobs: per-segment watchdog deadline on a
+  monotonic clock, bounded retry with backoff for transient faults,
+  quarantine threshold for deterministic ones, and an optional
+  :class:`FallbackPolicy`.
+* :class:`FallbackPolicy` — graceful degradation: when a pool looks sick
+  (too many faults, or any abandoned hung worker), the backend demotes
+  itself to virtual passthrough mid-run — later submissions skip the pool
+  entirely, which is byte-equal to ``VirtualTimeBackend`` by the
+  placeholder-event construction.
+* :class:`Watchdog` — bounded waits on futures against a monotonic
+  (``perf_counter``) deadline, with a cooperative-cancellation grace
+  period before a hung task is abandoned.
+
+Everything is **off by default**: a plain ``ThreadPoolBackend()`` has no
+deadline, no fallback, and behaves exactly as before — only genuinely
+broken pools (``BrokenProcessPool``) trigger the bounded-retry path.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import CancelledError, Future
+from concurrent.futures import wait as _futures_wait
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+from repro.errors import SimulationError
+
+#: Failure kinds a :class:`SegmentFailure` can carry.
+FAILURE_KINDS = ("poison", "worker_death", "hang", "deadline",
+                 "result_loss", "error")
+
+#: Kinds whose retry uses a *fresh* payload on a fresh worker and is
+#: expected to succeed (the fault was in the substrate, not the payload).
+TRANSIENT_KINDS = frozenset({"worker_death", "result_loss", "deadline"})
+
+
+@dataclass
+class SegmentFailure:
+    """One segment task whose real labor could not be earned.
+
+    Purely informational by construction: the virtual placeholder event
+    still fired and the (discarded) result was never needed, so a failure
+    here costs wall-clock time and telemetry honesty, never correctness.
+    """
+
+    label: str                    #: task label ("client.t3.compute")
+    kind: str                     #: one of :data:`FAILURE_KINDS`
+    attempts: int                 #: submissions tried, including the first
+    error: str = ""               #: repr of the final exception, if any
+    traceback: Optional[str] = None   #: formatted traceback of that exception
+    quarantined: bool = False     #: label quarantined after this failure
+    time: float = 0.0             #: virtual time the failure was settled
+
+    @property
+    def process(self) -> str:
+        """Owning process, recovered from the task label convention."""
+        head = self.label.split(".", 1)[0]
+        return head or "exec"
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "label": self.label, "kind": self.kind,
+            "attempts": self.attempts, "error": self.error,
+            "quarantined": self.quarantined, "time": self.time,
+        }
+
+
+@dataclass
+class FallbackPolicy:
+    """When to demote a sick pool backend to virtual passthrough.
+
+    Demotion is graceful degradation, not failure: in-flight tasks settle
+    normally, later submissions skip the pool (pure placeholder events),
+    and committed output stays byte-equal to ``VirtualTimeBackend`` — the
+    run just stops earning wall-clock overlap.
+    """
+
+    #: Demote once this many fault events (injected or detected) occurred.
+    max_faults: int = 8
+    #: Demote once this many hung tasks were abandoned past their grace
+    #: period (an abandoned worker is gone for good — default: any).
+    max_abandoned: int = 1
+
+    def validate(self) -> None:
+        if self.max_faults < 1 or self.max_abandoned < 1:
+            raise SimulationError(
+                "FallbackPolicy thresholds must be >= 1 "
+                f"(max_faults={self.max_faults!r}, "
+                f"max_abandoned={self.max_abandoned!r})"
+            )
+
+
+@dataclass
+class RecoveryPolicy:
+    """Detection/recovery knobs for a pool backend; all off by default.
+
+    ``deadline`` arms the watchdog: a gate wait on an unfinished future is
+    bounded to that many *real* seconds on the monotonic clock; past it
+    the task's cancel token is set and, after ``grace`` more seconds, a
+    still-unfinished task is abandoned (its worker declared dead, the pool
+    retired and respawned lazily).  ``None`` — the default — waits
+    forever, exactly the pre-recovery behavior.
+    """
+
+    #: Real seconds a gate may block on one unfinished future (None = ∞).
+    deadline: Optional[float] = None
+    #: Real seconds to wait after setting the cancel token before a hung
+    #: task is abandoned.
+    grace: float = 0.05
+    #: Bounded resubmissions for transient faults (dead worker, lost
+    #: result, deadline overrun) beyond the first attempt.
+    max_retries: int = 2
+    #: Real seconds slept before the first retry; 0.0 retries immediately.
+    retry_backoff: float = 0.0
+    #: Multiplier on the backoff for each further retry.
+    backoff_factor: float = 2.0
+    #: Deterministic-failure attempts (poison / payload bug) before the
+    #: task's label is quarantined: later submissions skip real labor.
+    quarantine_after: int = 2
+    #: Optional graceful-degradation thresholds (None = never demote).
+    fallback: Optional[FallbackPolicy] = None
+
+    def validate(self) -> None:
+        if self.deadline is not None and self.deadline <= 0:
+            raise SimulationError("RecoveryPolicy.deadline must be > 0")
+        if self.grace < 0 or self.retry_backoff < 0:
+            raise SimulationError(
+                "RecoveryPolicy.grace and retry_backoff must be >= 0")
+        if self.max_retries < 0 or self.quarantine_after < 1:
+            raise SimulationError(
+                "RecoveryPolicy needs max_retries >= 0 and "
+                "quarantine_after >= 1")
+        if self.backoff_factor < 1.0:
+            raise SimulationError(
+                "RecoveryPolicy.backoff_factor must be >= 1.0")
+        if self.fallback is not None:
+            self.fallback.validate()
+
+    def backoff_for(self, attempt: int) -> float:
+        """Real seconds to sleep before retry number ``attempt`` (1-based)."""
+        if self.retry_backoff <= 0.0:
+            return 0.0
+        return self.retry_backoff * self.backoff_factor ** (attempt - 1)
+
+
+class Watchdog:
+    """Bounded waits on futures against a monotonic deadline.
+
+    Uses :func:`concurrent.futures.wait` timeouts over ``perf_counter``
+    semantics (monotonic, immune to wall-clock steps).  With no deadline
+    the wait is unbounded and the watchdog is pure passthrough.
+    """
+
+    __slots__ = ("deadline", "grace", "timeouts", "abandoned")
+
+    def __init__(self, deadline: Optional[float], grace: float) -> None:
+        self.deadline = deadline
+        self.grace = grace
+        self.timeouts = 0    #: gate waits that exceeded the deadline
+        self.abandoned = 0   #: hung tasks given up past the grace period
+
+    def await_future(self, future: Future, token: Any = None) -> bool:
+        """Wait for ``future``; return False if it must be abandoned.
+
+        On deadline expiry the cancel token (if any) is set so a
+        cooperative payload wakes and the worker is reclaimed; only a
+        payload that ignores the token through the grace period too is
+        abandoned.
+        """
+        if self.deadline is None:
+            try:
+                future.exception()  # blocks until done; does not raise it
+            except CancelledError:
+                pass
+            return True
+        _futures_wait([future], timeout=self.deadline)
+        if future.done():
+            return True
+        self.timeouts += 1
+        if token is not None:
+            token.set()
+        _futures_wait([future], timeout=self.grace)
+        if future.done():
+            return True
+        self.abandoned += 1
+        return False
+
+
+__all__ = [
+    "FAILURE_KINDS", "TRANSIENT_KINDS", "SegmentFailure",
+    "FallbackPolicy", "RecoveryPolicy", "Watchdog",
+]

@@ -40,6 +40,39 @@ WELL_KNOWN_COUNTERS: Dict[str, str] = {
     "exec.tasks_cancelled": "pool tasks cancelled by rollback or abort",
     "exec.gate_waits": "placeholder pops that blocked on an unfinished task",
     "exec.pool_spinups": "lazy pool executor start-ups",
+    "exec.task_errors":
+        "payload failures captured as structured SegmentFailure records",
+    "exec.fault.kills_injected":
+        "worker deaths injected by the exec fault plane",
+    "exec.fault.hangs_injected":
+        "non-cooperative payload hangs injected by the exec fault plane",
+    "exec.fault.poison_injected":
+        "deterministically failing payloads injected by the exec fault plane",
+    "exec.fault.results_lost":
+        "completed-labor results lost in transit by the exec fault plane",
+    "exec.fault.sched_kills":
+        "scheduled WorkerKillSpec kills applied to in-flight tasks",
+    "exec.fault.events":
+        "substrate fault events detected at gates (injected or real)",
+    "exec.fault.quarantined":
+        "task labels quarantined after repeated deterministic failures",
+    "exec.fault.quarantine_skips":
+        "submissions that skipped real labor because their label is "
+        "quarantined",
+    "exec.retry.attempts":
+        "segment-labor resubmissions after a recoverable substrate fault",
+    "exec.retry.respawns":
+        "pool executors retired and respawned (broken pool or hung worker)",
+    "exec.retry.exhausted":
+        "tasks whose transient-fault retries ran out (labor given up)",
+    "exec.fallback.demotions":
+        "pool backends demoted to virtual passthrough by a FallbackPolicy",
+    "exec.fallback.virtual_segments":
+        "segments run as pure virtual events after fallback demotion",
+    "exec.watchdog.timeouts":
+        "gate waits that exceeded the watchdog deadline",
+    "exec.watchdog.abandoned":
+        "hung tasks abandoned after the cancellation grace period",
     "wall.records": "per-task wall-clock records captured by the backend",
     "wall.annotated": "spans annotated with wall-clock labor stamps",
     "wall.labor_ms": "total wall-clock labor milliseconds on pool workers",
@@ -297,6 +330,9 @@ class RuntimeMetrics:
                                "threads rebuilt by replay after a restart")
         self.messages_lost_down = c("opt.messages_lost_down",
                                     "deliveries dropped at a crashed process")
+        self.exec_failures = c("opt.exec_failures",
+                               "segment-labor failures surfaced to the "
+                               "runtime by the executor backend")
         # Speculation governor.
         self.gov_throttled = c("gov.forks_throttled",
                                "forks denied by the speculation governor")

@@ -75,6 +75,10 @@ class PoolReport:
     queue_wait: Dict[str, float] = field(default_factory=dict)
     gate_block: Dict[str, float] = field(default_factory=dict)
     cancelled_tasks: int = 0
+    #: substrate-health telemetry (repro.exec.watchdog): tasks whose real
+    #: labor could not be earned, and workers declared dead mid-run
+    task_failures: int = 0
+    dead_workers: int = 0
     wasted: WastedWork = field(default_factory=WastedWork)
 
     @property
@@ -100,6 +104,8 @@ class PoolReport:
             "queue_wait": dict(self.queue_wait),
             "gate_block": dict(self.gate_block),
             "cancelled_tasks": self.cancelled_tasks,
+            "task_failures": self.task_failures,
+            "dead_workers": self.dead_workers,
             "speculation_efficiency": self.speculation_efficiency,
             "wall_labor": {
                 "committed": self.wasted.wall_committed,
@@ -136,6 +142,10 @@ class PoolReport:
                     f"max={dist['max'] * 1000:.2f}ms")
         if self.cancelled_tasks:
             lines.append(f"  cancelled tasks settled: {self.cancelled_tasks}")
+        if self.task_failures or self.dead_workers:
+            lines.append(f"  substrate health: {self.task_failures} "
+                         f"task failure(s), {self.dead_workers} dead "
+                         f"worker(s) — see result.exec_failures")
         eff = self.speculation_efficiency
         if eff is not None:
             w = self.wasted
@@ -148,7 +158,8 @@ class PoolReport:
         return "\n".join(lines)
 
 
-def pool_report(source, records: Optional[List[dict]] = None) -> PoolReport:
+def pool_report(source, records: Optional[List[dict]] = None, *,
+                backend=None) -> PoolReport:
     """Build the telemetry report from spans (+ backend wall records).
 
     ``source`` is any span source (:func:`repro.obs.spans.as_spans`);
@@ -158,9 +169,14 @@ def pool_report(source, records: Optional[List[dict]] = None) -> PoolReport:
     plus the queue-wait/gate-block distributions and cancelled-task counts
     that spans alone cannot carry.  Pass ``backend.wall_records`` for live
     runs; with only a persisted trace, worker accounting falls back to the
-    spans' burst envelopes.
+    spans' burst envelopes.  ``backend`` (the executor backend itself)
+    additionally folds in substrate health: settled task failures and
+    workers declared dead by the watchdog.
     """
     report = PoolReport()
+    if backend is not None:
+        report.task_failures = len(getattr(backend, "task_errors", ()))
+        report.dead_workers = len(getattr(backend, "dead_workers", ()))
     spans = as_spans(source)
     report.wasted = wasted_work(spans)
 

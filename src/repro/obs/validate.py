@@ -10,13 +10,17 @@ encode the speculation lifecycle invariants:
   (``truncated`` attr), which callers may forbid via ``strict``;
 * dual-clock spans are internally consistent: wall stamps are finite
   numbers, ``wall_end >= wall_start`` whenever both are present, and a
-  wall observation names its worker.
+  wall observation names its worker;
+* optionally (``dead_workers``), no span carries wall stamps written by a
+  worker *after* that worker was declared dead — the telemetry-honesty
+  counterpart of the executor's fault recovery (a pool backend exposes
+  its declarations as ``backend.dead_workers``).
 """
 
 from __future__ import annotations
 
 import json
-from typing import Any, Dict, Iterable, List
+from typing import Any, Dict, Iterable, List, Mapping, Optional
 
 from .spans import GUESS, Span
 
@@ -68,12 +72,42 @@ def _wall_errors(span: Any, where: str) -> List[str]:
     return errors
 
 
+def _dead_worker_errors(span: Any, dead_workers: Mapping[str, float],
+                        where: str) -> List[str]:
+    """Flag wall stamps written by a worker after it was declared dead.
+
+    ``dead_workers`` maps worker name -> wall (``perf_counter``) time of
+    the death declaration, the shape a pool backend exposes as
+    ``backend.dead_workers``.  A span whose labor *ended* after its
+    worker's declared death claims observations from beyond the grave —
+    either the telemetry or the declaration is lying.
+    """
+    if isinstance(span, dict):
+        worker = span.get("worker")
+        wall_end = span.get("wall_end")
+    else:
+        worker = span.worker
+        wall_end = span.wall_end
+    if worker is None or worker not in dead_workers:
+        return []
+    died_at = dead_workers[worker]
+    if (isinstance(wall_end, (int, float)) and not isinstance(wall_end, bool)
+            and wall_end > died_at):
+        return [f"wall stamp by dead worker {worker!r} "
+                f"({wall_end} > death at {died_at}): {where}"]
+    return []
+
+
 def validate_spans(spans: Iterable[Span], *,
-                   strict: bool = False) -> Dict[str, int]:
+                   strict: bool = False,
+                   dead_workers: Optional[Mapping[str, float]] = None
+                   ) -> Dict[str, int]:
     """Check span well-formedness; returns summary counts.
 
     ``strict`` additionally rejects truncated (unresolved) guess spans —
-    appropriate for runs that are known to quiesce.
+    appropriate for runs that are known to quiesce.  ``dead_workers``
+    (worker name -> wall death time) additionally rejects spans stamped
+    by a worker after it was declared dead.
     """
     spans = list(spans)
     errors: List[str] = []
@@ -94,6 +128,8 @@ def validate_spans(spans: Iterable[Span], *,
             errors.append(
                 f"negative duration ({span.start} -> {span.end}): {where}")
         errors.extend(_wall_errors(span, where))
+        if dead_workers:
+            errors.extend(_dead_worker_errors(span, dead_workers, where))
         if span.kind == GUESS:
             guesses += 1
             outcome = span.attrs.get("outcome")

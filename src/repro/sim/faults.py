@@ -1,4 +1,4 @@
-"""Seeded fault injection for the network substrate.
+"""Seeded fault injection for the network and execution substrates.
 
 The paper's protocol assumes reliable, FIFO, fail-free channels (§4.2.5).
 This module is the adversary that revokes the assumption: a
@@ -6,6 +6,15 @@ This module is the adversary that revokes the assumption: a
 driven by a declarative, seeded :class:`FaultPlan` — drops, duplicates,
 reorders and delays messages, separately tunable for the data and control
 planes, and takes whole processes down for scheduled crash windows.
+
+The *exec* fault plane extends the same discipline to the worker pools
+behind the pool backends (:mod:`repro.exec.pool`): an
+:class:`ExecFaultPlan` describes per-task worker deaths, hangs, poisoned
+payloads and lost results (:class:`TaskFaults`) plus scheduled mid-flight
+worker kills (:class:`WorkerKillSpec`).  The plan is pure data — the
+injection and the recovery machinery live in :mod:`repro.exec.faults` and
+:mod:`repro.exec.watchdog` — and, because payloads are effect-free by
+construction, none of these faults can ever change committed output.
 
 Every decision is drawn from a named stream of the plan's own
 :class:`~repro.sim.rng.RngRegistry`, so a fault schedule is a pure function
@@ -113,6 +122,101 @@ class FaultPlan:
     @property
     def active(self) -> bool:
         return self.data.active or self.control.active or bool(self.crashes)
+
+
+@dataclass
+class TaskFaults:
+    """Per-task fault probabilities for pool-submitted segment labor.
+
+    Each probability is drawn once per submitted task (from the plan's
+    ``"exec.tasks"`` stream, in submission order — which is deterministic
+    because submissions happen on the driver in virtual-event order).  The
+    classes are checked in the order listed here; at most one fault is
+    injected per task.
+    """
+
+    #: Probability the worker running the task dies before delivering
+    #: (transient: a retry on a fresh worker succeeds).
+    kill_p: float = 0.0
+    #: Probability the payload hangs: it blocks on the raw clock for
+    #: ``hang_extra`` real seconds, ignoring its cancel token — the case
+    #: only a watchdog deadline can detect.
+    hang_p: float = 0.0
+    #: Real seconds a hung payload stays stuck.
+    hang_extra: float = 0.25
+    #: Probability the payload is poisoned: it raises deterministically on
+    #: every attempt (retries fail too; only quarantine helps).
+    poison_p: float = 0.0
+    #: Probability the labor completes but its result is lost in transit
+    #: (transient: a retry re-earns it).
+    lose_result_p: float = 0.0
+
+    def validate(self) -> None:
+        for name in ("kill_p", "hang_p", "poison_p", "lose_result_p"):
+            p = getattr(self, name)
+            if not 0.0 <= p <= 1.0:
+                raise NetworkError(f"TaskFaults.{name}={p!r} not in [0, 1]")
+        if self.hang_extra < 0:
+            raise NetworkError("TaskFaults.hang_extra must be non-negative")
+
+    @property
+    def active(self) -> bool:
+        return any((self.kill_p, self.hang_p, self.poison_p,
+                    self.lose_result_p))
+
+
+@dataclass
+class WorkerKillSpec:
+    """One scheduled worker kill at a virtual time, mid-flight.
+
+    When the kill event fires, up to ``kills`` in-flight tasks (oldest
+    first, by submission order) lose their worker: their labor is
+    discarded and the recovery layer must re-earn it on a fresh worker.
+    If fewer tasks are in flight, the remainder is banked and applied to
+    the next submissions, so a kill never silently misses.
+    """
+
+    at: float        # virtual time of the kill
+    kills: int = 1   # how many in-flight tasks lose their worker
+
+    def validate(self) -> None:
+        if self.at < 0 or self.kills < 1:
+            raise NetworkError(
+                f"WorkerKillSpec needs at >= 0 and kills >= 1 "
+                f"(got at={self.at!r}, kills={self.kills!r})"
+            )
+
+
+@dataclass
+class ExecFaultPlan:
+    """A complete, seeded exec-fault schedule for one run.
+
+    The substrate counterpart of :class:`FaultPlan`: same declarative
+    shape, same seeded-stream determinism, but aimed at the worker pools
+    instead of the wire.  ``window`` optionally restricts the per-task
+    faults to a virtual-time interval; scheduled kills fire at their own
+    times regardless (mirroring how crashes relate to message faults).
+    """
+
+    seed: int = 0
+    tasks: TaskFaults = field(default_factory=TaskFaults)
+    kills: List[WorkerKillSpec] = field(default_factory=list)
+    window: Optional[Tuple[float, float]] = None
+
+    def validate(self) -> None:
+        self.tasks.validate()
+        for kill in self.kills:
+            kill.validate()
+
+    def in_window(self, now: float) -> bool:
+        if self.window is None:
+            return True
+        start, end = self.window
+        return start <= now < end
+
+    @property
+    def active(self) -> bool:
+        return self.tasks.active or bool(self.kills)
 
 
 class FaultyNetwork(Network):

@@ -46,3 +46,46 @@ def test_repro_chaos_subcommand(capsys):
 
     assert main(["chaos", "--seed", "0"]) == 0
     assert json.loads(capsys.readouterr().out)["equivalent"]
+
+
+def test_exec_fault_schedule_is_deterministic():
+    spec_a, plan_a = chaos.exec_fault_schedule(2)
+    spec_b, plan_b = chaos.exec_fault_schedule(2)
+    assert spec_a == spec_b
+    assert plan_a.tasks == plan_b.tasks
+    assert plan_a.kills == plan_b.kills
+    # different seeds genuinely vary the schedule
+    _, plan_c = chaos.exec_fault_schedule(3)
+    assert plan_a.tasks != plan_c.tasks
+    # exec workloads must not alias the network-fault sweep's programs
+    net_spec, _ = chaos.fault_schedule(2)
+    assert spec_a.seed != net_spec.seed
+
+
+def test_exec_smoke_pair_covers_kill_and_hang():
+    assert set(chaos.EXEC_SMOKE_SEEDS) <= set(range(chaos.N_EXEC_SCHEDULES))
+    _, kill_plan = chaos.exec_fault_schedule(chaos.EXEC_SMOKE_SEEDS[0])
+    _, hang_plan = chaos.exec_fault_schedule(chaos.EXEC_SMOKE_SEEDS[1])
+    assert kill_plan.tasks.kill_p > 0 and kill_plan.kills
+    assert kill_plan.tasks.hang_p == 0.0    # the pure worker-kill schedule
+    assert hang_plan.tasks.hang_p > 0       # the hang-past-deadline one
+    for seed in range(chaos.N_EXEC_SCHEDULES):
+        _, plan = chaos.exec_fault_schedule(seed)
+        plan.validate()
+
+
+def test_run_exec_schedule_row_shape_and_outcome():
+    row = chaos.run_exec_schedule(0)
+    assert chaos.exec_schedule_ok(row)
+    assert row["equivalent"]
+    assert row["makespan_equal"]
+    assert row["orphan_tasks"] == 0
+    assert row["faults_injected"] > 0
+    json.dumps(row)  # report rows must be JSON-serializable
+
+
+def test_exec_seed_cli_exit_code(capsys):
+    assert chaos.main(["--exec-seed", "0"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["seed"] == 0
+    assert payload["equivalent"]

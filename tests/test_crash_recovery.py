@@ -64,6 +64,34 @@ def test_downtime_drops_arriving_messages():
     assert opt.unresolved == []
 
 
+def test_crash_with_pool_backend_settles_every_task():
+    # transport-level crash/replay while real pool tasks are mid-flight:
+    # the aborted speculation must cancel its labor, drain must settle
+    # every handle, and nothing may leak or change the committed output
+    from repro.bench.chaos import chaos_config, fault_schedule
+    from repro.exec import ThreadPoolBackend
+
+    # schedule 4 is pinned in BENCH_parallel.json as one whose crash
+    # cancels in-flight pool labor — exactly the interaction under test
+    spec, plan = fault_schedule(4)
+    backend = ThreadPoolBackend(4, realize_scale=0.001)
+    system = build_random_system(
+        spec, optimistic=True, config=chaos_config(),
+        faults=plan, backend=backend,
+    )
+    opt = system.run()
+    seq = build_random_system(spec, optimistic=False).run()
+    assert opt.sink_output("display") == seq.sink_output("display")
+    assert opt.unresolved == []
+    assert opt.stats.get("opt.crashes") == 1
+    # the pool was genuinely involved and fully drained: zero orphans
+    assert opt.stats.get("exec.tasks_submitted") > 0
+    assert backend.pending() == 0
+    # the crash aborted in-doubt speculation whose labor was in flight
+    assert opt.stats.get("exec.tasks_cancelled") > 0
+    validate_run(system)
+
+
 def test_crash_makespan_includes_outage():
     spec = RandomProgramSpec(n_segments=6, seed=3)
     clean = build_random_system(

@@ -182,6 +182,37 @@ def test_cancel_is_idempotent_and_counts_once():
     assert backend.pending() == 0
 
 
+def test_drain_surfaces_cancelled_task_errors():
+    """A cancelled task whose payload had already raised must not be
+    silently swallowed at drain: the error becomes a structured
+    SegmentFailure with its traceback attached, counted under
+    exec.task_errors."""
+    backend = ThreadPoolBackend(1)
+    backend.bind(max_steps=1000)
+
+    started = threading.Event()
+
+    def boom(ctx):
+        started.set()
+        raise RuntimeError("payload exploded")
+
+    handle = backend.submit_segment(1.0, lambda: None, label="p.bad",
+                                    work=boom)
+    assert started.wait(5.0)      # the payload ran (and raised) for real
+    backend.cancel(handle)        # ...then its segment was aborted
+    backend.run()
+    backend.drain()
+    assert len(backend.task_errors) == 1
+    failure = backend.task_errors[0]
+    assert failure.kind == "error"
+    assert failure.label == "p.bad"
+    assert "payload exploded" in failure.error
+    assert failure.traceback and "RuntimeError" in failure.traceback
+    assert not failure.quarantined     # cancelled labor is not poisoned
+    assert backend.counters()["exec.task_errors"] == 1
+    assert backend.pending() == 0
+
+
 def _wrong_guess_emit_system(backend=None, realize=False):
     """A client whose streamed guess (True) is always wrong — every fork
     aborts — emitting each reply to an external sink."""

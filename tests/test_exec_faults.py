@@ -1,0 +1,309 @@
+"""Fault-tolerant execution substrate: inject, detect, recover, degrade.
+
+The load-bearing claims under test:
+
+* injected exec faults (kills, hangs, poison, lost results) never change
+  committed output or virtual makespan — recovery is invisible to the
+  DES oracle because all real labor is effect-free;
+* transient faults are retried with a clean payload; deterministic ones
+  (poison) exhaust their attempts and quarantine the label;
+* the watchdog bounds gate waits on the monotonic clock, abandons hung
+  tasks past the grace period, and declares their workers dead;
+* a one-strike :class:`FallbackPolicy` demotes a sick pool to virtual
+  passthrough mid-run with byte-equal output;
+* the process pool survives a genuine worker death (``os._exit``) via
+  ``BrokenProcessPool`` detection and pool respawn;
+* every failure surfaces as a structured :class:`SegmentFailure` — into
+  ``backend.task_errors``, the owning runtime's protocol log, and the
+  ``opt.exec_failures`` counter — never as a crash or a silent swallow.
+
+Every test is guarded by a hard wall-clock timeout (`faulthandler`): a
+hang in the recovery machinery itself must fail loudly, not wedge CI.
+"""
+
+import faulthandler
+import os
+
+import pytest
+
+import repro
+from repro.errors import NetworkError, SimulationError
+from repro.exec import (
+    ExecFaultPlan,
+    FallbackPolicy,
+    ProcessPoolBackend,
+    RecoveryPolicy,
+    TaskFaults,
+    ThreadPoolBackend,
+    VirtualTimeBackend,
+    WorkerKillSpec,
+)
+from repro.obs.spans import SEGMENT, Span
+from repro.obs.validate import TraceValidationError, validate_spans
+
+
+@pytest.fixture(autouse=True)
+def _hang_guard():
+    """Hard 30s wall-clock limit per test: recovery code must never wedge."""
+    faulthandler.dump_traceback_later(30.0, exit=True)
+    yield
+    faulthandler.cancel_dump_traceback_later()
+
+
+def build_system(backend, n_calls=5, latency=2.0, tracer=None):
+    """Call chain over one server with real service labor (pool tasks)."""
+    calls = [("s", "op", (i,)) for i in range(n_calls)]
+    client = repro.make_call_chain("c", calls)
+    system = repro.OptimisticSystem(repro.FixedLatency(latency),
+                                    backend=backend, tracer=tracer)
+    system.add_program(client, repro.stream_plan(client))
+    system.add_program(repro.server_program("s", lambda st, r: True,
+                                            service_time=1.0))
+    return system
+
+
+@pytest.fixture(scope="module")
+def baseline():
+    """The fault-free virtual-oracle run every faulted run must match."""
+    return build_system(VirtualTimeBackend()).run()
+
+
+# -------------------------------------------------------------- spec hygiene
+
+def test_task_faults_reject_bad_rates():
+    with pytest.raises(NetworkError):
+        TaskFaults(kill_p=1.5).validate()
+    with pytest.raises(NetworkError):
+        TaskFaults(hang_extra=-0.1).validate()
+    with pytest.raises(NetworkError):
+        WorkerKillSpec(at=-1.0).validate()
+    with pytest.raises(NetworkError):
+        WorkerKillSpec(at=1.0, kills=0).validate()
+
+
+def test_recovery_policy_rejects_bad_knobs():
+    with pytest.raises(SimulationError):
+        RecoveryPolicy(deadline=0.0).validate()
+    with pytest.raises(SimulationError):
+        RecoveryPolicy(max_retries=-1).validate()
+    with pytest.raises(SimulationError):
+        RecoveryPolicy(quarantine_after=0).validate()
+    with pytest.raises(SimulationError):
+        FallbackPolicy(max_faults=0).validate()
+    RecoveryPolicy(deadline=1.0, fallback=FallbackPolicy()).validate()
+
+
+def test_default_policy_is_all_off():
+    policy = RecoveryPolicy()
+    assert policy.deadline is None
+    assert policy.fallback is None
+    assert not ExecFaultPlan().active
+
+
+# ------------------------------------------------------- transient recovery
+
+def test_killed_tasks_are_retried_clean(baseline):
+    plan = ExecFaultPlan(seed=0, tasks=TaskFaults(kill_p=1.0))
+    backend = ThreadPoolBackend(2, realize_scale=0.002, exec_faults=plan)
+    result = build_system(backend).run()
+    assert result.makespan == baseline.makespan
+    assert backend.kills_injected > 0
+    assert backend.retries >= backend.kills_injected
+    assert backend.task_errors == []       # every kill recovered
+    assert backend.pending() == 0
+
+
+def test_lost_results_are_reearned(baseline):
+    plan = ExecFaultPlan(seed=0, tasks=TaskFaults(lose_result_p=1.0))
+    backend = ThreadPoolBackend(2, realize_scale=0.002, exec_faults=plan)
+    result = build_system(backend).run()
+    assert result.makespan == baseline.makespan
+    assert backend.results_lost > 0
+    assert backend.retries >= backend.results_lost
+    assert backend.task_errors == []
+
+
+def test_retry_exhaustion_surfaces_a_failure(baseline):
+    # every attempt is killed; the retry budget must run out honestly
+    plan = ExecFaultPlan(seed=0, tasks=TaskFaults(kill_p=1.0))
+    backend = ThreadPoolBackend(2, realize_scale=0.002, exec_faults=plan,
+                                recovery=RecoveryPolicy(max_retries=0))
+    result = build_system(backend).run()
+    assert result.makespan == baseline.makespan
+    assert backend.retry_exhausted > 0
+    assert backend.task_errors
+    assert all(f.kind == "worker_death" for f in backend.task_errors)
+    assert result.exec_failures == backend.task_errors
+
+
+# ------------------------------------------------------ poison + quarantine
+
+def test_poison_quarantines_after_n_failures(baseline):
+    plan = ExecFaultPlan(seed=0, tasks=TaskFaults(poison_p=1.0))
+    backend = ThreadPoolBackend(2, realize_scale=0.002, exec_faults=plan,
+                                recovery=RecoveryPolicy(quarantine_after=2))
+    result = build_system(backend).run()
+    assert result.makespan == baseline.makespan
+    failures = backend.task_errors
+    assert failures and failures[0].kind == "poison"
+    assert failures[0].attempts == 2
+    assert failures[0].quarantined
+    assert failures[0].traceback and "PoisonedPayload" in failures[0].traceback
+    assert backend.quarantined        # label blacklisted...
+    assert backend.quarantine_skips > 0   # ...and later labor skipped
+
+
+def test_poison_failure_reaches_owning_runtime(baseline):
+    plan = ExecFaultPlan(seed=0, tasks=TaskFaults(poison_p=1.0))
+    backend = ThreadPoolBackend(2, realize_scale=0.002, exec_faults=plan,
+                                recovery=RecoveryPolicy(quarantine_after=1))
+    result = build_system(backend).run()
+    assert result.stats.get("opt.exec_failures") == len(backend.task_errors)
+    events = [e for e in result.protocol_log if e["kind"] == "exec_failure"]
+    assert events
+    # labels follow "<process>.<segment>...", so routing lands on a runtime
+    assert all(e["process"] in ("c", "s") for e in events)
+    assert events[0]["failure"] == "poison"
+
+
+# ------------------------------------------------------------- the watchdog
+
+def test_watchdog_abandons_hung_task(baseline):
+    plan = ExecFaultPlan(seed=0, tasks=TaskFaults(hang_p=1.0,
+                                                  hang_extra=0.3))
+    backend = ThreadPoolBackend(2, realize_scale=0.002, exec_faults=plan,
+                                recovery=RecoveryPolicy(deadline=0.05,
+                                                        grace=0.02))
+    result = build_system(backend, n_calls=2).run()
+    oracle = build_system(VirtualTimeBackend(), n_calls=2).run()
+    assert result.makespan == oracle.makespan
+    assert backend.hangs_injected > 0
+    assert backend.watchdog.timeouts > 0
+    assert backend.watchdog.abandoned > 0
+    assert backend.dead_workers        # abandoned workers declared dead
+    assert any(f.kind == "hang" for f in backend.task_errors)
+    assert backend.pending() == 0
+
+
+def test_scheduled_kill_hits_in_flight_task(baseline):
+    # one mid-run kill: the victim's labor is re-earned on a fresh submit
+    plan = ExecFaultPlan(seed=0, kills=[WorkerKillSpec(at=4.0)])
+    backend = ThreadPoolBackend(2, realize_scale=0.01, exec_faults=plan)
+    result = build_system(backend).run()
+    assert result.makespan == baseline.makespan
+    assert backend.sched_kills == 1
+    assert backend.retries >= 1
+    assert backend.task_errors == []
+    assert backend.pending() == 0
+
+
+# ------------------------------------------------------ graceful degradation
+
+def test_fallback_demotes_pool_mid_run(baseline):
+    plan = ExecFaultPlan(seed=0, tasks=TaskFaults(kill_p=1.0))
+    policy = RecoveryPolicy(fallback=FallbackPolicy(max_faults=1))
+    backend = ThreadPoolBackend(2, realize_scale=0.002, exec_faults=plan, recovery=policy)
+    result = build_system(backend).run()
+    assert backend.fallen_back
+    assert backend.demotions == 1
+    assert backend.fallback_virtual > 0    # later segments skipped the pool
+    assert result.makespan == baseline.makespan
+    assert repro.traces_equivalent(result.trace, baseline.trace)
+    events = [e for e in result.protocol_log if e["kind"] == "exec_fallback"]
+    assert events and "fault threshold" in events[0]["reason"]
+
+
+def test_explicit_demotion_is_idempotent():
+    backend = ThreadPoolBackend(2)
+    backend.demote("operator request")
+    backend.demote("again")
+    assert backend.fallen_back
+    assert backend.demotions == 1
+    assert backend.fallback_reason == "operator request"
+    result = build_system(backend).run()
+    virtual = build_system(VirtualTimeBackend()).run()
+    assert result.makespan == virtual.makespan
+    assert backend.tasks_submitted == 0    # everything went virtual
+
+
+# ------------------------------------------------------------- process pool
+
+def _exit_hard(ctx):
+    os._exit(13)    # genuine worker death, not an exception
+
+
+def test_process_pool_survives_real_worker_death():
+    backend = ProcessPoolBackend(2, recovery=RecoveryPolicy(max_retries=1))
+    system = build_system(backend)    # binds the backend to the scheduler
+    handle = backend.submit_segment(
+        1.0, lambda: None, label="c.t0.kamikaze", work=_exit_hard)
+    result = system.run()
+    assert not handle.cancelled
+    assert backend.respawns >= 1           # BrokenProcessPool -> fresh pool
+    assert any(f.kind == "worker_death" for f in backend.task_errors)
+    assert backend.pending() == 0
+    assert result.unresolved == []
+
+
+def test_process_pool_poison_quarantine(baseline):
+    plan = ExecFaultPlan(seed=0, tasks=TaskFaults(poison_p=1.0))
+    backend = ProcessPoolBackend(2, realize_scale=0.002, exec_faults=plan,
+                                 recovery=RecoveryPolicy(quarantine_after=1))
+    result = build_system(backend, n_calls=3).run()
+    assert result.makespan == build_system(
+        VirtualTimeBackend(), n_calls=3).run().makespan
+    assert backend.poison_injected > 0
+    assert backend.task_errors and backend.task_errors[0].kind == "poison"
+    assert backend.quarantined
+
+
+# ------------------------------------------------------- telemetry honesty
+
+def _span(sid, worker, wall_end):
+    return Span(sid=sid, kind=SEGMENT, name=f"seg{sid}", process="c",
+                start=0.0, end=1.0, wall_start=wall_end - 0.1,
+                wall_end=wall_end, worker=worker)
+
+
+def test_validate_rejects_stamps_from_beyond_the_grave():
+    spans = [_span(0, "w0", 5.0), _span(1, "w1", 5.0)]
+    validate_spans(spans)                                # no declarations
+    validate_spans(spans, dead_workers={"w0": 9.0})      # died later: fine
+    with pytest.raises(TraceValidationError, match="dead worker"):
+        validate_spans(spans, dead_workers={"w1": 2.0})  # stamped after death
+
+
+def test_dead_worker_rule_applies_to_live_runs():
+    plan = ExecFaultPlan(seed=0, tasks=TaskFaults(hang_p=1.0,
+                                                  hang_extra=0.3))
+    backend = ThreadPoolBackend(2, realize_scale=0.002, exec_faults=plan,
+                                recovery=RecoveryPolicy(deadline=0.05,
+                                                        grace=0.02))
+    result = build_system(backend, n_calls=2,
+                          tracer=repro.RecordingTracer()).run()
+    assert backend.dead_workers
+    # abandoned labor never stamped a span, so the honesty rule passes
+    validate_spans(result.spans, dead_workers=backend.dead_workers)
+
+
+def test_new_counters_have_help_text():
+    from repro.obs.metrics import WELL_KNOWN_COUNTERS
+    for key in ("exec.task_errors", "exec.fault.kills_injected",
+                "exec.fault.quarantined", "exec.retry.attempts",
+                "exec.retry.respawns", "exec.fallback.demotions",
+                "exec.watchdog.timeouts", "exec.watchdog.abandoned"):
+        assert WELL_KNOWN_COUNTERS.get(key), key
+    # the runtime-side counter is declared, so it documents itself
+    from repro.obs.metrics import RuntimeMetrics
+    metrics = RuntimeMetrics(repro.MetricsRegistry())
+    assert metrics.exec_failures.name == "opt.exec_failures"
+
+
+def test_fault_counters_flow_into_run_stats(baseline):
+    plan = ExecFaultPlan(seed=0, tasks=TaskFaults(kill_p=1.0))
+    backend = ThreadPoolBackend(2, realize_scale=0.002, exec_faults=plan)
+    result = build_system(backend).run()
+    stats = result.stats.counters
+    assert stats["exec.fault.kills_injected"] == backend.kills_injected
+    assert stats["exec.retry.attempts"] == backend.retries
+    assert "exec_fault_kills_injected" in repro.prometheus_text(result)

@@ -27,6 +27,9 @@ DOCUMENTED_SURFACE = {
     # executor backends
     "ExecutorBackend", "ExecutorCapabilities", "VirtualTimeBackend",
     "ThreadPoolBackend", "ProcessPoolBackend",
+    # executor fault tolerance (docs/BACKENDS.md, "Fault tolerance")
+    "ExecFaultPlan", "TaskFaults", "WorkerKillSpec",
+    "RecoveryPolicy", "FallbackPolicy", "SegmentFailure",
     # programs + plans
     "Program", "Segment", "server_program", "make_call_chain",
     "stream_plan", "ParallelizationPlan", "ForkSpec",
@@ -69,7 +72,7 @@ SUBPACKAGES = [
     "repro.obs.api", "repro.obs.smoke", "repro.obs.realtime",
     "repro.obs.access",
     "repro.exec", "repro.exec.api", "repro.exec.virtual",
-    "repro.exec.pool",
+    "repro.exec.pool", "repro.exec.faults", "repro.exec.watchdog",
 ]
 
 
