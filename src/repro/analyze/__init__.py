@@ -11,7 +11,16 @@ rule catalogue over the result:
   reentry and Figure 7 mutual speculation cycle (SA2xx),
 * output-commit hazards around ``Emit`` (SA3xx),
 * plan/program consistency, including statically-certain value faults
-  (SA4xx).
+  (SA4xx),
+* effects-and-commutativity findings — uncertified same-state races,
+  deferrable guesses, bump-certified exports (SA6xx).
+
+The effects layer (:mod:`repro.analyze.effects`) lifts the summaries
+onto the runtime's canonical access keys, classifies writes into
+commutativity classes, and issues the certificates the optimistic
+runtime consumes when ``OptimisticConfig(static_effects=True)``; the
+soundness monitor (:mod:`repro.analyze.soundness`) cross-checks the
+static sets against recorded access sets.
 
 Entry points: ``python -m repro lint``, ``OptimisticSystem(...,
 strict_plans=True)``, ``propose_plan(..., static=True)``, and
@@ -19,6 +28,13 @@ strict_plans=True)``, ``propose_plan(..., static=True)``, and
 """
 
 from repro.analyze.astwalk import UNKNOWN, WalkResult, walk_function
+from repro.analyze.effects import (
+    ProgramEffects,
+    SegmentEffects,
+    StaticConflictReport,
+    infer_program_effects,
+    static_conflicts,
+)
 from repro.analyze.filescan import scan_file, scan_paths
 from repro.analyze.graph import (
     Entry,
@@ -29,8 +45,10 @@ from repro.analyze.graph import (
     predicted_keys,
     safe_fork_sites,
 )
-from repro.analyze.report import Finding, Report, Severity
+from repro.analyze.report import SCHEMA_VERSION, Finding, Report, Severity
 from repro.analyze.rules import RULES, Rule, rule, run_rules
+from repro.analyze.sarif import to_sarif, to_sarif_json
+from repro.analyze.soundness import check_access, check_system
 from repro.analyze.summary import (
     ProgramSummary,
     SegmentSummary,
@@ -48,6 +66,16 @@ __all__ = [
     "UNKNOWN",
     "WalkResult",
     "walk_function",
+    "ProgramEffects",
+    "SegmentEffects",
+    "StaticConflictReport",
+    "infer_program_effects",
+    "static_conflicts",
+    "check_access",
+    "check_system",
+    "to_sarif",
+    "to_sarif_json",
+    "SCHEMA_VERSION",
     "scan_file",
     "scan_paths",
     "Entry",

@@ -40,6 +40,20 @@ FORBIDDEN_MODULES = frozenset({"random", "time", "os", "secrets", "uuid"})
 #: Placeholder for a communication partner the walk could not resolve.
 UNKNOWN = "?"
 
+#: Write-pattern tags recognised by the classifier.  ``bump`` is
+#: ``state[k] += c`` (or ``state[k] = state[k] + c``): an additive
+#: self-update whose error is repairable by a delta.  ``append`` /
+#: ``set_insert`` are in-place ``.append(x)`` / ``.add(x)`` on
+#: ``state[k]``.  ``idempotent_put`` assigns a constant — the tag is
+#: parameterized with the constant's repr (``idempotent_put[True]``) so
+#: two writers only share the class when they put the *same* value.
+#: ``overwrite`` is any other plain assignment; ``other`` covers
+#: everything else (tuple-unpack targets, non-additive aug-assigns,
+#: ``setdefault``).
+WRITE_PATTERNS = frozenset(
+    {"bump", "append", "set_insert", "idempotent_put", "overwrite", "other"}
+)
+
 
 @dataclass
 class WalkResult:
@@ -51,6 +65,13 @@ class WalkResult:
     receives: bool = False
     reads: Set[str] = field(default_factory=set)
     writes: Set[str] = field(default_factory=set)
+    #: reads occurring anywhere *except* inside a certified commutative
+    #: self-update — ``state[k] += c`` reads ``k``, but only through the
+    #: bump itself, so ``k`` lands in ``reads`` and not here.  A key in
+    #: ``reads`` but not ``plain_reads`` is consumed exclusively by bumps.
+    plain_reads: Set[str] = field(default_factory=set)
+    #: per-key write-pattern tags (subset of :data:`WRITE_PATTERNS`)
+    write_patterns: Dict[str, Set[str]] = field(default_factory=dict)
     #: yields whose operand is provably not an Effect: (repr, line)
     bad_yields: List[Tuple[str, int]] = field(default_factory=list)
     #: uses of forbidden nondeterministic modules: (dotted name, line)
@@ -69,6 +90,9 @@ class WalkResult:
         self.receives = self.receives or other.receives
         self.reads |= other.reads
         self.writes |= other.writes
+        self.plain_reads |= other.plain_reads
+        for key, tags in other.write_patterns.items():
+            self.write_patterns.setdefault(key, set()).update(tags)
         self.bad_yields.extend(other.bad_yields)
         self.forbidden.extend(other.forbidden)
         self.global_writes.extend(other.global_writes)
@@ -125,6 +149,13 @@ class _SegmentWalker:
         self.result = WalkResult()
         self.globals_declared: Set[str] = set()
         self.locals_bound: Set[str] = set(self.env)
+        #: names the body rebinds anywhere — their closure/default values
+        #: are unreliable, so constant folding never uses them
+        self._rebound: Set[str] = {
+            n.id for n in ast.walk(node)
+            if isinstance(n, ast.Name)
+            and isinstance(n.ctx, (ast.Store, ast.Del))
+        }
         fn_globals = getattr(fn, "__globals__", {})
         self.module_names = {
             name for name, value in fn_globals.items()
@@ -142,6 +173,61 @@ class _SegmentWalker:
             if name in self.env:
                 return self.env[name]
         return UNKNOWN
+
+    _UNRESOLVED = object()
+
+    def _resolve_const(self, node: ast.AST) -> Any:
+        """Like :meth:`_literal` but refuses names the body rebinds."""
+        if isinstance(node, ast.Constant):
+            return node.value
+        if isinstance(node, ast.Name):
+            name = node.id
+            if name in self.env and name not in self._rebound:
+                return self.env[name]
+        return self._UNRESOLVED
+
+    def _static_test(self, test: ast.expr) -> Optional[bool]:
+        """Constant-fold an ``if`` test over closure/default bindings.
+
+        Segment factories parameterize bodies through default arguments
+        (``def body(state, _branch_on=None): if _branch_on is not None:``),
+        so many guards are statically decided for the *specific* closure
+        being walked.  Folding them prunes dead branches — without it,
+        an unreachable ``state.get(_branch_on)`` with ``_branch_on=None``
+        would poison the whole segment opaque.  Returns ``None`` when the
+        test does not fold; identity comparisons fold only against
+        ``None``/booleans, where ``is`` is value-determined.
+        """
+        if isinstance(test, ast.UnaryOp) and isinstance(test.op, ast.Not):
+            inner = self._static_test(test.operand)
+            return None if inner is None else not inner
+        if isinstance(test, ast.Compare) and len(test.ops) == 1:
+            left = self._resolve_const(test.left)
+            right = self._resolve_const(test.comparators[0])
+            if left is self._UNRESOLVED or right is self._UNRESOLVED:
+                return None
+            op = test.ops[0]
+            if isinstance(op, (ast.Is, ast.IsNot)):
+                if not (left is None or right is None
+                        or isinstance(left, bool)
+                        or isinstance(right, bool)):
+                    return None
+                same = left is right
+                return same if isinstance(op, ast.Is) else not same
+            if isinstance(op, (ast.Eq, ast.NotEq)):
+                try:
+                    equal = bool(left == right)
+                except Exception:
+                    return None
+                return equal if isinstance(op, ast.Eq) else not equal
+            return None
+        value = self._resolve_const(test)
+        if value is self._UNRESOLVED:
+            return None
+        try:
+            return bool(value)
+        except Exception:
+            return None
 
     def _dst_op(self, call: ast.Call) -> Tuple[str, str]:
         args = list(call.args)
@@ -207,29 +293,77 @@ class _SegmentWalker:
     def _is_state(self, node: ast.AST) -> bool:
         return isinstance(node, ast.Name) and node.id == self.state_param
 
-    def _note_subscript(self, node: ast.Subscript, store: bool) -> None:
+    def _state_key_of(self, node: ast.AST) -> Optional[str]:
+        """The literal key of a ``state[...]`` subscript, if resolvable."""
+        if not (isinstance(node, ast.Subscript)
+                and self._is_state(node.value)):
+            return None
+        key = self._literal(node.slice)
+        return key if isinstance(key, str) else None
+
+    def _note_pattern(self, key: str, tag: str) -> None:
+        self.result.write_patterns.setdefault(key, set()).add(tag)
+
+    def _classify_assign(
+        self, key: str, value: ast.expr
+    ) -> Tuple[str, Optional[ast.expr]]:
+        """Pattern of ``state[key] = value``; for bumps, also the addend."""
+        if isinstance(value, ast.Constant):
+            return f"idempotent_put[{value.value!r}]", None
+        if isinstance(value, ast.BinOp) and isinstance(value.op, ast.Add):
+            if self._state_key_of(value.left) == key:
+                return "bump", value.right
+            if self._state_key_of(value.right) == key:
+                return "bump", value.left
+        return "overwrite", None
+
+    def _note_read(self, key: str, *, plain: bool = True) -> None:
+        self.result.reads.add(key)
+        if plain:
+            self.result.plain_reads.add(key)
+
+    def _note_subscript(self, node: ast.Subscript, store: bool,
+                        pattern: str = "other") -> None:
         if not self._is_state(node.value):
             return
         key = self._literal(node.slice)
         if isinstance(key, str):
-            (self.result.writes if store else self.result.reads).add(key)
+            if store:
+                self.result.writes.add(key)
+                self._note_pattern(key, pattern)
+            else:
+                self._note_read(key)
         else:
             self.result.opaque = True
 
     def _note_state_method(self, call: ast.Call) -> None:
         func = call.func
-        if not (isinstance(func, ast.Attribute) and self._is_state(func.value)):
+        if not isinstance(func, ast.Attribute):
+            return
+        # ``state[k].append(x)`` / ``state[k].add(x)``: in-place mutation
+        # of a container value — a commutativity-classifiable write.
+        inner_key = self._state_key_of(func.value)
+        if inner_key is not None:
+            if func.attr == "append":
+                self.result.writes.add(inner_key)
+                self._note_pattern(inner_key, "append")
+            elif func.attr == "add":
+                self.result.writes.add(inner_key)
+                self._note_pattern(inner_key, "set_insert")
+            return
+        if not self._is_state(func.value):
             return
         key = self._literal(call.args[0]) if call.args else UNKNOWN
         if func.attr == "get":
             if isinstance(key, str):
-                self.result.reads.add(key)
+                self._note_read(key)
             else:
                 self.result.opaque = True
         elif func.attr == "setdefault":
             if isinstance(key, str):
-                self.result.reads.add(key)
+                self._note_read(key)
                 self.result.writes.add(key)
+                self._note_pattern(key, "other")
             else:
                 self.result.opaque = True
         elif func.attr in ("pop", "update", "clear", "popitem"):
@@ -302,6 +436,36 @@ class _SegmentWalker:
             return  # nested defs are separate bodies; do not attribute
         if isinstance(stmt, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
             self._note_store(stmt)
+            if isinstance(stmt, ast.AugAssign):
+                key = self._state_key_of(stmt.target)
+                if key is not None:
+                    # ``state[k] op= v`` reads k; only the additive form is
+                    # a certified bump (the read stays out of plain_reads).
+                    additive = isinstance(stmt.op, ast.Add)
+                    self._note_read(key, plain=not additive)
+                    self.result.writes.add(key)
+                    self._note_pattern(key, "bump" if additive else "other")
+                    self._walk_expr(stmt.value, reachable)
+                    return
+                self._walk_store_target(stmt.target)
+                self._walk_expr(stmt.value, reachable)
+                return
+            if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1:
+                key = self._state_key_of(stmt.targets[0])
+                if key is not None:
+                    pattern, bump_arm = self._classify_assign(key, stmt.value)
+                    self.result.writes.add(key)
+                    self._note_pattern(key, pattern)
+                    if pattern == "bump":
+                        # The self-read inside ``state[k] = state[k] + c``
+                        # is bump-internal: record it as non-plain and walk
+                        # only the addend.
+                        self._note_read(key, plain=False)
+                        if bump_arm is not None:
+                            self._walk_expr(bump_arm, reachable)
+                        return
+                    self._walk_expr(stmt.value, reachable)
+                    return
             if isinstance(stmt, ast.Assign):
                 for target in stmt.targets:
                     self._walk_store_target(target)
@@ -311,7 +475,15 @@ class _SegmentWalker:
             if value is not None:
                 self._walk_expr(value, reachable)
             return
-        if isinstance(stmt, (ast.If, ast.While)):
+        if isinstance(stmt, ast.If):
+            verdict = self._static_test(stmt.test)
+            self._walk_expr(stmt.test, reachable)
+            if verdict is not False:
+                self._walk_block(stmt.body, reachable)
+            if verdict is not True:
+                self._walk_block(stmt.orelse, reachable)
+            return
+        if isinstance(stmt, ast.While):
             self._walk_expr(stmt.test, reachable)
             self._walk_block(stmt.body, reachable)
             self._walk_block(stmt.orelse, reachable)

@@ -83,6 +83,11 @@ def configure_parser(parser: argparse.ArgumentParser) -> None:
         help="also write the findings as JSON to FILE ('-' for stdout)",
     )
     parser.add_argument(
+        "--sarif", metavar="FILE", default=None,
+        help="also write the findings as SARIF 2.1.0 to FILE "
+             "('-' for stdout)",
+    )
+    parser.add_argument(
         "--rules", default=None,
         help="comma-separated rule IDs to run (default: all)",
     )
@@ -121,6 +126,14 @@ def run_lint(args: argparse.Namespace) -> int:
             print(payload)
         else:
             Path(args.json).write_text(payload + "\n")
+    if args.sarif:
+        from repro.analyze.sarif import to_sarif_json
+
+        sarif_payload = to_sarif_json(combined)
+        if args.sarif == "-":
+            print(sarif_payload)
+        else:
+            Path(args.sarif).write_text(sarif_payload + "\n")
     return combined.exit_code(min_severity)
 
 

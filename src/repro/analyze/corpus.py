@@ -211,6 +211,93 @@ def _unpicklable_process_segment() -> SystemModel:
     return SystemModel.build([(prog, None)])
 
 
+# ------------------------------------------------- effects & commutativity
+
+def _unexported_ww_race() -> SystemModel:
+    def s0(state):
+        from repro.csp.effects import Call
+        state["r0"] = yield Call("S", "op", ())
+        state["acc"] = state["r0"]             # written, never exported
+
+    def s1(state):
+        from repro.csp.effects import Call
+        value = yield Call("S", "op", ())
+        state["acc"] = value                   # SA601: uncertified WW
+
+    prog = Program("P", [Segment("s0", s0, exports=("r0",)),
+                         Segment("s1", s1)])
+    plan = ParallelizationPlan().add("s0", ForkSpec(predictor={"r0": 1}))
+    return SystemModel.build([(prog, plan), _ok_server("S")])
+
+
+def _unexported_stale_read() -> SystemModel:
+    def s0(state):
+        from repro.csp.effects import Call
+        state["r0"] = yield Call("S", "op", ())
+        state["tmp"] = state["r0"] * 2         # written, never exported
+
+    def s1(state):
+        from repro.csp.effects import Send
+        yield Send("S", "report", (state["tmp"],))  # SA602: stale read
+
+    prog = Program("P", [Segment("s0", s0, exports=("r0",)),
+                         Segment("s1", s1)])
+    plan = ParallelizationPlan().add("s0", ForkSpec(predictor={"r0": 1}))
+    return SystemModel.build([(prog, plan), _ok_server("S")])
+
+
+def _deferrable_guess() -> SystemModel:
+    def s0(state):
+        from repro.csp.effects import Call
+        state["r0"] = yield Call("S", "op", ())
+        state["aux"] = state["r0"] + 1
+
+    def s1(state):
+        from repro.csp.effects import Send
+        yield Send("S", "report", (state["r0"],))  # only r0 consumed
+
+    prog = Program("P", [Segment("s0", s0, exports=("r0", "aux")),
+                         Segment("s1", s1)])
+    plan = ParallelizationPlan().add(
+        "s0", ForkSpec(predictor={"r0": 1, "aux": 2}))  # SA603: aux unused
+    return SystemModel.build([(prog, plan), _ok_server("S")])
+
+
+def _unverifiable_predictor() -> SystemModel:
+    def s0(state):
+        from repro.csp.effects import Call
+        state["r0"] = yield Call("S", "op", ())
+
+    def s1(state):
+        from repro.csp.effects import Send
+        yield Send("S", "report", (state["r0"],))  # export is consumed
+
+    def predictor(state):
+        return {"r0": state["missing"]}        # SA604: raises on the probe
+
+    prog = Program("P", [Segment("s0", s0, exports=("r0",)),
+                         Segment("s1", s1)])
+    plan = ParallelizationPlan().add("s0", ForkSpec(predictor=predictor))
+    return SystemModel.build([(prog, plan), _ok_server("S")])
+
+
+def _bump_certified_export() -> SystemModel:
+    def s0(state):
+        from repro.csp.effects import Call
+        state["count"] = yield Call("S", "op", ())
+
+    def s1(state):
+        from repro.csp.effects import Call
+        value = yield Call("S", "op", ())
+        state["count"] += value                # SA605: additive self-update
+        state["r1"] = value
+
+    prog = Program("P", [Segment("s0", s0, exports=("count",)),
+                         Segment("s1", s1, exports=("r1",))])
+    plan = ParallelizationPlan().add("s0", ForkSpec(predictor={"count": 1}))
+    return SystemModel.build([(prog, plan), _ok_server("S")])
+
+
 CORPUS: List[CorpusCase] = [
     CorpusCase("nondeterministic-modules", frozenset({"SA101"}),
                _nondeterministic_segment,
@@ -240,4 +327,19 @@ CORPUS: List[CorpusCase] = [
     CorpusCase("unpicklable-process-segment", frozenset({"SA501"}),
                _unpicklable_process_segment,
                "closure segment tagged for the process backend"),
+    CorpusCase("unexported-ww-race", frozenset({"SA601"}),
+               _unexported_ww_race,
+               "fork and continuation both write an unexported key"),
+    CorpusCase("unexported-stale-read", frozenset({"SA602"}),
+               _unexported_stale_read,
+               "continuation reads a write that is never exported"),
+    CorpusCase("deferrable-guess", frozenset({"SA603"}),
+               _deferrable_guess,
+               "predictor guesses a key nothing downstream touches"),
+    CorpusCase("unverifiable-predictor", frozenset({"SA604"}),
+               _unverifiable_predictor,
+               "predictor raises on the static probe"),
+    CorpusCase("bump-certified-export", frozenset({"SA605"}),
+               _bump_certified_export,
+               "every downstream use of the export is an additive bump"),
 ]

@@ -1,0 +1,401 @@
+"""Static effects: canonical access keys, commutativity, conflict matrices.
+
+This is the static half of ROADMAP item 1.  For every segment it infers a
+**read set** and **write set** over the exact key namespaces the runtime
+:class:`~repro.obs.access.AccessTracker` records — plain state keys,
+``chan:{src}->{dst}.{op}`` channel keys, ``sink:{name}`` sink keys — so
+static predictions and observed heatmaps are directly comparable.  On top
+of the sets it derives:
+
+* **commutativity classes** per written state key (``bump``, ``append``,
+  ``set_insert``, ``idempotent_put``) from the AST write-pattern
+  classifier in :mod:`repro.analyze.astwalk`;
+* **continuation needs** per fork site — the state keys any downstream
+  segment may read or write, which is exactly what a predictor has to
+  guess: exports outside the need set are *deferrable* (the runtime skips
+  guessing them entirely and overlays the committed actuals at the end);
+* **bump certificates** — exports whose only downstream uses are additive
+  self-updates, so a wrong guess is repaired by a delta instead of
+  aborting the whole speculative subtree;
+* a **static WW/WR/RW conflict matrix** over the communication graph,
+  reusing the runtime's :class:`~repro.obs.access.ConflictMatrix` so
+  ``repro explain --conflicts`` heatmaps and static predictions render
+  identically.
+
+Everything stays conservative in both directions: unresolved constructs
+mark the segment ``opaque`` (no certification, so no unsound runtime
+shortcut) and open receive frontiers exempt channel keys from soundness
+checking (no false violations).  The runtime soundness monitor
+(:mod:`repro.analyze.soundness`) closes the loop by auditing observed
+access records against these sets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import (
+    Dict,
+    FrozenSet,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
+
+from repro.analyze.astwalk import UNKNOWN
+from repro.analyze.summary import (
+    ProgramSummary,
+    SegmentSummary,
+    summarize_program,
+)
+from repro.csp.plan import ParallelizationPlan
+from repro.csp.process import Program
+from repro.obs.access import ConflictMatrix, chan_key, sink_key
+
+#: Write patterns that certify a commutativity class when they are the
+#: *only* pattern observed for a key within one segment.
+#: ``idempotent_put`` tags are parameterized with the written constant
+#: (``idempotent_put[True]``) so two writers only share the class — and
+#: hence commute — when they put the same value.
+COMMUTATIVE_CLASSES = ("bump", "append", "set_insert", "idempotent_put")
+
+
+def is_commutative_tag(tag: str) -> bool:
+    return tag in COMMUTATIVE_CLASSES or tag.startswith("idempotent_put[")
+
+
+def is_global_key(key: str) -> bool:
+    """Channel/sink keys live in a shared namespace; the rest is state."""
+    return key.startswith("chan:") or key.startswith("sink:")
+
+
+def key_matches(static_key: str, observed_key: str) -> bool:
+    """Does a static key cover an observed one?
+
+    Exact matches always do; a channel key whose op the walk could not
+    resolve (``chan:a->b.?``) covers every op on that directed edge —
+    including the literal ``?`` the tracker's own static seeding uses.
+    """
+    if static_key == observed_key:
+        return True
+    if (static_key.startswith("chan:")
+            and static_key.endswith(f".{UNKNOWN}")):
+        return observed_key.startswith(static_key[: -len(UNKNOWN)])
+    return False
+
+
+def covered(observed_key: str, static_keys: Iterable[str]) -> bool:
+    return any(key_matches(s, observed_key) for s in static_keys)
+
+
+@dataclass
+class SegmentEffects:
+    """One segment's statically inferred access behaviour."""
+
+    process: str
+    name: str
+    index: int
+    #: canonical keys this segment may read (state + reply channels)
+    reads: FrozenSet[str]
+    #: canonical keys this segment may write (state + channels + sinks)
+    writes: FrozenSet[str]
+    #: state keys read outside certified commutative self-updates
+    plain_reads: FrozenSet[str]
+    #: state key -> certified commutativity class, or None (uncertified)
+    commutativity: Dict[str, Optional[str]]
+    exports: Tuple[str, ...]
+    #: inbound channel reads are statically unknowable (Receive frontier)
+    open_read_frontier: bool
+    #: outbound channel writes are statically unknowable (server replies)
+    open_write_frontier: bool
+    opaque: bool
+
+    def commutative_class(self, key: str) -> Optional[str]:
+        return self.commutativity.get(key)
+
+
+def effects_of(summary: SegmentSummary, process: str) -> SegmentEffects:
+    """Lift one segment summary into canonical-key effect sets."""
+    reads: Set[str] = set(summary.reads)
+    plain: Set[str] = set(summary.plain_reads)
+    writes: Set[str] = set(summary.writes)
+    for dst, op in summary.calls:
+        if dst == UNKNOWN:
+            continue  # summary is already opaque for unknown dsts
+        writes.add(chan_key(process, dst, op))
+        # A call consumes its reply: the runtime records that consumption
+        # as a read of the reverse channel with the same op.
+        reads.add(chan_key(dst, process, op))
+    for dst, op in summary.sends:
+        if dst == UNKNOWN:
+            continue
+        writes.add(chan_key(process, dst, op))
+    for snk in summary.emits:
+        writes.add(sink_key(snk))
+
+    commutativity: Dict[str, Optional[str]] = {}
+    for key in summary.writes:
+        tags = summary.write_patterns.get(key)
+        if tags and len(tags) == 1 and is_commutative_tag(next(iter(tags))):
+            commutativity[key] = next(iter(tags))
+        else:
+            commutativity[key] = None
+
+    return SegmentEffects(
+        process=process,
+        name=summary.name,
+        index=summary.index,
+        reads=frozenset(reads),
+        writes=frozenset(writes),
+        plain_reads=frozenset(plain),
+        commutativity=commutativity,
+        exports=tuple(summary.exports),
+        # A receiving segment's inbound messages (and, for servers, the
+        # replies it issues) have statically unknowable partners.
+        open_read_frontier=summary.receives,
+        open_write_frontier=summary.receives,
+        opaque=summary.opaque,
+    )
+
+
+@dataclass
+class ProgramEffects:
+    """Per-segment effects of one program, plus fork-site certificates."""
+
+    process: str
+    summary: ProgramSummary
+    segments: List[SegmentEffects]
+
+    @classmethod
+    def from_summary(cls, summary: ProgramSummary) -> "ProgramEffects":
+        name = summary.name
+        return cls(
+            process=name,
+            summary=summary,
+            segments=[effects_of(s, name) for s in summary.segments],
+        )
+
+    def segment(self, index: int) -> SegmentEffects:
+        return self.segments[index]
+
+    # --------------------------------------------------- fork certificates
+
+    def continuation_needs(self, index: int) -> Optional[FrozenSet[str]]:
+        """State keys any segment after ``index`` may read *or* write.
+
+        This is the full set a fork-site predictor could usefully guess:
+        an export outside it provably never influences (or is clobbered
+        by) the continuation.  Returns ``None`` when any downstream
+        segment is opaque — then nothing can be certified.
+        """
+        needs: Set[str] = set()
+        for eff in self.segments[index + 1:]:
+            if eff.opaque:
+                return None
+            needs |= {k for k in (eff.reads | eff.writes)
+                      if not is_global_key(k)}
+        return frozenset(needs)
+
+    def deferrable_exports(self, index: int) -> FrozenSet[str]:
+        """Exports of segment ``index`` the continuation provably ignores.
+
+        Guessing these buys nothing and risks a value fault; the runtime
+        skips them at fork and overlays the committed actuals into the
+        final state instead (sound because nothing downstream reads or
+        writes them).
+        """
+        needs = self.continuation_needs(index)
+        if needs is None:
+            return frozenset()
+        return frozenset(
+            k for k in self.segments[index].exports if k not in needs
+        )
+
+    def bump_certified(self, index: int) -> FrozenSet[str]:
+        """Exports of ``index`` whose downstream uses are all additive.
+
+        A key qualifies when every downstream segment (a) never reads it
+        outside a bump, and (b) writes it — if at all — only as
+        ``state[k] += c``.  A wrong guess then shifts every downstream
+        value by a constant delta, which the runtime repairs at commit
+        instead of aborting.
+        """
+        out: Set[str] = set()
+        downstream = self.segments[index + 1:]
+        for key in self.segments[index].exports:
+            certified = True
+            touched = False
+            for eff in downstream:
+                if eff.opaque:
+                    certified = False
+                    break
+                if key in eff.plain_reads:
+                    certified = False
+                    break
+                if key in eff.writes:
+                    touched = True
+                    if eff.commutative_class(key) != "bump":
+                        certified = False
+                        break
+            if certified and touched:
+                out.add(key)
+        return frozenset(out)
+
+    def statically_disjoint(self, i: int, j: int) -> bool:
+        """No shared key between segments ``i`` and ``j`` (any direction)."""
+        a, b = self.segments[i], self.segments[j]
+        if a.opaque or b.opaque:
+            return False
+        if a.open_read_frontier or b.open_read_frontier:
+            return False
+        for key in a.reads | a.writes:
+            if covered(key, b.reads) or covered(key, b.writes):
+                return False
+        for key in b.reads | b.writes:
+            if covered(key, a.reads) or covered(key, a.writes):
+                return False
+        return True
+
+
+def infer_program_effects(program: Program) -> ProgramEffects:
+    """Summarize ``program`` and lift it into canonical-key effects."""
+    return ProgramEffects.from_summary(summarize_program(program))
+
+
+# ------------------------------------------------------- static conflicts
+
+
+def _qualified(eff: SegmentEffects) -> Tuple[Set[str], Set[str]]:
+    """Effect sets with state keys qualified as ``{process}.{key}``."""
+    reads = {k if is_global_key(k) else f"{eff.process}.{k}"
+             for k in eff.reads}
+    writes = {k if is_global_key(k) else f"{eff.process}.{k}"
+              for k in eff.writes}
+    return reads, writes
+
+
+def _shared(keys_a: Set[str], keys_b: Set[str]) -> Set[str]:
+    """Keys present in both sets, honouring channel wildcards.
+
+    When a wildcard matches a concrete key the concrete one is reported —
+    the matrix cell should name the real channel op where it is known.
+    """
+    out = set(keys_a & keys_b)
+    for a in keys_a:
+        for b in keys_b:
+            if a == b:
+                continue
+            if key_matches(a, b):
+                out.add(b)
+            elif key_matches(b, a):
+                out.add(a)
+    return out
+
+
+def _fork_indices(plan: Optional[ParallelizationPlan],
+                  program: Program) -> FrozenSet[int]:
+    if plan is None:
+        return frozenset()
+    names = {seg.name: i for i, seg in enumerate(program.segments)}
+    return frozenset(names[s] for s in plan.forks if s in names)
+
+
+@dataclass
+class StaticConflictReport:
+    """A static conflict matrix plus its commutativity annotations."""
+
+    matrix: ConflictMatrix
+    #: WW keys where every writer certifies the *same* commutative class
+    certified_commutative: FrozenSet[str]
+    #: WW keys with no (or mismatched) certificates — the real races
+    uncertified_ww: FrozenSet[str]
+
+
+def static_conflicts(
+    entries: Sequence[Tuple[Program, Optional[ParallelizationPlan]]],
+) -> StaticConflictReport:
+    """Predicted WW/WR/RW conflicts over potentially concurrent segments.
+
+    Mirrors :func:`repro.obs.access.conflicts` structurally: same
+    :class:`~repro.obs.access.ConflictMatrix`, same key qualification.
+    Two segments are *potentially concurrent* when they belong to
+    different processes, or to the same process with a plan fork site
+    between them (left thread runs ``i..s`` while the right thread runs
+    ``s+1..``).  Pair direction is canonicalized by (process, index) —
+    statically there is no start time to order concurrent segments by.
+
+    Sink keys are excluded from the race annotations: the output-commit
+    buffer serializes emissions in program order by construction.
+    """
+    matrix = ConflictMatrix()
+    flat: List[Tuple[int, SegmentEffects, Set[str], Set[str],
+                     FrozenSet[int]]] = []
+    for pidx, (program, plan) in enumerate(entries):
+        effects = infer_program_effects(program)
+        forks = _fork_indices(plan, program)
+        for eff in effects.segments:
+            reads, writes = _qualified(eff)
+            if reads or writes:
+                flat.append((pidx, eff, reads, writes, forks))
+    matrix.records = len(flat)
+
+    ww_writers: Dict[str, List[Optional[str]]] = {}
+    for x, (pa, a, ar, aw, aforks) in enumerate(flat):
+        for (pb, b, br, bw, _bforks) in flat[x + 1:]:
+            if pa == pb:
+                i, j = sorted((a.index, b.index))
+                if not any(i <= s < j for s in aforks):
+                    continue
+                first_r, first_w = (ar, aw) if a.index == i else (br, bw)
+                second_r, second_w = (br, bw) if a.index == i else (ar, aw)
+            else:
+                first_r, first_w, second_r, second_w = ar, aw, br, bw
+            matrix.pairs_examined += 1
+            for key in _shared(first_w, second_w):
+                matrix.add(key, "WW")
+                if not key.startswith("sink:"):
+                    ww_writers.setdefault(key, []).extend(
+                        _certificates(key, a, b))
+            for key in _shared(first_w, second_r):
+                matrix.add(key, "WR")
+            for key in _shared(first_r, second_w):
+                matrix.add(key, "RW")
+
+    certified = frozenset(
+        key for key, certs in ww_writers.items()
+        if certs and None not in certs and len(set(certs)) == 1
+    )
+    uncertified = frozenset(ww_writers) - certified
+    return StaticConflictReport(
+        matrix=matrix,
+        certified_commutative=certified,
+        uncertified_ww=uncertified,
+    )
+
+
+def _certificates(qualified_key: str, a: SegmentEffects,
+                  b: SegmentEffects) -> List[Optional[str]]:
+    """Certificates both writers hold for one WW key.
+
+    A writer is certified either by a commutativity class (the writes
+    commute, order irrelevant) or by *exporting* the key — an exported
+    write is guessed at fork and checked at join, so the protocol itself
+    serializes it.  Mixed certificates stay uncertified: two writers
+    serialized by different mechanisms give no combined guarantee.
+    """
+    out: List[Optional[str]] = []
+    for eff in (a, b):
+        prefix = f"{eff.process}."
+        if qualified_key.startswith(prefix):
+            key = qualified_key[len(prefix):]
+            cert = eff.commutative_class(key)
+            if cert is None and key in eff.exports:
+                cert = "export-verified"
+            out.append(cert)
+        else:
+            # Channel keys carry no commutativity class: the writer is
+            # the sender and message order is what matters.
+            out.append(None)
+    return out

@@ -14,6 +14,10 @@ from dataclasses import dataclass, field
 from enum import IntEnum
 from typing import Any, Dict, Iterable, List, Optional, Tuple
 
+#: Version of the machine-readable payload shape (``--json`` and
+#: ``--sarif`` both stamp it); bump on any breaking field change.
+SCHEMA_VERSION = "1.0.0"
+
 
 class Severity(IntEnum):
     """Finding severities, ordered so comparisons mean "at least"."""
@@ -124,6 +128,7 @@ class Report:
 
     def to_json(self, min_severity: Severity = Severity.INFO) -> str:
         payload = {
+            "schema": SCHEMA_VERSION,
             "target": self.target,
             "findings": [
                 f.to_dict() for f in self.sorted()

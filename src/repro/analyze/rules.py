@@ -20,6 +20,11 @@ SA403  predictor guesses keys the segment never exports           error
 SA404  continuation reads an export the predictor does not guess  error
 SA405  dead ``.when()`` branch (condition can never be truthy)    warning
 SA501  process-backend segment captures unpicklable state         warning
+SA601  speculative WW race on an unexported, uncertified key      warning
+SA602  continuation reads a write the segment never exports       error
+SA603  guessed keys outside the continuation's need set           info
+SA604  unverifiable predictor at a consumed fork site             warning
+SA605  bump-certified export (wrong guesses repair, not abort)    info
 =====  ========================================================== ========
 
 Register new rules with :func:`rule`; the smoke gate
@@ -373,6 +378,169 @@ def _unpicklable_process_segment(model: SystemModel) -> Iterator[Finding]:
                         f"a module-level function with functools.partial",
                         process=name, segment=seg.name,
                     )
+
+
+# ------------------------------------------------- effects & commutativity
+
+def _program_effects(model: SystemModel, name: str):
+    from repro.analyze.effects import ProgramEffects
+
+    return ProgramEffects.from_summary(model.summaries[name])
+
+
+@rule("SA601", Severity.WARNING,
+      "speculative WW race on an unexported, uncertified key")
+def _unexported_ww(model: SystemModel) -> Iterator[Finding]:
+    """The forked segment and its speculative continuation both write a
+    state key the segment never exports.  Exported writes are serialized
+    by guess/verify and commutative writes merge by construction; an
+    unexported, uncertified WW has neither safety net — whichever thread
+    commits last silently wins.  Sink and channel keys are excluded
+    (output commit and message order serialize those)."""
+    from repro.analyze.effects import is_global_key
+
+    for site in model.all_fork_sites():
+        if site.index < 0:
+            continue
+        effects = _program_effects(model, site.process)
+        eff = effects.segments[site.index]
+        unexported = {k for k in eff.writes
+                      if not is_global_key(k) and k not in eff.exports}
+        if not unexported:
+            continue
+        for later in effects.segments[site.index + 1:]:
+            for key in sorted(unexported & later.writes):
+                a = eff.commutative_class(key)
+                b = later.commutative_class(key)
+                if a is not None and a == b:
+                    continue  # both writers certify the same class
+                yield _finding(
+                    "SA601",
+                    f"forked segment {site.segment!r} and continuation "
+                    f"segment {later.name!r} both write unexported key "
+                    f"{key!r} with no shared commutativity certificate; "
+                    f"the join never checks it, so the last write "
+                    f"silently wins — export the key or make both "
+                    f"writes commutative",
+                    process=site.process, segment=site.segment,
+                )
+
+
+@rule("SA602", Severity.ERROR,
+      "continuation reads a write the segment never exports")
+def _unexported_read(model: SystemModel) -> Iterator[Finding]:
+    """The right thread starts from the fork-point snapshot plus the
+    guessed *exports*; a downstream read of a key the forked segment
+    writes but never exports sees the stale pre-fork value every time.
+    The strict-exports runtime check catches this dynamically — this is
+    the same contract, caught before anything runs."""
+    from repro.analyze.effects import is_global_key
+
+    for site in model.all_fork_sites():
+        if site.index < 0:
+            continue
+        effects = _program_effects(model, site.process)
+        eff = effects.segments[site.index]
+        unexported = {k for k in eff.writes
+                      if not is_global_key(k) and k not in eff.exports}
+        if not unexported:
+            continue
+        for later in effects.segments[site.index + 1:]:
+            for key in sorted(unexported & later.reads):
+                yield _finding(
+                    "SA602",
+                    f"segment {later.name!r} reads {key!r}, which the "
+                    f"forked segment {site.segment!r} writes but never "
+                    f"exports — the speculative continuation always sees "
+                    f"the stale pre-fork value; add the key to the "
+                    f"segment's exports",
+                    process=site.process, segment=site.segment,
+                )
+
+
+@rule("SA603", Severity.INFO,
+      "guessed keys outside the continuation's need set")
+def _deferrable_guess(model: SystemModel) -> Iterator[Finding]:
+    """The predictor guesses a key no downstream segment reads or writes.
+    The guess buys no overlap but each wrong value is a full value fault;
+    the runtime's ``static_effects`` mode defers such keys automatically,
+    and :func:`~repro.core.autoplan.propose_plan` trims them."""
+    for site in model.all_fork_sites():
+        if site.index < 0:
+            continue
+        program = model.program_of(site.process)
+        keys = predicted_keys(site, program)
+        if keys is None:
+            continue
+        effects = _program_effects(model, site.process)
+        needs = effects.continuation_needs(site.index)
+        if needs is None:
+            continue  # opaque continuation: cannot certify deferral
+        for key in sorted(keys - needs):
+            yield _finding(
+                "SA603",
+                f"predictor at {site.segment!r} guesses {key!r} but no "
+                f"downstream segment reads or writes it; the guess is "
+                f"pure value-fault exposure — deferrable "
+                f"(config.static_effects skips it at fork)",
+                process=site.process, segment=site.segment,
+            )
+
+
+@rule("SA604", Severity.WARNING,
+      "unverifiable predictor at a consumed fork site")
+def _unverifiable_predictor(model: SystemModel) -> Iterator[Finding]:
+    """The predictor could not be probed statically (it raised on the
+    sample state), *and* the continuation actually reads the forked
+    segment's exports — so SA403/SA404 are flying blind exactly where a
+    bad guess matters.  Make the predictor total over partial states
+    (use ``state.get``) or switch to a constant-dict predictor."""
+    for site in model.all_fork_sites():
+        if site.index < 0:
+            continue
+        program = model.program_of(site.process)
+        if predicted_keys(site, program) is not None:
+            continue
+        effects = _program_effects(model, site.process)
+        exports = frozenset(program.segments[site.index].exports)
+        consumed = set()
+        for later in effects.segments[site.index + 1:]:
+            consumed |= (later.reads & exports)
+        if not consumed:
+            continue
+        yield _finding(
+            "SA604",
+            f"predictor at {site.segment!r} cannot be probed statically "
+            f"(it raised on a sample state) and the continuation reads "
+            f"export(s) {sorted(consumed)}; guess coverage is "
+            f"unverifiable — make the predictor total (state.get) or "
+            f"use a constant guess",
+            process=site.process, segment=site.segment,
+        )
+
+
+@rule("SA605", Severity.INFO,
+      "bump-certified export (wrong guesses repair, not abort)")
+def _bump_certified_export(model: SystemModel) -> Iterator[Finding]:
+    """Every downstream use of this export is an additive self-update, so
+    a wrong guess shifts downstream values by a constant delta.  With
+    ``config.static_effects`` the runtime repairs the delta at commit
+    instead of aborting the speculative subtree — this fork site is
+    cheaper than its abort rate suggests."""
+    for site in model.all_fork_sites():
+        if site.index < 0:
+            continue
+        effects = _program_effects(model, site.process)
+        for key in sorted(effects.bump_certified(site.index)):
+            yield _finding(
+                "SA605",
+                f"export {key!r} of forked segment {site.segment!r} is "
+                f"bump-certified: every downstream use is an additive "
+                f"self-update, so a wrong guess repairs by delta at "
+                f"commit instead of aborting "
+                f"(enable config.static_effects)",
+                process=site.process, segment=site.segment,
+            )
 
 
 def _loc(source: Optional[str], line: int) -> Optional[str]:

@@ -1,0 +1,131 @@
+"""SARIF 2.1.0 output for lint reports (``repro lint --sarif``).
+
+SARIF (Static Analysis Results Interchange Format) is the interchange
+format code hosts ingest for inline annotations.  This module renders a
+:class:`~repro.analyze.report.Report` as a single-run SARIF log:
+
+* the tool component carries the full rule catalogue (stable IDs, titles,
+  default severities) so consumers can render rule help without a second
+  source of truth;
+* each finding becomes one ``result`` with the rule ID, the mapped level
+  (info -> ``note``, warning -> ``warning``, error -> ``error``), a
+  physical location when the finding has a ``file.py:line`` anchor, and a
+  logical location naming the process/segment otherwise;
+* ``SCHEMA_VERSION`` versions *our* payload shape (mirrored in the
+  ``--json`` consumer contract) and is stamped into the run's property
+  bag, so downstream tooling can detect format changes explicitly.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Optional
+
+from repro.analyze.report import (  # noqa: F401  — re-exported
+    SCHEMA_VERSION,
+    Finding,
+    Report,
+    Severity,
+)
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = ("https://raw.githubusercontent.com/oasis-tcs/sarif-spec/"
+                "master/Schemata/sarif-schema-2.1.0.json")
+
+_LEVELS = {
+    Severity.INFO: "note",
+    Severity.WARNING: "warning",
+    Severity.ERROR: "error",
+}
+
+
+def _rule_descriptors() -> List[Dict[str, Any]]:
+    """The registered rule catalogue as SARIF reportingDescriptors."""
+    from repro.analyze.rules import RULES
+
+    descriptors = []
+    for rule_id in sorted(RULES):
+        rule = RULES[rule_id]
+        descriptors.append({
+            "id": rule.id,
+            "shortDescription": {"text": rule.title},
+            "defaultConfiguration": {"level": _LEVELS[rule.severity]},
+        })
+    return descriptors
+
+
+def _location(finding: Finding) -> Optional[Dict[str, Any]]:
+    """One SARIF location: physical when file:line is known, else logical."""
+    if finding.location:
+        path, _, line = finding.location.rpartition(":")
+        physical: Dict[str, Any] = {
+            "artifactLocation": {"uri": path or finding.location},
+        }
+        if line.isdigit():
+            physical["region"] = {"startLine": int(line)}
+        return {"physicalLocation": physical}
+    logical = [
+        {"name": name, "kind": kind}
+        for name, kind in ((finding.process, "module"),
+                           (finding.segment, "function"))
+        if name
+    ]
+    if logical:
+        return {"logicalLocations": logical}
+    return None
+
+
+def _result(finding: Finding) -> Dict[str, Any]:
+    result: Dict[str, Any] = {
+        "ruleId": finding.rule,
+        "level": _LEVELS[finding.severity],
+        "message": {"text": finding.message},
+    }
+    location = _location(finding)
+    if location is not None:
+        result["locations"] = [location]
+    properties = {
+        key: value
+        for key, value in (("process", finding.process),
+                           ("segment", finding.segment))
+        if value
+    }
+    if properties:
+        result["properties"] = properties
+    return result
+
+
+def to_sarif(report: Report,
+             min_severity: Severity = Severity.INFO) -> Dict[str, Any]:
+    """Render ``report`` as a SARIF 2.1.0 log object (one run)."""
+    from repro import __version__
+
+    results = [
+        _result(f) for f in report.sorted() if f.severity >= min_severity
+    ]
+    return {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [{
+            "tool": {
+                "driver": {
+                    "name": "repro-lint",
+                    "informationUri":
+                        "https://example.invalid/repro/docs/ANALYSIS.md",
+                    "semanticVersion": __version__,
+                    "rules": _rule_descriptors(),
+                },
+            },
+            "properties": {
+                "schema": SCHEMA_VERSION,
+                "target": report.target,
+            },
+            "results": results,
+        }],
+    }
+
+
+def to_sarif_json(report: Report,
+                  min_severity: Severity = Severity.INFO) -> str:
+    return json.dumps(to_sarif(report, min_severity), indent=2,
+                      sort_keys=True)

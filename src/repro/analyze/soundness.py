@@ -1,0 +1,214 @@
+"""Runtime soundness monitor for the static effects layer.
+
+The static sets in :mod:`repro.analyze.effects` license real runtime
+shortcuts (deferred guesses, commutative repair, guess-free commits), so
+they must be *audited*, not trusted: this module cross-checks the
+:class:`~repro.obs.access.AccessTracker` records of a finished run
+against the inferred sets.  Any observed access outside the static set is
+a **certification violation** — evidence the analysis under-approximated
+and every certificate derived from it is suspect.
+
+Exemptions mirror the analysis's declared frontiers:
+
+* segments marked ``opaque`` are exempt entirely (the analysis already
+  refuses to certify them);
+* channel reads of a segment with an open receive frontier (and channel
+  writes of one with an open reply frontier) are exempt — inbound
+  partners are statically unknowable by construction;
+* a channel key whose op the walk could not resolve is a wildcard
+  covering every op on that directed edge.
+
+``python -m repro.analyze.soundness`` dogfoods the monitor (and the
+static conflict analysis) over the shipped clean scenarios; the chaos
+harness runs the same check under network and executor faults and gates
+on zero violations.
+"""
+
+from __future__ import annotations
+
+import sys
+from dataclasses import dataclass
+from typing import Any, Dict, Iterable, List, Mapping
+
+from repro.analyze.effects import (
+    ProgramEffects,
+    covered,
+    infer_program_effects,
+    static_conflicts,
+)
+from repro.obs.access import SegmentAccess
+
+
+@dataclass
+class CertificationViolation:
+    """One observed access outside the statically inferred set."""
+
+    process: str
+    tid: int
+    seg: int
+    name: str
+    kind: str               #: "read" | "write"
+    key: str
+
+    def describe(self) -> str:
+        return (f"{self.process}.t{self.tid} seg {self.seg} ({self.name}): "
+                f"observed {self.kind} of {self.key!r} outside the static "
+                f"{self.kind} set")
+
+
+def check_access(
+    effects: Mapping[str, ProgramEffects],
+    records: Iterable[SegmentAccess],
+) -> List[CertificationViolation]:
+    """Audit observed access records against static effect sets.
+
+    The claim being checked is the superset property the certificates
+    rely on: static reads ⊇ observed reads and static writes ⊇ observed
+    writes, per segment, modulo the declared frontiers.
+    """
+    violations: List[CertificationViolation] = []
+    for rec in records:
+        prog = effects.get(rec.process)
+        if prog is None:
+            continue
+        if not (0 <= rec.seg < len(prog.segments)):
+            continue
+        eff = prog.segments[rec.seg]
+        if eff.opaque:
+            continue
+        for key in rec.reads:
+            if key.startswith("chan:") and eff.open_read_frontier:
+                continue
+            if not covered(key, eff.reads):
+                violations.append(CertificationViolation(
+                    process=rec.process, tid=rec.tid, seg=rec.seg,
+                    name=rec.name, kind="read", key=key))
+        for key in rec.writes:
+            if key.startswith("chan:") and eff.open_write_frontier:
+                continue
+            if not covered(key, eff.writes):
+                violations.append(CertificationViolation(
+                    process=rec.process, tid=rec.tid, seg=rec.seg,
+                    name=rec.name, kind="write", key=key))
+    return violations
+
+
+def check_system(system: Any) -> List[CertificationViolation]:
+    """Audit a finished :class:`~repro.core.OptimisticSystem` run.
+
+    Returns ``[]`` when the system ran without an access tracker —
+    nothing was observed, so nothing can be audited.
+    """
+    access = getattr(system, "access", None)
+    if access is None:
+        return []
+    effects = {
+        name: infer_program_effects(rt.program)
+        for name, rt in system.runtimes.items()
+    }
+    return check_access(effects, access.records)
+
+
+# ------------------------------------------------------------- dogfooding
+
+
+def _dynamic_scenarios():
+    """Runnable clean scenarios from the workload zoo, tracker-attached.
+
+    Yields ``(label, optimistic_system, sequential_system)`` triples; the
+    optimistic side carries an AccessTracker and the static_effects
+    config so the monitor audits the certified shortcuts themselves.
+    """
+    from repro.core.config import OptimisticConfig
+    from repro.obs.access import AccessTracker
+    from repro.workloads.random_duplex import DuplexSpec, build_duplex_system
+    from repro.workloads.random_programs import (
+        RandomProgramSpec,
+        build_random_system,
+    )
+
+    cfg = OptimisticConfig(static_effects=True)
+    for seed in (3, 11):
+        spec = DuplexSpec(n_steps=5, n_signals=2, n_servers=2, seed=seed,
+                          wrong_guess_bias=2)
+        yield (
+            f"duplex[seed={seed}]",
+            build_duplex_system(spec, optimistic=True, config=cfg,
+                                access=AccessTracker()),
+            build_duplex_system(spec, optimistic=False),
+        )
+    for seed in (0, 7, 19):
+        spec = RandomProgramSpec(n_segments=5 + seed % 3, n_servers=2,
+                                 seed=seed, guess_accuracy_bias=2)
+        yield (
+            f"random[seed={seed}]",
+            build_random_system(spec, optimistic=True, config=cfg,
+                                access=AccessTracker()),
+            build_random_system(spec, optimistic=False),
+        )
+
+
+def main(argv: List[str] = ()) -> int:
+    """Dogfood gate: zero certification violations on clean scenarios.
+
+    Two passes, both over shipped workloads only (no network, no files):
+
+    1. **Static**: build the conflict report for every clean semantic
+       lint target — the same systems ``make lint`` certifies — proving
+       the matrix builder runs everywhere the analyzer does.
+    2. **Dynamic**: run tracker-attached optimistic systems with
+       ``static_effects`` on, audit every access record, and require the
+       optimistic final states and sink outputs to match the sequential
+       reference (the certified shortcuts must not change results).
+    """
+    from repro.analyze.targets import CLEAN_TARGETS, build_target
+
+    failures: List[str] = []
+    print("static conflict analysis over clean targets:")
+    for target in CLEAN_TARGETS:
+        model = build_target(target)
+        entries = [(prog, plan) for prog, plan in model.entries.values()]
+        report = static_conflicts(entries)
+        uncert = sorted(
+            k for k in report.uncertified_ww if not k.startswith("chan:")
+        )
+        flag = ""
+        if uncert:
+            flag = f"  UNCERTIFIED-WW: {', '.join(uncert)}"
+            failures.append(f"{target}: uncertified state WW on {uncert}")
+        print(f"  {target:<16} segments={report.matrix.records:>3} "
+              f"pairs={report.matrix.pairs_examined:>4} "
+              f"conflict_keys={len(report.matrix.cells):>3}{flag}")
+
+    print("dynamic soundness audit (static_effects on, tracker attached):")
+    for label, optimistic, sequential in _dynamic_scenarios():
+        opt = optimistic.run()
+        seq = sequential.run()
+        violations = check_system(optimistic)
+        problems: List[str] = []
+        for pname, state in opt.final_states.items():
+            if dict(state) != dict(seq.final_states.get(pname, {})):
+                problems.append(
+                    f"final state of {pname!r} diverges from sequential")
+        for sink in seq.sinks:
+            if opt.sink_output(sink) != seq.sink_output(sink):
+                problems.append(f"sink {sink!r} diverges")
+        for v in violations:
+            problems.append(v.describe())
+        status = "ok" if not problems else "FAIL"
+        print(f"  {label:<18} records="
+              f"{len(optimistic.access.records):>4} "
+              f"violations={len(violations)} {status}")
+        for p in problems:
+            print(f"    {p}")
+            failures.append(f"{label}: {p}")
+
+    if failures:
+        print(f"soundness dogfood: {len(failures)} problem(s)")
+        return 1
+    print("soundness dogfood: all clean (0 certification violations)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -38,6 +38,11 @@ class SegmentSummary:
     receives: bool = False
     reads: FrozenSet[str] = frozenset()         # state keys read
     writes: FrozenSet[str] = frozenset()        # state keys written
+    #: reads outside certified commutative self-updates (a key in
+    #: ``reads`` but not here is consumed only by ``state[k] += c`` bumps)
+    plain_reads: FrozenSet[str] = frozenset()
+    #: state key -> write-pattern tags (:data:`repro.analyze.astwalk.WRITE_PATTERNS`)
+    write_patterns: Dict[str, FrozenSet[str]] = field(default_factory=dict)
     exports: Tuple[str, ...] = ()
     #: ``.when()`` condition keys guarding (parts of) this segment
     conditions: Tuple[str, ...] = ()
@@ -125,6 +130,9 @@ def _from_walk(seg: Segment, index: int, walk: WalkResult,
         receives=walk.receives or receives,
         reads=frozenset(walk.reads) | frozenset(extra_reads),
         writes=frozenset(walk.writes) | frozenset(seg.exports),
+        plain_reads=frozenset(walk.plain_reads) | frozenset(extra_reads),
+        write_patterns={k: frozenset(v)
+                        for k, v in walk.write_patterns.items()},
         exports=tuple(seg.exports),
         conditions=conditions,
         forbidden=tuple(walk.forbidden),

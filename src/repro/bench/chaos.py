@@ -58,8 +58,10 @@ import os
 import sys
 from typing import Any, Dict, List, Optional, Tuple
 
+from repro.analyze.soundness import check_system
 from repro.core.config import GovernorConfig, OptimisticConfig, ResilienceConfig
 from repro.core.invariants import validate_run
+from repro.obs.access import AccessTracker
 from repro.core.system import OptimisticSystem
 from repro.core.streaming import make_call_chain, stream_plan
 from repro.csp.process import server_program
@@ -169,10 +171,18 @@ def fault_schedule(seed: int) -> Tuple[RandomProgramSpec, FaultPlan]:
 
 
 def chaos_config() -> OptimisticConfig:
-    """The hardened configuration every schedule runs under."""
+    """The hardened configuration every schedule runs under.
+
+    ``static_effects`` is on: the chaos sweep is where the certified
+    shortcuts (deferred guesses, commutative repair, guess-free commits)
+    must prove themselves — every schedule still gates on byte-equal
+    output, and the attached soundness monitor gates on zero
+    certification violations.
+    """
     return OptimisticConfig(
         resilience=ResilienceConfig(),
         governor=GovernorConfig(),
+        static_effects=True,
     )
 
 
@@ -181,7 +191,8 @@ def run_schedule(seed: int) -> Dict[str, Any]:
     spec, plan = fault_schedule(seed)
     seq = build_random_system(spec, optimistic=False).run()
     system = build_random_system(
-        spec, optimistic=True, config=chaos_config(), faults=plan)
+        spec, optimistic=True, config=chaos_config(), faults=plan,
+        access=AccessTracker())
     result = system.run()
 
     invariant_problems: List[str] = []
@@ -201,6 +212,9 @@ def run_schedule(seed: int) -> Dict[str, Any]:
         "equivalent": got == expected,
         "unresolved": list(result.unresolved),
         "invariant_problems": invariant_problems,
+        "certification_violations": [
+            v.describe() for v in check_system(system)
+        ],
         "sequential_output": expected,
         "committed_output": got,
         "makespan": round(result.makespan, 6),
@@ -225,6 +239,7 @@ def schedule_ok(row: Dict[str, Any]) -> bool:
         row["equivalent"]
         and not row["unresolved"]
         and not row["invariant_problems"]
+        and not row["certification_violations"]
     )
 
 
@@ -284,7 +299,8 @@ def run_exec_schedule(seed: int) -> Dict[str, Any]:
         EXEC_WORKERS, realize_scale=EXEC_REALIZE_SCALE,
         exec_faults=plan, recovery=exec_recovery())
     system = build_random_system(
-        spec, optimistic=True, config=chaos_config(), backend=backend)
+        spec, optimistic=True, config=chaos_config(), backend=backend,
+        access=AccessTracker())
     result = system.run()
 
     invariant_problems: List[str] = []
@@ -313,6 +329,9 @@ def run_exec_schedule(seed: int) -> Dict[str, Any]:
         "orphan_tasks": backend.pending(),
         "unresolved": list(result.unresolved),
         "invariant_problems": invariant_problems,
+        "certification_violations": [
+            v.describe() for v in check_system(system)
+        ],
         "faults_injected": injected,
         "task_failures": len(backend.task_errors),
         "counters": {
@@ -338,6 +357,7 @@ def exec_schedule_ok(row: Dict[str, Any]) -> bool:
         and row["orphan_tasks"] == 0
         and not row["unresolved"]
         and not row["invariant_problems"]
+        and not row["certification_violations"]
     )
 
 
@@ -550,10 +570,15 @@ def gate(report: Dict[str, Any],
                 f"{row['unresolved']}")
         for problem in row["invariant_problems"]:
             messages.append(f"seed {row['seed']}: {problem}")
+        for violation in row["certification_violations"]:
+            messages.append(f"seed {row['seed']}: {violation}")
     n_ok = sum(1 for row in report["schedules"] if schedule_ok(row))
+    n_violations = sum(len(row["certification_violations"])
+                       for row in report["schedules"])
     messages.append(
         f"schedules: {n_ok}/{len(report['schedules'])} equivalent, "
-        f"orphan-free, invariant-clean")
+        f"orphan-free, invariant-clean "
+        f"({n_violations} certification violations)")
 
     exec_section = report.get("exec_faults")
     if exec_section is not None:
@@ -581,6 +606,8 @@ def gate(report: Dict[str, Any],
                     f"{row['unresolved']}")
             for problem in row["invariant_problems"]:
                 messages.append(f"exec seed {row['seed']}: {problem}")
+            for violation in row["certification_violations"]:
+                messages.append(f"exec seed {row['seed']}: {violation}")
         injected = sum(row["faults_injected"] for row in rows)
         if rows and injected == 0:
             ok = False

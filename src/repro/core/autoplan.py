@@ -136,11 +136,31 @@ def propose_plan(
             plan.add(seg.name, ForkSpec(predictor=prof.majority_guess(),
                                         timeout=timeout))
     if static and plan.forks:
+        from repro.analyze.effects import infer_program_effects
         from repro.analyze.graph import SystemModel, fork_site_safety
 
         model = SystemModel.build([(program, plan), *peers], sinks=sinks)
         for site in model.fork_sites(program.name):
             if not fork_site_safety(model, site).safe:
                 del plan.forks[site.segment]
+        # Trim surviving guesses to the continuation's statically inferred
+        # need set: an export nothing downstream reads or writes is pure
+        # value-fault exposure — stop guessing it.  An emptied guess keeps
+        # its fork (parallelism without speculation: it verifies
+        # trivially and commits guess-free).
+        effects = infer_program_effects(program)
+        indices = {seg.name: i for i, seg in enumerate(program.segments)}
+        for site_name in list(plan.forks):
+            needs = effects.continuation_needs(indices[site_name])
+            if needs is None:
+                continue  # opaque continuation: keep the full guess
+            spec = plan.forks[site_name]
+            guess = profile.segment(site_name).majority_guess()
+            trimmed = {k: v for k, v in guess.items() if k in needs}
+            if len(trimmed) != len(guess):
+                plan.forks[site_name] = ForkSpec(
+                    predictor=trimmed, timeout=spec.timeout,
+                    verifier=spec.verifier, copy_state=spec.copy_state,
+                )
     plan.validate(program)
     return plan, confidences

@@ -206,6 +206,17 @@ class OptimisticConfig:
     #: along recorded dependence edges (PRECEDENCE is always broadcast —
     #: it is rare and must reach guess owners the sender may not know).
     control_plane: ControlPlane = ControlPlane.BROADCAST
+    #: Static read/write-set effect certification (ROADMAP item 1).  When
+    #: on, the runtime builds :mod:`repro.analyze.effects` for the program
+    #: and uses its certificates three ways: exports the continuation
+    #: provably never touches are **deferred** (not guessed, not verified
+    #: — committed actuals overlay the final state); exports whose only
+    #: downstream uses are additive self-updates get **bump repair**
+    #: (a wrong guess becomes a delta applied at the end, not an abort);
+    #: and a fork whose whole guess defers commits guess-free.  Off by
+    #: default: speculation behaviour (and pinned figures) are unchanged
+    #: unless a run opts in.
+    static_effects: bool = False
     #: Hard cap on scheduler events, converted to LivenessError.
     max_steps: int = 2_000_000
     #: Network-fault hardening (acks, retransmission, orphan re-detection).

@@ -68,6 +68,14 @@ class GuessRecord:
     #: the (former) left thread re-executes the whole range itself, so no
     #: continuation must ever be spawned for this record.
     fork_undone: bool = False
+    #: exports statically certified unused by the continuation: excluded
+    #: from the guess at fork, captured from the left thread at commit
+    deferred_keys: Tuple[str, ...] = ()
+    #: exports statically certified bump-only downstream: a guess mismatch
+    #: records a repair delta instead of aborting
+    certified_keys: frozenset = frozenset()
+    #: per-key repair deltas computed at the latest join (certified keys)
+    repair: Optional[Dict[str, Any]] = None
 
 
 @dataclass
@@ -113,6 +121,20 @@ class ProcessRuntime:
         self.access = system.access
         #: state capture/restore layer (COW snapshots or legacy deepcopy)
         self.snap = Snapshotter(config.snapshot_policy, self.stats)
+        #: static effects index (ROADMAP item 1), built only on opt-in —
+        #: default runs never import the analyzer and pay nothing
+        self.effects = None
+        #: committed actuals of deferred exports, overlaid by final_state
+        self._deferred_actuals: Dict[str, Any] = {}
+        #: accumulated bump-repair deltas, applied by final_state
+        self._repair_deltas: Dict[str, Any] = {}
+        if config.static_effects:
+            try:
+                from repro.analyze.effects import infer_program_effects
+
+                self.effects = infer_program_effects(program)
+            except Exception:
+                self.effects = None  # analysis failure = feature off
 
         self.view = SystemView()
         self.cdg = CommitDependencyGraph(
@@ -240,13 +262,27 @@ class ProcessRuntime:
 
         guess = GuessId.make(self.name, self.incarnation, self.next_fork_index)
         self.next_fork_index += 1
-        guessed = spec.predict(thread.state)
+        guessed = dict(self._predict_unobserved(spec, thread))
         missing = [k for k in guessed if k not in seg.exports]
         if missing:
             raise ProgramError(
                 f"predictor for segment {seg.name!r} guesses non-exported "
                 f"keys {missing}; exports are {seg.exports}"
             )
+        deferred: Tuple[str, ...] = ()
+        certified: frozenset = frozenset()
+        if self.effects is not None and guessed:
+            deferrable = self.effects.deferrable_exports(seg_idx)
+            if deferrable:
+                deferred = tuple(k for k in guessed if k in deferrable)
+                for k in deferred:
+                    del guessed[k]
+                self.m.guesses_deferred.inc(len(deferred))
+                self.log_event("guess_deferred", site=seg.name,
+                               keys=sorted(deferred))
+                if not guessed:
+                    self.m.guess_free_forks.inc()
+            certified = self.effects.bump_certified(seg_idx) & guessed.keys()
         # One capture of the forking thread's state backs everything the
         # fork needs: the right thread's birth state (plus the guessed
         # overlay), its replay base, and the strict_exports reference.
@@ -278,6 +314,8 @@ class ProcessRuntime:
             fork_snapshot=(
                 base_snap if self.config.strict_exports else None
             ),
+            deferred_keys=deferred,
+            certified_keys=certified,
         )
         self.records[guess] = record
         thread.own_guess = guess
@@ -326,6 +364,25 @@ class ProcessRuntime:
         self.log_event("fork", guess=guess.key(), site=seg.name,
                        left=thread.tid, right=right.tid)
         return True
+
+    def _predict_unobserved(self, spec: ForkSpec,
+                            thread: OptimisticThread) -> Dict[str, Any]:
+        """Run the predictor with access recording detached.
+
+        Predictor reads are planner bookkeeping, not segment accesses —
+        recording them would charge them to whichever segment's record
+        happens to be attached at the fork boundary and break the
+        static-superset property the soundness monitor audits.
+        """
+        state = thread.state
+        rec = getattr(state, "_rec", None)
+        if rec is None:
+            return spec.predict(state)
+        state._rec = None
+        try:
+            return spec.predict(state)
+        finally:
+            state._rec = rec
 
     def _on_fork_timeout(self, guess: GuessId) -> None:
         record = self.records[guess]
@@ -684,7 +741,26 @@ class ProcessRuntime:
         actual = {k: left.state[k] for k in seg.exports if k in left.state}
         self._strict_exports_check(record, left, seg)
 
-        if not record.spec.verifier(record.guessed, actual):
+        # Commutativity certificates (static_effects): a numeric mismatch
+        # on a bump-certified key is repairable — every downstream use is
+        # an additive self-update, so the error is a constant shift fixed
+        # at commit.  Certified keys verify here without value equality;
+        # non-numeric values fall back to the ordinary verifier.
+        verify_guessed = record.guessed
+        repairs: Dict[str, Any] = {}
+        if record.certified_keys:
+            verify_guessed = dict(record.guessed)
+            for k in record.certified_keys:
+                if k not in verify_guessed or k not in actual:
+                    continue
+                g, a = verify_guessed[k], actual[k]
+                if (isinstance(g, (int, float)) and not isinstance(g, bool)
+                        and isinstance(a, (int, float))
+                        and not isinstance(a, bool)):
+                    if a != g:
+                        repairs[k] = a - g
+                    del verify_guessed[k]
+        if not record.spec.verifier(verify_guessed, actual):
             self.m.aborts_value_fault.inc()
             self.log_event("value_fault", guess=record.guess.key(),
                            guessed=record.guessed, actual=actual)
@@ -700,6 +776,11 @@ class ProcessRuntime:
                 ],
             })
             return
+        record.repair = repairs or None
+        if repairs:
+            self.m.commutative_repairs.inc(len(repairs))
+            self.log_event("commutative_repair", guess=record.guess.key(),
+                           keys=sorted(repairs))
         if record.guess in left.guard:
             # The left thread causally depends on its own fork: time fault —
             # a causal cycle of length one, through the guess itself.
@@ -752,6 +833,7 @@ class ProcessRuntime:
         record.status = "committed"
         if record.timer is not None:
             record.timer.cancel()
+        self._capture_certified_effects(record)
         self.view.note_commit(record.guess)
         self.cdg.remove_node(record.guess)
         self._emit_control(CommitMsg(guess=record.guess))
@@ -759,6 +841,27 @@ class ProcessRuntime:
         self._resolve_metrics(record, outcome="commit")
         self.log_event("commit", guess=record.guess.key())
         self.resolve_sweep()
+
+    def _capture_certified_effects(self, record: GuessRecord) -> None:
+        """Bank a committing record's deferred actuals and repair deltas.
+
+        Runs exactly once per record, at commit — the only irrevocable
+        point: a commit means every birth guard already resolved, so the
+        left thread's values can never be rolled back.  ``final_state``
+        overlays the banked values; patching live thread state instead
+        would be unsound (rollback restores snapshots predating the
+        patch).
+        """
+        if record.deferred_keys:
+            left = self.threads.get(record.left_tid)
+            for k in record.deferred_keys:
+                if left is not None and k in left.state:
+                    self._deferred_actuals[k] = left.state[k]
+        if record.repair:
+            for k, delta in record.repair.items():
+                self._repair_deltas[k] = (
+                    self._repair_deltas.get(k, 0) + delta
+                )
 
     def _resolve_metrics(self, record: GuessRecord, outcome: str,
                          reason: Optional[str] = None,
@@ -1435,7 +1538,13 @@ class ProcessRuntime:
     # ---------------------------------------------------------------- state
 
     def final_state(self) -> Optional[Dict[str, Any]]:
-        """State of the completed main-line thread, if any."""
+        """State of the completed main-line thread, if any.
+
+        With static_effects on, deferred exports (never overlaid on the
+        continuation — it provably ignores them) are patched in from the
+        committed left threads, and bump-repair deltas shift the keys
+        whose wrong guesses were certified commutative.
+        """
         for t in self._threads_in_order():
             if (
                 t.finished
@@ -1443,5 +1552,12 @@ class ProcessRuntime:
                 and t.own_guess is None
                 and t.seg_end >= len(self.program.segments)
             ):
-                return t.state
+                if not self._deferred_actuals and not self._repair_deltas:
+                    return t.state
+                out = dict(t.state)
+                out.update(self._deferred_actuals)
+                for k, delta in self._repair_deltas.items():
+                    if k in out and isinstance(out[k], (int, float)):
+                        out[k] = out[k] + delta
+                return out
         return None

@@ -282,6 +282,15 @@ class RuntimeMetrics:
                               "aborts breaking commit-dependency cycles")
         self.fork_fallback = c("opt.fork_fallback_pessimistic",
                                "forks skipped (no predictor/disabled)")
+        self.guesses_deferred = c("opt.guesses_deferred",
+                                  "guessed keys dropped: continuation "
+                                  "statically never touches them")
+        self.guess_free_forks = c("opt.guess_free_forks",
+                                  "forks whose whole guess deferred "
+                                  "(statically disjoint continuation)")
+        self.commutative_repairs = c("opt.commutative_repairs",
+                                     "guess mismatches repaired by a "
+                                     "certified commutative delta")
         self.guard_tag_units = c("opt.guard_tag_units",
                                  "guard tags carried on messages")
         self.guards_acquired = c("opt.guards_acquired",

@@ -127,7 +127,7 @@ def build_random_client(spec: RandomProgramSpec) -> Tuple[Program,
 
 def build_random_system(spec: RandomProgramSpec, optimistic: bool,
                         config: Optional[OptimisticConfig] = None,
-                        faults=None, backend=None):
+                        faults=None, backend=None, access=None):
     """Assemble the full system (client, servers, display sink).
 
     ``faults`` (a :class:`~repro.sim.faults.FaultPlan`) applies only to the
@@ -136,6 +136,9 @@ def build_random_system(spec: RandomProgramSpec, optimistic: bool,
     ``backend`` (an :class:`~repro.exec.api.ExecutorBackend`) likewise only
     applies to the optimistic assembly; the parallel bench uses it to run
     the same seeded schedule on virtual time and on a real thread pool.
+    ``access`` (an :class:`~repro.obs.access.AccessTracker`) records
+    per-segment access sets on the optimistic assembly — the chaos
+    harness audits them against the static effect sets.
     """
     program, plan = build_random_client(spec)
 
@@ -150,7 +153,8 @@ def build_random_system(spec: RandomProgramSpec, optimistic: bool,
 
     if optimistic:
         system = OptimisticSystem(FixedLatency(spec.latency), config=config,
-                                  faults=faults, backend=backend)
+                                  faults=faults, backend=backend,
+                                  access=access)
         system.add_program(program, plan)
     else:
         system = SequentialSystem(FixedLatency(spec.latency))

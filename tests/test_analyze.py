@@ -120,7 +120,9 @@ def test_server_program_summary_reads_handler():
 # -------------------------------------------------------------------- graph
 
 def test_fig4_has_service_reentry_and_fig1_does_not():
-    assert run_rules(build_target("fig4")).rules_fired() == ["SA201"]
+    # SA603 also fires: fig4's fork exists only to stage the reentry
+    # race, so its guessed export is (correctly) reported as deferrable.
+    assert run_rules(build_target("fig4")).rules_fired() == ["SA201", "SA603"]
     assert "SA201" not in run_rules(build_target("fig1")).rules_fired()
 
 

@@ -1,0 +1,312 @@
+"""Unit tests for the static effects layer (repro.analyze.effects).
+
+Covers the AST write-pattern classifier, canonical-key lifting, the fork
+certificates (continuation needs, deferrable exports, bump
+certification), key matching with channel wildcards, and the static
+conflict matrix with its commutativity/export annotations.
+"""
+
+from __future__ import annotations
+
+from repro.analyze.astwalk import walk_function
+from repro.analyze.effects import (
+    ProgramEffects,
+    covered,
+    infer_program_effects,
+    is_global_key,
+    key_matches,
+    static_conflicts,
+)
+from repro.csp.effects import Call, Emit, Send
+from repro.csp.plan import ForkSpec, ParallelizationPlan
+from repro.csp.process import Program, Segment, server_program
+
+
+# ------------------------------------------------------------ write patterns
+
+def test_walker_classifies_bump_augassign():
+    def body(state):
+        state["count"] += 2
+        return
+        yield  # pragma: no cover - generator marker
+
+    walk = walk_function(body)
+    assert walk.write_patterns["count"] == {"bump"}
+    assert "count" in walk.reads          # a bump reads the old value...
+    assert "count" not in walk.plain_reads  # ...but not as a plain read
+
+
+def test_walker_classifies_bump_binop_both_orders():
+    def left(state):
+        state["n"] = state["n"] + 1
+        return
+        yield  # pragma: no cover - generator marker
+
+    def right(state):
+        state["n"] = 1 + state["n"]
+        return
+        yield  # pragma: no cover - generator marker
+
+    for fn in (left, right):
+        walk = walk_function(fn)
+        assert walk.write_patterns["n"] == {"bump"}
+        assert "n" not in walk.plain_reads
+
+
+def test_walker_classifies_append_set_insert_and_put():
+    def body(state):
+        state["log"].append("x")
+        state["seen"].add(3)
+        state["flag"] = True
+        return
+        yield  # pragma: no cover - generator marker
+
+    walk = walk_function(body)
+    assert walk.write_patterns["log"] == {"append"}
+    assert walk.write_patterns["seen"] == {"set_insert"}
+    assert walk.write_patterns["flag"] == {"idempotent_put[True]"}
+    # container mutation both reads and writes the key
+    assert {"log", "seen"} <= walk.reads
+    assert {"log", "seen"} <= walk.writes
+
+
+def test_walker_overwrite_and_plain_read():
+    def body(state):
+        state["out"] = state["a"] * 2
+        return
+        yield  # pragma: no cover - generator marker
+
+    walk = walk_function(body)
+    assert walk.write_patterns["out"] == {"overwrite"}
+    assert "a" in walk.plain_reads
+
+
+def test_mixed_patterns_are_not_commutative():
+    def body(state):
+        state["n"] += 1
+        state["n"] = 0
+        return
+        yield  # pragma: no cover - generator marker
+
+    walk = walk_function(body)
+    assert walk.write_patterns["n"] == {"bump", "idempotent_put[0]"}
+
+
+# ------------------------------------------------------------- key matching
+
+def test_key_matches_exact_and_wildcard():
+    assert key_matches("chan:a->b.op", "chan:a->b.op")
+    assert key_matches("chan:a->b.?", "chan:a->b.sig0")
+    assert key_matches("chan:a->b.?", "chan:a->b.?")
+    assert not key_matches("chan:a->b.?", "chan:a->c.sig0")
+    assert not key_matches("x", "y")
+    assert covered("chan:a->b.note", ["chan:a->b.?", "other"])
+    assert is_global_key("sink:display")
+    assert not is_global_key("count")
+
+
+# --------------------------------------------------------- canonical lifting
+
+def _two_segment_program():
+    def s0(state):
+        state["r0"] = yield Call("S", "op", ("q",))
+        state["aux"] = 1
+
+    def s1(state):
+        yield Send("S", "note", (state["r0"],))
+        yield Emit("display", "done")
+        state["count"] = (state.get("count") or 0) + 1
+
+    return Program("P", [Segment("s0", s0, exports=("r0", "aux")),
+                         Segment("s1", s1, exports=())])
+
+
+def test_effects_canonical_keys():
+    effects = infer_program_effects(_two_segment_program())
+    e0, e1 = effects.segments
+    assert "chan:P->S.op" in e0.writes     # the request
+    assert "chan:S->P.op" in e0.reads      # the consumed reply
+    assert "chan:P->S.note" in e1.writes
+    assert "sink:display" in e1.writes
+    assert "r0" in e0.writes and "aux" in e0.writes
+    assert "r0" in e1.reads
+
+
+def test_program_effects_from_summary_matches_infer():
+    from repro.analyze.summary import summarize_program
+
+    program = _two_segment_program()
+    via_summary = ProgramEffects.from_summary(summarize_program(program))
+    direct = infer_program_effects(program)
+    assert [e.reads for e in via_summary.segments] == \
+        [e.reads for e in direct.segments]
+    assert [e.writes for e in via_summary.segments] == \
+        [e.writes for e in direct.segments]
+
+
+# --------------------------------------------------------- fork certificates
+
+def test_continuation_needs_and_deferrable_exports():
+    effects = infer_program_effects(_two_segment_program())
+    needs = effects.continuation_needs(0)
+    assert "r0" in needs
+    assert "aux" not in needs
+    assert effects.deferrable_exports(0) == frozenset({"aux"})
+
+
+def test_opaque_continuation_defeats_certification():
+    def s0(state):
+        state["r0"] = yield Call("S", "op", ())
+
+    def s1(state):
+        state.update({"x": 1})              # unresolvable: opaque
+        return
+        yield  # pragma: no cover - generator marker
+
+    program = Program("P", [Segment("s0", s0, exports=("r0",)),
+                            Segment("s1", s1)])
+    effects = infer_program_effects(program)
+    assert effects.continuation_needs(0) is None
+    assert effects.deferrable_exports(0) == frozenset()
+    assert effects.bump_certified(0) == frozenset()
+
+
+def test_bump_certified_requires_additive_only_use():
+    def s0(state):
+        state["count"] = yield Call("S", "op", ())
+
+    def bumps(state):
+        state["count"] += 3
+        state["r1"] = yield Call("S", "op", ())
+
+    def reads_plainly(state):
+        state["r1"] = state["count"] * 2
+        return
+        yield  # pragma: no cover - generator marker
+
+    certified = infer_program_effects(Program("P", [
+        Segment("s0", s0, exports=("count",)),
+        Segment("s1", bumps, exports=("r1",)),
+    ]))
+    assert certified.bump_certified(0) == frozenset({"count"})
+
+    uncertified = infer_program_effects(Program("P", [
+        Segment("s0", s0, exports=("count",)),
+        Segment("s1", reads_plainly, exports=("r1",)),
+    ]))
+    assert uncertified.bump_certified(0) == frozenset()
+
+
+def test_bump_certified_requires_a_downstream_touch():
+    def s0(state):
+        state["count"] = yield Call("S", "op", ())
+
+    def unrelated(state):
+        state["r1"] = yield Call("S", "op", ())
+
+    effects = infer_program_effects(Program("P", [
+        Segment("s0", s0, exports=("count",)),
+        Segment("s1", unrelated, exports=("r1",)),
+    ]))
+    # Nothing downstream touches 'count': it is deferrable, not
+    # bump-certified (there is no bump to repair).
+    assert effects.bump_certified(0) == frozenset()
+    assert "count" in effects.deferrable_exports(0)
+
+
+def test_statically_disjoint():
+    def s0(state):
+        state["a"] = 1
+        return
+        yield  # pragma: no cover - generator marker
+
+    def s1(state):
+        state["b"] = 2
+        return
+        yield  # pragma: no cover - generator marker
+
+    def s2(state):
+        state["a"] = 3
+        return
+        yield  # pragma: no cover - generator marker
+
+    effects = infer_program_effects(Program("P", [
+        Segment("s0", s0), Segment("s1", s1), Segment("s2", s2),
+    ]))
+    assert effects.statically_disjoint(0, 1)
+    assert not effects.statically_disjoint(0, 2)
+
+
+# --------------------------------------------------------- static conflicts
+
+def _ok_server(name):
+    def handler(state, req):
+        return True
+
+    return server_program(name, handler), None
+
+
+def test_static_conflicts_ww_and_certification():
+    def s0(state):
+        state["r0"] = yield Call("S", "op", ())
+        state["acc"] = 1                    # overwrite, unexported
+
+    def s1(state):
+        state["acc"] = 2                    # second uncertified writer
+        state["r1"] = yield Call("S", "op", ())
+
+    program = Program("P", [Segment("s0", s0, exports=("r0",)),
+                            Segment("s1", s1, exports=("r1",))])
+    plan = ParallelizationPlan().add("s0", ForkSpec(predictor={"r0": 1}))
+    report = static_conflicts([(program, plan), _ok_server("S")])
+    assert "P.acc" in report.uncertified_ww
+    assert report.matrix.cells["P.acc"]["WW"] >= 1
+
+
+def test_static_conflicts_bump_writers_certified():
+    def s0(state):
+        state["n"] += 1
+        state["r0"] = yield Call("S", "op", ())
+
+    def s1(state):
+        state["n"] += 2
+        state["r1"] = yield Call("S", "op", ())
+
+    program = Program("P", [Segment("s0", s0, exports=("r0",)),
+                            Segment("s1", s1, exports=("r1",))],
+                      initial_state={"n": 0})
+    plan = ParallelizationPlan().add("s0", ForkSpec(predictor={"r0": 1}))
+    report = static_conflicts([(program, plan), _ok_server("S")])
+    assert "P.n" in report.certified_commutative
+    assert "P.n" not in report.uncertified_ww
+
+
+def test_static_conflicts_exported_writers_certified():
+    def s0(state):
+        state["last"] = yield Call("S", "op", ())
+
+    def s1(state):
+        state["last"] = yield Call("S", "op", ())
+
+    program = Program("P", [Segment("s0", s0, exports=("last",)),
+                            Segment("s1", s1, exports=("last",))])
+    plan = ParallelizationPlan().add("s0", ForkSpec(predictor={"last": 1}))
+    report = static_conflicts([(program, plan), _ok_server("S")])
+    assert "P.last" in report.certified_commutative
+
+
+def test_static_conflicts_no_fork_no_same_process_pairs():
+    def s0(state):
+        state["a"] = 1
+        return
+        yield  # pragma: no cover - generator marker
+
+    def s1(state):
+        state["a"] = 2
+        return
+        yield  # pragma: no cover - generator marker
+
+    program = Program("P", [Segment("s0", s0), Segment("s1", s1)])
+    report = static_conflicts([(program, None)])
+    # Sequential segments of an unforked program never conflict.
+    assert not report.matrix.cells

@@ -1,0 +1,122 @@
+"""Round-trip property: static effect sets cover observed access sets.
+
+Every certificate in :mod:`repro.analyze.effects` leans on one claim —
+per segment, **static reads ⊇ observed reads and static writes ⊇
+observed writes** (modulo the declared receive frontiers).  These tests
+drive tracker-attached optimistic runs over the randomized workload zoo
+with ``static_effects`` on and assert the claim through the soundness
+monitor, plus direct superset checks on the raw records, plus result
+equivalence with the sequential reference (the certified shortcuts must
+never change observable behaviour).
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.analyze.effects import covered, infer_program_effects
+from repro.analyze.soundness import check_access, check_system
+from repro.core.config import OptimisticConfig
+from repro.obs.access import AccessTracker
+from repro.workloads.random_duplex import DuplexSpec, build_duplex_system
+from repro.workloads.random_programs import (
+    RandomProgramSpec,
+    build_random_system,
+)
+
+CONFIG = OptimisticConfig(static_effects=True)
+
+duplex_specs = st.builds(
+    DuplexSpec,
+    n_steps=st.integers(1, 6),
+    n_signals=st.integers(0, 3),
+    n_servers=st.integers(1, 3),
+    seed=st.integers(0, 100_000),
+    wrong_guess_bias=st.sampled_from([1, 2, 5]),
+)
+
+random_specs = st.builds(
+    RandomProgramSpec,
+    n_segments=st.integers(2, 8),
+    n_servers=st.integers(1, 3),
+    seed=st.integers(0, 100_000),
+    guess_accuracy_bias=st.sampled_from([1, 2, 5]),
+)
+
+
+def _superset_violations(system):
+    """Direct superset check on every closed-frontier record."""
+    effects = {name: infer_program_effects(rt.program)
+               for name, rt in system.runtimes.items()}
+    problems = []
+    for rec in system.access.records:
+        prog = effects.get(rec.process)
+        if prog is None or not (0 <= rec.seg < len(prog.segments)):
+            continue
+        eff = prog.segments[rec.seg]
+        if eff.opaque:
+            continue
+        for key in rec.reads:
+            if key.startswith("chan:") and eff.open_read_frontier:
+                continue
+            if not covered(key, eff.reads):
+                problems.append((rec.process, rec.seg, "read", key))
+        for key in rec.writes:
+            if key.startswith("chan:") and eff.open_write_frontier:
+                continue
+            if not covered(key, eff.writes):
+                problems.append((rec.process, rec.seg, "write", key))
+    return problems
+
+
+def _audit(system, seq, opt):
+    assert opt.unresolved == []
+    violations = check_system(system)
+    assert violations == [], [v.describe() for v in violations]
+    assert _superset_violations(system) == []
+    for name, state in opt.final_states.items():
+        assert dict(state) == dict(seq.final_states.get(name, {}))
+    for sink in seq.sinks:
+        assert opt.sink_output(sink) == seq.sink_output(sink)
+
+
+@settings(max_examples=40, deadline=None)
+@given(spec=duplex_specs)
+def test_duplex_static_sets_cover_observed(spec):
+    seq = build_duplex_system(spec, optimistic=False).run()
+    system = build_duplex_system(spec, optimistic=True, config=CONFIG,
+                                 access=AccessTracker())
+    opt = system.run()
+    _audit(system, seq, opt)
+
+
+@settings(max_examples=40, deadline=None)
+@given(spec=random_specs)
+def test_random_static_sets_cover_observed(spec):
+    seq = build_random_system(spec, optimistic=False).run()
+    system = build_random_system(spec, optimistic=True, config=CONFIG,
+                                 access=AccessTracker())
+    opt = system.run()
+    _audit(system, seq, opt)
+
+
+def test_check_access_flags_fabricated_violations():
+    """The monitor itself must not be vacuous: fabricate one record with
+    an unknown read and an unknown write and demand both are reported."""
+    from repro.obs.access import SegmentAccess
+
+    spec = RandomProgramSpec(n_segments=3, seed=5)
+    system = build_random_system(spec, optimistic=True, config=CONFIG,
+                                 access=AccessTracker())
+    system.run()
+    effects = {name: infer_program_effects(rt.program)
+               for name, rt in system.runtimes.items()}
+    fake = SegmentAccess(process="client", tid=0, seg=0, name="seg0",
+                         start=0.0)
+    fake.reads.add("never_statically_read")
+    fake.writes.add("never_statically_written")
+    violations = check_access(effects, [fake])
+    assert {(v.kind, v.key) for v in violations} == {
+        ("read", "never_statically_read"),
+        ("write", "never_statically_written"),
+    }

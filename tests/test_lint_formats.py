@@ -1,0 +1,98 @@
+"""Golden tests for the lint machine formats (--json and --sarif).
+
+The payload shapes are a consumer contract (``SCHEMA_VERSION`` stamps
+them); these tests pin the exact bytes for a stable target (fig4) so any
+shape change is a deliberate golden update plus a version bump, never an
+accident.  The CLI path is exercised end to end as well, so the flags
+write exactly what the library renders.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.analyze.cli import main as lint_main
+from repro.analyze.cli import resolve_target
+from repro.analyze.report import SCHEMA_VERSION, Severity
+from repro.analyze.rules import RULES
+from repro.analyze.sarif import to_sarif, to_sarif_json
+
+DATA = Path(__file__).parent / "data"
+
+
+def test_json_matches_golden():
+    report = resolve_target("fig4")
+    golden = (DATA / "fig4_lint.json").read_text()
+    assert report.to_json() + "\n" == golden
+
+
+def test_sarif_matches_golden():
+    report = resolve_target("fig4")
+    golden = (DATA / "fig4_lint.sarif").read_text()
+    assert to_sarif_json(report) + "\n" == golden
+
+
+def test_json_payload_is_versioned_and_complete():
+    payload = json.loads(resolve_target("fig4").to_json())
+    assert payload["schema"] == SCHEMA_VERSION
+    assert payload["target"] == "fig4"
+    rules = {f["rule"] for f in payload["findings"]}
+    assert "SA201" in rules
+    assert set(payload["counts"]) == {"error", "warning", "info"}
+
+
+def test_sarif_structure():
+    log = to_sarif(resolve_target("fig4"))
+    assert log["version"] == "2.1.0"
+    (run,) = log["runs"]
+    assert run["properties"]["schema"] == SCHEMA_VERSION
+    driver = run["tool"]["driver"]
+    assert driver["name"] == "repro-lint"
+    # The driver catalogue is the whole registry, not just fired rules.
+    assert {r["id"] for r in driver["rules"]} == set(RULES)
+    levels = {r["ruleId"]: r["level"] for r in run["results"]}
+    assert levels["SA201"] == "error"
+    for result in run["results"]:
+        assert result["locations"], "every fig4 finding has a location"
+
+
+def test_sarif_min_severity_filters_notes():
+    log = to_sarif(resolve_target("fig4"), min_severity=Severity.ERROR)
+    levels = {r["level"] for r in log["runs"][0]["results"]}
+    assert levels == {"error"}
+
+
+def test_sarif_physical_location_from_file_anchor():
+    from repro.analyze.report import Finding, Report
+
+    report = Report(target="unit")
+    report.extend([Finding(rule="SA101", severity=Severity.ERROR,
+                           message="m", process="P", segment="s0",
+                           location="pkg/mod.py:42")])
+    (result,) = to_sarif(report)["runs"][0]["results"]
+    (location,) = result["locations"]
+    physical = location["physicalLocation"]
+    assert physical["artifactLocation"]["uri"] == "pkg/mod.py"
+    assert physical["region"]["startLine"] == 42
+
+
+@pytest.mark.parametrize("flag,loader", [
+    ("--json", json.loads),
+    ("--sarif", json.loads),
+])
+def test_cli_writes_both_formats(tmp_path, flag, loader):
+    out = tmp_path / "out.payload"
+    # fig4 has an error-level finding, so the exit code is 1 — the
+    # machine output must still be written in full.
+    assert lint_main(["fig4", flag, str(out)]) == 1
+    payload = loader(out.read_text())
+    if flag == "--json":
+        assert payload["schema"] == SCHEMA_VERSION
+        golden = json.loads((DATA / "fig4_lint.json").read_text())
+    else:
+        assert payload["runs"][0]["properties"]["schema"] == SCHEMA_VERSION
+        golden = json.loads((DATA / "fig4_lint.sarif").read_text())
+    assert payload == golden
